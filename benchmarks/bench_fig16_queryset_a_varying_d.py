@@ -1,0 +1,94 @@
+"""Figure 16 — QuerySet A (slice + APPEND chain), varying D.
+
+Paper's figure: cumulative running time of QA1..QA5 on
+I100.L20.θ0.9.D{100k,500k,1000k}, CB vs II, annotated with cumulative
+sequences scanned.  II precomputes the base size-2 index (0.43 s - 3.9 s,
+7.3 MB - 72.2 MB in the paper).
+
+Shape claims:
+
+* both strategies scale linearly in D (checked by ratio of totals);
+* II beats CB on every dataset (cumulative over the chain);
+* CB's cumulative scan count is 5 x D; II's is a tiny fraction of D after
+  the precomputed first query.
+"""
+
+import pytest
+
+from repro.bench import run_queryset_a, series_table
+from benchmarks.conftest import FIG16_D_SERIES
+
+
+@pytest.fixture(scope="module")
+def all_runs(synthetic_dbs):
+    runs = {}
+    for d, db in synthetic_dbs.items():
+        runs[("cb", d)], __ = run_queryset_a(db, "cb", n_queries=5)
+        runs[("ii", d)], __ = run_queryset_a(db, "ii", n_queries=5)
+    return runs
+
+
+@pytest.mark.parametrize("d", FIG16_D_SERIES)
+def test_fig16_cb(benchmark, synthetic_dbs, d):
+    steps, __ = benchmark.pedantic(
+        run_queryset_a,
+        args=(synthetic_dbs[d], "cb"),
+        kwargs={"n_queries": 5},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["cumulative_scanned"] = sum(
+        s.sequences_scanned for s in steps
+    )
+
+
+@pytest.mark.parametrize("d", FIG16_D_SERIES)
+def test_fig16_ii(benchmark, synthetic_dbs, d):
+    steps, pre = benchmark.pedantic(
+        run_queryset_a,
+        args=(synthetic_dbs[d], "ii"),
+        kwargs={"n_queries": 5},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["cumulative_scanned"] = sum(
+        s.sequences_scanned for s in steps
+    )
+    benchmark.extra_info["precompute_scanned"] = pre.sequences_scanned
+
+
+def test_fig16_shape(benchmark, all_runs, capsys):
+    def render():
+        return series_table(
+            {
+                f"{strategy.upper()} D={d}": all_runs[(strategy, d)]
+                for strategy in ("cb", "ii")
+                for d in FIG16_D_SERIES
+            },
+            "Figure 16 (reproduced): QuerySet A cumulative ms (cumulative "
+            "sequences scanned)",
+        )
+
+    table = benchmark.pedantic(render, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + table + "\n")
+
+    for d in FIG16_D_SERIES:
+        cb = all_runs[("cb", d)]
+        ii = all_runs[("ii", d)]
+        # CB scans the whole dataset on every one of the 5 queries.
+        assert sum(s.sequences_scanned for s in cb) == 5 * d
+        # II answers QA1 from the precomputed index (0 scans) and follow-up
+        # queries from joins: far below one full rescan in total.
+        assert ii[0].sequences_scanned == 0
+        assert sum(s.sequences_scanned for s in ii) < d
+        # II wins the cumulative chain.
+        assert sum(s.runtime_ms for s in ii) < sum(s.runtime_ms for s in cb)
+
+    # Linear scaling in D (ratio of largest to smallest within 3x of the
+    # D ratio — generous to absorb constant factors).
+    d_lo, d_hi = FIG16_D_SERIES[0], FIG16_D_SERIES[-1]
+    cb_ratio = sum(s.runtime_ms for s in all_runs[("cb", d_hi)]) / max(
+        sum(s.runtime_ms for s in all_runs[("cb", d_lo)]), 1e-9
+    )
+    assert cb_ratio < (d_hi / d_lo) * 3

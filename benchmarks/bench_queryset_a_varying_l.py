@@ -1,0 +1,62 @@
+"""QuerySet A (b) — varying average sequence length L (summarized in §5.2).
+
+Paper's conclusions on I100.Lx.θ0.9.D500K: (1) both CB and II scale
+linearly with L; (2) II outperforms CB on every dataset.
+"""
+
+import pytest
+
+from repro.bench import run_queryset_a, series_table
+from benchmarks.conftest import VARY_L_SERIES
+
+
+@pytest.fixture(scope="module")
+def all_runs(vary_l_dbs):
+    runs = {}
+    for l, db in vary_l_dbs.items():
+        runs[("cb", l)], __ = run_queryset_a(db, "cb", n_queries=5)
+        runs[("ii", l)], __ = run_queryset_a(db, "ii", n_queries=5)
+    return runs
+
+
+@pytest.mark.parametrize("l", VARY_L_SERIES)
+@pytest.mark.parametrize("strategy", ["cb", "ii"])
+def test_queryset_a_vary_l(benchmark, vary_l_dbs, strategy, l):
+    steps, __ = benchmark.pedantic(
+        run_queryset_a,
+        args=(vary_l_dbs[l], strategy),
+        kwargs={"n_queries": 5},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["cumulative_scanned"] = sum(
+        s.sequences_scanned for s in steps
+    )
+
+
+def test_vary_l_shape(benchmark, all_runs, capsys):
+    def render():
+        return series_table(
+            {
+                f"{strategy.upper()} L={l}": all_runs[(strategy, l)]
+                for strategy in ("cb", "ii")
+                for l in VARY_L_SERIES
+            },
+            "QuerySet A varying L: cumulative ms (cumulative sequences scanned)",
+        )
+
+    table = benchmark.pedantic(render, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + table + "\n")
+
+    for l in VARY_L_SERIES:
+        cb_total = sum(s.runtime_ms for s in all_runs[("cb", l)])
+        ii_total = sum(s.runtime_ms for s in all_runs[("ii", l)])
+        # (2) II outperforms CB at every L.
+        assert ii_total < cb_total, l
+    # (1) CB grows with L but stays near-linear (within 3x of the L ratio).
+    l_lo, l_hi = VARY_L_SERIES[0], VARY_L_SERIES[-1]
+    lo = sum(s.runtime_ms for s in all_runs[("cb", l_lo)])
+    hi = sum(s.runtime_ms for s in all_runs[("cb", l_hi)])
+    assert hi > lo  # more events -> more work
+    assert hi / max(lo, 1e-9) < (l_hi / l_lo) * 3

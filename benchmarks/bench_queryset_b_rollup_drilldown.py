@@ -1,0 +1,74 @@
+"""QuerySet B — P-ROLL-UP / P-DRILL-DOWN over a 3-level hierarchy (§5.2).
+
+Paper setup: 100 symbols -> 20 groups -> 5 super-groups (Zipf θ=0.9 at
+both splits); QB1 = (X, Y, Z) at the middle level (precomputed L3);
+QB2 = subcube on the heaviest X + P-DRILL-DOWN X; QB3 = same subcube +
+P-ROLL-UP Y.
+
+Paper's conclusions: (1) on QB2 (an unselective drill-down) CB and II are
+comparable because II must scan many sequences to refine its lists;
+(2) on QB3 II beats CB in all datasets because the answer comes from
+merging lists without scanning.
+"""
+
+import pytest
+
+from repro.bench import comparison_table, run_queryset_b
+from benchmarks.conftest import FIG16_D_SERIES
+
+
+@pytest.fixture(scope="module")
+def runs(synthetic_dbs):
+    out = {}
+    for d, db in synthetic_dbs.items():
+        out[("cb", d)], __ = run_queryset_b(db, "cb")
+        out[("ii", d)], __ = run_queryset_b(db, "ii")
+    return out
+
+
+@pytest.mark.parametrize("d", FIG16_D_SERIES)
+@pytest.mark.parametrize("strategy", ["cb", "ii"])
+def test_queryset_b(benchmark, synthetic_dbs, strategy, d):
+    steps, __ = benchmark.pedantic(
+        run_queryset_b,
+        args=(synthetic_dbs[d], strategy),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["scanned"] = sum(s.sequences_scanned for s in steps)
+
+
+def test_queryset_b_shape(benchmark, runs, capsys):
+    def render():
+        blocks = []
+        for d in FIG16_D_SERIES:
+            cb, ii = runs[("cb", d)], runs[("ii", d)]
+            blocks.append(
+                comparison_table(
+                    [s.label for s in cb],
+                    cb,
+                    ii,
+                    f"QuerySet B, D={d}",
+                )
+            )
+        return "\n\n".join(blocks)
+
+    table = benchmark.pedantic(render, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + table + "\n")
+
+    for d in FIG16_D_SERIES:
+        cb = {s.label: s for s in runs[("cb", d)]}
+        ii = {s.label: s for s in runs[("ii", d)]}
+        rollup = "QB3 (roll-up Y)"
+        drill = "QB2 (drill-down X)"
+        # (2) P-ROLL-UP: II merges lists — zero scans; CB rescans all.
+        assert ii[rollup].sequences_scanned == 0
+        assert cb[rollup].sequences_scanned == d
+        # (1) P-DRILL-DOWN on the heaviest subcube is unselective: II must
+        # scan a large fraction of the dataset (comparable to CB).
+        assert ii[drill].sequences_scanned > 0
+        assert ii[drill].sequences_scanned <= cb[drill].sequences_scanned
+        # cells agree between strategies on every step
+        for label in cb:
+            assert cb[label].cells == ii[label].cells, (d, label)

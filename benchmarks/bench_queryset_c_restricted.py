@@ -1,0 +1,80 @@
+"""QuerySet C — restricted pattern template (X, Y, Y, X) (summarized, §5.2).
+
+The repeated-symbol chain (X, Y) -> (X, Y, Y) -> (X, Y, Y, X) exercises
+the join + verification machinery with symbol-equality constraints.  The
+paper reports the results are "consistent with the discussion in Section
+4.2": II reuses the chain's intermediate indices while CB rescans, and
+P-ROLL-UP by merging would be invalid here (the engine must fall back).
+"""
+
+import pytest
+
+from repro.bench import comparison_table, run_queryset_c
+from repro.core import operations as ops
+from repro.core.inverted_index import rollup_by_merge_is_valid
+from repro.datagen.synthetic import base_spec
+from repro import SOLAPEngine
+
+
+@pytest.fixture(scope="module")
+def runs(synthetic_db_base):
+    cb, __ = run_queryset_c(synthetic_db_base, "cb")
+    ii, __ = run_queryset_c(synthetic_db_base, "ii")
+    return cb, ii
+
+
+@pytest.mark.parametrize("strategy", ["cb", "ii"])
+def test_queryset_c(benchmark, synthetic_db_base, strategy):
+    steps, __ = benchmark.pedantic(
+        run_queryset_c,
+        args=(synthetic_db_base, strategy),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["scanned"] = sum(s.sequences_scanned for s in steps)
+
+
+def test_queryset_c_shape(benchmark, runs, synthetic_db_base, capsys):
+    cb, ii = runs
+
+    def render():
+        return comparison_table(
+            [s.label for s in cb],
+            cb,
+            ii,
+            "QuerySet C: restricted template chain to (X, Y, Y, X)",
+        )
+
+    table = benchmark.pedantic(render, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + table + "\n")
+
+    d = 5000
+    # CB rescans the full dataset thrice.
+    assert sum(s.sequences_scanned for s in cb) == 3 * d
+    # II: precomputed L2 answers QC1 free; the chain reuses joins.
+    assert ii[0].sequences_scanned == 0
+    assert sum(s.sequences_scanned for s in ii) < d
+    # cells agree step by step
+    for a, b in zip(cb, ii):
+        assert a.cells == b.cells, a.label
+
+
+def test_rollup_merge_invalid_for_repeated_symbols(
+    benchmark, synthetic_db_base
+):
+    """The s6 lesson: merging is invalid for (X, Y, Y, X); the engine must
+    fall back and still agree with CB after a P-ROLL-UP."""
+    spec = base_spec(("X", "Y", "Y", "X"))
+    assert not rollup_by_merge_is_valid(spec.template)
+    rolled = ops.p_roll_up(spec, "Y", synthetic_db_base.schema)
+
+    def run_both():
+        engine = SOLAPEngine(synthetic_db_base)
+        engine.execute(spec, "ii")  # warm fine-level indices
+        ii, __ = engine.execute(rolled, "ii")
+        cb, __ = SOLAPEngine(synthetic_db_base).execute(rolled, "cb")
+        return ii, cb
+
+    ii, cb = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert ii.to_dict() == cb.to_dict()

@@ -1,0 +1,78 @@
+"""Subsequence patterns (summarized in §5.2).
+
+The paper states the subsequence-pattern experiments are "consistent with
+the discussion in Section 4.2".  We run the QuerySet A chain with
+SUBSEQUENCE templates on a shorter-sequence dataset (subsequence
+enumeration is combinatorial) and check the same CB-vs-II shape, plus the
+semantic relation substring-matches ⊆ subsequence-matches.
+"""
+
+import pytest
+
+from repro import SOLAPEngine
+from repro.bench import run_queryset_a, series_table
+from repro.core.spec import PatternKind
+from repro.datagen import SyntheticConfig, generate_event_database
+from repro.datagen.synthetic import base_spec
+
+
+@pytest.fixture(scope="module")
+def short_db():
+    return generate_event_database(SyntheticConfig(I=100, L=8, theta=0.9, D=1500))
+
+
+@pytest.fixture(scope="module")
+def runs(short_db):
+    out = {}
+    for strategy in ("cb", "ii"):
+        out[strategy], __ = run_queryset_a(
+            short_db, strategy, n_queries=4, kind=PatternKind.SUBSEQUENCE
+        )
+    return out
+
+
+@pytest.mark.parametrize("strategy", ["cb", "ii"])
+def test_subsequence_chain(benchmark, short_db, strategy):
+    steps, __ = benchmark.pedantic(
+        run_queryset_a,
+        args=(short_db, strategy),
+        kwargs={"n_queries": 4, "kind": PatternKind.SUBSEQUENCE},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["scanned"] = sum(s.sequences_scanned for s in steps)
+
+
+def test_subsequence_shape(benchmark, runs, short_db, capsys):
+    def render():
+        return series_table(
+            {s.upper(): runs[s] for s in ("cb", "ii")},
+            "Subsequence QuerySet A: cumulative ms (cumulative sequences scanned)",
+        )
+
+    table = benchmark.pedantic(render, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + table + "\n")
+
+    # Same qualitative shape as the substring chain.
+    assert runs["ii"][0].sequences_scanned == 0
+    assert sum(s.sequences_scanned for s in runs["ii"]) < 1500
+    assert sum(s.sequences_scanned for s in runs["cb"]) == 4 * 1500
+    for a, b in zip(runs["cb"], runs["ii"]):
+        assert a.cells == b.cells, a.label
+
+
+def test_substring_counts_bounded_by_subsequence(benchmark, short_db):
+    """Every substring occurrence is a subsequence occurrence, so per-cell
+    subsequence counts dominate substring counts."""
+
+    def compute():
+        sub = SOLAPEngine(short_db).execute(base_spec(("X", "Y")), "cb")[0]
+        sup = SOLAPEngine(short_db).execute(
+            base_spec(("X", "Y"), kind=PatternKind.SUBSEQUENCE), "cb"
+        )[0]
+        return sub, sup
+
+    sub, sup = benchmark.pedantic(compute, rounds=1, iterations=1)
+    for (g, cell), values in sub.to_dict().items():
+        assert sup.count(cell, g) >= values["COUNT(*)"]

@@ -1,0 +1,69 @@
+"""Varying domain size I (summarized in §5.2).
+
+A larger symbol domain spreads occurrences over more patterns: the number
+of counters (CB) and inverted lists (II) grows with I.  We reproduce the
+sensitivity sweep and check the structural trends.
+"""
+
+import pytest
+
+from repro import SOLAPEngine, build_index
+from repro.bench import run_queryset_a, series_table
+from repro.datagen.synthetic import base_spec
+from repro.index.registry import base_template
+from benchmarks.conftest import VARY_I_SERIES
+
+
+@pytest.fixture(scope="module")
+def runs(vary_i_dbs):
+    out = {}
+    for i, db in vary_i_dbs.items():
+        out[("cb", i)], __ = run_queryset_a(db, "cb", n_queries=4)
+        out[("ii", i)], __ = run_queryset_a(db, "ii", n_queries=4)
+    return out
+
+
+@pytest.mark.parametrize("i", VARY_I_SERIES)
+@pytest.mark.parametrize("strategy", ["cb", "ii"])
+def test_vary_domain(benchmark, vary_i_dbs, strategy, i):
+    steps, __ = benchmark.pedantic(
+        run_queryset_a,
+        args=(vary_i_dbs[i], strategy),
+        kwargs={"n_queries": 4},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["scanned"] = sum(s.sequences_scanned for s in steps)
+
+
+def test_vary_domain_shape(benchmark, runs, vary_i_dbs, capsys):
+    def render():
+        return series_table(
+            {
+                f"{strategy.upper()} I={i}": runs[(strategy, i)]
+                for strategy in ("cb", "ii")
+                for i in VARY_I_SERIES
+            },
+            "Varying domain size: cumulative ms (cumulative sequences scanned)",
+        )
+
+    table = benchmark.pedantic(render, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + table + "\n")
+
+    lists_by_i = {}
+    for i, db in vary_i_dbs.items():
+        engine = SOLAPEngine(db)
+        spec = base_spec(("X", "Y"))
+        groups = engine.sequence_groups(spec)
+        index = build_index(
+            groups.single_group(), base_template(spec.template), db.schema
+        )
+        lists_by_i[i] = len(index)
+        # II still wins the iterative chain at every domain size.
+        cb_total = sum(s.runtime_ms for s in runs[("cb", i)])
+        ii_total = sum(s.runtime_ms for s in runs[("ii", i)])
+        assert ii_total < cb_total, i
+    sizes = sorted(lists_by_i)
+    # Larger domains produce more inverted lists (sparser cuboids).
+    assert lists_by_i[sizes[0]] < lists_by_i[sizes[-1]]

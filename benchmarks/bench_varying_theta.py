@@ -1,0 +1,65 @@
+"""Varying skew θ (summarized in §5.2).
+
+Higher skew concentrates occurrences on few symbols: fewer, heavier
+cuboid cells and fewer inverted lists.  The paper reports the results are
+consistent with Section 4.2's discussion; here we check that consistency:
+II keeps beating CB on the iterative chain at every skew level, and the
+cell count decreases as θ grows.
+"""
+
+import pytest
+
+from repro import SOLAPEngine
+from repro.bench import run_queryset_a, series_table
+from repro.datagen.synthetic import base_spec
+from benchmarks.conftest import VARY_THETA_SERIES
+
+
+@pytest.fixture(scope="module")
+def runs(vary_theta_dbs):
+    out = {}
+    for theta, db in vary_theta_dbs.items():
+        out[("cb", theta)], __ = run_queryset_a(db, "cb", n_queries=4)
+        out[("ii", theta)], __ = run_queryset_a(db, "ii", n_queries=4)
+    return out
+
+
+@pytest.mark.parametrize("theta", VARY_THETA_SERIES)
+@pytest.mark.parametrize("strategy", ["cb", "ii"])
+def test_vary_theta(benchmark, vary_theta_dbs, strategy, theta):
+    steps, __ = benchmark.pedantic(
+        run_queryset_a,
+        args=(vary_theta_dbs[theta], strategy),
+        kwargs={"n_queries": 4},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["scanned"] = sum(s.sequences_scanned for s in steps)
+
+
+def test_vary_theta_shape(benchmark, runs, vary_theta_dbs, capsys):
+    def render():
+        return series_table(
+            {
+                f"{strategy.upper()} theta={theta}": runs[(strategy, theta)]
+                for strategy in ("cb", "ii")
+                for theta in VARY_THETA_SERIES
+            },
+            "Varying skew: cumulative ms (cumulative sequences scanned)",
+        )
+
+    table = benchmark.pedantic(render, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + table + "\n")
+
+    cells_by_theta = {}
+    for theta, db in vary_theta_dbs.items():
+        cuboid, __ = SOLAPEngine(db).execute(base_spec(("X", "Y")), "cb")
+        cells_by_theta[theta] = len(cuboid)
+        # II wins the chain at every skew.
+        cb_total = sum(s.runtime_ms for s in runs[("cb", theta)])
+        ii_total = sum(s.runtime_ms for s in runs[("ii", theta)])
+        assert ii_total < cb_total, theta
+    thetas = sorted(cells_by_theta)
+    # More skew -> fewer distinct (X, Y) cells.
+    assert cells_by_theta[thetas[0]] > cells_by_theta[thetas[-1]]

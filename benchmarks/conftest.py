@@ -1,0 +1,91 @@
+"""Shared fixtures for the benchmark suite.
+
+Dataset sizes are scaled from the paper's (100k-1M sequences on a C++
+prototype) to pure-Python-friendly sizes; every generator parameter is a
+fixture so a run on larger hardware can scale up by editing one number.
+The qualitative claims (who wins, where, by what shape) are asserted in
+the benchmarks themselves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import (
+    ClickstreamConfig,
+    SyntheticConfig,
+    generate_clickstream,
+    generate_event_database,
+    remove_crawler_sessions,
+)
+
+#: Figure 16's D series, scaled 50x down (paper: 100k / 500k / 1000k).
+FIG16_D_SERIES = (2000, 5000, 10000)
+
+#: QuerySet A (b)'s L series (paper: varying average sequence length).
+VARY_L_SERIES = (10, 20, 40)
+
+#: θ and I series for the summarized sensitivity experiments.
+VARY_THETA_SERIES = (0.5, 0.9, 1.2)
+VARY_I_SERIES = (50, 100, 200)
+
+
+@pytest.fixture(scope="session")
+def synthetic_dbs():
+    """I100.L20.θ0.9.Dx databases for the Figure 16 series."""
+    return {
+        d: generate_event_database(SyntheticConfig(I=100, L=20, theta=0.9, D=d))
+        for d in FIG16_D_SERIES
+    }
+
+
+@pytest.fixture(scope="session")
+def synthetic_db_base(synthetic_dbs):
+    """The middle-size dataset used by single-dataset experiments."""
+    return synthetic_dbs[FIG16_D_SERIES[1]]
+
+
+@pytest.fixture(scope="session")
+def vary_l_dbs():
+    """I100.Lx.θ0.9.D2000 databases for the varying-L experiment."""
+    return {
+        l: generate_event_database(SyntheticConfig(I=100, L=l, theta=0.9, D=2000))
+        for l in VARY_L_SERIES
+    }
+
+
+@pytest.fixture(scope="session")
+def vary_theta_dbs():
+    return {
+        theta: generate_event_database(
+            SyntheticConfig(I=100, L=20, theta=theta, D=2000)
+        )
+        for theta in VARY_THETA_SERIES
+    }
+
+
+@pytest.fixture(scope="session")
+def vary_i_dbs():
+    return {
+        i: generate_event_database(SyntheticConfig(I=i, L=20, theta=0.9, D=2000))
+        for i in VARY_I_SERIES
+    }
+
+
+@pytest.fixture(scope="session")
+def clickstream_db():
+    """The Gazelle-shaped clickstream, crawler-filtered (Section 5.1).
+
+    The transition skew is set so the sliced (Assortment, Legwear) cell
+    holds a few percent of the sessions, matching the paper's selectivity
+    (2,201 of 50,524 ≈ 4.4%).
+    """
+    raw = generate_clickstream(
+        ClickstreamConfig(
+            n_sessions=5000,
+            seed=2000,
+            p_start_assortment=0.18,
+            p_assortment_to_legwear=0.28,
+        )
+    )
+    return remove_crawler_sessions(raw)

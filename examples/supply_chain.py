@@ -1,0 +1,75 @@
+"""Supply-chain RFID analysis: bulky movement, roll-ups, shrinkage.
+
+The paper's introduction names commodity-tracking RFID logs as a
+motivating sequence domain, and its related work highlights their
+defining property: items move in bulk until split at a distribution
+centre.  This example runs the canonical supply-chain queries:
+
+1. two-step movement distribution at reader level — fragmented;
+2. P-ROLL-UP to zone and site level — bulky movement collapses the
+   distribution into a handful of heavy flow cells;
+3. the shrinkage report: items whose last sighting is still in-transit,
+   per zone of disappearance;
+4. a week-over-week diff of the flow cuboid (cuboid diffing).
+
+Run:  python examples/supply_chain.py
+"""
+
+from repro import SOLAPEngine
+from repro.core import operations as ops
+from repro.datagen import (
+    RFIDConfig,
+    generate_rfid,
+    rfid_path_spec,
+    rfid_shrinkage_spec,
+)
+from repro.reports import diff_cuboids
+
+
+def main() -> None:
+    db = generate_rfid(RFIDConfig(n_lots=80, lot_size=12, seed=31))
+    engine = SOLAPEngine(db)
+    print(f"RFID warehouse: {len(db)} read events\n")
+
+    # ---- 1. reader-level flows are fragmented ----------------------------
+    reader_spec = rfid_path_spec("reader")
+    reader_cuboid, stats = engine.execute(reader_spec, "ii")
+    print(
+        f"reader-level flows: {len(reader_cuboid)} cells "
+        f"({stats.summary()})"
+    )
+
+    # ---- 2. roll up: bulky movement collapses the distribution -----------
+    zone_spec = ops.p_roll_up(
+        ops.p_roll_up(reader_spec, "X", db.schema), "Y", db.schema
+    )
+    zone_cuboid, stats = engine.execute(zone_spec, "ii")
+    print(f"zone-level flows:   {len(zone_cuboid)} cells ({stats.summary()})")
+    site_spec = ops.p_roll_up(
+        ops.p_roll_up(zone_spec, "X", db.schema), "Y", db.schema
+    )
+    site_cuboid, stats = engine.execute(site_spec, "ii")
+    print(f"site-level flows:   {len(site_cuboid)} cells ({stats.summary()})\n")
+    print("site-level flow matrix:")
+    print(site_cuboid.tabulate(limit=8))
+    print()
+
+    # ---- 3. shrinkage report ---------------------------------------------
+    shrinkage, __ = engine.execute(rfid_shrinkage_spec(), "cb")
+    print(f"shrinkage: {int(shrinkage.total())} items lost, by last-seen zone:")
+    print(shrinkage.tabulate(limit=6))
+    print()
+
+    # ---- 4. week-over-week diff -------------------------------------------
+    next_week = generate_rfid(RFIDConfig(n_lots=80, lot_size=12, seed=32,
+                                         p_shrinkage=0.12))
+    next_cuboid, __ = SOLAPEngine(next_week).execute(
+        rfid_shrinkage_spec(), "cb"
+    )
+    diff = diff_cuboids(shrinkage, next_cuboid)
+    print("week-over-week shrinkage diff:")
+    print(diff.render(limit=5))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for legacy editable installs (offline environments without
+the ``wheel`` package cannot use PEP 517 editable installs).
+
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

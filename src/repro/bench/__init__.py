@@ -1,0 +1,31 @@
+"""Benchmark support: measurement harness and the paper's workloads."""
+
+from repro.bench.harness import (
+    StepResult,
+    TextTable,
+    comparison_table,
+    cumulative,
+    measure,
+    series_table,
+    shape_check,
+)
+from repro.bench.workloads import (
+    run_clickstream_exploration,
+    run_queryset_a,
+    run_queryset_b,
+    run_queryset_c,
+)
+
+__all__ = [
+    "StepResult",
+    "TextTable",
+    "comparison_table",
+    "cumulative",
+    "measure",
+    "run_clickstream_exploration",
+    "run_queryset_a",
+    "run_queryset_b",
+    "run_queryset_c",
+    "series_table",
+    "shape_check",
+]

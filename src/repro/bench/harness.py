@@ -1,0 +1,150 @@
+"""Benchmark harness: step records and paper-style text tables.
+
+The experiment drivers in :mod:`repro.bench.workloads` produce lists of
+:class:`StepResult`; the helpers here render them in the layouts the paper
+uses — Table 1's per-query CB-vs-II comparison and Figure 16's cumulative
+series with bracketed sequences-scanned annotations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class StepResult:
+    """Measurements for one query of an iterative experiment."""
+
+    label: str
+    strategy: str
+    runtime_ms: float
+    sequences_scanned: int
+    index_bytes_built: int
+    cells: int
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def index_mb(self) -> float:
+        return self.index_bytes_built / 1e6
+
+
+def measure(fn: Callable[[], T]) -> Tuple[T, float]:
+    """Run *fn* once, returning (result, elapsed milliseconds)."""
+    start = time.perf_counter()
+    result = fn()
+    return result, (time.perf_counter() - start) * 1000.0
+
+
+def cumulative(values: Sequence[float]) -> List[float]:
+    out: List[float] = []
+    total = 0.0
+    for value in values:
+        total += value
+        out.append(total)
+    return out
+
+
+class TextTable:
+    """A fixed-width text table (right-aligned numeric cells)."""
+
+    def __init__(self, columns: Sequence[str]):
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add(self, *cells: object) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([_fmt(cell) for cell in cells])
+
+    def render(self, title: str = "") -> str:
+        widths = [
+            max([len(col)] + [len(row[i]) for row in self.rows])
+            for i, col in enumerate(self.columns)
+        ]
+        lines = []
+        if title:
+            lines.append(title)
+            lines.append("=" * max(len(title), 8))
+        lines.append(
+            "  ".join(col.ljust(w) for col, w in zip(self.columns, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def comparison_table(
+    labels: Sequence[str],
+    cb_steps: Sequence[StepResult],
+    ii_steps: Sequence[StepResult],
+    title: str,
+) -> str:
+    """The paper's Table-1 layout: per query, CB and II side by side."""
+    table = TextTable(
+        [
+            "Query",
+            "CB ms",
+            "CB seqs scanned",
+            "II ms",
+            "II seqs scanned",
+            "II MB built",
+        ]
+    )
+    for label, cb, ii in zip(labels, cb_steps, ii_steps):
+        table.add(
+            label,
+            cb.runtime_ms,
+            cb.sequences_scanned,
+            ii.runtime_ms,
+            ii.sequences_scanned,
+            ii.index_mb,
+        )
+    table.add(
+        "TOTAL",
+        sum(s.runtime_ms for s in cb_steps),
+        sum(s.sequences_scanned for s in cb_steps),
+        sum(s.runtime_ms for s in ii_steps),
+        sum(s.sequences_scanned for s in ii_steps),
+        sum(s.index_mb for s in ii_steps),
+    )
+    return table.render(title)
+
+
+def series_table(
+    runs: Dict[str, Sequence[StepResult]],
+    title: str,
+) -> str:
+    """Figure-16 layout: cumulative runtime per query with bracketed
+    cumulative sequences-scanned annotations, one row per strategy/run."""
+    if not runs:
+        return title
+    any_steps = next(iter(runs.values()))
+    table = TextTable(["Run"] + [step.label for step in any_steps])
+    for name, steps in runs.items():
+        cum_ms = cumulative([s.runtime_ms for s in steps])
+        cum_scanned = cumulative([s.sequences_scanned for s in steps])
+        cells = [
+            f"{ms:.1f}ms ({int(scanned)})"
+            for ms, scanned in zip(cum_ms, cum_scanned)
+        ]
+        table.add(name, *cells)
+    return table.render(title)
+
+
+def shape_check(description: str, condition: bool) -> str:
+    """A PASS/FAIL line for the qualitative claims EXPERIMENTS.md records."""
+    flag = "PASS" if condition else "FAIL"
+    return f"[{flag}] {description}"

@@ -1,0 +1,238 @@
+"""Experiment drivers: the paper's query sets over fresh engines.
+
+Each ``run_*`` function executes one of Section 5's iterative workloads
+against a fresh engine with a chosen strategy and returns per-query
+:class:`~repro.bench.harness.StepResult` records:
+
+* **QuerySet A** — a slice + APPEND chain growing the template from
+  (X, Y) to size six (Figure 16);
+* **QuerySet B** — subcube + P-DRILL-DOWN / P-ROLL-UP over a 3-level
+  hierarchy;
+* **QuerySet C** — the restricted template chain ending at (X, Y, Y, X);
+* **Clickstream exploration** — the real-data session Qa → Qb → Qc of
+  Table 1.
+
+Engines are fresh per run so CB and II are measured from identical cold
+states; II runs optionally precompute the paper's base L2 index first
+("three size-two inverted indices at the finest level of abstraction were
+precomputed", Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.harness import StepResult
+from repro.core import operations as ops
+from repro.core.cuboid import SCuboid
+from repro.core.engine import SOLAPEngine
+from repro.core.spec import (
+    CuboidSpec,
+    PatternKind,
+    PatternSymbol,
+    PatternTemplate,
+)
+from repro.core.stats import QueryStats
+from repro.datagen.clickstream import two_step_spec
+from repro.datagen.synthetic import base_spec
+from repro.events.database import EventDatabase
+from repro.index.registry import base_template
+
+#: fresh symbol names used by the APPEND chains (after X, Y)
+_CHAIN_SYMBOLS = ("Z", "A", "B", "C", "D", "E")
+
+
+def _step(
+    engine: SOLAPEngine, spec: CuboidSpec, label: str, strategy: str
+) -> Tuple[SCuboid, StepResult]:
+    cuboid, stats = engine.execute(spec, strategy)
+    return cuboid, StepResult(
+        label=label,
+        strategy=stats.strategy,
+        runtime_ms=stats.runtime_seconds * 1000.0,
+        sequences_scanned=stats.sequences_scanned,
+        index_bytes_built=stats.index_bytes_built,
+        cells=len(cuboid),
+    )
+
+
+def _precompute_l2(engine: SOLAPEngine, spec: CuboidSpec) -> QueryStats:
+    """Precompute the base size-2 index for the spec's leading pair domain."""
+    pair = PatternTemplate.build(
+        spec.template.kind,
+        ("X", "Y"),
+        {
+            "X": (
+                spec.template.symbols[0].attribute,
+                spec.template.symbols[0].level,
+            ),
+            "Y": (
+                spec.template.symbols[0].attribute,
+                spec.template.symbols[0].level,
+            ),
+        },
+    )
+    return engine.precompute(spec, [base_template(pair)])
+
+
+# --------------------------------------------------------------------------
+# QuerySet A (Figure 16): slice + APPEND chain
+# --------------------------------------------------------------------------
+
+
+def run_queryset_a(
+    db: EventDatabase,
+    strategy: str,
+    n_queries: int = 5,
+    level: str = "symbol",
+    precompute: bool = True,
+    kind: PatternKind = PatternKind.SUBSTRING,
+) -> Tuple[List[StepResult], QueryStats]:
+    """QA1..QAn: start at (X, Y); each next query slices the heaviest cell
+    and APPENDs a fresh symbol.  Returns per-step results and the
+    precomputation stats (zero when *precompute* is false or strategy=cb).
+    """
+    engine = SOLAPEngine(db, use_repository=False)
+    spec = base_spec(("X", "Y"), level=level, kind=kind)
+    pre_stats = QueryStats(strategy="precompute")
+    if precompute and strategy == "ii":
+        pre_stats = _precompute_l2(engine, spec)
+    steps: List[StepResult] = []
+    for query_index in range(n_queries):
+        label = f"QA{query_index + 1}"
+        cuboid, result = _step(engine, spec, label, strategy)
+        steps.append(result)
+        if query_index == n_queries - 1:
+            break
+        top = cuboid.argmax()
+        if top is None:
+            break
+        __, cell_key, __unused = top
+        for symbol, value in zip(spec.template.symbols, cell_key):
+            spec = ops.slice_pattern(spec, symbol.name, value)
+        attribute = spec.template.symbols[0].attribute
+        spec = ops.append(spec, _CHAIN_SYMBOLS[query_index], attribute, level)
+    return steps, pre_stats
+
+
+# --------------------------------------------------------------------------
+# QuerySet B: subcube + P-DRILL-DOWN / P-ROLL-UP
+# --------------------------------------------------------------------------
+
+
+def run_queryset_b(
+    db: EventDatabase,
+    strategy: str,
+    mid_level: str = "group",
+    fine_level: str = "symbol",
+    top_level: str = "supergroup",
+    precompute: bool = True,
+) -> Tuple[List[StepResult], QueryStats]:
+    """QB1 = (X, Y, Z) at the middle level; QB2 = subcube on the heaviest X
+    then P-DRILL-DOWN X; QB3 = the same subcube on QB1 then P-ROLL-UP Y."""
+    engine = SOLAPEngine(db, use_repository=False)
+    qb1 = base_spec(("X", "Y", "Z"), level=mid_level)
+    pre_stats = QueryStats(strategy="precompute")
+    if precompute and strategy == "ii":
+        pre_stats = engine.precompute(qb1, [base_template(qb1.template)])
+    steps: List[StepResult] = []
+
+    cuboid1, result1 = _step(engine, qb1, "QB1", strategy)
+    steps.append(result1)
+
+    # Subcube: the X value with the highest total count.
+    totals: Dict[object, int] = {}
+    for __, cell_key, values in cuboid1:
+        totals[cell_key[0]] = totals.get(cell_key[0], 0) + int(
+            values.get("COUNT(*)", 0) or 0
+        )
+    if not totals:
+        return steps, pre_stats
+    top_x = max(sorted(totals, key=repr), key=lambda v: totals[v])
+
+    schema = db.schema
+    qb2 = ops.slice_pattern(qb1, "X", top_x)
+    qb2 = ops.p_drill_down(qb2, "X", schema)
+    __, result2 = _step(engine, qb2, "QB2 (drill-down X)", strategy)
+    steps.append(result2)
+
+    qb3 = ops.slice_pattern(qb1, "X", top_x)
+    qb3 = ops.p_roll_up(qb3, "Y", schema)
+    __, result3 = _step(engine, qb3, "QB3 (roll-up Y)", strategy)
+    steps.append(result3)
+    return steps, pre_stats
+
+
+# --------------------------------------------------------------------------
+# QuerySet C: restricted template (X, Y, Y, X)
+# --------------------------------------------------------------------------
+
+
+def run_queryset_c(
+    db: EventDatabase,
+    strategy: str,
+    level: str = "symbol",
+    precompute: bool = True,
+    kind: PatternKind = PatternKind.SUBSTRING,
+) -> Tuple[List[StepResult], QueryStats]:
+    """QC1 = (X, Y), QC2 = APPEND Y -> (X, Y, Y), QC3 = APPEND X ->
+    (X, Y, Y, X): the repeated-symbol join chain of Section 4.2.2."""
+    engine = SOLAPEngine(db, use_repository=False)
+    spec = base_spec(("X", "Y"), level=level, kind=kind)
+    pre_stats = QueryStats(strategy="precompute")
+    if precompute and strategy == "ii":
+        pre_stats = _precompute_l2(engine, spec)
+    steps: List[StepResult] = []
+    __, result = _step(engine, spec, "QC1 (X,Y)", strategy)
+    steps.append(result)
+    spec = ops.append(spec, "Y")
+    __, result = _step(engine, spec, "QC2 (X,Y,Y)", strategy)
+    steps.append(result)
+    spec = ops.append(spec, "X")
+    __, result = _step(engine, spec, "QC3 (X,Y,Y,X)", strategy)
+    steps.append(result)
+    return steps, pre_stats
+
+
+# --------------------------------------------------------------------------
+# Clickstream exploration (Table 1): Qa -> Qb -> Qc
+# --------------------------------------------------------------------------
+
+
+def run_clickstream_exploration(
+    db: EventDatabase,
+    strategy: str,
+) -> List[StepResult]:
+    """The published Gazelle exploration.
+
+    Qa: two-step page accesses at page-category level.
+    Qb: slice the (Assortment, Legwear) cell, P-DRILL-DOWN Y to raw pages.
+    Qc: APPEND Z (another Legwear page) — comparison shopping.
+
+    No indices are precomputed, matching Table 1's setup ("in this
+    experiment we did not precompute any inverted index in advance").
+    """
+    engine = SOLAPEngine(db, use_repository=False)
+    schema = db.schema
+    steps: List[StepResult] = []
+
+    qa = two_step_spec()
+    __, result = _step(engine, qa, "Qa", strategy)
+    steps.append(result)
+
+    qb = ops.slice_pattern(qa, "X", "Assortment")
+    qb = ops.slice_pattern(qb, "Y", "Legwear")
+    qb = ops.p_drill_down(qb, "Y", schema)
+    __, result = _step(engine, qb, "Qb", strategy)
+    steps.append(result)
+
+    qc = ops.append(qb, "Z", "page", "raw-page")
+    # The appended page must also be Legwear-related (comparison shopping).
+    restricted_z = PatternSymbol(
+        "Z", "page", "raw-page", within=("page-category", "Legwear")
+    )
+    qc = replace(qc, template=qc.template.replace_symbol("Z", restricted_z))
+    __, result = _step(engine, qc, "Qc", strategy)
+    steps.append(result)
+    return steps

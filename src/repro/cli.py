@@ -1,0 +1,214 @@
+"""``solap`` — command-line front end for the S-OLAP library.
+
+Subcommands:
+
+* ``generate`` — produce a self-describing dataset directory from one of
+  the built-in generators (synthetic / transit / clickstream);
+* ``info`` — summarise a dataset (schema, hierarchies, event count);
+* ``query`` — run an S-OLAP query file against a dataset and print the
+  tabulated cuboid plus execution statistics;
+* ``advise`` — recommend which inverted indices to materialise offline
+  for a workload of query files.
+
+Example::
+
+    solap generate transit --out data/transit --cards 300 --days 5
+    solap query data/transit examples/q1.solap --strategy ii --limit 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.engine import SOLAPEngine
+from repro.datagen import (
+    ClickstreamConfig,
+    SyntheticConfig,
+    TransitConfig,
+    generate_clickstream,
+    generate_event_database,
+    generate_transit,
+    remove_crawler_sessions,
+)
+from repro.errors import SOLAPError
+from repro.io import load_dataset, save_cuboid, save_dataset
+from repro.optimizer import advise_for_workload
+from repro.ql import parse_query
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="solap",
+        description="Pattern-based OLAP on sequence data (SIGMOD 2008 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a dataset directory")
+    gen.add_argument(
+        "kind", choices=("synthetic", "transit", "clickstream"),
+        help="which built-in generator to use",
+    )
+    gen.add_argument("--out", required=True, help="output directory")
+    gen.add_argument("--seed", type=int, default=42)
+    gen.add_argument("--sequences", type=int, default=1000,
+                     help="synthetic: D (number of sequences)")
+    gen.add_argument("--length", type=int, default=20,
+                     help="synthetic: L (mean sequence length)")
+    gen.add_argument("--symbols", type=int, default=100,
+                     help="synthetic: I (domain size)")
+    gen.add_argument("--theta", type=float, default=0.9,
+                     help="synthetic: Zipf skew")
+    gen.add_argument("--cards", type=int, default=200, help="transit: cards")
+    gen.add_argument("--days", type=int, default=7, help="transit: days")
+    gen.add_argument("--sessions", type=int, default=5000,
+                     help="clickstream: sessions")
+
+    info = sub.add_parser("info", help="summarise a dataset directory")
+    info.add_argument("dataset", help="dataset directory")
+
+    query = sub.add_parser("query", help="run a query file against a dataset")
+    query.add_argument("dataset", help="dataset directory")
+    query.add_argument("queryfile", help="file containing one S-OLAP query")
+    query.add_argument(
+        "--strategy", choices=("auto", "cb", "ii", "cost"), default="auto"
+    )
+    query.add_argument("--limit", type=int, default=20,
+                       help="rows of the tabulation to print")
+    query.add_argument("--save", help="also write the cuboid as JSON")
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the execution plan instead of running the query",
+    )
+    query.add_argument(
+        "--od-matrix",
+        action="store_true",
+        help="render the result as an origin-destination matrix "
+        "(requires exactly two pattern dimensions)",
+    )
+
+    advise = sub.add_parser(
+        "advise", help="recommend indices to materialise for a workload"
+    )
+    advise.add_argument("dataset", help="dataset directory")
+    advise.add_argument("queryfiles", nargs="+", help="workload query files")
+    advise.add_argument(
+        "--budget-mb", type=float, default=64.0, help="index byte budget"
+    )
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "synthetic":
+        db = generate_event_database(
+            SyntheticConfig(
+                I=args.symbols,
+                L=args.length,
+                theta=args.theta,
+                D=args.sequences,
+                seed=args.seed,
+            )
+        )
+    elif args.kind == "transit":
+        db = generate_transit(
+            TransitConfig(n_cards=args.cards, n_days=args.days, seed=args.seed)
+        )
+    else:
+        db = remove_crawler_sessions(
+            generate_clickstream(
+                ClickstreamConfig(n_sessions=args.sessions, seed=args.seed)
+            )
+        )
+    directory = save_dataset(db, args.out)
+    print(f"wrote {len(db)} events to {directory}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    db = load_dataset(args.dataset)
+    print(f"dataset: {args.dataset}")
+    print(f"events:  {len(db)}")
+    print("dimensions:")
+    for dimension in db.schema.dimensions.values():
+        levels = " -> ".join(dimension.hierarchy.levels)
+        print(f"  {dimension.name}: {levels}")
+    if db.schema.measures:
+        print(f"measures: {', '.join(db.schema.measures)}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    db = load_dataset(args.dataset)
+    text = Path(args.queryfile).read_text()
+    spec = parse_query(text, db.schema)
+    engine = SOLAPEngine(db)
+    if args.explain:
+        from repro.core.explain import explain
+
+        print(explain(engine, spec).render())
+        return 0
+    cuboid, stats = engine.execute(spec, args.strategy)
+    if args.od_matrix:
+        from repro.reports import od_matrix_from_cuboid
+
+        group_keys = cuboid.group_keys() or ((),)
+        for group_key in group_keys:
+            if group_key:
+                print(f"group {group_key}:")
+            print(od_matrix_from_cuboid(cuboid, group_key).render())
+            print()
+    else:
+        print(cuboid.tabulate(limit=args.limit))
+        print()
+    print(stats.summary())
+    if args.save:
+        save_cuboid(cuboid, args.save)
+        print(f"cuboid written to {args.save}")
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    db = load_dataset(args.dataset)
+    workload = [
+        parse_query(Path(path).read_text(), db.schema)
+        for path in args.queryfiles
+    ]
+    engine = SOLAPEngine(db)
+    recommendations = advise_for_workload(
+        engine, workload, byte_budget=int(args.budget_mb * 1024 * 1024)
+    )
+    if not recommendations:
+        print("no indices recommended within the budget")
+        return 0
+    print(f"{len(recommendations)} recommended index(es):")
+    for rec in recommendations:
+        print(f"  {rec}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "info": _cmd_info,
+    "query": _cmd_query,
+    "advise": _cmd_advise,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except SOLAPError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,303 @@
+"""The sequence data cube (S-cube) lattice (Section 3.4).
+
+An S-cube is the lattice of S-cuboids reachable by varying global/pattern
+dimensions and their abstraction levels.  Two properties distinguish it from
+a classical data cube, and both are expressed executably here:
+
+* **Infinity** — APPEND/PREPEND can grow the pattern template without bound,
+  so the full lattice is infinite; :class:`SCube` therefore materialises a
+  *bounded* fragment (up to a maximum template length) and
+  :func:`iter_templates` exposes the unbounded generator.
+* **Non-summarizability** — a coarser S-cuboid cannot generally be computed
+  from finer ones because a sequence may fall into several cells;
+  :func:`detail_summarization_counterexample` reproduces the paper's s3
+  example where DE-TAIL aggregation gives c4 = 2 instead of the true 1.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Sequence as Seq, Tuple
+
+import networkx as nx
+
+from repro.core.spec import CuboidSpec, PatternKind, PatternTemplate
+from repro.events.schema import Schema
+
+AttrLevel = Tuple[str, str]
+
+
+# --------------------------------------------------------------------------
+# Partial order
+# --------------------------------------------------------------------------
+
+
+def _levels_coarser_or_equal(
+    schema: Schema, attribute: str, level_a: str, level_b: str
+) -> bool:
+    hierarchy = schema.hierarchy(attribute)
+    return hierarchy.level_index(level_a) >= hierarchy.level_index(level_b)
+
+
+def global_dims_coarser_or_equal(
+    schema: Schema,
+    dims_a: Seq[AttrLevel],
+    dims_b: Seq[AttrLevel],
+) -> bool:
+    """A's global dims are an (order-preserving) coarsening of a subset of B's."""
+    by_attr_b = {attr: level for attr, level in dims_b}
+    for attr, level_a in dims_a:
+        level_b = by_attr_b.get(attr)
+        if level_b is None:
+            return False
+        if not _levels_coarser_or_equal(schema, attr, level_a, level_b):
+            return False
+    return True
+
+
+def template_coarser_or_equal(
+    schema: Schema, template_a: PatternTemplate, template_b: PatternTemplate
+) -> bool:
+    """A's template is obtainable from B's by DE-HEAD/DE-TAIL and P-ROLL-UPs.
+
+    Concretely: A's position list must be a *contiguous window* of B's with
+    the same symbol-identity structure, and each of A's symbols must sit at
+    a coarser-or-equal level than B's corresponding symbol.
+    """
+    if template_a.kind != template_b.kind:
+        return False
+    la, lb = template_a.length, template_b.length
+    if la > lb:
+        return False
+    ids_a = template_a.symbol_ids()
+    ids_b = template_b.symbol_ids()
+    symbols_a = template_a.position_symbols()
+    symbols_b = template_b.position_symbols()
+    for start in range(lb - la + 1):
+        window = ids_b[start : start + la]
+        # Normalise window symbol identities to first-appearance numbering.
+        remap: Dict[int, int] = {}
+        normalised = []
+        for value in window:
+            remap.setdefault(value, len(remap))
+            normalised.append(remap[value])
+        if tuple(normalised) != ids_a:
+            continue
+        if all(
+            symbol_a.attribute == symbol_b.attribute
+            and _levels_coarser_or_equal(
+                schema, symbol_a.attribute, symbol_a.level, symbol_b.level
+            )
+            for symbol_a, symbol_b in zip(
+                symbols_a, symbols_b[start : start + la]
+            )
+        ):
+            return True
+    return False
+
+
+def spec_coarser_or_equal(
+    schema: Schema, spec_a: CuboidSpec, spec_b: CuboidSpec
+) -> bool:
+    """The S-cuboid partial order: A is at a coarser-or-equal granularity."""
+    if spec_a.pipeline_key()[:3] != spec_b.pipeline_key()[:3]:
+        # WHERE / CLUSTER BY / SEQUENCE BY must agree: the lattice is over
+        # one sequence-formation pipeline.
+        return False
+    return global_dims_coarser_or_equal(
+        schema, spec_a.group_by, spec_b.group_by
+    ) and template_coarser_or_equal(schema, spec_a.template, spec_b.template)
+
+
+# --------------------------------------------------------------------------
+# Template enumeration
+# --------------------------------------------------------------------------
+
+
+def iter_templates(
+    kind: PatternKind,
+    domains: Seq[AttrLevel],
+    max_length: Optional[int] = None,
+    symbol_names: str = "XYZABCDEFGH",
+) -> Iterator[PatternTemplate]:
+    """Enumerate pattern templates over the given symbol domains.
+
+    For each length 1..max_length (unbounded when None — demonstrating the
+    infinite S-cube), yields every symbol-identity shape (set partition of
+    positions) with every assignment of domains to symbols.
+    """
+    length = 1
+    while max_length is None or length <= max_length:
+        for shape in _identity_shapes(length):
+            n_symbols = max(shape) + 1
+            if n_symbols > len(symbol_names):
+                continue
+            for assignment in itertools.product(domains, repeat=n_symbols):
+                names = [symbol_names[i] for i in range(n_symbols)]
+                positions = tuple(names[i] for i in shape)
+                bindings = {
+                    names[i]: assignment[i] for i in range(n_symbols)
+                }
+                yield PatternTemplate.build(kind, positions, bindings)
+        length += 1
+
+
+def _identity_shapes(length: int) -> Iterator[Tuple[int, ...]]:
+    """All canonical symbol-identity patterns of a given length.
+
+    These are restricted-growth strings: position i may reuse any earlier
+    symbol id or introduce the next unused one.
+    """
+
+    def extend(prefix: List[int]) -> Iterator[Tuple[int, ...]]:
+        if len(prefix) == length:
+            yield tuple(prefix)
+            return
+        limit = (max(prefix) + 1 if prefix else 0) + 1
+        for value in range(limit):
+            prefix.append(value)
+            yield from extend(prefix)
+            prefix.pop()
+
+    yield from extend([])
+
+
+# --------------------------------------------------------------------------
+# Bounded lattice materialisation
+# --------------------------------------------------------------------------
+
+
+class SCube:
+    """A bounded fragment of the (infinite) S-cube lattice.
+
+    Given a prototype spec, the pattern-symbol domains to range over and a
+    maximum template length, enumerates every S-cuboid spec in the fragment
+    and exposes the covering lattice as a :mod:`networkx` DiGraph (edges
+    point from finer to coarser cuboids).
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        prototype: CuboidSpec,
+        pattern_domains: Seq[AttrLevel],
+        max_template_length: int = 3,
+        global_level_choices: Optional[Dict[str, Seq[str]]] = None,
+    ):
+        self.schema = schema
+        self.prototype = prototype
+        self.pattern_domains = tuple(pattern_domains)
+        self.max_template_length = max_template_length
+        self.global_level_choices = global_level_choices or {
+            attr: schema.hierarchy(attr).levels for attr, __ in prototype.group_by
+        }
+        self._specs: Optional[List[CuboidSpec]] = None
+
+    def cuboids(self) -> List[CuboidSpec]:
+        """Every spec in the bounded fragment."""
+        if self._specs is not None:
+            return self._specs
+        global_options: List[List[Tuple[AttrLevel, ...]]] = []
+        # Each global dim may be dropped or kept at any allowed level.
+        per_dim: List[List[Optional[AttrLevel]]] = []
+        for attr, __ in self.prototype.group_by:
+            choices: List[Optional[AttrLevel]] = [None]
+            for level in self.global_level_choices.get(attr, ()):
+                choices.append((attr, level))
+            per_dim.append(choices)
+        group_by_options: List[Tuple[AttrLevel, ...]] = []
+        for combo in itertools.product(*per_dim) if per_dim else [()]:
+            group_by_options.append(tuple(c for c in combo if c is not None))
+        specs: List[CuboidSpec] = []
+        for template in iter_templates(
+            self.prototype.template.kind,
+            self.pattern_domains,
+            self.max_template_length,
+        ):
+            for group_by in group_by_options:
+                specs.append(
+                    CuboidSpec(
+                        template=template,
+                        cluster_by=self.prototype.cluster_by,
+                        sequence_by=self.prototype.sequence_by,
+                        group_by=group_by,
+                        where=self.prototype.where,
+                        restriction=self.prototype.restriction,
+                        aggregates=self.prototype.aggregates,
+                    )
+                )
+        self._specs = specs
+        return specs
+
+    def lattice(self) -> "nx.DiGraph":
+        """The covering DAG: an edge A -> B when B is strictly coarser than A
+        with nothing in between."""
+        specs = self.cuboids()
+        graph = nx.DiGraph()
+        for index, spec in enumerate(specs):
+            graph.add_node(index, spec=spec)
+        coarser: Dict[int, List[int]] = {i: [] for i in range(len(specs))}
+        for i, a in enumerate(specs):
+            for j, b in enumerate(specs):
+                if i == j:
+                    continue
+                if spec_coarser_or_equal(self.schema, b, a) and not spec_coarser_or_equal(
+                    self.schema, a, b
+                ):
+                    coarser[i].append(j)
+        for i, ups in coarser.items():
+            ups_set = set(ups)
+            for j in ups:
+                # j covers i unless some k sits strictly between.
+                if any(k in ups_set and j in coarser[k] for k in ups if k != j):
+                    continue
+                graph.add_edge(i, j)
+        return graph
+
+    def __repr__(self) -> str:
+        return (
+            f"SCube(max_length={self.max_template_length}, "
+            f"{len(self.cuboids())} cuboids in fragment)"
+        )
+
+
+# --------------------------------------------------------------------------
+# Non-summarizability
+# --------------------------------------------------------------------------
+
+
+def detail_summarization_counterexample() -> Dict[str, int]:
+    """The paper's s3 example (Section 3.4), returned as named counts.
+
+    One sequence <Pentagon, Wheaton, Pentagon, Wheaton, Glenmont>;
+    SUBSTRING(X, Y, Z) puts it in three cells (c1, c2, c3).  After DE-TAIL
+    to SUBSTRING(X, Y), the true count of [Pentagon, Wheaton] is 1, but
+    aggregating the finer cells whose (X, Y) prefix is (Pentagon, Wheaton)
+    gives c1 + c3 = 2 — proving S-cuboids are non-summarizable.
+    """
+    sequence = ("Pentagon", "Wheaton", "Pentagon", "Wheaton", "Glenmont")
+
+    def substring_cells(pattern_length: int) -> Dict[Tuple[str, ...], int]:
+        cells: Dict[Tuple[str, ...], int] = {}
+        seen: set = set()
+        for start in range(len(sequence) - pattern_length + 1):
+            window = sequence[start : start + pattern_length]
+            if window in seen:
+                continue
+            seen.add(window)
+            cells[window] = cells.get(window, 0) + 1
+        return cells
+
+    fine = substring_cells(3)
+    coarse_true = substring_cells(2)
+    target = ("Pentagon", "Wheaton")
+    aggregated = sum(
+        count for window, count in fine.items() if window[:2] == target
+    )
+    return {
+        "c1": fine.get(("Pentagon", "Wheaton", "Pentagon"), 0),
+        "c2": fine.get(("Wheaton", "Pentagon", "Wheaton"), 0),
+        "c3": fine.get(("Pentagon", "Wheaton", "Glenmont"), 0),
+        "true_c4": coarse_true.get(target, 0),
+        "aggregated_c4": aggregated,
+    }

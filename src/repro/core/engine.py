@@ -1,0 +1,292 @@
+"""The S-OLAP engine (architecture of Figure 6).
+
+The engine owns the event database plus the three auxiliary stores —
+sequence cache, cuboid repository, inverted-index registry — and answers
+:class:`~repro.core.spec.CuboidSpec` queries with either construction
+strategy:
+
+* ``"cb"`` — counter-based full scan (Section 4.2.1),
+* ``"ii"`` — inverted-index join/merge/refine (Section 4.2.2),
+* ``"auto"`` — II when any useful index exists for the template's group
+  set, CB otherwise (a first-cut of the query optimiser the paper leaves
+  as future work).
+
+Every execution returns ``(SCuboid, QueryStats)``; stats carry wall time,
+sequences scanned and index bytes built — the quantities the paper reports.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Tuple
+
+from repro.core.counter_based import counter_based_cuboid
+from repro.core.cuboid import SCuboid
+from repro.core.inverted_index import inverted_index_cuboid, precompute_indices
+from repro.core.repository import CuboidRepository
+from repro.core.spec import CuboidSpec, PatternTemplate
+from repro.core.stats import QueryStats
+from repro.errors import EngineError
+from repro.events.cache import SequenceCache
+from repro.events.database import EventDatabase
+from repro.events.sequence import SequenceGroupSet, build_sequence_groups
+from repro.index.registry import IndexRegistry
+
+STRATEGIES = ("auto", "cb", "ii", "cost")
+
+
+class RegistryView:
+    """Read-only aggregate over the engine's per-pipeline index registries.
+
+    Indices are only valid for the sequence-formation pipeline they were
+    built over (a WHERE clause changes which sequences exist, clustering
+    changes what a sequence *is*), so the engine keeps one
+    :class:`IndexRegistry` per pipeline key.  This view exists for
+    introspection and maintenance across all of them; index lookups that
+    matter for correctness go through :meth:`SOLAPEngine.registry_for`.
+    """
+
+    def __init__(self, registries: dict):
+        self._registries = registries
+
+    def __len__(self) -> int:
+        return sum(len(registry) for registry in self._registries.values())
+
+    def __iter__(self):
+        for registry in self._registries.values():
+            yield from registry
+
+    def total_bytes(self) -> int:
+        return sum(r.total_bytes() for r in self._registries.values())
+
+    def clear(self) -> None:
+        self._registries.clear()
+
+    def find(self, group_key, template, schema):
+        """First hit across pipelines (introspection only)."""
+        for registry in self._registries.values():
+            hit = registry.find(group_key, template, schema)
+            if hit is not None:
+                return hit
+        return None
+
+    def get_exact(self, group_key, template):
+        for registry in self._registries.values():
+            hit = registry.get_exact(group_key, template)
+            if hit is not None:
+                return hit
+        return None
+
+    def longest_prefix(self, group_key, template, schema):
+        best = None
+        for registry in self._registries.values():
+            hit = registry.longest_prefix(group_key, template, schema)
+            if hit is not None and (best is None or hit[0] > best[0]):
+                best = hit
+        return best
+
+    def indices_for_group(self, group_key):
+        out = []
+        for registry in self._registries.values():
+            out.extend(registry.indices_for_group(group_key))
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"RegistryView({len(self)} indices over "
+            f"{len(self._registries)} pipelines)"
+        )
+
+
+class SOLAPEngine:
+    """Query engine over one event database."""
+
+    def __init__(
+        self,
+        db: EventDatabase,
+        sequence_cache_size: int = 16,
+        repository_size: int = 64,
+        use_repository: bool = True,
+    ):
+        self.db = db
+        self.sequence_cache = SequenceCache(sequence_cache_size)
+        self.repository = CuboidRepository(repository_size)
+        #: one IndexRegistry per pipeline key — indices built over one
+        #: sequence formation must never serve another (different WHERE /
+        #: CLUSTER BY produce different sequences under the same group key)
+        self._registries: dict = {}
+        self.use_repository = use_repository
+        self.queries_executed = 0
+        self._profiles: dict = {}
+
+    @property
+    def registry(self) -> RegistryView:
+        """Aggregate, read-only view over all per-pipeline registries."""
+        return RegistryView(self._registries)
+
+    def registry_for(self, spec: CuboidSpec) -> IndexRegistry:
+        """The index registry of *spec*'s sequence-formation pipeline."""
+        key = spec.pipeline_key()
+        registry = self._registries.get(key)
+        if registry is None:
+            registry = IndexRegistry()
+            self._registries[key] = registry
+        return registry
+
+    # ------------------------------------------------------------------
+    # Pipeline steps 1-4, cached
+    # ------------------------------------------------------------------
+    def sequence_groups(
+        self, spec: CuboidSpec, stats: Optional[QueryStats] = None
+    ) -> SequenceGroupSet:
+        """Sequence groups for a spec, served from the sequence cache."""
+        key = spec.pipeline_key()
+        groups = self.sequence_cache.get(key)
+        if groups is not None:
+            if stats is not None:
+                stats.sequence_cache_hit = True
+            return groups
+        groups = build_sequence_groups(
+            self.db, spec.where, spec.cluster_by, spec.sequence_by, spec.group_by
+        )
+        self.sequence_cache.put(key, groups)
+        return groups
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self, spec: CuboidSpec, strategy: str = "auto"
+    ) -> Tuple[SCuboid, QueryStats]:
+        """Answer one S-cuboid query.
+
+        Checks the cuboid repository first (Figure 6's flow); on a miss,
+        builds the cuboid with the selected strategy and stores it.
+        """
+        if strategy not in STRATEGIES:
+            raise EngineError(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+        spec.validate(self.db.schema)
+        stats = QueryStats()
+        start = time.perf_counter()
+        self.queries_executed += 1
+
+        cache_key = spec.cache_key()
+        if self.use_repository:
+            cached = self.repository.get(cache_key)
+            if cached is not None:
+                stats.strategy = "cache"
+                stats.cuboid_cache_hit = True
+                stats.runtime_seconds = time.perf_counter() - start
+                return cached, stats
+
+        groups = self.sequence_groups(spec, stats)
+        if strategy == "auto":
+            strategy = self._choose_strategy(spec, groups)
+        elif strategy == "cost":
+            strategy = self._choose_by_cost(spec, groups, stats)
+        stats.strategy = strategy.upper()
+
+        if spec.min_support is not None:
+            # Iceberg query (HAVING COUNT(*) >= n): route to the iceberg
+            # implementations; the II variant prunes sub-threshold lists
+            # between join steps but cannot bound ALL-MATCHED counts.
+            from repro.core.spec import CellRestriction
+            from repro.extensions.iceberg import (
+                iceberg_counter_based,
+                iceberg_inverted_index,
+            )
+
+            if strategy == "cb" or spec.restriction is CellRestriction.ALL_MATCHED:
+                cuboid = iceberg_counter_based(
+                    self.db, groups, spec, spec.min_support, stats
+                )
+            else:
+                cuboid = iceberg_inverted_index(
+                    self.db, groups, spec, spec.min_support, stats
+                )
+        elif strategy == "cb":
+            cuboid = counter_based_cuboid(self.db, groups, spec, stats)
+        else:
+            cuboid = inverted_index_cuboid(
+                self.db, groups, spec, self.registry_for(spec), stats
+            )
+
+        if self.use_repository:
+            self.repository.put(cache_key, cuboid)
+        stats.runtime_seconds = time.perf_counter() - start
+        return cuboid, stats
+
+    def _choose_strategy(self, spec: CuboidSpec, groups: SequenceGroupSet) -> str:
+        """First-cut optimiser: II when prior index work can be reused."""
+        registry = self.registry_for(spec)
+        for group in groups:
+            hit = registry.longest_prefix(
+                group.key, spec.template, self.db.schema
+            )
+            if hit is not None:
+                return "ii"
+        return "cb"
+
+    def _choose_by_cost(
+        self,
+        spec: CuboidSpec,
+        groups: SequenceGroupSet,
+        stats: QueryStats,
+    ) -> str:
+        """Cost-model-based choice (the §4.2.2 optimisation problem).
+
+        Profiles are cached per pipeline key so repeated queries over the
+        same sequence formation pay the profiling pass only once.
+        """
+        from repro.optimizer.cost_model import CostModel, profile_groups
+
+        key = spec.pipeline_key()
+        profile = self._profiles.get(key)
+        if profile is None:
+            domains = tuple(
+                (symbol.attribute, symbol.level)
+                for symbol in spec.template.symbols
+            )
+            profile = profile_groups(self.db, groups, domains)
+            self._profiles[key] = profile
+        model = CostModel(profile)
+        group_key = next(iter(groups)).key if len(groups) else ()
+        choice, cb, ii = model.choose(
+            spec, self.registry_for(spec), group_key, self.db.schema
+        )
+        stats.extra["cost_cb"] = cb.scan_equivalents
+        stats.extra["cost_ii"] = ii.scan_equivalents
+        return choice
+
+    # ------------------------------------------------------------------
+    # Offline precomputation (experiment setup)
+    # ------------------------------------------------------------------
+    def precompute(
+        self, spec: CuboidSpec, templates: List[PatternTemplate]
+    ) -> QueryStats:
+        """Build base indices for *templates* over the spec's sequence groups.
+
+        Mirrors the experiments' setup step ("three size-two inverted
+        indices at the finest level of abstraction were precomputed").
+        """
+        groups = self.sequence_groups(spec)
+        return precompute_indices(
+            groups, templates, self.db.schema, self.registry_for(spec)
+        )
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def invalidate_caches(self) -> None:
+        """Drop every cache (after base-data mutation)."""
+        self.sequence_cache.clear()
+        self.repository.clear()
+        self.registry.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"SOLAPEngine({len(self.db)} events, {self.queries_executed} queries, "
+            f"{len(self.registry)} indices)"
+        )

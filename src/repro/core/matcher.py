@@ -1,0 +1,425 @@
+"""Pattern matching: occurrences, cell restrictions, matching predicates.
+
+This module implements step 5 of S-cuboid construction (*pattern grouping*,
+Section 3.2).  Given a data sequence and a pattern template it enumerates
+*occurrences* — positions whose level-mapped symbol values instantiate the
+template — and turns them into *cell assignments* under the three cell
+restrictions:
+
+* ``LEFT-MAXIMALITY`` (matched-go): per cell, only the first occurrence that
+  matches the template **and** satisfies the matching predicate is assigned.
+  This makes COUNT a per-cell sequence count and is the semantics both the
+  counter-based and the inverted-index strategies must agree on.
+* ``LEFT-MAXIMALITY-DATA`` (data-go): as above, but the assigned content is
+  the whole data sequence.
+* ``ALL-MATCHED``: every qualifying occurrence is assigned.
+
+Occurrences are enumerated in left-to-right order: contiguous windows for
+``SUBSTRING`` templates, depth-first index selection (lexicographic index
+order) for ``SUBSEQUENCE`` templates.  Subsequence enumeration is
+exponential in the worst case — the paper's prototype shares this property —
+but template lengths in practice are small (≤ 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.spec import (
+    CellRestriction,
+    MatchingPredicate,
+    PatternKind,
+    PatternSymbol,
+    PatternTemplate,
+)
+from repro.errors import MatchLimitExceeded
+from repro.events.expression import BindingContext
+from repro.events.schema import Schema
+from repro.events.sequence import Sequence
+
+#: process-wide default cap on occurrences enumerated per sequence
+#: (None = unlimited).  Subsequence enumeration is combinatorial; set a
+#: cap to fail fast on pathological data instead of hanging.
+_default_occurrence_limit: Optional[int] = None
+
+
+def set_default_occurrence_limit(limit: Optional[int]) -> Optional[int]:
+    """Set the process-wide per-sequence occurrence cap; returns the old one."""
+    global _default_occurrence_limit
+    previous = _default_occurrence_limit
+    _default_occurrence_limit = limit
+    return previous
+
+
+class occurrence_limit:
+    """Context manager scoping the default occurrence cap.
+
+    >>> with occurrence_limit(10_000):
+    ...     engine.execute(spec)
+    """
+
+    def __init__(self, limit: Optional[int]):
+        self.limit = limit
+        self._previous: Optional[int] = None
+
+    def __enter__(self) -> "occurrence_limit":
+        self._previous = set_default_occurrence_limit(self.limit)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        set_default_occurrence_limit(self._previous)
+
+#: An occurrence: the instantiated value at each template position plus the
+#: (0-based, increasing) event positions within the sequence it occupies.
+Occurrence = Tuple[Tuple[object, ...], Tuple[int, ...]]
+
+#: Assigned cell content: the database row indices of the assigned events.
+Content = Tuple[int, ...]
+
+
+def _symbol_value_ok(symbol: PatternSymbol, value: object, schema: Schema) -> bool:
+    """Check a candidate symbol value against fixed / within restrictions."""
+    if symbol.wildcard:
+        return True
+    if symbol.fixed is not None and value != symbol.fixed:
+        return False
+    if symbol.within is not None:
+        ancestor_level, ancestor_value = symbol.within
+        hierarchy = schema.hierarchy(symbol.attribute)
+        # ``value`` is at symbol.level; map a representative base value up.
+        # Levels map from the base, so we need a base value; here we rely on
+        # symbol tuples being computed from base values, hence we re-map via
+        # the hierarchy's children only when level == base.  For non-base
+        # symbol levels we test by comparing the ancestor of the value's
+        # children; in practice within-constraints are produced by
+        # P-DRILL-DOWN, which always lands on a finer level, and the check
+        # below covers the common dict-mapped case.
+        if symbol.level == hierarchy.base_level:
+            return hierarchy.map_value(value, ancestor_level) == ancestor_value
+        children = hierarchy.children(symbol.level, value)
+        if not children:
+            return False
+        return hierarchy.map_value(children[0], ancestor_level) == ancestor_value
+    return True
+
+
+class TemplateMatcher:
+    """Occurrence enumeration and cell assignment for one template.
+
+    A matcher is constructed once per (template, restriction, predicate)
+    triple and reused across sequences; it precomputes per-position symbol
+    metadata so the per-sequence work is a tight loop.
+    """
+
+    def __init__(
+        self,
+        template: PatternTemplate,
+        schema: Schema,
+        restriction: CellRestriction = CellRestriction.LEFT_MAXIMALITY,
+        predicate: Optional[MatchingPredicate] = None,
+        occurrence_cap: Optional[int] = None,
+    ):
+        self.template = template
+        self.schema = schema
+        self.restriction = restriction
+        self.predicate = predicate
+        #: per-sequence enumeration cap (falls back to the process default)
+        self.occurrence_cap = occurrence_cap
+        self._position_symbols = template.position_symbols()
+        self._symbol_ids = template.symbol_ids()
+        self._m = template.length
+        #: number of distinct symbols (wildcards included; binding array size)
+        self._n = len(template.symbols)
+        #: first position at which each symbol appears, in symbol order
+        self._first_position: List[int] = []
+        seen: Dict[int, int] = {}
+        for position, dim in enumerate(self._symbol_ids):
+            if dim not in seen:
+                seen[dim] = position
+                self._first_position.append(position)
+        #: first positions of the *cell* (non-wildcard) dimensions only
+        self._cell_first_positions: List[int] = [
+            self._first_position[dim]
+            for dim, symbol in enumerate(template.symbols)
+            if not symbol.wildcard
+        ]
+
+    # ------------------------------------------------------------------
+    # Symbol extraction
+    # ------------------------------------------------------------------
+    def symbol_tuples(self, sequence: Sequence) -> List[Tuple[object, ...]]:
+        """Level-mapped symbol values per template position for *sequence*.
+
+        Wildcard positions yield ``None`` everywhere: they bind no value,
+        so every comparison against them is vacuous by construction.
+        """
+        none_row: Optional[Tuple[object, ...]] = None
+        rows: List[Tuple[object, ...]] = []
+        for symbol in self._position_symbols:
+            if symbol.wildcard:
+                if none_row is None:
+                    none_row = (None,) * len(sequence)
+                rows.append(none_row)
+            else:
+                rows.append(sequence.symbols(symbol.attribute, symbol.level))
+        return rows
+
+    # ------------------------------------------------------------------
+    # Occurrence enumeration
+    # ------------------------------------------------------------------
+    def iter_occurrences(self, sequence: Sequence) -> Iterator[Occurrence]:
+        """All template occurrences in *sequence*, in left-to-right order.
+
+        An occurrence satisfies symbol-equality (repeated symbols bind the
+        same value) and every symbol restriction (fixed / within), but is
+        **not** yet checked against the matching predicate.
+        """
+        if len(sequence) < self._m:
+            return
+        if self.template.kind is PatternKind.SUBSTRING:
+            source = self._iter_substring(sequence)
+        else:
+            source = self._iter_subsequence(sequence)
+        cap = (
+            self.occurrence_cap
+            if self.occurrence_cap is not None
+            else _default_occurrence_limit
+        )
+        if cap is None:
+            yield from source
+            return
+        count = 0
+        for occurrence in source:
+            count += 1
+            if count > cap:
+                raise MatchLimitExceeded(
+                    f"sequence sid={sequence.sid} exceeded the occurrence cap "
+                    f"of {cap} for template {self.template.positions} "
+                    f"({self.template.kind.value}); raise the cap or use a "
+                    "more selective template"
+                )
+            yield occurrence
+
+    def _iter_substring(self, sequence: Sequence) -> Iterator[Occurrence]:
+        symbol_tuples = self.symbol_tuples(sequence)
+        m = self._m
+        n_events = len(sequence)
+        position_symbols = self._position_symbols
+        symbol_ids = self._symbol_ids
+        schema = self.schema
+        for start in range(n_events - m + 1):
+            bound: List[object] = [None] * self._n
+            bound_set = [False] * self._n
+            ok = True
+            for offset in range(m):
+                value = symbol_tuples[offset][start + offset]
+                dim = symbol_ids[offset]
+                if bound_set[dim]:
+                    if bound[dim] != value:
+                        ok = False
+                        break
+                else:
+                    if not _symbol_value_ok(position_symbols[offset], value, schema):
+                        ok = False
+                        break
+                    bound[dim] = value
+                    bound_set[dim] = True
+            if ok:
+                values = tuple(
+                    symbol_tuples[offset][start + offset] for offset in range(m)
+                )
+                yield values, tuple(range(start, start + m))
+
+    def _iter_subsequence(self, sequence: Sequence) -> Iterator[Occurrence]:
+        symbol_tuples = self.symbol_tuples(sequence)
+        m = self._m
+        n_events = len(sequence)
+        symbol_ids = self._symbol_ids
+        position_symbols = self._position_symbols
+        schema = self.schema
+        indices: List[int] = [0] * m
+        values: List[object] = [None] * m
+
+        def extend(offset: int, start: int) -> Iterator[Occurrence]:
+            if offset == m:
+                yield tuple(values), tuple(indices)
+                return
+            # Prune: not enough events left for the remaining positions.
+            for index in range(start, n_events - (m - offset - 1)):
+                value = symbol_tuples[offset][index]
+                dim = symbol_ids[offset]
+                earlier = self._first_occurrence_offset(offset, dim)
+                if earlier is not None:
+                    if values[earlier] != value:
+                        continue
+                elif not _symbol_value_ok(position_symbols[offset], value, schema):
+                    continue
+                indices[offset] = index
+                values[offset] = value
+                yield from extend(offset + 1, index + 1)
+
+        yield from extend(0, 0)
+
+    def _first_occurrence_offset(self, offset: int, dim: int) -> Optional[int]:
+        """The earlier position binding *dim*, or None if *offset* is first."""
+        first = self._first_position[dim]
+        return first if first < offset else None
+
+    # ------------------------------------------------------------------
+    # Predicate evaluation
+    # ------------------------------------------------------------------
+    def occurrence_qualifies(self, sequence: Sequence, occurrence: Occurrence) -> bool:
+        """Evaluate the matching predicate over the occurrence's events."""
+        if self.predicate is None:
+            return True
+        __, indices = occurrence
+        bindings = {
+            placeholder: sequence.event(index)
+            for placeholder, index in zip(self.predicate.placeholders, indices)
+        }
+        return self.predicate.expr.evaluate(BindingContext(bindings))
+
+    # ------------------------------------------------------------------
+    # Cell keys
+    # ------------------------------------------------------------------
+    def cell_key(self, values: Tuple[object, ...]) -> Tuple[object, ...]:
+        """Pattern-dimension key (n values) from per-position values (m).
+
+        Wildcard positions carry no dimension and are dropped.
+        """
+        return tuple(values[position] for position in self._cell_first_positions)
+
+    def positions_key(self, cell_key: Tuple[object, ...]) -> Tuple[object, ...]:
+        """Per-position values (m) from a pattern-dimension key (n).
+
+        Wildcard positions reconstruct as ``None`` — exactly the value the
+        matcher records for them, so keys round-trip.
+        """
+        dim_to_cell: Dict[int, int] = {}
+        for dim, symbol in enumerate(self.template.symbols):
+            if not symbol.wildcard:
+                dim_to_cell[dim] = len(dim_to_cell)
+        return tuple(
+            None
+            if self.template.symbols[dim].wildcard
+            else cell_key[dim_to_cell[dim]]
+            for dim in self._symbol_ids
+        )
+
+    # ------------------------------------------------------------------
+    # Cell assignment under a restriction
+    # ------------------------------------------------------------------
+    def assignments(self, sequence: Sequence) -> Dict[Tuple[object, ...], List[Content]]:
+        """Cell → assigned contents for *sequence* under the restriction.
+
+        Keys are pattern-dimension tuples (length n); values are lists of
+        assigned contents (database row tuples).  Under left-maximality the
+        list has exactly one entry per cell.
+        """
+        result: Dict[Tuple[object, ...], List[Content]] = {}
+        all_matched = self.restriction is CellRestriction.ALL_MATCHED
+        data_go = self.restriction is CellRestriction.LEFT_MAXIMALITY_DATA
+        for values, indices in self.iter_occurrences(sequence):
+            key = self.cell_key(values)
+            if not all_matched and key in result:
+                continue
+            if not self.occurrence_qualifies(sequence, (values, indices)):
+                continue
+            if data_go:
+                content: Content = tuple(sequence.rows)
+            else:
+                content = tuple(sequence.rows[index] for index in indices)
+            result.setdefault(key, []).append(content)
+        return result
+
+    def matched_cells(self, sequence: Sequence) -> List[Tuple[object, ...]]:
+        """Distinct cell keys with at least one qualifying occurrence."""
+        return list(self.assignments(sequence))
+
+    # ------------------------------------------------------------------
+    # Per-cell queries (used by the inverted-index strategy)
+    # ------------------------------------------------------------------
+    def contains_instantiation(
+        self, sequence: Sequence, position_values: Tuple[object, ...]
+    ) -> bool:
+        """Template-only containment of a *specific* instantiation.
+
+        Used by the join-verification step: the predicate is deliberately
+        not applied here (the paper verifies σ and ρ only at counting time).
+        """
+        return self._first_pattern_occurrence(sequence, position_values) is not None
+
+    def cell_contents(
+        self, sequence: Sequence, position_values: Tuple[object, ...]
+    ) -> List[Content]:
+        """Assigned contents of *sequence* for one specific cell.
+
+        Applies the matching predicate and the cell restriction, exactly as
+        :meth:`assignments` does, but only for the given instantiation.
+        """
+        contents: List[Content] = []
+        all_matched = self.restriction is CellRestriction.ALL_MATCHED
+        data_go = self.restriction is CellRestriction.LEFT_MAXIMALITY_DATA
+        for occurrence in self._iter_pattern_occurrences(sequence, position_values):
+            if not self.occurrence_qualifies(sequence, occurrence):
+                continue
+            __, indices = occurrence
+            if data_go:
+                contents.append(tuple(sequence.rows))
+            else:
+                contents.append(tuple(sequence.rows[i] for i in indices))
+            if not all_matched:
+                break
+        return contents
+
+    def _iter_pattern_occurrences(
+        self, sequence: Sequence, position_values: Tuple[object, ...]
+    ) -> Iterator[Occurrence]:
+        """Occurrences of one fixed instantiation, left-to-right."""
+        if len(sequence) < self._m:
+            return
+        symbol_tuples = self.symbol_tuples(sequence)
+        m = self._m
+        n_events = len(sequence)
+        if self.template.kind is PatternKind.SUBSTRING:
+            for start in range(n_events - m + 1):
+                if all(
+                    symbol_tuples[offset][start + offset] == position_values[offset]
+                    for offset in range(m)
+                ):
+                    yield position_values, tuple(range(start, start + m))
+            return
+
+        indices: List[int] = [0] * m
+
+        def extend(offset: int, start: int) -> Iterator[Occurrence]:
+            if offset == m:
+                yield position_values, tuple(indices)
+                return
+            for index in range(start, n_events - (m - offset - 1)):
+                if symbol_tuples[offset][index] != position_values[offset]:
+                    continue
+                indices[offset] = index
+                yield from extend(offset + 1, index + 1)
+
+        yield from extend(0, 0)
+
+    def _first_pattern_occurrence(
+        self, sequence: Sequence, position_values: Tuple[object, ...]
+    ) -> Optional[Occurrence]:
+        for occurrence in self._iter_pattern_occurrences(sequence, position_values):
+            return occurrence
+        return None
+
+    # ------------------------------------------------------------------
+    # Index support: unique instantiations (BuildIndex, Figure 9, line 4)
+    # ------------------------------------------------------------------
+    def unique_instantiations(self, sequence: Sequence) -> List[Tuple[object, ...]]:
+        """Distinct per-position value tuples of template occurrences.
+
+        This is the BuildIndex enumeration: template-only (no σ, no ρ).
+        """
+        seen: Dict[Tuple[object, ...], None] = {}
+        for values, __ in self.iter_occurrences(sequence):
+            seen.setdefault(values, None)
+        return list(seen)

@@ -1,0 +1,452 @@
+"""The S-OLAP operations (Section 3.3) as pure spec transformations.
+
+Pattern operations:
+
+* :func:`append` / :func:`prepend` — add a symbol at the tail / head of the
+  pattern template (growing the S-cuboid's dimensionality when the symbol
+  is new);
+* :func:`de_tail` / :func:`de_head` — remove the tail / head symbol;
+* :func:`p_roll_up` / :func:`p_drill_down` — move one pattern dimension a
+  level up / down its concept hierarchy.
+
+Classical operations on global dimensions:
+
+* :func:`roll_up_global` / :func:`drill_down_global` — change a global
+  dimension's abstraction level;
+* :func:`slice_global` / :func:`dice_global` — fix a global dimension to
+  one value / a value set;
+* :func:`slice_pattern` (the paper's slice-on-a-cell / subcube selection) —
+  fix a pattern dimension to one value.
+
+All functions return a new :class:`CuboidSpec`; the originals are never
+mutated, so a navigation session is a pure chain of specs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Tuple
+
+from repro.core.spec import (
+    CuboidSpec,
+    MatchingPredicate,
+    PatternSymbol,
+    PatternTemplate,
+)
+from repro.errors import OperationError
+from repro.events.expression import And, Expr, TruePredicate, conjoin
+from repro.events.schema import Schema
+
+
+def _auto_placeholder(existing: Tuple[str, ...]) -> str:
+    """A fresh placeholder name not colliding with existing ones."""
+    i = len(existing) + 1
+    while f"p{i}" in existing:
+        i += 1
+    return f"p{i}"
+
+
+def _extend_predicate(
+    predicate: Optional[MatchingPredicate],
+    length: int,
+    at_end: bool,
+    placeholder: Optional[str],
+    extra: Optional[Expr],
+) -> Optional[MatchingPredicate]:
+    """Grow a matching predicate's placeholder list by one position."""
+    if predicate is None:
+        if extra is None:
+            return None
+        # Synthesise placeholders for the whole (already grown) template;
+        # the new position takes the caller-supplied name so that *extra*
+        # can reference it.
+        body = tuple(f"p{i + 1}" for i in range(length - 1))
+        new_name = placeholder or _auto_placeholder(body)
+        placeholders = body + (new_name,) if at_end else (new_name,) + body
+        unknown = set(extra.placeholders()) - set(placeholders)
+        if unknown:
+            raise OperationError(
+                f"extra predicate references unknown placeholders {sorted(unknown)}"
+            )
+        return MatchingPredicate(placeholders, extra)
+    new_name = placeholder or _auto_placeholder(predicate.placeholders)
+    if new_name in predicate.placeholders:
+        raise OperationError(f"placeholder {new_name!r} already in use")
+    if at_end:
+        placeholders = predicate.placeholders + (new_name,)
+    else:
+        placeholders = (new_name,) + predicate.placeholders
+    expr = predicate.expr if extra is None else conjoin(predicate.expr, extra)
+    return MatchingPredicate(placeholders, expr)
+
+
+def _shrink_predicate(
+    predicate: Optional[MatchingPredicate], at_end: bool
+) -> Optional[MatchingPredicate]:
+    """Drop the tail/head placeholder, pruning conjuncts that reference it.
+
+    Pruning only succeeds when the expression is a flat conjunction (or a
+    single term); anything more entangled raises, because silently changing
+    predicate semantics would corrupt results.
+    """
+    if predicate is None:
+        return None
+    dropped = predicate.placeholders[-1] if at_end else predicate.placeholders[0]
+    placeholders = (
+        predicate.placeholders[:-1] if at_end else predicate.placeholders[1:]
+    )
+    expr = predicate.expr
+    if dropped not in expr.placeholders():
+        return MatchingPredicate(placeholders, expr)
+    terms = expr.terms if isinstance(expr, And) else (expr,)
+    kept = tuple(t for t in terms if dropped not in t.placeholders())
+    if any(
+        dropped in t.placeholders() and len(set(t.placeholders())) > 1
+        for t in terms
+    ):
+        raise OperationError(
+            f"cannot drop placeholder {dropped!r}: it is entangled with other "
+            "placeholders in the matching predicate"
+        )
+    if isinstance(expr, And) or len(terms) == 1:
+        if not kept:
+            return MatchingPredicate(placeholders, TruePredicate())
+        return MatchingPredicate(placeholders, conjoin(*kept))
+    raise OperationError(
+        f"cannot automatically prune predicate terms referencing {dropped!r}"
+    )
+
+
+# --------------------------------------------------------------------------
+# Pattern-length operations
+# --------------------------------------------------------------------------
+
+
+def _grow(
+    spec: CuboidSpec,
+    symbol: str,
+    attribute: Optional[str],
+    level: Optional[str],
+    at_end: bool,
+    placeholder: Optional[str],
+    extra_predicate: Optional[Expr],
+    wildcard: bool = False,
+) -> CuboidSpec:
+    template = spec.template
+    known = {s.name for s in template.symbols}
+    if symbol in known:
+        if wildcard or template.symbol(symbol).wildcard:
+            raise OperationError(
+                f"wildcard symbol {symbol!r} cannot repeat; add a new one"
+            )
+        if attribute is not None or level is not None:
+            existing = template.symbol(symbol)
+            if (attribute or existing.attribute) != existing.attribute or (
+                level or existing.level
+            ) != existing.level:
+                raise OperationError(
+                    f"symbol {symbol!r} already bound to "
+                    f"{existing.attribute}@{existing.level}"
+                )
+        symbols = template.symbols
+    elif wildcard:
+        symbols = template.symbols + (PatternSymbol.any(symbol),)
+    else:
+        if attribute is None or level is None:
+            raise OperationError(
+                f"new symbol {symbol!r} requires attribute and level"
+            )
+        new = PatternSymbol(symbol, attribute, level)
+        symbols = template.symbols + (new,)
+    positions = (
+        template.positions + (symbol,) if at_end else (symbol,) + template.positions
+    )
+    # Re-derive first-appearance symbol order (PREPEND can change it).
+    order: list = []
+    for name in positions:
+        if name not in order:
+            order.append(name)
+    by_name = {s.name: s for s in symbols}
+    new_template = PatternTemplate(
+        kind=template.kind,
+        positions=positions,
+        symbols=tuple(by_name[name] for name in order),
+    )
+    predicate = _extend_predicate(
+        spec.predicate, new_template.length, at_end, placeholder, extra_predicate
+    )
+    return replace(spec, template=new_template, predicate=predicate)
+
+
+def append(
+    spec: CuboidSpec,
+    symbol: str,
+    attribute: Optional[str] = None,
+    level: Optional[str] = None,
+    placeholder: Optional[str] = None,
+    extra_predicate: Optional[Expr] = None,
+) -> CuboidSpec:
+    """APPEND: add *symbol* to the end of the pattern template.
+
+    An unknown symbol needs its (attribute, level) domain and becomes a new
+    pattern dimension; a known symbol just repeats.  The matching
+    predicate, if any, gains one placeholder (optionally named) and may be
+    strengthened with *extra_predicate*.
+    """
+    return _grow(spec, symbol, attribute, level, True, placeholder, extra_predicate)
+
+
+def prepend(
+    spec: CuboidSpec,
+    symbol: str,
+    attribute: Optional[str] = None,
+    level: Optional[str] = None,
+    placeholder: Optional[str] = None,
+    extra_predicate: Optional[Expr] = None,
+) -> CuboidSpec:
+    """PREPEND: add *symbol* to the front of the pattern template."""
+    return _grow(spec, symbol, attribute, level, False, placeholder, extra_predicate)
+
+
+def _fresh_wildcard_name(spec: CuboidSpec) -> str:
+    existing = {s.name for s in spec.template.symbols}
+    index = 1
+    while f"_w{index}" in existing:
+        index += 1
+    return f"_w{index}"
+
+
+def append_wildcard(
+    spec: CuboidSpec,
+    name: Optional[str] = None,
+    placeholder: Optional[str] = None,
+    extra_predicate: Optional[Expr] = None,
+) -> CuboidSpec:
+    """APPEND an ANY position: matches any event, adds no cuboid dimension.
+
+    The wildcard's placeholder can still be constrained through
+    *extra_predicate* (e.g. the appended event must be a logout click).
+    """
+    return _grow(
+        spec,
+        name or _fresh_wildcard_name(spec),
+        None,
+        None,
+        True,
+        placeholder,
+        extra_predicate,
+        wildcard=True,
+    )
+
+
+def prepend_wildcard(
+    spec: CuboidSpec,
+    name: Optional[str] = None,
+    placeholder: Optional[str] = None,
+    extra_predicate: Optional[Expr] = None,
+) -> CuboidSpec:
+    """PREPEND an ANY position (see :func:`append_wildcard`)."""
+    return _grow(
+        spec,
+        name or _fresh_wildcard_name(spec),
+        None,
+        None,
+        False,
+        placeholder,
+        extra_predicate,
+        wildcard=True,
+    )
+
+
+def _shrink(spec: CuboidSpec, at_end: bool) -> CuboidSpec:
+    template = spec.template
+    if template.length == 1:
+        raise OperationError("cannot shrink a length-1 pattern template")
+    positions = template.positions[:-1] if at_end else template.positions[1:]
+    order: list = []
+    for name in positions:
+        if name not in order:
+            order.append(name)
+    by_name = {s.name: s for s in template.symbols}
+    new_template = PatternTemplate(
+        kind=template.kind,
+        positions=positions,
+        symbols=tuple(by_name[name] for name in order),
+    )
+    predicate = _shrink_predicate(spec.predicate, at_end)
+    if predicate is not None and isinstance(predicate.expr, TruePredicate):
+        predicate = MatchingPredicate(predicate.placeholders, TruePredicate())
+    return replace(spec, template=new_template, predicate=predicate)
+
+
+def de_tail(spec: CuboidSpec) -> CuboidSpec:
+    """DE-TAIL: remove the last symbol of the pattern template."""
+    return _shrink(spec, at_end=True)
+
+
+def de_head(spec: CuboidSpec) -> CuboidSpec:
+    """DE-HEAD: remove the first symbol of the pattern template."""
+    return _shrink(spec, at_end=False)
+
+
+# --------------------------------------------------------------------------
+# Pattern-level operations
+# --------------------------------------------------------------------------
+
+
+def p_roll_up(spec: CuboidSpec, symbol: str, schema: Schema) -> CuboidSpec:
+    """P-ROLL-UP: move pattern dimension *symbol* one level up its hierarchy."""
+    current = spec.template.symbol(symbol)
+    if current.wildcard:
+        raise OperationError(f"wildcard {symbol!r} has no abstraction levels")
+    hierarchy = schema.hierarchy(current.attribute)
+    coarser = hierarchy.coarser_level(current.level)
+    if coarser is None:
+        raise OperationError(
+            f"symbol {symbol!r} is already at the top level "
+            f"{current.level!r} of {current.attribute!r}"
+        )
+    fixed = None
+    within = None
+    if current.fixed is not None:
+        fixed = hierarchy.translate(current.fixed, current.level, coarser)
+    elif current.within is not None:
+        anchor_level, anchor_value = current.within
+        if anchor_level == coarser:
+            fixed = anchor_value
+        elif hierarchy.is_coarser(anchor_level, coarser):
+            within = current.within
+    new_symbol = PatternSymbol(symbol, current.attribute, coarser, fixed, within)
+    return replace(spec, template=spec.template.replace_symbol(symbol, new_symbol))
+
+
+def p_drill_down(spec: CuboidSpec, symbol: str, schema: Schema) -> CuboidSpec:
+    """P-DRILL-DOWN: move pattern dimension *symbol* one level down.
+
+    A sliced (fixed) symbol turns into an ancestor constraint: the finer
+    values must roll up to the sliced value — e.g. slicing Y to "Legwear"
+    at page-category and drilling down makes Y range over the Legwear raw
+    pages (the paper's Qb).
+    """
+    current = spec.template.symbol(symbol)
+    if current.wildcard:
+        raise OperationError(f"wildcard {symbol!r} has no abstraction levels")
+    hierarchy = schema.hierarchy(current.attribute)
+    finer = hierarchy.finer_level(current.level)
+    if finer is None:
+        raise OperationError(
+            f"symbol {symbol!r} is already at the base level "
+            f"{current.level!r} of {current.attribute!r}"
+        )
+    fixed = None
+    within = current.within
+    if current.fixed is not None:
+        within = (current.level, current.fixed)
+    new_symbol = PatternSymbol(symbol, current.attribute, finer, fixed, within)
+    return replace(spec, template=spec.template.replace_symbol(symbol, new_symbol))
+
+
+def slice_pattern(spec: CuboidSpec, symbol: str, value: object) -> CuboidSpec:
+    """Slice on a pattern dimension: fix *symbol* to *value* (subcube select)."""
+    current = spec.template.symbol(symbol)
+    if current.wildcard:
+        raise OperationError(f"wildcard {symbol!r} cannot be sliced")
+    new_symbol = PatternSymbol(
+        symbol, current.attribute, current.level, fixed=value, within=None
+    )
+    return replace(spec, template=spec.template.replace_symbol(symbol, new_symbol))
+
+
+def unslice_pattern(spec: CuboidSpec, symbol: str) -> CuboidSpec:
+    """Remove a pattern-dimension slice (and any ancestor constraint)."""
+    current = spec.template.symbol(symbol)
+    new_symbol = PatternSymbol(symbol, current.attribute, current.level)
+    return replace(spec, template=spec.template.replace_symbol(symbol, new_symbol))
+
+
+# --------------------------------------------------------------------------
+# Global-dimension operations
+# --------------------------------------------------------------------------
+
+
+def _global_index(spec: CuboidSpec, attribute: str) -> int:
+    for index, (attr, __) in enumerate(spec.group_by):
+        if attr == attribute:
+            return index
+    raise OperationError(f"{attribute!r} is not a global dimension")
+
+
+def roll_up_global(spec: CuboidSpec, attribute: str, schema: Schema) -> CuboidSpec:
+    """Roll-up: move global dimension *attribute* one level up."""
+    index = _global_index(spec, attribute)
+    attr, level = spec.group_by[index]
+    hierarchy = schema.hierarchy(attr)
+    coarser = hierarchy.coarser_level(level)
+    if coarser is None:
+        raise OperationError(f"{attribute!r} already at top level {level!r}")
+    group_by = tuple(
+        (attr, coarser) if i == index else pair
+        for i, pair in enumerate(spec.group_by)
+    )
+    global_slice = []
+    for slice_index, value in spec.global_slice:
+        if slice_index == index:
+            if isinstance(value, tuple):
+                value = tuple(
+                    hierarchy.translate(v, level, coarser) for v in value
+                )
+            else:
+                value = hierarchy.translate(value, level, coarser)
+        global_slice.append((slice_index, value))
+    return replace(spec, group_by=group_by, global_slice=tuple(global_slice))
+
+
+def drill_down_global(spec: CuboidSpec, attribute: str, schema: Schema) -> CuboidSpec:
+    """Drill-down: move global dimension *attribute* one level down.
+
+    A slice on that dimension cannot be refined automatically and raises;
+    remove the slice first.
+    """
+    index = _global_index(spec, attribute)
+    attr, level = spec.group_by[index]
+    hierarchy = schema.hierarchy(attr)
+    finer = hierarchy.finer_level(level)
+    if finer is None:
+        raise OperationError(f"{attribute!r} already at base level {level!r}")
+    if any(slice_index == index for slice_index, __ in spec.global_slice):
+        raise OperationError(
+            f"global dimension {attribute!r} is sliced; remove the slice "
+            "before drilling down"
+        )
+    group_by = tuple(
+        (attr, finer) if i == index else pair
+        for i, pair in enumerate(spec.group_by)
+    )
+    return replace(spec, group_by=group_by)
+
+
+def slice_global(spec: CuboidSpec, attribute: str, value: object) -> CuboidSpec:
+    """Slice: keep only sequence groups whose *attribute* equals *value*."""
+    index = _global_index(spec, attribute)
+    others = tuple(
+        (i, v) for i, v in spec.global_slice if i != index
+    )
+    return replace(spec, global_slice=others + ((index, value),))
+
+
+def dice_global(
+    spec: CuboidSpec, attribute: str, values: Tuple[object, ...]
+) -> CuboidSpec:
+    """Dice: keep sequence groups whose *attribute* is in *values*."""
+    index = _global_index(spec, attribute)
+    others = tuple((i, v) for i, v in spec.global_slice if i != index)
+    return replace(spec, global_slice=others + ((index, tuple(values)),))
+
+
+def unslice_global(spec: CuboidSpec, attribute: str) -> CuboidSpec:
+    """Remove a slice/dice on a global dimension."""
+    index = _global_index(spec, attribute)
+    return replace(
+        spec,
+        global_slice=tuple((i, v) for i, v in spec.global_slice if i != index),
+    )

@@ -1,0 +1,87 @@
+"""Cuboid repository (Figure 6): an LRU cache of computed S-cuboids.
+
+The paper notes that with limited storage the repository "could be
+implemented as a cache with an appropriate replacement policy such as LRU";
+this is that implementation, with both an entry-count bound and an
+approximate byte budget.  A hit lets DE-TAIL / DE-HEAD (and any repeated
+query) return instantly — Section 4.2.2's ``Qc`` example.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+from repro.core.cuboid import SCuboid
+
+
+def estimate_cuboid_bytes(cuboid: SCuboid) -> int:
+    """Rough footprint: key cells + one aggregate dict per non-empty cell."""
+    dims = len(cuboid.spec.group_by) + cuboid.spec.template.n_dims
+    per_cell = 96 + 8 * dims + 48 * len(cuboid.spec.aggregates)
+    return per_cell * len(cuboid)
+
+
+class CuboidRepository:
+    """Bounded LRU store of S-cuboids keyed by spec cache keys."""
+
+    def __init__(self, capacity: int = 64, byte_budget: int = 256 * 1024 * 1024):
+        if capacity < 1:
+            raise ValueError("repository capacity must be >= 1")
+        self.capacity = capacity
+        self.byte_budget = byte_budget
+        self._entries: "OrderedDict[Hashable, SCuboid]" = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> Optional[SCuboid]:
+        cuboid = self._entries.get(key)
+        if cuboid is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return cuboid
+
+    def put(self, key: Hashable, cuboid: SCuboid) -> None:
+        if key in self._entries:
+            self._bytes -= estimate_cuboid_bytes(self._entries[key])
+        self._entries[key] = cuboid
+        self._entries.move_to_end(key)
+        self._bytes += estimate_cuboid_bytes(cuboid)
+        self._evict()
+
+    def _evict(self) -> None:
+        while self._entries and (
+            len(self._entries) > self.capacity or self._bytes > self.byte_budget
+        ):
+            __, evicted = self._entries.popitem(last=False)
+            self._bytes -= estimate_cuboid_bytes(evicted)
+
+    def invalidate(self, key: Hashable) -> bool:
+        cuboid = self._entries.pop(key, None)
+        if cuboid is None:
+            return False
+        self._bytes -= estimate_cuboid_bytes(cuboid)
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0
+
+    @property
+    def bytes_used(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:
+        return (
+            f"CuboidRepository({len(self._entries)}/{self.capacity} cuboids, "
+            f"{self._bytes / 1e6:.3f} MB, hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,165 @@
+"""Interactive navigation sessions: iterative S-OLAP queries with history.
+
+A :class:`Session` wraps an engine and a current spec, exposes the six
+S-OLAP operations plus the classical ones as methods, executes after each
+step, and keeps the full navigation history — the workflow of the paper's
+transport-planning manager (Q1 → slice → APPEND → ...) and of the
+experiments' query sets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core import operations as ops
+from repro.core.cuboid import SCuboid
+from repro.core.engine import SOLAPEngine
+from repro.core.spec import CuboidSpec
+from repro.core.stats import QueryStats
+from repro.errors import OperationError
+from repro.events.expression import Expr
+
+
+class Session:
+    """One iterative exploration: a chain of (spec, cuboid, stats) steps."""
+
+    def __init__(
+        self, engine: SOLAPEngine, spec: CuboidSpec, strategy: str = "auto"
+    ):
+        self.engine = engine
+        self.strategy = strategy
+        self.history: List[Tuple[CuboidSpec, SCuboid, QueryStats]] = []
+        self._spec = spec
+        self._cuboid: Optional[SCuboid] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> CuboidSpec:
+        """The current specification."""
+        return self._spec
+
+    @property
+    def cuboid(self) -> SCuboid:
+        """The current result (executing first if needed)."""
+        if self._cuboid is None:
+            self.run()
+        assert self._cuboid is not None
+        return self._cuboid
+
+    def run(self) -> Tuple[SCuboid, QueryStats]:
+        """Execute the current spec and record it in the history."""
+        cuboid, stats = self.engine.execute(self._spec, self.strategy)
+        self._cuboid = cuboid
+        self.history.append((self._spec, cuboid, stats))
+        return cuboid, stats
+
+    def _transform(self, new_spec: CuboidSpec) -> "Session":
+        self._spec = new_spec
+        self._cuboid = None
+        return self
+
+    def replace_spec(self, new_spec: CuboidSpec) -> "Session":
+        """Swap in an externally built spec (escape hatch for transforms
+        the operation methods do not cover, e.g. custom within-constraints)."""
+        return self._transform(new_spec)
+
+    # ------------------------------------------------------------------
+    # The six S-OLAP operations
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        symbol: str,
+        attribute: Optional[str] = None,
+        level: Optional[str] = None,
+        placeholder: Optional[str] = None,
+        extra_predicate: Optional[Expr] = None,
+    ) -> "Session":
+        return self._transform(
+            ops.append(self._spec, symbol, attribute, level, placeholder, extra_predicate)
+        )
+
+    def prepend(
+        self,
+        symbol: str,
+        attribute: Optional[str] = None,
+        level: Optional[str] = None,
+        placeholder: Optional[str] = None,
+        extra_predicate: Optional[Expr] = None,
+    ) -> "Session":
+        return self._transform(
+            ops.prepend(self._spec, symbol, attribute, level, placeholder, extra_predicate)
+        )
+
+    def de_tail(self) -> "Session":
+        return self._transform(ops.de_tail(self._spec))
+
+    def de_head(self) -> "Session":
+        return self._transform(ops.de_head(self._spec))
+
+    def p_roll_up(self, symbol: str) -> "Session":
+        return self._transform(
+            ops.p_roll_up(self._spec, symbol, self.engine.db.schema)
+        )
+
+    def p_drill_down(self, symbol: str) -> "Session":
+        return self._transform(
+            ops.p_drill_down(self._spec, symbol, self.engine.db.schema)
+        )
+
+    # ------------------------------------------------------------------
+    # Classical operations
+    # ------------------------------------------------------------------
+    def slice_pattern(self, symbol: str, value: object) -> "Session":
+        return self._transform(ops.slice_pattern(self._spec, symbol, value))
+
+    def unslice_pattern(self, symbol: str) -> "Session":
+        return self._transform(ops.unslice_pattern(self._spec, symbol))
+
+    def slice_cell(self, cell_key: Tuple[object, ...]) -> "Session":
+        """Slice every pattern dimension at once (select one cuboid cell)."""
+        if len(cell_key) != self._spec.template.n_dims:
+            raise OperationError(
+                f"cell key has {len(cell_key)} values; template has "
+                f"{self._spec.template.n_dims} pattern dimensions"
+            )
+        spec = self._spec
+        for symbol, value in zip(self._spec.template.cell_symbols, cell_key):
+            spec = ops.slice_pattern(spec, symbol.name, value)
+        return self._transform(spec)
+
+    def roll_up(self, attribute: str) -> "Session":
+        return self._transform(
+            ops.roll_up_global(self._spec, attribute, self.engine.db.schema)
+        )
+
+    def drill_down(self, attribute: str) -> "Session":
+        return self._transform(
+            ops.drill_down_global(self._spec, attribute, self.engine.db.schema)
+        )
+
+    def slice_global(self, attribute: str, value: object) -> "Session":
+        return self._transform(ops.slice_global(self._spec, attribute, value))
+
+    def dice_global(self, attribute: str, values: Tuple[object, ...]) -> "Session":
+        return self._transform(ops.dice_global(self._spec, attribute, values))
+
+    def unslice_global(self, attribute: str) -> "Session":
+        return self._transform(ops.unslice_global(self._spec, attribute))
+
+    # ------------------------------------------------------------------
+    def explain(self):
+        """The execution plan for the current spec (without executing)."""
+        from repro.core.explain import explain as explain_fn
+
+        return explain_fn(self.engine, self._spec)
+
+    # ------------------------------------------------------------------
+    def cumulative_stats(self) -> QueryStats:
+        """Fold the stats of every executed step (Figure 16 reporting)."""
+        total = QueryStats(strategy=self.strategy)
+        for __, __unused, stats in self.history:
+            total.merge(stats)
+        return total
+
+    def __repr__(self) -> str:
+        return f"Session({len(self.history)} steps, strategy={self.strategy!r})"

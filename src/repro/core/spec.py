@@ -1,0 +1,490 @@
+"""S-cuboid specification (Section 3.2).
+
+A :class:`CuboidSpec` captures all six parts of the paper's cuboid
+specification language:
+
+1. WHERE — event selection predicate,
+2. CLUSTER BY — clustering attributes with hierarchy levels,
+3. SEQUENCE BY — ordering attributes,
+4. SEQUENCE GROUP BY — global dimensions with hierarchy levels,
+5. CUBOID BY — the pattern template, cell restriction and matching
+   predicate,
+6. the aggregation functions of the SELECT clause.
+
+All spec objects are immutable and hashable: they key the cuboid
+repository, the sequence cache and the inverted-index registry, and the
+S-OLAP operations (Section 3.3) are implemented as pure spec → spec
+transformations in :mod:`repro.core.operations`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.errors import SpecError
+from repro.events.expression import Expr
+from repro.events.schema import Schema
+from repro.events.sequence import AttrLevel, OrderKey
+
+
+class PatternKind(enum.Enum):
+    """Whether template occurrences are contiguous or order-preserving."""
+
+    SUBSTRING = "SUBSTRING"
+    SUBSEQUENCE = "SUBSEQUENCE"
+
+
+class CellRestriction(enum.Enum):
+    """How multiple occurrences of a cell's pattern within one data sequence
+    are assigned to the cell (Section 3.2, Pattern Grouping part (b))."""
+
+    #: Only the first (leftmost) qualifying occurrence is assigned.
+    LEFT_MAXIMALITY = "LEFT-MAXIMALITY"
+    #: First qualifying occurrence triggers assignment of the *whole sequence*.
+    LEFT_MAXIMALITY_DATA = "LEFT-MAXIMALITY-DATA"
+    #: Every qualifying occurrence is assigned.
+    ALL_MATCHED = "ALL-MATCHED"
+
+
+#: attribute/level marker for wildcard symbols (they have no value domain)
+WILDCARD_DOMAIN = "*"
+
+
+@dataclass(frozen=True)
+class PatternSymbol:
+    """One pattern dimension: a symbol with its value domain.
+
+    ``fixed`` records a slice on this symbol (the symbol may only take that
+    one value at its level).  ``within`` records an ancestor constraint
+    produced by P-DRILL-DOWN on a sliced symbol: the symbol's value, mapped
+    up to ``within[0]``, must equal ``within[1]``.
+
+    ``wildcard`` marks an ``ANY`` position (the paper's regular-expression
+    extension direction): it matches every event, binds no value, and is
+    *not* a pattern dimension — it contributes no cuboid axis.  Wildcards
+    may still be constrained through the matching predicate (their
+    placeholder binds the matched event as usual).
+    """
+
+    name: str
+    attribute: str
+    level: str
+    fixed: Optional[object] = None
+    within: Optional[Tuple[str, object]] = None
+    wildcard: bool = False
+
+    def __post_init__(self) -> None:
+        if self.wildcard and (self.fixed is not None or self.within is not None):
+            raise SpecError(f"wildcard symbol {self.name!r} cannot be restricted")
+
+    @classmethod
+    def any(cls, name: str) -> "PatternSymbol":
+        """A wildcard (ANY) symbol."""
+        return cls(name, WILDCARD_DOMAIN, WILDCARD_DOMAIN, wildcard=True)
+
+    @property
+    def is_restricted(self) -> bool:
+        """True when the symbol cannot range over its whole domain."""
+        return self.fixed is not None or self.within is not None
+
+    def __str__(self) -> str:
+        if self.wildcard:
+            return f"{self.name} AS ANY"
+        text = f"{self.name} AS {self.attribute} AT {self.level}"
+        if self.fixed is not None:
+            text += f" = {self.fixed!r}"
+        if self.within is not None:
+            text += f" WITHIN {self.within[0]}={self.within[1]!r}"
+        return text
+
+
+@dataclass(frozen=True)
+class PatternTemplate:
+    """A pattern template: a sequence of symbols over value domains.
+
+    ``positions`` is the symbol name at each template position (e.g.
+    ``("X", "Y", "Y", "X")``); ``symbols`` holds the distinct pattern
+    dimensions in order of first appearance.
+    """
+
+    kind: PatternKind
+    positions: Tuple[str, ...]
+    symbols: Tuple[PatternSymbol, ...]
+
+    def __post_init__(self) -> None:
+        if not self.positions:
+            raise SpecError("pattern template must have >= 1 position")
+        names = [symbol.name for symbol in self.symbols]
+        if len(set(names)) != len(names):
+            raise SpecError(f"duplicate pattern symbols: {names}")
+        missing = [name for name in self.positions if name not in names]
+        if missing:
+            raise SpecError(f"positions reference unbound symbols: {missing}")
+        unused = [name for name in names if name not in self.positions]
+        if unused:
+            raise SpecError(f"symbols bound but never used: {unused}")
+        first_seen = []
+        for name in self.positions:
+            if name not in first_seen:
+                first_seen.append(name)
+        if first_seen != names:
+            raise SpecError(
+                "symbols must be listed in order of first appearance "
+                f"(expected {first_seen}, got {names})"
+            )
+
+    # -- convenience constructors -----------------------------------------
+    @classmethod
+    def build(
+        cls,
+        kind: PatternKind,
+        positions: Tuple[str, ...],
+        bindings: Mapping[str, AttrLevel],
+    ) -> "PatternTemplate":
+        """Build a template from position names and symbol domain bindings."""
+        seen = []
+        for name in positions:
+            if name not in seen:
+                seen.append(name)
+        symbols = []
+        for name in seen:
+            if name not in bindings:
+                raise SpecError(f"no domain binding for symbol {name!r}")
+            attribute, level = bindings[name]
+            symbols.append(PatternSymbol(name, attribute, level))
+        return cls(kind=kind, positions=tuple(positions), symbols=tuple(symbols))
+
+    @classmethod
+    def substring(
+        cls, positions: Tuple[str, ...], bindings: Mapping[str, AttrLevel]
+    ) -> "PatternTemplate":
+        return cls.build(PatternKind.SUBSTRING, positions, bindings)
+
+    @classmethod
+    def subsequence(
+        cls, positions: Tuple[str, ...], bindings: Mapping[str, AttrLevel]
+    ) -> "PatternTemplate":
+        return cls.build(PatternKind.SUBSEQUENCE, positions, bindings)
+
+    # -- accessors ---------------------------------------------------------
+    @property
+    def length(self) -> int:
+        """Number of template positions (m in the paper)."""
+        return len(self.positions)
+
+    @property
+    def cell_symbols(self) -> Tuple[PatternSymbol, ...]:
+        """The symbols that form cuboid axes (wildcards excluded)."""
+        return tuple(s for s in self.symbols if not s.wildcard)
+
+    @property
+    def n_dims(self) -> int:
+        """Number of distinct pattern dimensions (n in the paper).
+
+        Wildcard positions match events but contribute no dimension.
+        """
+        return len(self.cell_symbols)
+
+    @property
+    def has_wildcards(self) -> bool:
+        """True when some position is a wildcard (ANY)."""
+        return any(s.wildcard for s in self.symbols)
+
+    def symbol(self, name: str) -> PatternSymbol:
+        for symbol in self.symbols:
+            if symbol.name == name:
+                return symbol
+        raise SpecError(f"unknown pattern symbol {name!r}")
+
+    def symbol_index(self, name: str) -> int:
+        for index, symbol in enumerate(self.symbols):
+            if symbol.name == name:
+                return index
+        raise SpecError(f"unknown pattern symbol {name!r}")
+
+    def position_symbols(self) -> Tuple[PatternSymbol, ...]:
+        """The :class:`PatternSymbol` at each template position."""
+        by_name = {symbol.name: symbol for symbol in self.symbols}
+        return tuple(by_name[name] for name in self.positions)
+
+    @property
+    def has_repeated_symbols(self) -> bool:
+        """True when some symbol occurs at more than one position."""
+        return len(self.positions) > len(self.symbols)
+
+    @property
+    def has_restricted_symbols(self) -> bool:
+        """True when some symbol is sliced or ancestor-constrained."""
+        return any(symbol.is_restricted for symbol in self.symbols)
+
+    def symbol_ids(self) -> Tuple[int, ...]:
+        """Canonical per-position symbol identity, e.g. (0,1,1,0)."""
+        return tuple(self.symbol_index(name) for name in self.positions)
+
+    def signature(self) -> Tuple:
+        """Full hashable identity of the template (keys index caches)."""
+        return (
+            self.kind.value,
+            self.symbol_ids(),
+            tuple(
+                (s.attribute, s.level, s.fixed, s.within, s.wildcard)
+                for s in self.symbols
+            ),
+        )
+
+    def domain_signature(self) -> Tuple:
+        """Identity ignoring fixed/within restrictions.
+
+        Two templates with the same domain signature can share base
+        inverted indices; the restrictions are applied as list filters.
+        """
+        return (
+            self.kind.value,
+            self.symbol_ids(),
+            tuple((s.attribute, s.level, s.wildcard) for s in self.symbols),
+        )
+
+    def replace_symbol(self, name: str, new_symbol: PatternSymbol) -> "PatternTemplate":
+        """A copy of the template with one symbol definition swapped out."""
+        if new_symbol.name != name:
+            positions = tuple(
+                new_symbol.name if p == name else p for p in self.positions
+            )
+        else:
+            positions = self.positions
+        symbols = tuple(
+            new_symbol if symbol.name == name else symbol for symbol in self.symbols
+        )
+        return PatternTemplate(kind=self.kind, positions=positions, symbols=symbols)
+
+    def validate(self, schema: Schema) -> None:
+        """Check all symbol domains against *schema*."""
+        for symbol in self.symbols:
+            if symbol.wildcard:
+                if self.positions.count(symbol.name) != 1:
+                    raise SpecError(
+                        f"wildcard symbol {symbol.name!r} must appear at "
+                        "exactly one position"
+                    )
+                continue
+            if not schema.is_dimension(symbol.attribute):
+                raise SpecError(
+                    f"pattern symbol {symbol.name!r} binds non-dimension "
+                    f"attribute {symbol.attribute!r}"
+                )
+            schema.check_level(symbol.attribute, symbol.level)
+            if symbol.within is not None:
+                ancestor_level, __ = symbol.within
+                hierarchy = schema.hierarchy(symbol.attribute)
+                if not hierarchy.is_coarser(ancestor_level, symbol.level):
+                    raise SpecError(
+                        f"within-constraint level {ancestor_level!r} is not "
+                        f"coarser than symbol level {symbol.level!r}"
+                    )
+
+    def __str__(self) -> str:
+        inner = ", ".join(self.positions)
+        with_part = ", ".join(str(symbol) for symbol in self.symbols)
+        return f"{self.kind.value}({inner}) WITH {with_part}"
+
+
+@dataclass(frozen=True)
+class MatchingPredicate:
+    """Placeholders (one per template position) plus a boolean expression.
+
+    Example (Figure 3, lines 13-17)::
+
+        MatchingPredicate(
+            placeholders=("x1", "y1", "y2", "x2"),
+            expr=Comparison(PlaceholderField("x1", "action"), "=", Literal("in")) & ...
+        )
+    """
+
+    placeholders: Tuple[str, ...]
+    expr: Expr
+
+    def __post_init__(self) -> None:
+        if len(set(self.placeholders)) != len(self.placeholders):
+            raise SpecError(f"duplicate placeholders: {self.placeholders}")
+        unknown = set(self.expr.placeholders()) - set(self.placeholders)
+        if unknown:
+            raise SpecError(
+                f"matching predicate references undeclared placeholders: "
+                f"{sorted(unknown)}"
+            )
+
+    def validate(self, template: PatternTemplate) -> None:
+        if len(self.placeholders) != template.length:
+            raise SpecError(
+                f"{len(self.placeholders)} placeholders for a length-"
+                f"{template.length} template"
+            )
+
+    def __str__(self) -> str:
+        return f"({', '.join(self.placeholders)}) WITH {self.expr}"
+
+
+class AggregateScope(enum.Enum):
+    """Which events feed a measure aggregate (Section 3.2 SUM discussion)."""
+
+    #: Aggregate over the events of the assigned (matched) content.
+    MATCHED = "MATCHED"
+    #: Aggregate over every event of each assigned sequence.
+    SEQUENCE = "SEQUENCE"
+    #: Aggregate over the first event of each assigned content.
+    FIRST_EVENT = "FIRST-EVENT"
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate of the SELECT clause, e.g. COUNT(*) or SUM(amount)."""
+
+    func: str
+    argument: Optional[str] = None
+    scope: AggregateScope = AggregateScope.MATCHED
+
+    _KNOWN = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+    def __post_init__(self) -> None:
+        if self.func not in self._KNOWN:
+            raise SpecError(f"unknown aggregate function {self.func!r}")
+        if self.func == "COUNT":
+            if self.argument is not None:
+                raise SpecError("COUNT takes no argument (use COUNT(*))")
+        elif self.argument is None:
+            raise SpecError(f"{self.func} requires a measure argument")
+
+    @property
+    def name(self) -> str:
+        """Display/result-column name, e.g. ``COUNT(*)`` or ``SUM(amount)``."""
+        return f"{self.func}({self.argument or '*'})"
+
+    def validate(self, schema: Schema) -> None:
+        if self.argument is not None and not schema.is_measure(self.argument):
+            raise SpecError(
+                f"aggregate argument {self.argument!r} is not a measure"
+            )
+
+    def __str__(self) -> str:
+        text = self.name
+        if self.func != "COUNT" and self.scope is not AggregateScope.MATCHED:
+            text += f" OVER {self.scope.value}"
+        return text
+
+
+COUNT_ALL = AggregateSpec("COUNT")
+
+
+@dataclass(frozen=True)
+class CuboidSpec:
+    """A complete S-cuboid specification (all six parts of Section 3.2)."""
+
+    template: PatternTemplate
+    cluster_by: Tuple[AttrLevel, ...]
+    sequence_by: Tuple[OrderKey, ...]
+    group_by: Tuple[AttrLevel, ...] = ()
+    where: Optional[Expr] = None
+    restriction: CellRestriction = CellRestriction.LEFT_MAXIMALITY
+    predicate: Optional[MatchingPredicate] = None
+    aggregates: Tuple[AggregateSpec, ...] = (COUNT_ALL,)
+    #: Slices on global dimensions: (index into group_by, value).
+    global_slice: Tuple[Tuple[int, object], ...] = field(default=())
+    #: Iceberg condition (HAVING COUNT(*) >= n): cells below are dropped,
+    #: and the inverted-index strategy prunes sub-threshold lists.
+    min_support: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.aggregates:
+            raise SpecError("at least one aggregate is required")
+        if self.min_support is not None and self.min_support < 1:
+            raise SpecError("HAVING COUNT(*) >= n requires n >= 1")
+        if self.predicate is not None:
+            self.predicate.validate(self.template)
+        for index, __ in self.global_slice:
+            if not 0 <= index < len(self.group_by):
+                raise SpecError(
+                    f"global slice index {index} out of range "
+                    f"({len(self.group_by)} global dimensions)"
+                )
+
+    # -- identity ----------------------------------------------------------
+    def pipeline_key(self) -> Tuple:
+        """Key of pipeline steps 1-4 (drives the sequence cache)."""
+        return (self.where, self.cluster_by, self.sequence_by, self.group_by)
+
+    def cache_key(self) -> Tuple:
+        """Full spec identity (drives the cuboid repository)."""
+        return (
+            self.pipeline_key(),
+            self.template.signature(),
+            self.restriction.value,
+            self.predicate,
+            self.aggregates,
+            self.global_slice,
+            self.min_support,
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.cache_key())
+
+    # -- accessors ----------------------------------------------------------
+    @property
+    def pattern_dims(self) -> Tuple[PatternSymbol, ...]:
+        """The pattern dimensions, in first-appearance order.
+
+        Wildcard symbols match events but are not dimensions.
+        """
+        return self.template.cell_symbols
+
+    @property
+    def n_dims(self) -> int:
+        """Total cuboid dimensionality: global dims + pattern dims."""
+        return len(self.group_by) + self.template.n_dims
+
+    def sliced_groups(self) -> Dict[int, object]:
+        """Global-slice values by global-dimension index."""
+        return dict(self.global_slice)
+
+    def validate(self, schema: Schema) -> None:
+        """Validate every attribute/level reference against *schema*."""
+        for attr, level in self.cluster_by:
+            schema.check_level(attr, level)
+        for attr, __ in self.sequence_by:
+            schema.validate_attribute(attr)
+        for attr, level in self.group_by:
+            schema.check_level(attr, level)
+        self.template.validate(schema)
+        for aggregate in self.aggregates:
+            aggregate.validate(schema)
+
+    def with_template(self, template: PatternTemplate) -> "CuboidSpec":
+        """A copy of the spec with the pattern template replaced."""
+        return replace(self, template=template)
+
+    def __str__(self) -> str:
+        parts = [f"SELECT {', '.join(str(a) for a in self.aggregates)}"]
+        if self.where is not None:
+            parts.append(f"WHERE {self.where}")
+        parts.append(
+            "CLUSTER BY "
+            + ", ".join(f"{attr} AT {level}" for attr, level in self.cluster_by)
+        )
+        parts.append(
+            "SEQUENCE BY "
+            + ", ".join(
+                f"{attr} {'ASCENDING' if asc else 'DESCENDING'}"
+                for attr, asc in self.sequence_by
+            )
+        )
+        if self.group_by:
+            parts.append(
+                "SEQUENCE GROUP BY "
+                + ", ".join(f"{attr} AT {level}" for attr, level in self.group_by)
+            )
+        parts.append(f"CUBOID BY {self.template}")
+        parts.append(self.restriction.value)
+        if self.predicate is not None:
+            parts.append(f"  {self.predicate}")
+        return "\n".join(parts)

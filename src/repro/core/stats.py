@@ -1,0 +1,53 @@
+"""Per-query execution statistics.
+
+The paper's evaluation reports *sequences scanned* and *index bytes built*
+alongside wall-clock time (Table 1, Figure 16 annotations) because those are
+the machine-independent cost drivers of the two strategies.  Every strategy
+therefore threads a :class:`QueryStats` through its hot paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class QueryStats:
+    """Counters collected while answering one S-OLAP query."""
+
+    strategy: str = ""
+    runtime_seconds: float = 0.0
+    #: sequence accesses: every time a strategy reads a sequence's events
+    sequences_scanned: int = 0
+    #: number of inverted indices built during this query
+    indices_built: int = 0
+    #: estimated bytes of inverted indices built during this query
+    index_bytes_built: int = 0
+    #: number of index joins performed
+    index_joins: int = 0
+    #: number of inverted lists merged (P-ROLL-UP) or refined (P-DRILL-DOWN)
+    lists_transformed: int = 0
+    cuboid_cache_hit: bool = False
+    sequence_cache_hit: bool = False
+    index_reused: bool = False
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def add_scan(self, n: int = 1) -> None:
+        self.sequences_scanned += n
+
+    def merge(self, other: "QueryStats") -> None:
+        """Fold another stats object into this one (cumulative reporting)."""
+        self.runtime_seconds += other.runtime_seconds
+        self.sequences_scanned += other.sequences_scanned
+        self.indices_built += other.indices_built
+        self.index_bytes_built += other.index_bytes_built
+        self.index_joins += other.index_joins
+        self.lists_transformed += other.lists_transformed
+
+    def summary(self) -> str:
+        return (
+            f"[{self.strategy or '?'}] {self.runtime_seconds * 1000:.2f} ms, "
+            f"{self.sequences_scanned} sequences scanned, "
+            f"{self.index_bytes_built / 1e6:.3f} MB indices built"
+        )

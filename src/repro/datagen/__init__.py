@@ -1,0 +1,63 @@
+"""Data generators: synthetic (Section 5.2), transit, clickstream analogue."""
+
+from repro.datagen.clickstream import (
+    ClickstreamConfig,
+    generate_database as generate_clickstream,
+    remove_crawler_sessions,
+    two_step_spec,
+)
+from repro.datagen.markov import MarkovChain
+from repro.datagen.rfid import (
+    RFIDConfig,
+    generate_database as generate_rfid,
+    path_spec as rfid_path_spec,
+    shrinkage_spec as rfid_shrinkage_spec,
+)
+from repro.datagen.synthetic import (
+    SyntheticConfig,
+    base_spec,
+    build_hierarchy,
+    build_schema as build_synthetic_schema,
+    generate_event_database,
+    generate_symbol_sequences,
+)
+from repro.datagen.transit import (
+    TransitConfig,
+    build_schema as build_transit_schema,
+    generate_database as generate_transit,
+    in_out_predicate,
+    round_trip_spec,
+    single_trip_spec,
+)
+from repro.datagen.zipf import (
+    ZipfDistribution,
+    sample_poisson,
+    zipf_partition_sizes,
+)
+
+__all__ = [
+    "ClickstreamConfig",
+    "MarkovChain",
+    "RFIDConfig",
+    "SyntheticConfig",
+    "TransitConfig",
+    "ZipfDistribution",
+    "base_spec",
+    "build_hierarchy",
+    "build_synthetic_schema",
+    "build_transit_schema",
+    "generate_clickstream",
+    "generate_event_database",
+    "generate_rfid",
+    "generate_symbol_sequences",
+    "generate_transit",
+    "in_out_predicate",
+    "remove_crawler_sessions",
+    "rfid_path_spec",
+    "rfid_shrinkage_spec",
+    "round_trip_spec",
+    "sample_poisson",
+    "single_trip_spec",
+    "two_step_spec",
+    "zipf_partition_sizes",
+]

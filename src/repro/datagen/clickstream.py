@@ -1,0 +1,191 @@
+"""Gazelle-style clickstream generator — the real-data analogue (Section 5.1).
+
+The paper's real dataset is the KDD-Cup 2000 Gazelle.com clickstream:
+164,364 click events in 50,524 sessions, a ``page`` attribute with a
+raw-page → page-category hierarchy (44 categories), and 279 product pages
+after drilling into the Legwear category.  The original file is not
+redistributable, so this generator synthesises a dataset with the same
+*shape*, seeded and deterministic:
+
+* 44 page categories including "Assortment", "Legwear", "Legcare" and
+  "Main Pages";
+* 279 Legwear product pages, including the paper's remarkable ones
+  (``product-id-null``, ``product-id-34893``, ``product-id-34885``,
+  ``product-id-34897``);
+* session transitions skewed so the published exploration finds the same
+  qualitative answers: (Assortment, Legwear) is the dominant two-step
+  category pair, ``product-id-null`` and ``product-id-34893`` are the top
+  Legwear landings after Assortment, and comparison-shopping hops
+  34885 → 34897 exist;
+* a crawler fraction with very long sessions, so the paper's preprocessing
+  step (filtering crawler sessions) has something real to remove.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.spec import CuboidSpec, PatternTemplate
+from repro.datagen.zipf import ZipfDistribution, sample_poisson
+from repro.events.database import EventDatabase
+from repro.events.schema import Dimension, Hierarchy, Schema
+
+N_CATEGORIES = 44
+N_LEGWEAR_PRODUCTS = 279
+
+NAMED_CATEGORIES = ("Assortment", "Legwear", "Legcare", "Main Pages")
+
+#: product pages the paper calls out in its exploration
+REMARKABLE_PRODUCTS = (
+    "product-id-null",
+    "product-id-34893",
+    "product-id-34885",
+    "product-id-34897",
+)
+
+
+@dataclass
+class ClickstreamConfig:
+    """Generator parameters; defaults scale the Gazelle shape down ~10x."""
+
+    n_sessions: int = 5000
+    mean_session_length: float = 3.2
+    seed: int = 2000
+    #: fraction of sessions produced by "crawlers" (very long sessions)
+    crawler_fraction: float = 0.002
+    crawler_length: int = 400
+    #: probability an Assortment page is followed by a Legwear page
+    p_assortment_to_legwear: float = 0.45
+    #: probability the session starts on an Assortment page
+    p_start_assortment: float = 0.35
+
+
+def category_names() -> List[str]:
+    names = list(NAMED_CATEGORIES)
+    index = 1
+    while len(names) < N_CATEGORIES:
+        names.append(f"Category-{index:02d}")
+        index += 1
+    return names
+
+
+def _pages_by_category() -> Dict[str, List[str]]:
+    """Raw pages per category (Legwear gets the 279 product pages)."""
+    pages: Dict[str, List[str]] = {}
+    for category in category_names():
+        if category == "Legwear":
+            products = list(REMARKABLE_PRODUCTS)
+            next_id = 34000
+            while len(products) < N_LEGWEAR_PRODUCTS:
+                products.append(f"product-id-{next_id}")
+                next_id += 1
+            pages[category] = products
+        elif category == "Assortment":
+            pages[category] = [f"assortment-{i:02d}" for i in range(6)]
+        elif category == "Main Pages":
+            pages[category] = ["home", "login", "logout", "basket", "checkout"]
+        else:
+            slug = category.lower().replace(" ", "-")
+            pages[category] = [f"{slug}-page-{i}" for i in range(3)]
+    return pages
+
+
+def build_schema() -> Schema:
+    """Schema: session-id, request-time, page (raw-page → page-category)."""
+    mapping: Dict[object, object] = {}
+    for category, pages in _pages_by_category().items():
+        for page in pages:
+            mapping[page] = category
+    return Schema(
+        dimensions=[
+            Dimension("session-id"),
+            Dimension("request-time"),
+            Dimension(
+                "page",
+                Hierarchy("page", ("raw-page", "page-category"), {"page-category": mapping}),
+            ),
+        ]
+    )
+
+
+def generate_database(config: ClickstreamConfig) -> EventDatabase:
+    """Generate the synthetic clickstream (one row per click)."""
+    schema = build_schema()
+    db = EventDatabase(schema)
+    rng = random.Random(config.seed)
+    pages = _pages_by_category()
+    categories = category_names()
+    category_dist = ZipfDistribution(len(categories), 0.8, rng)
+    # Skewed landing distribution within Legwear: product-id-null first,
+    # then product-id-34893, then the long tail (θ high → heavy head).
+    legwear_dist = ZipfDistribution(len(pages["Legwear"]), 1.05, rng)
+
+    def random_category_page(category: str) -> str:
+        options = pages[category]
+        return options[rng.randrange(len(options))]
+
+    def random_page() -> str:
+        category = categories[category_dist.sample()]
+        return random_category_page(category)
+
+    for session in range(config.n_sessions):
+        if rng.random() < config.crawler_fraction:
+            length = config.crawler_length + rng.randrange(200)
+        else:
+            length = max(1, sample_poisson(config.mean_session_length, rng))
+        if rng.random() < config.p_start_assortment:
+            current = random_category_page("Assortment")
+        else:
+            current = random_page()
+        clicks = [current]
+        while len(clicks) < length:
+            current_category = schema.map_value("page", current, "page-category")
+            if (
+                current_category == "Assortment"
+                and rng.random() < config.p_assortment_to_legwear
+            ):
+                current = pages["Legwear"][legwear_dist.sample()]
+            elif current_category == "Legwear" and rng.random() < 0.25:
+                # comparison shopping: another legwear product, with a
+                # planted 34885 -> 34897 preference
+                if current == "product-id-34885" and rng.random() < 0.5:
+                    current = "product-id-34897"
+                else:
+                    current = pages["Legwear"][legwear_dist.sample()]
+            else:
+                current = random_page()
+            clicks.append(current)
+        for position, page in enumerate(clicks):
+            db.append(
+                {"session-id": session, "request-time": position, "page": page}
+            )
+    return db
+
+
+def remove_crawler_sessions(
+    db: EventDatabase, max_clicks: int = 100
+) -> EventDatabase:
+    """The paper's preprocessing step (1): drop very long sessions."""
+    counts: Dict[object, int] = {}
+    for value in db.column("session-id"):
+        counts[value] = counts.get(value, 0) + 1
+    keep = {session for session, count in counts.items() if count <= max_clicks}
+    clean = EventDatabase(db.schema)
+    for event in db:
+        if event["session-id"] in keep:
+            clean.append(event)
+    return clean
+
+
+def two_step_spec(level: str = "page-category") -> CuboidSpec:
+    """The paper's Qa: two-step page accesses at the page-category level."""
+    template = PatternTemplate.substring(
+        ("X", "Y"), {"X": ("page", level), "Y": ("page", level)}
+    )
+    return CuboidSpec(
+        template=template,
+        cluster_by=(("session-id", "session-id"),),
+        sequence_by=(("request-time", True),),
+    )

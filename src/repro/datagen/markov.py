@@ -1,0 +1,72 @@
+"""Degree-1 Markov chains with Zipf-skewed rows (Section 5.2).
+
+The paper generates each synthetic sequence by drawing the first symbol
+from a Zipf distribution and every subsequent symbol "using a Markov chain
+of degree 1" whose "conditional probabilities are pre-determined and are
+skewed according to Zipf's law".  We realise that as: for each source
+state, the transition distribution over target states is Zipf(θ) applied
+through a per-state deterministic permutation, so different states prefer
+different successors while every row has the same skew profile.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.datagen.zipf import ZipfDistribution
+
+
+class MarkovChain:
+    """A finite first-order Markov chain over symbols 0..n-1."""
+
+    def __init__(
+        self,
+        n_symbols: int,
+        theta: float,
+        rng: Optional[random.Random] = None,
+        initial_theta: Optional[float] = None,
+    ):
+        if n_symbols < 1:
+            raise ValueError("need at least one symbol")
+        self.n_symbols = n_symbols
+        self.theta = theta
+        self._rng = rng or random.Random()
+        self._rank_dist = ZipfDistribution(n_symbols, theta, self._rng)
+        self._initial = ZipfDistribution(
+            n_symbols, initial_theta if initial_theta is not None else theta, self._rng
+        )
+        # Pre-determined per-state permutations: rank r of state s maps to
+        # a concrete successor symbol.  Derived once so the chain is fixed
+        # (the paper's "pre-determined" conditional probabilities).
+        self._permutations: List[List[int]] = []
+        for state in range(n_symbols):
+            permutation = list(range(n_symbols))
+            self._rng.shuffle(permutation)
+            self._permutations.append(permutation)
+
+    def initial_symbol(self) -> int:
+        """Draw the first symbol of a sequence (Zipf over raw symbol ids)."""
+        return self._initial.sample()
+
+    def next_symbol(self, state: int) -> int:
+        """Draw the successor of *state*."""
+        rank = self._rank_dist.sample()
+        return self._permutations[state][rank]
+
+    def transition_probability(self, state: int, target: int) -> float:
+        """P(target | state) from the fixed rank permutation."""
+        rank = self._permutations[state].index(target)
+        return self._rank_dist.probability(rank)
+
+    def generate(self, length: int) -> List[int]:
+        """One sequence of the given length."""
+        if length <= 0:
+            return []
+        sequence = [self.initial_symbol()]
+        while len(sequence) < length:
+            sequence.append(self.next_symbol(sequence[-1]))
+        return sequence
+
+    def __repr__(self) -> str:
+        return f"MarkovChain(n={self.n_symbols}, theta={self.theta})"

@@ -1,0 +1,232 @@
+"""Smart-card transit event generator — the paper's running example.
+
+The paper's motivating application (Section 1, Figure 1) is an RFID
+electronic-payment transit system: passengers tap in and out of stations,
+producing (time, card-id, location, action, amount) events.  The real data
+(a subway operator's logs, Section 6) is private, so this module generates
+a synthetic equivalent exercising the same query shapes:
+
+* round trips (X, Y, Y, X) with a planted hot origin-destination pair,
+* optional follow-up trips (the Q2 APPEND scenario),
+* a station → district location hierarchy,
+* an individual → fare-group card hierarchy,
+* a minute-resolution time dimension with day and week levels.
+
+Time values are integer minutes since the epoch of the dataset; the day and
+week hierarchy levels are computed (``minute // 1440``, ``day // 7``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.spec import (
+    CuboidSpec,
+    MatchingPredicate,
+    PatternTemplate,
+)
+from repro.events.database import EventDatabase
+from repro.events.expression import (
+    And,
+    Comparison,
+    Literal,
+    PlaceholderField,
+)
+from repro.events.schema import (
+    Dimension,
+    Hierarchy,
+    Measure,
+    Schema,
+    register_computed_mapping,
+)
+
+MINUTES_PER_DAY = 1440
+
+#: Default network: stations grouped into districts (D10 deliberately
+#: contains both Pentagon and Clarendon — the paper's s6 roll-up example).
+DEFAULT_DISTRICTS: Dict[str, str] = {
+    "Pentagon": "D10",
+    "Clarendon": "D10",
+    "Wheaton": "D20",
+    "Glenmont": "D20",
+    "Deanwood": "D30",
+    "Anacostia": "D30",
+    "Ballston": "D40",
+    "Rosslyn": "D40",
+}
+
+FARE_GROUPS = ("student", "regular", "senior")
+
+
+@dataclass
+class TransitConfig:
+    """Generator parameters for the synthetic smart-card dataset."""
+
+    n_cards: int = 200
+    n_days: int = 7
+    seed: int = 7
+    districts: Dict[str, str] = field(
+        default_factory=lambda: dict(DEFAULT_DISTRICTS)
+    )
+    #: probability a passenger's day contains a round trip (in, out, in, out
+    #: back); otherwise it is a single trip
+    p_round_trip: float = 0.55
+    #: probability a round-tripper takes a third (follow-up) trip
+    p_third_trip: float = 0.35
+    #: the planted hot origin-destination pair (Q1's dominant cell)
+    hot_pair: Tuple[str, str] = ("Pentagon", "Wheaton")
+    #: probability a round trip uses the hot pair
+    p_hot: float = 0.4
+    base_fare: float = 2.0
+
+
+def day_of(minute: object) -> int:
+    return int(minute) // MINUTES_PER_DAY  # type: ignore[arg-type]
+
+
+def week_of(minute: object) -> int:
+    return day_of(minute) // 7
+
+
+#: registered so transit datasets (and their time hierarchy) can be
+#: persisted and reloaded by name
+DAY_MAPPING = register_computed_mapping("transit.minute-to-day", day_of)
+WEEK_MAPPING = register_computed_mapping("transit.minute-to-week", week_of)
+
+
+def build_schema(config: TransitConfig) -> Schema:
+    """Schema with the paper's three concept hierarchies (Section 3.1)."""
+    rng = random.Random(config.seed + 1)
+    fare_group = {
+        card: FARE_GROUPS[rng.randrange(len(FARE_GROUPS))]
+        for card in range(config.n_cards)
+    }
+    return Schema(
+        dimensions=[
+            Dimension(
+                "time",
+                Hierarchy(
+                    "time",
+                    ("minute", "day", "week"),
+                    {"day": DAY_MAPPING, "week": WEEK_MAPPING},
+                ),
+            ),
+            Dimension(
+                "card-id",
+                Hierarchy(
+                    "card-id", ("individual", "fare-group"), {"fare-group": fare_group}
+                ),
+            ),
+            Dimension(
+                "location",
+                Hierarchy(
+                    "location", ("station", "district"), {"district": config.districts}
+                ),
+            ),
+            Dimension("action"),
+        ],
+        measures=[Measure("amount")],
+    )
+
+
+def generate_database(config: TransitConfig) -> EventDatabase:
+    """Generate tap-in/tap-out events for every card over every day."""
+    schema = build_schema(config)
+    db = EventDatabase(schema)
+    rng = random.Random(config.seed)
+    stations = sorted(config.districts)
+
+    def other_station(exclude: Sequence[str]) -> str:
+        while True:
+            station = stations[rng.randrange(len(stations))]
+            if station not in exclude:
+                return station
+
+    for day in range(config.n_days):
+        day_start = day * MINUTES_PER_DAY
+        for card in range(config.n_cards):
+            minute = day_start + rng.randrange(5 * 60, 10 * 60)
+            legs: List[Tuple[str, str]] = []
+            if rng.random() < config.p_round_trip:
+                if rng.random() < config.p_hot:
+                    origin, destination = config.hot_pair
+                else:
+                    origin = other_station(())
+                    destination = other_station((origin,))
+                legs.append((origin, destination))
+                legs.append((destination, origin))
+                if rng.random() < config.p_third_trip:
+                    legs.append((origin, other_station((origin,))))
+            else:
+                origin = other_station(())
+                legs.append((origin, other_station((origin,))))
+            for enter, leave in legs:
+                db.append(
+                    {
+                        "time": minute,
+                        "card-id": card,
+                        "location": enter,
+                        "action": "in",
+                        "amount": 0.0,
+                    }
+                )
+                minute += rng.randrange(10, 40)
+                db.append(
+                    {
+                        "time": minute,
+                        "card-id": card,
+                        "location": leave,
+                        "action": "out",
+                        "amount": -config.base_fare,
+                    }
+                )
+                minute += rng.randrange(30, 240)
+    return db
+
+
+def in_out_predicate(placeholders: Sequence[str]) -> MatchingPredicate:
+    """Alternating in/out action constraints (Figure 3 lines 13-17 style)."""
+    terms = tuple(
+        Comparison(
+            PlaceholderField(name, "action"),
+            "=",
+            Literal("in" if index % 2 == 0 else "out"),
+        )
+        for index, name in enumerate(placeholders)
+    )
+    expr = terms[0] if len(terms) == 1 else And(terms)
+    return MatchingPredicate(tuple(placeholders), expr)
+
+
+def round_trip_spec(group_by_fare: bool = True) -> CuboidSpec:
+    """The paper's Q1: round trips (X, Y, Y, X) per day and fare-group."""
+    template = PatternTemplate.substring(
+        ("X", "Y", "Y", "X"),
+        {"X": ("location", "station"), "Y": ("location", "station")},
+    )
+    group_by: Tuple[Tuple[str, str], ...] = ()
+    if group_by_fare:
+        group_by = (("card-id", "fare-group"), ("time", "day"))
+    return CuboidSpec(
+        template=template,
+        cluster_by=(("card-id", "individual"), ("time", "day")),
+        sequence_by=(("time", True),),
+        group_by=group_by,
+        predicate=in_out_predicate(("x1", "y1", "y2", "x2")),
+    )
+
+
+def single_trip_spec() -> CuboidSpec:
+    """The paper's Q3: single trips (X, Y) with in/out actions (Figure 11)."""
+    template = PatternTemplate.substring(
+        ("X", "Y"),
+        {"X": ("location", "station"), "Y": ("location", "station")},
+    )
+    return CuboidSpec(
+        template=template,
+        cluster_by=(("card-id", "individual"), ("time", "day")),
+        sequence_by=(("time", True),),
+        predicate=in_out_predicate(("x1", "y1")),
+    )

@@ -1,0 +1,111 @@
+"""Zipf-skewed discrete distributions (the paper's synthetic-data skew model).
+
+The synthetic generator of Section 5.2 draws the first symbol of each
+sequence from a Zipf distribution with parameters I (domain size) and θ
+(skew), and sizes hierarchy groups by Zipf's law as well.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List, Optional, Sequence
+
+
+class ZipfDistribution:
+    """A Zipf(θ) distribution over ranks 0..n-1: P(i) ∝ 1 / (i+1)^θ.
+
+    θ = 0 degenerates to uniform; larger θ concentrates mass on low ranks.
+    Sampling is O(log n) via the precomputed CDF.
+    """
+
+    def __init__(self, n: int, theta: float, rng: Optional[random.Random] = None):
+        if n < 1:
+            raise ValueError("domain size must be >= 1")
+        if theta < 0:
+            raise ValueError("theta must be >= 0")
+        self.n = n
+        self.theta = theta
+        self._rng = rng or random.Random()
+        weights = [1.0 / (rank + 1) ** theta for rank in range(n)]
+        total = sum(weights)
+        self.probabilities = [w / total for w in weights]
+        self._cdf: List[float] = []
+        acc = 0.0
+        for p in self.probabilities:
+            acc += p
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0  # guard against float drift
+
+    def sample(self) -> int:
+        """Draw one rank."""
+        return bisect.bisect_left(self._cdf, self._rng.random())
+
+    def sample_many(self, k: int) -> List[int]:
+        """Draw k ranks."""
+        return [self.sample() for __ in range(k)]
+
+    def probability(self, rank: int) -> float:
+        return self.probabilities[rank]
+
+    def __repr__(self) -> str:
+        return f"ZipfDistribution(n={self.n}, theta={self.theta})"
+
+
+def zipf_partition_sizes(total: int, n_groups: int, theta: float) -> List[int]:
+    """Partition *total* items into *n_groups* Zipf-proportioned sizes.
+
+    Every group receives at least one item (the paper's hierarchy splits
+    100 symbols into 20 groups and 20 groups into 5 super-groups with
+    Zipf-law sizes, and no group may be empty).
+    """
+    if n_groups < 1:
+        raise ValueError("need at least one group")
+    if total < n_groups:
+        raise ValueError(f"cannot split {total} items into {n_groups} non-empty groups")
+    dist = ZipfDistribution(n_groups, theta)
+    sizes = [1] * n_groups
+    remaining = total - n_groups
+    # Largest-remainder apportionment of the leftover mass.
+    quotas = [p * remaining for p in dist.probabilities]
+    floors = [int(q) for q in quotas]
+    sizes = [s + f for s, f in zip(sizes, floors)]
+    leftover = remaining - sum(floors)
+    remainders = sorted(
+        range(n_groups), key=lambda i: quotas[i] - floors[i], reverse=True
+    )
+    for i in remainders[:leftover]:
+        sizes[i] += 1
+    return sizes
+
+
+def assign_to_groups(values: Sequence[object], sizes: Sequence[int]) -> List[int]:
+    """Group index per value, contiguously by the given sizes."""
+    if sum(sizes) != len(values):
+        raise ValueError("sizes must sum to the number of values")
+    assignment = []
+    for group, size in enumerate(sizes):
+        assignment.extend([group] * size)
+    return assignment
+
+
+def sample_poisson(mean: float, rng: random.Random) -> int:
+    """Poisson sample via Knuth's method (sequence lengths, Section 5.2).
+
+    Adequate for the small means used by the paper (L ≈ 10..40); switches
+    to a normal approximation above mean 60 to stay O(1).
+    """
+    if mean <= 0:
+        return 0
+    if mean > 60:
+        value = int(round(rng.gauss(mean, mean ** 0.5)))
+        return max(0, value)
+    import math
+
+    limit = math.exp(-mean)
+    k = 0
+    product = rng.random()
+    while product > limit:
+        k += 1
+        product *= rng.random()
+    return k

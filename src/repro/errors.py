@@ -1,0 +1,77 @@
+"""Exception hierarchy for the S-OLAP library.
+
+Every error raised by the library derives from :class:`SOLAPError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to discriminate the failure class when they need to.
+"""
+
+from __future__ import annotations
+
+
+class SOLAPError(Exception):
+    """Base class for all errors raised by the S-OLAP library."""
+
+
+class SchemaError(SOLAPError):
+    """A schema definition or a reference into a schema is invalid.
+
+    Raised for unknown attributes, unknown hierarchy levels, duplicate
+    dimension names, and values that cannot be mapped up a hierarchy.
+    """
+
+
+class SpecError(SOLAPError):
+    """An S-cuboid specification is malformed or internally inconsistent.
+
+    Examples: a pattern symbol bound twice with different domains, a matching
+    predicate whose placeholder count disagrees with the template length, or
+    an aggregate over an attribute that is not a measure.
+    """
+
+
+class ExpressionError(SOLAPError):
+    """A predicate expression references an unknown field or placeholder."""
+
+
+class QueryLanguageError(SOLAPError):
+    """The textual S-OLAP query could not be lexed or parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class OperationError(SOLAPError):
+    """An S-OLAP operation cannot be applied to the current specification.
+
+    Examples: DE-TAIL on a length-1 template, P-ROLL-UP past the top of a
+    concept hierarchy, or rolling up a symbol that has been sliced away.
+    """
+
+
+class IndexError_(SOLAPError):
+    """An inverted-index operation was invoked on incompatible indices.
+
+    The trailing underscore avoids shadowing the built-in ``IndexError``
+    while keeping the name recognisable in tracebacks.
+    """
+
+
+class MatchLimitExceeded(SOLAPError):
+    """A sequence produced more pattern occurrences than the configured cap.
+
+    Subsequence enumeration is combinatorial; the limit turns a silent
+    multi-minute hang on pathological data into an immediate, explainable
+    failure.  Raise the cap (or use SUBSTRING templates) to proceed.
+    """
+
+
+class EngineError(SOLAPError):
+    """The engine was asked to do something it cannot satisfy.
+
+    Examples: executing a spec against a database whose schema does not
+    declare the referenced attributes, or requesting an unknown strategy.
+    """

@@ -1,0 +1,62 @@
+"""Event substrate: schema, columnar storage, predicates, sequence pipeline."""
+
+from repro.events.cache import SequenceCache
+from repro.events.database import EventDatabase, EventView
+from repro.events.expression import (
+    And,
+    Between,
+    Comparison,
+    EventField,
+    Expr,
+    InSet,
+    Literal,
+    Not,
+    Or,
+    PlaceholderField,
+    TRUE,
+    conjoin,
+)
+from repro.events.schema import (
+    ComputedMapping,
+    Dimension,
+    Hierarchy,
+    Measure,
+    Schema,
+    register_computed_mapping,
+    resolve_computed_mapping,
+)
+from repro.events.sequence import (
+    Sequence,
+    SequenceGroup,
+    SequenceGroupSet,
+    build_sequence_groups,
+)
+
+__all__ = [
+    "And",
+    "Between",
+    "Comparison",
+    "ComputedMapping",
+    "Dimension",
+    "EventDatabase",
+    "EventField",
+    "EventView",
+    "Expr",
+    "Hierarchy",
+    "InSet",
+    "Literal",
+    "Measure",
+    "Not",
+    "Or",
+    "PlaceholderField",
+    "Schema",
+    "Sequence",
+    "SequenceCache",
+    "SequenceGroup",
+    "SequenceGroupSet",
+    "TRUE",
+    "build_sequence_groups",
+    "conjoin",
+    "register_computed_mapping",
+    "resolve_computed_mapping",
+]

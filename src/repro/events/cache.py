@@ -1,0 +1,63 @@
+"""Sequence cache (Figure 6): memoises the output of pipeline steps 1-4.
+
+Iterative S-OLAP sessions repeatedly re-execute specifications that differ
+only in their CUBOID BY clause (pattern template, restriction, predicate).
+The expensive selection / clustering / ordering / grouping work depends only
+on (WHERE, CLUSTER BY, SEQUENCE BY, SEQUENCE GROUP BY), so the engine keys
+this cache on exactly that prefix of the specification.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+from repro.events.sequence import SequenceGroupSet
+
+
+class SequenceCache:
+    """A bounded LRU cache from pipeline keys to :class:`SequenceGroupSet`."""
+
+    def __init__(self, capacity: int = 16):
+        if capacity < 1:
+            raise ValueError("sequence cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, SequenceGroupSet]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> Optional[SequenceGroupSet]:
+        """Look up *key*, refreshing its LRU position on a hit."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, groups: SequenceGroupSet) -> None:
+        """Insert (or refresh) *key*, evicting the least recently used."""
+        self._entries[key] = groups
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; returns True if it was present."""
+        return self._entries.pop(key, None) is not None
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:
+        return (
+            f"SequenceCache({len(self._entries)}/{self.capacity} entries, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,174 @@
+"""A columnar in-memory event database.
+
+Events are stored column-wise (one Python list per attribute), which keeps
+per-event overhead low and makes level-mapped column extraction — the hot
+path of sequence formation and pattern matching — a tight loop over a single
+list.  Rows are exposed through :class:`EventView`, a lightweight mapping
+over one row index, so predicate evaluation does not materialise dicts.
+
+This plays the role of the paper's *event database* (Figure 1 / Figure 6):
+the substrate the sequence query engine reads from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.events.expression import EventContext, Expr
+from repro.events.schema import Schema
+
+
+class EventView(Mapping[str, object]):
+    """A read-only mapping view of one row of an :class:`EventDatabase`."""
+
+    __slots__ = ("_db", "_row")
+
+    def __init__(self, db: "EventDatabase", row: int):
+        self._db = db
+        self._row = row
+
+    @property
+    def row(self) -> int:
+        """The row index of this event within its database."""
+        return self._row
+
+    def __getitem__(self, attribute: str) -> object:
+        return self._db.column(attribute)[self._row]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._db.schema.attributes)
+
+    def __len__(self) -> int:
+        return len(self._db.schema.attributes)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Materialise the row as a plain dict (for display / debugging)."""
+        return {attr: self[attr] for attr in self._db.schema.attributes}
+
+    def __repr__(self) -> str:
+        return f"EventView({self.to_dict()!r})"
+
+
+class EventDatabase:
+    """Column-oriented store of events conforming to a :class:`Schema`."""
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self._columns: Dict[str, List[object]] = {
+            attr: [] for attr in schema.attributes
+        }
+        self._length = 0
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def append(self, event: Mapping[str, object]) -> int:
+        """Append one event; returns its row index.
+
+        Missing measure attributes default to ``None``; missing dimension
+        attributes are an error, because every downstream stage assumes
+        dimensions are present.
+        """
+        for attr in self.schema.dimensions:
+            if attr not in event:
+                raise SchemaError(f"event missing dimension {attr!r}: {event!r}")
+        for attr in self.schema.attributes:
+            self._columns[attr].append(event.get(attr))
+        self._length += 1
+        return self._length - 1
+
+    def extend(self, events: Iterable[Mapping[str, object]]) -> None:
+        """Append many events."""
+        for event in events:
+            self.append(event)
+
+    @classmethod
+    def from_records(
+        cls, schema: Schema, records: Iterable[Mapping[str, object]]
+    ) -> "EventDatabase":
+        """Build a database from an iterable of event mappings."""
+        db = cls(schema)
+        db.extend(records)
+        return db
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    def column(self, attribute: str) -> List[object]:
+        """The raw base-level column for *attribute*."""
+        try:
+            return self._columns[attribute]
+        except KeyError:
+            raise SchemaError(f"unknown attribute {attribute!r}") from None
+
+    def event(self, row: int) -> EventView:
+        """A mapping view of row *row*."""
+        if not 0 <= row < self._length:
+            raise IndexError(f"row {row} out of range (len={self._length})")
+        return EventView(self, row)
+
+    def events(self, rows: Sequence[int]) -> List[EventView]:
+        """Mapping views for many rows."""
+        return [self.event(row) for row in rows]
+
+    def __iter__(self) -> Iterator[EventView]:
+        for row in range(self._length):
+            yield EventView(self, row)
+
+    def mapped_column(self, attribute: str, level: str) -> List[object]:
+        """The column of *attribute* mapped up to hierarchy *level*.
+
+        Base-level requests return the stored column itself (no copy);
+        callers must not mutate it.
+        """
+        hierarchy = self.schema.hierarchy(attribute)
+        column = self.column(attribute)
+        if level == hierarchy.base_level:
+            return column
+        return [hierarchy.map_value(value, level) for value in column]
+
+    def mapped_value(self, row: int, attribute: str, level: str) -> object:
+        """One value of *attribute* at *row*, mapped up to *level*."""
+        return self.schema.map_value(attribute, self.column(attribute)[row], level)
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def scan(self, predicate: Optional[Expr] = None) -> Iterator[int]:
+        """Yield row indices whose events satisfy *predicate* (all if None)."""
+        if predicate is None:
+            yield from range(self._length)
+            return
+        for row in range(self._length):
+            if predicate.evaluate(EventContext(EventView(self, row))):
+                yield row
+
+    def select(self, predicate: Optional[Expr] = None) -> List[int]:
+        """Row indices whose events satisfy *predicate* (all if None)."""
+        return list(self.scan(predicate))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def distinct(self, attribute: str, level: Optional[str] = None) -> Tuple[object, ...]:
+        """Sorted distinct values of *attribute*, optionally at *level*."""
+        if level is None or not self.schema.is_dimension(attribute):
+            values = set(self.column(attribute))
+        else:
+            values = set(self.mapped_column(attribute, level))
+        return tuple(sorted(values, key=repr))
+
+    def size_bytes(self) -> int:
+        """Rough in-memory footprint: 8 bytes per cell plus list overhead."""
+        n_cells = self._length * len(self.schema.attributes)
+        return 56 * len(self.schema.attributes) + 8 * n_cells
+
+    def __repr__(self) -> str:
+        return (
+            f"EventDatabase({self._length} events, "
+            f"attributes={list(self.schema.attributes)})"
+        )

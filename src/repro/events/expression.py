@@ -1,0 +1,337 @@
+"""Predicate expressions for event selection and pattern matching.
+
+Two kinds of predicates appear in an S-cuboid specification (Section 3.2):
+
+* the ``WHERE`` clause selects events of interest — its terms reference event
+  attributes directly (:class:`EventField`);
+* the *matching predicate* constrains matched occurrences — its terms
+  reference *event placeholders* such as ``x1.action`` (:class:`PlaceholderField`).
+
+Both are represented by the same small immutable AST so that specifications
+remain hashable (specs key the cuboid repository and the sequence cache).
+Expressions are evaluated against an :class:`EvalContext` that knows how to
+resolve each field kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Tuple
+
+from repro.errors import ExpressionError
+
+# --------------------------------------------------------------------------
+# Fields
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EventField:
+    """A reference to an attribute of the event under test (WHERE clause)."""
+
+    attribute: str
+
+    def __str__(self) -> str:
+        return self.attribute
+
+
+@dataclass(frozen=True)
+class PlaceholderField:
+    """A reference to ``placeholder.attribute`` in a matching predicate."""
+
+    placeholder: str
+    attribute: str
+
+    def __str__(self) -> str:
+        return f"{self.placeholder}.{self.attribute}"
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant value."""
+
+    value: object
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+Operand = object  # EventField | PlaceholderField | Literal
+
+
+# --------------------------------------------------------------------------
+# Evaluation contexts
+# --------------------------------------------------------------------------
+
+
+class EvalContext:
+    """Resolves field references to concrete values during evaluation."""
+
+    def resolve(self, field: Operand) -> object:
+        raise NotImplementedError
+
+
+class EventContext(EvalContext):
+    """Context for WHERE predicates: one event record (a mapping)."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: Mapping[str, object]):
+        self.event = event
+
+    def resolve(self, field: Operand) -> object:
+        if isinstance(field, Literal):
+            return field.value
+        if isinstance(field, EventField):
+            try:
+                return self.event[field.attribute]
+            except KeyError:
+                raise ExpressionError(
+                    f"event has no attribute {field.attribute!r}"
+                ) from None
+        raise ExpressionError(
+            f"{field!r} cannot be resolved in a WHERE clause (placeholders "
+            "are only valid in matching predicates)"
+        )
+
+
+class BindingContext(EvalContext):
+    """Context for matching predicates: placeholder name -> matched event."""
+
+    __slots__ = ("bindings",)
+
+    def __init__(self, bindings: Mapping[str, Mapping[str, object]]):
+        self.bindings = bindings
+
+    def resolve(self, field: Operand) -> object:
+        if isinstance(field, Literal):
+            return field.value
+        if isinstance(field, PlaceholderField):
+            try:
+                event = self.bindings[field.placeholder]
+            except KeyError:
+                raise ExpressionError(
+                    f"unknown placeholder {field.placeholder!r}"
+                ) from None
+            try:
+                return event[field.attribute]
+            except KeyError:
+                raise ExpressionError(
+                    f"event bound to {field.placeholder!r} has no attribute "
+                    f"{field.attribute!r}"
+                ) from None
+        raise ExpressionError(
+            f"{field!r} cannot be resolved in a matching predicate"
+        )
+
+
+# --------------------------------------------------------------------------
+# Expression nodes
+# --------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for boolean predicate expressions."""
+
+    def evaluate(self, context: EvalContext) -> bool:
+        raise NotImplementedError
+
+    def placeholders(self) -> Tuple[str, ...]:
+        """All placeholder names referenced anywhere in the expression."""
+        return ()
+
+    def attributes(self) -> Tuple[str, ...]:
+        """All attribute names referenced anywhere in the expression."""
+        return ()
+
+    # Convenience combinators ------------------------------------------------
+    def __and__(self, other: "Expr") -> "Expr":
+        return And((self, other))
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Or((self, other))
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+
+_COMPARATORS: Dict[str, Callable[[object, object], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Expr):
+    """A binary comparison between two operands, e.g. ``x1.action = "in"``."""
+
+    left: Operand
+    op: str
+    right: Operand
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise ExpressionError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, context: EvalContext) -> bool:
+        left = context.resolve(self.left)
+        right = context.resolve(self.right)
+        try:
+            return _COMPARATORS[self.op](left, right)
+        except TypeError:
+            raise ExpressionError(
+                f"cannot compare {left!r} {self.op} {right!r}"
+            ) from None
+
+    def placeholders(self) -> Tuple[str, ...]:
+        names = []
+        for operand in (self.left, self.right):
+            if isinstance(operand, PlaceholderField):
+                names.append(operand.placeholder)
+        return tuple(names)
+
+    def attributes(self) -> Tuple[str, ...]:
+        names = []
+        for operand in (self.left, self.right):
+            if isinstance(operand, (PlaceholderField, EventField)):
+                names.append(operand.attribute)
+        return tuple(names)
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class InSet(Expr):
+    """Membership test: ``field IN (v1, v2, ...)``."""
+
+    operand: Operand
+    values: Tuple[object, ...]
+
+    def evaluate(self, context: EvalContext) -> bool:
+        return context.resolve(self.operand) in self.values
+
+    def placeholders(self) -> Tuple[str, ...]:
+        if isinstance(self.operand, PlaceholderField):
+            return (self.operand.placeholder,)
+        return ()
+
+    def attributes(self) -> Tuple[str, ...]:
+        if isinstance(self.operand, (PlaceholderField, EventField)):
+            return (self.operand.attribute,)
+        return ()
+
+    def __str__(self) -> str:
+        inner = ", ".join(repr(v) for v in self.values)
+        return f"{self.operand} IN ({inner})"
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    """Range test: ``low <= field <= high`` (inclusive both ends)."""
+
+    operand: Operand
+    low: object
+    high: object
+
+    def evaluate(self, context: EvalContext) -> bool:
+        value = context.resolve(self.operand)
+        return self.low <= value <= self.high  # type: ignore[operator]
+
+    def placeholders(self) -> Tuple[str, ...]:
+        if isinstance(self.operand, PlaceholderField):
+            return (self.operand.placeholder,)
+        return ()
+
+    def attributes(self) -> Tuple[str, ...]:
+        if isinstance(self.operand, (PlaceholderField, EventField)):
+            return (self.operand.attribute,)
+        return ()
+
+    def __str__(self) -> str:
+        return f"{self.operand} BETWEEN {self.low!r} AND {self.high!r}"
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    """Logical conjunction over two or more terms."""
+
+    terms: Tuple[Expr, ...]
+
+    def evaluate(self, context: EvalContext) -> bool:
+        return all(term.evaluate(context) for term in self.terms)
+
+    def placeholders(self) -> Tuple[str, ...]:
+        return tuple(p for term in self.terms for p in term.placeholders())
+
+    def attributes(self) -> Tuple[str, ...]:
+        return tuple(a for term in self.terms for a in term.attributes())
+
+    def __str__(self) -> str:
+        return " AND ".join(f"({term})" for term in self.terms)
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    """Logical disjunction over two or more terms."""
+
+    terms: Tuple[Expr, ...]
+
+    def evaluate(self, context: EvalContext) -> bool:
+        return any(term.evaluate(context) for term in self.terms)
+
+    def placeholders(self) -> Tuple[str, ...]:
+        return tuple(p for term in self.terms for p in term.placeholders())
+
+    def attributes(self) -> Tuple[str, ...]:
+        return tuple(a for term in self.terms for a in term.attributes())
+
+    def __str__(self) -> str:
+        return " OR ".join(f"({term})" for term in self.terms)
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """Logical negation."""
+
+    term: Expr
+
+    def evaluate(self, context: EvalContext) -> bool:
+        return not self.term.evaluate(context)
+
+    def placeholders(self) -> Tuple[str, ...]:
+        return self.term.placeholders()
+
+    def attributes(self) -> Tuple[str, ...]:
+        return self.term.attributes()
+
+    def __str__(self) -> str:
+        return f"NOT ({self.term})"
+
+
+@dataclass(frozen=True)
+class TruePredicate(Expr):
+    """Always-true predicate; the identity element for AND."""
+
+    def evaluate(self, context: EvalContext) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "TRUE"
+
+
+TRUE = TruePredicate()
+
+
+def conjoin(*terms: Expr) -> Expr:
+    """AND together terms, dropping TRUEs; returns TRUE for no terms."""
+    real = tuple(t for t in terms if not isinstance(t, TruePredicate))
+    if not real:
+        return TRUE
+    if len(real) == 1:
+        return real[0]
+    return And(real)

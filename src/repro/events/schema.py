@@ -1,0 +1,320 @@
+"""Event schema: dimensions, measures, and concept hierarchies.
+
+An event in an S-OLAP system is a flat record with *dimension* attributes
+(used for selection, clustering, grouping and pattern matching) and *measure*
+attributes (aggregated inside cuboid cells).  Each dimension may carry a
+:class:`Hierarchy` — an ordered chain of abstraction levels from the base
+(finest) level up to coarser ones, e.g. ``station -> district`` for the
+``location`` dimension of the paper's transit example (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Mapping, Optional, Tuple, Union
+
+from repro.errors import SchemaError
+
+#: A hierarchy level mapping: either an explicit ``{base_value: level_value}``
+#: dictionary or a callable computing the level value from the base value.
+LevelMapping = Union[Mapping[object, object], Callable[[object], object]]
+
+
+class ComputedMapping:
+    """A *named* callable level mapping that can be persisted.
+
+    Plain lambdas cannot be serialised with a dataset; a computed mapping
+    carries a registry name so :mod:`repro.io` can store the name and
+    resolve the function again at load time.  Register with
+    :func:`register_computed_mapping` (idempotent for identical bindings).
+    """
+
+    __slots__ = ("name", "fn")
+
+    def __init__(self, name: str, fn: Callable[[object], object]):
+        self.name = name
+        self.fn = fn
+
+    def __call__(self, value: object) -> object:
+        return self.fn(value)
+
+    def __repr__(self) -> str:
+        return f"ComputedMapping({self.name!r})"
+
+
+_COMPUTED_MAPPINGS: Dict[str, ComputedMapping] = {}
+
+
+def register_computed_mapping(
+    name: str, fn: Callable[[object], object]
+) -> ComputedMapping:
+    """Register (or fetch) a named computed mapping.
+
+    Re-registering the same name with a different function raises: silent
+    replacement would change the meaning of persisted datasets.
+    """
+    existing = _COMPUTED_MAPPINGS.get(name)
+    if existing is not None:
+        if existing.fn is not fn:
+            raise SchemaError(
+                f"computed mapping {name!r} already registered with a "
+                "different function"
+            )
+        return existing
+    mapping = ComputedMapping(name, fn)
+    _COMPUTED_MAPPINGS[name] = mapping
+    return mapping
+
+
+def resolve_computed_mapping(name: str) -> ComputedMapping:
+    """Look up a registered computed mapping by name."""
+    try:
+        return _COMPUTED_MAPPINGS[name]
+    except KeyError:
+        raise SchemaError(
+            f"computed mapping {name!r} is not registered; import the "
+            "module that defines it before loading this schema"
+        ) from None
+
+
+class Hierarchy:
+    """An ordered chain of abstraction levels for one dimension attribute.
+
+    ``levels[0]`` is the *base* level: values stored in the event database are
+    at this level and map to themselves.  Every subsequent level is coarser
+    and is defined by a mapping from base values to level values.
+
+    Example::
+
+        Hierarchy("location", levels=("station", "district"),
+                  mappings={"district": {"Pentagon": "D10", "Wheaton": "D20"}})
+    """
+
+    def __init__(
+        self,
+        attribute: str,
+        levels: Iterable[str],
+        mappings: Optional[Mapping[str, LevelMapping]] = None,
+    ):
+        self.attribute = attribute
+        self.levels: Tuple[str, ...] = tuple(levels)
+        if not self.levels:
+            raise SchemaError(f"hierarchy for {attribute!r} must have >= 1 level")
+        if len(set(self.levels)) != len(self.levels):
+            raise SchemaError(f"hierarchy for {attribute!r} has duplicate levels")
+        self._mappings: Dict[str, LevelMapping] = dict(mappings or {})
+        for level in self.levels[1:]:
+            if level not in self._mappings:
+                raise SchemaError(
+                    f"hierarchy for {attribute!r}: level {level!r} lacks a mapping"
+                )
+        unknown = set(self._mappings) - set(self.levels[1:])
+        if unknown:
+            raise SchemaError(
+                f"hierarchy for {attribute!r}: mappings for unknown levels {sorted(unknown)}"
+            )
+
+    @property
+    def base_level(self) -> str:
+        """Name of the finest level (the level values are stored at)."""
+        return self.levels[0]
+
+    @property
+    def top_level(self) -> str:
+        """Name of the coarsest level."""
+        return self.levels[-1]
+
+    def __contains__(self, level: str) -> bool:
+        return level in self.levels
+
+    def level_index(self, level: str) -> int:
+        """Position of *level* in the chain (0 = base).  Raises on unknown."""
+        try:
+            return self.levels.index(level)
+        except ValueError:
+            raise SchemaError(
+                f"unknown level {level!r} for attribute {self.attribute!r}; "
+                f"known levels: {list(self.levels)}"
+            ) from None
+
+    def is_coarser(self, level_a: str, level_b: str) -> bool:
+        """True if *level_a* is strictly coarser than *level_b*."""
+        return self.level_index(level_a) > self.level_index(level_b)
+
+    def coarser_level(self, level: str) -> Optional[str]:
+        """The level one step up from *level*, or None at the top."""
+        idx = self.level_index(level)
+        if idx + 1 >= len(self.levels):
+            return None
+        return self.levels[idx + 1]
+
+    def finer_level(self, level: str) -> Optional[str]:
+        """The level one step down from *level*, or None at the base."""
+        idx = self.level_index(level)
+        if idx == 0:
+            return None
+        return self.levels[idx - 1]
+
+    def map_value(self, base_value: object, level: str) -> object:
+        """Map a *base-level* value up to *level*.
+
+        Base-level requests return the value unchanged.  Unmapped values
+        raise :class:`SchemaError` — silent misclassification would corrupt
+        cuboid cells.
+        """
+        if level == self.base_level:
+            return base_value
+        mapping = self._mappings[self.levels[self.level_index(level)]]
+        if callable(mapping):
+            return mapping(base_value)
+        try:
+            return mapping[base_value]
+        except KeyError:
+            raise SchemaError(
+                f"value {base_value!r} of {self.attribute!r} has no mapping "
+                f"to level {level!r}"
+            ) from None
+
+    def translate(self, value: object, from_level: str, to_level: str) -> object:
+        """Translate a value between levels (*to_level* must be coarser).
+
+        Base-level sources use the direct mapping; non-base sources go via a
+        representative base child, which requires a dict mapping at
+        *from_level*.
+        """
+        if from_level == to_level:
+            return value
+        if not self.is_coarser(to_level, from_level):
+            raise SchemaError(
+                f"cannot translate {self.attribute!r} from {from_level!r} "
+                f"to non-coarser level {to_level!r}"
+            )
+        if from_level == self.base_level:
+            return self.map_value(value, to_level)
+        children = self.children(from_level, value)
+        if not children:
+            raise SchemaError(
+                f"value {value!r} has no members at level {from_level!r}"
+            )
+        return self.map_value(children[0], to_level)
+
+    def members(self, level: str) -> Optional[Tuple[object, ...]]:
+        """Known member values of *level*, when the mapping is a dict.
+
+        Returns ``None`` for callable mappings and for the base level, where
+        the member set is only known from the data.
+        """
+        if level == self.base_level:
+            return None
+        mapping = self._mappings[level]
+        if callable(mapping):
+            return None
+        return tuple(sorted(set(mapping.values()), key=repr))
+
+    def children(self, level: str, value: object) -> Tuple[object, ...]:
+        """Base-level values mapping to *value* at *level* (dict mappings only)."""
+        if level == self.base_level:
+            return (value,)
+        mapping = self._mappings[level]
+        if callable(mapping):
+            raise SchemaError(
+                f"hierarchy level {level!r} of {self.attribute!r} uses a callable "
+                "mapping; children cannot be enumerated"
+            )
+        return tuple(sorted((k for k, v in mapping.items() if v == value), key=repr))
+
+    def __repr__(self) -> str:
+        return f"Hierarchy({self.attribute!r}, levels={self.levels!r})"
+
+
+class Dimension:
+    """A dimension attribute, optionally carrying a concept hierarchy.
+
+    A dimension without an explicit hierarchy gets a trivial single-level
+    hierarchy whose base level is named after the dimension itself.
+    """
+
+    def __init__(self, name: str, hierarchy: Optional[Hierarchy] = None):
+        self.name = name
+        self.hierarchy = hierarchy or Hierarchy(name, levels=(name,))
+        if self.hierarchy.attribute != name:
+            raise SchemaError(
+                f"dimension {name!r} given a hierarchy for "
+                f"{self.hierarchy.attribute!r}"
+            )
+
+    @property
+    def base_level(self) -> str:
+        return self.hierarchy.base_level
+
+    def __repr__(self) -> str:
+        return f"Dimension({self.name!r}, levels={self.hierarchy.levels!r})"
+
+
+class Measure:
+    """A numeric measure attribute (the target of SUM/AVG/... aggregates)."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Measure({self.name!r})"
+
+
+class Schema:
+    """The attribute catalogue of an event database.
+
+    Knows which attributes are dimensions (and their hierarchies) and which
+    are measures, and offers the level-mapping entry point used throughout
+    the engine.
+    """
+
+    def __init__(self, dimensions: Iterable[Dimension], measures: Iterable[Measure] = ()):
+        self.dimensions: Dict[str, Dimension] = {}
+        for dim in dimensions:
+            if dim.name in self.dimensions:
+                raise SchemaError(f"duplicate dimension {dim.name!r}")
+            self.dimensions[dim.name] = dim
+        self.measures: Dict[str, Measure] = {}
+        for measure in measures:
+            if measure.name in self.measures or measure.name in self.dimensions:
+                raise SchemaError(f"duplicate attribute {measure.name!r}")
+            self.measures[measure.name] = measure
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """All attribute names, dimensions first."""
+        return tuple(self.dimensions) + tuple(self.measures)
+
+    def is_dimension(self, name: str) -> bool:
+        return name in self.dimensions
+
+    def is_measure(self, name: str) -> bool:
+        return name in self.measures
+
+    def dimension(self, name: str) -> Dimension:
+        try:
+            return self.dimensions[name]
+        except KeyError:
+            raise SchemaError(f"unknown dimension {name!r}") from None
+
+    def hierarchy(self, name: str) -> Hierarchy:
+        return self.dimension(name).hierarchy
+
+    def check_level(self, attribute: str, level: str) -> None:
+        """Validate that *level* exists for dimension *attribute*."""
+        hierarchy = self.hierarchy(attribute)
+        hierarchy.level_index(level)
+
+    def map_value(self, attribute: str, base_value: object, level: str) -> object:
+        """Map a stored (base-level) value of *attribute* up to *level*."""
+        return self.hierarchy(attribute).map_value(base_value, level)
+
+    def validate_attribute(self, name: str) -> None:
+        if name not in self.dimensions and name not in self.measures:
+            raise SchemaError(f"unknown attribute {name!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"Schema(dimensions={list(self.dimensions)}, "
+            f"measures={list(self.measures)})"
+        )

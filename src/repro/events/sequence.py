@@ -1,0 +1,274 @@
+"""Sequence formation: steps 1-4 of S-cuboid construction (Section 3.2).
+
+The pipeline turns the flat event database into *sequence groups*:
+
+1. **Selection** — keep only rows satisfying the WHERE predicate.
+2. **Clustering** — partition selected rows by the CLUSTER BY attributes,
+   each evaluated at a chosen hierarchy level (e.g. ``card-id AT individual,
+   time AT day``).
+3. **Sequence formation** — order each cluster by the SEQUENCE BY attribute
+   to obtain one :class:`Sequence` per cluster.
+4. **Sequence grouping** — group sequences by the SEQUENCE GROUP BY
+   attributes (the *global dimensions*); the result is a
+   :class:`SequenceGroupSet`, the paper's q-dimensional array of groups.
+
+These four steps are shared verbatim by both cuboid-construction strategies
+(counter-based and inverted-index), so they live here, below both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence as Seq, Tuple
+
+from repro.errors import SpecError
+from repro.events.database import EventDatabase, EventView
+from repro.events.expression import Expr
+
+#: An (attribute, level) pair, as used by CLUSTER BY / SEQUENCE GROUP BY.
+AttrLevel = Tuple[str, str]
+
+#: An (attribute, ascending) ordering key, as used by SEQUENCE BY.
+OrderKey = Tuple[str, bool]
+
+
+class Sequence:
+    """One data sequence: an ordered run of events from the database.
+
+    Sequences hold row indices rather than materialised events, and cache
+    the *symbol tuple* — the per-event values of an attribute mapped to a
+    hierarchy level — because pattern matching reads those tuples many times.
+    """
+
+    __slots__ = ("sid", "db", "rows", "cluster_key", "_symbol_cache")
+
+    def __init__(
+        self,
+        sid: int,
+        db: EventDatabase,
+        rows: Tuple[int, ...],
+        cluster_key: Tuple[object, ...] = (),
+    ):
+        self.sid = sid
+        self.db = db
+        self.rows = rows
+        self.cluster_key = cluster_key
+        self._symbol_cache: Dict[AttrLevel, Tuple[object, ...]] = {}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def event(self, position: int) -> EventView:
+        """The event at 0-based *position* within the sequence."""
+        return self.db.event(self.rows[position])
+
+    def events(self) -> List[EventView]:
+        """All events of the sequence, in order."""
+        return self.db.events(self.rows)
+
+    def symbols(self, attribute: str, level: str) -> Tuple[object, ...]:
+        """Per-event values of *attribute* mapped to *level* (cached)."""
+        key = (attribute, level)
+        cached = self._symbol_cache.get(key)
+        if cached is None:
+            hierarchy = self.db.schema.hierarchy(attribute)
+            column = self.db.column(attribute)
+            if level == hierarchy.base_level:
+                cached = tuple(column[row] for row in self.rows)
+            else:
+                cached = tuple(
+                    hierarchy.map_value(column[row], level) for row in self.rows
+                )
+            self._symbol_cache[key] = cached
+        return cached
+
+    def measure_values(self, attribute: str) -> Tuple[object, ...]:
+        """Per-event values of a measure attribute (no level mapping)."""
+        column = self.db.column(attribute)
+        return tuple(column[row] for row in self.rows)
+
+    def __repr__(self) -> str:
+        return f"Sequence(sid={self.sid}, len={len(self.rows)})"
+
+
+class SequenceGroup:
+    """All sequences sharing one global-dimension key."""
+
+    __slots__ = ("key", "sequences", "_by_sid")
+
+    def __init__(self, key: Tuple[object, ...], sequences: List[Sequence]):
+        self.key = key
+        self.sequences = sequences
+        self._by_sid: Optional[Dict[int, Sequence]] = None
+
+    def __len__(self) -> int:
+        return len(self.sequences)
+
+    def __iter__(self) -> Iterator[Sequence]:
+        return iter(self.sequences)
+
+    def by_sid(self, sid: int) -> Sequence:
+        """Look up a member sequence by sid (index built lazily)."""
+        if self._by_sid is None:
+            self._by_sid = {seq.sid: seq for seq in self.sequences}
+        return self._by_sid[sid]
+
+    def sids(self) -> Tuple[int, ...]:
+        return tuple(seq.sid for seq in self.sequences)
+
+    def __repr__(self) -> str:
+        return f"SequenceGroup(key={self.key!r}, {len(self.sequences)} sequences)"
+
+
+class SequenceGroupSet:
+    """The q-dimensional array of sequence groups (q = #global dimensions).
+
+    Implemented sparsely as a dict from group key to :class:`SequenceGroup`.
+    When no SEQUENCE GROUP BY clause is given, all sequences form the single
+    group with the empty key ``()``.
+    """
+
+    def __init__(
+        self,
+        global_dims: Tuple[AttrLevel, ...],
+        groups: Dict[Tuple[object, ...], SequenceGroup],
+    ):
+        self.global_dims = global_dims
+        self.groups = groups
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    def __iter__(self) -> Iterator[SequenceGroup]:
+        for key in sorted(self.groups, key=repr):
+            yield self.groups[key]
+
+    def group(self, key: Tuple[object, ...]) -> SequenceGroup:
+        return self.groups[key]
+
+    def single_group(self) -> SequenceGroup:
+        """The lone group of an ungrouped pipeline (raises if >1 group)."""
+        if len(self.groups) != 1:
+            raise SpecError(
+                f"expected a single sequence group, found {len(self.groups)}"
+            )
+        return next(iter(self.groups.values()))
+
+    def total_sequences(self) -> int:
+        return sum(len(group) for group in self.groups.values())
+
+    def all_sequences(self) -> Iterator[Sequence]:
+        for group in self:
+            yield from group
+
+    def __repr__(self) -> str:
+        return (
+            f"SequenceGroupSet({len(self.groups)} groups, "
+            f"{self.total_sequences()} sequences, dims={self.global_dims})"
+        )
+
+
+# --------------------------------------------------------------------------
+# Pipeline steps
+# --------------------------------------------------------------------------
+
+
+def select_events(db: EventDatabase, where: Optional[Expr]) -> List[int]:
+    """Step 1 — row indices of events satisfying the WHERE predicate."""
+    return db.select(where)
+
+
+def cluster_events(
+    db: EventDatabase,
+    rows: Iterable[int],
+    cluster_by: Seq[AttrLevel],
+) -> Dict[Tuple[object, ...], List[int]]:
+    """Step 2 — partition rows by the CLUSTER BY attributes at their levels."""
+    if not cluster_by:
+        raise SpecError("CLUSTER BY requires at least one attribute")
+    mapped_columns = [db.mapped_column(attr, level) for attr, level in cluster_by]
+    clusters: Dict[Tuple[object, ...], List[int]] = {}
+    for row in rows:
+        key = tuple(column[row] for column in mapped_columns)
+        clusters.setdefault(key, []).append(row)
+    return clusters
+
+
+def form_sequences(
+    db: EventDatabase,
+    clusters: Dict[Tuple[object, ...], List[int]],
+    sequence_by: Seq[OrderKey],
+    sid_start: int = 0,
+) -> List[Sequence]:
+    """Step 3 — order each cluster into one :class:`Sequence`.
+
+    Sids are assigned densely from *sid_start* in deterministic (sorted
+    cluster key) order, so repeated runs over the same data produce
+    identical sids — which the tests and the inverted indices rely on.
+    """
+    if not sequence_by:
+        raise SpecError("SEQUENCE BY requires at least one ordering attribute")
+    order_columns = [(db.column(attr), ascending) for attr, ascending in sequence_by]
+
+    def order_key(row: int) -> Tuple[object, ...]:
+        return tuple(column[row] for column, __ in order_columns)
+
+    descending = [not ascending for __, ascending in order_columns]
+    sequences: List[Sequence] = []
+    for key in sorted(clusters, key=repr):
+        rows = clusters[key]
+        if any(descending):
+            # Mixed-direction ordering: stable-sort from the least
+            # significant key to the most significant one.
+            ordered = list(rows)
+            for (column, ascending) in reversed(order_columns):
+                ordered.sort(key=lambda r: column[r], reverse=not ascending)
+        else:
+            ordered = sorted(rows, key=order_key)
+        sequences.append(
+            Sequence(sid_start + len(sequences), db, tuple(ordered), cluster_key=key)
+        )
+    return sequences
+
+
+def group_sequences(
+    db: EventDatabase,
+    sequences: Iterable[Sequence],
+    group_by: Seq[AttrLevel],
+) -> SequenceGroupSet:
+    """Step 4 — group sequences by the SEQUENCE GROUP BY attributes.
+
+    The group key of a sequence is computed from its **first event**, mapped
+    to the requested levels.  This matches the paper's usage, where every
+    SEQUENCE GROUP BY attribute is a coarser view of a CLUSTER BY attribute
+    (e.g. cluster on ``card-id AT individual`` and group on ``card-id AT
+    fare-group``), so the value is constant across the sequence.
+    """
+    group_by = tuple(group_by)
+    groups: Dict[Tuple[object, ...], List[Sequence]] = {}
+    for sequence in sequences:
+        if group_by:
+            first = sequence.rows[0]
+            key = tuple(
+                db.mapped_value(first, attr, level) for attr, level in group_by
+            )
+        else:
+            key = ()
+        groups.setdefault(key, []).append(sequence)
+    return SequenceGroupSet(
+        global_dims=group_by,
+        groups={key: SequenceGroup(key, seqs) for key, seqs in groups.items()},
+    )
+
+
+def build_sequence_groups(
+    db: EventDatabase,
+    where: Optional[Expr],
+    cluster_by: Seq[AttrLevel],
+    sequence_by: Seq[OrderKey],
+    group_by: Seq[AttrLevel] = (),
+) -> SequenceGroupSet:
+    """Run pipeline steps 1-4 and return the sequence groups."""
+    rows = select_events(db, where)
+    clusters = cluster_events(db, rows, cluster_by)
+    sequences = form_sequences(db, clusters, sequence_by)
+    return group_sequences(db, sequences, group_by)

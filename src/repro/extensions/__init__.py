@@ -1,0 +1,27 @@
+"""Extensions from the paper's discussion section: iceberg cuboids,
+online aggregation, incremental index maintenance."""
+
+from repro.extensions.federated import (
+    FederationCoordinator,
+    VendorSite,
+    pseudonymize,
+)
+from repro.extensions.iceberg import (
+    iceberg_counter_based,
+    iceberg_inverted_index,
+)
+from repro.extensions.incremental import PartitionedIndexMaintainer
+from repro.extensions.incremental_cuboid import IncrementalCuboidMaintainer
+from repro.extensions.online_agg import OnlineEstimate, online_cuboid
+
+__all__ = [
+    "FederationCoordinator",
+    "IncrementalCuboidMaintainer",
+    "OnlineEstimate",
+    "PartitionedIndexMaintainer",
+    "VendorSite",
+    "iceberg_counter_based",
+    "iceberg_inverted_index",
+    "online_cuboid",
+    "pseudonymize",
+]

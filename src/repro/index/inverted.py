@@ -1,0 +1,432 @@
+"""Inverted indices over sequence groups (Section 4.2.2, Figures 9/13/14).
+
+A size-m inverted index ``L_m`` maps a length-m pattern ``(v1, ..., vm)`` —
+values at fixed (attribute, level) domains per position — to the set of sids
+of sequences containing that pattern (as a substring or subsequence).
+
+The module provides the four primitive index operations the paper's
+QueryIndices algorithm and S-OLAP operations are built from:
+
+* :func:`build_index` — the BuildIndex procedure (Figure 9), optionally
+  restricted to a candidate sid set (used when an index is built on demand
+  mid-join, so only sequences already known to be relevant are scanned);
+* :func:`join_indices` — ``L_i ⋈ L_2`` list intersection (Figure 13/14);
+* :meth:`InvertedIndex.rollup` — P-ROLL-UP by unioning lists whose keys
+  coincide at a coarser level (valid only for unrestricted templates);
+* :func:`refine_index` — P-DRILL-DOWN by rescanning only listed sequences.
+
+Joins produce *candidate* indices (``verified=False``); they must be
+verified against the base sequences before counting, exactly as the paper
+eliminates ``s1`` from ``l12`` in Figure 13.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.core.matcher import TemplateMatcher
+from repro.core.spec import PatternKind, PatternSymbol, PatternTemplate
+from repro.core.stats import QueryStats
+from repro.errors import IndexError_
+from repro.events.schema import Schema
+from repro.events.sequence import SequenceGroup
+
+PatternValues = Tuple[object, ...]
+
+
+def prefix_template(template: PatternTemplate, length: int) -> PatternTemplate:
+    """The template restricted to its first *length* positions.
+
+    Symbols keep their domains and restrictions; symbols not appearing in
+    the prefix are dropped.
+    """
+    if not 1 <= length <= template.length:
+        raise IndexError_(
+            f"prefix length {length} invalid for a length-{template.length} template"
+        )
+    positions = template.positions[:length]
+    seen: List[str] = []
+    for name in positions:
+        if name not in seen:
+            seen.append(name)
+    symbols = tuple(template.symbol(name) for name in seen)
+    return PatternTemplate(kind=template.kind, positions=positions, symbols=symbols)
+
+
+def pair_template(template: PatternTemplate, position: int) -> PatternTemplate:
+    """The length-2 template over positions (position, position+1).
+
+    This is the ``L_2^(Yi, Yi+1)`` shape joined in QueryIndices.  Symbol
+    restrictions (fixed / within) are preserved so on-demand builds do not
+    enumerate values a restricted symbol can never take.
+    """
+    if not 0 <= position < template.length - 1:
+        raise IndexError_(
+            f"pair position {position} invalid for a length-{template.length} template"
+        )
+    names = (template.positions[position], template.positions[position + 1])
+    seen: List[str] = []
+    for name in names:
+        if name not in seen:
+            seen.append(name)
+    symbols = tuple(template.symbol(name) for name in seen)
+    return PatternTemplate(kind=template.kind, positions=names, symbols=symbols)
+
+
+def unrestricted_template(template: PatternTemplate) -> PatternTemplate:
+    """The same template with all fixed / within restrictions removed."""
+    symbols = tuple(
+        PatternSymbol(s.name, s.attribute, s.level) for s in template.symbols
+    )
+    return PatternTemplate(
+        kind=template.kind, positions=template.positions, symbols=symbols
+    )
+
+
+class InvertedIndex:
+    """One materialised inverted index for one sequence group.
+
+    ``template`` records the shape the lists instantiate (symbol equalities
+    and restrictions included); ``verified`` is False for join candidates
+    whose lists may contain sequences that do not actually contain the
+    concatenated pattern.
+    """
+
+    def __init__(
+        self,
+        template: PatternTemplate,
+        group_key: Tuple[object, ...],
+        lists: Dict[PatternValues, FrozenSet[int]],
+        verified: bool = True,
+    ):
+        self.template = template
+        self.group_key = group_key
+        self.lists = lists
+        self.verified = verified
+
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Pattern length of the index (the m of L_m)."""
+        return self.template.length
+
+    def __len__(self) -> int:
+        return len(self.lists)
+
+    def __contains__(self, values: PatternValues) -> bool:
+        return values in self.lists
+
+    def get(self, values: PatternValues) -> FrozenSet[int]:
+        """The sid list for one pattern (empty when absent)."""
+        return self.lists.get(values, frozenset())
+
+    def num_entries(self) -> int:
+        """Total sid entries across all lists."""
+        return sum(len(sids) for sids in self.lists.values())
+
+    def all_sids(self) -> Set[int]:
+        """Union of every list (the candidate universe of the index)."""
+        out: Set[int] = set()
+        for sids in self.lists.values():
+            out.update(sids)
+        return out
+
+    def size_bytes(self) -> int:
+        """Estimated footprint: 8 bytes/sid entry + per-list key overhead.
+
+        A deliberate, stable estimate (not ``sys.getsizeof`` recursion) so
+        benchmark output is machine-independent, mirroring the paper's MB
+        figures in Table 1.
+        """
+        per_list_overhead = 48 + 8 * self.m
+        return sum(
+            per_list_overhead + 8 * len(sids) for sids in self.lists.values()
+        )
+
+    def signature(self) -> Tuple:
+        """Registry key for this index (template identity)."""
+        return self.template.signature()
+
+    # ------------------------------------------------------------------
+    def filter_for(self, template: PatternTemplate, schema: Schema) -> "InvertedIndex":
+        """Derive ``L_m^T``: keep lists whose key instantiates *template*.
+
+        Only valid when *template* has the same length, kind and per-position
+        domains as this index's template and is at least as restrictive.
+        This is how a base (all-distinct-symbol) L2 serves a template like
+        (X, X): keep only the lists with equal components (Footnote 7).
+        """
+        if template.length != self.m or template.kind != self.template.kind:
+            raise IndexError_("template shape mismatch in filter_for")
+        own = self.template.position_symbols()
+        other = template.position_symbols()
+        for mine, theirs in zip(own, other):
+            if (mine.attribute, mine.level) != (theirs.attribute, theirs.level):
+                raise IndexError_("position domain mismatch in filter_for")
+        matcher = _key_checker(template, schema)
+        kept = {
+            values: sids for values, sids in self.lists.items() if matcher(values)
+        }
+        return InvertedIndex(template, self.group_key, kept, verified=self.verified)
+
+    def rollup(
+        self,
+        position_levels: Tuple[Tuple[str, str], ...],
+        schema: Schema,
+        coarse_template: PatternTemplate,
+        stats: Optional[QueryStats] = None,
+    ) -> "InvertedIndex":
+        """P-ROLL-UP by merging lists (Section 4.2.2, operation 4).
+
+        *position_levels* gives the (attribute, target_level) per position.
+        Lists whose keys coincide after mapping are unioned.  The caller is
+        responsible for the validity precondition (no repeated and no
+        restricted symbols in the template) — see
+        :func:`repro.core.inverted_index.rollup_by_merge_is_valid`.
+        """
+        if len(position_levels) != self.m:
+            raise IndexError_("position_levels length mismatch in rollup")
+        source_levels = [
+            (symbol.attribute, symbol.level)
+            for symbol in self.template.position_symbols()
+        ]
+        merged: Dict[PatternValues, Set[int]] = {}
+        for values, sids in self.lists.items():
+            # Positions whose level is unchanged (including wildcard
+            # positions, whose pseudo-domain has no hierarchy) pass through.
+            coarse = tuple(
+                value
+                if src_level == level
+                else schema.hierarchy(attr).translate(value, src_level, level)
+                for value, (attr, level), (__, src_level) in zip(
+                    values, position_levels, source_levels
+                )
+            )
+            merged.setdefault(coarse, set()).update(sids)
+            if stats is not None:
+                stats.lists_transformed += 1
+        return InvertedIndex(
+            coarse_template,
+            self.group_key,
+            {k: frozenset(v) for k, v in merged.items()},
+            verified=self.verified,
+        )
+
+    def __repr__(self) -> str:
+        flag = "" if self.verified else ", unverified"
+        return (
+            f"InvertedIndex(m={self.m}, {len(self.lists)} lists, "
+            f"{self.num_entries()} entries{flag})"
+        )
+
+
+def _key_checker(template: PatternTemplate, schema: Schema):
+    """A fast predicate testing whether a value tuple instantiates *template*."""
+    from repro.core.matcher import _symbol_value_ok
+
+    symbol_ids = template.symbol_ids()
+    position_symbols = template.position_symbols()
+    first_position: Dict[int, int] = {}
+    for position, dim in enumerate(symbol_ids):
+        first_position.setdefault(dim, position)
+
+    def check(values: PatternValues) -> bool:
+        for position, dim in enumerate(symbol_ids):
+            first = first_position[dim]
+            if position != first:
+                if values[position] != values[first]:
+                    return False
+            elif not _symbol_value_ok(position_symbols[position], values[position], schema):
+                return False
+        return True
+
+    return check
+
+
+# --------------------------------------------------------------------------
+# BuildIndex (Figure 9)
+# --------------------------------------------------------------------------
+
+
+def build_index(
+    group: SequenceGroup,
+    template: PatternTemplate,
+    schema: Schema,
+    stats: Optional[QueryStats] = None,
+    restrict_sids: Optional[Iterable[int]] = None,
+) -> InvertedIndex:
+    """Procedure BuildIndex: scan sequences, list sids per unique pattern.
+
+    Only the template is applied (no cell restriction, no matching
+    predicate — those are verified at counting time).  When *restrict_sids*
+    is given, only those sequences are scanned; this implements the
+    domain-restricted on-demand builds that make iterative II queries cheap.
+    """
+    matcher = TemplateMatcher(template, schema)
+    lists: Dict[PatternValues, Set[int]] = {}
+    if restrict_sids is None:
+        sequences = list(group)
+    else:
+        wanted = set(restrict_sids)
+        sequences = [group.by_sid(sid) for sid in sorted(wanted)]
+    for sequence in sequences:
+        if stats is not None:
+            stats.add_scan()
+        for values in matcher.unique_instantiations(sequence):
+            lists.setdefault(values, set()).add(sequence.sid)
+    index = InvertedIndex(
+        template,
+        group.key,
+        {values: frozenset(sids) for values, sids in lists.items()},
+        verified=True,
+    )
+    if stats is not None:
+        stats.indices_built += 1
+        stats.index_bytes_built += index.size_bytes()
+    return index
+
+
+# --------------------------------------------------------------------------
+# Join (Figures 13/14; QueryIndices line 8)
+# --------------------------------------------------------------------------
+
+
+def join_indices(
+    left: InvertedIndex,
+    right: InvertedIndex,
+    target_prefix: PatternTemplate,
+    schema: Schema,
+    stats: Optional[QueryStats] = None,
+) -> InvertedIndex:
+    """``L_{i+1} = L_i ⋈ L_2``: extend left keys by right keys' second value.
+
+    The join condition is equality of left's last component with right's
+    first; candidate keys must additionally instantiate *target_prefix*
+    (the first i+1 positions of the query template), which enforces
+    repeated-symbol equalities like the trailing X of (X, Y, Y, X).
+
+    The result is **unverified**: list intersection over-approximates
+    containment of the concatenated pattern (a sequence may contain
+    (a, b) and (b, c) without containing (a, b, c)), so callers must run
+    :func:`verify_index` before counting.
+    """
+    if right.m != 2:
+        raise IndexError_("join right operand must be a size-2 index")
+    if target_prefix.length != left.m + 1:
+        raise IndexError_(
+            f"target prefix has length {target_prefix.length}, "
+            f"expected {left.m + 1}"
+        )
+    by_first: Dict[object, List[Tuple[object, FrozenSet[int]]]] = {}
+    for (first, second), sids in right.lists.items():
+        by_first.setdefault(first, []).append((second, sids))
+    checker = _key_checker(target_prefix, schema)
+    joined: Dict[PatternValues, FrozenSet[int]] = {}
+    for values, sids in left.lists.items():
+        for second, right_sids in by_first.get(values[-1], ()):
+            candidate = values + (second,)
+            if not checker(candidate):
+                continue
+            intersection = sids & right_sids
+            if intersection:
+                joined[candidate] = intersection
+    if stats is not None:
+        stats.index_joins += 1
+    return InvertedIndex(target_prefix, left.group_key, joined, verified=False)
+
+
+def verify_index(
+    index: InvertedIndex,
+    group: SequenceGroup,
+    schema: Schema,
+    stats: Optional[QueryStats] = None,
+) -> InvertedIndex:
+    """Eliminate invalid entries by checking real containment (Figure 13).
+
+    Scans each distinct sequence appearing in the candidate lists once and
+    keeps (pattern, sid) pairs only when the sequence truly contains that
+    instantiation.
+    """
+    if index.verified:
+        return index
+    matcher = TemplateMatcher(index.template, schema)
+    # Group the membership tests by sid so each sequence is scanned once.
+    by_sid: Dict[int, List[PatternValues]] = {}
+    for values, sids in index.lists.items():
+        for sid in sids:
+            by_sid.setdefault(sid, []).append(values)
+    surviving: Dict[PatternValues, Set[int]] = {}
+    for sid, patterns in by_sid.items():
+        sequence = group.by_sid(sid)
+        if stats is not None:
+            stats.add_scan()
+        contained = {
+            values: None for values in matcher.unique_instantiations(sequence)
+        }
+        for values in patterns:
+            if values in contained:
+                surviving.setdefault(values, set()).add(sid)
+    verified = InvertedIndex(
+        index.template,
+        index.group_key,
+        {values: frozenset(sids) for values, sids in surviving.items()},
+        verified=True,
+    )
+    if stats is not None:
+        stats.indices_built += 1
+        stats.index_bytes_built += verified.size_bytes()
+    return verified
+
+
+# --------------------------------------------------------------------------
+# Refinement (P-DRILL-DOWN, Section 4.2.2, operation 5)
+# --------------------------------------------------------------------------
+
+
+def refine_index(
+    coarse: InvertedIndex,
+    fine_template: PatternTemplate,
+    group: SequenceGroup,
+    schema: Schema,
+    stats: Optional[QueryStats] = None,
+) -> InvertedIndex:
+    """P-DRILL-DOWN: rebuild at a finer level scanning only listed sids.
+
+    The coarse index tells us exactly which sequences can possibly match any
+    refined pattern, so the rebuild scans ``|union of lists|`` sequences
+    instead of the whole group — the asymmetry behind the paper's Qb numbers
+    (2,201 scanned instead of 50,524).
+    """
+    candidates = coarse.all_sids()
+    index = build_index(
+        group, fine_template, schema, stats=stats, restrict_sids=candidates
+    )
+    if stats is not None:
+        stats.lists_transformed += len(coarse.lists)
+    return index
+
+
+def union_indices(
+    indices: Iterable[InvertedIndex], template: PatternTemplate
+) -> InvertedIndex:
+    """Union same-shaped indices (incremental maintenance support).
+
+    Used when per-partition indices (e.g. one per day) are combined to
+    answer a coarser query without rebuilding from base data.
+    """
+    merged: Dict[PatternValues, Set[int]] = {}
+    group_key: Tuple[object, ...] = ()
+    verified = True
+    for index in indices:
+        if index.template.signature() != template.signature():
+            raise IndexError_("cannot union indices with different templates")
+        verified = verified and index.verified
+        group_key = index.group_key
+        for values, sids in index.lists.items():
+            merged.setdefault(values, set()).update(sids)
+    return InvertedIndex(
+        template,
+        group_key,
+        {values: frozenset(sids) for values, sids in merged.items()},
+        verified=verified,
+    )

@@ -1,0 +1,129 @@
+"""Registry of materialised inverted indices (the Auxiliary Data Structures
+box of Figure 6).
+
+Indices are registered per sequence group and keyed by the full template
+signature (kind, symbol-identity pattern, per-symbol domain and
+restrictions).
+
+A registry is only valid for ONE sequence-formation pipeline (one
+WHERE / CLUSTER BY / SEQUENCE BY / SEQUENCE GROUP BY combination): group
+keys from different pipelines can collide while denoting different
+sequence populations.  :class:`~repro.core.engine.SOLAPEngine` therefore
+keeps one registry per pipeline key (``engine.registry_for(spec)``);
+callers driving the strategies directly must do the same.  Lookups fall back from an exact match to a *base* index —
+same length/kind/per-position domains but all-distinct, unrestricted
+symbols — which can serve any more-constrained template by list filtering
+(Footnote 7 of the paper: ``L2^(X,X)`` is just the equal-component lists of
+``L2``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.spec import PatternSymbol, PatternTemplate
+from repro.events.schema import Schema
+from repro.index.inverted import InvertedIndex, prefix_template
+
+GroupKey = Tuple[object, ...]
+Signature = Tuple
+
+
+def base_template(template: PatternTemplate) -> PatternTemplate:
+    """The all-distinct, unrestricted template over the same domains.
+
+    This is the most general shape an index can be built for at these
+    per-position (attribute, level) domains; any template with the same
+    domains can be derived from it by filtering.
+    """
+    position_symbols = template.position_symbols()
+    names = [f"P{i}" for i in range(template.length)]
+    symbols = tuple(
+        PatternSymbol.any(name)
+        if symbol.wildcard
+        else PatternSymbol(name, symbol.attribute, symbol.level)
+        for name, symbol in zip(names, position_symbols)
+    )
+    return PatternTemplate(
+        kind=template.kind, positions=tuple(names), symbols=symbols
+    )
+
+
+class IndexRegistry:
+    """Materialised-index bookkeeping for one engine instance."""
+
+    def __init__(self) -> None:
+        self._by_group: Dict[GroupKey, Dict[Signature, InvertedIndex]] = {}
+
+    # ------------------------------------------------------------------
+    def put(self, index: InvertedIndex) -> None:
+        """Register (or replace) an index for its group."""
+        group_indices = self._by_group.setdefault(index.group_key, {})
+        group_indices[index.signature()] = index
+
+    def get_exact(
+        self, group_key: GroupKey, template: PatternTemplate
+    ) -> Optional[InvertedIndex]:
+        """Exact-signature lookup."""
+        return self._by_group.get(group_key, {}).get(template.signature())
+
+    def find(
+        self, group_key: GroupKey, template: PatternTemplate, schema: Schema
+    ) -> Optional[InvertedIndex]:
+        """Exact lookup, falling back to filtering a base index.
+
+        The filtered derivation is *not* registered — it is cheap to
+        recompute and registering it would double-count bytes.
+        """
+        exact = self.get_exact(group_key, template)
+        if exact is not None:
+            return exact
+        base = self.get_exact(group_key, base_template(template))
+        if base is not None:
+            return base.filter_for(template, schema)
+        return None
+
+    def longest_prefix(
+        self, group_key: GroupKey, template: PatternTemplate, schema: Schema
+    ) -> Optional[Tuple[int, InvertedIndex]]:
+        """The longest available verified index for a prefix of *template*.
+
+        Implements QueryIndices line 8's "largest available inverted index":
+        scans prefix lengths from m down to 1.
+        """
+        for length in range(template.length, 0, -1):
+            prefix = prefix_template(template, length)
+            index = self.find(group_key, prefix, schema)
+            if index is not None and index.verified:
+                return length, index
+        return None
+
+    # ------------------------------------------------------------------
+    def invalidate_group(self, group_key: GroupKey) -> int:
+        """Drop every index of one group; returns how many were dropped."""
+        dropped = self._by_group.pop(group_key, {})
+        return len(dropped)
+
+    def clear(self) -> None:
+        self._by_group.clear()
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[InvertedIndex]:
+        for group_indices in self._by_group.values():
+            yield from group_indices.values()
+
+    def indices_for_group(self, group_key: GroupKey) -> List[InvertedIndex]:
+        return list(self._by_group.get(group_key, {}).values())
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_group.values())
+
+    def total_bytes(self) -> int:
+        """Estimated footprint of every registered index."""
+        return sum(index.size_bytes() for index in self)
+
+    def __repr__(self) -> str:
+        return (
+            f"IndexRegistry({len(self)} indices over "
+            f"{len(self._by_group)} groups, {self.total_bytes() / 1e6:.3f} MB)"
+        )

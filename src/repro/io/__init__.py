@@ -1,0 +1,41 @@
+"""Persistence: event datasets (CSV/JSONL), schemas, indices, cuboids."""
+
+from repro.io.events_io import (
+    load_dataset,
+    load_schema,
+    read_events_csv,
+    read_events_jsonl,
+    save_dataset,
+    save_schema,
+    schema_from_dict,
+    schema_to_dict,
+    write_events_csv,
+    write_events_jsonl,
+)
+from repro.io.index_io import (
+    load_cuboid,
+    load_index,
+    save_cuboid,
+    save_index,
+    template_from_dict,
+    template_to_dict,
+)
+
+__all__ = [
+    "load_cuboid",
+    "load_dataset",
+    "load_index",
+    "load_schema",
+    "read_events_csv",
+    "read_events_jsonl",
+    "save_cuboid",
+    "save_dataset",
+    "save_index",
+    "save_schema",
+    "schema_from_dict",
+    "schema_to_dict",
+    "template_from_dict",
+    "template_to_dict",
+    "write_events_csv",
+    "write_events_jsonl",
+]

@@ -1,0 +1,201 @@
+"""Event-database import/export: CSV and JSON-lines.
+
+A warehouse is loaded from files, not constructed in code; this module is
+the loading dock.  CSV is the interchange format of the paper's datasets
+(the Gazelle file was a 238.9 MB delimited file); JSONL preserves value
+types exactly and round-trips losslessly.
+
+Schemas are serialised alongside the data (``schema.json``) so a dataset
+directory is self-describing, including dict-mapped concept hierarchies.
+Callable hierarchy mappings cannot be serialised and are rejected with a
+clear error.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Union
+
+from repro.errors import SchemaError
+from repro.events.database import EventDatabase
+from repro.events.schema import (
+    ComputedMapping,
+    Dimension,
+    Hierarchy,
+    Measure,
+    Schema,
+    resolve_computed_mapping,
+)
+
+PathLike = Union[str, Path]
+
+
+# --------------------------------------------------------------------------
+# Schema (de)serialisation
+# --------------------------------------------------------------------------
+
+
+def schema_to_dict(schema: Schema) -> Dict:
+    """A JSON-safe description of a schema (dict-mapped hierarchies only)."""
+    dimensions = []
+    for dimension in schema.dimensions.values():
+        hierarchy = dimension.hierarchy
+        mappings = {}
+        for level in hierarchy.levels[1:]:
+            mapping = hierarchy._mappings[level]
+            if isinstance(mapping, ComputedMapping):
+                mappings[level] = {"computed": mapping.name}
+            elif callable(mapping):
+                raise SchemaError(
+                    f"hierarchy level {level!r} of {dimension.name!r} uses an "
+                    "unnamed callable mapping; wrap it with "
+                    "register_computed_mapping to make it persistable"
+                )
+            else:
+                mappings[level] = [
+                    [key, value] for key, value in mapping.items()
+                ]
+        dimensions.append(
+            {
+                "name": dimension.name,
+                "levels": list(hierarchy.levels),
+                "mappings": mappings,
+            }
+        )
+    return {
+        "dimensions": dimensions,
+        "measures": list(schema.measures),
+    }
+
+
+def schema_from_dict(data: Mapping) -> Schema:
+    """Rebuild a schema from :func:`schema_to_dict` output."""
+    dimensions = []
+    for entry in data["dimensions"]:
+        levels = tuple(entry["levels"])
+        mappings = {}
+        for level, stored in entry.get("mappings", {}).items():
+            if isinstance(stored, dict) and "computed" in stored:
+                mappings[level] = resolve_computed_mapping(stored["computed"])
+            else:
+                mappings[level] = {key: value for key, value in stored}
+        dimensions.append(
+            Dimension(entry["name"], Hierarchy(entry["name"], levels, mappings))
+        )
+    measures = [Measure(name) for name in data.get("measures", [])]
+    return Schema(dimensions, measures)
+
+
+def save_schema(schema: Schema, path: PathLike) -> None:
+    Path(path).write_text(json.dumps(schema_to_dict(schema), indent=2))
+
+
+def load_schema(path: PathLike) -> Schema:
+    return schema_from_dict(json.loads(Path(path).read_text()))
+
+
+# --------------------------------------------------------------------------
+# JSONL events
+# --------------------------------------------------------------------------
+
+
+def write_events_jsonl(db: EventDatabase, path: PathLike) -> int:
+    """Write one JSON object per event; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in db:
+            handle.write(json.dumps(event.to_dict(), sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_events_jsonl(schema: Schema, path: PathLike) -> EventDatabase:
+    """Load a JSONL event file into a database."""
+    db = EventDatabase(schema)
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                db.append(json.loads(line))
+    return db
+
+
+# --------------------------------------------------------------------------
+# CSV events
+# --------------------------------------------------------------------------
+
+
+def write_events_csv(db: EventDatabase, path: PathLike) -> int:
+    """Write the event table as CSV with a header row."""
+    attributes = db.schema.attributes
+    count = 0
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(attributes)
+        for event in db:
+            writer.writerow([event[attr] for attr in attributes])
+            count += 1
+    return count
+
+
+def _convert(text: str, converter: Optional[str]) -> object:
+    if converter == "int":
+        return int(text)
+    if converter == "float":
+        return float(text)
+    return text
+
+
+def read_events_csv(
+    schema: Schema,
+    path: PathLike,
+    types: Optional[Mapping[str, str]] = None,
+) -> EventDatabase:
+    """Load a CSV event file.
+
+    CSV is untyped, so *types* maps attribute names to ``"int"`` or
+    ``"float"`` for columns that must be parsed numerically (everything
+    else stays a string).  Unknown header columns are rejected rather
+    than silently dropped.
+    """
+    types = dict(types or {})
+    db = EventDatabase(schema)
+    with open(path, "r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            return db
+        unknown = [name for name in header if name not in schema.attributes]
+        if unknown:
+            raise SchemaError(f"CSV has unknown columns: {unknown}")
+        for row in reader:
+            event = {
+                name: _convert(value, types.get(name))
+                for name, value in zip(header, row)
+            }
+            db.append(event)
+    return db
+
+
+# --------------------------------------------------------------------------
+# Self-describing dataset directories
+# --------------------------------------------------------------------------
+
+
+def save_dataset(db: EventDatabase, directory: PathLike) -> Path:
+    """Write ``schema.json`` + ``events.jsonl`` into *directory*."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    save_schema(db.schema, directory / "schema.json")
+    write_events_jsonl(db, directory / "events.jsonl")
+    return directory
+
+
+def load_dataset(directory: PathLike) -> EventDatabase:
+    """Load a dataset directory written by :func:`save_dataset`."""
+    directory = Path(directory)
+    schema = load_schema(directory / "schema.json")
+    return read_events_jsonl(schema, directory / "events.jsonl")

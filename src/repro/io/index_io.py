@@ -1,0 +1,146 @@
+"""Persistence for inverted indices and computed S-cuboids.
+
+The paper's prototype precomputes indices offline; a production system
+persists them between sessions.  Indices serialise to JSON (template
+signature + lists); cuboids serialise to JSON (spec text via the query
+language formatter + cells), so a saved cuboid is both machine- and
+human-readable.
+
+Keys of inverted lists and cuboid cells are value tuples; JSON has no
+tuple type, so keys are stored as JSON arrays in a list-of-pairs layout.
+Only JSON-representable values (str / int / float / bool / None) can be
+persisted — the generators in this library produce exactly those.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.core.cuboid import SCuboid
+from repro.core.spec import (
+    CuboidSpec,
+    PatternKind,
+    PatternSymbol,
+    PatternTemplate,
+)
+from repro.events.schema import Schema
+from repro.index.inverted import InvertedIndex
+from repro.ql.formatter import format_spec
+from repro.ql.parser import parse_query
+
+PathLike = Union[str, Path]
+
+
+# --------------------------------------------------------------------------
+# Template (de)serialisation
+# --------------------------------------------------------------------------
+
+
+def template_to_dict(template: PatternTemplate) -> Dict:
+    return {
+        "kind": template.kind.value,
+        "positions": list(template.positions),
+        "symbols": [
+            {
+                "name": s.name,
+                "attribute": s.attribute,
+                "level": s.level,
+                "fixed": s.fixed,
+                "within": list(s.within) if s.within is not None else None,
+            }
+            for s in template.symbols
+        ],
+    }
+
+
+def template_from_dict(data: Dict) -> PatternTemplate:
+    symbols = tuple(
+        PatternSymbol(
+            entry["name"],
+            entry["attribute"],
+            entry["level"],
+            entry.get("fixed"),
+            tuple(entry["within"]) if entry.get("within") is not None else None,
+        )
+        for entry in data["symbols"]
+    )
+    return PatternTemplate(
+        kind=PatternKind(data["kind"]),
+        positions=tuple(data["positions"]),
+        symbols=symbols,
+    )
+
+
+# --------------------------------------------------------------------------
+# Inverted indices
+# --------------------------------------------------------------------------
+
+
+def save_index(index: InvertedIndex, path: PathLike) -> None:
+    """Persist one inverted index as JSON."""
+    payload = {
+        "template": template_to_dict(index.template),
+        "group_key": list(index.group_key),
+        "verified": index.verified,
+        "lists": [
+            [list(values), sorted(sids)] for values, sids in index.lists.items()
+        ],
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_index(path: PathLike) -> InvertedIndex:
+    """Load an inverted index written by :func:`save_index`."""
+    payload = json.loads(Path(path).read_text())
+    lists = {
+        tuple(values): frozenset(sids) for values, sids in payload["lists"]
+    }
+    return InvertedIndex(
+        template=template_from_dict(payload["template"]),
+        group_key=tuple(payload["group_key"]),
+        lists=lists,
+        verified=payload["verified"],
+    )
+
+
+# --------------------------------------------------------------------------
+# Cuboids
+# --------------------------------------------------------------------------
+
+
+def save_cuboid(cuboid: SCuboid, path: PathLike) -> None:
+    """Persist a computed S-cuboid with its spec in query-language text."""
+    payload = {
+        "spec": format_spec(cuboid.spec),
+        "global_slice": [
+            [index, list(v) if isinstance(v, tuple) else v]
+            for index, v in cuboid.spec.global_slice
+        ],
+        "cells": [
+            [list(group_key), list(cell_key), values]
+            for (group_key, cell_key), values in cuboid.cells.items()
+        ],
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_cuboid(path: PathLike, schema: Schema = None) -> SCuboid:
+    """Load a cuboid written by :func:`save_cuboid`."""
+    payload = json.loads(Path(path).read_text())
+    spec = parse_query(payload["spec"], schema)
+    if payload.get("global_slice"):
+        from dataclasses import replace
+
+        restored: List[Tuple[int, object]] = []
+        for index, value in payload["global_slice"]:
+            restored.append(
+                (index, tuple(value) if isinstance(value, list) else value)
+            )
+        spec = replace(spec, global_slice=tuple(restored))
+    cells = {
+        (tuple(group_key), tuple(cell_key)): values
+        for group_key, cell_key, values in payload["cells"]
+    }
+    return SCuboid(spec, cells)

@@ -1,0 +1,23 @@
+"""Query optimisation: CB-vs-II cost model and offline index advisor."""
+
+from repro.optimizer.advisor import (
+    IndexAdvisor,
+    Recommendation,
+    advise_for_workload,
+)
+from repro.optimizer.cost_model import (
+    CostEstimate,
+    CostModel,
+    DataProfile,
+    profile_groups,
+)
+
+__all__ = [
+    "CostEstimate",
+    "CostModel",
+    "DataProfile",
+    "IndexAdvisor",
+    "Recommendation",
+    "advise_for_workload",
+    "profile_groups",
+]

@@ -1,0 +1,200 @@
+"""Index advisor: which inverted indices to materialise offline.
+
+The paper closes Section 4.2.2 with: "Another interesting question
+concerns *which* inverted indices should be materialized offline.  A
+related problem is thus about how to determine the lists to be built
+given a set of frequently asked queries."
+
+This module answers that question with a classical greedy
+benefit-per-byte selection:
+
+1. **Candidates** — for every spec in the workload, the base (all-
+   distinct, unrestricted) L1/L2 templates over each adjacent
+   position-pair domain.  These are exactly the indices QueryIndices can
+   bootstrap any join chain from, and they are shareable across queries
+   with the same domains.
+2. **Benefit** — for each candidate, the drop in modelled cost
+   (:class:`~repro.optimizer.cost_model.CostModel`) summed over the
+   weighted workload when the candidate is (hypothetically) available.
+3. **Selection** — greedy by benefit / estimated bytes under a byte
+   budget, re-scoring after each pick (a later candidate may be
+   subsumed by an earlier one).
+
+``materialize`` then actually builds the chosen indices through the
+engine, making the recommendation actionable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.engine import SOLAPEngine
+from repro.core.spec import CuboidSpec, PatternTemplate
+from repro.core.stats import QueryStats
+from repro.index.inverted import pair_template, prefix_template
+from repro.index.registry import IndexRegistry, base_template
+from repro.optimizer.cost_model import CostModel, DataProfile, profile_groups
+
+
+@dataclass
+class Recommendation:
+    """One advised index with its scores."""
+
+    template: PatternTemplate
+    benefit: float
+    estimated_bytes: int
+
+    @property
+    def benefit_per_byte(self) -> float:
+        return self.benefit / max(1, self.estimated_bytes)
+
+    def __repr__(self) -> str:
+        domains = ", ".join(
+            f"{s.attribute}@{s.level}" for s in self.template.position_symbols()
+        )
+        return (
+            f"Recommendation(L{self.template.length}[{domains}], "
+            f"benefit={self.benefit:.0f}, ~{self.estimated_bytes / 1e6:.2f} MB)"
+        )
+
+
+class IndexAdvisor:
+    """Greedy offline-materialisation advisor for a query workload."""
+
+    def __init__(self, profile: DataProfile):
+        self.profile = profile
+        self.model = CostModel(profile)
+
+    # ------------------------------------------------------------------
+    def candidate_templates(
+        self, workload: Sequence[CuboidSpec]
+    ) -> List[PatternTemplate]:
+        """Distinct base L1/L2 templates covering the workload's joins."""
+        seen: Dict[Tuple, PatternTemplate] = {}
+        for spec in workload:
+            template = spec.template
+            if template.length == 1:
+                candidate = base_template(template)
+                seen.setdefault(candidate.signature(), candidate)
+                continue
+            for position in range(template.length - 1):
+                candidate = base_template(pair_template(template, position))
+                seen.setdefault(candidate.signature(), candidate)
+        return list(seen.values())
+
+    def estimate_index_bytes(self, template: PatternTemplate) -> int:
+        """Predicted footprint of a base index over the profile's data.
+
+        Expected entries ≈ one per (sequence, distinct pattern) pair; the
+        number of distinct patterns per sequence is bounded by both the
+        window count and the instantiation space.
+        """
+        profile = self.profile
+        m = template.length
+        windows = max(1.0, profile.avg_length - m + 1)
+        space = 1.0
+        for symbol in template.position_symbols():
+            space *= profile.domain_size(symbol.attribute, symbol.level)
+        per_sequence = min(windows, space)
+        entries = profile.n_sequences * per_sequence
+        lists = min(space, entries)
+        return int(8 * entries + (48 + 8 * m) * lists)
+
+    # ------------------------------------------------------------------
+    def _workload_cost(
+        self,
+        workload: Sequence[Tuple[CuboidSpec, float]],
+        available: List[PatternTemplate],
+        schema,
+    ) -> float:
+        """Modelled total cost with the given base indices available."""
+        registry = IndexRegistry()
+        # Register empty shells: the cost model only consults signatures
+        # through longest_prefix, which needs real index objects — give it
+        # verified empty ones (costing never reads the lists).
+        from repro.index.inverted import InvertedIndex
+
+        for template in available:
+            registry.put(InvertedIndex(template, (), {}, verified=True))
+        total = 0.0
+        for spec, weight in workload:
+            __, cb, ii = self.model.choose(spec, registry, (), schema)
+            total += weight * min(cb.scan_equivalents, ii.scan_equivalents)
+        return total
+
+    def recommend(
+        self,
+        workload: Sequence[CuboidSpec],
+        schema,
+        byte_budget: int = 64 * 1024 * 1024,
+        weights: Optional[Sequence[float]] = None,
+    ) -> List[Recommendation]:
+        """Greedy benefit-per-byte selection under *byte_budget*."""
+        weighted = list(
+            zip(workload, weights if weights is not None else [1.0] * len(workload))
+        )
+        candidates = self.candidate_templates(workload)
+        chosen: List[PatternTemplate] = []
+        recommendations: List[Recommendation] = []
+        remaining_budget = byte_budget
+        baseline = self._workload_cost(weighted, chosen, schema)
+        pool = list(candidates)
+        while pool:
+            best = None
+            best_score = 0.0
+            best_cost = baseline
+            for candidate in pool:
+                bytes_ = self.estimate_index_bytes(candidate)
+                if bytes_ > remaining_budget:
+                    continue
+                cost_with = self._workload_cost(
+                    weighted, chosen + [candidate], schema
+                )
+                benefit = baseline - cost_with
+                score = benefit / max(1, bytes_)
+                if benefit > 0 and score > best_score:
+                    best = candidate
+                    best_score = score
+                    best_cost = cost_with
+            if best is None:
+                break
+            bytes_ = self.estimate_index_bytes(best)
+            recommendations.append(
+                Recommendation(best, baseline - best_cost, bytes_)
+            )
+            chosen.append(best)
+            pool.remove(best)
+            remaining_budget -= bytes_
+            baseline = best_cost
+        return recommendations
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def materialize(
+        engine: SOLAPEngine,
+        recommendations: Sequence[Recommendation],
+        prototype: CuboidSpec,
+    ) -> QueryStats:
+        """Actually build the advised indices (offline precompute)."""
+        return engine.precompute(
+            prototype, [rec.template for rec in recommendations]
+        )
+
+
+def advise_for_workload(
+    engine: SOLAPEngine,
+    workload: Sequence[CuboidSpec],
+    byte_budget: int = 64 * 1024 * 1024,
+) -> List[Recommendation]:
+    """One-call convenience: profile, advise, return recommendations."""
+    if not workload:
+        return []
+    groups = engine.sequence_groups(workload[0])
+    domains = set()
+    for spec in workload:
+        for symbol in spec.template.symbols:
+            domains.add((symbol.attribute, symbol.level))
+    profile = profile_groups(engine.db, groups, tuple(domains))
+    advisor = IndexAdvisor(profile)
+    return advisor.recommend(workload, engine.db.schema, byte_budget)

@@ -1,0 +1,239 @@
+"""A cost model for choosing between CB and II (Section 4.2.2's open
+problem: "this is a sophisticated S-OLAP query optimization problem where
+many factors such as storage space, memory availability, and execution
+speed are parts of the formula").
+
+The model prices both strategies in *sequence-scan equivalents* — the
+machine-independent unit the paper reports — using a
+:class:`DataProfile` summarising the sequence groups:
+
+* **CB** always scans every selected sequence and pays a per-sequence
+  matching cost proportional to the number of candidate windows.
+* **II** pays (a) index acquisition — zero for a registry hit, a merge
+  for a roll-up, a candidate-restricted rebuild for a drill-down, join +
+  verification work for a prefix hit, or a full build from scratch — and
+  (b) counting — free for predicate-less left-maximality COUNTs, one scan
+  per listed sequence otherwise.
+
+Selectivity of a pattern is estimated from the profile under a
+uniform-independence assumption, deliberately biased pessimistically for
+II (Zipf-skewed data makes lists *larger* than independence predicts), so
+"choose II" decisions are conservative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.spec import CellRestriction, CuboidSpec, PatternTemplate
+from repro.core.aggregates import needs_contents
+from repro.events.database import EventDatabase
+from repro.events.sequence import SequenceGroupSet
+from repro.index.inverted import prefix_template
+from repro.index.registry import IndexRegistry
+
+AttrLevel = Tuple[str, str]
+
+
+@dataclass
+class DataProfile:
+    """Summary statistics of a sequence-group set used for costing."""
+
+    n_sequences: int
+    avg_length: float
+    n_groups: int
+    #: distinct-value counts per (attribute, level) domain
+    domain_sizes: Dict[AttrLevel, int] = field(default_factory=dict)
+
+    def domain_size(self, attribute: str, level: str) -> int:
+        return max(1, self.domain_sizes.get((attribute, level), 1))
+
+
+def profile_groups(
+    db: EventDatabase,
+    groups: SequenceGroupSet,
+    domains: Tuple[AttrLevel, ...] = (),
+) -> DataProfile:
+    """Collect a :class:`DataProfile` (single pass over sequence lengths;
+    distinct counts via the columnar store)."""
+    total = 0
+    count = 0
+    for group in groups:
+        for sequence in group:
+            total += len(sequence)
+            count += 1
+    domain_sizes = {
+        (attribute, level): len(db.distinct(attribute, level))
+        for attribute, level in domains
+    }
+    return DataProfile(
+        n_sequences=count,
+        avg_length=total / count if count else 0.0,
+        n_groups=max(1, len(groups)),
+        domain_sizes=domain_sizes,
+    )
+
+
+@dataclass
+class CostEstimate:
+    """Predicted cost of answering one spec with one strategy."""
+
+    strategy: str
+    scan_equivalents: float
+    detail: str
+
+    def __repr__(self) -> str:
+        return (
+            f"CostEstimate({self.strategy}, {self.scan_equivalents:.0f} "
+            f"scan-equivalents: {self.detail})"
+        )
+
+
+class CostModel:
+    """Prices CB and II for a spec against a registry and a profile."""
+
+    #: relative cost of one join+verify step vs one sequence scan
+    JOIN_STEP_WEIGHT = 0.5
+    #: relative cost of a list merge vs one sequence scan
+    MERGE_WEIGHT = 0.01
+    #: relative cost of an index-building scan vs a plain CB scan — list
+    #: insertion makes building more expensive per sequence, which is why
+    #: the paper's Table 1 shows CB winning the cold first query
+    BUILD_WEIGHT = 1.5
+
+    def __init__(self, profile: DataProfile):
+        self.profile = profile
+
+    # -- selectivity --------------------------------------------------------
+    def expected_matching_sequences(self, template: PatternTemplate) -> float:
+        """E[#sequences containing some instantiation of *template*].
+
+        Under independence, a fixed length-m pattern occurs in a window
+        with probability ∏ 1/|dom_i|; a sequence has ~(L - m + 1) windows.
+        For an unrestricted template (all instantiations) the union over
+        instantiations makes a sequence match almost surely when domains
+        are small, so the estimate is capped at n_sequences.  Fixed
+        symbols divide the candidate instantiation space.
+        """
+        profile = self.profile
+        m = template.length
+        windows = max(0.0, profile.avg_length - m + 1)
+        if windows == 0:
+            return 0.0
+        # probability one window matches SOME instantiation honouring the
+        # symbol restrictions: 1 / (product of domain sizes of restricted
+        # positions) — unrestricted positions always match something.
+        p_window = 1.0
+        for symbol in template.position_symbols():
+            if symbol.fixed is not None:
+                p_window /= self.profile.domain_size(
+                    symbol.attribute, symbol.level
+                )
+            # 'within' constraints restrict to a subtree; approximate as a
+            # tenth of the domain when we cannot enumerate it.
+            elif symbol.within is not None:
+                p_window /= max(
+                    2.0, self.profile.domain_size(symbol.attribute, symbol.level) / 10
+                )
+        # repeated symbols must re-match the bound value
+        repeats = template.length - template.n_dims
+        for __ in range(repeats):
+            # a repeat position must equal an already-bound value
+            any_symbol = template.position_symbols()[0]
+            p_window /= self.profile.domain_size(
+                any_symbol.attribute, any_symbol.level
+            )
+        p_sequence = min(1.0, windows * p_window)
+        return profile.n_sequences * p_sequence
+
+    # -- CB ------------------------------------------------------------------
+    def cost_cb(self, spec: CuboidSpec) -> CostEstimate:
+        profile = self.profile
+        m = spec.template.length
+        windows = max(1.0, profile.avg_length - m + 1)
+        # one scan per sequence, weighted by per-sequence matching work
+        work = profile.n_sequences * (1.0 + 0.01 * windows * m)
+        return CostEstimate(
+            "cb",
+            work,
+            f"full scan of {profile.n_sequences} sequences, "
+            f"~{windows:.0f} windows x {m} positions each",
+        )
+
+    # -- II ------------------------------------------------------------------
+    def cost_ii(
+        self,
+        spec: CuboidSpec,
+        registry: Optional[IndexRegistry],
+        group_key: Tuple[object, ...] = (),
+        schema=None,
+    ) -> CostEstimate:
+        profile = self.profile
+        template = spec.template
+        matching = self.expected_matching_sequences(template)
+
+        acquisition = 0.0
+        detail = []
+        prefix_len = 0
+        if registry is not None and schema is not None:
+            hit = registry.longest_prefix(group_key, template, schema)
+            if hit is not None:
+                prefix_len = hit[0]
+        if prefix_len >= template.length:
+            detail.append("exact index hit")
+        else:
+            if prefix_len < 2 and template.length >= 2:
+                acquisition += self.BUILD_WEIGHT * profile.n_sequences
+                detail.append(f"base build: {profile.n_sequences} scans")
+                prefix_len = min(2, template.length)
+            elif template.length == 1 and prefix_len == 0:
+                acquisition += self.BUILD_WEIGHT * profile.n_sequences
+                detail.append(f"L1 build: {profile.n_sequences} scans")
+                prefix_len = 1
+            else:
+                detail.append(f"prefix L{prefix_len} reused")
+            steps = template.length - prefix_len
+            if steps > 0:
+                # each step verifies candidates ~ expected matches of the
+                # (longer) prefix — use the final template's expectation
+                # as the (pessimistic) per-step verification size
+                per_step = max(
+                    matching,
+                    self.expected_matching_sequences(
+                        prefix_template(template, min(template.length, prefix_len + 1))
+                    ),
+                )
+                acquisition += steps * (
+                    self.JOIN_STEP_WEIGHT * per_step + per_step
+                )
+                detail.append(
+                    f"{steps} join step(s), ~{per_step:.0f} candidates each"
+                )
+
+        fast_count = (
+            not needs_contents(spec.aggregates)
+            and spec.predicate is None
+            and spec.restriction is not CellRestriction.ALL_MATCHED
+        )
+        counting = 0.0 if fast_count else matching
+        detail.append(
+            "count from list lengths"
+            if fast_count
+            else f"counting scan of ~{matching:.0f} listed sequences"
+        )
+        return CostEstimate("ii", acquisition + counting, "; ".join(detail))
+
+    # -- decision -------------------------------------------------------------
+    def choose(
+        self,
+        spec: CuboidSpec,
+        registry: Optional[IndexRegistry] = None,
+        group_key: Tuple[object, ...] = (),
+        schema=None,
+    ) -> Tuple[str, CostEstimate, CostEstimate]:
+        """Pick the cheaper strategy; returns (choice, cb_cost, ii_cost)."""
+        cb = self.cost_cb(spec)
+        ii = self.cost_ii(spec, registry, group_key, schema)
+        choice = "ii" if ii.scan_equivalents < cb.scan_equivalents else "cb"
+        return choice, cb, ii

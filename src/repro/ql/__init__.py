@@ -1,0 +1,19 @@
+"""The S-OLAP query language: lexer, parser, formatter."""
+
+from repro.ql.ast import AggregateClause, ParsedQuery, SymbolBinding
+from repro.ql.formatter import format_expr, format_spec
+from repro.ql.lexer import Token, TokenType, tokenize
+from repro.ql.parser import parse, parse_query
+
+__all__ = [
+    "AggregateClause",
+    "ParsedQuery",
+    "SymbolBinding",
+    "Token",
+    "TokenType",
+    "format_expr",
+    "format_spec",
+    "parse",
+    "parse_query",
+    "tokenize",
+]

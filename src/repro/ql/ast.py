@@ -1,0 +1,125 @@
+"""Intermediate representation of a parsed S-OLAP query.
+
+The parser first builds a :class:`ParsedQuery` — a faithful, purely
+syntactic record of every clause — and :meth:`ParsedQuery.to_spec` then
+lowers it to a semantic :class:`~repro.core.spec.CuboidSpec`.  Keeping the
+two stages separate lets tests assert on parse structure without a schema
+and keeps the formatter round-trip honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.spec import (
+    AggregateScope,
+    AggregateSpec,
+    CellRestriction,
+    CuboidSpec,
+    MatchingPredicate,
+    PatternKind,
+    PatternSymbol,
+    PatternTemplate,
+)
+from repro.errors import SpecError
+from repro.events.expression import Expr
+
+
+@dataclass
+class SymbolBinding:
+    """``X AS location AT station [= "Pentagon"] [WITHIN district = "D10"]``."""
+
+    name: str
+    attribute: str
+    level: str
+    fixed: Optional[object] = None
+    within: Optional[Tuple[str, object]] = None
+
+    def to_symbol(self) -> PatternSymbol:
+        return PatternSymbol(
+            self.name, self.attribute, self.level, self.fixed, self.within
+        )
+
+
+@dataclass
+class AggregateClause:
+    """One SELECT-list entry, e.g. ``SUM(amount) OVER SEQUENCE``."""
+
+    func: str
+    argument: Optional[str]
+    scope: str = "MATCHED"
+
+    def to_spec(self) -> AggregateSpec:
+        return AggregateSpec(
+            self.func, self.argument, AggregateScope(self.scope)
+        )
+
+
+@dataclass
+class ParsedQuery:
+    """All clauses of one S-OLAP query, pre-semantic-lowering."""
+
+    aggregates: List[AggregateClause]
+    source: str
+    where: Optional[Expr]
+    cluster_by: List[Tuple[str, str]]
+    sequence_by: List[Tuple[str, bool]]
+    group_by: List[Tuple[str, str]]
+    pattern_kind: str
+    positions: List[str]
+    bindings: List[SymbolBinding]
+    restriction: str
+    placeholders: List[str] = field(default_factory=list)
+    matching_predicate: Optional[Expr] = None
+    #: auto-named ANY positions (wildcard symbols, no bindings needed)
+    wildcards: List[str] = field(default_factory=list)
+    #: iceberg condition from HAVING COUNT(*) >= n
+    min_support: Optional[int] = None
+
+    def to_spec(self) -> CuboidSpec:
+        """Lower to a :class:`CuboidSpec` (raises SpecError on bad shape)."""
+        by_name = {binding.name: binding for binding in self.bindings}
+        wildcard_names = set(self.wildcards)
+        missing = [
+            name
+            for name in self.positions
+            if name not in by_name and name not in wildcard_names
+        ]
+        if missing:
+            raise SpecError(f"symbols without WITH bindings: {missing}")
+        order: List[str] = []
+        for name in self.positions:
+            if name not in order:
+                order.append(name)
+
+        def symbol_for(name: str) -> PatternSymbol:
+            if name in wildcard_names:
+                return PatternSymbol.any(name)
+            return by_name[name].to_symbol()
+
+        template = PatternTemplate(
+            kind=PatternKind(self.pattern_kind),
+            positions=tuple(self.positions),
+            symbols=tuple(symbol_for(name) for name in order),
+        )
+        predicate = None
+        if self.placeholders:
+            if self.matching_predicate is not None:
+                predicate = MatchingPredicate(
+                    tuple(self.placeholders), self.matching_predicate
+                )
+            # Placeholders without a WITH expression carry no constraint:
+            # the paper still writes them (they name the matched events),
+            # so they parse fine but lower to "no predicate".
+        return CuboidSpec(
+            template=template,
+            cluster_by=tuple(self.cluster_by),
+            sequence_by=tuple(self.sequence_by),
+            group_by=tuple(self.group_by),
+            where=self.where,
+            restriction=CellRestriction(self.restriction),
+            predicate=predicate,
+            aggregates=tuple(a.to_spec() for a in self.aggregates),
+            min_support=self.min_support,
+        )

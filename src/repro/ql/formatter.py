@@ -1,0 +1,143 @@
+"""Formatter: turn a :class:`CuboidSpec` back into query-language text.
+
+``parse_query(format_spec(spec))`` round-trips to an equal spec for every
+construct the language covers (global slices/dices are session state, not
+language constructs, and are emitted as a trailing comment).
+"""
+
+from __future__ import annotations
+
+from repro.core.spec import AggregateScope, CuboidSpec
+from repro.events.expression import (
+    And,
+    Between,
+    Comparison,
+    EventField,
+    Expr,
+    InSet,
+    Literal,
+    Not,
+    Or,
+    PlaceholderField,
+    TruePredicate,
+)
+
+
+def format_literal(value: object) -> str:
+    """Render a literal: numbers bare, everything else double-quoted."""
+    if isinstance(value, bool):
+        return f'"{value}"'
+    if isinstance(value, (int, float)):
+        return repr(value)
+    return '"' + str(value) + '"'
+
+
+def _format_operand(operand: object) -> str:
+    if isinstance(operand, Literal):
+        return format_literal(operand.value)
+    if isinstance(operand, EventField):
+        return operand.attribute
+    if isinstance(operand, PlaceholderField):
+        return f"{operand.placeholder}.{operand.attribute}"
+    raise TypeError(f"cannot format operand {operand!r}")
+
+
+def format_expr(expr: Expr) -> str:
+    """Render a predicate expression as query-language text."""
+    if isinstance(expr, Comparison):
+        return (
+            f"{_format_operand(expr.left)} {expr.op} "
+            f"{_format_operand(expr.right)}"
+        )
+    if isinstance(expr, InSet):
+        inner = ", ".join(format_literal(v) for v in expr.values)
+        return f"{_format_operand(expr.operand)} IN ({inner})"
+    if isinstance(expr, Between):
+        return (
+            f"{_format_operand(expr.operand)} BETWEEN "
+            f"{format_literal(expr.low)} AND {format_literal(expr.high)}"
+        )
+    if isinstance(expr, And):
+        return " AND ".join(_wrap(term) for term in expr.terms)
+    if isinstance(expr, Or):
+        return " OR ".join(_wrap(term) for term in expr.terms)
+    if isinstance(expr, Not):
+        return f"NOT {_wrap(expr.term)}"
+    if isinstance(expr, TruePredicate):
+        return '"" = ""'  # degenerate but parseable always-true comparison
+    raise TypeError(f"cannot format expression {expr!r}")
+
+
+def _wrap(expr: Expr) -> str:
+    text = format_expr(expr)
+    if isinstance(expr, (And, Or)):
+        return f"({text})"
+    return text
+
+
+def format_spec(spec: CuboidSpec, source: str = "Event") -> str:
+    """Render a full S-cuboid specification as query text."""
+    lines = []
+    select = []
+    for aggregate in spec.aggregates:
+        text = aggregate.name
+        if aggregate.func != "COUNT" and aggregate.scope is not AggregateScope.MATCHED:
+            text += f" OVER {aggregate.scope.value}"
+        select.append(text)
+    lines.append(f"SELECT {', '.join(select)} FROM {source}")
+    if spec.where is not None:
+        lines.append(f"WHERE {format_expr(spec.where)}")
+    lines.append(
+        "CLUSTER BY "
+        + ", ".join(f"{attr} AT {level}" for attr, level in spec.cluster_by)
+    )
+    lines.append(
+        "SEQUENCE BY "
+        + ", ".join(
+            f"{attr} {'ASCENDING' if ascending else 'DESCENDING'}"
+            for attr, ascending in spec.sequence_by
+        )
+    )
+    if spec.group_by:
+        lines.append(
+            "SEQUENCE GROUP BY "
+            + ", ".join(f"{attr} AT {level}" for attr, level in spec.group_by)
+        )
+    template = spec.template
+    wildcard_names = {s.name for s in template.symbols if s.wildcard}
+    rendered_positions = [
+        "ANY" if name in wildcard_names else name for name in template.positions
+    ]
+    lines.append(
+        f"CUBOID BY {template.kind.value} ({', '.join(rendered_positions)})"
+    )
+    bindings = []
+    for symbol in template.symbols:
+        if symbol.wildcard:
+            continue
+        text = f"{symbol.name} AS {symbol.attribute} AT {symbol.level}"
+        if symbol.fixed is not None:
+            text += f" = {format_literal(symbol.fixed)}"
+        if symbol.within is not None:
+            anchor_level, anchor_value = symbol.within
+            text += f" WITHIN {anchor_level} = {format_literal(anchor_value)}"
+        bindings.append(text)
+    if bindings:
+        lines.append("  WITH " + ", ".join(bindings))
+    if spec.predicate is not None:
+        placeholders = spec.predicate.placeholders
+    else:
+        placeholders = tuple(f"p{i + 1}" for i in range(template.length))
+    lines.append(f"{spec.restriction.value} ({', '.join(placeholders)})")
+    if spec.predicate is not None and not isinstance(
+        spec.predicate.expr, TruePredicate
+    ):
+        lines.append(f"  WITH {format_expr(spec.predicate.expr)}")
+    if spec.min_support is not None:
+        lines.append(f"HAVING COUNT(*) >= {spec.min_support}")
+    if spec.global_slice:
+        lines.append(
+            "-- global slice: "
+            + ", ".join(f"dim{index}={value!r}" for index, value in spec.global_slice)
+        )
+    return "\n".join(lines)

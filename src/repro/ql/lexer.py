@@ -1,0 +1,186 @@
+"""Lexer for the S-OLAP query language (Figures 3, 5 and 11 of the paper).
+
+The language is line-oriented SQL-style text such as::
+
+    SELECT COUNT(*) FROM Event
+    WHERE time >= "2007-10-01T00:00" AND time < "2007-12-31T24:00"
+    CLUSTER BY card-id AT individual, time AT day
+    SEQUENCE BY time ASCENDING
+    SEQUENCE GROUP BY card-id AT fare-group, time AT day
+    CUBOID BY SUBSTRING (X, Y, Y, X)
+      WITH X AS location AT station, Y AS location AT station
+    LEFT-MAXIMALITY (x1, y1, y2, x2)
+      WITH x1.action = "in" AND y1.action = "out"
+
+Identifiers may contain hyphens (``card-id``, ``fare-group``), matching the
+paper's attribute names; keywords are case-insensitive.  Timestamps and any
+other non-numeric literals must be quoted.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import QueryLanguageError
+
+
+class TokenType(enum.Enum):
+    IDENT = "IDENT"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    OP = "OP"  # = != < <= > >=
+    LPAREN = "LPAREN"
+    RPAREN = "RPAREN"
+    COMMA = "COMMA"
+    DOT = "DOT"
+    STAR = "STAR"
+    EOF = "EOF"
+
+
+#: Keywords, uppercased.  Hyphenated keywords lex as single IDENT tokens
+#: because identifiers admit interior hyphens.
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "CLUSTER", "SEQUENCE", "GROUP", "BY",
+        "CUBOID", "SUBSTRING", "SUBSEQUENCE", "WITH", "AS", "AT", "WITHIN",
+        "ANY", "HAVING",
+        "AND", "OR", "NOT", "IN", "BETWEEN",
+        "ASCENDING", "DESCENDING", "ASC", "DESC",
+        "OVER", "MATCHED", "FIRST-EVENT",
+        "LEFT-MAXIMALITY", "LEFT-MAXIMALITY-DATA", "ALL-MATCHED",
+        "COUNT", "SUM", "AVG", "MIN", "MAX",
+    }
+)
+
+_OPERATOR_CHARS = {"=", "!", "<", ">"}
+_TWO_CHAR_OPS = {"!=", "<=", ">="}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with source position (1-based line/column)."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    @property
+    def keyword(self) -> str:
+        """The uppercased value (for keyword comparisons)."""
+        return self.value.upper()
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.IDENT and self.keyword == word
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch in "_-"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenise a full query; raises :class:`QueryLanguageError` on garbage."""
+    return list(iter_tokens(text))
+
+
+def iter_tokens(text: str) -> Iterator[Token]:
+    line = 1
+    column = 1
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch.isspace():
+            i += 1
+            column += 1
+            continue
+        if ch == "-" and i + 1 < n and text[i + 1] == "-":
+            # SQL-style line comment
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        start_col = column
+        if ch == '"' or ch == "'":
+            quote = ch
+            j = i + 1
+            buf = []
+            while j < n and text[j] != quote:
+                if text[j] == "\n":
+                    raise QueryLanguageError("unterminated string", line, start_col)
+                buf.append(text[j])
+                j += 1
+            if j >= n:
+                raise QueryLanguageError("unterminated string", line, start_col)
+            value = "".join(buf)
+            yield Token(TokenType.STRING, value, line, start_col)
+            column += j + 1 - i
+            i = j + 1
+            continue
+        if ch.isdigit() or (
+            ch == "-" and i + 1 < n and text[i + 1].isdigit()
+        ):
+            j = i + 1
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # Only treat as decimal point when followed by a digit.
+                    if j + 1 < n and text[j + 1].isdigit():
+                        seen_dot = True
+                    else:
+                        break
+                j += 1
+            value = text[i:j]
+            yield Token(TokenType.NUMBER, value, line, start_col)
+            column += j - i
+            i = j
+            continue
+        if _is_ident_start(ch):
+            j = i + 1
+            while j < n and _is_ident_char(text[j]):
+                j += 1
+            value = text[i:j]
+            yield Token(TokenType.IDENT, value, line, start_col)
+            column += j - i
+            i = j
+            continue
+        if ch in _OPERATOR_CHARS:
+            two = text[i : i + 2]
+            if two in _TWO_CHAR_OPS:
+                yield Token(TokenType.OP, two, line, start_col)
+                i += 2
+                column += 2
+                continue
+            if ch == "!":
+                raise QueryLanguageError("expected '!=' operator", line, start_col)
+            yield Token(TokenType.OP, ch, line, start_col)
+            i += 1
+            column += 1
+            continue
+        simple = {
+            "(": TokenType.LPAREN,
+            ")": TokenType.RPAREN,
+            ",": TokenType.COMMA,
+            ".": TokenType.DOT,
+            "*": TokenType.STAR,
+        }.get(ch)
+        if simple is not None:
+            yield Token(simple, ch, line, start_col)
+            i += 1
+            column += 1
+            continue
+        raise QueryLanguageError(f"unexpected character {ch!r}", line, start_col)
+    yield Token(TokenType.EOF, "", line, column)

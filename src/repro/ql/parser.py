@@ -1,0 +1,420 @@
+"""Recursive-descent parser for the S-OLAP query language.
+
+Entry points:
+
+* :func:`parse` — text → :class:`~repro.ql.ast.ParsedQuery`;
+* :func:`parse_query` — text → :class:`~repro.core.spec.CuboidSpec`
+  (optionally validated against a schema).
+
+The grammar follows the paper's Figures 3/5/11 plus the natural extras the
+running text mentions (SUBSEQUENCE templates, other aggregates, the two
+additional cell restrictions, slicing with ``= literal`` and drill-down
+``WITHIN level = literal`` annotations on symbol bindings).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.spec import CuboidSpec
+from repro.errors import QueryLanguageError
+from repro.events.expression import (
+    And,
+    Between,
+    Comparison,
+    EventField,
+    Expr,
+    InSet,
+    Literal,
+    Not,
+    Or,
+    PlaceholderField,
+)
+from repro.events.schema import Schema
+from repro.ql.ast import AggregateClause, ParsedQuery, SymbolBinding
+from repro.ql.lexer import Token, TokenType, tokenize
+
+_RESTRICTIONS = ("LEFT-MAXIMALITY", "LEFT-MAXIMALITY-DATA", "ALL-MATCHED")
+_AGG_FUNCS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+_SCOPES = ("MATCHED", "SEQUENCE", "FIRST-EVENT")
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def error(self, message: str) -> QueryLanguageError:
+        token = self.current
+        return QueryLanguageError(
+            f"{message}, found {token.value!r}", token.line, token.column
+        )
+
+    def expect(self, token_type: TokenType, value: Optional[str] = None) -> Token:
+        token = self.current
+        if token.type is not token_type:
+            raise self.error(f"expected {value or token_type.name}")
+        if value is not None and token.keyword != value.upper():
+            raise self.error(f"expected {value!r}")
+        return self.advance()
+
+    def expect_keyword(self, *words: str) -> None:
+        for word in words:
+            token = self.current
+            if not token.is_keyword(word):
+                raise self.error(f"expected keyword {word!r}")
+            self.advance()
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def peek_keyword(self, word: str) -> bool:
+        return self.current.is_keyword(word)
+
+    def ident(self, what: str = "identifier") -> str:
+        token = self.current
+        if token.type is not TokenType.IDENT:
+            raise self.error(f"expected {what}")
+        return self.advance().value
+
+    # -- query -------------------------------------------------------------
+    def parse_query(self) -> ParsedQuery:
+        self.expect_keyword("SELECT")
+        aggregates = self.aggregate_list()
+        self.expect_keyword("FROM")
+        source = self.ident("source name")
+
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.expression(context="where")
+
+        self.expect_keyword("CLUSTER", "BY")
+        cluster_by = self.attr_level_list()
+
+        self.expect_keyword("SEQUENCE", "BY")
+        sequence_by = self.order_list()
+
+        group_by: List[Tuple[str, str]] = []
+        if self.peek_keyword("SEQUENCE"):
+            self.expect_keyword("SEQUENCE", "GROUP", "BY")
+            group_by = self.attr_level_list()
+
+        self.expect_keyword("CUBOID", "BY")
+        kind_token = self.current
+        if kind_token.is_keyword("SUBSTRING"):
+            pattern_kind = "SUBSTRING"
+        elif kind_token.is_keyword("SUBSEQUENCE"):
+            pattern_kind = "SUBSEQUENCE"
+        else:
+            raise self.error("expected SUBSTRING or SUBSEQUENCE")
+        self.advance()
+        positions, wildcards = self.position_list()
+        if self.accept_keyword("WITH"):
+            bindings = self.binding_list()
+        else:
+            bindings = []
+        if not bindings and any(name not in wildcards for name in positions):
+            raise self.error("expected WITH symbol bindings")
+
+        restriction_token = self.current
+        restriction = None
+        for candidate in _RESTRICTIONS:
+            if restriction_token.is_keyword(candidate):
+                restriction = candidate
+                break
+        if restriction is None:
+            raise self.error(
+                "expected a cell restriction "
+                "(LEFT-MAXIMALITY / LEFT-MAXIMALITY-DATA / ALL-MATCHED)"
+            )
+        self.advance()
+        placeholders = self.name_list()
+        if len(placeholders) != len(positions):
+            raise QueryLanguageError(
+                f"{len(placeholders)} placeholders for a length-"
+                f"{len(positions)} template",
+                restriction_token.line,
+                restriction_token.column,
+            )
+
+        matching = None
+        if self.accept_keyword("WITH"):
+            matching = self.expression(context="match")
+
+        min_support = None
+        if self.accept_keyword("HAVING"):
+            self.expect_keyword("COUNT")
+            self.expect(TokenType.LPAREN, "(")
+            self.expect(TokenType.STAR, "*")
+            self.expect(TokenType.RPAREN, ")")
+            token = self.current
+            if not (token.type is TokenType.OP and token.value == ">="):
+                raise self.error("expected '>=' in HAVING COUNT(*)")
+            self.advance()
+            value = self.literal_value()
+            if not isinstance(value, int):
+                raise QueryLanguageError(
+                    "HAVING COUNT(*) >= requires an integer",
+                    token.line,
+                    token.column,
+                )
+            min_support = value
+
+        self.expect(TokenType.EOF)
+        return ParsedQuery(
+            aggregates=aggregates,
+            source=source,
+            where=where,
+            cluster_by=cluster_by,
+            sequence_by=sequence_by,
+            group_by=group_by,
+            pattern_kind=pattern_kind,
+            positions=positions,
+            bindings=bindings,
+            restriction=restriction,
+            placeholders=placeholders,
+            matching_predicate=matching,
+            wildcards=wildcards,
+            min_support=min_support,
+        )
+
+    # -- clauses -----------------------------------------------------------
+    def aggregate_list(self) -> List[AggregateClause]:
+        aggregates = [self.aggregate()]
+        while self.current.type is TokenType.COMMA:
+            self.advance()
+            aggregates.append(self.aggregate())
+        return aggregates
+
+    def aggregate(self) -> AggregateClause:
+        token = self.current
+        func = token.keyword
+        if func not in _AGG_FUNCS:
+            raise self.error("expected an aggregate function")
+        self.advance()
+        self.expect(TokenType.LPAREN, "(")
+        if func == "COUNT":
+            self.expect(TokenType.STAR, "*")
+            argument = None
+        else:
+            argument = self.ident("measure name")
+        self.expect(TokenType.RPAREN, ")")
+        scope = "MATCHED"
+        if self.accept_keyword("OVER"):
+            scope_token = self.current
+            scope = scope_token.keyword
+            if scope not in _SCOPES:
+                raise self.error("expected MATCHED, SEQUENCE or FIRST-EVENT")
+            self.advance()
+        return AggregateClause(func, argument, scope)
+
+    def attr_level_list(self) -> List[Tuple[str, str]]:
+        pairs = [self.attr_level()]
+        while self.current.type is TokenType.COMMA:
+            self.advance()
+            pairs.append(self.attr_level())
+        return pairs
+
+    def attr_level(self) -> Tuple[str, str]:
+        attribute = self.ident("attribute name")
+        self.expect_keyword("AT")
+        level = self.ident("level name")
+        return attribute, level
+
+    def order_list(self) -> List[Tuple[str, bool]]:
+        orders = [self.order_key()]
+        while self.current.type is TokenType.COMMA:
+            self.advance()
+            orders.append(self.order_key())
+        return orders
+
+    def order_key(self) -> Tuple[str, bool]:
+        attribute = self.ident("ordering attribute")
+        if self.accept_keyword("ASCENDING") or self.accept_keyword("ASC"):
+            return attribute, True
+        if self.accept_keyword("DESCENDING") or self.accept_keyword("DESC"):
+            return attribute, False
+        return attribute, True
+
+    def name_list(self) -> List[str]:
+        self.expect(TokenType.LPAREN, "(")
+        names = [self.ident("name")]
+        while self.current.type is TokenType.COMMA:
+            self.advance()
+            names.append(self.ident("name"))
+        self.expect(TokenType.RPAREN, ")")
+        return names
+
+    def position_list(self) -> tuple:
+        """Template positions: symbol names plus ANY wildcards.
+
+        Each ANY keyword becomes a fresh ``_wN`` wildcard symbol name;
+        returns (positions, wildcard_names).
+        """
+        self.expect(TokenType.LPAREN, "(")
+        positions: List[str] = []
+        wildcards: List[str] = []
+
+        def one() -> None:
+            if self.current.is_keyword("ANY"):
+                self.advance()
+                name = f"_w{len(wildcards) + 1}"
+                wildcards.append(name)
+                positions.append(name)
+            else:
+                positions.append(self.ident("symbol name or ANY"))
+
+        one()
+        while self.current.type is TokenType.COMMA:
+            self.advance()
+            one()
+        self.expect(TokenType.RPAREN, ")")
+        return positions, wildcards
+
+    def binding_list(self) -> List[SymbolBinding]:
+        bindings = [self.binding()]
+        while self.current.type is TokenType.COMMA:
+            self.advance()
+            bindings.append(self.binding())
+        return bindings
+
+    def binding(self) -> SymbolBinding:
+        name = self.ident("symbol name")
+        self.expect_keyword("AS")
+        attribute = self.ident("attribute name")
+        self.expect_keyword("AT")
+        level = self.ident("level name")
+        fixed = None
+        within = None
+        if self.current.type is TokenType.OP and self.current.value == "=":
+            self.advance()
+            fixed = self.literal_value()
+        if self.accept_keyword("WITHIN"):
+            anchor_level = self.ident("level name")
+            if not (self.current.type is TokenType.OP and self.current.value == "="):
+                raise self.error("expected '=' in WITHIN constraint")
+            self.advance()
+            within = (anchor_level, self.literal_value())
+        return SymbolBinding(name, attribute, level, fixed, within)
+
+    # -- expressions ---------------------------------------------------------
+    def expression(self, context: str) -> Expr:
+        return self.or_expr(context)
+
+    def or_expr(self, context: str) -> Expr:
+        terms = [self.and_expr(context)]
+        while self.accept_keyword("OR"):
+            terms.append(self.and_expr(context))
+        return terms[0] if len(terms) == 1 else Or(tuple(terms))
+
+    def and_expr(self, context: str) -> Expr:
+        terms = [self.not_expr(context)]
+        while self.accept_keyword("AND"):
+            terms.append(self.not_expr(context))
+        return terms[0] if len(terms) == 1 else And(tuple(terms))
+
+    def not_expr(self, context: str) -> Expr:
+        if self.accept_keyword("NOT"):
+            return Not(self.not_expr(context))
+        return self.primary(context)
+
+    def primary(self, context: str) -> Expr:
+        if self.current.type is TokenType.LPAREN:
+            self.advance()
+            inner = self.expression(context)
+            self.expect(TokenType.RPAREN, ")")
+            return inner
+        left = self.operand(context)
+        if self.accept_keyword("IN"):
+            self.expect(TokenType.LPAREN, "(")
+            values = [self.literal_value()]
+            while self.current.type is TokenType.COMMA:
+                self.advance()
+                values.append(self.literal_value())
+            self.expect(TokenType.RPAREN, ")")
+            return InSet(left, tuple(values))
+        if self.accept_keyword("BETWEEN"):
+            low = self.literal_value()
+            self.expect_keyword("AND")
+            high = self.literal_value()
+            return Between(left, low, high)
+        if self.current.type is not TokenType.OP:
+            raise self.error("expected a comparison operator")
+        op = self.advance().value
+        right = self.operand(context)
+        return Comparison(left, op, right)
+
+    def operand(self, context: str):
+        token = self.current
+        if token.type is TokenType.STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return Literal(_to_number(token.value))
+        if token.type is TokenType.IDENT:
+            name = self.advance().value
+            if self.current.type is TokenType.DOT:
+                self.advance()
+                attribute = self.ident("attribute name")
+                if context != "match":
+                    raise QueryLanguageError(
+                        "placeholder references are only valid in matching "
+                        "predicates",
+                        token.line,
+                        token.column,
+                    )
+                return PlaceholderField(name, attribute)
+            if context == "match":
+                raise QueryLanguageError(
+                    "matching predicates must reference placeholders as "
+                    "'placeholder.attribute'",
+                    token.line,
+                    token.column,
+                )
+            return EventField(name)
+        raise self.error("expected a field or literal")
+
+    def literal_value(self) -> object:
+        token = self.current
+        if token.type is TokenType.STRING:
+            self.advance()
+            return token.value
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return _to_number(token.value)
+        raise self.error("expected a literal")
+
+
+def _to_number(text: str) -> object:
+    if "." in text:
+        return float(text)
+    return int(text)
+
+
+def parse(text: str) -> ParsedQuery:
+    """Parse query text into a :class:`ParsedQuery` (no schema needed)."""
+    return _Parser(text).parse_query()
+
+
+def parse_query(text: str, schema: Optional[Schema] = None) -> CuboidSpec:
+    """Parse query text into a :class:`CuboidSpec`, validating if a schema
+    is provided."""
+    spec = parse(text).to_spec()
+    if schema is not None:
+        spec.validate(schema)
+    return spec

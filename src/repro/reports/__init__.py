@@ -1,0 +1,28 @@
+"""Reporting: derived views over computed S-cuboids (OD matrices, diffs)."""
+
+from repro.reports.diff import CuboidDiff, diff_cuboids
+from repro.reports.insights import (
+    Insight,
+    concentration,
+    dimension_cardinalities,
+    fragmentation,
+    suggest_operations,
+)
+from repro.reports.od_matrix import (
+    ODMatrix,
+    daily_od_matrices,
+    od_matrix_from_cuboid,
+)
+
+__all__ = [
+    "CuboidDiff",
+    "Insight",
+    "ODMatrix",
+    "concentration",
+    "daily_od_matrices",
+    "diff_cuboids",
+    "dimension_cardinalities",
+    "fragmentation",
+    "od_matrix_from_cuboid",
+    "suggest_operations",
+]

@@ -1,0 +1,104 @@
+"""Cuboid diffing: what changed between two S-cuboid snapshots.
+
+Iterative exploration and incremental maintenance both produce pairs of
+related cuboids an analyst wants to compare: yesterday's report vs
+today's, a sliced view before and after a campaign, a drill-down against
+its parent.  ``diff_cuboids`` computes the added / removed / changed cell
+sets for any shared aggregate, and :class:`CuboidDiff` renders them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.cuboid import SCuboid
+
+CellAddress = Tuple[Tuple[object, ...], Tuple[object, ...]]
+
+
+@dataclass
+class CuboidDiff:
+    """The outcome of comparing two cuboids on one aggregate."""
+
+    aggregate: str
+    added: Dict[CellAddress, object] = field(default_factory=dict)
+    removed: Dict[CellAddress, object] = field(default_factory=dict)
+    changed: Dict[CellAddress, Tuple[object, object]] = field(default_factory=dict)
+    unchanged: int = 0
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.added or self.removed or self.changed)
+
+    def net_change(self) -> float:
+        """Total aggregate delta (new - old) across all differing cells."""
+        total = 0.0
+        total += sum(float(v or 0) for v in self.added.values())
+        total -= sum(float(v or 0) for v in self.removed.values())
+        total += sum(
+            float(new or 0) - float(old or 0)
+            for old, new in self.changed.values()
+        )
+        return total
+
+    def top_movers(self, k: int = 10) -> List[Tuple[CellAddress, float]]:
+        """Cells ranked by absolute aggregate delta, descending."""
+        deltas: Dict[CellAddress, float] = {}
+        for address, value in self.added.items():
+            deltas[address] = float(value or 0)
+        for address, value in self.removed.items():
+            deltas[address] = -float(value or 0)
+        for address, (old, new) in self.changed.items():
+            deltas[address] = float(new or 0) - float(old or 0)
+        ranked = sorted(
+            deltas.items(), key=lambda item: (-abs(item[1]), repr(item[0]))
+        )
+        return ranked[:k]
+
+    def render(self, limit: int = 10) -> str:
+        if self.is_empty:
+            return f"no differences in {self.aggregate} ({self.unchanged} cells)"
+        lines = [
+            f"diff on {self.aggregate}: +{len(self.added)} cells, "
+            f"-{len(self.removed)} cells, ~{len(self.changed)} changed, "
+            f"{self.unchanged} unchanged (net {self.net_change():+.1f})"
+        ]
+        for (group, cell), delta in self.top_movers(limit):
+            label = f"{group} {cell}" if group else f"{cell}"
+            lines.append(f"  {delta:+10.1f}  {label}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"CuboidDiff(+{len(self.added)}, -{len(self.removed)}, "
+            f"~{len(self.changed)})"
+        )
+
+
+def diff_cuboids(
+    old: SCuboid, new: SCuboid, aggregate: str = "COUNT(*)"
+) -> CuboidDiff:
+    """Compare two cuboids cell-by-cell on one aggregate.
+
+    The cuboids need not share a spec (an exploration step changes it),
+    only the aggregate name; cells are matched by (group key, cell key).
+    """
+    diff = CuboidDiff(aggregate=aggregate)
+    old_cells = {
+        address: values.get(aggregate) for address, values in old.cells.items()
+    }
+    new_cells = {
+        address: values.get(aggregate) for address, values in new.cells.items()
+    }
+    for address, value in new_cells.items():
+        if address not in old_cells:
+            diff.added[address] = value
+        elif old_cells[address] != value:
+            diff.changed[address] = (old_cells[address], value)
+        else:
+            diff.unchanged += 1
+    for address, value in old_cells.items():
+        if address not in new_cells:
+            diff.removed[address] = value
+    return diff

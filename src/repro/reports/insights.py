@@ -1,0 +1,154 @@
+"""Exploration insights: suggest the next S-OLAP operation.
+
+The paper's analysts navigate by two recurring observations:
+
+* "there is a particularly high concentration of people traveling
+  round-trip from Pentagon to Wheaton" → **slice** on the dominant cell
+  (and usually APPEND afterwards);
+* "there are too many station pairs, which makes the distribution ...
+  too fragmented" → **P-ROLL-UP** a pattern dimension.
+
+This module turns those observations into measurements over a computed
+cuboid — concentration (top-cell mass share), fragmentation (cells per
+assigned sequence) and per-dimension cardinality — and ranks concrete
+next operations.  It is heuristic navigation support, not statistics:
+the analyst stays in charge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.cuboid import SCuboid
+from repro.events.schema import Schema
+
+
+@dataclass
+class Insight:
+    """One ranked navigation suggestion."""
+
+    #: operation name: "slice_cell" | "p_roll_up" | "p_drill_down"
+    operation: str
+    #: operation argument: a cell key for slices, a symbol name for levels
+    argument: object
+    score: float
+    reason: str
+
+    def __repr__(self) -> str:
+        return f"Insight({self.operation}({self.argument!r}) — {self.reason})"
+
+
+def concentration(cuboid: SCuboid, aggregate: str = "COUNT(*)") -> float:
+    """Share of the total aggregate held by the heaviest cell (0..1)."""
+    total = float(cuboid.total(aggregate))
+    if total <= 0:
+        return 0.0
+    top = cuboid.argmax(aggregate)
+    return float(top[2] or 0) / total if top else 0.0
+
+
+def fragmentation(cuboid: SCuboid, aggregate: str = "COUNT(*)") -> float:
+    """Cells per unit of aggregate mass (1.0 = every cell holds one unit).
+
+    High fragmentation — many cells each holding little — is the paper's
+    cue to roll a pattern dimension up.
+    """
+    total = float(cuboid.total(aggregate))
+    if total <= 0:
+        return 0.0
+    return len(cuboid) / total
+
+
+def dimension_cardinalities(cuboid: SCuboid) -> Dict[str, int]:
+    """Distinct values per pattern dimension across non-empty cells."""
+    symbols = cuboid.spec.pattern_dims
+    values: Dict[str, set] = {symbol.name: set() for symbol in symbols}
+    for __, cell_key, __v in cuboid:
+        for symbol, value in zip(symbols, cell_key):
+            values[symbol.name].add(value)
+    return {name: len(vals) for name, vals in values.items()}
+
+
+def suggest_operations(
+    cuboid: SCuboid,
+    schema: Schema,
+    aggregate: str = "COUNT(*)",
+    concentration_threshold: float = 0.25,
+    fragmentation_threshold: float = 0.5,
+    max_suggestions: int = 5,
+) -> List[Insight]:
+    """Ranked next-step suggestions for an exploration session.
+
+    * a cell holding more than *concentration_threshold* of the mass
+      suggests slicing onto it (score: its mass share);
+    * fragmentation above *fragmentation_threshold* suggests P-ROLL-UP of
+      the highest-cardinality dimension with a coarser level available
+      (score: the fragmentation);
+    * a dimension stuck at a single value at a coarse level suggests
+      drilling it down (score: fixed 0.3 — mild curiosity).
+    """
+    insights: List[Insight] = []
+    top = cuboid.argmax(aggregate)
+    share = concentration(cuboid, aggregate)
+    if top is not None and share >= concentration_threshold and len(cuboid) > 1:
+        __, cell_key, value = top
+        insights.append(
+            Insight(
+                operation="slice_cell",
+                argument=cell_key,
+                score=share,
+                reason=(
+                    f"cell {cell_key} holds {share:.0%} of {aggregate} "
+                    f"({value}); slice and APPEND to follow the cohort"
+                ),
+            )
+        )
+
+    frag = fragmentation(cuboid, aggregate)
+    if frag >= fragmentation_threshold and len(cuboid) > 4:
+        cardinalities = dimension_cardinalities(cuboid)
+        rollable = []
+        for symbol in cuboid.spec.pattern_dims:
+            if symbol.is_restricted:
+                continue
+            hierarchy = schema.hierarchy(symbol.attribute)
+            if hierarchy.coarser_level(symbol.level) is not None:
+                rollable.append((cardinalities.get(symbol.name, 0), symbol.name))
+        if rollable:
+            cardinality, name = max(rollable)
+            insights.append(
+                Insight(
+                    operation="p_roll_up",
+                    argument=name,
+                    score=min(1.0, frag),
+                    reason=(
+                        f"{len(cuboid)} cells over {cuboid.total(aggregate):.0f} "
+                        f"units is fragmented; roll up {name} "
+                        f"(cardinality {cardinality})"
+                    ),
+                )
+            )
+
+    cardinalities = dimension_cardinalities(cuboid)
+    for symbol in cuboid.spec.pattern_dims:
+        hierarchy = schema.hierarchy(symbol.attribute)
+        if (
+            cardinalities.get(symbol.name, 0) <= 1
+            and hierarchy.finer_level(symbol.level) is not None
+            and len(cuboid) > 0
+        ):
+            insights.append(
+                Insight(
+                    operation="p_drill_down",
+                    argument=symbol.name,
+                    score=0.3,
+                    reason=(
+                        f"dimension {symbol.name} is constant at level "
+                        f"{symbol.level!r}; drill down for detail"
+                    ),
+                )
+            )
+
+    insights.sort(key=lambda i: (-i.score, i.operation, repr(i.argument)))
+    return insights[:max_suggestions]

@@ -1,0 +1,231 @@
+"""Integration: the two construction strategies agree on every dataset,
+template shape, restriction and aggregate combination we throw at them."""
+
+import pytest
+
+from repro import (
+    AggregateScope,
+    AggregateSpec,
+    CellRestriction,
+    Comparison,
+    EventField,
+    Literal,
+    MatchingPredicate,
+    PlaceholderField,
+    SOLAPEngine,
+)
+from repro.core import operations as ops
+from repro.datagen import (
+    ClickstreamConfig,
+    SyntheticConfig,
+    TransitConfig,
+    generate_clickstream,
+    generate_event_database,
+    generate_transit,
+    two_step_spec,
+)
+from repro.datagen.synthetic import base_spec
+from repro.datagen.transit import in_out_predicate, round_trip_spec
+from tests.conftest import figure8_spec, make_figure8_db
+
+
+def assert_equivalent(db, spec):
+    cb, stats_cb = SOLAPEngine(db).execute(spec, "cb")
+    ii, stats_ii = SOLAPEngine(db).execute(spec, "ii")
+    assert cb.to_dict() == ii.to_dict(), spec
+    return cb
+
+
+@pytest.fixture(scope="module")
+def synthetic_db():
+    return generate_event_database(SyntheticConfig(D=200, L=12, seed=31))
+
+
+@pytest.fixture(scope="module")
+def transit_db():
+    return generate_transit(TransitConfig(n_cards=80, n_days=3, seed=32))
+
+
+class TestSyntheticShapes:
+    @pytest.mark.parametrize(
+        "positions",
+        [("X",), ("X", "Y"), ("X", "X"), ("X", "Y", "Z"), ("X", "Y", "Y", "X"),
+         ("X", "Y", "X")],
+    )
+    def test_substring_templates(self, synthetic_db, positions):
+        assert_equivalent(synthetic_db, base_spec(positions))
+
+    @pytest.mark.parametrize("positions", [("X", "Y"), ("X", "X"), ("X", "Y", "X")])
+    def test_subsequence_templates(self, synthetic_db, positions):
+        from repro.core.spec import PatternKind
+
+        spec = base_spec(positions, kind=PatternKind.SUBSEQUENCE)
+        assert_equivalent(synthetic_db, spec)
+
+    @pytest.mark.parametrize("level", ["group", "supergroup"])
+    def test_coarse_levels(self, synthetic_db, level):
+        assert_equivalent(synthetic_db, base_spec(("X", "Y"), level=level))
+
+    def test_mixed_levels(self, synthetic_db):
+        spec = base_spec(
+            ("X", "Y", "Z"),
+            per_symbol_levels={"X": "group", "Y": "symbol", "Z": "supergroup"},
+        )
+        assert_equivalent(synthetic_db, spec)
+
+    @pytest.mark.parametrize(
+        "restriction",
+        [
+            CellRestriction.LEFT_MAXIMALITY,
+            CellRestriction.LEFT_MAXIMALITY_DATA,
+            CellRestriction.ALL_MATCHED,
+        ],
+    )
+    def test_restrictions(self, synthetic_db, restriction):
+        from dataclasses import replace
+
+        spec = replace(base_spec(("X", "Y")), restriction=restriction)
+        assert_equivalent(synthetic_db, spec)
+
+
+class TestTransitShapes:
+    def test_round_trip_query(self, transit_db):
+        assert_equivalent(transit_db, round_trip_spec())
+
+    def test_round_trip_ungrouped(self, transit_db):
+        assert_equivalent(transit_db, round_trip_spec(group_by_fare=False))
+
+    def test_with_where_clause(self, transit_db):
+        from dataclasses import replace
+
+        spec = replace(
+            round_trip_spec(group_by_fare=False),
+            where=Comparison(EventField("time"), "<", Literal(2 * 1440)),
+        )
+        assert_equivalent(transit_db, spec)
+
+    def test_with_global_slice(self, transit_db):
+        spec = ops.slice_global(round_trip_spec(), "card-id", "regular")
+        cuboid = assert_equivalent(transit_db, spec)
+        assert all(g[0] == "regular" for g in cuboid.group_keys())
+
+    def test_with_measure_aggregates(self, transit_db):
+        from dataclasses import replace
+
+        spec = replace(
+            round_trip_spec(group_by_fare=False),
+            aggregates=(
+                AggregateSpec("COUNT"),
+                AggregateSpec("SUM", "amount", AggregateScope.SEQUENCE),
+                AggregateSpec("MIN", "amount"),
+            ),
+        )
+        assert_equivalent(transit_db, spec)
+
+    def test_sliced_pattern(self, transit_db):
+        spec = ops.slice_pattern(
+            round_trip_spec(group_by_fare=False), "X", "Pentagon"
+        )
+        assert_equivalent(transit_db, spec)
+
+    def test_district_rollup(self, transit_db):
+        spec = ops.p_roll_up(
+            round_trip_spec(group_by_fare=False), "Y", transit_db.schema
+        )
+        assert_equivalent(transit_db, spec)
+
+
+class TestOperationSequences:
+    """Every navigation step must keep the strategies in lockstep."""
+
+    def run_chain(self, db, spec, steps, strategy):
+        engine = SOLAPEngine(db)
+        results = []
+        current = spec
+        for step in steps:
+            cuboid, __ = engine.execute(current, strategy)
+            results.append(cuboid.to_dict())
+            current = step(current, db.schema)
+        cuboid, __ = engine.execute(current, strategy)
+        results.append(cuboid.to_dict())
+        return results
+
+    def test_append_detail_chain(self, synthetic_db):
+        steps = [
+            lambda s, sch: ops.append(s, "Z", "symbol", "symbol"),
+            lambda s, sch: ops.append(s, "Y"),
+            lambda s, sch: ops.de_tail(s),
+            lambda s, sch: ops.de_head(s),
+        ]
+        spec = base_spec(("X", "Y"))
+        cb = self.run_chain(synthetic_db, spec, steps, "cb")
+        ii = self.run_chain(synthetic_db, spec, steps, "ii")
+        assert cb == ii
+
+    def test_rollup_drilldown_chain(self, synthetic_db):
+        steps = [
+            lambda s, sch: ops.p_roll_up(s, "X", sch),
+            lambda s, sch: ops.p_roll_up(s, "Y", sch),
+            lambda s, sch: ops.p_drill_down(s, "X", sch),
+        ]
+        spec = base_spec(("X", "Y"))
+        cb = self.run_chain(synthetic_db, spec, steps, "cb")
+        ii = self.run_chain(synthetic_db, spec, steps, "ii")
+        assert cb == ii
+
+    def test_slice_drill_chain_clickstream(self):
+        db = generate_clickstream(ClickstreamConfig(n_sessions=400, seed=33))
+        steps = [
+            lambda s, sch: ops.slice_pattern(s, "X", "Assortment"),
+            lambda s, sch: ops.slice_pattern(s, "Y", "Legwear"),
+            lambda s, sch: ops.p_drill_down(s, "Y", sch),
+            lambda s, sch: ops.append(s, "Z", "page", "raw-page"),
+        ]
+        spec = two_step_spec()
+        cb = self.run_chain(db, spec, steps, "cb")
+        ii = self.run_chain(db, spec, steps, "ii")
+        assert cb == ii
+
+
+class TestPredicateEquivalence:
+    def test_in_out_predicates(self, transit_db):
+        template_positions = ("X", "Y")
+        spec = figure8_spec(template_positions)  # reuse shape, rebuild below
+        from repro.core.spec import CuboidSpec, PatternTemplate
+
+        spec = CuboidSpec(
+            template=PatternTemplate.substring(
+                template_positions,
+                {name: ("location", "station") for name in template_positions},
+            ),
+            cluster_by=(("card-id", "individual"), ("time", "day")),
+            sequence_by=(("time", True),),
+            predicate=in_out_predicate(("x1", "y1")),
+        )
+        assert_equivalent(transit_db, spec)
+
+    def test_cross_placeholder_predicate(self, synthetic_db):
+        predicate = MatchingPredicate(
+            ("p1", "p2"),
+            Comparison(
+                PlaceholderField("p1", "symbol"),
+                "!=",
+                PlaceholderField("p2", "symbol"),
+            ),
+        )
+        from dataclasses import replace
+
+        spec = replace(base_spec(("X", "Y")), predicate=predicate)
+        assert_equivalent(synthetic_db, spec)
+
+
+class TestFigure8AllTemplates:
+    @pytest.mark.parametrize(
+        "positions",
+        [("X",), ("X", "Y"), ("X", "X"), ("X", "Y", "Y"), ("X", "Y", "Y", "X"),
+         ("X", "Y", "Z"), ("X", "Y", "Z", "X"), ("X", "X", "Y")],
+    )
+    @pytest.mark.parametrize("kind", ["substring", "subsequence"])
+    def test_all(self, positions, kind):
+        db = make_figure8_db()
+        assert_equivalent(db, figure8_spec(positions, kind=kind))

@@ -1,0 +1,60 @@
+"""Integration: every shipped example runs to completion.
+
+The examples double as end-to-end acceptance tests — each one drives the
+public API through a real scenario and performs its own internal
+assertions (CB == II agreement, exact progressive convergence, ...).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXAMPLES = [
+    "quickstart",
+    "transit_analysis",
+    "clickstream_analysis",
+    "extensions_demo",
+    "warehouse_operations",
+    "supply_chain",
+]
+
+
+def load_example(name):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+
+
+def test_quickstart_reports_agreement(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "agree cell-for-cell" in out
+
+
+def test_clickstream_finds_published_cells(capsys):
+    load_example("clickstream_analysis").main()
+    out = capsys.readouterr().out
+    assert "product-id-null" in out
+    assert "(Assortment, Legwear)" in out
+
+
+def test_warehouse_reports_od_matrix(capsys):
+    load_example("warehouse_operations").main()
+    out = capsys.readouterr().out
+    assert "OD-matrix" in out
+    assert "busiest flow" in out

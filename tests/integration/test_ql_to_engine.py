@@ -1,0 +1,82 @@
+"""Integration: query-language text all the way to executed cuboids."""
+
+import pytest
+
+from repro import SOLAPEngine
+from repro.datagen import TransitConfig, generate_transit
+from repro.ql import format_spec, parse_query
+
+Q1_TEXT = """
+SELECT COUNT(*) FROM Event
+CLUSTER BY card-id AT individual, time AT day
+SEQUENCE BY time ASCENDING
+SEQUENCE GROUP BY card-id AT fare-group
+CUBOID BY SUBSTRING (X, Y, Y, X)
+  WITH X AS location AT station, Y AS location AT station
+LEFT-MAXIMALITY (x1, y1, y2, x2)
+  WITH x1.action = "in" AND y1.action = "out"
+   AND y2.action = "in" AND x2.action = "out"
+"""
+
+Q3_TEXT = """
+SELECT COUNT(*) FROM Event
+CLUSTER BY card-id AT individual, time AT day
+SEQUENCE BY time ASCENDING
+CUBOID BY SUBSTRING (X, Y)
+  WITH X AS location AT station, Y AS location AT station
+LEFT-MAXIMALITY (x1, y1)
+  WITH x1.action = "in" AND y1.action = "out"
+"""
+
+SUM_TEXT = """
+SELECT COUNT(*), SUM(amount) OVER MATCHED FROM Event
+CLUSTER BY card-id AT individual, time AT day
+SEQUENCE BY time ASCENDING
+CUBOID BY SUBSTRING (X, Y)
+  WITH X AS location AT station, Y AS location AT station
+LEFT-MAXIMALITY (x1, y1)
+  WITH x1.action = "in" AND y1.action = "out"
+"""
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_transit(TransitConfig(n_cards=100, n_days=3, seed=71))
+
+
+class TestEndToEnd:
+    def test_q1_text_executes(self, db):
+        spec = parse_query(Q1_TEXT, db.schema)
+        cuboid, stats = SOLAPEngine(db).execute(spec, "cb")
+        assert len(cuboid) > 0
+        assert cuboid.argmax()[1] == ("Pentagon", "Wheaton")
+
+    def test_q3_both_strategies(self, db):
+        spec = parse_query(Q3_TEXT, db.schema)
+        cb, __ = SOLAPEngine(db).execute(spec, "cb")
+        ii, __ = SOLAPEngine(db).execute(spec, "ii")
+        assert cb.to_dict() == ii.to_dict()
+
+    def test_sum_aggregate_executes(self, db):
+        spec = parse_query(SUM_TEXT, db.schema)
+        cuboid, __ = SOLAPEngine(db).execute(spec, "cb")
+        for __g, __c, values in cuboid:
+            assert "SUM(amount)" in values
+            assert values["SUM(amount)"] <= 0  # fares are negative
+
+    def test_formatter_roundtrip_preserves_results(self, db):
+        spec = parse_query(Q1_TEXT, db.schema)
+        respec = parse_query(format_spec(spec), db.schema)
+        a, __ = SOLAPEngine(db).execute(spec, "cb")
+        b, __ = SOLAPEngine(db).execute(respec, "cb")
+        assert a.to_dict() == b.to_dict()
+
+    def test_where_clause_restricts_events(self, db):
+        windowed = Q3_TEXT.replace(
+            "CLUSTER BY", "WHERE time < 1440\nCLUSTER BY"
+        )
+        spec_all = parse_query(Q3_TEXT, db.schema)
+        spec_day0 = parse_query(windowed, db.schema)
+        all_, __ = SOLAPEngine(db).execute(spec_all, "cb")
+        day0, __ = SOLAPEngine(db).execute(spec_day0, "cb")
+        assert day0.total() < all_.total()

@@ -1,0 +1,110 @@
+"""Integration: the paper's running transit example end-to-end (Q1, Q2, Q3)."""
+
+import pytest
+
+from repro import SOLAPEngine, Session
+from repro.datagen import (
+    TransitConfig,
+    generate_transit,
+    round_trip_spec,
+    single_trip_spec,
+)
+from repro.events.expression import Comparison, Literal, PlaceholderField
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_transit(TransitConfig(n_cards=200, n_days=4, seed=41))
+
+
+class TestQ1RoundTrips:
+    def test_hot_pair_dominates(self, db):
+        cuboid, __ = SOLAPEngine(db).execute(round_trip_spec(), "cb")
+        top = cuboid.argmax()
+        assert top is not None
+        assert top[1] == ("Pentagon", "Wheaton")
+
+    def test_global_dims_present(self, db):
+        cuboid, __ = SOLAPEngine(db).execute(round_trip_spec(), "cb")
+        fare_groups = {g[0] for g in cuboid.group_keys()}
+        assert fare_groups <= {"student", "regular", "senior"}
+        days = {g[1] for g in cuboid.group_keys()}
+        assert len(days) == 4
+
+    def test_figure2_like_tabulation(self, db):
+        cuboid, __ = SOLAPEngine(db).execute(
+            round_trip_spec(group_by_fare=False), "cb"
+        )
+        table = cuboid.tabulate(limit=5)
+        assert "X(location@station)" in table
+        assert "COUNT(*)" in table
+
+
+class TestQ2FollowUpTrips:
+    def test_q1_to_q2_session(self, db):
+        engine = SOLAPEngine(db)
+        session = Session(engine, round_trip_spec(), strategy="ii")
+        cuboid, __ = session.run()
+        __, hot_pair, __count = cuboid.argmax()
+        session.slice_cell(hot_pair)
+        session.append(
+            "X",
+            placeholder="x3",
+            extra_predicate=Comparison(
+                PlaceholderField("x3", "action"), "=", Literal("in")
+            ),
+        )
+        session.append(
+            "Z",
+            attribute="location",
+            level="station",
+            placeholder="z1",
+            extra_predicate=Comparison(
+                PlaceholderField("z1", "action"), "=", Literal("out")
+            ),
+        )
+        q2, __ = session.run()
+        # Q2 is a 5-dim cuboid: 2 global + 3 pattern dims.
+        assert q2.spec.n_dims == 5
+        assert q2.spec.template.positions == ("X", "Y", "Y", "X", "X", "Z")
+        # Every cell is anchored at the sliced hot pair.
+        for __g, cell, __v in q2:
+            assert cell[0] == hot_pair[0] and cell[1] == hot_pair[1]
+        # CB agrees.
+        cb, __ = SOLAPEngine(db).execute(session.spec, "cb")
+        assert q2.to_dict() == cb.to_dict()
+
+    def test_q2_rollup_z_to_district(self, db):
+        engine = SOLAPEngine(db)
+        session = Session(engine, round_trip_spec(), strategy="ii")
+        cuboid, __ = session.run()
+        __, hot_pair, __c = cuboid.argmax()
+        session.slice_cell(hot_pair)
+        session.append("X")
+        session.append("Z", attribute="location", level="station")
+        session.run()
+        session.p_roll_up("Z")
+        rolled, __ = session.run()
+        districts = {cell[2] for __g, cell, __v in rolled}
+        assert districts <= {"D10", "D20", "D30", "D40"}
+        cb, __ = SOLAPEngine(db).execute(session.spec, "cb")
+        assert rolled.to_dict() == cb.to_dict()
+
+
+class TestQ3SingleTrips:
+    def test_single_trip_counts_consistent(self, db):
+        spec = single_trip_spec()
+        cb, __ = SOLAPEngine(db).execute(spec, "cb")
+        ii, __ = SOLAPEngine(db).execute(spec, "ii")
+        assert cb.to_dict() == ii.to_dict()
+        # Every passenger-day has at least one trip, so the total single
+        # trip count is at least the number of sequences.
+        engine = SOLAPEngine(db)
+        groups = engine.sequence_groups(spec)
+        assert cb.total() >= groups.total_sequences()
+
+    def test_trips_are_directed_pairs(self, db):
+        cuboid, __ = SOLAPEngine(db).execute(single_trip_spec(), "cb")
+        for __g, (origin, destination), __v in cuboid:
+            assert origin != destination or origin == destination  # both legal
+        assert cuboid.count(("Pentagon", "Wheaton")) > 0

@@ -1,0 +1,143 @@
+"""Integration: the operational warehouse lifecycle end-to-end.
+
+Persist → reload → advise indices → materialise → daily OD reports →
+cost-routed querying → federated cross-vendor analysis, mirroring
+examples/warehouse_operations.py with assertions.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import SOLAPEngine
+from repro.core.spec import PatternTemplate
+from repro.datagen import (
+    TransitConfig,
+    generate_transit,
+    round_trip_spec,
+    single_trip_spec,
+)
+from repro.extensions import FederationCoordinator, VendorSite
+from repro.io import load_dataset, save_dataset
+from repro.optimizer import IndexAdvisor, advise_for_workload
+from repro.reports import daily_od_matrices
+
+
+@pytest.fixture(scope="module")
+def db(tmp_path_factory):
+    original = generate_transit(TransitConfig(n_cards=120, n_days=3, seed=55))
+    directory = save_dataset(original, tmp_path_factory.mktemp("warehouse"))
+    return load_dataset(directory)
+
+
+class TestPersistedWarehouse:
+    def test_reloaded_data_answers_canonical_queries(self, db):
+        cuboid, __ = SOLAPEngine(db).execute(round_trip_spec(), "cb")
+        assert cuboid.argmax()[1] == ("Pentagon", "Wheaton")
+
+    def test_computed_time_hierarchy_survives_reload(self, db):
+        assert db.schema.hierarchy("time").map_value(1441, "day") == 1
+        assert db.schema.hierarchy("time").map_value(1441, "week") == 0
+
+
+class TestAdvisedIndices:
+    def test_advise_then_materialize_then_query(self, db):
+        engine = SOLAPEngine(db, use_repository=False)
+        workload = [single_trip_spec(), round_trip_spec(group_by_fare=False)]
+        recommendations = advise_for_workload(engine, workload)
+        assert recommendations
+        IndexAdvisor.materialize(engine, recommendations, workload[0])
+        # Both workload queries agree with a cold CB engine afterwards.
+        for spec in workload:
+            warm, __ = engine.execute(spec, "ii")
+            cold, __ = SOLAPEngine(db).execute(spec, "cb")
+            assert warm.to_dict() == cold.to_dict()
+
+
+class TestDailyReports:
+    def test_daily_od_matrices_cover_days(self, db):
+        spec = replace(single_trip_spec(), group_by=(("time", "day"),))
+        matrices = daily_od_matrices(SOLAPEngine(db), spec)
+        assert set(matrices) == {0, 1, 2}
+        for matrix in matrices.values():
+            # every passenger makes at least one trip each day
+            assert matrix.total() >= 120
+            rendered = matrix.render()
+            assert "total" in rendered
+
+    def test_hot_pair_is_busiest_every_day(self, db):
+        spec = replace(single_trip_spec(), group_by=(("time", "day"),))
+        matrices = daily_od_matrices(SOLAPEngine(db), spec)
+        for matrix in matrices.values():
+            origin, destination, __ = matrix.busiest_pair()
+            assert {origin, destination} == {"Pentagon", "Wheaton"}
+
+
+class TestCostRouting:
+    def test_cost_strategy_consistent_over_session(self, db):
+        engine = SOLAPEngine(db)
+        specs = [
+            single_trip_spec(),
+            round_trip_spec(group_by_fare=False),
+            single_trip_spec(),  # repeat: repository hit
+        ]
+        results = [engine.execute(spec, "cost") for spec in specs]
+        assert results[2][1].cuboid_cache_hit
+        cold = SOLAPEngine(db)
+        for spec, (cuboid, __) in zip(specs, results):
+            truth, __s = cold.execute(spec, "cb")
+            assert cuboid.to_dict() == truth.to_dict()
+
+
+class TestFederation:
+    def test_subway_bus_transfer_analysis(self, db):
+        # The bus vendor sees an overlapping customer population.
+        from repro import Dimension, EventDatabase, Schema
+
+        bus_schema = Schema(
+            [Dimension("time"), Dimension("card-id"), Dimension("route")]
+        )
+        bus_db = EventDatabase(bus_schema)
+        for card in range(60, 180):  # overlap: cards 60..119
+            bus_db.append({"time": 1, "card-id": card, "route": f"B{card % 2}"})
+
+        salt = "transit-federation"
+        subway_site = VendorSite(
+            "subway",
+            db,
+            join_key="card-id",
+            cluster_by=(("card-id", "individual"),),
+            sequence_by=(("time", True),),
+            salt=salt,
+        )
+        bus_site = VendorSite(
+            "bus",
+            bus_db,
+            join_key="card-id",
+            cluster_by=(("card-id", "card-id"),),
+            sequence_by=(("time", True),),
+            salt=salt,
+        )
+        coordinator = FederationCoordinator([subway_site, bus_site], min_count=3)
+        assert coordinator.shared_customers() == 60
+
+        counts = coordinator.cross_counts(
+            {
+                "subway": PatternTemplate.substring(
+                    ("X", "Y"),
+                    {
+                        "X": ("location", "station"),
+                        "Y": ("location", "station"),
+                    },
+                ),
+                "bus": PatternTemplate.substring(
+                    ("R",), {"R": ("route", "route")}
+                ),
+            }
+        )
+        assert counts
+        # No raw card id appears anywhere in the exchanged structures.
+        for (subway_pattern, bus_pattern), count in counts.items():
+            assert count >= 3
+            assert all(isinstance(v, str) for v in subway_pattern)
+            assert bus_pattern[0] in ("B0", "B1")

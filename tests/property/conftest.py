@@ -1,0 +1,87 @@
+"""Hypothesis strategies shared by the property-based tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro import CuboidSpec, Dimension, EventDatabase, Hierarchy, PatternTemplate, Schema
+from repro.core.spec import PatternKind
+
+#: small alphabet with a two-level hierarchy: a, b -> G1; c, d -> G2; e, f -> G3
+ALPHABET = ("a", "b", "c", "d", "e", "f")
+GROUP_OF = {"a": "G1", "b": "G1", "c": "G2", "d": "G2", "e": "G3", "f": "G3"}
+
+
+def make_schema() -> Schema:
+    return Schema(
+        [
+            Dimension("seq"),
+            Dimension("ts"),
+            Dimension(
+                "symbol",
+                Hierarchy("symbol", ("symbol", "group"), {"group": GROUP_OF}),
+            ),
+        ]
+    )
+
+
+def make_db(sequences) -> EventDatabase:
+    db = EventDatabase(make_schema())
+    for seq_id, symbols in enumerate(sequences):
+        for position, symbol in enumerate(symbols):
+            db.append({"seq": seq_id, "ts": position, "symbol": symbol})
+    return db
+
+
+#: a set of data sequences: 1-8 sequences of length 1-10
+sequences_strategy = st.lists(
+    st.lists(st.sampled_from(ALPHABET), min_size=1, max_size=10),
+    min_size=1,
+    max_size=8,
+)
+
+#: canonical symbol-identity shapes up to length 4, e.g. (0, 1, 1, 0)
+def _shapes(max_length=4):
+    shapes = []
+
+    def extend(prefix):
+        if prefix:
+            shapes.append(tuple(prefix))
+        if len(prefix) == max_length:
+            return
+        limit = (max(prefix) + 1 if prefix else 0) + 1
+        for value in range(limit):
+            prefix.append(value)
+            extend(prefix)
+            prefix.pop()
+
+    extend([])
+    return shapes
+
+
+shape_strategy = st.sampled_from(_shapes())
+
+SYMBOL_NAMES = "XYZW"
+
+
+def template_from(shape, kind, level="symbol") -> PatternTemplate:
+    positions = tuple(SYMBOL_NAMES[i] for i in shape)
+    names = sorted(set(shape))
+    bindings = {SYMBOL_NAMES[i]: ("symbol", level) for i in names}
+    return PatternTemplate.build(kind, positions, bindings)
+
+
+template_strategy = st.builds(
+    template_from,
+    shape_strategy,
+    st.sampled_from([PatternKind.SUBSTRING, PatternKind.SUBSEQUENCE]),
+    st.sampled_from(["symbol", "group"]),
+)
+
+
+def spec_for(template) -> CuboidSpec:
+    return CuboidSpec(
+        template=template,
+        cluster_by=(("seq", "seq"),),
+        sequence_by=(("ts", True),),
+    )

@@ -1,0 +1,147 @@
+"""Property: the counter-based and inverted-index strategies always agree.
+
+This is the central correctness invariant of the paper's prototype: both
+S-cuboid construction approaches are implementations of the same semantics
+(Section 4.2), so any divergence is a bug in one of them.
+"""
+
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CellRestriction, SOLAPEngine
+from tests.property.conftest import (
+    make_db,
+    sequences_strategy,
+    shape_strategy,
+    spec_for,
+    template_from,
+    template_strategy,
+)
+
+# shape_strategy and template_from are reused by the wildcard variant below.
+
+RESTRICTIONS = st.sampled_from(
+    [
+        CellRestriction.LEFT_MAXIMALITY,
+        CellRestriction.LEFT_MAXIMALITY_DATA,
+        CellRestriction.ALL_MATCHED,
+    ]
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(sequences=sequences_strategy, template=template_strategy)
+def test_cb_equals_ii(sequences, template):
+    db = make_db(sequences)
+    spec = spec_for(template)
+    cb, __ = SOLAPEngine(db).execute(spec, "cb")
+    ii, __ = SOLAPEngine(db).execute(spec, "ii")
+    assert cb.to_dict() == ii.to_dict()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sequences=sequences_strategy,
+    template=template_strategy,
+    restriction=RESTRICTIONS,
+)
+def test_cb_equals_ii_under_restrictions(sequences, template, restriction):
+    db = make_db(sequences)
+    spec = replace(spec_for(template), restriction=restriction)
+    cb, __ = SOLAPEngine(db).execute(spec, "cb")
+    ii, __ = SOLAPEngine(db).execute(spec, "ii")
+    assert cb.to_dict() == ii.to_dict()
+
+
+@settings(max_examples=60, deadline=None)
+@given(sequences=sequences_strategy, shape=shape_strategy)
+def test_warm_engine_matches_cold_cb(sequences, shape):
+    """An engine that has answered related queries (and so reuses cached
+    indices) must still agree with a cold CB engine."""
+    from repro.core.spec import PatternKind
+
+    db = make_db(sequences)
+    template = template_from(shape, PatternKind.SUBSTRING)
+    spec = spec_for(template)
+    warm = SOLAPEngine(db)
+    # Warm up with every prefix template first.
+    from repro.index.inverted import prefix_template
+
+    for length in range(1, template.length + 1):
+        warm.execute(spec.with_template(prefix_template(template, length)), "ii")
+    warm_result, __ = warm.execute(spec, "ii")
+    cold_result, __ = SOLAPEngine(db).execute(spec, "cb")
+    assert warm_result.to_dict() == cold_result.to_dict()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sequences=sequences_strategy,
+    shape=shape_strategy,
+    wildcard_at=st.integers(min_value=0, max_value=4),
+)
+def test_cb_equals_ii_with_wildcards(sequences, shape, wildcard_at):
+    """Inserting an ANY position anywhere keeps the strategies in lockstep."""
+    from repro.core.spec import PatternKind, PatternSymbol, PatternTemplate
+
+    base = template_from(shape, PatternKind.SUBSTRING)
+    position = wildcard_at % (base.length + 1)
+    positions = (
+        base.positions[:position] + ("_w1",) + base.positions[position:]
+    )
+    order = []
+    for name in positions:
+        if name not in order:
+            order.append(name)
+    by_name = {s.name: s for s in base.symbols}
+    by_name["_w1"] = PatternSymbol.any("_w1")
+    template = PatternTemplate(
+        kind=base.kind,
+        positions=positions,
+        symbols=tuple(by_name[name] for name in order),
+    )
+    db = make_db(sequences)
+    spec = spec_for(template)
+    cb, __ = SOLAPEngine(db).execute(spec, "cb")
+    ii, __ = SOLAPEngine(db).execute(spec, "ii")
+    assert cb.to_dict() == ii.to_dict()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    sequences=sequences_strategy,
+    shape=shape_strategy,
+    filter_value=st.sampled_from(("a", "b", "c")),
+)
+def test_interleaved_pipelines_stay_isolated(sequences, shape, filter_value):
+    """One engine serving two pipelines (with/without WHERE) must answer
+    both correctly in any interleaving — indices must not leak."""
+    from dataclasses import replace
+
+    from repro import Comparison, EventField, Literal
+    from repro.core.spec import PatternKind
+
+    db = make_db(sequences)
+    engine = SOLAPEngine(db)
+    spec_all = spec_for(template_from(shape, PatternKind.SUBSTRING))
+    spec_filtered = replace(
+        spec_all,
+        where=Comparison(EventField("symbol"), "!=", Literal(filter_value)),
+    )
+    for spec in (spec_filtered, spec_all, spec_filtered, spec_all):
+        warm, __ = engine.execute(spec, "ii")
+        cold, __ = SOLAPEngine(db).execute(spec, "cb")
+        assert warm.to_dict() == cold.to_dict()
+
+
+@settings(max_examples=50, deadline=None)
+@given(sequences=sequences_strategy, template=template_strategy)
+def test_counts_bounded_by_sequences(sequences, template):
+    """Under left-maximality, a cell's count never exceeds the number of
+    sequences (each sequence contributes at most one assignment)."""
+    db = make_db(sequences)
+    cuboid, __ = SOLAPEngine(db).execute(spec_for(template), "cb")
+    for __g, __c, values in cuboid:
+        assert 1 <= values["COUNT(*)"] <= len(sequences)

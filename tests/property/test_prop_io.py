@@ -1,0 +1,72 @@
+"""Properties of the persistence layer: save/load is the identity."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SOLAPEngine
+from repro.core.spec import PatternKind
+from repro.io import (
+    load_cuboid,
+    load_dataset,
+    load_index,
+    save_cuboid,
+    save_dataset,
+    save_index,
+)
+from repro.index.inverted import build_index
+from tests.property.conftest import (
+    make_db,
+    sequences_strategy,
+    shape_strategy,
+    spec_for,
+    template_from,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(sequences=sequences_strategy)
+def test_dataset_roundtrip_preserves_queries(tmp_path_factory, sequences):
+    db = make_db(sequences)
+    directory = tmp_path_factory.mktemp("data")
+    save_dataset(db, directory)
+    loaded = load_dataset(directory)
+    assert len(loaded) == len(db)
+    spec = spec_for(template_from((0, 1), PatternKind.SUBSTRING))
+    a, __ = SOLAPEngine(db).execute(spec, "cb")
+    b, __ = SOLAPEngine(loaded).execute(spec, "cb")
+    assert a.to_dict() == b.to_dict()
+
+
+@settings(max_examples=30, deadline=None)
+@given(sequences=sequences_strategy, shape=shape_strategy)
+def test_index_roundtrip_is_identity(tmp_path_factory, sequences, shape):
+    db = make_db(sequences)
+    engine = SOLAPEngine(db)
+    template = template_from(shape, PatternKind.SUBSTRING)
+    spec = spec_for(template)
+    group = engine.sequence_groups(spec).single_group()
+    index = build_index(group, template, db.schema)
+    path = tmp_path_factory.mktemp("idx") / "index.json"
+    save_index(index, path)
+    loaded = load_index(path)
+    assert loaded.template.signature() == index.template.signature()
+    assert {k: set(v) for k, v in loaded.lists.items()} == {
+        k: set(v) for k, v in index.lists.items()
+    }
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sequences=sequences_strategy,
+    shape=shape_strategy,
+    kind=st.sampled_from([PatternKind.SUBSTRING, PatternKind.SUBSEQUENCE]),
+)
+def test_cuboid_roundtrip_is_identity(tmp_path_factory, sequences, shape, kind):
+    db = make_db(sequences)
+    spec = spec_for(template_from(shape, kind))
+    cuboid, __ = SOLAPEngine(db).execute(spec, "cb")
+    path = tmp_path_factory.mktemp("cub") / "cuboid.json"
+    save_cuboid(cuboid, path)
+    loaded = load_cuboid(path, db.schema)
+    assert loaded.spec == spec
+    assert loaded.to_dict() == cuboid.to_dict()

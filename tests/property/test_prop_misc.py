@@ -1,0 +1,148 @@
+"""Properties of the query language round-trip, the lattice order, and the
+data-generation primitives."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import spec_coarser_or_equal
+from repro.core import operations as ops
+from repro.core.spec import PatternKind
+from repro.datagen.zipf import ZipfDistribution, sample_poisson, zipf_partition_sizes
+from repro.ql import format_spec, parse_query
+from tests.property.conftest import (
+    ALPHABET,
+    make_schema,
+    shape_strategy,
+    spec_for,
+    template_from,
+)
+
+
+# --------------------------------------------------------------------------
+# Query-language round trip
+# --------------------------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    shape=shape_strategy,
+    kind=st.sampled_from([PatternKind.SUBSTRING, PatternKind.SUBSEQUENCE]),
+    level=st.sampled_from(["symbol", "group"]),
+)
+def test_format_parse_roundtrip(shape, kind, level):
+    spec = spec_for(template_from(shape, kind, level))
+    assert parse_query(format_spec(spec)) == spec
+
+
+@settings(max_examples=60, deadline=None)
+@given(shape=shape_strategy, value=st.sampled_from(ALPHABET))
+def test_roundtrip_with_slices_and_constraints(shape, value):
+    schema = make_schema()
+    spec = spec_for(template_from(shape, PatternKind.SUBSTRING))
+    symbol = spec.template.symbols[0].name
+    sliced = ops.slice_pattern(spec, symbol, value)
+    assert parse_query(format_spec(sliced)) == sliced
+    drilled = ops.p_drill_down(
+        ops.slice_pattern(ops.p_roll_up(spec, symbol, schema), symbol, "G1"),
+        symbol,
+        schema,
+    )
+    assert parse_query(format_spec(drilled)) == drilled
+
+
+# --------------------------------------------------------------------------
+# Lattice partial order
+# --------------------------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(shape=shape_strategy)
+def test_partial_order_reflexive(shape):
+    schema = make_schema()
+    spec = spec_for(template_from(shape, PatternKind.SUBSTRING))
+    assert spec_coarser_or_equal(schema, spec, spec)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    a=shape_strategy,
+    b=shape_strategy,
+    c=shape_strategy,
+)
+def test_partial_order_transitive(a, b, c):
+    schema = make_schema()
+    specs = [
+        spec_for(template_from(shape, PatternKind.SUBSTRING)) for shape in (a, b, c)
+    ]
+    ab = spec_coarser_or_equal(schema, specs[0], specs[1])
+    bc = spec_coarser_or_equal(schema, specs[1], specs[2])
+    if ab and bc:
+        assert spec_coarser_or_equal(schema, specs[0], specs[2])
+
+
+@settings(max_examples=60, deadline=None)
+@given(shape=shape_strategy)
+def test_de_tail_always_coarser(shape):
+    if len(shape) < 2:
+        return
+    schema = make_schema()
+    spec = spec_for(template_from(shape, PatternKind.SUBSTRING))
+    assert spec_coarser_or_equal(schema, ops.de_tail(spec), spec)
+    assert spec_coarser_or_equal(schema, ops.de_head(spec), spec)
+
+
+@settings(max_examples=60, deadline=None)
+@given(shape=shape_strategy)
+def test_p_roll_up_always_coarser(shape):
+    schema = make_schema()
+    spec = spec_for(template_from(shape, PatternKind.SUBSTRING))
+    symbol = spec.template.symbols[0].name
+    rolled = ops.p_roll_up(spec, symbol, schema)
+    assert spec_coarser_or_equal(schema, rolled, spec)
+    assert not spec_coarser_or_equal(schema, spec, rolled)
+
+
+# --------------------------------------------------------------------------
+# Data generation primitives
+# --------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=200),
+    theta=st.floats(min_value=0.0, max_value=2.0),
+)
+def test_zipf_is_distribution(n, theta):
+    dist = ZipfDistribution(n, theta)
+    assert abs(sum(dist.probabilities) - 1.0) < 1e-9
+    assert all(p > 0 for p in dist.probabilities)
+    assert all(
+        dist.probabilities[i] >= dist.probabilities[i + 1] for i in range(n - 1)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    total=st.integers(min_value=1, max_value=500),
+    groups=st.integers(min_value=1, max_value=50),
+    theta=st.floats(min_value=0.0, max_value=2.0),
+)
+def test_partition_sizes_are_a_partition(total, groups, theta):
+    if total < groups:
+        return
+    sizes = zipf_partition_sizes(total, groups, theta)
+    assert sum(sizes) == total
+    assert len(sizes) == groups
+    assert all(size >= 1 for size in sizes)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    mean=st.floats(min_value=0.1, max_value=80.0),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_poisson_non_negative(mean, seed):
+    value = sample_poisson(mean, random.Random(seed))
+    assert value >= 0

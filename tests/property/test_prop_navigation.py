@@ -1,0 +1,124 @@
+"""Property: random navigation walks keep both strategies in lockstep.
+
+A session applies a random sequence of S-OLAP operations; after every
+step the warm inverted-index engine (reusing all cached indices and
+cuboids) must agree cell-for-cell with a cold counter-based engine.
+This is the strongest end-to-end invariant: it exercises APPEND/PREPEND
+joins, DE-TAIL/DE-HEAD cache hits, roll-up merges, drill-down
+refinements and slicing in arbitrary interleavings.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SOLAPEngine
+from repro.core import operations as ops
+from repro.errors import OperationError
+from tests.property.conftest import (
+    ALPHABET,
+    make_db,
+    sequences_strategy,
+    spec_for,
+    template_from,
+)
+from repro.core.spec import PatternKind
+
+#: operation codes the walk draws from
+OPS = (
+    "append_new",
+    "append_repeat",
+    "prepend_new",
+    "de_tail",
+    "de_head",
+    "roll_up",
+    "drill_down",
+    "slice",
+    "unslice",
+    "append_wildcard",
+)
+
+_FRESH = iter(f"N{i}" for i in range(10_000))
+
+
+def apply_op(spec, code, value, schema):
+    """Apply one operation; returns the (possibly unchanged) spec."""
+    symbols = spec.template.cell_symbols
+    target = symbols[value % len(symbols)].name if symbols else None
+    try:
+        if code == "append_new":
+            return ops.append(spec, next(_FRESH), "symbol", "symbol")
+        if code == "append_repeat" and target is not None:
+            return ops.append(spec, target)
+        if code == "prepend_new":
+            return ops.prepend(spec, next(_FRESH), "symbol", "symbol")
+        if code == "de_tail":
+            return ops.de_tail(spec)
+        if code == "de_head":
+            return ops.de_head(spec)
+        if code == "roll_up" and target is not None:
+            return ops.p_roll_up(spec, target, schema)
+        if code == "drill_down" and target is not None:
+            return ops.p_drill_down(spec, target, schema)
+        if code == "slice" and target is not None:
+            return ops.slice_pattern(spec, target, ALPHABET[value % len(ALPHABET)])
+        if code == "unslice" and target is not None:
+            return ops.unslice_pattern(spec, target)
+        if code == "append_wildcard":
+            return ops.append_wildcard(spec)
+    except OperationError:
+        return spec  # inapplicable op (top of hierarchy, length-1, ...)
+    return spec
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    sequences=sequences_strategy,
+    walk=st.lists(
+        st.tuples(st.sampled_from(OPS), st.integers(min_value=0, max_value=11)),
+        min_size=1,
+        max_size=6,
+    ),
+)
+def test_random_walk_cb_equals_warm_ii(sequences, walk):
+    db = make_db(sequences)
+    warm = SOLAPEngine(db)
+    spec = spec_for(template_from((0, 1), PatternKind.SUBSTRING))
+    for code, value in walk:
+        spec = apply_op(spec, code, value, db.schema)
+        if spec.template.length > 4:
+            spec = ops.de_tail(spec)  # keep joins tractable
+        ii, __ = warm.execute(spec, "ii")
+        cb, __ = SOLAPEngine(db).execute(spec, "cb")
+        assert ii.to_dict() == cb.to_dict(), (code, spec.template.positions)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    sequences=sequences_strategy,
+    walk=st.lists(
+        st.tuples(st.sampled_from(OPS), st.integers(min_value=0, max_value=11)),
+        min_size=1,
+        max_size=5,
+    ),
+    min_support=st.integers(min_value=1, max_value=4),
+)
+def test_random_walk_with_iceberg(sequences, walk, min_support):
+    """The HAVING threshold composes with arbitrary navigation."""
+    from dataclasses import replace
+
+    db = make_db(sequences)
+    engine = SOLAPEngine(db)
+    spec = spec_for(template_from((0, 1), PatternKind.SUBSTRING))
+    for code, value in walk:
+        spec = apply_op(spec, code, value, db.schema)
+        if spec.template.length > 3:
+            spec = ops.de_tail(spec)
+        iceberg_spec = replace(spec, min_support=min_support)
+        iceberg, __ = engine.execute(iceberg_spec, "ii")
+        full, __ = SOLAPEngine(db).execute(spec, "cb")
+        expected = {
+            key: values
+            for key, values in full.to_dict().items()
+            if values["COUNT(*)"] >= min_support
+        }
+        assert iceberg.to_dict() == expected, code

@@ -1,0 +1,122 @@
+"""Properties of the S-OLAP operations and spec algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SOLAPEngine
+from repro.core import operations as ops
+from repro.core.spec import PatternKind
+from tests.property.conftest import (
+    ALPHABET,
+    make_db,
+    make_schema,
+    sequences_strategy,
+    shape_strategy,
+    spec_for,
+    template_from,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(shape=shape_strategy)
+def test_append_then_de_tail_is_identity(shape):
+    spec = spec_for(template_from(shape, PatternKind.SUBSTRING))
+    grown = ops.append(spec, "N", "symbol", "symbol")
+    assert ops.de_tail(grown) == spec
+
+
+@settings(max_examples=80, deadline=None)
+@given(shape=shape_strategy)
+def test_prepend_then_de_head_is_identity_on_semantics(shape):
+    """PREPEND renames nothing, but DE-HEAD can reorder symbol lists; the
+    cache keys (signatures) must still match the original."""
+    spec = spec_for(template_from(shape, PatternKind.SUBSTRING))
+    grown = ops.prepend(spec, "N", "symbol", "symbol")
+    back = ops.de_head(grown)
+    assert back.template.signature() == spec.template.signature()
+    assert back.cache_key() == spec.cache_key()
+
+
+@settings(max_examples=80, deadline=None)
+@given(shape=shape_strategy, symbol_index=st.integers(min_value=0, max_value=3))
+def test_roll_up_drill_down_restores_level(shape, symbol_index):
+    spec = spec_for(template_from(shape, PatternKind.SUBSTRING))
+    schema = make_schema()
+    symbols = spec.template.symbols
+    symbol = symbols[symbol_index % len(symbols)].name
+    rolled = ops.p_roll_up(spec, symbol, schema)
+    restored = ops.p_drill_down(rolled, symbol, schema)
+    assert restored.template.symbol(symbol).level == "symbol"
+
+
+@settings(max_examples=80, deadline=None)
+@given(shape=shape_strategy, value=st.sampled_from(ALPHABET))
+def test_slice_then_unslice_is_identity(shape, value):
+    spec = spec_for(template_from(shape, PatternKind.SUBSTRING))
+    symbol = spec.template.symbols[0].name
+    assert ops.unslice_pattern(ops.slice_pattern(spec, symbol, value), symbol) == spec
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sequences=sequences_strategy,
+    shape=shape_strategy,
+    value=st.sampled_from(ALPHABET),
+)
+def test_sliced_cuboid_is_subset_of_full(sequences, shape, value):
+    """Slicing a pattern dimension selects exactly the matching cells of
+    the unsliced cuboid."""
+    db = make_db(sequences)
+    spec = spec_for(template_from(shape, PatternKind.SUBSTRING))
+    full, __ = SOLAPEngine(db).execute(spec, "cb")
+    symbol = spec.template.symbols[0].name
+    sliced_spec = ops.slice_pattern(spec, symbol, value)
+    sliced, __ = SOLAPEngine(db).execute(sliced_spec, "cb")
+    expected = {
+        key: values
+        for key, values in full.to_dict().items()
+        if key[1][0] == value
+    }
+    assert sliced.to_dict() == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(sequences=sequences_strategy, shape=shape_strategy)
+def test_de_tail_cuboid_from_scratch_vs_non_summarizable(sequences, shape):
+    """DE-TAIL recomputes from base data; naive aggregation of the finer
+    cuboid is generally wrong (non-summarizability), but prefix
+    containment still holds: every populated fine cell implies a
+    populated coarse cell."""
+    if len(shape) < 2:
+        return
+    db = make_db(sequences)
+    spec = spec_for(template_from(shape, PatternKind.SUBSTRING))
+    fine, __ = SOLAPEngine(db).execute(spec, "cb")
+    coarse_spec = ops.de_tail(spec)
+    coarse, __ = SOLAPEngine(db).execute(coarse_spec, "cb")
+    # aggregate fine counts by their cell-key projection onto the coarse dims
+    coarse_dims = {s.name for s in coarse_spec.template.symbols}
+    fine_symbols = [s.name for s in spec.template.symbols]
+    keep = [i for i, name in enumerate(fine_symbols) if name in coarse_dims]
+    aggregated = {}
+    for (g, cell), values in fine.to_dict().items():
+        projected = tuple(cell[i] for i in keep)
+        aggregated[projected] = aggregated.get(projected, 0) + values["COUNT(*)"]
+    # A sequence counted in a fine cell is always counted in the
+    # corresponding coarse cell (prefix containment) — the only direction
+    # that survives non-summarizability.
+    for (g, cell), values in fine.to_dict().items():
+        projected = tuple(cell[i] for i in keep)
+        assert coarse.count(projected, g) >= 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(shape=shape_strategy)
+def test_operations_never_mutate_input(shape):
+    spec = spec_for(template_from(shape, PatternKind.SUBSTRING))
+    key_before = spec.cache_key()
+    ops.append(spec, "N", "symbol", "symbol")
+    ops.prepend(spec, "M", "symbol", "symbol")
+    ops.slice_pattern(spec, spec.template.symbols[0].name, "a")
+    ops.p_roll_up(spec, spec.template.symbols[0].name, make_schema())
+    assert spec.cache_key() == key_before

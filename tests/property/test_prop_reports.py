@@ -1,0 +1,147 @@
+"""Properties of the reporting layer (OD matrices, diffs, insights)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SCuboid
+from repro.reports import (
+    concentration,
+    diff_cuboids,
+    fragmentation,
+    od_matrix_from_cuboid,
+    suggest_operations,
+)
+from tests.conftest import figure8_spec
+from tests.property.conftest import make_schema
+
+STATIONS = ("A", "B", "C", "D", "E")
+
+cells_strategy = st.dictionaries(
+    st.tuples(st.sampled_from(STATIONS), st.sampled_from(STATIONS)),
+    st.integers(min_value=1, max_value=50),
+    max_size=15,
+)
+
+
+def cuboid_of(cells) -> SCuboid:
+    spec = figure8_spec(("X", "Y"))
+    return SCuboid(
+        spec, {((), cell): {"COUNT(*)": count} for cell, count in cells.items()}
+    )
+
+
+# --------------------------------------------------------------------------
+# OD matrices
+# --------------------------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(cells=cells_strategy)
+def test_od_matrix_preserves_totals(cells):
+    cuboid = cuboid_of(cells)
+    matrix = od_matrix_from_cuboid(cuboid)
+    assert matrix.total() == cuboid.total()
+    assert sum(matrix.outbound_totals().values()) == matrix.total()
+    assert sum(matrix.inbound_totals().values()) == matrix.total()
+
+
+@settings(max_examples=100, deadline=None)
+@given(cells=cells_strategy)
+def test_od_matrix_cellwise_equality(cells):
+    cuboid = cuboid_of(cells)
+    matrix = od_matrix_from_cuboid(cuboid)
+    for (origin, destination), count in cells.items():
+        assert matrix.count(origin, destination) == count
+
+
+@settings(max_examples=60, deadline=None)
+@given(cells=cells_strategy)
+def test_od_matrix_busiest_pair_is_argmax(cells):
+    if not cells:
+        return
+    cuboid = cuboid_of(cells)
+    matrix = od_matrix_from_cuboid(cuboid)
+    origin, destination, value = matrix.busiest_pair()
+    assert value == max(cells.values())
+    assert cells[(origin, destination)] == value
+
+
+# --------------------------------------------------------------------------
+# Diffs
+# --------------------------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(cells=cells_strategy)
+def test_diff_with_self_is_empty(cells):
+    cuboid = cuboid_of(cells)
+    diff = diff_cuboids(cuboid, cuboid)
+    assert diff.is_empty
+    assert diff.unchanged == len(cells)
+    assert diff.net_change() == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=cells_strategy, b=cells_strategy)
+def test_diff_is_antisymmetric(a, b):
+    forward = diff_cuboids(cuboid_of(a), cuboid_of(b))
+    backward = diff_cuboids(cuboid_of(b), cuboid_of(a))
+    assert forward.net_change() == -backward.net_change()
+    assert set(forward.added) == set(backward.removed)
+    assert set(forward.changed) == set(backward.changed)
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=cells_strategy, b=cells_strategy)
+def test_diff_partitions_cells(a, b):
+    diff = diff_cuboids(cuboid_of(a), cuboid_of(b))
+    accounted = (
+        len(diff.added) + len(diff.changed) + diff.unchanged
+    )
+    assert accounted == len(b)
+    assert len(diff.removed) + len(diff.changed) + diff.unchanged == len(a)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=cells_strategy, b=cells_strategy)
+def test_net_change_equals_total_delta(a, b):
+    diff = diff_cuboids(cuboid_of(a), cuboid_of(b))
+    assert diff.net_change() == sum(b.values()) - sum(a.values())
+
+
+# --------------------------------------------------------------------------
+# Insights
+# --------------------------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(cells=cells_strategy)
+def test_metrics_are_bounded(cells):
+    cuboid = cuboid_of(cells)
+    assert 0.0 <= concentration(cuboid) <= 1.0
+    assert fragmentation(cuboid) >= 0.0
+    if cells:
+        assert fragmentation(cuboid) <= 1.0  # counts are >= 1 per cell
+
+
+@settings(max_examples=60, deadline=None)
+@given(cells=cells_strategy)
+def test_suggestions_reference_real_arguments(cells):
+    schema = make_schema()
+    spec = figure8_spec(("X", "Y"))
+    # rebind to the property schema's symbol attribute for level checks
+    from repro.core.spec import PatternTemplate
+
+    template = PatternTemplate.substring(
+        ("X", "Y"), {"X": ("symbol", "symbol"), "Y": ("symbol", "symbol")}
+    )
+    cuboid = SCuboid(
+        spec.with_template(template),
+        {((), cell): {"COUNT(*)": count} for cell, count in cells.items()},
+    )
+    for insight in suggest_operations(cuboid, schema):
+        assert 0.0 < insight.score <= 1.0
+        if insight.operation == "slice_cell":
+            assert ((), insight.argument) in cuboid.cells
+        else:
+            assert insight.argument in ("X", "Y")

@@ -1,0 +1,95 @@
+"""Unit tests for the benchmark harness (tables, measurement, cumulation)."""
+
+import pytest
+
+from repro.bench import (
+    StepResult,
+    TextTable,
+    comparison_table,
+    cumulative,
+    measure,
+    series_table,
+    shape_check,
+)
+
+
+def step(label, ms, scanned, bytes_=0, cells=1):
+    return StepResult(
+        label=label,
+        strategy="CB",
+        runtime_ms=ms,
+        sequences_scanned=scanned,
+        index_bytes_built=bytes_,
+        cells=cells,
+    )
+
+
+class TestMeasure:
+    def test_returns_result_and_elapsed(self):
+        result, elapsed = measure(lambda: 41 + 1)
+        assert result == 42
+        assert elapsed >= 0
+
+    def test_cumulative(self):
+        assert cumulative([1, 2, 3]) == [1, 3, 6]
+        assert cumulative([]) == []
+
+
+class TestStepResult:
+    def test_index_mb(self):
+        assert step("q", 1.0, 10, bytes_=2_000_000).index_mb == 2.0
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        table = TextTable(["a", "bb"])
+        table.add("x", 1.5)
+        text = table.render("Title")
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert "1.50" in text  # float formatting
+
+    def test_wrong_arity_raises(self):
+        table = TextTable(["a"])
+        with pytest.raises(ValueError):
+            table.add(1, 2)
+
+    def test_no_title(self):
+        table = TextTable(["col"])
+        table.add("v")
+        assert not table.render().startswith("\n")
+
+
+class TestComparisonTable:
+    def test_layout_and_totals(self):
+        cb = [step("Q1", 10.0, 100), step("Q2", 20.0, 100)]
+        ii = [
+            step("Q1", 5.0, 100, bytes_=1_000_000),
+            step("Q2", 1.0, 10),
+        ]
+        text = comparison_table(["Q1", "Q2"], cb, ii, "T")
+        assert "TOTAL" in text
+        assert "30.00" in text  # CB ms total
+        assert "200" in text  # CB scanned total
+        assert "1.00" in text  # II MB total
+
+
+class TestSeriesTable:
+    def test_cumulative_annotations(self):
+        runs = {
+            "CB": [step("Q1", 10.0, 100), step("Q2", 10.0, 100)],
+            "II": [step("Q1", 1.0, 0), step("Q2", 2.0, 5)],
+        }
+        text = series_table(runs, "Fig")
+        assert "20.0ms (200)" in text
+        assert "3.0ms (5)" in text
+
+    def test_empty_runs(self):
+        assert series_table({}, "Nothing") == "Nothing"
+
+
+class TestShapeCheck:
+    def test_pass_fail(self):
+        assert shape_check("ok", True).startswith("[PASS]")
+        assert shape_check("bad", False).startswith("[FAIL]")

@@ -1,0 +1,92 @@
+"""Unit tests for bitmap-encoded inverted indices."""
+
+import pytest
+
+from repro import build_sequence_groups
+from repro.errors import IndexError_
+from repro.index.bitmap import (
+    BitmapIndex,
+    bitmap_join,
+    bitmap_to_sids,
+    sids_to_bitmap,
+)
+from repro.index.inverted import build_index, join_indices, verify_index
+from tests.conftest import location_template, make_figure8_db
+
+
+@pytest.fixture
+def setup():
+    db = make_figure8_db()
+    groups = build_sequence_groups(db, None, [("card", "card")], [("time", True)])
+    group = groups.single_group()
+    base = build_index(group, location_template(("X", "Y")), db.schema)
+    return db, group, base
+
+
+class TestEncoding:
+    def test_roundtrip_sids(self):
+        sids = frozenset({3, 5, 9})
+        assert bitmap_to_sids(sids_to_bitmap(sids, 3), 3) == sids
+
+    def test_negative_offset_raises(self):
+        with pytest.raises(IndexError_):
+            sids_to_bitmap([1], 5)
+
+    def test_index_roundtrip(self, setup):
+        __, __group, base = setup
+        bitmap = BitmapIndex.from_inverted(base)
+        back = bitmap.to_inverted()
+        assert {k: set(v) for k, v in back.lists.items()} == {
+            k: set(v) for k, v in base.lists.items()
+        }
+
+    def test_counts_match(self, setup):
+        __, __group, base = setup
+        bitmap = BitmapIndex.from_inverted(base)
+        for values, sids in base.lists.items():
+            assert bitmap.count(values) == len(sids)
+        assert bitmap.num_entries() == base.num_entries()
+        assert bitmap.get(("No", "Where")) == 0
+
+    def test_size_is_smaller_for_dense_lists(self, setup):
+        __, __group, base = setup
+        bitmap = BitmapIndex.from_inverted(base)
+        assert bitmap.size_bytes() < base.size_bytes()
+
+
+class TestBitmapJoin:
+    def test_join_matches_list_join(self, setup):
+        db, group, base = setup
+        target = location_template(("X", "Y", "Z"))
+        list_candidate = join_indices(base, base, target, db.schema)
+        bitmap = BitmapIndex.from_inverted(base)
+        bitmap_candidate = bitmap_join(bitmap, bitmap, target, db.schema)
+        assert not bitmap_candidate.verified
+        converted = bitmap_candidate.to_inverted()
+        assert {k: set(v) for k, v in converted.lists.items()} == {
+            k: set(v) for k, v in list_candidate.lists.items()
+        }
+
+    def test_join_then_verify_pipeline(self, setup):
+        db, group, base = setup
+        target = location_template(("X", "Y", "Z"))
+        bitmap = BitmapIndex.from_inverted(base)
+        candidate = bitmap_join(bitmap, bitmap, target, db.schema).to_inverted()
+        verified = verify_index(candidate, group, db.schema)
+        truth = build_index(group, target, db.schema)
+        assert {k: set(v) for k, v in verified.lists.items()} == {
+            k: set(v) for k, v in truth.lists.items()
+        }
+
+    def test_join_shape_checks(self, setup):
+        db, __group, base = setup
+        bitmap = BitmapIndex.from_inverted(base)
+        with pytest.raises(IndexError_):
+            bitmap_join(bitmap, bitmap, location_template(("X", "Y")), db.schema)
+
+    def test_sid_base_mismatch_raises(self, setup):
+        db, __group, base = setup
+        a = BitmapIndex.from_inverted(base)
+        b = BitmapIndex(a.template, a.group_key, dict(a.lists), a.sid_base + 1)
+        with pytest.raises(IndexError_):
+            bitmap_join(a, b, location_template(("X", "Y", "Z")), db.schema)

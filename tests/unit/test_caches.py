@@ -1,0 +1,109 @@
+"""Unit tests for the sequence cache and the cuboid repository."""
+
+import pytest
+
+from repro import SCuboid, SequenceCache
+from repro.core.repository import CuboidRepository, estimate_cuboid_bytes
+from tests.conftest import figure8_spec
+
+
+def make_cuboid(n_cells=3):
+    spec = figure8_spec(("X", "Y"))
+    cells = {
+        ((), (f"a{i}", f"b{i}")): {"COUNT(*)": i} for i in range(n_cells)
+    }
+    return SCuboid(spec, cells)
+
+
+class TestSequenceCache:
+    def test_put_get(self):
+        cache = SequenceCache(2)
+        cache.put("k1", "groups1")  # type: ignore[arg-type]
+        assert cache.get("k1") == "groups1"
+        assert cache.hits == 1
+
+    def test_miss_counts(self):
+        cache = SequenceCache(2)
+        assert cache.get("nope") is None
+        assert cache.misses == 1
+
+    def test_lru_eviction(self):
+        cache = SequenceCache(2)
+        cache.put("a", 1)  # type: ignore[arg-type]
+        cache.put("b", 2)  # type: ignore[arg-type]
+        cache.get("a")  # refresh a
+        cache.put("c", 3)  # type: ignore[arg-type]
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+
+    def test_invalidate_and_clear(self):
+        cache = SequenceCache(2)
+        cache.put("a", 1)  # type: ignore[arg-type]
+        assert cache.invalidate("a")
+        assert not cache.invalidate("a")
+        cache.put("b", 2)  # type: ignore[arg-type]
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SequenceCache(0)
+
+
+class TestCuboidRepository:
+    def test_put_get_hit_stats(self):
+        repo = CuboidRepository(capacity=4)
+        cuboid = make_cuboid()
+        repo.put("k", cuboid)
+        assert repo.get("k") is cuboid
+        assert repo.hits == 1 and repo.misses == 0
+        assert repo.get("other") is None
+        assert repo.misses == 1
+
+    def test_lru_eviction_by_count(self):
+        repo = CuboidRepository(capacity=2)
+        repo.put("a", make_cuboid())
+        repo.put("b", make_cuboid())
+        repo.get("a")
+        repo.put("c", make_cuboid())
+        assert "b" not in repo
+        assert "a" in repo
+
+    def test_byte_budget_eviction(self):
+        small = estimate_cuboid_bytes(make_cuboid(1))
+        repo = CuboidRepository(capacity=100, byte_budget=int(small * 2.5))
+        repo.put("a", make_cuboid(1))
+        repo.put("b", make_cuboid(1))
+        repo.put("c", make_cuboid(1))
+        assert len(repo) == 2
+        assert repo.bytes_used <= small * 2.5
+
+    def test_replacing_updates_bytes(self):
+        repo = CuboidRepository(capacity=4)
+        repo.put("a", make_cuboid(1))
+        first = repo.bytes_used
+        repo.put("a", make_cuboid(10))
+        assert repo.bytes_used > first
+        assert len(repo) == 1
+
+    def test_invalidate(self):
+        repo = CuboidRepository()
+        repo.put("a", make_cuboid())
+        assert repo.invalidate("a")
+        assert repo.bytes_used == 0
+        assert not repo.invalidate("a")
+
+    def test_clear(self):
+        repo = CuboidRepository()
+        repo.put("a", make_cuboid())
+        repo.clear()
+        assert len(repo) == 0 and repo.bytes_used == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            CuboidRepository(capacity=0)
+
+    def test_estimate_scales_with_cells(self):
+        assert estimate_cuboid_bytes(make_cuboid(10)) > estimate_cuboid_bytes(
+            make_cuboid(1)
+        )

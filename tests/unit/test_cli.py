@@ -1,0 +1,141 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+Q1 = """
+SELECT COUNT(*) FROM Event
+CLUSTER BY card-id AT individual, time AT day
+SEQUENCE BY time ASCENDING
+CUBOID BY SUBSTRING (X, Y)
+  WITH X AS location AT station, Y AS location AT station
+LEFT-MAXIMALITY (x1, y1)
+  WITH x1.action = "in" AND y1.action = "out"
+"""
+
+
+@pytest.fixture
+def dataset(tmp_path):
+    out = tmp_path / "transit"
+    code = main(
+        [
+            "generate",
+            "transit",
+            "--out",
+            str(out),
+            "--cards",
+            "30",
+            "--days",
+            "2",
+            "--seed",
+            "3",
+        ]
+    )
+    assert code == 0
+    return out
+
+
+@pytest.fixture
+def queryfile(tmp_path):
+    path = tmp_path / "q1.solap"
+    path.write_text(Q1)
+    return path
+
+
+class TestGenerate:
+    def test_generate_writes_dataset(self, dataset, capsys):
+        assert (dataset / "schema.json").exists()
+        assert (dataset / "events.jsonl").exists()
+
+    def test_generate_synthetic(self, tmp_path, capsys):
+        out = tmp_path / "syn"
+        code = main(
+            [
+                "generate",
+                "synthetic",
+                "--out",
+                str(out),
+                "--sequences",
+                "20",
+                "--length",
+                "6",
+            ]
+        )
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_clickstream(self, tmp_path, capsys):
+        out = tmp_path / "clicks"
+        code = main(
+            ["generate", "clickstream", "--out", str(out), "--sessions", "40"]
+        )
+        assert code == 0
+
+
+class TestInfo:
+    def test_info_prints_schema(self, dataset, capsys):
+        assert main(["info", str(dataset)]) == 0
+        out = capsys.readouterr().out
+        assert "location: station -> district" in out
+        assert "measures: amount" in out
+
+    def test_info_missing_dataset(self, tmp_path, capsys):
+        assert main(["info", str(tmp_path / "nope")]) == 2
+
+
+class TestQuery:
+    def test_query_prints_table_and_stats(self, dataset, queryfile, capsys):
+        assert main(["query", str(dataset), str(queryfile)]) == 0
+        out = capsys.readouterr().out
+        assert "COUNT(*)" in out
+        assert "sequences scanned" in out
+
+    @pytest.mark.parametrize("strategy", ["cb", "ii", "cost"])
+    def test_query_strategies(self, dataset, queryfile, capsys, strategy):
+        code = main(
+            ["query", str(dataset), str(queryfile), "--strategy", strategy]
+        )
+        assert code == 0
+
+    def test_query_save_cuboid(self, dataset, queryfile, tmp_path, capsys):
+        out_path = tmp_path / "cuboid.json"
+        code = main(
+            ["query", str(dataset), str(queryfile), "--save", str(out_path)]
+        )
+        assert code == 0
+        assert out_path.exists()
+
+    def test_query_od_matrix(self, dataset, queryfile, capsys):
+        code = main(["query", str(dataset), str(queryfile), "--od-matrix"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "O\\D" in out
+        assert "total" in out
+
+    def test_query_explain(self, dataset, queryfile, capsys):
+        code = main(["query", str(dataset), str(queryfile), "--explain"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "S-OLAP query plan" in out
+        assert "recommended strategy" in out
+
+    def test_bad_query_reports_error(self, dataset, tmp_path, capsys):
+        bad = tmp_path / "bad.solap"
+        bad.write_text("SELECT NOTHING")
+        assert main(["query", str(dataset), str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAdvise:
+    def test_advise_recommends(self, dataset, queryfile, capsys):
+        assert main(["advise", str(dataset), str(queryfile)]) == 0
+        out = capsys.readouterr().out
+        assert "recommended index" in out or "no indices" in out
+
+    def test_advise_zero_budget(self, dataset, queryfile, capsys):
+        code = main(
+            ["advise", str(dataset), str(queryfile), "--budget-mb", "0"]
+        )
+        assert code == 0
+        assert "no indices" in capsys.readouterr().out

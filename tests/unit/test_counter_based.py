@@ -1,0 +1,112 @@
+"""Unit tests for the counter-based strategy on hand-verified cases."""
+
+import pytest
+
+from repro import (
+    AggregateScope,
+    AggregateSpec,
+    SOLAPEngine,
+    build_sequence_groups,
+    counter_based_cuboid,
+)
+from repro.core import operations as ops
+from repro.core.counter_based import group_is_selected
+from repro.core.stats import QueryStats
+from tests.conftest import figure8_spec, make_figure8_db
+
+
+def run_cb(spec, db=None):
+    db = db or make_figure8_db()
+    groups = build_sequence_groups(
+        db, spec.where, spec.cluster_by, spec.sequence_by, spec.group_by
+    )
+    stats = QueryStats()
+    cuboid = counter_based_cuboid(db, groups, spec, stats)
+    return cuboid, stats
+
+
+class TestGroupSelection:
+    def test_scalar_slice(self):
+        assert group_is_selected(("D10", 3), {0: "D10"})
+        assert not group_is_selected(("D20", 3), {0: "D10"})
+
+    def test_dice_membership(self):
+        assert group_is_selected(("D10",), {0: ("D10", "D20")})
+        assert not group_is_selected(("D30",), {0: ("D10", "D20")})
+
+    def test_multiple_constraints(self):
+        assert group_is_selected(("D10", 3), {0: "D10", 1: 3})
+        assert not group_is_selected(("D10", 4), {0: "D10", 1: 3})
+
+
+class TestHandVerifiedCounts:
+    def test_length_one_counts_distinct_stations_per_sequence(self):
+        # (X): each sequence contributes 1 per distinct station it visits.
+        cuboid, stats = run_cb(figure8_spec(("X",)))
+        assert cuboid.count(("Pentagon",)) == 3  # s1, s2, s3
+        assert cuboid.count(("Wheaton",)) == 3  # s1, s2, s4
+        assert cuboid.count(("Deanwood",)) == 1  # s4
+        assert stats.sequences_scanned == 4
+
+    def test_repeated_symbol_counts(self):
+        cuboid, __ = run_cb(figure8_spec(("X", "X")))
+        # (Pentagon, Pentagon) only in s1; (Wheaton, Wheaton) in s1 and s2.
+        assert cuboid.count(("Pentagon",)) == 1
+        assert cuboid.count(("Wheaton",)) == 2
+        assert len(cuboid) == 2
+
+    def test_grouped_counts(self):
+        spec = figure8_spec(("X", "Y"), group_by=(("location", "district"),))
+        cuboid, __ = run_cb(spec)
+        # group key = district of first event: s3(D10), s2(D10), s1(D20), s4(D20)
+        assert cuboid.count(("Clarendon", "Pentagon"), ("D10",)) == 1
+        assert cuboid.count(("Glenmont", "Pentagon"), ("D20",)) == 1
+        assert cuboid.count(("Glenmont", "Pentagon"), ("D10",)) == 0
+
+    def test_global_slice_skips_groups_entirely(self):
+        spec = ops.slice_global(
+            figure8_spec(("X", "Y"), group_by=(("location", "district"),)),
+            "location",
+            "D10",
+        )
+        cuboid, stats = run_cb(spec)
+        assert cuboid.group_keys() == (("D10",),)
+        assert stats.sequences_scanned == 2  # only the D10 group scanned
+
+    def test_measure_aggregate_values(self):
+        spec = figure8_spec(
+            ("X", "Y"),
+            aggregates=(
+                AggregateSpec("COUNT"),
+                AggregateSpec("SUM", "amount"),
+            ),
+        )
+        cuboid, __ = run_cb(spec)
+        # (Clarendon, Pentagon) content is s3's two events: 0.0 + -2.0
+        values = cuboid.cells[((), ("Clarendon", "Pentagon"))]
+        assert values["COUNT(*)"] == 1
+        assert values["SUM(amount)"] == -2.0
+
+    def test_sum_over_sequence_scope(self):
+        spec = figure8_spec(
+            ("X", "Y"),
+            aggregates=(
+                AggregateSpec("SUM", "amount", AggregateScope.SEQUENCE),
+            ),
+        )
+        cuboid, __ = run_cb(spec)
+        # (Glenmont, Pentagon) assigned from s1 (6 events, three -2.0 fares)
+        assert cuboid.cells[((), ("Glenmont", "Pentagon"))][
+            "SUM(amount)"
+        ] == -6.0
+
+    def test_stats_default_strategy_label(self):
+        __, stats = run_cb(figure8_spec(("X",)))
+        assert stats.strategy == "CB"
+
+    def test_matches_engine_execution(self):
+        db = make_figure8_db()
+        spec = figure8_spec(("X", "Y", "Y", "X"))
+        direct, __ = run_cb(spec, db)
+        via_engine, __ = SOLAPEngine(db).execute(spec, "cb")
+        assert direct.to_dict() == via_engine.to_dict()

@@ -1,0 +1,134 @@
+"""Unit tests for the S-cube lattice and non-summarizability."""
+
+from repro import SCube, detail_summarization_counterexample, spec_coarser_or_equal
+from repro.core.cube import (
+    iter_templates,
+    template_coarser_or_equal,
+)
+from repro.core.spec import PatternKind, PatternSymbol
+from tests.conftest import figure8_spec, location_template, make_transit_schema
+
+
+class TestPartialOrder:
+    def test_reflexive(self):
+        schema = make_transit_schema()
+        spec = figure8_spec(("X", "Y"))
+        assert spec_coarser_or_equal(schema, spec, spec)
+
+    def test_shorter_template_is_coarser(self):
+        schema = make_transit_schema()
+        short = figure8_spec(("X", "Y"))
+        long = figure8_spec(("X", "Y", "Z"))
+        assert spec_coarser_or_equal(schema, short, long)
+        assert not spec_coarser_or_equal(schema, long, short)
+
+    def test_higher_level_is_coarser(self):
+        schema = make_transit_schema()
+        fine = location_template(("X", "Y"))
+        coarse = fine.replace_symbol(
+            "Y", PatternSymbol("Y", "location", "district")
+        )
+        assert template_coarser_or_equal(schema, coarse, fine)
+        assert not template_coarser_or_equal(schema, fine, coarse)
+
+    def test_window_matching_respects_symbol_structure(self):
+        schema = make_transit_schema()
+        xyyx = location_template(("X", "Y", "Y", "X"))
+        yy = location_template(("Y", "Y"))
+        xy = location_template(("X", "Y"))
+        # (Y, Y) matches the middle window of (X, Y, Y, X).
+        assert template_coarser_or_equal(schema, yy, xyyx)
+        # (X, Y) with distinct symbols matches the (X, Y) window.
+        assert template_coarser_or_equal(schema, xy, xyyx)
+
+    def test_mismatched_shape_not_coarser(self):
+        schema = make_transit_schema()
+        xx = location_template(("X", "X"))
+        xy = location_template(("X", "Y"))
+        assert not template_coarser_or_equal(schema, xx, xy)
+
+    def test_fewer_global_dims_is_coarser(self):
+        schema = make_transit_schema()
+        grouped = figure8_spec(("X", "Y"), group_by=(("location", "district"),))
+        ungrouped = figure8_spec(("X", "Y"))
+        assert spec_coarser_or_equal(schema, ungrouped, grouped)
+        assert not spec_coarser_or_equal(schema, grouped, ungrouped)
+
+    def test_different_pipelines_incomparable(self):
+        schema = make_transit_schema()
+        a = figure8_spec(("X", "Y"))
+        b = figure8_spec(("X", "Y"))
+        from dataclasses import replace
+
+        b = replace(b, sequence_by=(("time", False),))
+        assert not spec_coarser_or_equal(schema, a, b)
+
+
+class TestTemplateEnumeration:
+    def test_bounded_enumeration_counts(self):
+        domains = [("location", "station")]
+        templates = list(
+            iter_templates(PatternKind.SUBSTRING, domains, max_length=2)
+        )
+        # length 1: 1 shape; length 2: shapes (0,0) and (0,1) -> 3 total.
+        assert len(templates) == 3
+
+    def test_unbounded_generator_is_infinite_in_spirit(self):
+        domains = [("location", "station")]
+        generator = iter_templates(PatternKind.SUBSTRING, domains, max_length=None)
+        lengths = set()
+        for __ in range(40):
+            lengths.add(next(generator).length)
+        assert max(lengths) >= 4  # keeps growing past any fixed bound
+
+    def test_two_domains_assignments(self):
+        domains = [("location", "station"), ("location", "district")]
+        templates = [
+            t
+            for t in iter_templates(PatternKind.SUBSTRING, domains, max_length=1)
+        ]
+        assert len(templates) == 2
+
+
+class TestSCube:
+    def test_fragment_enumeration_and_lattice(self):
+        schema = make_transit_schema()
+        prototype = figure8_spec(("X", "Y"))
+        cube = SCube(
+            schema,
+            prototype,
+            pattern_domains=[("location", "station")],
+            max_template_length=2,
+        )
+        specs = cube.cuboids()
+        assert len(specs) == 3
+        graph = cube.lattice()
+        assert graph.number_of_nodes() == 3
+        # (X) is coarser than both length-2 templates.
+        assert graph.number_of_edges() == 2
+
+    def test_lattice_with_global_dims(self):
+        schema = make_transit_schema()
+        prototype = figure8_spec(
+            ("X", "Y"), group_by=(("location", "district"),)
+        )
+        cube = SCube(
+            schema,
+            prototype,
+            pattern_domains=[("location", "station")],
+            max_template_length=1,
+            global_level_choices={"location": ("station", "district")},
+        )
+        # one template x (dropped / station / district) global choices
+        assert len(cube.cuboids()) == 3
+
+
+class TestNonSummarizability:
+    def test_counterexample_numbers(self):
+        result = detail_summarization_counterexample()
+        assert result["c1"] == 1
+        assert result["c2"] == 1
+        assert result["c3"] == 1
+        assert result["true_c4"] == 1
+        assert result["aggregated_c4"] == 2
+        assert result["aggregated_c4"] != result["true_c4"]

@@ -1,0 +1,128 @@
+"""Unit tests for the SCuboid result object."""
+
+from repro import SCuboid
+from tests.conftest import figure8_spec
+
+
+def make_cuboid(grouped=False):
+    if grouped:
+        spec = figure8_spec(("X", "Y"), group_by=(("location", "district"),))
+        cells = {
+            (("D10",), ("Pentagon", "Wheaton")): {"COUNT(*)": 5},
+            (("D10",), ("Wheaton", "Pentagon")): {"COUNT(*)": 2},
+            (("D20",), ("Pentagon", "Wheaton")): {"COUNT(*)": 1},
+        }
+    else:
+        spec = figure8_spec(("X", "Y"))
+        cells = {
+            ((), ("Pentagon", "Wheaton")): {"COUNT(*)": 5},
+            ((), ("Wheaton", "Pentagon")): {"COUNT(*)": 2},
+            ((), ("Glenmont", "Pentagon")): {"COUNT(*)": 1},
+        }
+    return SCuboid(spec, cells)
+
+
+class TestAccess:
+    def test_len_counts_nonempty_cells(self):
+        assert len(make_cuboid()) == 3
+
+    def test_count_present_and_absent(self):
+        cuboid = make_cuboid()
+        assert cuboid.count(("Pentagon", "Wheaton")) == 5
+        assert cuboid.count(("Atlantis", "Nowhere")) == 0
+
+    def test_value_default_aggregate(self):
+        cuboid = make_cuboid()
+        assert cuboid.value(("Wheaton", "Pentagon")) == 2
+
+    def test_value_absent_non_count_aggregate(self):
+        cuboid = make_cuboid()
+        assert cuboid.value(("Nothing", "Here"), aggregate="SUM(amount)") is None
+
+    def test_grouped_access(self):
+        cuboid = make_cuboid(grouped=True)
+        assert cuboid.count(("Pentagon", "Wheaton"), ("D10",)) == 5
+        assert cuboid.count(("Pentagon", "Wheaton"), ("D20",)) == 1
+
+
+class TestSummaries:
+    def test_group_and_cell_keys(self):
+        cuboid = make_cuboid(grouped=True)
+        assert cuboid.group_keys() == (("D10",), ("D20",))
+        assert len(cuboid.cell_keys()) == 2
+        assert cuboid.cell_keys(("D20",)) == (("Pentagon", "Wheaton"),)
+
+    def test_total(self):
+        assert make_cuboid().total() == 8
+
+    def test_top_cells_ordering(self):
+        top = make_cuboid().top_cells(2)
+        assert top[0][1] == ("Pentagon", "Wheaton")
+        assert top[0][2] == 5
+        assert len(top) == 2
+
+    def test_argmax(self):
+        group, cell, value = make_cuboid().argmax()
+        assert cell == ("Pentagon", "Wheaton") and value == 5
+
+    def test_argmax_empty(self):
+        cuboid = SCuboid(figure8_spec(("X", "Y")), {})
+        assert cuboid.argmax() is None
+
+
+class TestViewsAndTabulation:
+    def test_restrict_by_group(self):
+        cuboid = make_cuboid(grouped=True)
+        view = cuboid.restrict(group_key=("D10",))
+        assert len(view) == 2
+
+    def test_restrict_by_cell_prefix(self):
+        cuboid = make_cuboid()
+        view = cuboid.restrict(cell_prefix=("Pentagon",))
+        assert len(view) == 1
+
+    def test_rows_and_header_align(self):
+        cuboid = make_cuboid(grouped=True)
+        header = cuboid.header()
+        for row in cuboid.rows():
+            assert len(row) == len(header)
+        assert header[0] == "location@district"
+        assert header[-1] == "COUNT(*)"
+
+    def test_tabulate_contains_counts(self):
+        text = make_cuboid().tabulate()
+        assert "Pentagon" in text and "5" in text
+
+    def test_tabulate_limit_reports_omissions(self):
+        text = make_cuboid().tabulate(limit=1)
+        assert "more cells" in text
+
+    def test_tabulate_unsorted(self):
+        text = make_cuboid().tabulate(sort_by_count=False)
+        assert "Glenmont" in text
+
+    def test_to_dict_is_copy(self):
+        cuboid = make_cuboid()
+        copy = cuboid.to_dict()
+        copy[((), ("Pentagon", "Wheaton"))]["COUNT(*)"] = 0
+        assert cuboid.count(("Pentagon", "Wheaton")) == 5
+
+    def test_iteration_sorted(self):
+        keys = [cell for __, cell, __unused in make_cuboid()]
+        assert keys == sorted(keys)
+
+    def test_to_csv(self, tmp_path):
+        import csv
+
+        path = tmp_path / "cuboid.csv"
+        written = make_cuboid().to_csv(str(path))
+        assert written == 3
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == list(make_cuboid().header())
+        assert rows[1][-1] == "5"  # heaviest cell first
+
+    def test_to_csv_unsorted(self, tmp_path):
+        path = tmp_path / "cuboid.csv"
+        make_cuboid().to_csv(str(path), sort_by_count=False)
+        assert path.exists()

@@ -1,0 +1,107 @@
+"""Unit tests for the columnar event database."""
+
+import pytest
+
+from repro import Comparison, EventDatabase, EventField, Literal, SchemaError
+from tests.conftest import make_figure8_db, make_transit_schema
+
+
+class TestLoading:
+    def test_append_returns_row_index(self):
+        db = EventDatabase(make_transit_schema())
+        row = db.append(
+            {"time": 0, "card": 1, "location": "Pentagon", "action": "in"}
+        )
+        assert row == 0
+        assert len(db) == 1
+
+    def test_missing_measure_defaults_to_none(self):
+        db = EventDatabase(make_transit_schema())
+        db.append({"time": 0, "card": 1, "location": "Pentagon", "action": "in"})
+        assert db.event(0)["amount"] is None
+
+    def test_missing_dimension_raises(self):
+        db = EventDatabase(make_transit_schema())
+        with pytest.raises(SchemaError):
+            db.append({"time": 0, "card": 1, "action": "in"})
+
+    def test_from_records(self):
+        db = make_figure8_db()
+        assert len(db) == 16  # 6 + 4 + 2 + 4 events
+
+
+class TestAccess:
+    def test_event_view_is_mapping(self):
+        db = make_figure8_db()
+        event = db.event(0)
+        assert event["location"] == "Glenmont"
+        assert event["action"] == "in"
+        assert set(event) == set(db.schema.attributes)
+        assert len(event) == len(db.schema.attributes)
+        assert event.to_dict()["card"] == 688
+
+    def test_event_out_of_range(self):
+        db = make_figure8_db()
+        with pytest.raises(IndexError):
+            db.event(999)
+
+    def test_unknown_column_raises(self):
+        db = make_figure8_db()
+        with pytest.raises(SchemaError):
+            db.column("ghost")
+
+    def test_iteration_yields_all_rows(self):
+        db = make_figure8_db()
+        assert sum(1 for __ in db) == len(db)
+
+    def test_mapped_column_base_level_is_same_object(self):
+        db = make_figure8_db()
+        assert db.mapped_column("location", "station") is db.column("location")
+
+    def test_mapped_column_district(self):
+        db = make_figure8_db()
+        districts = db.mapped_column("location", "district")
+        assert districts[0] == "D20"  # Glenmont
+        assert districts[1] == "D10"  # Pentagon
+
+    def test_mapped_value(self):
+        db = make_figure8_db()
+        assert db.mapped_value(1, "location", "district") == "D10"
+
+
+class TestSelection:
+    def test_select_all(self):
+        db = make_figure8_db()
+        assert db.select() == list(range(len(db)))
+
+    def test_select_with_predicate(self):
+        db = make_figure8_db()
+        predicate = Comparison(EventField("action"), "=", Literal("in"))
+        rows = db.select(predicate)
+        assert rows
+        assert all(db.event(r)["action"] == "in" for r in rows)
+
+    def test_scan_is_lazy(self):
+        db = make_figure8_db()
+        scanner = db.scan()
+        assert next(scanner) == 0
+
+
+class TestIntrospection:
+    def test_distinct_base_level(self):
+        db = make_figure8_db()
+        values = db.distinct("location")
+        assert "Pentagon" in values and "Deanwood" in values
+
+    def test_distinct_at_level(self):
+        db = make_figure8_db()
+        assert db.distinct("location", "district") == ("D10", "D20", "D30")
+
+    def test_size_bytes_positive_and_monotone(self):
+        db = make_figure8_db()
+        small = EventDatabase(db.schema)
+        assert db.size_bytes() > small.size_bytes() > 0
+
+    def test_repr_mentions_counts(self):
+        db = make_figure8_db()
+        assert "16 events" in repr(db)

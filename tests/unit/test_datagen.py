@@ -1,0 +1,216 @@
+"""Unit tests for the data generators (zipf, markov, synthetic, transit,
+clickstream)."""
+
+import random
+
+import pytest
+
+from repro.datagen import (
+    ClickstreamConfig,
+    MarkovChain,
+    SyntheticConfig,
+    TransitConfig,
+    ZipfDistribution,
+    build_hierarchy,
+    generate_clickstream,
+    generate_event_database,
+    generate_symbol_sequences,
+    generate_transit,
+    remove_crawler_sessions,
+    sample_poisson,
+    zipf_partition_sizes,
+)
+from repro.datagen.clickstream import N_CATEGORIES, N_LEGWEAR_PRODUCTS, build_schema
+
+
+class TestZipf:
+    def test_probabilities_sum_to_one(self):
+        dist = ZipfDistribution(100, 0.9)
+        assert abs(sum(dist.probabilities) - 1.0) < 1e-9
+
+    def test_skew_orders_probabilities(self):
+        dist = ZipfDistribution(10, 1.0)
+        probs = dist.probabilities
+        assert all(probs[i] >= probs[i + 1] for i in range(9))
+
+    def test_theta_zero_is_uniform(self):
+        dist = ZipfDistribution(4, 0.0)
+        assert all(abs(p - 0.25) < 1e-9 for p in dist.probabilities)
+
+    def test_samples_in_range_and_skewed(self):
+        rng = random.Random(1)
+        dist = ZipfDistribution(10, 1.2, rng)
+        samples = dist.sample_many(2000)
+        assert all(0 <= s < 10 for s in samples)
+        assert samples.count(0) > samples.count(9)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfDistribution(0, 0.9)
+        with pytest.raises(ValueError):
+            ZipfDistribution(5, -1)
+
+    def test_partition_sizes_sum_and_nonzero(self):
+        sizes = zipf_partition_sizes(100, 20, 0.9)
+        assert sum(sizes) == 100
+        assert len(sizes) == 20
+        assert all(size >= 1 for size in sizes)
+        assert sizes[0] >= sizes[-1]
+
+    def test_partition_too_many_groups(self):
+        with pytest.raises(ValueError):
+            zipf_partition_sizes(3, 5, 0.9)
+
+    def test_poisson_mean_roughly_right(self):
+        rng = random.Random(7)
+        samples = [sample_poisson(20, rng) for __ in range(2000)]
+        mean = sum(samples) / len(samples)
+        assert 19 < mean < 21
+
+    def test_poisson_large_mean_normal_path(self):
+        rng = random.Random(7)
+        value = sample_poisson(100, rng)
+        assert value >= 0
+
+    def test_poisson_zero(self):
+        assert sample_poisson(0, random.Random(1)) == 0
+
+
+class TestMarkov:
+    def test_deterministic_given_seed(self):
+        a = MarkovChain(20, 0.9, random.Random(3)).generate(50)
+        b = MarkovChain(20, 0.9, random.Random(3)).generate(50)
+        assert a == b
+
+    def test_symbols_in_range(self):
+        chain = MarkovChain(10, 0.9, random.Random(4))
+        assert all(0 <= s < 10 for s in chain.generate(100))
+
+    def test_transition_probabilities_form_distribution(self):
+        chain = MarkovChain(6, 0.9, random.Random(5))
+        total = sum(chain.transition_probability(0, t) for t in range(6))
+        assert abs(total - 1.0) < 1e-9
+
+    def test_empty_generation(self):
+        chain = MarkovChain(5, 0.9, random.Random(6))
+        assert chain.generate(0) == []
+
+
+class TestSynthetic:
+    def test_dataset_name(self):
+        config = SyntheticConfig(I=100, L=20, theta=0.9, D=500)
+        assert config.name == "I100.L20.theta0.9.D500"
+
+    def test_sequence_count_and_lengths(self):
+        config = SyntheticConfig(D=50, L=10, seed=1)
+        sequences = generate_symbol_sequences(config)
+        assert len(sequences) == 50
+        assert all(len(s) >= config.min_length for s in sequences)
+        mean = sum(len(s) for s in sequences) / 50
+        assert 7 < mean < 13
+
+    def test_determinism(self):
+        config = SyntheticConfig(D=20, L=8, seed=2)
+        assert generate_symbol_sequences(config) == generate_symbol_sequences(config)
+
+    def test_hierarchy_levels_and_sizes(self):
+        config = SyntheticConfig(I=100)
+        hierarchy = build_hierarchy(config)
+        assert hierarchy.levels == ("symbol", "group", "supergroup")
+        groups = {hierarchy.map_value(f"e{i:03d}", "group") for i in range(100)}
+        supers = {
+            hierarchy.map_value(f"e{i:03d}", "supergroup") for i in range(100)
+        }
+        assert len(groups) == 20
+        assert len(supers) == 5
+
+    def test_event_database_pipeline_rebuilds_sequences(self):
+        config = SyntheticConfig(D=10, L=6, seed=3)
+        db = generate_event_database(config)
+        from repro import build_sequence_groups
+
+        groups = build_sequence_groups(db, None, [("seq", "seq")], [("ts", True)])
+        rebuilt = {
+            seq.cluster_key[0]: list(seq.symbols("symbol", "symbol"))
+            for seq in groups.single_group()
+        }
+        original = generate_symbol_sequences(config)
+        for seq_id, symbols in enumerate(original):
+            assert rebuilt[seq_id] == symbols
+
+
+class TestTransit:
+    def test_generation_shape(self):
+        db = generate_transit(TransitConfig(n_cards=20, n_days=2, seed=1))
+        assert len(db) > 0
+        assert set(db.distinct("action")) <= {"in", "out"}
+
+    def test_alternating_actions_per_card_day(self):
+        db = generate_transit(TransitConfig(n_cards=10, n_days=2, seed=2))
+        from repro import build_sequence_groups
+
+        groups = build_sequence_groups(
+            db,
+            None,
+            [("card-id", "individual"), ("time", "day")],
+            [("time", True)],
+        )
+        for sequence in groups.all_sequences():
+            actions = [e["action"] for e in sequence.events()]
+            assert actions[::2] == ["in"] * len(actions[::2])
+            assert actions[1::2] == ["out"] * len(actions[1::2])
+
+    def test_hierarchies_resolve(self):
+        config = TransitConfig(n_cards=5, n_days=1, seed=3)
+        db = generate_transit(config)
+        schema = db.schema
+        assert schema.hierarchy("location").levels == ("station", "district")
+        assert schema.hierarchy("card-id").levels == ("individual", "fare-group")
+        assert schema.hierarchy("time").levels == ("minute", "day", "week")
+        fare = schema.map_value("card-id", 0, "fare-group")
+        assert fare in ("student", "regular", "senior")
+
+    def test_determinism(self):
+        a = generate_transit(TransitConfig(n_cards=5, n_days=1, seed=4))
+        b = generate_transit(TransitConfig(n_cards=5, n_days=1, seed=4))
+        assert a.column("location") == b.column("location")
+
+
+class TestClickstream:
+    def test_schema_shape(self):
+        schema = build_schema()
+        hierarchy = schema.hierarchy("page")
+        categories = {
+            hierarchy.map_value(page, "page-category")
+            for page in hierarchy._mappings["page-category"]
+        }
+        assert len(categories) == N_CATEGORIES
+        legwear = hierarchy.children("page-category", "Legwear")
+        assert len(legwear) == N_LEGWEAR_PRODUCTS
+
+    def test_generation_and_crawler_removal(self):
+        config = ClickstreamConfig(
+            n_sessions=300, crawler_fraction=0.05, crawler_length=150, seed=1
+        )
+        raw = generate_clickstream(config)
+        clean = remove_crawler_sessions(raw, max_clicks=100)
+        assert len(clean) < len(raw)
+        counts = {}
+        for value in clean.column("session-id"):
+            counts[value] = counts.get(value, 0) + 1
+        assert max(counts.values()) <= 100
+
+    def test_assortment_to_legwear_dominates(self):
+        db = generate_clickstream(ClickstreamConfig(n_sessions=800, seed=2))
+        from repro import SOLAPEngine
+        from repro.datagen import two_step_spec
+
+        cuboid, __ = SOLAPEngine(db).execute(two_step_spec(), "cb")
+        top = cuboid.argmax()
+        assert top is not None
+        assert top[1] == ("Assortment", "Legwear")
+
+    def test_determinism(self):
+        a = generate_clickstream(ClickstreamConfig(n_sessions=50, seed=3))
+        b = generate_clickstream(ClickstreamConfig(n_sessions=50, seed=3))
+        assert a.column("page") == b.column("page")

@@ -1,0 +1,68 @@
+"""Unit tests for cuboid diffing."""
+
+import pytest
+
+from repro import SCuboid, SOLAPEngine
+from repro.reports import diff_cuboids
+from tests.conftest import figure8_spec, make_figure8_db
+
+
+def cuboid_with(cells):
+    spec = figure8_spec(("X", "Y"))
+    return SCuboid(
+        spec, {((), cell): {"COUNT(*)": count} for cell, count in cells.items()}
+    )
+
+
+class TestDiff:
+    def test_identical_cuboids(self):
+        a = cuboid_with({("A", "B"): 3})
+        diff = diff_cuboids(a, a)
+        assert diff.is_empty
+        assert diff.unchanged == 1
+        assert "no differences" in diff.render()
+
+    def test_added_removed_changed(self):
+        old = cuboid_with({("A", "B"): 3, ("B", "C"): 2, ("C", "D"): 1})
+        new = cuboid_with({("A", "B"): 5, ("B", "C"): 2, ("D", "E"): 7})
+        diff = diff_cuboids(old, new)
+        assert diff.added == {((), ("D", "E")): 7}
+        assert diff.removed == {((), ("C", "D")): 1}
+        assert diff.changed == {((), ("A", "B")): (3, 5)}
+        assert diff.unchanged == 1
+
+    def test_net_change(self):
+        old = cuboid_with({("A", "B"): 3, ("C", "D"): 1})
+        new = cuboid_with({("A", "B"): 5, ("D", "E"): 7})
+        diff = diff_cuboids(old, new)
+        assert diff.net_change() == pytest.approx(7 - 1 + (5 - 3))
+
+    def test_top_movers_ranked_by_magnitude(self):
+        old = cuboid_with({("A", "B"): 10, ("B", "C"): 1})
+        new = cuboid_with({("A", "B"): 2, ("B", "C"): 3})
+        movers = diff_cuboids(old, new).top_movers()
+        assert movers[0][0] == ((), ("A", "B"))
+        assert movers[0][1] == -8
+
+    def test_render_mentions_counts(self):
+        old = cuboid_with({("A", "B"): 1})
+        new = cuboid_with({("A", "B"): 4, ("X", "Y"): 2})
+        text = diff_cuboids(old, new).render()
+        assert "+1 cells" in text
+        assert "~1 changed" in text
+
+    def test_diff_across_exploration_step(self):
+        """Diffing a query against its day-sliced version shows the drop."""
+        from repro.core import operations as ops
+
+        db = make_figure8_db()
+        engine = SOLAPEngine(db)
+        spec = figure8_spec(("X", "Y"), group_by=(("location", "district"),))
+        full, __ = engine.execute(spec, "cb")
+        sliced, __ = engine.execute(
+            ops.slice_global(spec, "location", "D10"), "cb"
+        )
+        diff = diff_cuboids(full, sliced)
+        assert not diff.added  # slicing only removes
+        assert diff.removed
+        assert diff.net_change() < 0

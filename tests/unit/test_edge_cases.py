@@ -1,0 +1,141 @@
+"""Edge cases: empty databases, degenerate sequences, exotic spec shapes."""
+
+import pytest
+
+from repro import (
+    EventDatabase,
+    SOLAPEngine,
+    build_sequence_groups,
+)
+from repro.core import operations as ops
+from repro.extensions import iceberg_inverted_index, online_cuboid
+from tests.conftest import figure8_spec, make_transit_schema, make_figure8_db
+
+
+def empty_db():
+    return EventDatabase(make_transit_schema())
+
+
+class TestEmptyDatabase:
+    def test_cb_returns_empty_cuboid(self):
+        cuboid, stats = SOLAPEngine(empty_db()).execute(
+            figure8_spec(("X", "Y")), "cb"
+        )
+        assert len(cuboid) == 0
+        assert stats.sequences_scanned == 0
+
+    def test_ii_returns_empty_cuboid(self):
+        cuboid, __ = SOLAPEngine(empty_db()).execute(
+            figure8_spec(("X", "Y")), "ii"
+        )
+        assert len(cuboid) == 0
+
+    def test_cost_strategy_on_empty(self):
+        cuboid, stats = SOLAPEngine(empty_db()).execute(
+            figure8_spec(("X", "Y")), "cost"
+        )
+        assert len(cuboid) == 0
+
+    def test_iceberg_on_empty(self):
+        db = empty_db()
+        engine = SOLAPEngine(db)
+        spec = figure8_spec(("X", "Y"))
+        groups = engine.sequence_groups(spec)
+        assert len(iceberg_inverted_index(db, groups, spec, 2)) == 0
+
+    def test_online_aggregation_on_empty(self):
+        db = empty_db()
+        engine = SOLAPEngine(db)
+        spec = figure8_spec(("X", "Y"))
+        groups = engine.sequence_groups(spec)
+        estimates = list(online_cuboid(db, groups, spec))
+        assert len(estimates) == 1
+        assert estimates[0].total == 0
+        assert estimates[0].fraction == 1.0
+
+    def test_empty_group_set_tabulates(self):
+        cuboid, __ = SOLAPEngine(empty_db()).execute(figure8_spec(("X", "Y")))
+        text = cuboid.tabulate()
+        assert "COUNT(*)" in text
+
+
+class TestDegenerateSequences:
+    def test_single_event_sequences(self):
+        db = EventDatabase(make_transit_schema())
+        for card in range(3):
+            db.append(
+                {"time": 0, "card": card, "location": "Pentagon", "action": "in"}
+            )
+        spec = figure8_spec(("X", "Y"))
+        cuboid, __ = SOLAPEngine(db).execute(spec, "cb")
+        assert len(cuboid) == 0  # no length-2 windows exist
+        single, __ = SOLAPEngine(db).execute(figure8_spec(("X",)), "cb")
+        assert single.count(("Pentagon",)) == 3
+
+    def test_template_longer_than_any_sequence(self):
+        db = make_figure8_db()
+        spec = figure8_spec(("X", "Y", "Z", "X", "Y", "Z", "X"))
+        for strategy in ("cb", "ii"):
+            cuboid, __ = SOLAPEngine(db).execute(spec, strategy)
+            assert len(cuboid) == 0, strategy
+
+    def test_where_selecting_nothing(self):
+        from repro import Comparison, EventField, Literal
+
+        db = make_figure8_db()
+        from dataclasses import replace
+
+        spec = replace(
+            figure8_spec(("X", "Y")),
+            where=Comparison(EventField("card"), "=", Literal(-1)),
+        )
+        cuboid, __ = SOLAPEngine(db).execute(spec, "cb")
+        assert len(cuboid) == 0
+
+    def test_slice_to_nonexistent_value(self):
+        db = make_figure8_db()
+        spec = ops.slice_pattern(figure8_spec(("X", "Y")), "X", "Atlantis")
+        for strategy in ("cb", "ii"):
+            cuboid, __ = SOLAPEngine(db).execute(spec, strategy)
+            assert len(cuboid) == 0, strategy
+
+    def test_global_slice_to_nonexistent_group(self):
+        db = make_figure8_db()
+        spec = ops.slice_global(
+            figure8_spec(("X", "Y"), group_by=(("location", "district"),)),
+            "location",
+            "D99",
+        )
+        cuboid, __ = SOLAPEngine(db).execute(spec, "cb")
+        assert len(cuboid) == 0
+
+    def test_all_wildcard_template(self):
+        from repro.core.spec import CuboidSpec, PatternKind, PatternSymbol, PatternTemplate
+
+        db = make_figure8_db()
+        template = PatternTemplate(
+            kind=PatternKind.SUBSTRING,
+            positions=("_w1", "_w2"),
+            symbols=(PatternSymbol.any("_w1"), PatternSymbol.any("_w2")),
+        )
+        spec = CuboidSpec(
+            template=template,
+            cluster_by=(("card", "card"),),
+            sequence_by=(("time", True),),
+        )
+        cb, __ = SOLAPEngine(db).execute(spec, "cb")
+        ii, __ = SOLAPEngine(db).execute(spec, "ii")
+        # one dimensionless cell counting sequences of length >= 2
+        assert cb.to_dict() == ii.to_dict()
+        assert cb.count(()) == 4
+
+    def test_groups_without_matches_absent(self):
+        db = make_figure8_db()
+        spec = ops.slice_pattern(
+            figure8_spec(("X", "Y"), group_by=(("location", "district"),)),
+            "X",
+            "Deanwood",
+        )
+        cuboid, __ = SOLAPEngine(db).execute(spec, "cb")
+        # only the D20 group (card 77 starts at Wheaton) contains Deanwood
+        assert cuboid.group_keys() == (("D20",),)

@@ -1,0 +1,178 @@
+"""Unit tests for the SOLAPEngine (strategies, caches, auto selection)."""
+
+import pytest
+
+from repro import EngineError, SOLAPEngine, SpecError
+from repro.index.registry import base_template
+from tests.conftest import figure8_spec, make_figure8_db
+
+
+class TestExecution:
+    def test_unknown_strategy_raises(self):
+        engine = SOLAPEngine(make_figure8_db())
+        with pytest.raises(EngineError):
+            engine.execute(figure8_spec(("X", "Y")), "turbo")
+
+    def test_cb_and_ii_agree(self):
+        db = make_figure8_db()
+        spec = figure8_spec(("X", "Y", "Y", "X"))
+        cb, __ = SOLAPEngine(db).execute(spec, "cb")
+        ii, __ = SOLAPEngine(db).execute(spec, "ii")
+        assert cb.to_dict() == ii.to_dict()
+
+    def test_spec_validated_against_schema(self):
+        db = make_figure8_db()
+        spec = figure8_spec(("X", "Y"))
+        bad = spec.with_template(
+            spec.template.replace_symbol(
+                "X",
+                type(spec.template.symbols[0])("X", "location", "continent"),
+            )
+        )
+        with pytest.raises(Exception):
+            SOLAPEngine(db).execute(bad)
+
+    def test_stats_record_strategy_and_runtime(self):
+        db = make_figure8_db()
+        __, stats = SOLAPEngine(db).execute(figure8_spec(("X", "Y")), "cb")
+        assert stats.strategy == "CB"
+        assert stats.runtime_seconds >= 0
+        assert stats.sequences_scanned == 4
+
+
+class TestCuboidRepository:
+    def test_repeated_query_hits_repository(self):
+        engine = SOLAPEngine(make_figure8_db())
+        spec = figure8_spec(("X", "Y"))
+        first, stats1 = engine.execute(spec, "cb")
+        second, stats2 = engine.execute(spec, "cb")
+        assert not stats1.cuboid_cache_hit
+        assert stats2.cuboid_cache_hit
+        assert stats2.strategy == "cache"
+        assert second.to_dict() == first.to_dict()
+
+    def test_repository_can_be_disabled(self):
+        engine = SOLAPEngine(make_figure8_db(), use_repository=False)
+        spec = figure8_spec(("X", "Y"))
+        engine.execute(spec, "cb")
+        __, stats = engine.execute(spec, "cb")
+        assert not stats.cuboid_cache_hit
+
+    def test_de_tail_returns_cached(self):
+        """The paper's Qa -> APPEND -> DE-TAIL returns the cached Qa."""
+        from repro.core import operations as ops
+
+        engine = SOLAPEngine(make_figure8_db())
+        spec = figure8_spec(("X", "Y"))
+        engine.execute(spec, "ii")
+        grown = ops.append(spec, "Z", "location", "station")
+        engine.execute(grown, "ii")
+        __, stats = engine.execute(ops.de_tail(grown), "ii")
+        assert stats.cuboid_cache_hit
+
+
+class TestSequenceCache:
+    def test_pipeline_shared_across_templates(self):
+        engine = SOLAPEngine(make_figure8_db())
+        __, stats1 = engine.execute(figure8_spec(("X", "Y")), "cb")
+        __, stats2 = engine.execute(figure8_spec(("X", "Y", "Y", "X")), "cb")
+        assert not stats1.sequence_cache_hit
+        assert stats2.sequence_cache_hit
+
+
+class TestAutoStrategy:
+    def test_auto_prefers_cb_cold(self):
+        engine = SOLAPEngine(make_figure8_db())
+        __, stats = engine.execute(figure8_spec(("X", "Y")), "auto")
+        assert stats.strategy == "CB"
+
+    def test_auto_prefers_ii_when_index_exists(self):
+        engine = SOLAPEngine(make_figure8_db())
+        spec = figure8_spec(("X", "Y"))
+        engine.precompute(spec, [base_template(spec.template)])
+        __, stats = engine.execute(spec, "auto")
+        assert stats.strategy == "II"
+        assert stats.sequences_scanned == 0
+
+
+class TestPipelineIsolation:
+    def test_indices_do_not_leak_across_where_clauses(self):
+        """Regression: an index built over a WHERE-filtered pipeline must
+        never serve the unfiltered query (or vice versa) — group keys
+        collide but the sequence populations differ."""
+        from dataclasses import replace
+
+        from repro import Comparison, EventField, Literal
+
+        db = make_figure8_db()
+        engine = SOLAPEngine(db)
+        spec_all = figure8_spec(("X", "Y"))
+        spec_filtered = replace(
+            spec_all,
+            where=Comparison(EventField("card"), "=", Literal(688)),
+        )
+        engine.execute(spec_filtered, "ii")  # builds indices over 1 sequence
+        warm, __ = engine.execute(spec_all, "ii")
+        truth, __ = SOLAPEngine(db).execute(spec_all, "cb")
+        assert warm.to_dict() == truth.to_dict()
+        # and the reverse direction
+        engine2 = SOLAPEngine(db)
+        engine2.execute(spec_all, "ii")
+        filtered, __ = engine2.execute(spec_filtered, "ii")
+        truth_f, __ = SOLAPEngine(db).execute(spec_filtered, "cb")
+        assert filtered.to_dict() == truth_f.to_dict()
+
+    def test_indices_do_not_leak_across_clusterings(self):
+        from dataclasses import replace
+
+        db = make_figure8_db()
+        engine = SOLAPEngine(db)
+        by_card = figure8_spec(("X", "Y"))
+        by_action = replace(by_card, cluster_by=(("action", "action"),))
+        engine.execute(by_card, "ii")
+        warm, __ = engine.execute(by_action, "ii")
+        truth, __ = SOLAPEngine(db).execute(by_action, "cb")
+        assert warm.to_dict() == truth.to_dict()
+
+    def test_registry_view_aggregates_pipelines(self):
+        from dataclasses import replace
+
+        from repro import Comparison, EventField, Literal
+
+        db = make_figure8_db()
+        engine = SOLAPEngine(db)
+        spec_a = figure8_spec(("X", "Y"))
+        spec_b = replace(
+            spec_a, where=Comparison(EventField("card"), "=", Literal(688))
+        )
+        engine.execute(spec_a, "ii")
+        engine.execute(spec_b, "ii")
+        assert engine.registry_for(spec_a) is not engine.registry_for(spec_b)
+        assert len(engine.registry) == len(engine.registry_for(spec_a)) + len(
+            engine.registry_for(spec_b)
+        )
+        assert engine.registry.total_bytes() > 0
+        engine.invalidate_caches()
+        assert len(engine.registry) == 0
+
+
+class TestMaintenance:
+    def test_precompute_registers_indices(self):
+        engine = SOLAPEngine(make_figure8_db())
+        spec = figure8_spec(("X", "Y"))
+        stats = engine.precompute(spec, [base_template(spec.template)])
+        assert stats.indices_built == 1
+        assert len(engine.registry) == 1
+
+    def test_invalidate_caches(self):
+        engine = SOLAPEngine(make_figure8_db())
+        spec = figure8_spec(("X", "Y"))
+        engine.execute(spec, "ii")
+        engine.invalidate_caches()
+        assert len(engine.registry) == 0
+        assert len(engine.repository) == 0
+        assert len(engine.sequence_cache) == 0
+
+    def test_repr(self):
+        engine = SOLAPEngine(make_figure8_db())
+        assert "16 events" in repr(engine)

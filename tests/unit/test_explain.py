@@ -1,0 +1,81 @@
+"""Unit tests for the EXPLAIN facility."""
+
+import pytest
+
+from repro import SOLAPEngine
+from repro.core import explain
+from repro.core import operations as ops
+from repro.index.registry import base_template
+from tests.conftest import figure8_spec, make_figure8_db
+
+
+@pytest.fixture
+def engine():
+    return SOLAPEngine(make_figure8_db())
+
+
+class TestExplain:
+    def test_cold_plan_mentions_cold_build(self, engine):
+        plan = explain(engine, figure8_spec(("X", "Y")))
+        assert "cuboid repository: miss" in plan
+        assert "cold — build base index" in plan
+        assert "recommended strategy" in plan
+
+    def test_repository_hit_short_circuits(self, engine):
+        spec = figure8_spec(("X", "Y"))
+        engine.execute(spec, "cb")
+        plan = explain(engine, spec)
+        assert "cuboid repository: HIT" in plan
+        assert "cost model" not in plan
+
+    def test_exact_index_hit_reported(self, engine):
+        spec = figure8_spec(("X", "Y"))
+        engine.precompute(spec, [base_template(spec.template)])
+        plan = explain(engine, spec)
+        assert "exact index hit" in plan
+
+    def test_join_chain_reported(self, engine):
+        spec = figure8_spec(("X", "Y"))
+        engine.precompute(spec, [base_template(spec.template)])
+        longer = figure8_spec(("X", "Y", "Y", "X"))
+        plan = explain(engine, longer)
+        assert "join chain from cached L2" in plan
+        assert "2 join+verify step(s)" in plan
+
+    def test_rollup_merge_reported(self, engine):
+        spec = figure8_spec(("X", "Y"))
+        engine.execute(spec, "ii")
+        rolled = ops.p_roll_up(spec, "Y", engine.db.schema)
+        plan = explain(engine, rolled)
+        assert "P-ROLL-UP merge" in plan
+
+    def test_counting_mode_reflects_predicate(self, engine):
+        from repro import Comparison, Literal, MatchingPredicate, PlaceholderField
+
+        plain = explain(engine, figure8_spec(("X", "Y")))
+        assert "list lengths" in plain
+        predicate = MatchingPredicate(
+            ("x1", "y1"),
+            Comparison(PlaceholderField("x1", "action"), "=", Literal("in")),
+        )
+        filtered = explain(engine, figure8_spec(("X", "Y"), predicate=predicate))
+        assert "scan each listed sequence" in filtered
+
+    def test_sequence_cache_state(self, engine):
+        spec = figure8_spec(("X", "Y"))
+        first = explain(engine, spec)
+        assert "will run" in first
+        second = explain(engine, spec)
+        assert "cached" in second
+
+    def test_render_is_indented_text(self, engine):
+        plan = explain(engine, figure8_spec(("X", "Y")))
+        text = plan.render()
+        assert text.splitlines()[0] == "S-OLAP query plan"
+        assert any(line.startswith("  ") for line in text.splitlines())
+        assert str(plan) == text
+
+    def test_does_not_execute(self, engine):
+        spec = figure8_spec(("X", "Y"))
+        explain(engine, spec)
+        assert spec.cache_key() not in engine.repository

@@ -1,0 +1,176 @@
+"""Unit tests for predicate expressions and evaluation contexts."""
+
+import pytest
+
+from repro import (
+    And,
+    Between,
+    Comparison,
+    EventField,
+    ExpressionError,
+    InSet,
+    Literal,
+    Not,
+    Or,
+    PlaceholderField,
+    TRUE,
+    conjoin,
+)
+from repro.events.expression import BindingContext, EventContext
+
+
+EVENT = {"location": "Pentagon", "action": "in", "amount": -2.0}
+
+
+def evaluate(expr, event=EVENT):
+    return expr.evaluate(EventContext(event))
+
+
+class TestComparison:
+    def test_equality(self):
+        assert evaluate(Comparison(EventField("action"), "=", Literal("in")))
+        assert not evaluate(Comparison(EventField("action"), "=", Literal("out")))
+
+    def test_inequality_operators(self):
+        amount = EventField("amount")
+        assert evaluate(Comparison(amount, "<", Literal(0)))
+        assert evaluate(Comparison(amount, "<=", Literal(-2.0)))
+        assert evaluate(Comparison(amount, ">=", Literal(-2.0)))
+        assert not evaluate(Comparison(amount, ">", Literal(0)))
+        assert evaluate(Comparison(amount, "!=", Literal(1)))
+
+    def test_field_to_field_comparison(self):
+        event = {"a": 3, "b": 3}
+        assert Comparison(EventField("a"), "=", EventField("b")).evaluate(
+            EventContext(event)
+        )
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ExpressionError):
+            Comparison(EventField("a"), "~", Literal(1))
+
+    def test_incomparable_types_raise(self):
+        with pytest.raises(ExpressionError):
+            evaluate(Comparison(EventField("amount"), "<", Literal("zero")))
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(ExpressionError):
+            evaluate(Comparison(EventField("ghost"), "=", Literal(1)))
+
+    def test_attributes_introspection(self):
+        expr = Comparison(EventField("a"), "=", EventField("b"))
+        assert expr.attributes() == ("a", "b")
+
+
+class TestLogical:
+    def test_and_or_not(self):
+        true = Comparison(EventField("action"), "=", Literal("in"))
+        false = Comparison(EventField("action"), "=", Literal("out"))
+        assert evaluate(And((true, true)))
+        assert not evaluate(And((true, false)))
+        assert evaluate(Or((false, true)))
+        assert not evaluate(Or((false, false)))
+        assert evaluate(Not(false))
+
+    def test_operator_overloads(self):
+        true = Comparison(EventField("action"), "=", Literal("in"))
+        false = Comparison(EventField("action"), "=", Literal("out"))
+        assert evaluate(true & true)
+        assert evaluate(true | false)
+        assert evaluate(~false)
+
+    def test_true_predicate(self):
+        assert evaluate(TRUE)
+
+    def test_conjoin_drops_trues(self):
+        cmp_ = Comparison(EventField("action"), "=", Literal("in"))
+        assert conjoin() is TRUE
+        assert conjoin(TRUE, TRUE) is TRUE
+        assert conjoin(cmp_) is cmp_
+        combined = conjoin(cmp_, cmp_)
+        assert isinstance(combined, And)
+        assert len(combined.terms) == 2
+
+
+class TestSetAndRange:
+    def test_in_set(self):
+        expr = InSet(EventField("location"), ("Pentagon", "Wheaton"))
+        assert evaluate(expr)
+        assert not evaluate(InSet(EventField("location"), ("Glenmont",)))
+
+    def test_between(self):
+        expr = Between(EventField("amount"), -5, 0)
+        assert evaluate(expr)
+        assert not evaluate(Between(EventField("amount"), 0, 5))
+
+
+class TestBindingContext:
+    def test_placeholder_resolution(self):
+        bindings = {"x1": {"action": "in"}, "y1": {"action": "out"}}
+        expr = And(
+            (
+                Comparison(PlaceholderField("x1", "action"), "=", Literal("in")),
+                Comparison(PlaceholderField("y1", "action"), "=", Literal("out")),
+            )
+        )
+        assert expr.evaluate(BindingContext(bindings))
+
+    def test_unknown_placeholder_raises(self):
+        expr = Comparison(PlaceholderField("zz", "action"), "=", Literal("in"))
+        with pytest.raises(ExpressionError):
+            expr.evaluate(BindingContext({"x1": {"action": "in"}}))
+
+    def test_unknown_attribute_raises(self):
+        expr = Comparison(PlaceholderField("x1", "speed"), "=", Literal(1))
+        with pytest.raises(ExpressionError):
+            expr.evaluate(BindingContext({"x1": {"action": "in"}}))
+
+    def test_placeholder_in_event_context_raises(self):
+        expr = Comparison(PlaceholderField("x1", "action"), "=", Literal("in"))
+        with pytest.raises(ExpressionError):
+            expr.evaluate(EventContext(EVENT))
+
+    def test_event_field_in_binding_context_raises(self):
+        expr = Comparison(EventField("action"), "=", Literal("in"))
+        with pytest.raises(ExpressionError):
+            expr.evaluate(BindingContext({}))
+
+    def test_placeholders_introspection(self):
+        expr = Or(
+            (
+                Comparison(PlaceholderField("x1", "a"), "=", Literal(1)),
+                Not(Comparison(PlaceholderField("y1", "b"), "=", Literal(2))),
+            )
+        )
+        assert set(expr.placeholders()) == {"x1", "y1"}
+
+
+class TestHashability:
+    def test_expressions_are_hashable(self):
+        expr1 = And(
+            (
+                Comparison(EventField("a"), "=", Literal(1)),
+                InSet(EventField("b"), (1, 2)),
+            )
+        )
+        expr2 = And(
+            (
+                Comparison(EventField("a"), "=", Literal(1)),
+                InSet(EventField("b"), (1, 2)),
+            )
+        )
+        assert expr1 == expr2
+        assert hash(expr1) == hash(expr2)
+        assert len({expr1, expr2}) == 1
+
+    def test_str_renderings(self):
+        expr = Not(
+            And(
+                (
+                    Comparison(EventField("a"), "=", Literal(1)),
+                    Between(EventField("b"), 0, 2),
+                )
+            )
+        )
+        text = str(expr)
+        assert "NOT" in text and "AND" in text and "BETWEEN" in text

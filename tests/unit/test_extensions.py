@@ -1,0 +1,208 @@
+"""Unit tests for iceberg cuboids, online aggregation and incremental
+index maintenance."""
+
+import pytest
+
+from repro import CellRestriction, SOLAPEngine, SpecError
+from repro.core.spec import PatternTemplate
+from repro.datagen import SyntheticConfig, generate_event_database
+from repro.datagen.synthetic import base_spec
+from repro.datagen.transit import MINUTES_PER_DAY, TransitConfig
+from repro.datagen.transit import build_schema as transit_schema
+from repro.datagen.transit import generate_database as generate_transit
+from repro.errors import EngineError
+from repro.events.database import EventDatabase
+from repro.extensions import (
+    PartitionedIndexMaintainer,
+    iceberg_counter_based,
+    iceberg_inverted_index,
+    online_cuboid,
+)
+from repro.index.inverted import build_index
+from tests.conftest import figure8_spec, make_figure8_db
+
+
+@pytest.fixture(scope="module")
+def synthetic():
+    db = generate_event_database(SyntheticConfig(D=150, L=10, seed=11))
+    engine = SOLAPEngine(db)
+    spec = base_spec(("X", "Y"))
+    groups = engine.sequence_groups(spec)
+    return db, groups, spec
+
+
+class TestIceberg:
+    def test_ii_equals_cb_filtering(self, synthetic):
+        db, groups, spec = synthetic
+        for min_support in (1, 2, 4):
+            ii = iceberg_inverted_index(db, groups, spec, min_support)
+            cb = iceberg_counter_based(db, groups, spec, min_support)
+            assert ii.to_dict() == cb.to_dict(), min_support
+
+    def test_threshold_filters_cells(self, synthetic):
+        db, groups, spec = synthetic
+        loose = iceberg_inverted_index(db, groups, spec, 1)
+        tight = iceberg_inverted_index(db, groups, spec, 5)
+        assert len(tight) <= len(loose)
+        for __, __c, values in tight:
+            assert values["COUNT(*)"] >= 5
+
+    def test_longer_template_pruning(self, synthetic):
+        db, groups, __ = synthetic
+        spec3 = base_spec(("X", "Y", "Z"))
+        ii = iceberg_inverted_index(db, groups, spec3, 2)
+        cb = iceberg_counter_based(db, groups, spec3, 2)
+        assert ii.to_dict() == cb.to_dict()
+
+    def test_min_support_validation(self, synthetic):
+        db, groups, spec = synthetic
+        with pytest.raises(SpecError):
+            iceberg_inverted_index(db, groups, spec, 0)
+        with pytest.raises(SpecError):
+            iceberg_counter_based(db, groups, spec, 0)
+
+    def test_all_matched_rejected(self):
+        db = make_figure8_db()
+        engine = SOLAPEngine(db)
+        spec = figure8_spec(("X", "Y"), restriction=CellRestriction.ALL_MATCHED)
+        groups = engine.sequence_groups(spec)
+        with pytest.raises(SpecError):
+            iceberg_inverted_index(db, groups, spec, 2)
+
+    def test_pruning_reported_in_stats(self, synthetic):
+        db, groups, __ = synthetic
+        from repro.core.stats import QueryStats
+
+        spec3 = base_spec(("X", "Y", "Z"))
+        stats = QueryStats()
+        iceberg_inverted_index(db, groups, spec3, 3, stats)
+        assert stats.extra.get("lists_pruned", 0) > 0
+
+
+class TestOnlineAggregation:
+    def test_final_estimate_matches_exact(self, synthetic):
+        db, groups, spec = synthetic
+        exact, __ = SOLAPEngine(db).execute(spec, "cb")
+        estimates = list(online_cuboid(db, groups, spec, chunk_size=40))
+        assert estimates[-1].is_final
+        assert estimates[-1].partial.to_dict() == exact.to_dict()
+
+    def test_progress_is_monotone(self, synthetic):
+        db, groups, spec = synthetic
+        fractions = [
+            e.fraction for e in online_cuboid(db, groups, spec, chunk_size=40)
+        ]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+    def test_partial_counts_never_exceed_final(self, synthetic):
+        db, groups, spec = synthetic
+        estimates = list(online_cuboid(db, groups, spec, chunk_size=50))
+        final = estimates[-1].partial
+        for estimate in estimates:
+            for (g, c), values in estimate.partial.cells.items():
+                assert values["COUNT(*)"] <= final.count(c, g)
+
+    def test_estimated_count_scales(self, synthetic):
+        db, groups, spec = synthetic
+        first = next(iter(online_cuboid(db, groups, spec, chunk_size=30)))
+        group_key, cell_key, __ = first.partial.argmax()
+        observed = first.partial.count(cell_key, group_key)
+        assert first.estimated_count(cell_key, group_key) == pytest.approx(
+            observed / first.fraction
+        )
+
+    def test_chunk_size_validation(self, synthetic):
+        db, groups, spec = synthetic
+        with pytest.raises(ValueError):
+            next(online_cuboid(db, groups, spec, chunk_size=0))
+
+    def test_seed_changes_visit_order_not_result(self, synthetic):
+        db, groups, spec = synthetic
+        a = list(online_cuboid(db, groups, spec, chunk_size=60, seed=1))
+        b = list(online_cuboid(db, groups, spec, chunk_size=60, seed=2))
+        assert a[-1].partial.to_dict() == b[-1].partial.to_dict()
+
+
+class TestIncremental:
+    def make_maintainer(self, config):
+        template = PatternTemplate.substring(
+            ("X", "Y"),
+            {"X": ("location", "station"), "Y": ("location", "station")},
+        )
+        db = EventDatabase(transit_schema(config))
+        maintainer = PartitionedIndexMaintainer(
+            db,
+            template,
+            cluster_by=(("card-id", "individual"), ("time", "day")),
+            sequence_by=(("time", True),),
+            partition_of=lambda e: int(e["time"]) // MINUTES_PER_DAY,
+        )
+        return db, maintainer, template
+
+    def events_by_day(self, config):
+        full = generate_transit(config)
+        by_day = {}
+        for event in full:
+            by_day.setdefault(int(event["time"]) // MINUTES_PER_DAY, []).append(
+                event.to_dict()
+            )
+        return by_day
+
+    def test_union_equals_full_rebuild(self):
+        config = TransitConfig(n_cards=40, n_days=3, seed=21)
+        db, maintainer, template = self.make_maintainer(config)
+        by_day = self.events_by_day(config)
+        for day in sorted(by_day):
+            maintainer.ingest(by_day[day])
+        union = maintainer.combined_index()
+
+        # Ground truth: one index over all sequences of the full database.
+        from repro.events.sequence import cluster_events, form_sequences
+        from repro.events.sequence import SequenceGroup
+
+        # Build patterns only (sid spaces differ), so compare list *sizes*
+        # per pattern and the pattern sets.
+        clusters = cluster_events(
+            db, range(len(db)), [("card-id", "individual"), ("time", "day")]
+        )
+        sequences = form_sequences(db, clusters, [("time", True)])
+        whole = build_index(
+            SequenceGroup((), sequences), template, db.schema
+        )
+        assert set(union.lists) == set(whole.lists)
+        for values in whole.lists:
+            assert len(union.get(values)) == len(whole.get(values))
+
+    def test_partition_sid_spaces_disjoint(self):
+        config = TransitConfig(n_cards=20, n_days=3, seed=22)
+        __, maintainer, __t = self.make_maintainer(config)
+        by_day = self.events_by_day(config)
+        for day in sorted(by_day):
+            maintainer.ingest(by_day[day])
+        seen = set()
+        for key in maintainer.partitions():
+            sids = maintainer.partition_index(key).all_sids()
+            assert not (sids & seen)
+            seen |= sids
+
+    def test_union_cache_invalidation(self):
+        config = TransitConfig(n_cards=20, n_days=2, seed=23)
+        __, maintainer, __t = self.make_maintainer(config)
+        by_day = self.events_by_day(config)
+        days = sorted(by_day)
+        maintainer.ingest(by_day[days[0]])
+        first_union = maintainer.combined_index()
+        assert maintainer.combined_index() is first_union  # cached
+        maintainer.ingest(by_day[days[1]])
+        second_union = maintainer.combined_index()
+        assert second_union is not first_union
+        assert second_union.num_entries() > first_union.num_entries()
+
+    def test_unknown_partition_raises(self):
+        config = TransitConfig(n_cards=5, n_days=1, seed=24)
+        __, maintainer, __t = self.make_maintainer(config)
+        with pytest.raises(EngineError):
+            maintainer.partition_index(99)
+        with pytest.raises(EngineError):
+            maintainer.combined_index()

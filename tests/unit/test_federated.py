@@ -1,0 +1,156 @@
+"""Unit tests for cross-vendor federated sequence analysis (Section 6(3))."""
+
+import random
+
+import pytest
+
+from repro import Dimension, EventDatabase, Schema
+from repro.core.spec import PatternTemplate
+from repro.errors import EngineError
+from repro.extensions import FederationCoordinator, VendorSite, pseudonymize
+
+
+def make_subway_db(cards):
+    schema = Schema([Dimension("time"), Dimension("card"), Dimension("station")])
+    db = EventDatabase(schema)
+    rng = random.Random(1)
+    stations = ["Pentagon", "Wheaton", "Glenmont"]
+    for card in cards:
+        for trip in range(2):
+            origin = stations[rng.randrange(3)]
+            destination = stations[(stations.index(origin) + 1) % 3]
+            base = trip * 100
+            db.append({"time": base, "card": card, "station": origin})
+            db.append({"time": base + 10, "card": card, "station": destination})
+    return db
+
+
+def make_bus_db(cards):
+    schema = Schema([Dimension("time"), Dimension("card"), Dimension("route")])
+    db = EventDatabase(schema)
+    for card in cards:
+        db.append({"time": 50, "card": card, "route": f"B{card % 3}"})
+    return db
+
+
+def subway_template():
+    return PatternTemplate.substring(
+        ("X", "Y"), {"X": ("station", "station"), "Y": ("station", "station")}
+    )
+
+
+def bus_template():
+    return PatternTemplate.substring(("R",), {"R": ("route", "route")})
+
+
+def make_sites(subway_cards, bus_cards, salt="shared-salt"):
+    subway = VendorSite(
+        "subway",
+        make_subway_db(subway_cards),
+        join_key="card",
+        cluster_by=(("card", "card"),),
+        sequence_by=(("time", True),),
+        salt=salt,
+    )
+    bus = VendorSite(
+        "bus",
+        make_bus_db(bus_cards),
+        join_key="card",
+        cluster_by=(("card", "card"),),
+        sequence_by=(("time", True),),
+        salt=salt,
+    )
+    return subway, bus
+
+
+class TestPseudonyms:
+    def test_deterministic_per_salt(self):
+        assert pseudonymize(42, "s") == pseudonymize(42, "s")
+
+    def test_salt_changes_pseudonym(self):
+        assert pseudonymize(42, "a") != pseudonymize(42, "b")
+
+    def test_no_raw_value_leak(self):
+        assert "42" not in pseudonymize(42, "salt-xyz")
+
+
+class TestVendorSite:
+    def test_pattern_lists_contain_only_pseudonyms(self):
+        subway, __ = make_sites(range(10), range(5))
+        lists = subway.pattern_lists(subway_template())
+        assert lists
+        for ids in lists.values():
+            for pseudonym in ids:
+                assert isinstance(pseudonym, str)
+                assert len(pseudonym) == 16
+
+    def test_population_matches_card_count(self):
+        subway, bus = make_sites(range(10), range(5))
+        assert len(subway.population()) == 10
+        assert len(bus.population()) == 5
+
+
+class TestCoordinator:
+    def test_needs_two_sites(self):
+        subway, __ = make_sites(range(4), range(4))
+        with pytest.raises(EngineError):
+            FederationCoordinator([subway])
+
+    def test_shared_customers(self):
+        subway, bus = make_sites(range(20), range(10, 25))
+        coordinator = FederationCoordinator([subway, bus], min_count=1)
+        # overlap = cards 10..19
+        assert coordinator.shared_customers() == 10
+
+    def test_shared_customers_thresholded(self):
+        subway, bus = make_sites(range(5), range(3, 8))  # overlap 2
+        coordinator = FederationCoordinator([subway, bus], min_count=5)
+        assert coordinator.shared_customers() == 0
+
+    def test_cross_counts_match_ground_truth(self):
+        shared = list(range(30))
+        subway, bus = make_sites(shared, shared)
+        coordinator = FederationCoordinator([subway, bus], min_count=1)
+        counts = coordinator.cross_counts(
+            {"subway": subway_template(), "bus": bus_template()}
+        )
+        assert counts
+        # Ground truth by direct (non-private) computation: every card
+        # rides exactly one bus route, so summing a subway pattern's
+        # cross-cells over routes gives that pattern's subway count.
+        subway_lists = subway.pattern_lists(subway_template())
+        for subway_pattern, ids in subway_lists.items():
+            total = sum(
+                count
+                for (sp, __bp), count in counts.items()
+                if sp == subway_pattern
+            )
+            assert total == len(ids)
+
+    def test_min_count_suppresses_small_cells(self):
+        shared = list(range(30))
+        subway, bus = make_sites(shared, shared)
+        open_coord = FederationCoordinator([subway, bus], min_count=1)
+        strict = FederationCoordinator([subway, bus], min_count=8)
+        open_counts = open_coord.cross_counts(
+            {"subway": subway_template(), "bus": bus_template()}
+        )
+        strict_counts = strict.cross_counts(
+            {"subway": subway_template(), "bus": bus_template()}
+        )
+        assert set(strict_counts) <= set(open_counts)
+        assert all(count >= 8 for count in strict_counts.values())
+
+    def test_missing_template_raises(self):
+        subway, bus = make_sites(range(6), range(6))
+        coordinator = FederationCoordinator([subway, bus], min_count=1)
+        with pytest.raises(EngineError):
+            coordinator.cross_counts({"subway": subway_template()})
+
+    def test_disjoint_populations_yield_nothing(self):
+        subway, bus = make_sites(range(10), range(100, 110))
+        coordinator = FederationCoordinator([subway, bus], min_count=1)
+        counts = coordinator.cross_counts(
+            {"subway": subway_template(), "bus": bus_template()}
+        )
+        assert counts == {}

@@ -1,0 +1,107 @@
+"""Unit tests for HAVING COUNT(*) >= n (iceberg queries end-to-end)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import CellRestriction, QueryLanguageError, SOLAPEngine, SpecError
+from repro.datagen import SyntheticConfig, generate_event_database
+from repro.datagen.synthetic import base_spec
+from repro.ql import format_spec, parse_query
+from tests.conftest import figure8_spec
+
+HAVING_QUERY = """
+SELECT COUNT(*) FROM Event
+CLUSTER BY seq AT seq
+SEQUENCE BY ts ASCENDING
+CUBOID BY SUBSTRING (X, Y)
+  WITH X AS symbol AT symbol, Y AS symbol AT symbol
+LEFT-MAXIMALITY (p1, p2)
+HAVING COUNT(*) >= 4
+"""
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_event_database(SyntheticConfig(D=250, L=12, seed=77))
+
+
+class TestSpecField:
+    def test_min_support_in_cache_key(self):
+        a = figure8_spec(("X", "Y"))
+        b = replace(a, min_support=3)
+        assert a.cache_key() != b.cache_key()
+        assert a != b
+
+    def test_min_support_validated(self):
+        with pytest.raises(SpecError):
+            figure8_spec(("X", "Y"), min_support=0)
+
+
+class TestParsing:
+    def test_parse_having(self, db):
+        spec = parse_query(HAVING_QUERY, db.schema)
+        assert spec.min_support == 4
+
+    def test_roundtrip(self, db):
+        spec = parse_query(HAVING_QUERY, db.schema)
+        assert parse_query(format_spec(spec), db.schema) == spec
+
+    def test_having_requires_integer(self):
+        with pytest.raises(QueryLanguageError):
+            parse_query(HAVING_QUERY.replace(">= 4", '>= "four"'))
+
+    def test_having_requires_ge(self):
+        with pytest.raises(QueryLanguageError):
+            parse_query(HAVING_QUERY.replace(">= 4", "= 4"))
+
+
+class TestExecution:
+    def test_engine_filters_cells(self, db):
+        spec = replace(base_spec(("X", "Y")), min_support=4)
+        full, __ = SOLAPEngine(db).execute(base_spec(("X", "Y")), "cb")
+        iceberg, stats = SOLAPEngine(db).execute(spec, "cb")
+        assert 0 < len(iceberg) < len(full)
+        for __g, __c, values in iceberg:
+            assert values["COUNT(*)"] >= 4
+        assert stats.strategy == "iceberg-CB"
+
+    def test_cb_and_ii_agree(self, db):
+        spec = replace(base_spec(("X", "Y", "Z")), min_support=3)
+        cb, __ = SOLAPEngine(db).execute(spec, "cb")
+        ii, stats = SOLAPEngine(db).execute(spec, "ii")
+        assert cb.to_dict() == ii.to_dict()
+        assert stats.strategy == "iceberg-II"
+
+    def test_all_matched_routes_to_cb_filter(self, db):
+        spec = replace(
+            base_spec(("X", "Y")),
+            min_support=3,
+            restriction=CellRestriction.ALL_MATCHED,
+        )
+        iceberg, stats = SOLAPEngine(db).execute(spec, "ii")
+        assert stats.strategy == "iceberg-CB"
+        full, __ = SOLAPEngine(db).execute(
+            replace(spec, min_support=None), "cb"
+        )
+        expected = {
+            key: values
+            for key, values in full.to_dict().items()
+            if values["COUNT(*)"] >= 3
+        }
+        assert iceberg.to_dict() == expected
+
+    def test_repository_distinguishes_thresholds(self, db):
+        engine = SOLAPEngine(db)
+        loose = replace(base_spec(("X", "Y")), min_support=2)
+        tight = replace(base_spec(("X", "Y")), min_support=8)
+        a, __ = engine.execute(loose, "cb")
+        b, __ = engine.execute(tight, "cb")
+        assert len(b) < len(a)
+        __, stats = engine.execute(loose, "cb")
+        assert stats.cuboid_cache_hit
+
+    def test_ql_to_engine(self, db):
+        spec = parse_query(HAVING_QUERY, db.schema)
+        cuboid, __ = SOLAPEngine(db).execute(spec)
+        assert all(v["COUNT(*)"] >= 4 for __g, __c, v in cuboid)

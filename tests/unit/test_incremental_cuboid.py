@@ -1,0 +1,136 @@
+"""Unit tests for incremental cuboid maintenance on partitioned appends."""
+
+import pytest
+
+from repro import EngineError, SpecError
+from repro.core.spec import CuboidSpec, PatternTemplate
+from repro.datagen.transit import (
+    MINUTES_PER_DAY,
+    TransitConfig,
+    build_schema,
+    generate_database,
+    in_out_predicate,
+)
+from repro.events.database import EventDatabase
+from repro.extensions import IncrementalCuboidMaintainer
+
+
+def daily_spec(with_predicate=True) -> CuboidSpec:
+    template = PatternTemplate.substring(
+        ("X", "Y"),
+        {"X": ("location", "station"), "Y": ("location", "station")},
+    )
+    return CuboidSpec(
+        template=template,
+        cluster_by=(("card-id", "individual"), ("time", "day")),
+        sequence_by=(("time", True),),
+        group_by=(("time", "day"),),
+        predicate=in_out_predicate(("x1", "y1")) if with_predicate else None,
+    )
+
+
+def events_by_day(config):
+    full = generate_database(config)
+    by_day = {}
+    for event in full:
+        by_day.setdefault(int(event["time"]) // MINUTES_PER_DAY, []).append(
+            event.to_dict()
+        )
+    return by_day
+
+
+def make_maintainer(config, spec=None):
+    db = EventDatabase(build_schema(config))
+    return IncrementalCuboidMaintainer(
+        db,
+        spec or daily_spec(),
+        partition_attribute="time",
+        partition_of=lambda e: int(e["time"]) // MINUTES_PER_DAY,
+    )
+
+
+class TestPreconditions:
+    def test_partition_must_be_in_cluster_by(self):
+        config = TransitConfig(n_cards=5, n_days=1, seed=1)
+        db = EventDatabase(build_schema(config))
+        from dataclasses import replace
+
+        bad = replace(daily_spec(), cluster_by=(("card-id", "individual"),))
+        with pytest.raises(SpecError):
+            IncrementalCuboidMaintainer(
+                db, bad, "time", lambda e: 0
+            )
+
+    def test_partition_must_be_in_group_by(self):
+        config = TransitConfig(n_cards=5, n_days=1, seed=1)
+        db = EventDatabase(build_schema(config))
+        from dataclasses import replace
+
+        bad = replace(daily_spec(), group_by=())
+        with pytest.raises(SpecError):
+            IncrementalCuboidMaintainer(db, bad, "time", lambda e: 0)
+
+
+class TestIngestion:
+    def test_day_by_day_equals_recompute(self):
+        config = TransitConfig(n_cards=50, n_days=3, seed=61)
+        maintainer = make_maintainer(config)
+        for day, events in sorted(events_by_day(config).items()):
+            touched = maintainer.ingest(events)
+            assert touched == [day]
+            assert maintainer.verify_against_recompute()
+
+    def test_cuboid_grows_with_days(self):
+        config = TransitConfig(n_cards=30, n_days=2, seed=62)
+        maintainer = make_maintainer(config)
+        by_day = sorted(events_by_day(config).items())
+        maintainer.ingest(by_day[0][1])
+        first = len(maintainer.cuboid)
+        maintainer.ingest(by_day[1][1])
+        assert len(maintainer.cuboid) > first
+        assert maintainer.partitions() == (0, 1)
+
+    def test_multi_partition_batch(self):
+        config = TransitConfig(n_cards=20, n_days=2, seed=63)
+        maintainer = make_maintainer(config)
+        all_events = [
+            e for __, events in sorted(events_by_day(config).items()) for e in events
+        ]
+        touched = maintainer.ingest(all_events)
+        assert sorted(touched) == [0, 1]
+        assert maintainer.verify_against_recompute()
+
+    def test_late_arrival_rejected_atomically(self):
+        config = TransitConfig(n_cards=20, n_days=2, seed=64)
+        maintainer = make_maintainer(config)
+        by_day = sorted(events_by_day(config).items())
+        maintainer.ingest(by_day[0][1])
+        before = len(maintainer.db)
+        with pytest.raises(EngineError):
+            maintainer.ingest(by_day[0][1])  # same partition again
+        assert len(maintainer.db) == before  # nothing appended
+        assert maintainer.verify_against_recompute()
+
+    def test_snapshot_is_isolated(self):
+        config = TransitConfig(n_cards=10, n_days=1, seed=65)
+        maintainer = make_maintainer(config)
+        maintainer.ingest(next(iter(events_by_day(config).values())))
+        snapshot = maintainer.cuboid
+        key = next(iter(snapshot.cells))
+        snapshot.cells[key]["COUNT(*)"] = -1
+        assert maintainer.cuboid.cells[key]["COUNT(*)"] != -1
+
+    def test_with_where_clause(self):
+        from dataclasses import replace
+
+        from repro.events.expression import Comparison, EventField, Literal
+
+        config = TransitConfig(n_cards=25, n_days=2, seed=66)
+        spec = replace(
+            daily_spec(),
+            where=Comparison(EventField("location"), "!=", Literal("Rosslyn")),
+        )
+        maintainer = make_maintainer(config, spec)
+        for __, events in sorted(events_by_day(config).items()):
+            maintainer.ingest(events)
+        assert maintainer.verify_against_recompute()

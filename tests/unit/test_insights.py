@@ -1,0 +1,114 @@
+"""Unit tests for exploration insights (slice / roll-up / drill suggestions)."""
+
+import pytest
+
+from repro import SCuboid, SOLAPEngine
+from repro.core import operations as ops
+from repro.datagen import TransitConfig, generate_transit, round_trip_spec
+from repro.reports import (
+    concentration,
+    dimension_cardinalities,
+    fragmentation,
+    suggest_operations,
+)
+from tests.conftest import figure8_spec, make_transit_schema
+
+
+def cuboid_with(cells, spec=None):
+    spec = spec or figure8_spec(("X", "Y"))
+    return SCuboid(
+        spec, {((), cell): {"COUNT(*)": count} for cell, count in cells.items()}
+    )
+
+
+class TestMetrics:
+    def test_concentration(self):
+        cuboid = cuboid_with({("A", "B"): 8, ("B", "C"): 1, ("C", "D"): 1})
+        assert concentration(cuboid) == pytest.approx(0.8)
+
+    def test_concentration_empty(self):
+        assert concentration(cuboid_with({})) == 0.0
+
+    def test_fragmentation(self):
+        flat = cuboid_with({(f"s{i}", f"t{i}"): 1 for i in range(10)})
+        heavy = cuboid_with({("A", "B"): 10})
+        assert fragmentation(flat) == pytest.approx(1.0)
+        assert fragmentation(heavy) == pytest.approx(0.1)
+
+    def test_dimension_cardinalities(self):
+        cuboid = cuboid_with({("A", "B"): 1, ("A", "C"): 1, ("B", "C"): 1})
+        assert dimension_cardinalities(cuboid) == {"X": 2, "Y": 2}
+
+
+class TestSuggestions:
+    def test_dominant_cell_suggests_slice(self):
+        schema = make_transit_schema()
+        cuboid = cuboid_with(
+            {("Pentagon", "Wheaton"): 90, ("A", "B"): 5, ("B", "C"): 5}
+        )
+        insights = suggest_operations(cuboid, schema)
+        assert insights
+        assert insights[0].operation == "slice_cell"
+        assert insights[0].argument == ("Pentagon", "Wheaton")
+        assert "90%" in insights[0].reason
+
+    def test_fragmented_cuboid_suggests_rollup(self):
+        schema = make_transit_schema()
+        cells = {(f"s{i}", f"t{i % 3}"): 1 for i in range(12)}
+        insights = suggest_operations(cuboid_with(cells), schema)
+        rollups = [i for i in insights if i.operation == "p_roll_up"]
+        assert rollups
+        # X has the higher cardinality (12 vs 3)
+        assert rollups[0].argument == "X"
+
+    def test_restricted_symbols_not_rolled(self):
+        schema = make_transit_schema()
+        spec = ops.slice_pattern(figure8_spec(("X", "Y")), "X", "Pentagon")
+        cells = {("Pentagon", f"t{i}"): 1 for i in range(12)}
+        insights = suggest_operations(cuboid_with(cells, spec), schema)
+        for insight in insights:
+            if insight.operation == "p_roll_up":
+                assert insight.argument != "X"
+
+    def test_constant_coarse_dimension_suggests_drill(self):
+        schema = make_transit_schema()
+        spec = ops.p_roll_up(figure8_spec(("X", "Y")), "Y", schema)
+        cells = {("Pentagon", "D10"): 3, ("Wheaton", "D10"): 2}
+        insights = suggest_operations(cuboid_with(cells, spec), schema)
+        drills = [i for i in insights if i.operation == "p_drill_down"]
+        assert drills and drills[0].argument == "Y"
+
+    def test_no_suggestions_on_unremarkable_cuboid(self):
+        schema = make_transit_schema()
+        cells = {("A", "B"): 10, ("B", "C"): 9, ("C", "D"): 8}
+        insights = suggest_operations(
+            cuboid_with(cells),
+            schema,
+            concentration_threshold=0.5,
+            fragmentation_threshold=0.5,
+        )
+        assert insights == []
+
+    def test_max_suggestions_respected(self):
+        schema = make_transit_schema()
+        cells = {(f"s{i}", f"t{i}"): 1 for i in range(20)}
+        cells[("HOT", "CELL")] = 50
+        insights = suggest_operations(
+            cuboid_with(cells), schema, max_suggestions=1
+        )
+        assert len(insights) == 1
+
+
+class TestOnRealExploration:
+    def test_transit_q1_suggests_the_papers_move(self):
+        """On the running example, the advisor proposes exactly what the
+        paper's manager does: slice the Pentagon-Wheaton round-trip cell."""
+        db = generate_transit(TransitConfig(n_cards=200, n_days=3, seed=19))
+        cuboid, __ = SOLAPEngine(db).execute(
+            round_trip_spec(group_by_fare=False), "cb"
+        )
+        insights = suggest_operations(cuboid, db.schema)
+        assert insights
+        top = insights[0]
+        assert top.operation == "slice_cell"
+        assert top.argument == ("Pentagon", "Wheaton")

@@ -1,0 +1,254 @@
+"""Unit tests for inverted-index primitives (build, join, merge, refine)."""
+
+import pytest
+
+from repro import build_sequence_groups
+from repro.core.spec import PatternSymbol
+from repro.core.stats import QueryStats
+from repro.errors import IndexError_
+from repro.index.inverted import (
+    build_index,
+    join_indices,
+    pair_template,
+    prefix_template,
+    refine_index,
+    union_indices,
+    unrestricted_template,
+    verify_index,
+)
+from repro.index.registry import base_template
+from tests.conftest import location_template, make_figure8_db
+
+
+@pytest.fixture
+def group():
+    db = make_figure8_db()
+    groups = build_sequence_groups(db, None, [("card", "card")], [("time", True)])
+    return db, groups.single_group()
+
+
+class TestTemplateHelpers:
+    def test_prefix_template(self):
+        template = location_template(("X", "Y", "Y", "X"))
+        prefix = prefix_template(template, 3)
+        assert prefix.positions == ("X", "Y", "Y")
+        assert [s.name for s in prefix.symbols] == ["X", "Y"]
+
+    def test_prefix_drops_unused_symbols(self):
+        template = location_template(("X", "Y", "Z"))
+        prefix = prefix_template(template, 2)
+        assert [s.name for s in prefix.symbols] == ["X", "Y"]
+
+    def test_prefix_bounds(self):
+        template = location_template(("X", "Y"))
+        with pytest.raises(IndexError_):
+            prefix_template(template, 0)
+        with pytest.raises(IndexError_):
+            prefix_template(template, 3)
+
+    def test_pair_template(self):
+        template = location_template(("X", "Y", "Y", "X"))
+        pair = pair_template(template, 1)
+        assert pair.positions == ("Y", "Y")
+        assert len(pair.symbols) == 1
+        pair2 = pair_template(template, 2)
+        assert pair2.positions == ("Y", "X")
+
+    def test_pair_bounds(self):
+        template = location_template(("X", "Y"))
+        with pytest.raises(IndexError_):
+            pair_template(template, 1)
+
+    def test_unrestricted_template_strips_restrictions(self):
+        template = location_template(("X", "Y")).replace_symbol(
+            "X", PatternSymbol("X", "location", "station", fixed="Pentagon")
+        )
+        assert not unrestricted_template(template).has_restricted_symbols
+
+    def test_base_template_signature_covers_any_names(self):
+        a = base_template(location_template(("X", "Y")))
+        b = base_template(location_template(("P", "Q")))
+        assert a.signature() == b.signature()
+
+
+class TestBuildIndex:
+    def test_counts_and_stats(self, group):
+        db, grp = group
+        stats = QueryStats()
+        index = build_index(grp, location_template(("X", "Y")), db.schema, stats)
+        assert stats.sequences_scanned == 4
+        assert stats.indices_built == 1
+        assert stats.index_bytes_built == index.size_bytes() > 0
+        assert index.verified
+        assert len(index) == 9  # Figure 10's L2 has nine non-empty lists
+
+    def test_restricted_build_scans_only_candidates(self, group):
+        db, grp = group
+        stats = QueryStats()
+        sids = [seq.sid for seq in grp][:2]
+        index = build_index(
+            grp,
+            location_template(("X", "Y")),
+            db.schema,
+            stats,
+            restrict_sids=sids,
+        )
+        assert stats.sequences_scanned == 2
+        assert index.all_sids() <= set(sids)
+
+    def test_restricted_template_build(self, group):
+        db, grp = group
+        template = location_template(("X", "Y")).replace_symbol(
+            "X", PatternSymbol("X", "location", "station", fixed="Wheaton")
+        )
+        index = build_index(grp, template, db.schema)
+        assert all(key[0] == "Wheaton" for key in index.lists)
+
+    def test_size_accessors(self, group):
+        db, grp = group
+        index = build_index(grp, location_template(("X", "Y")), db.schema)
+        assert index.num_entries() >= len(index)
+        assert len(index.all_sids()) == 4
+        assert ("Pentagon", "Wheaton") in index
+        assert index.get(("No", "Where")) == frozenset()
+
+
+class TestFilterFor:
+    def test_shape_mismatch_raises(self, group):
+        db, grp = group
+        base = build_index(grp, location_template(("X", "Y")), db.schema)
+        with pytest.raises(IndexError_):
+            base.filter_for(location_template(("X", "Y", "Z")), db.schema)
+
+    def test_domain_mismatch_raises(self, group):
+        db, grp = group
+        base = build_index(grp, location_template(("X", "Y")), db.schema)
+        district = location_template(("X", "Y")).replace_symbol(
+            "Y", PatternSymbol("Y", "location", "district")
+        )
+        with pytest.raises(IndexError_):
+            base.filter_for(district, db.schema)
+
+    def test_fixed_filter(self, group):
+        db, grp = group
+        base = build_index(grp, location_template(("X", "Y")), db.schema)
+        fixed = location_template(("X", "Y")).replace_symbol(
+            "X", PatternSymbol("X", "location", "station", fixed="Pentagon")
+        )
+        filtered = base.filter_for(fixed, db.schema)
+        assert set(filtered.lists) == {
+            ("Pentagon", "Pentagon"),
+            ("Pentagon", "Wheaton"),
+        }
+
+
+class TestJoinAndVerify:
+    def test_join_requires_size2_right(self, group):
+        db, grp = group
+        base = build_index(grp, location_template(("X", "Y")), db.schema)
+        l3 = build_index(grp, location_template(("X", "Y", "Z")), db.schema)
+        with pytest.raises(IndexError_):
+            join_indices(base, l3, location_template(("X", "Y", "Z")), db.schema)
+
+    def test_join_prefix_length_checked(self, group):
+        db, grp = group
+        base = build_index(grp, location_template(("X", "Y")), db.schema)
+        with pytest.raises(IndexError_):
+            join_indices(base, base, location_template(("X", "Y")), db.schema)
+
+    def test_join_result_unverified_and_superset(self, group):
+        db, grp = group
+        target = location_template(("X", "Y", "Z"))
+        base = build_index(grp, location_template(("X", "Y")), db.schema)
+        candidate = join_indices(base, base, target, db.schema)
+        assert not candidate.verified
+        truth = build_index(grp, target, db.schema)
+        for values, sids in truth.lists.items():
+            assert sids <= candidate.get(values)
+
+    def test_verify_equals_direct_build(self, group):
+        db, grp = group
+        target = location_template(("X", "Y", "Z"))
+        base = build_index(grp, location_template(("X", "Y")), db.schema)
+        candidate = join_indices(base, base, target, db.schema)
+        verified = verify_index(candidate, grp, db.schema)
+        truth = build_index(grp, target, db.schema)
+        assert {k: set(v) for k, v in verified.lists.items()} == {
+            k: set(v) for k, v in truth.lists.items() if v
+        }
+
+    def test_verify_on_verified_is_noop(self, group):
+        db, grp = group
+        index = build_index(grp, location_template(("X", "Y")), db.schema)
+        assert verify_index(index, grp, db.schema) is index
+
+    def test_join_stats(self, group):
+        db, grp = group
+        stats = QueryStats()
+        base = build_index(grp, location_template(("X", "Y")), db.schema)
+        join_indices(
+            base, base, location_template(("X", "Y", "Z")), db.schema, stats
+        )
+        assert stats.index_joins == 1
+
+
+class TestRollupAndRefine:
+    def test_rollup_merges_lists(self, group):
+        db, grp = group
+        base = build_index(grp, location_template(("X", "Y")), db.schema)
+        district_template = location_template(("X", "Y")).replace_symbol(
+            "Y", PatternSymbol("Y", "location", "district")
+        )
+        rolled = base.rollup(
+            (("location", "station"), ("location", "district")),
+            db.schema,
+            district_template,
+        )
+        assert set(rolled.get(("Wheaton", "D10"))) == {
+            s for s in base.get(("Wheaton", "Pentagon"))
+        } | {s for s in base.get(("Wheaton", "Clarendon"))}
+
+    def test_rollup_length_mismatch(self, group):
+        db, grp = group
+        base = build_index(grp, location_template(("X", "Y")), db.schema)
+        with pytest.raises(IndexError_):
+            base.rollup((("location", "district"),), db.schema, base.template)
+
+    def test_refine_equals_direct_build(self, group):
+        db, grp = group
+        district = location_template(("X", "Y")).replace_symbol(
+            "X", PatternSymbol("X", "location", "district")
+        ).replace_symbol("Y", PatternSymbol("Y", "location", "district"))
+        coarse = build_index(grp, district, db.schema)
+        fine_template = location_template(("X", "Y"))
+        stats = QueryStats()
+        refined = refine_index(coarse, fine_template, grp, db.schema, stats)
+        truth = build_index(grp, fine_template, db.schema)
+        assert {k: set(v) for k, v in refined.lists.items()} == {
+            k: set(v) for k, v in truth.lists.items()
+        }
+        assert stats.sequences_scanned == 4
+
+
+class TestUnion:
+    def test_union_of_split_groups_equals_whole(self, group):
+        db, grp = group
+        template = location_template(("X", "Y"))
+        whole = build_index(grp, template, db.schema)
+        first = build_index(
+            grp, template, db.schema, restrict_sids=[s.sid for s in grp][:2]
+        )
+        second = build_index(
+            grp, template, db.schema, restrict_sids=[s.sid for s in grp][2:]
+        )
+        union = union_indices([first, second], template)
+        assert {k: set(v) for k, v in union.lists.items()} == {
+            k: set(v) for k, v in whole.lists.items()
+        }
+
+    def test_union_template_mismatch_raises(self, group):
+        db, grp = group
+        a = build_index(grp, location_template(("X", "Y")), db.schema)
+        b = build_index(grp, location_template(("X", "X")), db.schema)
+        with pytest.raises(IndexError_):
+            union_indices([a, b], a.template)

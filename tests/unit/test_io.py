@@ -1,0 +1,178 @@
+"""Unit tests for persistence (schemas, events, indices, cuboids)."""
+
+import pytest
+
+from repro import Dimension, Hierarchy, Schema, SchemaError, SOLAPEngine
+from repro.index.inverted import build_index
+from repro.io import (
+    load_cuboid,
+    load_dataset,
+    load_index,
+    load_schema,
+    read_events_csv,
+    read_events_jsonl,
+    save_cuboid,
+    save_dataset,
+    save_index,
+    save_schema,
+    schema_from_dict,
+    schema_to_dict,
+    write_events_csv,
+    write_events_jsonl,
+)
+from tests.conftest import figure8_spec, location_template, make_figure8_db
+
+
+class TestSchemaIO:
+    def test_roundtrip(self, tmp_path):
+        db = make_figure8_db()
+        path = tmp_path / "schema.json"
+        save_schema(db.schema, path)
+        loaded = load_schema(path)
+        assert loaded.attributes == db.schema.attributes
+        assert loaded.hierarchy("location").levels == ("station", "district")
+        assert loaded.map_value("location", "Pentagon", "district") == "D10"
+
+    def test_callable_mapping_rejected(self):
+        schema = Schema(
+            [
+                Dimension(
+                    "time",
+                    Hierarchy("time", ("minute", "day"), {"day": lambda m: m // 1440}),
+                )
+            ]
+        )
+        with pytest.raises(SchemaError):
+            schema_to_dict(schema)
+
+    def test_dict_roundtrip_preserves_measures(self):
+        db = make_figure8_db()
+        data = schema_to_dict(db.schema)
+        rebuilt = schema_from_dict(data)
+        assert list(rebuilt.measures) == ["amount"]
+
+
+class TestEventIO:
+    def test_jsonl_roundtrip(self, tmp_path):
+        db = make_figure8_db()
+        path = tmp_path / "events.jsonl"
+        written = write_events_jsonl(db, path)
+        assert written == len(db)
+        loaded = read_events_jsonl(db.schema, path)
+        assert len(loaded) == len(db)
+        assert loaded.column("location") == db.column("location")
+        assert loaded.column("amount") == db.column("amount")
+
+    def test_csv_roundtrip_with_types(self, tmp_path):
+        db = make_figure8_db()
+        path = tmp_path / "events.csv"
+        write_events_csv(db, path)
+        loaded = read_events_csv(
+            db.schema,
+            path,
+            types={"time": "int", "card": "int", "amount": "float"},
+        )
+        assert loaded.column("time") == db.column("time")
+        assert loaded.column("card") == db.column("card")
+        assert loaded.column("amount") == db.column("amount")
+
+    def test_csv_untyped_columns_are_strings(self, tmp_path):
+        db = make_figure8_db()
+        path = tmp_path / "events.csv"
+        write_events_csv(db, path)
+        loaded = read_events_csv(db.schema, path)
+        assert loaded.column("time")[0] == "0"
+
+    def test_csv_unknown_column_rejected(self, tmp_path):
+        db = make_figure8_db()
+        path = tmp_path / "bad.csv"
+        path.write_text("ghost,location\n1,Pentagon\n")
+        with pytest.raises(SchemaError):
+            read_events_csv(db.schema, path)
+
+    def test_empty_csv(self, tmp_path):
+        db = make_figure8_db()
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        assert len(read_events_csv(db.schema, path)) == 0
+
+    def test_dataset_directory_roundtrip(self, tmp_path):
+        db = make_figure8_db()
+        directory = save_dataset(db, tmp_path / "data")
+        assert (directory / "schema.json").exists()
+        assert (directory / "events.jsonl").exists()
+        loaded = load_dataset(directory)
+        assert len(loaded) == len(db)
+        # queries over the loaded dataset match the original
+        spec = figure8_spec(("X", "Y"))
+        a, __ = SOLAPEngine(db).execute(spec, "cb")
+        b, __ = SOLAPEngine(loaded).execute(spec, "cb")
+        assert a.to_dict() == b.to_dict()
+
+
+class TestIndexIO:
+    def test_index_roundtrip(self, tmp_path):
+        db = make_figure8_db()
+        groups = SOLAPEngine(db).sequence_groups(figure8_spec(("X", "Y")))
+        index = build_index(
+            groups.single_group(), location_template(("X", "Y")), db.schema
+        )
+        path = tmp_path / "l2.json"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.verified == index.verified
+        assert loaded.template.signature() == index.template.signature()
+        assert {k: set(v) for k, v in loaded.lists.items()} == {
+            k: set(v) for k, v in index.lists.items()
+        }
+
+    def test_restricted_template_roundtrip(self, tmp_path):
+        from repro.core.spec import PatternSymbol
+
+        db = make_figure8_db()
+        groups = SOLAPEngine(db).sequence_groups(figure8_spec(("X", "Y")))
+        template = location_template(("X", "Y")).replace_symbol(
+            "X",
+            PatternSymbol("X", "location", "station", within=("district", "D10")),
+        )
+        index = build_index(groups.single_group(), template, db.schema)
+        path = tmp_path / "restricted.json"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.template.symbol("X").within == ("district", "D10")
+
+
+class TestCuboidIO:
+    def test_cuboid_roundtrip(self, tmp_path):
+        db = make_figure8_db()
+        cuboid, __ = SOLAPEngine(db).execute(figure8_spec(("X", "Y")), "cb")
+        path = tmp_path / "cuboid.json"
+        save_cuboid(cuboid, path)
+        loaded = load_cuboid(path, db.schema)
+        assert loaded.spec == cuboid.spec
+        assert loaded.to_dict() == cuboid.to_dict()
+
+    def test_grouped_cuboid_roundtrip(self, tmp_path):
+        db = make_figure8_db()
+        spec = figure8_spec(("X", "Y"), group_by=(("location", "district"),))
+        cuboid, __ = SOLAPEngine(db).execute(spec, "cb")
+        path = tmp_path / "grouped.json"
+        save_cuboid(cuboid, path)
+        loaded = load_cuboid(path, db.schema)
+        assert loaded.to_dict() == cuboid.to_dict()
+
+    def test_sliced_cuboid_roundtrip(self, tmp_path):
+        from repro.core import operations as ops
+
+        db = make_figure8_db()
+        spec = ops.slice_global(
+            figure8_spec(("X", "Y"), group_by=(("location", "district"),)),
+            "location",
+            "D10",
+        )
+        cuboid, __ = SOLAPEngine(db).execute(spec, "cb")
+        path = tmp_path / "sliced.json"
+        save_cuboid(cuboid, path)
+        loaded = load_cuboid(path, db.schema)
+        assert loaded.spec.global_slice == ((0, "D10"),)
+        assert loaded.to_dict() == cuboid.to_dict()

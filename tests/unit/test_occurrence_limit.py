@@ -1,0 +1,103 @@
+"""Unit tests for the per-sequence occurrence enumeration cap."""
+
+import pytest
+
+from repro import SOLAPEngine, build_sequence_groups
+from repro.core.matcher import (
+    TemplateMatcher,
+    occurrence_limit,
+    set_default_occurrence_limit,
+)
+from repro.errors import MatchLimitExceeded
+from tests.property.conftest import make_db
+from tests.conftest import figure8_spec, location_template, make_figure8_db
+
+
+@pytest.fixture(autouse=True)
+def reset_limit():
+    yield
+    set_default_occurrence_limit(None)
+
+
+def pathological_db():
+    """One all-identical sequence: subsequence (X, Y) has C(20, 2) = 190
+    occurrences."""
+    return make_db([["a"] * 20])
+
+
+def subsequence_matcher(db, cap=None):
+    from repro.core.spec import PatternKind
+    from tests.property.conftest import template_from
+
+    template = template_from((0, 1), PatternKind.SUBSEQUENCE)
+    return TemplateMatcher(template, db.schema, occurrence_cap=cap)
+
+
+def the_sequence(db):
+    groups = build_sequence_groups(db, None, [("seq", "seq")], [("ts", True)])
+    return next(iter(groups.all_sequences()))
+
+
+class TestExplicitCap:
+    def test_under_cap_enumerates_fully(self):
+        db = pathological_db()
+        matcher = subsequence_matcher(db, cap=200)
+        assert len(list(matcher.iter_occurrences(the_sequence(db)))) == 190
+
+    def test_over_cap_raises(self):
+        db = pathological_db()
+        matcher = subsequence_matcher(db, cap=50)
+        with pytest.raises(MatchLimitExceeded) as info:
+            list(matcher.iter_occurrences(the_sequence(db)))
+        assert "cap of 50" in str(info.value)
+
+    def test_cap_is_per_sequence(self):
+        db = make_db([["a"] * 5, ["b"] * 5])
+        matcher = subsequence_matcher(db, cap=10)
+        groups = build_sequence_groups(db, None, [("seq", "seq")], [("ts", True)])
+        total = 0
+        for sequence in groups.all_sequences():
+            total += len(list(matcher.iter_occurrences(sequence)))
+        assert total == 20  # 10 per sequence, neither exceeding the cap
+
+
+class TestProcessDefault:
+    def test_default_applies_without_explicit_cap(self):
+        db = pathological_db()
+        set_default_occurrence_limit(50)
+        matcher = subsequence_matcher(db)
+        with pytest.raises(MatchLimitExceeded):
+            list(matcher.iter_occurrences(the_sequence(db)))
+
+    def test_explicit_cap_overrides_default(self):
+        db = pathological_db()
+        set_default_occurrence_limit(50)
+        matcher = subsequence_matcher(db, cap=500)
+        assert len(list(matcher.iter_occurrences(the_sequence(db)))) == 190
+
+    def test_context_manager_scopes_and_restores(self):
+        db = pathological_db()
+        matcher = subsequence_matcher(db)
+        with occurrence_limit(50):
+            with pytest.raises(MatchLimitExceeded):
+                list(matcher.iter_occurrences(the_sequence(db)))
+        assert len(list(matcher.iter_occurrences(the_sequence(db)))) == 190
+
+    def test_engine_execution_respects_limit(self):
+        db = make_figure8_db()
+        spec = figure8_spec(("X", "Y"), kind="subsequence")
+        with occurrence_limit(2):
+            with pytest.raises(MatchLimitExceeded):
+                SOLAPEngine(db).execute(spec, "cb")
+        cuboid, __ = SOLAPEngine(db).execute(spec, "cb")
+        assert len(cuboid) > 0
+
+    def test_substring_templates_also_capped(self):
+        db = make_figure8_db()
+        matcher = TemplateMatcher(
+            location_template(("X", "Y")), db.schema, occurrence_cap=1
+        )
+        groups = build_sequence_groups(db, None, [("card", "card")], [("time", True)])
+        long_sequence = max(groups.all_sequences(), key=len)
+        with pytest.raises(MatchLimitExceeded):
+            list(matcher.iter_occurrences(long_sequence))

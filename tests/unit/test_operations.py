@@ -1,0 +1,241 @@
+"""Unit tests for the six S-OLAP operations and the classical ones."""
+
+import pytest
+
+from repro import (
+    Comparison,
+    Literal,
+    MatchingPredicate,
+    OperationError,
+    PlaceholderField,
+)
+from repro.core import operations as ops
+from repro.events.expression import TruePredicate
+from tests.conftest import figure8_spec, make_transit_schema
+
+
+def in_predicate(placeholders=("x1", "y1")):
+    return MatchingPredicate(
+        placeholders,
+        Comparison(PlaceholderField("x1", "action"), "=", Literal("in")),
+    )
+
+
+class TestAppendPrepend:
+    def test_append_new_symbol(self):
+        spec = figure8_spec(("X", "Y"))
+        grown = ops.append(spec, "Z", "location", "station")
+        assert grown.template.positions == ("X", "Y", "Z")
+        assert grown.template.n_dims == 3
+
+    def test_append_existing_symbol(self):
+        spec = figure8_spec(("X", "Y"))
+        grown = ops.append(spec, "Y")
+        assert grown.template.positions == ("X", "Y", "Y")
+        assert grown.template.n_dims == 2
+
+    def test_append_new_symbol_requires_domain(self):
+        spec = figure8_spec(("X", "Y"))
+        with pytest.raises(OperationError):
+            ops.append(spec, "Z")
+
+    def test_append_conflicting_rebinding_raises(self):
+        spec = figure8_spec(("X", "Y"))
+        with pytest.raises(OperationError):
+            ops.append(spec, "Y", "location", "district")
+
+    def test_prepend_reorders_symbols(self):
+        spec = figure8_spec(("X", "Y"))
+        grown = ops.prepend(spec, "Z", "location", "station")
+        assert grown.template.positions == ("Z", "X", "Y")
+        assert [s.name for s in grown.template.symbols] == ["Z", "X", "Y"]
+
+    def test_append_extends_predicate_placeholders(self):
+        spec = figure8_spec(("X", "Y"), predicate=in_predicate())
+        grown = ops.append(spec, "Z", "location", "station")
+        assert len(grown.predicate.placeholders) == 3
+
+    def test_append_with_named_placeholder_and_extra(self):
+        spec = figure8_spec(("X", "Y"), predicate=in_predicate())
+        extra = Comparison(PlaceholderField("z1", "action"), "=", Literal("out"))
+        grown = ops.append(
+            spec, "Z", "location", "station", placeholder="z1", extra_predicate=extra
+        )
+        assert grown.predicate.placeholders[-1] == "z1"
+        assert "z1" in grown.predicate.expr.placeholders()
+
+    def test_append_extra_without_existing_predicate(self):
+        spec = figure8_spec(("X", "Y"))
+        extra = Comparison(PlaceholderField("z1", "action"), "=", Literal("out"))
+        grown = ops.append(
+            spec, "Z", "location", "station", placeholder="z1", extra_predicate=extra
+        )
+        assert grown.predicate is not None
+        assert grown.predicate.placeholders == ("p1", "p2", "z1")
+
+    def test_duplicate_placeholder_raises(self):
+        spec = figure8_spec(("X", "Y"), predicate=in_predicate())
+        with pytest.raises(OperationError):
+            ops.append(spec, "Z", "location", "station", placeholder="x1")
+
+    def test_prepend_places_placeholder_first(self):
+        spec = figure8_spec(("X", "Y"), predicate=in_predicate())
+        grown = ops.prepend(spec, "Z", "location", "station", placeholder="z0")
+        assert grown.predicate.placeholders[0] == "z0"
+
+
+class TestDeTailDeHead:
+    def test_de_tail(self):
+        spec = figure8_spec(("X", "Y", "Z"))
+        shrunk = ops.de_tail(spec)
+        assert shrunk.template.positions == ("X", "Y")
+        assert shrunk.template.n_dims == 2
+
+    def test_de_head_reorders(self):
+        spec = figure8_spec(("X", "Y"))
+        shrunk = ops.de_head(spec)
+        assert shrunk.template.positions == ("Y",)
+        assert [s.name for s in shrunk.template.symbols] == ["Y"]
+
+    def test_append_then_de_tail_roundtrip(self):
+        spec = figure8_spec(("X", "Y"))
+        assert ops.de_tail(ops.append(spec, "Z", "location", "station")) == spec
+
+    def test_cannot_shrink_singleton(self):
+        spec = figure8_spec(("X",))
+        with pytest.raises(OperationError):
+            ops.de_tail(spec)
+        with pytest.raises(OperationError):
+            ops.de_head(spec)
+
+    def test_de_tail_prunes_predicate_terms(self):
+        expr = Comparison(PlaceholderField("x1", "action"), "=", Literal("in")) & \
+            Comparison(PlaceholderField("y1", "action"), "=", Literal("out"))
+        spec = figure8_spec(
+            ("X", "Y"), predicate=MatchingPredicate(("x1", "y1"), expr)
+        )
+        shrunk = ops.de_tail(spec)
+        assert shrunk.predicate.placeholders == ("x1",)
+        assert "y1" not in shrunk.predicate.expr.placeholders()
+
+    def test_de_tail_entangled_predicate_raises(self):
+        expr = Comparison(
+            PlaceholderField("x1", "location"),
+            "=",
+            PlaceholderField("y1", "location"),
+        )
+        spec = figure8_spec(
+            ("X", "Y"), predicate=MatchingPredicate(("x1", "y1"), expr)
+        )
+        with pytest.raises(OperationError):
+            ops.de_tail(spec)
+
+    def test_de_head_prunes_to_true(self):
+        spec = figure8_spec(("X", "Y"), predicate=in_predicate())
+        shrunk = ops.de_head(spec)
+        assert isinstance(shrunk.predicate.expr, TruePredicate)
+
+
+class TestPatternLevelOps:
+    def test_p_roll_up(self):
+        schema = make_transit_schema()
+        spec = figure8_spec(("X", "Y"))
+        rolled = ops.p_roll_up(spec, "Y", schema)
+        assert rolled.template.symbol("Y").level == "district"
+
+    def test_p_roll_up_past_top_raises(self):
+        schema = make_transit_schema()
+        spec = figure8_spec(("X", "Y"))
+        rolled = ops.p_roll_up(spec, "Y", schema)
+        with pytest.raises(OperationError):
+            ops.p_roll_up(rolled, "Y", schema)
+
+    def test_p_roll_up_translates_fixed(self):
+        schema = make_transit_schema()
+        spec = ops.slice_pattern(figure8_spec(("X", "Y")), "X", "Pentagon")
+        rolled = ops.p_roll_up(spec, "X", schema)
+        assert rolled.template.symbol("X").fixed == "D10"
+
+    def test_p_drill_down_converts_fixed_to_within(self):
+        schema = make_transit_schema()
+        spec = figure8_spec(("X", "Y"))
+        rolled = ops.p_roll_up(spec, "Y", schema)
+        sliced = ops.slice_pattern(rolled, "Y", "D10")
+        drilled = ops.p_drill_down(sliced, "Y", schema)
+        symbol = drilled.template.symbol("Y")
+        assert symbol.level == "station"
+        assert symbol.fixed is None
+        assert symbol.within == ("district", "D10")
+
+    def test_p_drill_down_past_base_raises(self):
+        schema = make_transit_schema()
+        spec = figure8_spec(("X", "Y"))
+        with pytest.raises(OperationError):
+            ops.p_drill_down(spec, "Y", schema)
+
+    def test_roll_then_drill_identity_on_levels(self):
+        schema = make_transit_schema()
+        spec = figure8_spec(("X", "Y"))
+        back = ops.p_drill_down(ops.p_roll_up(spec, "X", schema), "X", schema)
+        assert back.template.symbol("X").level == "station"
+
+    def test_slice_and_unslice_pattern(self):
+        spec = figure8_spec(("X", "Y"))
+        sliced = ops.slice_pattern(spec, "X", "Pentagon")
+        assert sliced.template.symbol("X").fixed == "Pentagon"
+        assert ops.unslice_pattern(sliced, "X") == spec
+
+
+class TestGlobalOps:
+    def grouped_spec(self):
+        return figure8_spec(("X", "Y"), group_by=(("location", "district"),))
+
+    def test_roll_up_global_past_top_raises(self):
+        schema = make_transit_schema()
+        with pytest.raises(OperationError):
+            ops.roll_up_global(self.grouped_spec(), "location", schema)
+
+    def test_drill_down_global(self):
+        schema = make_transit_schema()
+        spec = self.grouped_spec()
+        drilled = ops.drill_down_global(spec, "location", schema)
+        assert drilled.group_by == (("location", "station"),)
+
+    def test_drill_down_global_at_base_raises(self):
+        schema = make_transit_schema()
+        spec = figure8_spec(("X", "Y"), group_by=(("location", "station"),))
+        with pytest.raises(OperationError):
+            ops.drill_down_global(spec, "location", schema)
+
+    def test_roll_up_global_translates_slice(self):
+        schema = make_transit_schema()
+        spec = figure8_spec(("X", "Y"), group_by=(("location", "station"),))
+        sliced = ops.slice_global(spec, "location", "Pentagon")
+        rolled = ops.roll_up_global(sliced, "location", schema)
+        assert rolled.group_by == (("location", "district"),)
+        assert rolled.global_slice == ((0, "D10"),)
+
+    def test_drill_down_sliced_raises(self):
+        schema = make_transit_schema()
+        spec = ops.slice_global(self.grouped_spec(), "location", "D10")
+        with pytest.raises(OperationError):
+            ops.drill_down_global(spec, "location", schema)
+
+    def test_slice_dice_unslice(self):
+        spec = self.grouped_spec()
+        sliced = ops.slice_global(spec, "location", "D10")
+        assert sliced.global_slice == ((0, "D10"),)
+        diced = ops.dice_global(spec, "location", ("D10", "D20"))
+        assert diced.global_slice == ((0, ("D10", "D20")),)
+        assert ops.unslice_global(sliced, "location").global_slice == ()
+
+    def test_slice_replaces_previous_slice(self):
+        spec = self.grouped_spec()
+        sliced = ops.slice_global(
+            ops.slice_global(spec, "location", "D10"), "location", "D20"
+        )
+        assert sliced.global_slice == ((0, "D20"),)
+
+    def test_unknown_global_dimension_raises(self):
+        with pytest.raises(OperationError):
+            ops.slice_global(self.grouped_spec(), "card", 1)

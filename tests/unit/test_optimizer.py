@@ -1,0 +1,161 @@
+"""Unit tests for the cost model and the index advisor."""
+
+import pytest
+
+from repro import SOLAPEngine
+from repro.core import operations as ops
+from repro.datagen import SyntheticConfig, generate_event_database
+from repro.datagen.synthetic import base_spec
+from repro.index.registry import base_template
+from repro.optimizer import (
+    CostModel,
+    DataProfile,
+    IndexAdvisor,
+    advise_for_workload,
+    profile_groups,
+)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_event_database(SyntheticConfig(D=200, L=12, seed=81))
+
+
+@pytest.fixture(scope="module")
+def profile(db):
+    engine = SOLAPEngine(db)
+    groups = engine.sequence_groups(base_spec(("X", "Y")))
+    return profile_groups(db, groups, (("symbol", "symbol"), ("symbol", "group")))
+
+
+class TestProfile:
+    def test_counts(self, profile):
+        assert profile.n_sequences == 200
+        assert 9 < profile.avg_length < 15
+        assert profile.n_groups == 1
+
+    def test_domain_sizes(self, profile):
+        assert profile.domain_size("symbol", "symbol") <= 100
+        assert profile.domain_size("symbol", "group") <= 20
+        assert profile.domain_size("symbol", "missing-level") == 1
+
+
+class TestCostModel:
+    def test_cb_cost_scales_with_sequences(self):
+        small = CostModel(DataProfile(100, 10.0, 1))
+        large = CostModel(DataProfile(1000, 10.0, 1))
+        spec = base_spec(("X", "Y"))
+        assert (
+            large.cost_cb(spec).scan_equivalents
+            > small.cost_cb(spec).scan_equivalents
+        )
+
+    def test_cold_two_step_prefers_cb(self, db, profile):
+        """Table 1's Qa: without indices, CB wins the first query."""
+        model = CostModel(profile)
+        choice, cb, ii = model.choose(
+            base_spec(("X", "Y")), None, (), db.schema
+        )
+        assert choice == "cb"
+        assert ii.scan_equivalents > cb.scan_equivalents
+
+    def test_exact_hit_prefers_ii(self, db, profile):
+        engine = SOLAPEngine(db)
+        spec = base_spec(("X", "Y"))
+        engine.precompute(spec, [base_template(spec.template)])
+        model = CostModel(profile)
+        choice, cb, ii = model.choose(spec, engine.registry, (), db.schema)
+        assert choice == "ii"
+        assert ii.scan_equivalents == 0.0
+
+    def test_sliced_template_cheaper_than_free(self, profile):
+        model = CostModel(profile)
+        free = base_spec(("X", "Y"))
+        sliced = ops.slice_pattern(free, "X", "e000")
+        assert model.expected_matching_sequences(
+            sliced.template
+        ) < model.expected_matching_sequences(free.template)
+
+    def test_repeated_symbols_more_selective(self, profile):
+        model = CostModel(profile)
+        xy = base_spec(("X", "Y")).template
+        xx = base_spec(("X", "X")).template
+        assert model.expected_matching_sequences(
+            xx
+        ) < model.expected_matching_sequences(xy)
+
+    def test_estimates_bounded_by_population(self, profile):
+        model = CostModel(profile)
+        for positions in [("X",), ("X", "Y"), ("X", "Y", "Z")]:
+            estimate = model.expected_matching_sequences(
+                base_spec(positions).template
+            )
+            assert 0 <= estimate <= profile.n_sequences
+
+
+class TestEngineCostStrategy:
+    def test_cost_strategy_runs_and_records(self, db):
+        engine = SOLAPEngine(db, use_repository=False)
+        spec = base_spec(("X", "Y"))
+        cuboid, stats = engine.execute(spec, "cost")
+        assert stats.strategy in ("CB", "II")
+        assert "cost_cb" in stats.extra and "cost_ii" in stats.extra
+        # results match a plain CB run regardless of the choice
+        truth, __ = SOLAPEngine(db).execute(spec, "cb")
+        assert cuboid.to_dict() == truth.to_dict()
+
+    def test_cost_strategy_switches_after_precompute(self, db):
+        engine = SOLAPEngine(db, use_repository=False)
+        spec = base_spec(("X", "Y"))
+        __, cold = engine.execute(spec, "cost")
+        engine.precompute(spec, [base_template(spec.template)])
+        __, warm = engine.execute(spec, "cost")
+        assert cold.strategy == "CB"
+        assert warm.strategy == "II"
+
+
+class TestAdvisor:
+    def test_candidates_deduplicate_domains(self, profile):
+        advisor = IndexAdvisor(profile)
+        workload = [
+            base_spec(("X", "Y")),
+            base_spec(("X", "Y", "Z")),
+            base_spec(("X", "Y", "Y", "X")),
+        ]
+        candidates = advisor.candidate_templates(workload)
+        # All position pairs share the symbol@symbol domain: one candidate.
+        assert len(candidates) == 1
+
+    def test_mixed_level_candidates(self, profile):
+        advisor = IndexAdvisor(profile)
+        workload = [
+            base_spec(("X", "Y")),
+            base_spec(("X", "Y"), level="group"),
+        ]
+        assert len(advisor.candidate_templates(workload)) == 2
+
+    def test_recommendation_for_workload(self, db):
+        engine = SOLAPEngine(db)
+        workload = [base_spec(("X", "Y")), base_spec(("X", "Y", "Z"))]
+        recommendations = advise_for_workload(engine, workload)
+        assert len(recommendations) == 1
+        rec = recommendations[0]
+        assert rec.template.length == 2
+        assert rec.benefit > 0
+        assert rec.estimated_bytes > 0
+
+    def test_budget_respected(self, db):
+        engine = SOLAPEngine(db)
+        workload = [base_spec(("X", "Y"))]
+        assert advise_for_workload(engine, workload, byte_budget=10) == []
+
+    def test_empty_workload(self, db):
+        assert advise_for_workload(SOLAPEngine(db), []) == []
+
+    def test_materialized_recommendation_speeds_up_queries(self, db):
+        engine = SOLAPEngine(db, use_repository=False)
+        workload = [base_spec(("X", "Y")), base_spec(("X", "Y", "Z"))]
+        recommendations = advise_for_workload(engine, workload)
+        IndexAdvisor.materialize(engine, recommendations, workload[0])
+        __, stats = engine.execute(workload[0], "ii")
+        assert stats.sequences_scanned == 0  # served from the advised index

@@ -1,0 +1,254 @@
+"""The paper's worked example, figure by figure (Figures 8, 10, 12, 13, 14).
+
+These tests pin the implementation to the exact numbers printed in the
+paper for the four-sequence group of Figure 8.
+"""
+
+import pytest
+
+from repro import (
+    Comparison,
+    CuboidSpec,
+    Literal,
+    MatchingPredicate,
+    PlaceholderField,
+    SOLAPEngine,
+    build_sequence_groups,
+)
+from repro.index.inverted import (
+    build_index,
+    join_indices,
+    prefix_template,
+    verify_index,
+)
+from repro.index.registry import base_template
+from tests.conftest import figure8_spec, location_template, make_figure8_db
+
+
+@pytest.fixture
+def group():
+    db = make_figure8_db()
+    groups = build_sequence_groups(db, None, [("card", "card")], [("time", True)])
+    return db, groups.single_group()
+
+
+def sids_by_card(group):
+    """Map the paper's s1..s4 labels to our sids."""
+    by_card = {seq.cluster_key[0]: seq.sid for seq in group}
+    return {
+        "s1": by_card[688],
+        "s2": by_card[23456],
+        "s3": by_card[1012],
+        "s4": by_card[77],
+    }
+
+
+class TestFigure10Indices:
+    def test_l1_lists(self, group):
+        db, grp = group
+        sid = sids_by_card(grp)
+        template = location_template(("X",))
+        index = build_index(grp, base_template(template), db.schema)
+        expect = {
+            ("Clarendon",): {sid["s3"], sid["s4"]},
+            ("Deanwood",): {sid["s4"]},
+            ("Glenmont",): {sid["s1"]},
+            ("Pentagon",): {sid["s1"], sid["s2"], sid["s3"]},
+            ("Wheaton",): {sid["s1"], sid["s2"], sid["s4"]},
+        }
+        assert {k: set(v) for k, v in index.lists.items()} == expect
+
+    def test_l2_lists(self, group):
+        db, grp = group
+        sid = sids_by_card(grp)
+        template = location_template(("X", "Y"))
+        index = build_index(grp, base_template(template), db.schema)
+        expect = {
+            ("Clarendon", "Deanwood"): {sid["s4"]},
+            ("Clarendon", "Pentagon"): {sid["s3"]},
+            ("Deanwood", "Wheaton"): {sid["s4"]},
+            ("Glenmont", "Pentagon"): {sid["s1"]},
+            ("Pentagon", "Pentagon"): {sid["s1"]},
+            ("Pentagon", "Wheaton"): {sid["s1"], sid["s2"]},
+            ("Wheaton", "Clarendon"): {sid["s4"]},
+            ("Wheaton", "Pentagon"): {sid["s1"], sid["s2"]},
+            ("Wheaton", "Wheaton"): {sid["s1"], sid["s2"]},
+        }
+        assert {k: set(v) for k, v in index.lists.items()} == expect
+
+    def test_l2_xx_filter_is_footnote7(self, group):
+        db, grp = group
+        sid = sids_by_card(grp)
+        base = build_index(
+            grp, base_template(location_template(("X", "Y"))), db.schema
+        )
+        xx = base.filter_for(location_template(("X", "X")), db.schema)
+        assert {k: set(v) for k, v in xx.lists.items()} == {
+            ("Pentagon", "Pentagon"): {sid["s1"]},
+            ("Wheaton", "Wheaton"): {sid["s1"], sid["s2"]},
+        }
+
+
+class TestFigure12Query3:
+    def test_q3_counts(self, group):
+        db, __ = group
+        predicate = MatchingPredicate(
+            ("x1", "y1"),
+            Comparison(PlaceholderField("x1", "action"), "=", Literal("in"))
+            & Comparison(PlaceholderField("y1", "action"), "=", Literal("out")),
+        )
+        spec = figure8_spec(("X", "Y"), predicate=predicate)
+        expected = {
+            ("Clarendon", "Pentagon"): 1,
+            ("Deanwood", "Wheaton"): 1,
+            ("Glenmont", "Pentagon"): 1,
+            ("Pentagon", "Wheaton"): 2,
+            ("Wheaton", "Clarendon"): 1,
+            ("Wheaton", "Pentagon"): 2,
+        }
+        for strategy in ("cb", "ii"):
+            cuboid, __stats = SOLAPEngine(db).execute(spec, strategy)
+            got = {cell: v["COUNT(*)"] for (__g, cell), v in cuboid.cells.items()}
+            assert got == expected, strategy
+
+
+class TestFigure13And14Joins:
+    def test_xyy_join_and_verification(self, group):
+        db, grp = group
+        sid = sids_by_card(grp)
+        target = location_template(("X", "Y", "Y"))
+        base2 = build_index(
+            grp, base_template(location_template(("X", "Y"))), db.schema
+        )
+        left = base2  # L2^(X,Y) with X, Y unrestricted
+        right = base2.filter_for(location_template(("Y", "Y")), db.schema)
+        candidate = join_indices(left, right, target, db.schema)
+        # Figure 13's candidate column: l12 = {s1} for (P, P, P) before
+        # verification.
+        assert set(candidate.get(("Pentagon", "Pentagon", "Pentagon"))) == {
+            sid["s1"]
+        }
+        verified = verify_index(candidate, grp, db.schema)
+        # After verification s1 is eliminated from (P, P, P) (the paper's
+        # l12 example) and from (W, P, P) (s1 has no contiguous W, P, P).
+        assert ("Pentagon", "Pentagon", "Pentagon") not in verified.lists
+        expect = {
+            ("Glenmont", "Pentagon", "Pentagon"): {sid["s1"]},
+            ("Pentagon", "Wheaton", "Wheaton"): {sid["s1"], sid["s2"]},
+        }
+        assert {k: set(v) for k, v in verified.lists.items()} == expect
+
+    def test_xyyx_join_figure14(self, group):
+        db, grp = group
+        sid = sids_by_card(grp)
+        template = location_template(("X", "Y", "Y", "X"))
+        base2 = build_index(
+            grp, base_template(location_template(("X", "Y"))), db.schema
+        )
+        l3 = verify_index(
+            join_indices(
+                base2,
+                base2.filter_for(location_template(("Y", "Y")), db.schema),
+                prefix_template(template, 3),
+                db.schema,
+            ),
+            grp,
+            db.schema,
+        )
+        l4 = verify_index(
+            join_indices(l3, base2, template, db.schema), grp, db.schema
+        )
+        assert {k: set(v) for k, v in l4.lists.items()} == {
+            ("Pentagon", "Wheaton", "Wheaton", "Pentagon"): {
+                sid["s1"],
+                sid["s2"],
+            }
+        }
+
+    def test_q1_final_count_with_predicate(self, group):
+        """Only the [Pentagon, Wheaton, Wheaton, Pentagon] cell is non-zero.
+
+        Under Figure 8's action convention (odd 1-based positions are
+        "in"), *both* s1 (positions 3-6: in, out, in, out) and s2 qualify,
+        so the count is 2.  The paper's prose says "a count of 1", which
+        contradicts its own Figure 14 list {s1, s2} plus the predicate —
+        we pin the self-consistent value.
+        """
+        db, __ = group
+        predicate = MatchingPredicate(
+            ("x1", "y1", "y2", "x2"),
+            Comparison(PlaceholderField("x1", "action"), "=", Literal("in"))
+            & Comparison(PlaceholderField("y1", "action"), "=", Literal("out"))
+            & Comparison(PlaceholderField("y2", "action"), "=", Literal("in"))
+            & Comparison(PlaceholderField("x2", "action"), "=", Literal("out")),
+        )
+        spec = figure8_spec(("X", "Y", "Y", "X"), predicate=predicate)
+        for strategy in ("cb", "ii"):
+            cuboid, __stats = SOLAPEngine(db).execute(spec, strategy)
+            got = {cell: v["COUNT(*)"] for (__g, cell), v in cuboid.cells.items()}
+            assert got == {
+                ("Pentagon", "Wheaton"): 2
+            }, strategy
+
+
+class TestPROLLUPExample:
+    def test_wheaton_d10_count_is_three(self, group):
+        """Section 4.2.2 item 4: rolling Y of Q3's (X, Y) up to district,
+        cell [Wheaton, D10] has count three (s1, s2 via Pentagon; s4 via
+        Clarendon)."""
+        db, __ = group
+        from repro.core import operations as ops
+
+        spec = figure8_spec(("X", "Y"))
+        rolled = ops.p_roll_up(spec, "Y", db.schema)
+        for strategy in ("cb", "ii"):
+            cuboid, __stats = SOLAPEngine(db).execute(rolled, strategy)
+            assert cuboid.count(("Wheaton", "D10")) == 3, strategy
+
+    def test_s6_counterexample_merge_invalidity(self):
+        """The s6 example: (X, Y, Y, X) at district level must count the
+        sequence <Pentagon, Wheaton, Wheaton, Clarendon> under
+        [D10, D20, D20, D10] even though it appears in no station-level
+        (X, Y, Y, X) list — the engine must NOT answer by merging."""
+        from repro import Dimension, EventDatabase, Hierarchy, Schema
+        from repro.core import operations as ops
+        from tests.conftest import DISTRICTS
+
+        schema = Schema(
+            [
+                Dimension("time"),
+                Dimension("card"),
+                Dimension(
+                    "location",
+                    Hierarchy(
+                        "location", ("station", "district"), {"district": DISTRICTS}
+                    ),
+                ),
+            ]
+        )
+        stations = ["Pentagon", "Wheaton", "Wheaton", "Clarendon"]
+        db = EventDatabase.from_records(
+            schema,
+            [
+                {"time": i, "card": 6, "location": s}
+                for i, s in enumerate(stations)
+            ],
+        )
+        spec = CuboidSpec(
+            template=location_template(("X", "Y", "Y", "X")),
+            cluster_by=(("card", "card"),),
+            sequence_by=(("time", True),),
+        )
+        # Station level: no occurrence at all.
+        station_cuboid, __ = SOLAPEngine(db).execute(spec, "cb")
+        assert len(station_cuboid) == 0
+        # District level: exactly one cell with count 1 — both strategies.
+        rolled = ops.p_roll_up(ops.p_roll_up(spec, "X", schema), "Y", schema)
+        for strategy in ("cb", "ii"):
+            engine = SOLAPEngine(db)
+            if strategy == "ii":
+                # Pre-build the station-level index so a (wrong) merge
+                # would be tempting.
+                engine.execute(spec, "ii")
+            cuboid, __stats = engine.execute(rolled, strategy)
+            assert cuboid.count(("D10", "D20")) == 1, strategy

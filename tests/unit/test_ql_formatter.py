@@ -1,0 +1,108 @@
+"""Unit tests for the query-language formatter (round-trips)."""
+
+import pytest
+
+from repro import (
+    AggregateScope,
+    AggregateSpec,
+    CellRestriction,
+    Comparison,
+    EventField,
+    Literal,
+    MatchingPredicate,
+    PlaceholderField,
+)
+from repro.core import operations as ops
+from repro.events.expression import Between, InSet, Not, Or
+from repro.ql import format_expr, format_spec, parse_query
+from tests.conftest import figure8_spec, make_transit_schema
+
+
+def roundtrip(spec):
+    return parse_query(format_spec(spec))
+
+
+class TestFormatExpr:
+    def test_comparison(self):
+        expr = Comparison(EventField("time"), ">=", Literal(5))
+        assert format_expr(expr) == "time >= 5"
+
+    def test_string_literals_quoted(self):
+        expr = Comparison(
+            PlaceholderField("x1", "action"), "=", Literal("in")
+        )
+        assert format_expr(expr) == 'x1.action = "in"'
+
+    def test_in_between_not_or(self):
+        expr = Or(
+            (
+                InSet(EventField("a"), (1, 2)),
+                Not(Between(EventField("b"), 0, 9)),
+            )
+        )
+        text = format_expr(expr)
+        assert "IN (1, 2)" in text and "BETWEEN 0 AND 9" in text and "NOT" in text
+
+
+class TestRoundTrips:
+    def test_minimal_spec(self):
+        spec = figure8_spec(("X", "Y"))
+        assert roundtrip(spec) == spec
+
+    def test_repeated_symbols(self):
+        spec = figure8_spec(("X", "Y", "Y", "X"))
+        assert roundtrip(spec) == spec
+
+    def test_with_where_and_groups(self):
+        spec = figure8_spec(
+            ("X", "Y"),
+            where=Comparison(EventField("time"), "<", Literal(100)),
+            group_by=(("location", "district"),),
+        )
+        assert roundtrip(spec) == spec
+
+    def test_with_predicate(self):
+        predicate = MatchingPredicate(
+            ("x1", "y1"),
+            Comparison(PlaceholderField("x1", "action"), "=", Literal("in"))
+            & Comparison(PlaceholderField("y1", "action"), "=", Literal("out")),
+        )
+        spec = figure8_spec(("X", "Y"), predicate=predicate)
+        assert roundtrip(spec) == spec
+
+    def test_with_restrictions_and_aggregates(self):
+        spec = figure8_spec(
+            ("X", "Y"),
+            restriction=CellRestriction.ALL_MATCHED,
+            aggregates=(
+                AggregateSpec("COUNT"),
+                AggregateSpec("SUM", "amount", AggregateScope.SEQUENCE),
+            ),
+        )
+        assert roundtrip(spec) == spec
+
+    def test_with_sliced_symbol(self):
+        spec = ops.slice_pattern(figure8_spec(("X", "Y")), "X", "Pentagon")
+        assert roundtrip(spec) == spec
+
+    def test_with_within_constraint(self):
+        schema = make_transit_schema()
+        spec = ops.p_roll_up(figure8_spec(("X", "Y")), "X", schema)
+        spec = ops.slice_pattern(spec, "X", "D10")
+        spec = ops.p_drill_down(spec, "X", schema)
+        assert spec.template.symbol("X").within == ("district", "D10")
+        assert roundtrip(spec) == spec
+
+    def test_subsequence_roundtrip(self):
+        spec = figure8_spec(("X", "Y"), kind="subsequence")
+        assert roundtrip(spec) == spec
+
+    def test_global_slice_emitted_as_comment(self):
+        spec = figure8_spec(
+            ("X", "Y"), group_by=(("location", "district"),)
+        )
+        sliced = ops.slice_global(spec, "location", "D10")
+        text = format_spec(sliced)
+        assert "-- global slice" in text
+        # Comment parses away; the round-trip drops only the session state.
+        assert parse_query(text) == spec

@@ -1,0 +1,96 @@
+"""Unit tests for the query-language lexer."""
+
+import pytest
+
+from repro import QueryLanguageError
+from repro.ql import Token, TokenType, tokenize
+
+
+def types(text):
+    return [t.type for t in tokenize(text)][:-1]  # drop EOF
+
+
+def values(text):
+    return [t.value for t in tokenize(text)][:-1]
+
+
+class TestBasics:
+    def test_identifiers_with_hyphens(self):
+        tokens = tokenize("card-id AT fare-group")
+        assert tokens[0].value == "card-id"
+        assert tokens[2].value == "fare-group"
+
+    def test_keywords_case_insensitive(self):
+        token = tokenize("select")[0]
+        assert token.is_keyword("SELECT")
+        assert token.keyword == "SELECT"
+
+    def test_numbers(self):
+        assert values("42 -7 3.25") == ["42", "-7", "3.25"]
+        assert types("42") == [TokenType.NUMBER]
+
+    def test_number_then_dot_not_decimal(self):
+        # "1." followed by non-digit: the dot is a separate token.
+        tokens = tokenize("x1.action")
+        assert [t.type for t in tokens[:3]] == [
+            TokenType.IDENT,
+            TokenType.DOT,
+            TokenType.IDENT,
+        ]
+
+    def test_strings_double_and_single_quoted(self):
+        assert values('"in" \'out\'') == ["in", "out"]
+        assert types('"in"') == [TokenType.STRING]
+
+    def test_operators(self):
+        assert values("= != < <= > >=") == ["=", "!=", "<", "<=", ">", ">="]
+
+    def test_punctuation(self):
+        assert types("( ) , . *") == [
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.COMMA,
+            TokenType.DOT,
+            TokenType.STAR,
+        ]
+
+    def test_comments_skipped(self):
+        assert values("SELECT -- a comment\nCOUNT") == ["SELECT", "COUNT"]
+
+    def test_hyphenated_keyword_single_token(self):
+        tokens = tokenize("LEFT-MAXIMALITY")
+        assert tokens[0].value == "LEFT-MAXIMALITY"
+        assert tokens[1].type is TokenType.EOF
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("SELECT\n  COUNT")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(QueryLanguageError):
+            tokenize('"never closed')
+
+    def test_unterminated_string_at_newline(self):
+        with pytest.raises(QueryLanguageError):
+            tokenize('"broken\n"')
+
+    def test_unexpected_character(self):
+        with pytest.raises(QueryLanguageError):
+            tokenize("SELECT @")
+
+    def test_bare_bang(self):
+        with pytest.raises(QueryLanguageError):
+            tokenize("a ! b")
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("SELECT\n  @")
+        except QueryLanguageError as error:
+            assert error.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected QueryLanguageError")

@@ -1,0 +1,161 @@
+"""Unit tests for the query-language parser."""
+
+import pytest
+
+from repro import CellRestriction, PatternKind, QueryLanguageError
+from repro.events.expression import Between, Comparison, InSet, Or
+from repro.ql import parse, parse_query
+from tests.conftest import make_transit_schema
+
+MINIMAL = """
+SELECT COUNT(*) FROM Event
+CLUSTER BY card AT card
+SEQUENCE BY time ASCENDING
+CUBOID BY SUBSTRING (X, Y)
+  WITH X AS location AT station, Y AS location AT station
+LEFT-MAXIMALITY (x1, y1)
+"""
+
+FULL = """
+SELECT COUNT(*), SUM(amount) OVER SEQUENCE FROM Event
+WHERE time >= 0 AND time < 100
+CLUSTER BY card AT card
+SEQUENCE BY time ASCENDING
+SEQUENCE GROUP BY location AT district
+CUBOID BY SUBSTRING (X, Y, Y, X)
+  WITH X AS location AT station, Y AS location AT station
+LEFT-MAXIMALITY (x1, y1, y2, x2)
+  WITH x1.action = "in" AND y1.action = "out"
+"""
+
+
+class TestParsing:
+    def test_minimal_query(self):
+        spec = parse_query(MINIMAL)
+        assert spec.template.positions == ("X", "Y")
+        assert spec.template.kind is PatternKind.SUBSTRING
+        assert spec.predicate is None  # placeholders without WITH = no-op
+        assert spec.where is None
+        assert spec.group_by == ()
+
+    def test_full_query(self):
+        schema = make_transit_schema()
+        spec = parse_query(FULL, schema)
+        assert len(spec.aggregates) == 2
+        assert spec.aggregates[1].name == "SUM(amount)"
+        assert spec.aggregates[1].scope.value == "SEQUENCE"
+        assert spec.where is not None
+        assert spec.group_by == (("location", "district"),)
+        assert spec.predicate is not None
+        assert spec.predicate.placeholders == ("x1", "y1", "y2", "x2")
+
+    def test_subsequence_kind(self):
+        spec = parse_query(MINIMAL.replace("SUBSTRING", "SUBSEQUENCE"))
+        assert spec.template.kind is PatternKind.SUBSEQUENCE
+
+    def test_restrictions(self):
+        for keyword, restriction in (
+            ("LEFT-MAXIMALITY", CellRestriction.LEFT_MAXIMALITY),
+            ("LEFT-MAXIMALITY-DATA", CellRestriction.LEFT_MAXIMALITY_DATA),
+            ("ALL-MATCHED", CellRestriction.ALL_MATCHED),
+        ):
+            spec = parse_query(MINIMAL.replace("LEFT-MAXIMALITY", keyword))
+            assert spec.restriction is restriction
+
+    def test_descending_and_default_order(self):
+        spec = parse_query(MINIMAL.replace("ASCENDING", "DESCENDING"))
+        assert spec.sequence_by == (("time", False),)
+        spec = parse_query(MINIMAL.replace(" ASCENDING", ""))
+        assert spec.sequence_by == (("time", True),)
+
+    def test_fixed_binding(self):
+        text = MINIMAL.replace(
+            "X AS location AT station",
+            'X AS location AT station = "Pentagon"',
+        )
+        spec = parse_query(text)
+        assert spec.template.symbol("X").fixed == "Pentagon"
+
+    def test_within_binding(self):
+        text = MINIMAL.replace(
+            "X AS location AT station",
+            'X AS location AT station WITHIN district = "D10"',
+        )
+        spec = parse_query(text)
+        assert spec.template.symbol("X").within == ("district", "D10")
+
+    def test_parsed_query_structure(self):
+        parsed = parse(FULL)
+        assert parsed.source == "Event"
+        assert parsed.pattern_kind == "SUBSTRING"
+        assert parsed.positions == ["X", "Y", "Y", "X"]
+        assert len(parsed.bindings) == 2
+
+    def test_expression_forms(self):
+        text = MINIMAL.replace(
+            "CLUSTER BY",
+            'WHERE location IN ("Pentagon", "Wheaton") '
+            "OR time BETWEEN 1 AND 5 OR NOT time = 3\nCLUSTER BY",
+        )
+        spec = parse_query(text)
+        assert isinstance(spec.where, Or)
+        kinds = {type(term) for term in spec.where.terms}
+        assert InSet in kinds and Between in kinds
+
+    def test_parenthesised_expressions(self):
+        text = MINIMAL.replace(
+            "CLUSTER BY", "WHERE (time = 1 OR time = 2) AND time != 3\nCLUSTER BY"
+        )
+        spec = parse_query(text)
+        assert spec.where.evaluate.__name__  # it is an Expr
+
+    def test_comparison_operand_order(self):
+        text = MINIMAL.replace("CLUSTER BY", "WHERE 5 <= time\nCLUSTER BY")
+        spec = parse_query(text)
+        assert isinstance(spec.where, Comparison)
+
+
+class TestErrors:
+    def test_missing_select(self):
+        with pytest.raises(QueryLanguageError):
+            parse_query("FROM Event")
+
+    def test_placeholder_count_mismatch(self):
+        bad = MINIMAL.replace("(x1, y1)", "(x1, y1, z1)")
+        with pytest.raises(QueryLanguageError):
+            parse_query(bad)
+
+    def test_unbound_symbol(self):
+        bad = MINIMAL.replace(", Y AS location AT station", "")
+        with pytest.raises(Exception):
+            parse_query(bad)
+
+    def test_bad_restriction(self):
+        bad = MINIMAL.replace("LEFT-MAXIMALITY", "RIGHT-MAXIMALITY")
+        with pytest.raises(QueryLanguageError):
+            parse_query(bad)
+
+    def test_event_field_in_matching_predicate(self):
+        bad = FULL.replace('x1.action = "in"', 'action = "in"')
+        with pytest.raises(QueryLanguageError):
+            parse_query(bad)
+
+    def test_placeholder_in_where(self):
+        bad = FULL.replace("WHERE time >= 0", 'WHERE x1.time >= 0')
+        with pytest.raises(QueryLanguageError):
+            parse_query(bad)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(QueryLanguageError):
+            parse_query(MINIMAL + " EXTRA")
+
+    def test_count_requires_star(self):
+        bad = MINIMAL.replace("COUNT(*)", "COUNT(amount)")
+        with pytest.raises(QueryLanguageError):
+            parse_query(bad)
+
+    def test_schema_validation(self):
+        schema = make_transit_schema()
+        bad = MINIMAL.replace("AT station", "AT continent")
+        with pytest.raises(Exception):
+            parse_query(bad, schema)

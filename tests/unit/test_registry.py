@@ -1,0 +1,122 @@
+"""Unit tests for the index registry."""
+
+import pytest
+
+from repro import IndexRegistry, build_sequence_groups
+from repro.core.spec import PatternSymbol
+from repro.index.inverted import build_index
+from repro.index.registry import base_template
+from tests.conftest import location_template, make_figure8_db
+
+
+@pytest.fixture
+def setup():
+    db = make_figure8_db()
+    groups = build_sequence_groups(db, None, [("card", "card")], [("time", True)])
+    group = groups.single_group()
+    registry = IndexRegistry()
+    return db, group, registry
+
+
+class TestPutAndFind:
+    def test_exact_hit(self, setup):
+        db, group, registry = setup
+        template = location_template(("X", "Y"))
+        index = build_index(group, template, db.schema)
+        registry.put(index)
+        assert registry.get_exact(group.key, template) is index
+        assert registry.find(group.key, template, db.schema) is index
+
+    def test_miss_returns_none(self, setup):
+        db, group, registry = setup
+        assert registry.find(group.key, location_template(("X", "Y")), db.schema) is None
+
+    def test_base_fallback_filters(self, setup):
+        db, group, registry = setup
+        base = build_index(
+            group, base_template(location_template(("X", "Y"))), db.schema
+        )
+        registry.put(base)
+        xx = registry.find(group.key, location_template(("X", "X")), db.schema)
+        assert xx is not None
+        assert all(k[0] == k[1] for k in xx.lists)
+
+    def test_base_fallback_not_registered(self, setup):
+        db, group, registry = setup
+        base = build_index(
+            group, base_template(location_template(("X", "Y"))), db.schema
+        )
+        registry.put(base)
+        registry.find(group.key, location_template(("X", "X")), db.schema)
+        assert len(registry) == 1  # the derived filter was not stored
+
+    def test_group_isolation(self, setup):
+        db, group, registry = setup
+        template = location_template(("X", "Y"))
+        registry.put(build_index(group, template, db.schema))
+        assert registry.find(("other",), template, db.schema) is None
+
+    def test_replace_same_signature(self, setup):
+        db, group, registry = setup
+        template = location_template(("X", "Y"))
+        registry.put(build_index(group, template, db.schema))
+        registry.put(build_index(group, template, db.schema))
+        assert len(registry) == 1
+
+
+class TestLongestPrefix:
+    def test_finds_longest(self, setup):
+        db, group, registry = setup
+        template = location_template(("X", "Y", "Y", "X"))
+        registry.put(
+            build_index(
+                group, base_template(location_template(("X", "Y"))), db.schema
+            )
+        )
+        from repro.index.inverted import prefix_template
+
+        registry.put(build_index(group, prefix_template(template, 3), db.schema))
+        hit = registry.longest_prefix(group.key, template, db.schema)
+        assert hit is not None
+        length, index = hit
+        assert length == 3
+
+    def test_none_when_empty(self, setup):
+        db, group, registry = setup
+        assert (
+            registry.longest_prefix(
+                group.key, location_template(("X", "Y")), db.schema
+            )
+            is None
+        )
+
+    def test_fixed_symbol_prefix_served_by_base(self, setup):
+        db, group, registry = setup
+        registry.put(
+            build_index(
+                group, base_template(location_template(("X", "Y"))), db.schema
+            )
+        )
+        sliced = location_template(("X", "Y", "Z")).replace_symbol(
+            "X", PatternSymbol("X", "location", "station", fixed="Pentagon")
+        )
+        hit = registry.longest_prefix(group.key, sliced, db.schema)
+        assert hit is not None and hit[0] == 2
+        assert all(k[0] == "Pentagon" for k in hit[1].lists)
+
+
+class TestMaintenance:
+    def test_invalidate_group(self, setup):
+        db, group, registry = setup
+        registry.put(build_index(group, location_template(("X", "Y")), db.schema))
+        assert registry.invalidate_group(group.key) == 1
+        assert len(registry) == 0
+
+    def test_clear_and_totals(self, setup):
+        db, group, registry = setup
+        registry.put(build_index(group, location_template(("X", "Y")), db.schema))
+        assert registry.total_bytes() > 0
+        assert len(registry.indices_for_group(group.key)) == 1
+        registry.clear()
+        assert len(registry) == 0
+        assert registry.total_bytes() == 0

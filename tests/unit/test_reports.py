@@ -1,0 +1,118 @@
+"""Unit tests for OD-matrix reporting."""
+
+import pytest
+
+from repro import SCuboid, SOLAPEngine, SpecError
+from repro.core.spec import CuboidSpec, PatternTemplate
+from repro.datagen import TransitConfig, generate_transit
+from repro.datagen.transit import in_out_predicate
+from repro.reports import ODMatrix, daily_od_matrices, od_matrix_from_cuboid
+from tests.conftest import figure8_spec
+
+
+def make_matrix():
+    return ODMatrix(
+        origins=("A", "B"),
+        destinations=("A", "B", "C"),
+        counts={("A", "B"): 5, ("A", "C"): 2, ("B", "A"): 3},
+    )
+
+
+class TestODMatrix:
+    def test_counts_and_rows(self):
+        matrix = make_matrix()
+        assert matrix.count("A", "B") == 5
+        assert matrix.count("C", "A") == 0
+        assert matrix.row("A") == [0, 5, 2]
+
+    def test_totals(self):
+        matrix = make_matrix()
+        assert matrix.total() == 10
+        assert matrix.outbound_totals() == {"A": 7, "B": 3}
+        assert matrix.inbound_totals() == {"A": 3, "B": 5, "C": 2}
+
+    def test_busiest_pair(self):
+        assert make_matrix().busiest_pair() == ("A", "B", 5)
+
+    def test_busiest_pair_empty(self):
+        empty = ODMatrix((), (), {})
+        assert empty.busiest_pair() is None
+
+    def test_render_contains_totals(self):
+        text = make_matrix().render()
+        assert "O\\D" in text
+        assert "total" in text
+        assert "10" in text  # grand total
+
+
+class TestFromCuboid:
+    def test_cross_tabulation(self):
+        spec = figure8_spec(("X", "Y"))
+        cuboid = SCuboid(
+            spec,
+            {
+                ((), ("Pentagon", "Wheaton")): {"COUNT(*)": 4},
+                ((), ("Wheaton", "Pentagon")): {"COUNT(*)": 1},
+            },
+        )
+        matrix = od_matrix_from_cuboid(cuboid)
+        assert matrix.count("Pentagon", "Wheaton") == 4
+        assert matrix.total() == 5
+
+    def test_requires_two_dims(self):
+        spec = figure8_spec(("X", "Y", "Z"))
+        cuboid = SCuboid(spec, {})
+        with pytest.raises(SpecError):
+            od_matrix_from_cuboid(cuboid)
+
+    def test_zero_cells_skipped(self):
+        spec = figure8_spec(("X", "Y"))
+        cuboid = SCuboid(spec, {((), ("A", "B")): {"COUNT(*)": 0}})
+        matrix = od_matrix_from_cuboid(cuboid)
+        assert matrix.total() == 0
+        assert matrix.origins == ()
+
+
+class TestDailyMatrices:
+    def make_spec(self):
+        template = PatternTemplate.substring(
+            ("X", "Y"),
+            {"X": ("location", "station"), "Y": ("location", "station")},
+        )
+        return CuboidSpec(
+            template=template,
+            cluster_by=(("card-id", "individual"), ("time", "day")),
+            sequence_by=(("time", True),),
+            group_by=(("time", "day"),),
+            predicate=in_out_predicate(("x1", "y1")),
+        )
+
+    def test_one_matrix_per_day(self):
+        db = generate_transit(TransitConfig(n_cards=40, n_days=3, seed=91))
+        matrices = daily_od_matrices(SOLAPEngine(db), self.make_spec())
+        assert set(matrices) == {0, 1, 2}
+        for matrix in matrices.values():
+            assert matrix.total() > 0
+
+    def test_requires_group_by(self):
+        db = generate_transit(TransitConfig(n_cards=10, n_days=1, seed=92))
+        spec = self.make_spec()
+        from dataclasses import replace
+
+        with pytest.raises(SpecError):
+            daily_od_matrices(SOLAPEngine(db), replace(spec, group_by=()))
+
+    def test_matrix_matches_cuboid_counts(self):
+        db = generate_transit(TransitConfig(n_cards=30, n_days=2, seed=93))
+        engine = SOLAPEngine(db)
+        spec = self.make_spec()
+        cuboid, __ = engine.execute(spec, "cb")
+        matrices = daily_od_matrices(engine, spec)
+        for group_key in cuboid.group_keys():
+            day = group_key[0]
+            for g, (origin, destination), values in cuboid:
+                if g != group_key:
+                    continue
+                assert matrices[day].count(origin, destination) == values[
+                    "COUNT(*)"
+                ]

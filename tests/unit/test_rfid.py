@@ -1,0 +1,124 @@
+"""Unit tests for the RFID supply-chain generator and its canonical queries."""
+
+import pytest
+
+from repro import SOLAPEngine, build_sequence_groups
+from repro.core import operations as ops
+from repro.datagen.rfid import (
+    PATHS,
+    RFIDConfig,
+    build_schema,
+    generate_database,
+    path_spec,
+    shrinkage_spec,
+)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_database(RFIDConfig(n_lots=20, lot_size=8, seed=5))
+
+
+class TestGeneration:
+    def test_hierarchy_levels(self, db):
+        hierarchy = db.schema.hierarchy("location")
+        assert hierarchy.levels == ("reader", "zone", "site")
+        reader = db.column("location")[0]
+        zone = hierarchy.map_value(reader, "zone")
+        site = hierarchy.map_value(reader, "site")
+        assert reader.startswith(zone)
+        assert site in PATHS or site in ("Factory", "DistributionCenter")
+
+    def test_every_item_starts_at_factory(self, db):
+        groups = build_sequence_groups(
+            db, None, [("item", "item")], [("time", True)]
+        )
+        for sequence in groups.all_sequences():
+            first_site = db.schema.map_value(
+                "location", sequence.event(0)["location"], "site"
+            )
+            assert first_site == "Factory"
+
+    def test_terminal_status_is_unique_per_item(self, db):
+        groups = build_sequence_groups(
+            db, None, [("item", "item")], [("time", True)]
+        )
+        for sequence in groups.all_sequences():
+            statuses = [event["status"] for event in sequence.events()]
+            assert all(status == "moving" for status in statuses[:-1])
+            assert statuses[-1] in ("in-transit", "delivered", "returned")
+
+    def test_bulky_movement_within_lots(self, db):
+        """Items of one lot share reader paths (prefix-wise)."""
+        groups = build_sequence_groups(
+            db, None, [("item", "item")], [("time", True)]
+        )
+        by_lot = {}
+        for sequence in groups.all_sequences():
+            item = sequence.cluster_key[0]
+            lot = int(item.split("-")[1]) // 8
+            readers = tuple(e["location"] for e in sequence.events())
+            by_lot.setdefault(lot, []).append(readers)
+        for trails in by_lot.values():
+            longest = max(trails, key=len)
+            for trail in trails:
+                assert trail == longest[: len(trail)]
+
+    def test_determinism(self):
+        a = generate_database(RFIDConfig(n_lots=4, lot_size=3, seed=9))
+        b = generate_database(RFIDConfig(n_lots=4, lot_size=3, seed=9))
+        assert a.column("location") == b.column("location")
+
+
+class TestCanonicalQueries:
+    def test_path_spec_site_level(self, db):
+        cuboid, __ = SOLAPEngine(db).execute(path_spec("site"), "cb")
+        # bulky movement: site-level transitions are few and heavy
+        assert len(cuboid) <= 8
+        assert cuboid.count(("Factory", "Factory")) > 0  # intra-site moves
+
+    def test_path_rollup_collapses_cells(self, db):
+        engine = SOLAPEngine(db)
+        reader_level, __ = engine.execute(path_spec("reader"), "cb")
+        zone_level, __ = engine.execute(path_spec("zone"), "cb")
+        site_level, __ = engine.execute(path_spec("site"), "cb")
+        assert len(site_level) < len(zone_level) < len(reader_level)
+
+    def test_path_cb_equals_ii(self, db):
+        for level in ("reader", "zone", "site"):
+            cb, __ = SOLAPEngine(db).execute(path_spec(level), "cb")
+            ii, __ = SOLAPEngine(db).execute(path_spec(level), "ii")
+            assert cb.to_dict() == ii.to_dict(), level
+
+    def test_p_roll_up_navigation(self, db):
+        engine = SOLAPEngine(db)
+        spec = path_spec("reader")
+        engine.execute(spec, "ii")
+        rolled = ops.p_roll_up(
+            ops.p_roll_up(spec, "X", db.schema), "Y", db.schema
+        )
+        ii, stats = engine.execute(rolled, "ii")
+        cb, __ = SOLAPEngine(db).execute(rolled, "cb")
+        assert ii.to_dict() == cb.to_dict()
+
+    def test_shrinkage_counts_lost_items(self, db):
+        cuboid, __ = SOLAPEngine(db).execute(shrinkage_spec(), "cb")
+        lost = int(cuboid.total())
+        # ground truth: items whose final status is in-transit
+        groups = build_sequence_groups(
+            db, None, [("item", "item")], [("time", True)]
+        )
+        truth = sum(
+            1
+            for sequence in groups.all_sequences()
+            if sequence.event(len(sequence) - 1)["status"] == "in-transit"
+        )
+        assert lost == truth
+        # every loss happens after the factory (cutoff >= 5 is post-DC)
+        for __g, (zone,), __v in cuboid:
+            assert not zone.startswith("F-")
+
+    def test_shrinkage_cb_equals_ii(self, db):
+        cb, __ = SOLAPEngine(db).execute(shrinkage_spec(), "cb")
+        ii, __ = SOLAPEngine(db).execute(shrinkage_spec(), "ii")
+        assert cb.to_dict() == ii.to_dict()

@@ -1,0 +1,162 @@
+"""Unit tests for event schemas and concept hierarchies."""
+
+import pytest
+
+from repro import Dimension, Hierarchy, Measure, Schema, SchemaError
+
+
+def make_location_hierarchy():
+    return Hierarchy(
+        "location",
+        ("station", "district"),
+        {"district": {"Pentagon": "D10", "Clarendon": "D10", "Wheaton": "D20"}},
+    )
+
+
+class TestHierarchy:
+    def test_base_and_top_levels(self):
+        hierarchy = make_location_hierarchy()
+        assert hierarchy.base_level == "station"
+        assert hierarchy.top_level == "district"
+
+    def test_single_level_hierarchy(self):
+        hierarchy = Hierarchy("action", ("action",))
+        assert hierarchy.base_level == "action"
+        assert hierarchy.map_value("in", "action") == "in"
+
+    def test_map_value_base_is_identity(self):
+        hierarchy = make_location_hierarchy()
+        assert hierarchy.map_value("Pentagon", "station") == "Pentagon"
+
+    def test_map_value_up(self):
+        hierarchy = make_location_hierarchy()
+        assert hierarchy.map_value("Pentagon", "district") == "D10"
+        assert hierarchy.map_value("Wheaton", "district") == "D20"
+
+    def test_map_unknown_value_raises(self):
+        hierarchy = make_location_hierarchy()
+        with pytest.raises(SchemaError):
+            hierarchy.map_value("Atlantis", "district")
+
+    def test_callable_mapping(self):
+        hierarchy = Hierarchy(
+            "time", ("minute", "day"), {"day": lambda m: m // 1440}
+        )
+        assert hierarchy.map_value(2881, "day") == 2
+
+    def test_level_index_and_comparisons(self):
+        hierarchy = make_location_hierarchy()
+        assert hierarchy.level_index("station") == 0
+        assert hierarchy.level_index("district") == 1
+        assert hierarchy.is_coarser("district", "station")
+        assert not hierarchy.is_coarser("station", "district")
+
+    def test_unknown_level_raises(self):
+        hierarchy = make_location_hierarchy()
+        with pytest.raises(SchemaError):
+            hierarchy.level_index("country")
+
+    def test_coarser_finer_navigation(self):
+        hierarchy = make_location_hierarchy()
+        assert hierarchy.coarser_level("station") == "district"
+        assert hierarchy.coarser_level("district") is None
+        assert hierarchy.finer_level("district") == "station"
+        assert hierarchy.finer_level("station") is None
+
+    def test_members_and_children(self):
+        hierarchy = make_location_hierarchy()
+        assert hierarchy.members("district") == ("D10", "D20")
+        assert hierarchy.children("district", "D10") == ("Clarendon", "Pentagon")
+        assert hierarchy.children("station", "Pentagon") == ("Pentagon",)
+
+    def test_translate_same_level(self):
+        hierarchy = make_location_hierarchy()
+        assert hierarchy.translate("Pentagon", "station", "station") == "Pentagon"
+
+    def test_translate_base_to_coarser(self):
+        hierarchy = make_location_hierarchy()
+        assert hierarchy.translate("Pentagon", "station", "district") == "D10"
+
+    def test_translate_three_levels(self):
+        hierarchy = Hierarchy(
+            "symbol",
+            ("symbol", "group", "super"),
+            {
+                "group": {"a": "g1", "b": "g1", "c": "g2"},
+                "super": {"a": "s1", "b": "s1", "c": "s1"},
+            },
+        )
+        assert hierarchy.translate("g2", "group", "super") == "s1"
+
+    def test_translate_downwards_raises(self):
+        hierarchy = make_location_hierarchy()
+        with pytest.raises(SchemaError):
+            hierarchy.translate("D10", "district", "station")
+
+    def test_missing_mapping_raises(self):
+        with pytest.raises(SchemaError):
+            Hierarchy("location", ("station", "district"))
+
+    def test_duplicate_levels_raise(self):
+        with pytest.raises(SchemaError):
+            Hierarchy("location", ("station", "station"))
+
+    def test_mapping_for_unknown_level_raises(self):
+        with pytest.raises(SchemaError):
+            Hierarchy("location", ("station",), {"district": {}})
+
+
+class TestSchema:
+    def make_schema(self):
+        return Schema(
+            [Dimension("location", make_location_hierarchy()), Dimension("action")],
+            [Measure("amount")],
+        )
+
+    def test_attributes_order(self):
+        schema = self.make_schema()
+        assert schema.attributes == ("location", "action", "amount")
+
+    def test_dimension_and_measure_predicates(self):
+        schema = self.make_schema()
+        assert schema.is_dimension("location")
+        assert not schema.is_dimension("amount")
+        assert schema.is_measure("amount")
+        assert not schema.is_measure("action")
+
+    def test_map_value(self):
+        schema = self.make_schema()
+        assert schema.map_value("location", "Wheaton", "district") == "D20"
+
+    def test_trivial_dimension_hierarchy(self):
+        schema = self.make_schema()
+        assert schema.hierarchy("action").levels == ("action",)
+
+    def test_unknown_dimension_raises(self):
+        schema = self.make_schema()
+        with pytest.raises(SchemaError):
+            schema.dimension("speed")
+
+    def test_check_level(self):
+        schema = self.make_schema()
+        schema.check_level("location", "district")
+        with pytest.raises(SchemaError):
+            schema.check_level("location", "continent")
+
+    def test_duplicate_dimension_raises(self):
+        with pytest.raises(SchemaError):
+            Schema([Dimension("a"), Dimension("a")])
+
+    def test_measure_name_collision_raises(self):
+        with pytest.raises(SchemaError):
+            Schema([Dimension("a")], [Measure("a")])
+
+    def test_dimension_hierarchy_attribute_mismatch(self):
+        with pytest.raises(SchemaError):
+            Dimension("location", Hierarchy("place", ("p",)))
+
+    def test_validate_attribute(self):
+        schema = self.make_schema()
+        schema.validate_attribute("amount")
+        with pytest.raises(SchemaError):
+            schema.validate_attribute("missing")

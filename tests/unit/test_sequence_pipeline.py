@@ -1,0 +1,152 @@
+"""Unit tests for sequence formation (pipeline steps 1-4)."""
+
+import pytest
+
+from repro import Comparison, EventField, Literal, SpecError, build_sequence_groups
+from repro.events.sequence import (
+    cluster_events,
+    form_sequences,
+    group_sequences,
+    select_events,
+)
+from tests.conftest import make_figure8_db
+
+
+class TestSelection:
+    def test_no_predicate_selects_all(self):
+        db = make_figure8_db()
+        assert len(select_events(db, None)) == len(db)
+
+    def test_predicate_filters(self):
+        db = make_figure8_db()
+        rows = select_events(
+            db, Comparison(EventField("card"), "=", Literal(688))
+        )
+        assert len(rows) == 6
+
+
+class TestClustering:
+    def test_cluster_by_card(self):
+        db = make_figure8_db()
+        clusters = cluster_events(db, range(len(db)), [("card", "card")])
+        assert len(clusters) == 4
+        assert len(clusters[(688,)]) == 6
+
+    def test_cluster_requires_attributes(self):
+        db = make_figure8_db()
+        with pytest.raises(SpecError):
+            cluster_events(db, range(len(db)), [])
+
+    def test_cluster_at_level(self):
+        db = make_figure8_db()
+        clusters = cluster_events(db, range(len(db)), [("location", "district")])
+        assert set(clusters) == {("D10",), ("D20",), ("D30",)}
+
+
+class TestSequenceFormation:
+    def test_sequences_are_ordered(self):
+        db = make_figure8_db()
+        clusters = cluster_events(db, range(len(db)), [("card", "card")])
+        sequences = form_sequences(db, clusters, [("time", True)])
+        assert len(sequences) == 4
+        for sequence in sequences:
+            times = [event["time"] for event in sequence.events()]
+            assert times == sorted(times)
+
+    def test_descending_order(self):
+        db = make_figure8_db()
+        clusters = cluster_events(db, range(len(db)), [("card", "card")])
+        sequences = form_sequences(db, clusters, [("time", False)])
+        for sequence in sequences:
+            times = [event["time"] for event in sequence.events()]
+            assert times == sorted(times, reverse=True)
+
+    def test_sids_are_dense_and_deterministic(self):
+        db = make_figure8_db()
+        clusters = cluster_events(db, range(len(db)), [("card", "card")])
+        first = form_sequences(db, clusters, [("time", True)])
+        second = form_sequences(db, clusters, [("time", True)])
+        assert [s.sid for s in first] == [0, 1, 2, 3]
+        assert [s.rows for s in first] == [s.rows for s in second]
+
+    def test_sid_start_offset(self):
+        db = make_figure8_db()
+        clusters = cluster_events(db, range(len(db)), [("card", "card")])
+        sequences = form_sequences(db, clusters, [("time", True)], sid_start=10)
+        assert [s.sid for s in sequences] == [10, 11, 12, 13]
+
+    def test_requires_ordering(self):
+        db = make_figure8_db()
+        clusters = cluster_events(db, range(len(db)), [("card", "card")])
+        with pytest.raises(SpecError):
+            form_sequences(db, clusters, [])
+
+    def test_symbols_caching(self):
+        db = make_figure8_db()
+        clusters = cluster_events(db, range(len(db)), [("card", "card")])
+        sequence = form_sequences(db, clusters, [("time", True)])[0]
+        first = sequence.symbols("location", "district")
+        assert sequence.symbols("location", "district") is first
+
+    def test_measure_values(self):
+        db = make_figure8_db()
+        clusters = cluster_events(db, range(len(db)), [("card", "card")])
+        sequence = form_sequences(db, clusters, [("time", True)])[0]
+        values = sequence.measure_values("amount")
+        assert len(values) == len(sequence)
+
+
+class TestGrouping:
+    def test_empty_group_by_gives_single_group(self):
+        db = make_figure8_db()
+        groups = build_sequence_groups(
+            db, None, [("card", "card")], [("time", True)]
+        )
+        assert len(groups) == 1
+        assert groups.single_group().key == ()
+        assert groups.total_sequences() == 4
+
+    def test_group_by_district_of_first_event(self):
+        db = make_figure8_db()
+        clusters = cluster_events(db, range(len(db)), [("card", "card")])
+        sequences = form_sequences(db, clusters, [("time", True)])
+        groups = group_sequences(db, sequences, [("location", "district")])
+        # First stations: 77->Wheaton(D20), 688->Glenmont(D20),
+        # 1012->Clarendon(D10), 23456->Pentagon(D10)
+        assert {g.key for g in groups} == {("D10",), ("D20",)}
+        assert len(groups.group(("D10",))) == 2
+
+    def test_single_group_raises_when_multiple(self):
+        db = make_figure8_db()
+        clusters = cluster_events(db, range(len(db)), [("card", "card")])
+        sequences = form_sequences(db, clusters, [("time", True)])
+        groups = group_sequences(db, sequences, [("location", "district")])
+        with pytest.raises(SpecError):
+            groups.single_group()
+
+    def test_group_by_sid_lookup(self):
+        db = make_figure8_db()
+        groups = build_sequence_groups(
+            db, None, [("card", "card")], [("time", True)]
+        )
+        group = groups.single_group()
+        for sequence in group:
+            assert group.by_sid(sequence.sid) is sequence
+
+    def test_all_sequences_iteration(self):
+        db = make_figure8_db()
+        groups = build_sequence_groups(
+            db, None, [("card", "card")], [("time", True)]
+        )
+        assert len(list(groups.all_sequences())) == 4
+
+    def test_where_clause_flows_through(self):
+        db = make_figure8_db()
+        groups = build_sequence_groups(
+            db,
+            Comparison(EventField("card"), "=", Literal(688)),
+            [("card", "card")],
+            [("time", True)],
+        )
+        assert groups.total_sequences() == 1
+        assert len(next(iter(groups.all_sequences()))) == 6

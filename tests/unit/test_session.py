@@ -1,0 +1,117 @@
+"""Unit tests for interactive navigation sessions."""
+
+import pytest
+
+from repro import OperationError, SOLAPEngine, Session
+from tests.conftest import figure8_spec, make_figure8_db
+
+
+def make_session(strategy="cb", **kwargs):
+    engine = SOLAPEngine(make_figure8_db())
+    return Session(engine, figure8_spec(("X", "Y"), **kwargs), strategy=strategy)
+
+
+class TestExecution:
+    def test_run_records_history(self):
+        session = make_session()
+        cuboid, stats = session.run()
+        assert len(session.history) == 1
+        assert len(cuboid) > 0
+
+    def test_cuboid_property_runs_lazily(self):
+        session = make_session()
+        assert session.cuboid is not None
+        assert len(session.history) == 1
+
+    def test_cumulative_stats(self):
+        session = make_session()
+        session.run()
+        session.append("Z", attribute="location", level="station")
+        session.run()
+        total = session.cumulative_stats()
+        assert total.sequences_scanned == 8  # 4 + 4 with CB
+
+
+class TestNavigation:
+    def test_operation_chain(self):
+        session = make_session()
+        session.run()
+        session.append("Z", attribute="location", level="station")
+        assert session.spec.template.positions == ("X", "Y", "Z")
+        session.de_tail()
+        assert session.spec.template.positions == ("X", "Y")
+        session.prepend("W", attribute="location", level="station")
+        assert session.spec.template.positions == ("W", "X", "Y")
+        session.de_head()
+        assert session.spec.template.positions == ("X", "Y")
+
+    def test_p_roll_up_and_drill_down(self):
+        session = make_session()
+        session.p_roll_up("Y")
+        assert session.spec.template.symbol("Y").level == "district"
+        session.p_drill_down("Y")
+        assert session.spec.template.symbol("Y").level == "station"
+
+    def test_slice_cell(self):
+        session = make_session()
+        session.slice_cell(("Pentagon", "Wheaton"))
+        assert session.spec.template.symbol("X").fixed == "Pentagon"
+        assert session.spec.template.symbol("Y").fixed == "Wheaton"
+        cuboid, __ = session.run()
+        assert set(cuboid.cell_keys()) <= {("Pentagon", "Wheaton")}
+
+    def test_slice_cell_wrong_arity(self):
+        session = make_session()
+        with pytest.raises(OperationError):
+            session.slice_cell(("Pentagon",))
+
+    def test_global_operations(self):
+        session = make_session(group_by=(("location", "district"),))
+        session.slice_global("location", "D10")
+        cuboid, __ = session.run()
+        assert cuboid.group_keys() == (("D10",),)
+        session.unslice_global("location")
+        session.dice_global("location", ("D10", "D20"))
+        cuboid, __ = session.run()
+        assert set(cuboid.group_keys()) <= {("D10",), ("D20",)}
+
+    def test_unslice_pattern(self):
+        session = make_session()
+        session.slice_pattern("X", "Pentagon")
+        session.unslice_pattern("X")
+        assert session.spec.template.symbol("X").fixed is None
+
+    def test_replace_spec(self):
+        session = make_session()
+        other = figure8_spec(("X", "Y", "Y", "X"))
+        session.replace_spec(other)
+        assert session.spec == other
+
+    def test_explain_reflects_current_spec(self):
+        session = make_session(strategy="ii")
+        session.run()
+        session.append("Y")
+        plan = session.explain()
+        assert "S-OLAP query plan" in plan
+        assert "m=3" in plan.render()
+
+
+class TestCacheInteraction:
+    def test_detail_after_append_hits_cache(self):
+        session = make_session(strategy="ii")
+        session.run()
+        session.append("Z", attribute="location", level="station")
+        session.run()
+        session.de_tail()
+        __, stats = session.run()
+        assert stats.cuboid_cache_hit
+
+    def test_results_consistent_between_strategies(self):
+        results = {}
+        for strategy in ("cb", "ii"):
+            session = make_session(strategy=strategy)
+            session.run()
+            session.append("Y")
+            cuboid, __ = session.run()
+            results[strategy] = cuboid.to_dict()
+        assert results["cb"] == results["ii"]

@@ -1,0 +1,228 @@
+"""Unit tests for S-cuboid specifications (templates, predicates, aggregates)."""
+
+import pytest
+
+from repro import (
+    AggregateScope,
+    AggregateSpec,
+    CellRestriction,
+    Comparison,
+    CuboidSpec,
+    Literal,
+    MatchingPredicate,
+    PatternKind,
+    PatternSymbol,
+    PatternTemplate,
+    PlaceholderField,
+    SpecError,
+)
+from tests.conftest import figure8_spec, location_template, make_transit_schema
+
+
+class TestPatternTemplate:
+    def test_build_from_bindings(self):
+        template = location_template(("X", "Y", "Y", "X"))
+        assert template.length == 4
+        assert template.n_dims == 2
+        assert template.positions == ("X", "Y", "Y", "X")
+        assert [s.name for s in template.symbols] == ["X", "Y"]
+
+    def test_symbol_ids_canonical(self):
+        template = location_template(("X", "Y", "Y", "X"))
+        assert template.symbol_ids() == (0, 1, 1, 0)
+
+    def test_repeated_and_restricted_flags(self):
+        template = location_template(("X", "Y"))
+        assert not template.has_repeated_symbols
+        assert not template.has_restricted_symbols
+        repeated = location_template(("X", "X"))
+        assert repeated.has_repeated_symbols
+        sliced = template.replace_symbol(
+            "X", PatternSymbol("X", "location", "station", fixed="Pentagon")
+        )
+        assert sliced.has_restricted_symbols
+
+    def test_signature_distinguishes_restrictions(self):
+        template = location_template(("X", "Y"))
+        sliced = template.replace_symbol(
+            "X", PatternSymbol("X", "location", "station", fixed="Pentagon")
+        )
+        assert template.signature() != sliced.signature()
+        assert template.domain_signature() == sliced.domain_signature()
+
+    def test_signature_is_name_independent(self):
+        a = location_template(("X", "Y"))
+        b = location_template(("P", "Q"))
+        assert a.signature() == b.signature()
+
+    def test_position_symbols(self):
+        template = location_template(("X", "Y", "Y", "X"))
+        names = [s.name for s in template.position_symbols()]
+        assert names == ["X", "Y", "Y", "X"]
+
+    def test_unbound_position_raises(self):
+        with pytest.raises(SpecError):
+            PatternTemplate.substring(("X", "Y"), {"X": ("location", "station")})
+
+    def test_unused_symbol_raises(self):
+        with pytest.raises(SpecError):
+            PatternTemplate(
+                kind=PatternKind.SUBSTRING,
+                positions=("X",),
+                symbols=(
+                    PatternSymbol("X", "location", "station"),
+                    PatternSymbol("Y", "location", "station"),
+                ),
+            )
+
+    def test_symbols_must_follow_first_appearance_order(self):
+        with pytest.raises(SpecError):
+            PatternTemplate(
+                kind=PatternKind.SUBSTRING,
+                positions=("X", "Y"),
+                symbols=(
+                    PatternSymbol("Y", "location", "station"),
+                    PatternSymbol("X", "location", "station"),
+                ),
+            )
+
+    def test_empty_template_raises(self):
+        with pytest.raises(SpecError):
+            PatternTemplate(kind=PatternKind.SUBSTRING, positions=(), symbols=())
+
+    def test_unknown_symbol_lookup_raises(self):
+        template = location_template(("X", "Y"))
+        with pytest.raises(SpecError):
+            template.symbol("Z")
+
+    def test_validate_against_schema(self):
+        schema = make_transit_schema()
+        location_template(("X", "Y")).validate(schema)
+        bad_level = PatternTemplate.substring(
+            ("X",), {"X": ("location", "continent")}
+        )
+        with pytest.raises(Exception):
+            bad_level.validate(schema)
+
+    def test_validate_rejects_measure_symbol(self):
+        schema = make_transit_schema()
+        template = PatternTemplate.substring(("X",), {"X": ("amount", "amount")})
+        with pytest.raises(SpecError):
+            template.validate(schema)
+
+    def test_validate_within_must_be_coarser(self):
+        schema = make_transit_schema()
+        template = location_template(("X",)).replace_symbol(
+            "X",
+            PatternSymbol(
+                "X", "location", "station", within=("station", "Pentagon")
+            ),
+        )
+        with pytest.raises(SpecError):
+            template.validate(schema)
+
+    def test_replace_symbol_renames_positions(self):
+        template = location_template(("X", "Y", "Y", "X"))
+        renamed = template.replace_symbol(
+            "Y", PatternSymbol("W", "location", "station")
+        )
+        assert renamed.positions == ("X", "W", "W", "X")
+
+
+class TestMatchingPredicate:
+    def make_predicate(self, placeholders=("x1", "y1")):
+        expr = Comparison(PlaceholderField("x1", "action"), "=", Literal("in"))
+        return MatchingPredicate(placeholders, expr)
+
+    def test_length_validation(self):
+        template = location_template(("X", "Y"))
+        self.make_predicate().validate(template)
+        with pytest.raises(SpecError):
+            self.make_predicate(("x1", "y1", "z1")).validate(template)
+
+    def test_duplicate_placeholders_raise(self):
+        with pytest.raises(SpecError):
+            self.make_predicate(("x1", "x1"))
+
+    def test_undeclared_placeholder_raises(self):
+        expr = Comparison(PlaceholderField("zz", "action"), "=", Literal("in"))
+        with pytest.raises(SpecError):
+            MatchingPredicate(("x1", "y1"), expr)
+
+
+class TestAggregateSpec:
+    def test_count_star(self):
+        agg = AggregateSpec("COUNT")
+        assert agg.name == "COUNT(*)"
+
+    def test_count_with_argument_raises(self):
+        with pytest.raises(SpecError):
+            AggregateSpec("COUNT", "amount")
+
+    def test_sum_requires_argument(self):
+        with pytest.raises(SpecError):
+            AggregateSpec("SUM")
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(SpecError):
+            AggregateSpec("MEDIAN", "amount")
+
+    def test_validate_measure(self):
+        schema = make_transit_schema()
+        AggregateSpec("SUM", "amount").validate(schema)
+        with pytest.raises(SpecError):
+            AggregateSpec("SUM", "location").validate(schema)
+
+    def test_scope_rendering(self):
+        agg = AggregateSpec("SUM", "amount", AggregateScope.SEQUENCE)
+        assert "OVER SEQUENCE" in str(agg)
+
+
+class TestCuboidSpec:
+    def test_cache_key_stable_and_hashable(self):
+        spec_a = figure8_spec(("X", "Y"))
+        spec_b = figure8_spec(("X", "Y"))
+        assert spec_a.cache_key() == spec_b.cache_key()
+        assert hash(spec_a) == hash(spec_b)
+        assert spec_a == spec_b
+
+    def test_pipeline_key_ignores_cuboid_by(self):
+        spec_a = figure8_spec(("X", "Y"))
+        spec_b = figure8_spec(("X", "Y", "Y", "X"))
+        assert spec_a.pipeline_key() == spec_b.pipeline_key()
+        assert spec_a.cache_key() != spec_b.cache_key()
+
+    def test_n_dims(self):
+        spec = figure8_spec(("X", "Y", "Y", "X"))
+        assert spec.n_dims == 2
+        grouped = figure8_spec(
+            ("X", "Y"), group_by=(("location", "district"),)
+        )
+        assert grouped.n_dims == 3
+
+    def test_predicate_length_checked(self):
+        expr = Comparison(PlaceholderField("x1", "action"), "=", Literal("in"))
+        predicate = MatchingPredicate(("x1",), expr)
+        with pytest.raises(SpecError):
+            figure8_spec(("X", "Y"), predicate=predicate)
+
+    def test_global_slice_bounds_checked(self):
+        with pytest.raises(SpecError):
+            figure8_spec(("X", "Y"), global_slice=((0, "D10"),))
+
+    def test_needs_aggregates(self):
+        with pytest.raises(SpecError):
+            figure8_spec(("X", "Y"), aggregates=())
+
+    def test_validate(self):
+        schema = make_transit_schema()
+        figure8_spec(("X", "Y")).validate(schema)
+
+    def test_str_contains_clauses(self):
+        spec = figure8_spec(
+            ("X", "Y"), restriction=CellRestriction.ALL_MATCHED
+        )
+        text = str(spec)
+        assert "CLUSTER BY" in text
+        assert "SEQUENCE BY" in text
+        assert "ALL-MATCHED" in text

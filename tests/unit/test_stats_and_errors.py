@@ -1,0 +1,74 @@
+"""Unit tests for query statistics and the error hierarchy."""
+
+import pytest
+
+from repro import (
+    EngineError,
+    ExpressionError,
+    OperationError,
+    QueryLanguageError,
+    QueryStats,
+    SOLAPError,
+    SchemaError,
+    SpecError,
+)
+from repro.errors import IndexError_
+
+
+class TestQueryStats:
+    def test_add_scan(self):
+        stats = QueryStats()
+        stats.add_scan()
+        stats.add_scan(4)
+        assert stats.sequences_scanned == 5
+
+    def test_merge_is_additive(self):
+        a = QueryStats(runtime_seconds=1.0, sequences_scanned=10, index_joins=1)
+        b = QueryStats(runtime_seconds=0.5, sequences_scanned=3, index_joins=2)
+        a.merge(b)
+        assert a.runtime_seconds == 1.5
+        assert a.sequences_scanned == 13
+        assert a.index_joins == 3
+
+    def test_summary_format(self):
+        stats = QueryStats(
+            strategy="II", runtime_seconds=0.0123, sequences_scanned=42
+        )
+        text = stats.summary()
+        assert "II" in text and "42 sequences" in text and "12.30 ms" in text
+
+    def test_extra_dict_independent(self):
+        a = QueryStats()
+        b = QueryStats()
+        a.extra["k"] = 1
+        assert "k" not in b.extra
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_class",
+        [
+            SchemaError,
+            SpecError,
+            ExpressionError,
+            QueryLanguageError,
+            OperationError,
+            IndexError_,
+            EngineError,
+        ],
+    )
+    def test_all_derive_from_solap_error(self, error_class):
+        assert issubclass(error_class, SOLAPError)
+
+    def test_query_language_error_position(self):
+        error = QueryLanguageError("bad token", line=3, column=7)
+        assert error.line == 3 and error.column == 7
+        assert "line 3" in str(error)
+
+    def test_query_language_error_without_position(self):
+        error = QueryLanguageError("oops")
+        assert str(error) == "oops"
+
+    def test_catching_base_class(self):
+        with pytest.raises(SOLAPError):
+            raise SpecError("nope")
