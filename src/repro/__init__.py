@@ -57,8 +57,12 @@ from repro.errors import (
     ExpressionError,
     OperationError,
     QueryLanguageError,
+    QueryTimeoutError,
     SOLAPError,
     SchemaError,
+    ServiceError,
+    ServiceOverloadedError,
+    SessionNotFoundError,
     SpecError,
 )
 from repro.events import (
@@ -87,6 +91,7 @@ from repro.events import (
     conjoin,
 )
 from repro.index import IndexRegistry, InvertedIndex, build_index
+from repro.service import Deadline, QueryService, ServiceConfig, ServiceMetrics
 
 __version__ = "0.1.0"
 
@@ -100,6 +105,7 @@ __all__ = [
     "Comparison",
     "CuboidRepository",
     "CuboidSpec",
+    "Deadline",
     "Dimension",
     "EngineError",
     "EventDatabase",
@@ -122,7 +128,9 @@ __all__ = [
     "PatternTemplate",
     "PlaceholderField",
     "QueryLanguageError",
+    "QueryService",
     "QueryStats",
+    "QueryTimeoutError",
     "SCube",
     "SCuboid",
     "SOLAPEngine",
@@ -133,7 +141,12 @@ __all__ = [
     "SequenceCache",
     "SequenceGroup",
     "SequenceGroupSet",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceMetrics",
+    "ServiceOverloadedError",
     "Session",
+    "SessionNotFoundError",
     "SpecError",
     "TRUE",
     "TemplateMatcher",

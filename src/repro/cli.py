@@ -4,16 +4,22 @@ Subcommands:
 
 * ``generate`` — produce a self-describing dataset directory from one of
   the built-in generators (synthetic / transit / clickstream);
-* ``info`` — summarise a dataset (schema, hierarchies, event count);
-* ``query`` — run an S-OLAP query file against a dataset and print the
-  tabulated cuboid plus execution statistics;
+* ``info`` — summarise a dataset (schema, hierarchies, event count), with
+  optional probe queries to exercise and report the engine caches;
+* ``query`` — run an S-OLAP query file against a dataset through the
+  query service (deadline-aware) and print the tabulated cuboid plus
+  execution statistics;
 * ``advise`` — recommend which inverted indices to materialise offline
-  for a workload of query files.
+  for a workload of query files;
+* ``service-stats`` — run a workload through the concurrent query
+  service and print its metrics report (latency histogram, cache hit
+  ratios, session/eviction counters).
 
 Example::
 
     solap generate transit --out data/transit --cards 300 --days 5
     solap query data/transit examples/q1.solap --strategy ii --limit 10
+    solap service-stats data/transit examples/q1.solap --repeat 3
 """
 
 from __future__ import annotations
@@ -37,6 +43,14 @@ from repro.errors import SOLAPError
 from repro.io import load_dataset, save_cuboid, save_dataset
 from repro.optimizer import advise_for_workload
 from repro.ql import parse_query
+from repro.service import QueryService, ServiceConfig
+
+
+def _positive_seconds(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("timeout must be > 0 seconds")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,6 +82,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = sub.add_parser("info", help="summarise a dataset directory")
     info.add_argument("dataset", help="dataset directory")
+    info.add_argument(
+        "--queries",
+        nargs="*",
+        default=(),
+        metavar="FILE",
+        help="probe query files to execute; their cache behaviour "
+        "(sequence-cache hits/misses, index-registry bytes) is reported",
+    )
 
     query = sub.add_parser("query", help="run a query file against a dataset")
     query.add_argument("dataset", help="dataset directory")
@@ -89,6 +111,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="render the result as an origin-destination matrix "
         "(requires exactly two pattern dimensions)",
     )
+    query.add_argument(
+        "--timeout",
+        type=_positive_seconds,
+        default=None,
+        metavar="SECONDS",
+        help="per-query deadline; the scan is cancelled cooperatively "
+        "once the budget is spent",
+    )
+    query.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="scan worker threads (>1 enables sharded CB scans)",
+    )
 
     advise = sub.add_parser(
         "advise", help="recommend indices to materialise for a workload"
@@ -97,6 +133,27 @@ def build_parser() -> argparse.ArgumentParser:
     advise.add_argument("queryfiles", nargs="+", help="workload query files")
     advise.add_argument(
         "--budget-mb", type=float, default=64.0, help="index byte budget"
+    )
+
+    stats = sub.add_parser(
+        "service-stats",
+        help="run a workload through the query service and print metrics",
+    )
+    stats.add_argument("dataset", help="dataset directory")
+    stats.add_argument("queryfiles", nargs="+", help="workload query files")
+    stats.add_argument(
+        "--strategy", choices=("auto", "cb", "ii", "cost"), default="auto"
+    )
+    stats.add_argument(
+        "--repeat", type=int, default=2,
+        help="passes over the workload (>1 shows cache hit ratios)",
+    )
+    stats.add_argument(
+        "--timeout", type=_positive_seconds, default=None, metavar="SECONDS",
+        help="per-query deadline for every workload query",
+    )
+    stats.add_argument(
+        "--workers", type=int, default=4, help="scan worker threads"
     )
     return parser
 
@@ -127,6 +184,24 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_cache_stats(engine: SOLAPEngine) -> None:
+    """The engine's cache counters (shared by ``info`` and ``query``)."""
+    stats = engine.cache_stats()
+    seq = stats["sequence_cache"]
+    registry = stats["index_registry"]
+    print("caches:")
+    print(
+        f"  sequence cache: {seq['entries']}/{seq['capacity']} entries, "
+        f"hits={seq['hits']}, misses={seq['misses']}, "
+        f"hit-ratio={seq['hit_ratio']:.2f}"
+    )
+    print(
+        f"  index registries: {registry['indices']} indices over "
+        f"{registry['pipelines']} pipeline(s), "
+        f"{registry['bytes'] / 1e6:.3f} MB"
+    )
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     db = load_dataset(args.dataset)
     print(f"dataset: {args.dataset}")
@@ -137,6 +212,11 @@ def _cmd_info(args: argparse.Namespace) -> int:
         print(f"  {dimension.name}: {levels}")
     if db.schema.measures:
         print(f"measures: {', '.join(db.schema.measures)}")
+    engine = SOLAPEngine(db)
+    for path in args.queries:
+        spec = parse_query(Path(path).read_text(), db.schema)
+        engine.execute(spec)
+    _print_cache_stats(engine)
     return 0
 
 
@@ -150,7 +230,14 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
         print(explain(engine, spec).render())
         return 0
-    cuboid, stats = engine.execute(spec, args.strategy)
+    with QueryService(
+        engine,
+        ServiceConfig(
+            max_workers=max(args.workers, 1),
+            default_timeout_seconds=args.timeout,
+        ),
+    ) as service:
+        cuboid, stats = service.execute(spec, args.strategy)
     if args.od_matrix:
         from repro.reports import od_matrix_from_cuboid
 
@@ -189,11 +276,31 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_service_stats(args: argparse.Namespace) -> int:
+    db = load_dataset(args.dataset)
+    specs = [
+        parse_query(Path(path).read_text(), db.schema)
+        for path in args.queryfiles
+    ]
+    config = ServiceConfig(
+        max_workers=max(args.workers, 1),
+        default_timeout_seconds=args.timeout,
+    )
+    with QueryService(db, config) as service:
+        sessions = [service.open_session(spec, args.strategy) for spec in specs]
+        for __ in range(max(args.repeat, 1)):
+            for session_id in sessions:
+                service.session_run(session_id)
+        print(service.render_report())
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "info": _cmd_info,
     "query": _cmd_query,
     "advise": _cmd_advise,
+    "service-stats": _cmd_service_stats,
 }
 
 

@@ -10,7 +10,7 @@ single-pass behaviour when the counter space fits in memory.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 from repro.core.aggregates import CellAccumulator
 from repro.core.cuboid import SCuboid
@@ -18,7 +18,10 @@ from repro.core.matcher import TemplateMatcher
 from repro.core.spec import CuboidSpec
 from repro.core.stats import QueryStats
 from repro.events.database import EventDatabase
-from repro.events.sequence import SequenceGroupSet
+from repro.events.sequence import Sequence, SequenceGroup, SequenceGroupSet
+
+#: cells accumulator table: (group key, cell key) -> CellAccumulator
+CellTable = Dict[Tuple[Tuple[object, ...], Tuple[object, ...]], CellAccumulator]
 
 
 def group_is_selected(
@@ -38,6 +41,50 @@ def group_is_selected(
     return True
 
 
+def selected_sequences(
+    groups: SequenceGroupSet, slices: Dict[int, object]
+) -> Iterator[Tuple[SequenceGroup, Sequence]]:
+    """The canonical scan order of the CB procedure: every sequence of every
+    selected group, group-major.
+
+    Both the serial scan below and the sharded parallel scan
+    (:mod:`repro.service.parallel`) iterate exactly this order, which is what
+    makes their results bit-identical — accumulator folds happen in the same
+    sequence order either way.
+    """
+    for group in groups:
+        if not group_is_selected(group.key, slices):
+            continue
+        for sequence in group:
+            yield group, sequence
+
+
+def fold_assignments(
+    db: EventDatabase,
+    spec: CuboidSpec,
+    cells: CellTable,
+    group: SequenceGroup,
+    sequence: Sequence,
+    assignments: Dict[Tuple[object, ...], list],
+) -> None:
+    """Fold one sequence's qualifying cell assignments into *cells*."""
+    for cell_key, contents in assignments.items():
+        accumulator = cells.get((group.key, cell_key))
+        if accumulator is None:
+            accumulator = CellAccumulator(spec.aggregates)
+            cells[(group.key, cell_key)] = accumulator
+        for content in contents:
+            accumulator.add_assignment(db, sequence, content)
+
+
+def finalize_cells(spec: CuboidSpec, cells: CellTable) -> SCuboid:
+    """Materialise an :class:`SCuboid` from a finished accumulator table."""
+    return SCuboid(
+        spec,
+        {key: accumulator.results() for key, accumulator in cells.items()},
+    )
+
+
 def counter_based_cuboid(
     db: EventDatabase,
     groups: SequenceGroupSet,
@@ -55,25 +102,13 @@ def counter_based_cuboid(
         spec.template, db.schema, spec.restriction, spec.predicate
     )
     slices = spec.sliced_groups()
-    cells: Dict[Tuple[Tuple[object, ...], Tuple[object, ...]], CellAccumulator] = {}
+    cells: CellTable = {}
 
-    for group in groups:
-        if not group_is_selected(group.key, slices):
-            continue
-        for sequence in group:
-            stats.add_scan()
-            assignments = matcher.assignments(sequence)
-            if not assignments:
-                continue
-            for cell_key, contents in assignments.items():
-                accumulator = cells.get((group.key, cell_key))
-                if accumulator is None:
-                    accumulator = CellAccumulator(spec.aggregates)
-                    cells[(group.key, cell_key)] = accumulator
-                for content in contents:
-                    accumulator.add_assignment(db, sequence, content)
+    for group, sequence in selected_sequences(groups, slices):
+        stats.add_scan()
+        assignments = matcher.assignments(sequence)
+        if assignments:
+            fold_assignments(db, spec, cells, group, sequence, assignments)
 
-    return SCuboid(
-        spec,
-        {key: accumulator.results() for key, accumulator in cells.items()},
-    )
+    stats.checkpoint()
+    return finalize_cells(spec, cells)

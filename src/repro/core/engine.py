@@ -18,7 +18,7 @@ sequences scanned and index bytes built — the quantities the paper reports.
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.core.counter_based import counter_based_cuboid
 from repro.core.cuboid import SCuboid
@@ -61,6 +61,32 @@ class RegistryView:
 
     def clear(self) -> None:
         self._registries.clear()
+
+    def evict_to_budget(self, byte_budget: int) -> Tuple[int, int]:
+        """LRU-evict indices across every pipeline until bytes fit the budget.
+
+        Index ticks are process-wide (see :class:`IndexRegistry`), so the
+        coldest index overall goes first regardless of which pipeline owns
+        it.  Returns ``(indices_dropped, bytes_freed)``.
+        """
+        over = self.total_bytes() - byte_budget
+        if over <= 0:
+            return 0, 0
+        entries = []
+        for registry in self._registries.values():
+            for tick, group_key, signature, size in registry.lru_entries():
+                entries.append((tick, registry, group_key, signature, size))
+        entries.sort(key=lambda entry: entry[0])
+        dropped = 0
+        freed = 0
+        for __, registry, group_key, signature, size in entries:
+            if over <= 0:
+                break
+            if registry.drop(group_key, signature):
+                dropped += 1
+                freed += size
+                over -= size
+        return dropped, freed
 
     def find(self, group_key, template, schema):
         """First hit across pipelines (introspection only)."""
@@ -118,6 +144,13 @@ class SOLAPEngine:
         self.use_repository = use_repository
         self.queries_executed = 0
         self._profiles: dict = {}
+        #: optional sharded-scan hook installed by the service layer: a
+        #: callable ``(db, groups, spec, stats) -> Optional[SCuboid]`` that
+        #: may decline (return None) when parallelism is not worthwhile
+        self.cb_scanner: Optional[
+            Callable[[EventDatabase, SequenceGroupSet, CuboidSpec, QueryStats],
+                     Optional[SCuboid]]
+        ] = None
 
     @property
     def registry(self) -> RegistryView:
@@ -156,19 +189,25 @@ class SOLAPEngine:
     # Execution
     # ------------------------------------------------------------------
     def execute(
-        self, spec: CuboidSpec, strategy: str = "auto"
+        self,
+        spec: CuboidSpec,
+        strategy: str = "auto",
+        deadline: Optional[object] = None,
     ) -> Tuple[SCuboid, QueryStats]:
         """Answer one S-cuboid query.
 
         Checks the cuboid repository first (Figure 6's flow); on a miss,
         builds the cuboid with the selected strategy and stores it.
+        *deadline* (any object with a ``check()`` raising on expiry, e.g.
+        :class:`repro.service.deadline.Deadline`) is threaded through the
+        strategies' hot loops for cooperative cancellation.
         """
         if strategy not in STRATEGIES:
             raise EngineError(
                 f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
             )
         spec.validate(self.db.schema)
-        stats = QueryStats()
+        stats = QueryStats(deadline=deadline)
         start = time.perf_counter()
         self.queries_executed += 1
 
@@ -182,6 +221,7 @@ class SOLAPEngine:
                 return cached, stats
 
         groups = self.sequence_groups(spec, stats)
+        stats.checkpoint()  # sequence formation can itself be slow
         if strategy == "auto":
             strategy = self._choose_strategy(spec, groups)
         elif strategy == "cost":
@@ -207,7 +247,11 @@ class SOLAPEngine:
                     self.db, groups, spec, spec.min_support, stats
                 )
         elif strategy == "cb":
-            cuboid = counter_based_cuboid(self.db, groups, spec, stats)
+            cuboid = None
+            if self.cb_scanner is not None:
+                cuboid = self.cb_scanner(self.db, groups, spec, stats)
+            if cuboid is None:
+                cuboid = counter_based_cuboid(self.db, groups, spec, stats)
         else:
             cuboid = inverted_index_cuboid(
                 self.db, groups, spec, self.registry_for(spec), stats
@@ -284,6 +328,39 @@ class SOLAPEngine:
         self.sequence_cache.clear()
         self.repository.clear()
         self.registry.clear()
+        self._profiles.clear()
+
+    def drop_pipeline(self, pipeline_key) -> int:
+        """Release everything owned by one sequence-formation pipeline.
+
+        Used by the service layer when the last session over a pipeline is
+        evicted: the cached sequence groups, the pipeline's index registry
+        and its cost-model profile all become unreachable work.  Returns
+        the number of indices dropped.
+        """
+        self.sequence_cache.invalidate(pipeline_key)
+        self._profiles.pop(pipeline_key, None)
+        registry = self._registries.pop(pipeline_key, None)
+        return len(registry) if registry is not None else 0
+
+    def cache_stats(self) -> dict:
+        """One snapshot of every cache/registry counter the engine keeps."""
+        return {
+            "sequence_cache": self.sequence_cache.stats(),
+            "repository": {
+                "entries": len(self.repository),
+                "capacity": self.repository.capacity,
+                "bytes": self.repository.bytes_used,
+                "hits": self.repository.hits,
+                "misses": self.repository.misses,
+            },
+            "index_registry": {
+                "indices": len(self.registry),
+                "pipelines": len(self._registries),
+                "bytes": self.registry.total_bytes(),
+            },
+            "queries_executed": self.queries_executed,
+        }
 
     def __repr__(self) -> str:
         return (

@@ -306,6 +306,7 @@ def _join_chain(
         current_length = 2
 
     while current_length < m:
+        stats.checkpoint()  # cancellation point per join-chain step
         target_prefix = prefix_template(template, current_length + 1)
         pair = pair_template(template, current_length - 1)
         pair_index = registry.find(group.key, pair, schema)
@@ -397,6 +398,7 @@ def inverted_index_cuboid(
     for group in groups:
         if not group_is_selected(group.key, slices):
             continue
+        stats.checkpoint()  # cancellation point per sequence group
         index = acquire_index(group, spec.template, db.schema, registry, stats)
         group_cells = count_index(index, group, spec, db, stats)
         for cell_key, values in group_cells.items():

@@ -9,7 +9,11 @@ therefore threads a :class:`QueryStats` through its hot paths.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
+
+#: every how many sequence scans :meth:`QueryStats.add_scan` re-checks the
+#: deadline — a power of two so the test is a single AND on the counter
+_DEADLINE_CHECK_MASK = 63
 
 
 @dataclass
@@ -32,9 +36,28 @@ class QueryStats:
     sequence_cache_hit: bool = False
     index_reused: bool = False
     extra: Dict[str, object] = field(default_factory=dict)
+    #: cooperative-cancellation token (duck-typed: anything with ``check()``,
+    #: e.g. :class:`repro.service.deadline.Deadline`), set by the service
+    #: layer; the hot loops check it via :meth:`add_scan` / :meth:`checkpoint`
+    deadline: Optional[object] = field(default=None, repr=False, compare=False)
 
     def add_scan(self, n: int = 1) -> None:
         self.sequences_scanned += n
+        if (
+            self.deadline is not None
+            and (self.sequences_scanned & _DEADLINE_CHECK_MASK) == 0
+        ):
+            self.deadline.check()  # type: ignore[attr-defined]
+
+    def checkpoint(self) -> None:
+        """Cancellation point: raise if this query's deadline has passed.
+
+        Strategies call this at loop boundaries that may be reached without
+        scanning sequences (group boundaries, join-chain steps), so even
+        index-only work cancels promptly.
+        """
+        if self.deadline is not None:
+            self.deadline.check()  # type: ignore[attr-defined]
 
     def merge(self, other: "QueryStats") -> None:
         """Fold another stats object into this one (cumulative reporting)."""

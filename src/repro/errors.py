@@ -75,3 +75,52 @@ class EngineError(SOLAPError):
     Examples: executing a spec against a database whose schema does not
     declare the referenced attributes, or requesting an unknown strategy.
     """
+
+
+class ServiceError(SOLAPError):
+    """Base class for failures of the concurrent query service layer."""
+
+
+class QueryTimeoutError(ServiceError):
+    """A query exceeded its deadline and was cooperatively cancelled.
+
+    Raised from the strategies' hot loops via
+    :meth:`repro.core.stats.QueryStats.checkpoint`, or while the request
+    was still waiting for an execution slot.
+    """
+
+    def __init__(
+        self,
+        message: str = "query deadline exceeded",
+        budget_seconds: "float | None" = None,
+        elapsed_seconds: "float | None" = None,
+    ):
+        self.budget_seconds = budget_seconds
+        self.elapsed_seconds = elapsed_seconds
+        if budget_seconds is not None and elapsed_seconds is not None:
+            message = (
+                f"{message} (budget {budget_seconds:.3f}s, "
+                f"elapsed {elapsed_seconds:.3f}s)"
+            )
+        super().__init__(message)
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service's bounded admission queue is full; the request was
+    rejected immediately instead of piling up behind the executor."""
+
+    def __init__(
+        self,
+        message: str = "service overloaded",
+        inflight: "int | None" = None,
+        limit: "int | None" = None,
+    ):
+        self.inflight = inflight
+        self.limit = limit
+        if inflight is not None and limit is not None:
+            message = f"{message} ({inflight} requests in flight, limit {limit})"
+        super().__init__(message)
+
+
+class SessionNotFoundError(ServiceError):
+    """The referenced service session does not exist (or was evicted)."""

@@ -50,6 +50,25 @@ class SequenceCache:
     def clear(self) -> None:
         self._entries.clear()
 
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Counters for observability surfaces (CLI, service metrics)."""
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_ratio": self.hit_ratio(),
+        }
+
+    def keys(self):
+        """Cached pipeline keys, least recently used first."""
+        return list(self._entries)
+
     def __len__(self) -> int:
         return len(self._entries)
 

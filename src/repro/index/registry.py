@@ -50,22 +50,44 @@ def base_template(template: PatternTemplate) -> PatternTemplate:
 
 
 class IndexRegistry:
-    """Materialised-index bookkeeping for one engine instance."""
+    """Materialised-index bookkeeping for one engine instance.
+
+    Every put and exact-lookup hit stamps the index with a process-wide
+    monotone tick, giving the registry an LRU order that
+    :meth:`evict_to_budget` (and the service layer's memory manager) uses
+    to shed the coldest indices first.  Ticks are global so a
+    :class:`~repro.core.engine.RegistryView` can compare recency across
+    the per-pipeline registries it aggregates.
+    """
+
+    _global_tick = 0
+
+    @classmethod
+    def _next_tick(cls) -> int:
+        cls._global_tick += 1
+        return cls._global_tick
 
     def __init__(self) -> None:
         self._by_group: Dict[GroupKey, Dict[Signature, InvertedIndex]] = {}
+        self._ticks: Dict[Tuple[GroupKey, Signature], int] = {}
 
     # ------------------------------------------------------------------
     def put(self, index: InvertedIndex) -> None:
         """Register (or replace) an index for its group."""
         group_indices = self._by_group.setdefault(index.group_key, {})
-        group_indices[index.signature()] = index
+        signature = index.signature()
+        group_indices[signature] = index
+        self._ticks[(index.group_key, signature)] = self._next_tick()
 
     def get_exact(
         self, group_key: GroupKey, template: PatternTemplate
     ) -> Optional[InvertedIndex]:
-        """Exact-signature lookup."""
-        return self._by_group.get(group_key, {}).get(template.signature())
+        """Exact-signature lookup (refreshes the hit's LRU position)."""
+        signature = template.signature()
+        hit = self._by_group.get(group_key, {}).get(signature)
+        if hit is not None:
+            self._ticks[(group_key, signature)] = self._next_tick()
+        return hit
 
     def find(
         self, group_key: GroupKey, template: PatternTemplate, schema: Schema
@@ -102,10 +124,53 @@ class IndexRegistry:
     def invalidate_group(self, group_key: GroupKey) -> int:
         """Drop every index of one group; returns how many were dropped."""
         dropped = self._by_group.pop(group_key, {})
+        for signature in dropped:
+            self._ticks.pop((group_key, signature), None)
         return len(dropped)
 
     def clear(self) -> None:
         self._by_group.clear()
+        self._ticks.clear()
+
+    def lru_entries(self) -> List[Tuple[int, GroupKey, Signature, int]]:
+        """(tick, group key, signature, bytes) per index, coldest first."""
+        entries = []
+        for group_key, group_indices in self._by_group.items():
+            for signature, index in group_indices.items():
+                tick = self._ticks.get((group_key, signature), 0)
+                entries.append((tick, group_key, signature, index.size_bytes()))
+        entries.sort(key=lambda entry: entry[0])
+        return entries
+
+    def drop(self, group_key: GroupKey, signature: Signature) -> bool:
+        """Remove one index by (group, signature); True if it existed."""
+        group_indices = self._by_group.get(group_key)
+        if group_indices is None or signature not in group_indices:
+            return False
+        del group_indices[signature]
+        if not group_indices:
+            del self._by_group[group_key]
+        self._ticks.pop((group_key, signature), None)
+        return True
+
+    def evict_to_budget(self, byte_budget: int) -> Tuple[int, int]:
+        """Drop least-recently-used indices until total bytes fit the budget.
+
+        Returns ``(indices_dropped, bytes_freed)``.
+        """
+        dropped = 0
+        freed = 0
+        over = self.total_bytes() - byte_budget
+        if over <= 0:
+            return 0, 0
+        for __, group_key, signature, size in self.lru_entries():
+            if over <= 0:
+                break
+            if self.drop(group_key, signature):
+                dropped += 1
+                freed += size
+                over -= size
+        return dropped, freed
 
     # ------------------------------------------------------------------
     def __iter__(self) -> Iterator[InvertedIndex]:

@@ -1,0 +1,27 @@
+"""repro.service — the concurrent S-OLAP query service.
+
+The serving layer above the single-threaded engine of Figure 6: admission
+control, per-query deadlines with cooperative cancellation, sharded
+counter-based scans, server-side sessions with LRU memory management, and
+lightweight metrics.  See ``docs/service.md``.
+"""
+
+from repro.service.config import ServiceConfig
+from repro.service.deadline import Deadline
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.parallel import ParallelCBScanner, split_chunks
+from repro.service.service import SESSION_OPERATIONS, QueryService
+from repro.service.sessions import SessionEntry, SessionManager
+
+__all__ = [
+    "Deadline",
+    "LatencyHistogram",
+    "ParallelCBScanner",
+    "QueryService",
+    "SESSION_OPERATIONS",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "SessionEntry",
+    "SessionManager",
+    "split_chunks",
+]

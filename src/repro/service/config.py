@@ -1,0 +1,71 @@
+"""Tunables of the concurrent query service.
+
+One frozen dataclass so a service's whole behaviour is reproducible from a
+single value (tests and benchmarks construct these explicitly; the CLI maps
+flags onto them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Configuration for a :class:`~repro.service.service.QueryService`."""
+
+    #: worker threads of the shared scan pool (parallel CB shards run here)
+    max_workers: int = 4
+    #: shards per parallel CB scan; 0 means "use max_workers"
+    scan_shards: int = 0
+    #: minimum sequences in a pipeline before a scan is sharded at all —
+    #: below this, thread handoff costs more than it saves
+    parallel_scan_threshold: int = 512
+    #: queries allowed to execute concurrently (holding an engine slot)
+    max_concurrent: int = 4
+    #: requests allowed to *wait* beyond the concurrent ones; anything more
+    #: is rejected immediately with ServiceOverloadedError
+    queue_depth: int = 16
+    #: default per-query deadline in seconds (None = unbounded)
+    default_timeout_seconds: Optional[float] = None
+    #: maximum live sessions before LRU eviction
+    session_capacity: int = 64
+    #: approximate memory budget for session-cached cuboids; crossing it
+    #: evicts LRU sessions (and unreferenced pipeline state with them)
+    session_byte_budget: int = 64 * 1024 * 1024
+    #: byte budget for materialised inverted indices across all pipelines
+    #: (None = unbounded); enforced after every query via LRU eviction
+    index_byte_budget: Optional[int] = None
+    #: history entries kept per session (spec/stats pairs)
+    session_history_limit: int = 32
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if self.scan_shards < 0:
+            raise ValueError("scan_shards must be >= 0")
+        if self.max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        if self.queue_depth < 0:
+            raise ValueError("queue_depth must be >= 0")
+        if self.session_capacity < 1:
+            raise ValueError("session_capacity must be >= 1")
+        if self.session_byte_budget < 0:
+            raise ValueError("session_byte_budget must be >= 0")
+        if (
+            self.default_timeout_seconds is not None
+            and self.default_timeout_seconds <= 0
+        ):
+            raise ValueError("default_timeout_seconds must be > 0 or None")
+        if self.index_byte_budget is not None and self.index_byte_budget < 0:
+            raise ValueError("index_byte_budget must be >= 0 or None")
+
+    @property
+    def effective_scan_shards(self) -> int:
+        return self.scan_shards or self.max_workers
+
+    @property
+    def admission_limit(self) -> int:
+        """Total requests allowed in flight (running + queued)."""
+        return self.max_concurrent + self.queue_depth

@@ -1,0 +1,65 @@
+"""Per-query deadlines with cooperative cancellation.
+
+A :class:`Deadline` is a cheap, immutable-after-construction token created
+by the service layer when a request is admitted.  It is attached to the
+query's :class:`~repro.core.stats.QueryStats` and checked opportunistically
+from the strategies' hot loops (every sequence scan batch, every join-chain
+step, every group boundary), so a runaway scan stops within a bounded
+amount of work instead of holding an executor slot forever.
+
+Cancellation is *cooperative*: nothing is interrupted pre-emptively.  The
+loops call :meth:`Deadline.check`, which raises
+:class:`~repro.errors.QueryTimeoutError` once the budget is spent; the
+service catches the typed error, bumps its metrics and releases the slot.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.errors import QueryTimeoutError
+
+
+class Deadline:
+    """A wall-clock budget for one query, measured on the monotonic clock."""
+
+    __slots__ = ("budget_seconds", "started_at", "expires_at")
+
+    def __init__(self, budget_seconds: float):
+        if budget_seconds <= 0:
+            raise ValueError("deadline budget must be > 0 seconds")
+        self.budget_seconds = float(budget_seconds)
+        self.started_at = time.monotonic()
+        self.expires_at = self.started_at + self.budget_seconds
+
+    @classmethod
+    def after(cls, budget_seconds: Optional[float]) -> Optional["Deadline"]:
+        """A deadline *budget_seconds* from now, or None for unbounded."""
+        if budget_seconds is None:
+            return None
+        return cls(budget_seconds)
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self.started_at
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (negative once expired)."""
+        return self.expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def check(self) -> None:
+        """Raise :class:`QueryTimeoutError` if the budget is spent."""
+        if time.monotonic() >= self.expires_at:
+            raise QueryTimeoutError(
+                budget_seconds=self.budget_seconds,
+                elapsed_seconds=self.elapsed(),
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"Deadline({self.budget_seconds:.3f}s budget, "
+            f"{self.remaining():.3f}s remaining)"
+        )

@@ -1,0 +1,181 @@
+"""Lightweight service observability: counters and latency histograms.
+
+No third-party client, no exporters — just thread-safe counters, a
+fixed-bucket latency histogram with quantile estimation, and a text
+renderer for ``solap service-stats``.  The service also folds the engine's
+cache counters (sequence cache, cuboid repository, index registries) into
+every snapshot so one call answers "where is the time going and what is
+the memory buying".
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Optional, Tuple
+
+#: histogram bucket upper bounds in seconds (log-ish spacing, +inf last)
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, float("inf"),
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket histogram of durations in seconds."""
+
+    def __init__(self, buckets: Tuple[float, ...] = LATENCY_BUCKETS):
+        if not buckets or buckets[-1] != float("inf"):
+            raise ValueError("last histogram bucket must be +inf")
+        self.buckets = buckets
+        self.counts = [0] * len(buckets)
+        self.total = 0.0
+        self.count = 0
+        self.max_observed = 0.0
+
+    def observe(self, seconds: float) -> None:
+        index = bisect_left(self.buckets, seconds)
+        self.counts[min(index, len(self.buckets) - 1)] += 1
+        self.total += seconds
+        self.count += 1
+        if seconds > self.max_observed:
+            self.max_observed = seconds
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile: the upper bound of the bucket holding it.
+
+        The +inf bucket reports the maximum ever observed instead, so p99
+        stays finite and meaningful.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for bound, count in zip(self.buckets, self.counts):
+            cumulative += count
+            if cumulative >= target:
+                return self.max_observed if bound == float("inf") else bound
+        return self.max_observed
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_seconds": self.mean(),
+            "p50_seconds": self.quantile(0.50),
+            "p95_seconds": self.quantile(0.95),
+            "p99_seconds": self.quantile(0.99),
+            "max_seconds": self.max_observed,
+        }
+
+
+#: the counters every service exports (created eagerly so snapshots are
+#: stable even before the first request)
+COUNTER_NAMES: Tuple[str, ...] = (
+    "requests_total",
+    "queries_ok",
+    "queries_failed",
+    "deadline_exceeded_total",
+    "overload_rejected_total",
+    "parallel_scans_total",
+    "sessions_opened",
+    "sessions_closed",
+    "sessions_evicted",
+    "session_pipelines_dropped",
+    "indices_evicted",
+    "index_bytes_evicted",
+    "strategy_cb",
+    "strategy_ii",
+    "strategy_cache",
+)
+
+
+class ServiceMetrics:
+    """Thread-safe counter/histogram registry for one service instance."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {name: 0 for name in COUNTER_NAMES}
+        self.latency = LatencyHistogram()
+        self.queue_wait = LatencyHistogram()
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe_latency(self, seconds: float) -> None:
+        with self._lock:
+            self.latency.observe(seconds)
+
+    def observe_queue_wait(self, seconds: float) -> None:
+        with self._lock:
+            self.queue_wait.observe(seconds)
+
+    def count_strategy(self, strategy: str) -> None:
+        """Bump the per-strategy counter from a QueryStats.strategy label."""
+        label = (strategy or "").lower()
+        if label in ("cb", "ii", "cache"):
+            self.inc(f"strategy_{label}")
+
+    def __getitem__(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self, engine_stats: Optional[dict] = None) -> dict:
+        """All counters plus latency summaries (and engine cache state)."""
+        with self._lock:
+            out: dict = {
+                "counters": dict(self._counters),
+                "latency": self.latency.snapshot(),
+                "queue_wait": self.queue_wait.snapshot(),
+            }
+        if engine_stats is not None:
+            out["engine"] = engine_stats
+        return out
+
+    def render(self, engine_stats: Optional[dict] = None) -> str:
+        """Human-readable report (the ``solap service-stats`` payload)."""
+        snap = self.snapshot(engine_stats)
+        lines: List[str] = ["service metrics", "==============="]
+        counters = snap["counters"]
+        for name in sorted(counters):
+            lines.append(f"  {name}: {counters[name]}")
+        lat = snap["latency"]
+        lines.append(
+            "  latency: "
+            f"n={lat['count']}, mean={lat['mean_seconds'] * 1000:.2f}ms, "
+            f"p50={lat['p50_seconds'] * 1000:.2f}ms, "
+            f"p95={lat['p95_seconds'] * 1000:.2f}ms, "
+            f"p99={lat['p99_seconds'] * 1000:.2f}ms, "
+            f"max={lat['max_seconds'] * 1000:.2f}ms"
+        )
+        engine = snap.get("engine")
+        if engine:
+            seq = engine["sequence_cache"]
+            repo = engine["repository"]
+            reg = engine["index_registry"]
+            lines.append(
+                "  sequence cache: "
+                f"{seq['entries']}/{seq['capacity']} entries, "
+                f"hits={seq['hits']}, misses={seq['misses']}, "
+                f"hit-ratio={seq['hit_ratio']:.2f}"
+            )
+            repo_total = repo["hits"] + repo["misses"]
+            repo_ratio = repo["hits"] / repo_total if repo_total else 0.0
+            lines.append(
+                "  cuboid repository: "
+                f"{repo['entries']}/{repo['capacity']} cuboids, "
+                f"{repo['bytes'] / 1e6:.3f} MB, "
+                f"hits={repo['hits']}, misses={repo['misses']}, "
+                f"hit-ratio={repo_ratio:.2f}"
+            )
+            lines.append(
+                "  index registries: "
+                f"{reg['indices']} indices over {reg['pipelines']} "
+                f"pipeline(s), {reg['bytes'] / 1e6:.3f} MB"
+            )
+        return "\n".join(lines)

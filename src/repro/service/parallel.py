@@ -1,0 +1,126 @@
+"""Sharded counter-based scans for the query service.
+
+The CB strategy is embarrassingly parallel in its expensive half: pattern
+matching (``TemplateMatcher.assignments``) is a pure function of one
+sequence.  The scanner shards the engine's canonical scan order
+(:func:`repro.core.counter_based.selected_sequences`) into contiguous
+chunks, matches each chunk on the service's worker pool, and folds the
+per-sequence assignments into the accumulator table **serially, in the
+canonical order**.
+
+Folding serially is deliberate: accumulator updates are cheap relative to
+matching (for COUNT-only queries they are a dict bump), and replaying the
+exact serial fold order makes the parallel result *bit-identical* to the
+serial path — including float SUM/AVG, where addition order matters.  A
+merge of per-shard partial sums could differ in the last ulp; replaying
+the fold cannot.
+
+The scanner declines (returns None) on small inputs, where thread handoff
+costs more than it saves; the engine then falls through to the serial scan.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor
+from typing import Dict, List, Optional, Sequence as Seq, Tuple
+
+from repro.core.counter_based import (
+    CellTable,
+    finalize_cells,
+    fold_assignments,
+    selected_sequences,
+)
+from repro.core.cuboid import SCuboid
+from repro.core.matcher import TemplateMatcher
+from repro.core.spec import CuboidSpec
+from repro.core.stats import QueryStats
+from repro.events.database import EventDatabase
+from repro.events.sequence import Sequence, SequenceGroup, SequenceGroupSet
+
+#: how many sequences a worker matches between deadline checks
+_WORKER_CHECK_EVERY = 64
+
+
+def split_chunks(items: List, n_chunks: int) -> List[List]:
+    """Split *items* into at most *n_chunks* contiguous, near-equal chunks."""
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be >= 1")
+    n = len(items)
+    n_chunks = min(n_chunks, n) or 1
+    size, remainder = divmod(n, n_chunks)
+    chunks: List[List] = []
+    start = 0
+    for index in range(n_chunks):
+        end = start + size + (1 if index < remainder else 0)
+        chunks.append(items[start:end])
+        start = end
+    return chunks
+
+
+class ParallelCBScanner:
+    """Engine hook (``engine.cb_scanner``) running sharded CB scans.
+
+    Instances are installed by :class:`~repro.service.service.QueryService`
+    and called from :meth:`SOLAPEngine.execute` with the already-formed
+    sequence groups; they may decline small scans by returning None.
+    """
+
+    def __init__(
+        self,
+        executor: Executor,
+        shards: int,
+        threshold: int = 512,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.executor = executor
+        self.shards = shards
+        self.threshold = threshold
+        self.scans_run = 0
+
+    def __call__(
+        self,
+        db: EventDatabase,
+        groups: SequenceGroupSet,
+        spec: CuboidSpec,
+        stats: QueryStats,
+    ) -> Optional[SCuboid]:
+        slices = spec.sliced_groups()
+        work: List[Tuple[SequenceGroup, Sequence]] = list(
+            selected_sequences(groups, slices)
+        )
+        if self.shards < 2 or len(work) < max(self.threshold, 2):
+            return None
+
+        stats.strategy = stats.strategy or "CB"
+        matcher = TemplateMatcher(
+            spec.template, db.schema, spec.restriction, spec.predicate
+        )
+        deadline = stats.deadline
+
+        def scan_chunk(
+            chunk: Seq[Tuple[SequenceGroup, Sequence]]
+        ) -> List[Dict]:
+            out = []
+            for position, (__, sequence) in enumerate(chunk):
+                if deadline is not None and position % _WORKER_CHECK_EVERY == 0:
+                    deadline.check()  # type: ignore[attr-defined]
+                out.append(matcher.assignments(sequence))
+            return out
+
+        chunks = split_chunks(work, self.shards)
+        cells: CellTable = {}
+        # executor.map yields chunk results in submission order, so the
+        # fold below replays the canonical serial scan order exactly.
+        for chunk, assignments_list in zip(
+            chunks, self.executor.map(scan_chunk, chunks)
+        ):
+            for (group, sequence), assignments in zip(chunk, assignments_list):
+                stats.add_scan()
+                if assignments:
+                    fold_assignments(db, spec, cells, group, sequence, assignments)
+
+        self.scans_run += 1
+        stats.extra["parallel_shards"] = len(chunks)
+        stats.checkpoint()
+        return finalize_cells(spec, cells)

@@ -1,0 +1,320 @@
+"""The concurrent S-OLAP query service (the layer above Figure 6's engine).
+
+A :class:`QueryService` owns one :class:`~repro.core.engine.SOLAPEngine`
+and makes it safe and useful under concurrent load:
+
+* **admission control** — at most ``max_concurrent`` queries execute at
+  once; up to ``queue_depth`` more may wait; anything beyond is rejected
+  immediately with a typed
+  :class:`~repro.errors.ServiceOverloadedError` so load sheds at the door
+  instead of queueing unboundedly;
+* **deadlines** — every request can carry a time budget, enforced
+  cooperatively inside the CB/II hot loops (see
+  :mod:`repro.service.deadline`), surfacing as
+  :class:`~repro.errors.QueryTimeoutError`;
+* **parallel scans** — counter-based full scans are sharded across a
+  worker pool (:mod:`repro.service.parallel`), bit-identical to the
+  serial path;
+* **sessions** — iterative explorations keep server-side state
+  (:mod:`repro.service.sessions`) so APPEND / P-ROLL-UP / DE-TAIL steps
+  reuse the engine's caches; LRU session eviction under a byte budget
+  also releases orphaned pipeline state (sequence-cache entries, index
+  registries);
+* **metrics** — counters, latency histograms and cache hit ratios
+  (:mod:`repro.service.metrics`), rendered by ``solap service-stats``.
+
+Engine execution is serialised by one lock: the engine's caches are plain
+dicts and CPython gains nothing from concurrent pure-Python cuboid
+builds.  Concurrency buys admission fairness, deadline enforcement and
+shared caching across sessions; the scan pool parallelises *within* a
+query where it can.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional, Tuple
+
+from repro.core import operations as ops
+from repro.core.cuboid import SCuboid
+from repro.core.engine import SOLAPEngine
+from repro.core.spec import CuboidSpec
+from repro.core.stats import QueryStats
+from repro.errors import (
+    QueryTimeoutError,
+    ServiceError,
+    ServiceOverloadedError,
+    SOLAPError,
+)
+from repro.events.database import EventDatabase
+from repro.service.config import ServiceConfig
+from repro.service.deadline import Deadline
+from repro.service.metrics import ServiceMetrics
+from repro.service.parallel import ParallelCBScanner
+from repro.service.sessions import SessionEntry, SessionManager
+
+#: sentinel distinguishing "no timeout argument" from "explicitly None"
+_UNSET = object()
+
+#: session operations: name -> (spec transform, takes schema argument)
+SESSION_OPERATIONS = {
+    "append": (ops.append, False),
+    "prepend": (ops.prepend, False),
+    "de_tail": (ops.de_tail, False),
+    "de_head": (ops.de_head, False),
+    "p_roll_up": (ops.p_roll_up, True),
+    "p_drill_down": (ops.p_drill_down, True),
+    "slice_pattern": (ops.slice_pattern, False),
+    "unslice_pattern": (ops.unslice_pattern, False),
+    "roll_up": (ops.roll_up_global, True),
+    "drill_down": (ops.drill_down_global, True),
+    "slice_global": (ops.slice_global, False),
+    "dice_global": (ops.dice_global, False),
+    "unslice_global": (ops.unslice_global, False),
+}
+
+
+class QueryService:
+    """Thread-safe, observable façade over one S-OLAP engine."""
+
+    def __init__(
+        self,
+        db_or_engine,
+        config: Optional[ServiceConfig] = None,
+    ):
+        self.config = config or ServiceConfig()
+        if isinstance(db_or_engine, SOLAPEngine):
+            self.engine = db_or_engine
+        elif isinstance(db_or_engine, EventDatabase):
+            self.engine = SOLAPEngine(db_or_engine)
+        else:
+            raise ServiceError(
+                "QueryService needs an EventDatabase or an SOLAPEngine, "
+                f"got {type(db_or_engine).__name__}"
+            )
+        self.metrics = ServiceMetrics()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.max_workers,
+            thread_name_prefix="solap-scan",
+        )
+        shards = self.config.effective_scan_shards
+        if shards > 1:
+            self.engine.cb_scanner = ParallelCBScanner(
+                self._pool, shards, self.config.parallel_scan_threshold
+            )
+        self._engine_lock = threading.RLock()
+        self._admission_lock = threading.Lock()
+        self._inflight = 0
+        self._slots = threading.Semaphore(self.config.max_concurrent)
+        self.sessions = SessionManager(
+            capacity=self.config.session_capacity,
+            byte_budget=self.config.session_byte_budget,
+            history_limit=self.config.session_history_limit,
+            on_evict=self._session_evicted,
+            on_pipeline_orphaned=self._pipeline_orphaned,
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # One-shot queries
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        spec: CuboidSpec,
+        strategy: str = "auto",
+        timeout: object = _UNSET,
+    ) -> Tuple[SCuboid, QueryStats]:
+        """Answer one query under admission control and a deadline.
+
+        *timeout* is a budget in seconds; omit it to use the config
+        default, pass None for unbounded.
+        """
+        if self._closed:
+            raise ServiceError("service is shut down")
+        self.metrics.inc("requests_total")
+        budget = (
+            self.config.default_timeout_seconds
+            if timeout is _UNSET
+            else timeout
+        )
+        with self._admission_lock:
+            if self._inflight >= self.config.admission_limit:
+                self.metrics.inc("overload_rejected_total")
+                raise ServiceOverloadedError(
+                    inflight=self._inflight,
+                    limit=self.config.admission_limit,
+                )
+            self._inflight += 1
+        try:
+            deadline = Deadline.after(budget)  # type: ignore[arg-type]
+            queued_at = time.monotonic()
+            acquired = self._slots.acquire(
+                timeout=deadline.remaining() if deadline is not None else None
+            )
+            self.metrics.observe_queue_wait(time.monotonic() - queued_at)
+            if not acquired:
+                # The whole budget went to waiting in the admission queue.
+                self.metrics.inc("deadline_exceeded_total")
+                raise QueryTimeoutError(
+                    "query deadline exceeded while queued",
+                    budget_seconds=deadline.budget_seconds,  # type: ignore[union-attr]
+                    elapsed_seconds=deadline.elapsed(),  # type: ignore[union-attr]
+                )
+            try:
+                return self._run(spec, strategy, deadline)
+            finally:
+                self._slots.release()
+        finally:
+            with self._admission_lock:
+                self._inflight -= 1
+
+    def _run(
+        self, spec: CuboidSpec, strategy: str, deadline: Optional[Deadline]
+    ) -> Tuple[SCuboid, QueryStats]:
+        start = time.perf_counter()
+        try:
+            with self._engine_lock:
+                cuboid, stats = self.engine.execute(
+                    spec, strategy, deadline=deadline
+                )
+                self._enforce_index_budget()
+        except QueryTimeoutError:
+            self.metrics.inc("deadline_exceeded_total")
+            raise
+        except SOLAPError:
+            self.metrics.inc("queries_failed")
+            raise
+        self.metrics.observe_latency(time.perf_counter() - start)
+        self.metrics.inc("queries_ok")
+        self.metrics.count_strategy(stats.strategy)
+        if "parallel_shards" in stats.extra:
+            self.metrics.inc("parallel_scans_total")
+        return cuboid, stats
+
+    def _enforce_index_budget(self) -> None:
+        budget = self.config.index_byte_budget
+        if budget is None:
+            return
+        dropped, freed = self.engine.registry.evict_to_budget(budget)
+        if dropped:
+            self.metrics.inc("indices_evicted", dropped)
+            self.metrics.inc("index_bytes_evicted", freed)
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+    def open_session(self, spec: CuboidSpec, strategy: str = "auto") -> str:
+        """Register a new iterative exploration; returns its session id."""
+        spec.validate(self.engine.db.schema)
+        session_id = self.sessions.open(spec, strategy)
+        self.metrics.inc("sessions_opened")
+        return session_id
+
+    def session_run(
+        self, session_id: str, timeout: object = _UNSET
+    ) -> Tuple[SCuboid, QueryStats]:
+        """Execute the session's current spec and cache the result."""
+        entry = self.sessions.get(session_id)
+        spec, strategy = entry.spec, entry.strategy
+        cuboid, stats = self.execute(spec, strategy, timeout)
+        self.sessions.record(session_id, spec, cuboid, stats)
+        return cuboid, stats
+
+    def session_apply(
+        self,
+        session_id: str,
+        operation: str,
+        *args,
+        timeout: object = _UNSET,
+        **kwargs,
+    ) -> Tuple[SCuboid, QueryStats]:
+        """Apply one S-OLAP operation to the session's spec, then execute.
+
+        *operation* is a name from :data:`SESSION_OPERATIONS` (the six
+        pattern operations plus the classical ones).
+        """
+        try:
+            transform, needs_schema = SESSION_OPERATIONS[operation]
+        except KeyError:
+            raise ServiceError(
+                f"unknown session operation {operation!r}; expected one of "
+                f"{sorted(SESSION_OPERATIONS)}"
+            ) from None
+        entry = self.sessions.get(session_id)
+        if needs_schema:
+            new_spec = transform(
+                entry.spec, *args, self.engine.db.schema, **kwargs
+            )
+        else:
+            new_spec = transform(entry.spec, *args, **kwargs)
+        cuboid, stats = self.execute(new_spec, entry.strategy, timeout)
+        self.sessions.record(session_id, new_spec, cuboid, stats)
+        return cuboid, stats
+
+    def session_result(self, session_id: str) -> Optional[SCuboid]:
+        """The session's last cuboid (None before its first run)."""
+        return self.sessions.get(session_id).cuboid
+
+    def close_session(self, session_id: str) -> bool:
+        closed = self.sessions.close(session_id)
+        if closed:
+            self.metrics.inc("sessions_closed")
+        return closed
+
+    def _session_evicted(self, entry: SessionEntry) -> None:
+        self.metrics.inc("sessions_evicted")
+
+    def _pipeline_orphaned(self, pipeline_key: object) -> None:
+        """No live session references this pipeline: release its state."""
+        with self._engine_lock:
+            self.engine.drop_pipeline(pipeline_key)
+        self.metrics.inc("session_pipelines_dropped")
+
+    # ------------------------------------------------------------------
+    # Observability / lifecycle
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Metrics counters + engine cache state + session occupancy."""
+        with self._engine_lock:
+            engine_stats = self.engine.cache_stats()
+        snap = self.metrics.snapshot(engine_stats)
+        snap["sessions"] = {
+            "active": len(self.sessions),
+            "capacity": self.sessions.capacity,
+            "bytes": self.sessions.bytes_used,
+            "byte_budget": self.sessions.byte_budget,
+        }
+        return snap
+
+    def render_report(self) -> str:
+        """The ``solap service-stats`` text report."""
+        with self._engine_lock:
+            engine_stats = self.engine.cache_stats()
+        report = self.metrics.render(engine_stats)
+        sessions = self.sessions
+        return (
+            f"{report}\n"
+            f"  sessions: {len(sessions)}/{sessions.capacity} active, "
+            f"{sessions.bytes_used / 1e6:.3f} MB cached, "
+            f"evicted={sessions.evicted}"
+        )
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and release the worker pool (idempotent)."""
+        self._closed = True
+        self.engine.cb_scanner = None
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryService({self.engine!r}, {len(self.sessions)} sessions, "
+            f"workers={self.config.max_workers})"
+        )

@@ -1,0 +1,197 @@
+"""Service-side session state for iterative S-OLAP exploration.
+
+The paper's workloads are *sessions*: a client runs a query, inspects the
+cuboid, then APPENDs / P-ROLLs-UP / slices and re-runs.  The engine's
+caches (sequence cache, index registries, cuboid repository) already make
+each refinement cheap — but only if the state survives between requests.
+A :class:`SessionManager` keeps that per-client state alive server-side:
+the current spec, the last cuboid, bounded history, and which
+sequence-formation pipeline the session depends on.
+
+Memory is bounded two ways: a session-count capacity and an approximate
+byte budget over the cached cuboids.  Eviction is LRU; when the last
+session over a pipeline goes away, the manager reports the orphaned
+pipeline key so the service can release the engine's sequence-cache entry
+and index registry for it (the "session eviction drives index-registry
+eviction" contract).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.cuboid import SCuboid
+from repro.core.repository import estimate_cuboid_bytes
+from repro.core.spec import CuboidSpec
+from repro.core.stats import QueryStats
+from repro.errors import SessionNotFoundError
+
+
+class SessionEntry:
+    """One client's iterative exploration state."""
+
+    __slots__ = (
+        "session_id",
+        "spec",
+        "strategy",
+        "cuboid",
+        "history",
+        "steps_executed",
+        "bytes_estimate",
+    )
+
+    def __init__(self, session_id: str, spec: CuboidSpec, strategy: str):
+        self.session_id = session_id
+        self.spec = spec
+        self.strategy = strategy
+        self.cuboid: Optional[SCuboid] = None
+        #: (spec, stats) per executed step, oldest first, bounded
+        self.history: List[Tuple[CuboidSpec, QueryStats]] = []
+        self.steps_executed = 0
+        self.bytes_estimate = 0
+
+    @property
+    def pipeline_key(self):
+        return self.spec.pipeline_key()
+
+    def record(
+        self, spec: CuboidSpec, cuboid: SCuboid, stats: QueryStats, limit: int
+    ) -> None:
+        self.spec = spec
+        self.cuboid = cuboid
+        self.steps_executed += 1
+        self.bytes_estimate = estimate_cuboid_bytes(cuboid)
+        self.history.append((spec, stats))
+        if len(self.history) > limit:
+            del self.history[: len(self.history) - limit]
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionEntry({self.session_id!r}, {self.steps_executed} steps, "
+            f"{self.bytes_estimate / 1e6:.3f} MB cached)"
+        )
+
+
+class SessionManager:
+    """Bounded LRU map of live sessions with pipeline reference counting."""
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        byte_budget: int = 64 * 1024 * 1024,
+        history_limit: int = 32,
+        on_evict: Optional[Callable[[SessionEntry], None]] = None,
+        on_pipeline_orphaned: Optional[Callable[[object], None]] = None,
+    ):
+        if capacity < 1:
+            raise ValueError("session capacity must be >= 1")
+        self.capacity = capacity
+        self.byte_budget = byte_budget
+        self.history_limit = history_limit
+        self.on_evict = on_evict
+        self.on_pipeline_orphaned = on_pipeline_orphaned
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[str, SessionEntry]" = OrderedDict()
+        self._pipeline_refs: Dict[object, int] = {}
+        self._ids = itertools.count(1)
+        self.opened = 0
+        self.evicted = 0
+
+    # ------------------------------------------------------------------
+    def open(self, spec: CuboidSpec, strategy: str = "auto") -> str:
+        with self._lock:
+            session_id = f"s{next(self._ids):06d}"
+            entry = SessionEntry(session_id, spec, strategy)
+            self._entries[session_id] = entry
+            self._retain_pipeline(entry.pipeline_key)
+            self.opened += 1
+            self._evict_over_budget()
+            return session_id
+
+    def get(self, session_id: str) -> SessionEntry:
+        """Fetch a live session, refreshing its LRU position."""
+        with self._lock:
+            entry = self._entries.get(session_id)
+            if entry is None:
+                raise SessionNotFoundError(
+                    f"no such session: {session_id!r} (expired or evicted?)"
+                )
+            self._entries.move_to_end(session_id)
+            return entry
+
+    def record(
+        self,
+        session_id: str,
+        spec: CuboidSpec,
+        cuboid: SCuboid,
+        stats: QueryStats,
+    ) -> None:
+        """Store one executed step, migrating pipeline refs if spec moved."""
+        with self._lock:
+            entry = self.get(session_id)
+            old_pipeline = entry.pipeline_key
+            entry.record(spec, cuboid, stats, self.history_limit)
+            new_pipeline = entry.pipeline_key
+            if new_pipeline != old_pipeline:
+                self._retain_pipeline(new_pipeline)
+                self._release_pipeline(old_pipeline)
+            self._evict_over_budget()
+
+    def close(self, session_id: str) -> bool:
+        with self._lock:
+            entry = self._entries.pop(session_id, None)
+            if entry is None:
+                return False
+            self._release_pipeline(entry.pipeline_key)
+            return True
+
+    # ------------------------------------------------------------------
+    def _retain_pipeline(self, key: object) -> None:
+        self._pipeline_refs[key] = self._pipeline_refs.get(key, 0) + 1
+
+    def _release_pipeline(self, key: object) -> None:
+        count = self._pipeline_refs.get(key, 0) - 1
+        if count > 0:
+            self._pipeline_refs[key] = count
+        else:
+            self._pipeline_refs.pop(key, None)
+            if self.on_pipeline_orphaned is not None:
+                self.on_pipeline_orphaned(key)
+
+    def _evict_over_budget(self) -> None:
+        while self._entries and (
+            len(self._entries) > self.capacity
+            or self.bytes_used > self.byte_budget
+        ):
+            if len(self._entries) == 1 and len(self._entries) <= self.capacity:
+                break  # never evict the sole (and most recent) session
+            __, entry = self._entries.popitem(last=False)
+            self.evicted += 1
+            self._release_pipeline(entry.pipeline_key)
+            if self.on_evict is not None:
+                self.on_evict(entry)
+
+    # ------------------------------------------------------------------
+    @property
+    def bytes_used(self) -> int:
+        return sum(entry.bytes_estimate for entry in self._entries.values())
+
+    def pipelines(self) -> Tuple[object, ...]:
+        """Pipeline keys referenced by at least one live session."""
+        with self._lock:
+            return tuple(self._pipeline_refs)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, session_id: str) -> bool:
+        return session_id in self._entries
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionManager({len(self._entries)}/{self.capacity} sessions, "
+            f"{self.bytes_used / 1e6:.3f} MB, evicted={self.evicted})"
+        )

@@ -1,0 +1,142 @@
+"""Property: the sharded parallel CB scan is bit-identical to the serial one.
+
+The parallel scanner (repro.service.parallel) matches sequences on worker
+threads but replays the accumulator fold in the canonical serial order, so
+its output must equal the serial scan *exactly* — including float SUM/AVG
+values, where addition order matters.  Python floats compare by value
+bit-pattern (outside NaN), so dict equality here is a bit-identity check.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AggregateSpec,
+    Dimension,
+    EventDatabase,
+    Hierarchy,
+    Measure,
+    Schema,
+    build_sequence_groups,
+)
+from repro.core.counter_based import counter_based_cuboid
+from repro.core.spec import AggregateScope
+from repro.core.stats import QueryStats
+from repro.service.parallel import ParallelCBScanner
+from tests.property.conftest import (
+    GROUP_OF,
+    sequences_strategy,
+    spec_for,
+    template_from,
+    template_strategy,
+)
+
+#: one shared pool — spawning a ThreadPoolExecutor per hypothesis example
+#: would dominate the test's runtime
+_POOL = ThreadPoolExecutor(max_workers=4)
+
+
+def _make_measured_db(sequences) -> EventDatabase:
+    """The property alphabet plus a float measure exercising SUM/AVG."""
+    schema = Schema(
+        [
+            Dimension("seq"),
+            Dimension("ts"),
+            Dimension(
+                "symbol",
+                Hierarchy("symbol", ("symbol", "group"), {"group": GROUP_OF}),
+            ),
+        ],
+        [Measure("val")],
+    )
+    db = EventDatabase(schema)
+    for seq_id, symbols in enumerate(sequences):
+        for position, symbol in enumerate(symbols):
+            # Irregular magnitudes make float addition order observable.
+            value = (seq_id + 1) * 0.1 + position * 7.30000001
+            db.append(
+                {"seq": seq_id, "ts": position, "symbol": symbol, "val": value}
+            )
+    return db
+
+
+def _run_both(db, spec, shards):
+    groups = build_sequence_groups(
+        db, spec.where, spec.cluster_by, spec.sequence_by, spec.group_by
+    )
+    serial = counter_based_cuboid(db, groups, spec, QueryStats())
+    scanner = ParallelCBScanner(_POOL, shards=shards, threshold=0)
+    stats = QueryStats()
+    parallel = scanner(db, groups, spec, stats)
+    return serial, parallel, stats
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sequences=sequences_strategy,
+    template=template_strategy,
+    shards=st.integers(min_value=2, max_value=5),
+)
+def test_parallel_scan_bit_identical_counts(sequences, template, shards):
+    db = _make_measured_db(sequences)
+    spec = spec_for(template)
+    serial, parallel, stats = _run_both(db, spec, shards)
+    if parallel is None:  # declined: too little work to shard
+        assert sum(len(g) for g in build_sequence_groups(
+            db, None, spec.cluster_by, spec.sequence_by
+        )) < 2
+        return
+    assert parallel.cells == serial.cells
+    assert stats.extra["parallel_shards"] >= 1
+    assert stats.sequences_scanned == len(sequences)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sequences=sequences_strategy,
+    template=template_strategy,
+    shards=st.integers(min_value=2, max_value=5),
+)
+def test_parallel_scan_bit_identical_float_aggregates(
+    sequences, template, shards
+):
+    db = _make_measured_db(sequences)
+    spec = replace(
+        spec_for(template),
+        aggregates=(
+            AggregateSpec("COUNT"),
+            AggregateSpec("SUM", "val", AggregateScope.MATCHED),
+            AggregateSpec("AVG", "val", AggregateScope.SEQUENCE),
+        ),
+    )
+    serial, parallel, __ = _run_both(db, spec, shards)
+    if parallel is None:
+        return
+    # Exact equality on the float sums: the fold replays serial order.
+    assert parallel.cells == serial.cells
+
+
+def test_scanner_declines_below_threshold():
+    from repro import PatternKind
+
+    db = _make_measured_db([["a", "b"], ["b", "a"]])
+    spec = spec_for(template_from((0, 1), PatternKind.SUBSTRING))
+    groups = build_sequence_groups(
+        db, None, spec.cluster_by, spec.sequence_by
+    )
+    scanner = ParallelCBScanner(_POOL, shards=4, threshold=100)
+    assert scanner(db, groups, spec, QueryStats()) is None
+
+    single = ParallelCBScanner(_POOL, shards=1, threshold=0)
+    assert single(db, groups, spec, QueryStats()) is None  # one shard: decline
+
+
+def test_scanner_validation():
+    with pytest.raises(ValueError):
+        ParallelCBScanner(_POOL, shards=0)

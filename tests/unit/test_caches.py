@@ -50,6 +50,65 @@ class TestSequenceCache:
             SequenceCache(0)
 
 
+class TestSequenceCacheOrdering:
+    """Eviction order under interleaved get/put/invalidate traffic."""
+
+    def test_put_existing_refreshes_recency(self):
+        cache = SequenceCache(2)
+        cache.put("a", 1)  # type: ignore[arg-type]
+        cache.put("b", 2)  # type: ignore[arg-type]
+        cache.put("a", 10)  # type: ignore[arg-type]  # rewrite refreshes a
+        cache.put("c", 3)  # type: ignore[arg-type]
+        assert "b" not in cache
+        assert cache.get("a") == 10
+
+    def test_invalidate_does_not_disturb_order(self):
+        cache = SequenceCache(3)
+        for key in ("a", "b", "c"):
+            cache.put(key, key)  # type: ignore[arg-type]
+        cache.invalidate("b")
+        cache.put("d", "d")  # type: ignore[arg-type]  # fills the freed slot
+        assert set(cache.keys()) == {"a", "c", "d"}
+        cache.put("e", "e")  # type: ignore[arg-type]  # now `a` is coldest
+        assert "a" not in cache
+        assert set(cache.keys()) == {"c", "d", "e"}
+
+    def test_eviction_order_after_mixed_traffic(self):
+        cache = SequenceCache(3)
+        for key in ("a", "b", "c"):
+            cache.put(key, key)  # type: ignore[arg-type]
+        cache.get("a")  # order coldest-first is now: b, c, a
+        cache.get("b")  # order: c, a, b
+        cache.put("d", "d")  # type: ignore[arg-type]
+        assert "c" not in cache
+        cache.put("e", "e")  # type: ignore[arg-type]
+        assert "a" not in cache
+        assert list(cache.keys()) == ["b", "d", "e"]
+
+    def test_failed_get_does_not_refresh(self):
+        cache = SequenceCache(2)
+        cache.put("a", 1)  # type: ignore[arg-type]
+        cache.put("b", 2)  # type: ignore[arg-type]
+        cache.get("missing")  # must not touch the LRU order
+        cache.put("c", 3)  # type: ignore[arg-type]
+        assert "a" not in cache and "b" in cache
+
+    def test_stats_and_hit_ratio(self):
+        cache = SequenceCache(2)
+        cache.put("a", 1)  # type: ignore[arg-type]
+        cache.get("a")
+        cache.get("a")
+        cache.get("missing")
+        assert cache.hit_ratio() == pytest.approx(2 / 3)
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["capacity"] == 2
+        assert stats["hits"] == 2 and stats["misses"] == 1
+
+    def test_hit_ratio_with_no_traffic(self):
+        assert SequenceCache(2).hit_ratio() == 0.0
+
+
 class TestCuboidRepository:
     def test_put_get_hit_stats(self):
         repo = CuboidRepository(capacity=4)

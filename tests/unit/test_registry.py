@@ -105,6 +105,96 @@ class TestLongestPrefix:
         assert all(k[0] == "Pentagon" for k in hit[1].lists)
 
 
+class TestRegistryViewAcrossPipelines:
+    """RegistryView aggregates the per-pipeline registries of the engine."""
+
+    @pytest.fixture
+    def view_setup(self):
+        from repro.core.engine import RegistryView
+        from repro.index.inverted import prefix_template
+
+        db = make_figure8_db()
+        groups = build_sequence_groups(
+            db, None, [("card", "card")], [("time", True)]
+        )
+        group = groups.single_group()
+        template = location_template(("X", "Y", "Y", "X"))
+        # Two pipelines: one holds the length-2 XY base index, the other
+        # the length-3 prefix index of XYYX.
+        first = IndexRegistry()
+        first.put(
+            build_index(
+                group, base_template(location_template(("X", "Y"))), db.schema
+            )
+        )
+        second = IndexRegistry()
+        second.put(build_index(group, prefix_template(template, 3), db.schema))
+        registries = {"pipe-1": first, "pipe-2": second}
+        return db, group, template, registries, RegistryView(registries)
+
+    def test_len_and_bytes_aggregate(self, view_setup):
+        __, __, __, registries, view = view_setup
+        assert len(view) == 2
+        assert view.total_bytes() == sum(
+            r.total_bytes() for r in registries.values()
+        )
+
+    def test_find_searches_every_pipeline(self, view_setup):
+        db, group, template, registries, view = view_setup
+        # The XY base index lives only in pipe-1; find must still see it.
+        assert (
+            view.find(group.key, location_template(("X", "Y")), db.schema)
+            is not None
+        )
+        assert view.find(("unknown",), template, db.schema) is None
+
+    def test_get_exact_searches_every_pipeline(self, view_setup):
+        from repro.index.inverted import prefix_template
+
+        db, group, template, registries, view = view_setup
+        wanted = prefix_template(template, 3)
+        assert view.get_exact(group.key, wanted) is registries[
+            "pipe-2"
+        ].get_exact(group.key, wanted)
+        assert view.get_exact(group.key, location_template(("Z",))) is None
+
+    def test_longest_prefix_picks_best_across_pipelines(self, view_setup):
+        db, group, template, __, view = view_setup
+        # pipe-1's base index serves a length-2 prefix; pipe-2 holds the
+        # length-3 prefix index.  The view must return the longer one.
+        hit = view.longest_prefix(group.key, template, db.schema)
+        assert hit is not None
+        assert hit[0] == 3
+
+    def test_indices_for_group_merges(self, view_setup):
+        __, group, __, __, view = view_setup
+        assert len(view.indices_for_group(group.key)) == 2
+
+    def test_evict_to_budget_drops_coldest_first(self, view_setup):
+        db, group, template, registries, view = view_setup
+        # Touch pipe-1's index so pipe-2's becomes the coldest overall.
+        registries["pipe-1"].get_exact(
+            group.key, base_template(location_template(("X", "Y")))
+        )
+        before = view.total_bytes()
+        pipe2_bytes = registries["pipe-2"].total_bytes()
+        dropped, freed = view.evict_to_budget(before - 1)
+        assert (dropped, freed) == (1, pipe2_bytes)
+        assert len(registries["pipe-2"]) == 0
+        assert len(registries["pipe-1"]) == 1
+
+    def test_evict_to_budget_noop_within_budget(self, view_setup):
+        __, __, __, __, view = view_setup
+        assert view.evict_to_budget(view.total_bytes()) == (0, 0)
+
+    def test_evict_to_budget_zero_clears_everything(self, view_setup):
+        __, __, __, registries, view = view_setup
+        dropped, __ = view.evict_to_budget(0)
+        assert dropped == 2
+        assert len(view) == 0
+        assert all(len(r) == 0 for r in registries.values())
+
+
 class TestMaintenance:
     def test_invalidate_group(self, setup):
         db, group, registry = setup

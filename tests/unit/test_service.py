@@ -1,0 +1,340 @@
+"""Unit tests for the concurrent query service (repro.service)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import QueryService, ServiceConfig, SOLAPEngine
+from repro.errors import (
+    QueryTimeoutError,
+    ServiceError,
+    ServiceOverloadedError,
+    SessionNotFoundError,
+)
+from repro.service.deadline import Deadline
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.parallel import split_chunks
+from tests.conftest import figure8_spec, make_figure8_db
+
+
+@pytest.fixture
+def service():
+    svc = QueryService(make_figure8_db(), ServiceConfig(max_workers=2))
+    yield svc
+    svc.shutdown()
+
+
+class TestDeadline:
+    def test_unbounded_is_none(self):
+        assert Deadline.after(None) is None
+
+    def test_fresh_deadline_passes_check(self):
+        deadline = Deadline(60.0)
+        deadline.check()
+        assert not deadline.expired()
+        assert deadline.remaining() > 0
+
+    def test_expired_deadline_raises_typed_error(self):
+        deadline = Deadline(1e-9)
+        with pytest.raises(QueryTimeoutError) as excinfo:
+            while True:
+                deadline.check()
+        assert excinfo.value.budget_seconds == pytest.approx(1e-9)
+        assert excinfo.value.elapsed_seconds >= 0
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            Deadline(0)
+
+
+class TestExecute:
+    def test_execute_matches_bare_engine(self, service):
+        spec = figure8_spec(("X", "Y"))
+        cuboid, stats = service.execute(spec, "cb")
+        bare, __ = SOLAPEngine(make_figure8_db()).execute(spec, "cb")
+        assert cuboid.cells == bare.cells
+        assert service.metrics["queries_ok"] == 1
+        assert service.metrics["requests_total"] == 1
+
+    def test_deadline_exceeded_increments_metric(self, service):
+        spec = figure8_spec(("X", "Y"))
+        with pytest.raises(QueryTimeoutError):
+            service.execute(spec, "cb", timeout=1e-9)
+        assert service.metrics["deadline_exceeded_total"] == 1
+        assert service.metrics["queries_ok"] == 0
+
+    def test_failed_query_counted(self, service):
+        spec = figure8_spec(("X", "Y"))
+        from repro.errors import EngineError
+
+        with pytest.raises(EngineError):
+            service.execute(spec, "bogus")
+        assert service.metrics["queries_failed"] == 1
+
+    def test_default_timeout_from_config(self):
+        svc = QueryService(
+            make_figure8_db(),
+            ServiceConfig(max_workers=1, default_timeout_seconds=1e-9),
+        )
+        try:
+            with pytest.raises(QueryTimeoutError):
+                svc.execute(figure8_spec(("X", "Y")), "cb")
+        finally:
+            svc.shutdown()
+
+    def test_execute_after_shutdown_rejected(self, service):
+        service.shutdown()
+        with pytest.raises(ServiceError):
+            service.execute(figure8_spec(("X", "Y")))
+
+    def test_strategy_counters(self, service):
+        spec = figure8_spec(("X", "Y"))
+        service.execute(spec, "cb")
+        service.execute(spec, "cb")  # repository hit
+        assert service.metrics["strategy_cb"] == 1
+        assert service.metrics["strategy_cache"] == 1
+
+
+class TestOverload:
+    def test_overflowing_admission_queue_rejects(self):
+        release = threading.Event()
+        started = threading.Event()
+        config = ServiceConfig(max_workers=1, max_concurrent=1, queue_depth=0)
+        svc = QueryService(make_figure8_db(), config)
+        spec = figure8_spec(("X", "Y"))
+
+        # Occupy the only execution slot with a query blocked inside the
+        # engine lock.
+        def blocker():
+            with svc._engine_lock:
+                started.set()
+                release.wait(timeout=10)
+
+        thread = threading.Thread(target=blocker)
+        thread.start()
+        started.wait(timeout=10)
+
+        errors = []
+        done = threading.Event()
+
+        def occupant():
+            try:
+                svc.execute(spec, "cb")
+            except Exception as error:  # pragma: no cover - defensive
+                errors.append(error)
+            finally:
+                done.set()
+
+        # First request occupies the slot (waiting on the engine lock)...
+        occupant_thread = threading.Thread(target=occupant)
+        occupant_thread.start()
+        while svc._inflight < 1:
+            pass
+        # ... so the next is over the admission limit and must be rejected
+        # immediately with the typed error.
+        try:
+            with pytest.raises(ServiceOverloadedError) as excinfo:
+                svc.execute(spec, "cb")
+            assert excinfo.value.inflight == 1
+            assert excinfo.value.limit == 1
+            assert svc.metrics["overload_rejected_total"] == 1
+        finally:
+            release.set()
+            done.wait(timeout=10)
+            thread.join(timeout=10)
+            occupant_thread.join(timeout=10)
+            svc.shutdown()
+        assert not errors
+
+    def test_queued_request_times_out_waiting(self):
+        release = threading.Event()
+        config = ServiceConfig(max_workers=1, max_concurrent=1, queue_depth=4)
+        svc = QueryService(make_figure8_db(), config)
+        spec = figure8_spec(("X", "Y"))
+        # Hold the only slot directly so the next request must queue.
+        assert svc._slots.acquire(timeout=1)
+        try:
+            with pytest.raises(QueryTimeoutError):
+                svc.execute(spec, "cb", timeout=0.05)
+            assert svc.metrics["deadline_exceeded_total"] == 1
+        finally:
+            svc._slots.release()
+            release.set()
+            svc.shutdown()
+
+
+class TestSessions:
+    def test_open_run_apply(self, service):
+        sid = service.open_session(figure8_spec(("X", "Y")), "cb")
+        cuboid, __ = service.session_run(sid)
+        assert len(cuboid) > 0
+        assert service.session_result(sid) is cuboid
+        bigger, __ = service.session_apply(
+            sid, "append", "Z", "location", "station"
+        )
+        assert service.sessions.get(sid).spec.template.length == 3
+        assert service.sessions.get(sid).steps_executed == 2
+
+    def test_unknown_operation(self, service):
+        sid = service.open_session(figure8_spec(("X", "Y")))
+        with pytest.raises(ServiceError):
+            service.session_apply(sid, "frobnicate")
+
+    def test_missing_session(self, service):
+        with pytest.raises(SessionNotFoundError):
+            service.session_run("nope")
+
+    def test_close_session(self, service):
+        sid = service.open_session(figure8_spec(("X", "Y")))
+        assert service.close_session(sid)
+        assert not service.close_session(sid)
+        assert service.metrics["sessions_closed"] == 1
+
+    def test_schema_operation(self, service):
+        sid = service.open_session(figure8_spec(("X", "Y")), "cb")
+        service.session_run(sid)
+        service.session_apply(sid, "p_roll_up", "X")
+        spec = service.sessions.get(sid).spec
+        assert spec.template.symbol("X").level == "district"
+
+    def test_session_eviction_drops_pipeline_state(self):
+        config = ServiceConfig(max_workers=1, session_capacity=1)
+        svc = QueryService(make_figure8_db(), config)
+        try:
+            spec_a = figure8_spec(("X", "Y"))
+            sid_a = svc.open_session(spec_a, "ii")
+            svc.session_run(sid_a)
+            assert len(svc.engine.registry) > 0
+            # A session over a *different* pipeline (different cluster-by)
+            # evicts the first and orphans its pipeline state.
+            spec_b = figure8_spec(("X", "Y"), group_by=(("card", "card"),))
+            sid_b = svc.open_session(spec_b, "cb")
+            assert sid_a not in svc.sessions
+            assert svc.metrics["sessions_evicted"] == 1
+            assert svc.metrics["session_pipelines_dropped"] == 1
+            # the evicted session's registry and sequence-cache entry died
+            assert spec_a.pipeline_key() not in svc.engine.sequence_cache
+            assert len(svc.engine.registry) == 0
+            with pytest.raises(SessionNotFoundError):
+                svc.session_run(sid_a)
+        finally:
+            svc.shutdown()
+
+    def test_shared_pipeline_survives_one_eviction(self):
+        config = ServiceConfig(max_workers=1, session_capacity=2)
+        svc = QueryService(make_figure8_db(), config)
+        try:
+            spec = figure8_spec(("X", "Y"))
+            sid_a = svc.open_session(spec, "ii")
+            svc.session_run(sid_a)
+            svc.open_session(spec, "ii")  # same pipeline
+            # Third session (any pipeline) evicts sid_a, but the pipeline is
+            # still referenced by the second session: state must survive.
+            svc.open_session(figure8_spec(("X", "Y", "Z")), "cb")
+            assert svc.metrics["sessions_evicted"] == 1
+            assert svc.metrics["session_pipelines_dropped"] == 0
+            assert len(svc.engine.registry) > 0
+        finally:
+            svc.shutdown()
+
+
+class TestIndexBudget:
+    def test_index_eviction_under_budget(self):
+        config = ServiceConfig(max_workers=1, index_byte_budget=0)
+        svc = QueryService(make_figure8_db(), config)
+        try:
+            svc.execute(figure8_spec(("X", "Y")), "ii")
+            # a zero budget forces every index built by the query out again
+            assert len(svc.engine.registry) == 0
+            assert svc.metrics["indices_evicted"] > 0
+            assert svc.metrics["index_bytes_evicted"] > 0
+        finally:
+            svc.shutdown()
+
+
+class TestMetrics:
+    def test_histogram_quantiles(self):
+        histogram = LatencyHistogram()
+        for __ in range(90):
+            histogram.observe(0.0009)
+        for __ in range(10):
+            histogram.observe(7.0)
+        assert histogram.count == 100
+        assert histogram.quantile(0.5) == 0.001
+        assert histogram.quantile(0.99) == 10.0
+        assert histogram.mean() == pytest.approx((90 * 0.0009 + 70.0) / 100)
+        assert histogram.snapshot()["max_seconds"] == 7.0
+
+    def test_histogram_validation(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            LatencyHistogram().quantile(1.5)
+
+    def test_metrics_render_includes_engine(self, service):
+        service.execute(figure8_spec(("X", "Y")), "cb")
+        report = service.render_report()
+        assert "requests_total: 1" in report
+        assert "sequence cache" in report
+        assert "sessions:" in report
+
+    def test_unknown_counter_reads_zero(self):
+        metrics = ServiceMetrics()
+        assert metrics["nonexistent"] == 0
+        metrics.inc("nonexistent")
+        assert metrics["nonexistent"] == 1
+
+    def test_snapshot_shape(self, service):
+        snap = service.snapshot()
+        assert set(snap) >= {"counters", "latency", "engine", "sessions"}
+
+
+class TestSplitChunks:
+    def test_even_split(self):
+        chunks = split_chunks(list(range(10)), 2)
+        assert chunks == [list(range(5)), list(range(5, 10))]
+
+    def test_remainder_spread(self):
+        chunks = split_chunks(list(range(7)), 3)
+        assert [len(c) for c in chunks] == [3, 2, 2]
+        assert sum(chunks, []) == list(range(7))
+
+    def test_more_chunks_than_items(self):
+        chunks = split_chunks([1, 2], 8)
+        assert chunks == [[1], [2]]
+
+    def test_empty(self):
+        assert split_chunks([], 4) == [[]]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_chunks([1], 0)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_workers": 0},
+            {"max_concurrent": 0},
+            {"queue_depth": -1},
+            {"session_capacity": 0},
+            {"default_timeout_seconds": 0},
+            {"index_byte_budget": -1},
+            {"scan_shards": -1},
+            {"session_byte_budget": -1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ServiceConfig(**kwargs)
+
+    def test_effective_shards_defaults_to_workers(self):
+        assert ServiceConfig(max_workers=3).effective_scan_shards == 3
+        assert ServiceConfig(max_workers=3, scan_shards=2).effective_scan_shards == 2
+
+    def test_service_rejects_bad_target(self):
+        with pytest.raises(ServiceError):
+            QueryService("not a db")
