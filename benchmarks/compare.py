@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Diff two ``BENCH_*.json`` files and gate on perf regressions.
+
+Compares per-benchmark p50 wall times between a baseline and a candidate
+document produced by ``benchmarks/run_all.py``.  Exits non-zero when any
+benchmark regressed by more than ``--threshold`` (default 25%), unless
+``--warn-only`` is given.  Deterministic work counters (sequences
+scanned, index bytes built) are compared exactly: a drift there means
+the *work* changed, not just the machine's speed, and is reported even
+when the wall time looks fine.
+
+Usage::
+
+    python benchmarks/compare.py benchmarks/baselines/BENCH_baseline.json \
+        BENCH_ci.json --warn-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+BENCH_SCHEMA = 1
+
+#: benchmarks faster than this in the baseline are skipped for the wall
+#: time gate — at sub-millisecond scale the signal is scheduler noise
+DEFAULT_NOISE_FLOOR_MS = 2.0
+
+
+def load(path: Path) -> dict:
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"error: cannot read {path}: {error}")
+    schema = document.get("bench_schema")
+    if schema != BENCH_SCHEMA:
+        raise SystemExit(
+            f"error: {path} has bench_schema={schema!r}, expected {BENCH_SCHEMA}"
+        )
+    if not isinstance(document.get("benchmarks"), dict):
+        raise SystemExit(f"error: {path} has no 'benchmarks' section")
+    return document
+
+
+def compare(
+    baseline: dict,
+    candidate: dict,
+    threshold: float,
+    noise_floor_ms: float,
+) -> tuple:
+    """Returns (report lines, regression names, counter-drift names)."""
+    lines: List[str] = []
+    regressions: List[str] = []
+    drifts: List[str] = []
+    base_benchmarks = baseline["benchmarks"]
+    cand_benchmarks = candidate["benchmarks"]
+
+    header = (
+        f"{'benchmark':28}  {'base p50':>10}  {'cand p50':>10}  {'delta':>8}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in sorted(set(base_benchmarks) | set(cand_benchmarks)):
+        base = base_benchmarks.get(name)
+        cand = cand_benchmarks.get(name)
+        if base is None:
+            lines.append(f"{name:28}  {'—':>10}  new benchmark")
+            continue
+        if cand is None:
+            lines.append(f"{name:28}  missing from candidate (!)")
+            drifts.append(name)
+            continue
+        base_p50 = float(base["p50_ms"])
+        cand_p50 = float(cand["p50_ms"])
+        if base_p50 <= 0:
+            delta_text = "n/a"
+            delta = 0.0
+        else:
+            delta = (cand_p50 - base_p50) / base_p50
+            delta_text = f"{delta * 100:+7.1f}%"
+        flag = ""
+        if base_p50 >= noise_floor_ms and delta > threshold:
+            regressions.append(name)
+            flag = "  REGRESSION"
+        elif base_p50 < noise_floor_ms:
+            flag = "  (below noise floor, not gated)"
+        lines.append(
+            f"{name:28}  {base_p50:8.1f}ms  {cand_p50:8.1f}ms  "
+            f"{delta_text:>8}{flag}"
+        )
+
+        base_counters = base.get("counters") or {}
+        cand_counters = cand.get("counters") or {}
+        for counter in ("sequences_scanned", "index_bytes_built", "cells"):
+            if counter in base_counters and counter in cand_counters:
+                if base_counters[counter] != cand_counters[counter]:
+                    drifts.append(name)
+                    lines.append(
+                        f"{'':28}  counter drift: {counter} "
+                        f"{base_counters[counter]} -> {cand_counters[counter]}"
+                    )
+
+    base_cross = (baseline.get("crossover") or {}).get("queryset_a") or {}
+    cand_cross = (candidate.get("crossover") or {}).get("queryset_a") or {}
+    if base_cross and cand_cross:
+        lines.append(
+            "crossover (QuerySet A): baseline step "
+            f"{base_cross.get('crossover_step')} -> candidate step "
+            f"{cand_cross.get('crossover_step')}"
+        )
+    return lines, regressions, sorted(set(drifts))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="baseline BENCH_*.json")
+    parser.add_argument("candidate", type=Path, help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="relative p50 regression that fails the gate (default 0.25)",
+    )
+    parser.add_argument(
+        "--noise-floor-ms",
+        type=float,
+        default=DEFAULT_NOISE_FLOOR_MS,
+        help="baseline p50 below which wall time is not gated",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but always exit 0",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline)
+    candidate = load(args.candidate)
+    lines, regressions, drifts = compare(
+        baseline, candidate, args.threshold, args.noise_floor_ms
+    )
+    print("\n".join(lines))
+    if drifts:
+        print(f"\ncounter drift in: {', '.join(drifts)}")
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed past "
+            f"{args.threshold * 100:.0f}%: {', '.join(regressions)}"
+        )
+        if args.warn_only:
+            print("(warn-only mode: exiting 0)")
+            return 0
+        return 1
+    print("\nno regressions past threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

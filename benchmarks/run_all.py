@@ -1,0 +1,308 @@
+#!/usr/bin/env python
+"""Unified benchmark runner: one machine-readable ``BENCH_<date>.json``.
+
+Executes the repository's benchmark workloads (the same drivers the
+``bench_*`` pytest modules exercise) against pinned synthetic datasets
+with fixed seeds, repeats each several times, and emits a
+schema-versioned JSON document with per-benchmark p50/p95 wall times,
+deterministic work counters (sequences scanned, index bytes built), the
+CB-vs-II crossover summary for the iterative QuerySet A chain, and a
+machine fingerprint.  ``benchmarks/compare.py`` diffs two such files and
+gates CI on regressions.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py --quick --out BENCH_ci.json
+    PYTHONPATH=src python benchmarks/run_all.py            # full sizes
+
+The ``--quick`` profile is sized for CI (< ~1 minute); the full profile
+matches the pytest benchmark suite's dataset sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if not any(
+    (Path(entry) / "repro").is_dir() for entry in sys.path if entry
+):  # pragma: no cover - convenience for bare invocations
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.bench.workloads import (  # noqa: E402
+    run_clickstream_exploration,
+    run_queryset_a,
+    run_queryset_b,
+    run_queryset_c,
+)
+from repro.datagen import (  # noqa: E402
+    ClickstreamConfig,
+    SyntheticConfig,
+    generate_clickstream,
+    generate_event_database,
+    remove_crawler_sessions,
+)
+
+#: bump when the emitted document's shape changes incompatibly
+BENCH_SCHEMA = 1
+
+
+class BenchCase:
+    """One named benchmark: a driver over a pinned dataset."""
+
+    def __init__(
+        self,
+        name: str,
+        module: str,
+        dataset: str,
+        runner: Callable[[object], List[object]],
+    ):
+        self.name = name
+        self.module = module
+        self.dataset = dataset
+        self.runner = runner
+
+
+def _steps_of(result):
+    """Drivers return either [steps] or ([steps], precompute_stats)."""
+    if isinstance(result, tuple):
+        return result[0]
+    return result
+
+
+def build_cases(quick: bool) -> List[BenchCase]:
+    n_queries = 4 if quick else 5
+    return [
+        BenchCase(
+            "table1_clickstream_cb",
+            "benchmarks/bench_table1_clickstream.py",
+            "clickstream",
+            lambda db: _steps_of(run_clickstream_exploration(db, "cb")),
+        ),
+        BenchCase(
+            "table1_clickstream_ii",
+            "benchmarks/bench_table1_clickstream.py",
+            "clickstream",
+            lambda db: _steps_of(run_clickstream_exploration(db, "ii")),
+        ),
+        BenchCase(
+            "queryset_a_cb",
+            "benchmarks/bench_fig16_queryset_a_varying_d.py",
+            "synthetic",
+            lambda db: _steps_of(run_queryset_a(db, "cb", n_queries=n_queries)),
+        ),
+        BenchCase(
+            "queryset_a_ii",
+            "benchmarks/bench_fig16_queryset_a_varying_d.py",
+            "synthetic",
+            lambda db: _steps_of(run_queryset_a(db, "ii", n_queries=n_queries)),
+        ),
+        BenchCase(
+            "queryset_b_cb",
+            "benchmarks/bench_queryset_b_rollup_drilldown.py",
+            "synthetic",
+            lambda db: _steps_of(run_queryset_b(db, "cb")),
+        ),
+        BenchCase(
+            "queryset_b_ii",
+            "benchmarks/bench_queryset_b_rollup_drilldown.py",
+            "synthetic",
+            lambda db: _steps_of(run_queryset_b(db, "ii")),
+        ),
+        BenchCase(
+            "queryset_c_cb",
+            "benchmarks/bench_queryset_c_restricted.py",
+            "synthetic",
+            lambda db: _steps_of(run_queryset_c(db, "cb")),
+        ),
+        BenchCase(
+            "queryset_c_ii",
+            "benchmarks/bench_queryset_c_restricted.py",
+            "synthetic",
+            lambda db: _steps_of(run_queryset_c(db, "ii")),
+        ),
+    ]
+
+
+def build_datasets(quick: bool) -> Dict[str, object]:
+    """The pinned (fixed-seed) benchmark datasets."""
+    synthetic = generate_event_database(
+        SyntheticConfig(I=100, L=20, theta=0.9, D=500 if quick else 2000)
+    )
+    clickstream = remove_crawler_sessions(
+        generate_clickstream(
+            ClickstreamConfig(
+                n_sessions=1200 if quick else 5000,
+                seed=2000,
+                p_start_assortment=0.18,
+                p_assortment_to_legwear=0.28,
+            )
+        )
+    )
+    return {"synthetic": synthetic, "clickstream": clickstream}
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Linear-interpolated percentile (q in [0, 1]) of a small sample."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def run_case(case: BenchCase, db, repeats: int) -> dict:
+    """Run one case *repeats* times; wall time per run, counters once."""
+    runs_ms: List[float] = []
+    counters: Optional[dict] = None
+    for __ in range(repeats):
+        start = time.perf_counter()
+        steps = case.runner(db)
+        runs_ms.append((time.perf_counter() - start) * 1000.0)
+        if counters is None:
+            counters = {
+                "steps": len(steps),
+                "sequences_scanned": sum(s.sequences_scanned for s in steps),
+                "index_bytes_built": sum(s.index_bytes_built for s in steps),
+                "cells": sum(s.cells for s in steps),
+            }
+    return {
+        "module": case.module,
+        "dataset": case.dataset,
+        "runs_ms": [round(ms, 3) for ms in runs_ms],
+        "p50_ms": round(percentile(runs_ms, 0.50), 3),
+        "p95_ms": round(percentile(runs_ms, 0.95), 3),
+        "mean_ms": round(statistics.fmean(runs_ms), 3),
+        "counters": counters,
+    }
+
+
+def crossover_summary(db, n_queries: int) -> dict:
+    """Cumulative CB-vs-II runtimes along QuerySet A and the crossover step.
+
+    The paper's Figure 16 story: CB's cumulative cost grows linearly with
+    the chain while II amortises its index builds, so past some step the
+    II curve dips below CB.  Reported per-step so the comparator can
+    check the *shape*, not just a scalar.
+    """
+    cb_steps = _steps_of(run_queryset_a(db, "cb", n_queries=n_queries))
+    ii_steps = _steps_of(run_queryset_a(db, "ii", n_queries=n_queries))
+
+    def cumulative(steps):
+        total = 0.0
+        out = []
+        for step in steps:
+            total += step.runtime_ms
+            out.append(round(total, 3))
+        return out
+
+    cb_cum = cumulative(cb_steps)
+    ii_cum = cumulative(ii_steps)
+    crossover_step = None
+    for index, (cb, ii) in enumerate(zip(cb_cum, ii_cum)):
+        if ii < cb:
+            crossover_step = index + 1
+            break
+    return {
+        "labels": [step.label for step in cb_steps],
+        "cb_cumulative_ms": cb_cum,
+        "ii_cumulative_ms": ii_cum,
+        "crossover_step": crossover_step,
+    }
+
+
+def machine_fingerprint() -> dict:
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def run_all(quick: bool, repeats: int, crossover_queries: int) -> dict:
+    datasets = build_datasets(quick)
+    document = {
+        "bench_schema": BENCH_SCHEMA,
+        "generated_by": "benchmarks/run_all.py",
+        "created": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "quick": quick,
+        "repeats": repeats,
+        "machine": machine_fingerprint(),
+        "benchmarks": {},
+    }
+    for case in build_cases(quick):
+        print(f"  running {case.name} ...", flush=True)
+        document["benchmarks"][case.name] = run_case(
+            case, datasets[case.dataset], repeats
+        )
+    print("  running crossover summary ...", flush=True)
+    document["crossover"] = {
+        "queryset_a": crossover_summary(
+            datasets["synthetic"], crossover_queries
+        )
+    }
+    return document
+
+
+def default_output_path() -> Path:
+    stamp = datetime.date.today().isoformat()
+    return Path(f"BENCH_{stamp}.json")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI profile: smaller pinned datasets and fewer repeats",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="runs per benchmark (default: 3 quick, 5 full)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="output file (default: ./BENCH_<date>.json)",
+    )
+    args = parser.parse_args(argv)
+    repeats = args.repeats or (3 if args.quick else 5)
+    out = args.out or default_output_path()
+
+    started = time.perf_counter()
+    document = run_all(args.quick, repeats, crossover_queries=4)
+    elapsed = time.perf_counter() - started
+    document["runner_seconds"] = round(elapsed, 3)
+
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
+    print(
+        f"wrote {out} ({len(document['benchmarks'])} benchmarks, "
+        f"{elapsed:.1f}s total)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

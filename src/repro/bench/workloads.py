@@ -21,7 +21,7 @@ precomputed", Section 5.2).
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.bench.harness import StepResult
 from repro.core import operations as ops

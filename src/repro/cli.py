@@ -106,6 +106,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the execution plan instead of running the query",
     )
     query.add_argument(
+        "--analyze",
+        action="store_true",
+        help="run the query under tracing and print the EXPLAIN ANALYZE "
+        "plan (per-stage wall times, row flow, cache outcomes) after "
+        "the result",
+    )
+    query.add_argument(
         "--od-matrix",
         action="store_true",
         help="render the result as an origin-destination matrix "
@@ -154,6 +161,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument(
         "--workers", type=int, default=4, help="scan worker threads"
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a query under tracing and export the span tree as JSON",
+    )
+    trace.add_argument("dataset", help="dataset directory")
+    trace.add_argument("queryfile", help="file containing one S-OLAP query")
+    trace.add_argument(
+        "--strategy", choices=("auto", "cb", "ii", "cost"), default="auto"
+    )
+    trace.add_argument(
+        "--out",
+        help="write the JSON trace to this file (default: stdout)",
+    )
+    trace.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="run the query N times (>1 exercises the warm/cached paths); "
+        "every run is a child of the exported trace",
     )
     return parser
 
@@ -237,7 +265,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
             default_timeout_seconds=args.timeout,
         ),
     ) as service:
-        cuboid, stats = service.execute(spec, args.strategy)
+        cuboid, stats = service.execute(
+            spec, args.strategy, analyze=args.analyze
+        )
     if args.od_matrix:
         from repro.reports import od_matrix_from_cuboid
 
@@ -251,6 +281,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(cuboid.tabulate(limit=args.limit))
         print()
     print(stats.summary())
+    if args.analyze and stats.plan is not None:
+        print()
+        print(stats.plan.render())
     if args.save:
         save_cuboid(cuboid, args.save)
         print(f"cuboid written to {args.save}")
@@ -295,12 +328,37 @@ def _cmd_service_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.spans import Tracer, trace_to_dict
+
+    db = load_dataset(args.dataset)
+    spec = parse_query(Path(args.queryfile).read_text(), db.schema)
+    stats = None
+    with QueryService(db) as service:
+        with Tracer("request") as tracer:
+            for __ in range(max(args.repeat, 1)):
+                __cuboid, stats = service.execute(
+                    spec, args.strategy, analyze=True
+                )
+    doc = trace_to_dict(tracer.root, stats)
+    payload = json.dumps(doc, indent=2)
+    if args.out:
+        Path(args.out).write_text(payload + "\n")
+        print(f"trace written to {args.out}")
+    else:
+        print(payload)
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "info": _cmd_info,
     "query": _cmd_query,
     "advise": _cmd_advise,
     "service-stats": _cmd_service_stats,
+    "trace": _cmd_trace,
 }
 
 

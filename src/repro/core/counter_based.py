@@ -19,6 +19,7 @@ from repro.core.spec import CuboidSpec
 from repro.core.stats import QueryStats
 from repro.events.database import EventDatabase
 from repro.events.sequence import Sequence, SequenceGroup, SequenceGroupSet
+from repro.obs.spans import span
 
 #: cells accumulator table: (group key, cell key) -> CellAccumulator
 CellTable = Dict[Tuple[Tuple[object, ...], Tuple[object, ...]], CellAccumulator]
@@ -104,11 +105,17 @@ def counter_based_cuboid(
     slices = spec.sliced_groups()
     cells: CellTable = {}
 
-    for group, sequence in selected_sequences(groups, slices):
-        stats.add_scan()
-        assignments = matcher.assignments(sequence)
-        if assignments:
-            fold_assignments(db, spec, cells, group, sequence, assignments)
+    with span("cb.scan") as scan_span:
+        scanned_before = stats.sequences_scanned
+        for group, sequence in selected_sequences(groups, slices):
+            stats.add_scan()
+            assignments = matcher.assignments(sequence)
+            if assignments:
+                fold_assignments(db, spec, cells, group, sequence, assignments)
+        scan_span.set(
+            "sequences_scanned", stats.sequences_scanned - scanned_before
+        )
+        scan_span.set("cells_out", len(cells))
 
     stats.checkpoint()
     return finalize_cells(spec, cells)

@@ -31,6 +31,7 @@ from repro.events.cache import SequenceCache
 from repro.events.database import EventDatabase
 from repro.events.sequence import SequenceGroupSet, build_sequence_groups
 from repro.index.registry import IndexRegistry
+from repro.obs.spans import Tracer, span, tracing_active
 
 STRATEGIES = ("auto", "cb", "ii", "cost")
 
@@ -193,6 +194,7 @@ class SOLAPEngine:
         spec: CuboidSpec,
         strategy: str = "auto",
         deadline: Optional[object] = None,
+        analyze: bool = False,
     ) -> Tuple[SCuboid, QueryStats]:
         """Answer one S-cuboid query.
 
@@ -201,7 +203,37 @@ class SOLAPEngine:
         *deadline* (any object with a ``check()`` raising on expiry, e.g.
         :class:`repro.service.deadline.Deadline`) is threaded through the
         strategies' hot loops for cooperative cancellation.
+
+        With ``analyze=True`` the query runs under a tracing span tree
+        (EXPLAIN ANALYZE): the returned stats carry ``stats.trace`` (the
+        root :class:`~repro.obs.spans.Span`) and ``stats.plan`` (an
+        annotated :class:`~repro.core.explain.QueryPlan` with per-stage
+        wall times, row flow, cache outcomes and the strategy chosen
+        next to the cost model's prediction).
         """
+        if not analyze:
+            return self._execute(spec, strategy, deadline)
+        from repro.obs.analyze import explain_analyze
+
+        if tracing_active():
+            # Join the caller's trace (e.g. ``solap trace`` wrapping the
+            # whole service call) instead of starting a nested one.
+            with span("query") as root:
+                cuboid, stats = self._execute(spec, strategy, deadline)
+        else:
+            with Tracer("query") as tracer:
+                cuboid, stats = self._execute(spec, strategy, deadline)
+            root = tracer.root
+        stats.trace = root
+        stats.plan = explain_analyze(self, spec, stats, root)
+        return cuboid, stats
+
+    def _execute(
+        self,
+        spec: CuboidSpec,
+        strategy: str,
+        deadline: Optional[object] = None,
+    ) -> Tuple[SCuboid, QueryStats]:
         if strategy not in STRATEGIES:
             raise EngineError(
                 f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
@@ -228,34 +260,40 @@ class SOLAPEngine:
             strategy = self._choose_by_cost(spec, groups, stats)
         stats.strategy = strategy.upper()
 
-        if spec.min_support is not None:
-            # Iceberg query (HAVING COUNT(*) >= n): route to the iceberg
-            # implementations; the II variant prunes sub-threshold lists
-            # between join steps but cannot bound ALL-MATCHED counts.
-            from repro.core.spec import CellRestriction
-            from repro.extensions.iceberg import (
-                iceberg_counter_based,
-                iceberg_inverted_index,
-            )
+        with span("aggregation", strategy=stats.strategy) as agg_span:
+            if spec.min_support is not None:
+                # Iceberg query (HAVING COUNT(*) >= n): route to the iceberg
+                # implementations; the II variant prunes sub-threshold lists
+                # between join steps but cannot bound ALL-MATCHED counts.
+                from repro.core.spec import CellRestriction
+                from repro.extensions.iceberg import (
+                    iceberg_counter_based,
+                    iceberg_inverted_index,
+                )
 
-            if strategy == "cb" or spec.restriction is CellRestriction.ALL_MATCHED:
-                cuboid = iceberg_counter_based(
-                    self.db, groups, spec, spec.min_support, stats
-                )
+                if (
+                    strategy == "cb"
+                    or spec.restriction is CellRestriction.ALL_MATCHED
+                ):
+                    cuboid = iceberg_counter_based(
+                        self.db, groups, spec, spec.min_support, stats
+                    )
+                else:
+                    cuboid = iceberg_inverted_index(
+                        self.db, groups, spec, spec.min_support, stats
+                    )
+            elif strategy == "cb":
+                cuboid = None
+                if self.cb_scanner is not None:
+                    cuboid = self.cb_scanner(self.db, groups, spec, stats)
+                if cuboid is None:
+                    cuboid = counter_based_cuboid(self.db, groups, spec, stats)
             else:
-                cuboid = iceberg_inverted_index(
-                    self.db, groups, spec, spec.min_support, stats
+                cuboid = inverted_index_cuboid(
+                    self.db, groups, spec, self.registry_for(spec), stats
                 )
-        elif strategy == "cb":
-            cuboid = None
-            if self.cb_scanner is not None:
-                cuboid = self.cb_scanner(self.db, groups, spec, stats)
-            if cuboid is None:
-                cuboid = counter_based_cuboid(self.db, groups, spec, stats)
-        else:
-            cuboid = inverted_index_cuboid(
-                self.db, groups, spec, self.registry_for(spec), stats
-            )
+            agg_span.set("sequences_scanned", stats.sequences_scanned)
+            agg_span.set("cells_out", len(cuboid))
 
         if self.use_repository:
             self.repository.put(cache_key, cuboid)

@@ -50,6 +50,7 @@ from repro.index.inverted import (
     verify_index,
 )
 from repro.index.registry import IndexRegistry, base_template
+from repro.obs.spans import span
 
 
 def rollup_by_merge_is_valid(template: PatternTemplate) -> bool:
@@ -246,33 +247,43 @@ def acquire_index(
 
     rollup_source = _find_rollup_source(group, template, schema, registry)
     if rollup_source is not None:
-        source_levels = {
-            dst.name: src.level
-            for src, dst in zip(rollup_source.template.symbols, template.symbols)
-        }
-        fine_template = refine_template_to_levels(template, source_levels, schema)
-        filtered = rollup_source.filter_for(fine_template, schema)
-        position_levels = tuple(
-            (symbol.attribute, symbol.level)
-            for symbol in template.position_symbols()
-        )
-        merged = filtered.rollup(position_levels, schema, template, stats)
+        with span("ii.rollup_merge") as merge_span:
+            source_levels = {
+                dst.name: src.level
+                for src, dst in zip(
+                    rollup_source.template.symbols, template.symbols
+                )
+            }
+            fine_template = refine_template_to_levels(
+                template, source_levels, schema
+            )
+            filtered = rollup_source.filter_for(fine_template, schema)
+            position_levels = tuple(
+                (symbol.attribute, symbol.level)
+                for symbol in template.position_symbols()
+            )
+            merged = filtered.rollup(position_levels, schema, template, stats)
+            merge_span.set("lists_out", len(merged))
         registry.put(merged)
         stats.index_reused = True
         return merged
 
     refine_source = _find_refine_source(group, template, schema, registry)
     if refine_source is not None:
-        coarse_levels = {
-            dst.name: src.level
-            for src, dst in zip(refine_source.template.symbols, template.symbols)
-        }
-        coarsened = coarsen_template(template, coarse_levels, schema)
-        try:
-            filtered = refine_source.filter_for(coarsened, schema)
-        except IndexError_:  # pragma: no cover - incompatible shapes
-            filtered = refine_source
-        refined = refine_index(filtered, template, group, schema, stats)
+        with span("ii.refine") as refine_span:
+            coarse_levels = {
+                dst.name: src.level
+                for src, dst in zip(
+                    refine_source.template.symbols, template.symbols
+                )
+            }
+            coarsened = coarsen_template(template, coarse_levels, schema)
+            try:
+                filtered = refine_source.filter_for(coarsened, schema)
+            except IndexError_:  # pragma: no cover - incompatible shapes
+                filtered = refine_source
+            refined = refine_index(filtered, template, group, schema, stats)
+            refine_span.set("lists_out", len(refined))
         registry.put(refined)
         stats.index_reused = True
         return refined
@@ -290,7 +301,8 @@ def _join_chain(
     """QueryIndices lines 5-9: extend the longest prefix index to length m."""
     m = template.length
     if m == 1:
-        base = build_index(group, base_template(template), schema, stats)
+        with span("ii.build_index", length=1):
+            base = build_index(group, base_template(template), schema, stats)
         registry.put(base)
         return base.filter_for(template, schema)
 
@@ -300,7 +312,8 @@ def _join_chain(
         stats.index_reused = True
     else:
         first_pair = prefix_template(template, 2)
-        base = build_index(group, base_template(first_pair), schema, stats)
+        with span("ii.build_index", length=2):
+            base = build_index(group, base_template(first_pair), schema, stats)
         registry.put(base)
         current = base.filter_for(first_pair, schema)
         current_length = 2
@@ -313,11 +326,17 @@ def _join_chain(
         if pair_index is None:
             # Domain-restricted on-demand build: only candidate sequences
             # (those containing the current prefix) are scanned.
-            pair_index = build_index(
-                group, pair, schema, stats, restrict_sids=current.all_sids()
+            with span("ii.build_index", length=2, restricted=True):
+                pair_index = build_index(
+                    group, pair, schema, stats, restrict_sids=current.all_sids()
+                )
+        with span("ii.join", target_length=current_length + 1):
+            candidate = join_indices(
+                current, pair_index, target_prefix, schema, stats
             )
-        candidate = join_indices(current, pair_index, target_prefix, schema, stats)
-        current = verify_index(candidate, group, schema, stats)
+        with span("ii.verify", target_length=current_length + 1) as verify_span:
+            current = verify_index(candidate, group, schema, stats)
+            verify_span.set("lists_out", len(current))
         registry.put(current)
         current_length += 1
     return current
@@ -399,8 +418,14 @@ def inverted_index_cuboid(
         if not group_is_selected(group.key, slices):
             continue
         stats.checkpoint()  # cancellation point per sequence group
-        index = acquire_index(group, spec.template, db.schema, registry, stats)
-        group_cells = count_index(index, group, spec, db, stats)
+        with span("ii.group", key=group.key) as group_span:
+            index = acquire_index(
+                group, spec.template, db.schema, registry, stats
+            )
+            with span("ii.count") as count_span:
+                group_cells = count_index(index, group, spec, db, stats)
+                count_span.set("cells_out", len(group_cells))
+            group_span.set("lists", len(index))
         for cell_key, values in group_cells.items():
             cells[(group.key, cell_key)] = values
     return SCuboid(spec, cells)

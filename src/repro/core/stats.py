@@ -40,6 +40,11 @@ class QueryStats:
     #: e.g. :class:`repro.service.deadline.Deadline`), set by the service
     #: layer; the hot loops check it via :meth:`add_scan` / :meth:`checkpoint`
     deadline: Optional[object] = field(default=None, repr=False, compare=False)
+    #: EXPLAIN ANALYZE artefacts, populated by ``engine.execute(...,
+    #: analyze=True)``: the root :class:`~repro.obs.spans.Span` of the
+    #: query's trace and the annotated :class:`~repro.core.explain.QueryPlan`
+    trace: Optional[object] = field(default=None, repr=False, compare=False)
+    plan: Optional[object] = field(default=None, repr=False, compare=False)
 
     def add_scan(self, n: int = 1) -> None:
         self.sequences_scanned += n

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.core.spec import CuboidSpec, PatternTemplate
 from repro.datagen.zipf import ZipfDistribution, sample_poisson

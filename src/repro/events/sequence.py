@@ -23,6 +23,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence as Seq, Tu
 from repro.errors import SpecError
 from repro.events.database import EventDatabase, EventView
 from repro.events.expression import Expr
+from repro.obs.spans import span
 
 #: An (attribute, level) pair, as used by CLUSTER BY / SEQUENCE GROUP BY.
 AttrLevel = Tuple[str, str]
@@ -267,8 +268,24 @@ def build_sequence_groups(
     sequence_by: Seq[OrderKey],
     group_by: Seq[AttrLevel] = (),
 ) -> SequenceGroupSet:
-    """Run pipeline steps 1-4 and return the sequence groups."""
-    rows = select_events(db, where)
-    clusters = cluster_events(db, rows, cluster_by)
-    sequences = form_sequences(db, clusters, sequence_by)
-    return group_sequences(db, sequences, group_by)
+    """Run pipeline steps 1-4 and return the sequence groups.
+
+    Each step runs under a tracing span (see :mod:`repro.obs.spans`) so
+    EXPLAIN ANALYZE can attribute wall time and row flow per stage; the
+    spans are no-ops unless a tracer is active.
+    """
+    with span("selection") as sp:
+        rows = select_events(db, where)
+        sp.set("rows_in", len(db))
+        sp.set("rows_out", len(rows))
+    with span("clustering") as sp:
+        clusters = cluster_events(db, rows, cluster_by)
+        sp.set("rows_in", len(rows))
+        sp.set("clusters_out", len(clusters))
+    with span("sequence_formation") as sp:
+        sequences = form_sequences(db, clusters, sequence_by)
+        sp.set("sequences_out", len(sequences))
+    with span("grouping") as sp:
+        groups = group_sequences(db, sequences, group_by)
+        sp.set("groups_out", len(groups))
+    return groups

@@ -31,10 +31,10 @@ aggregate counts.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Tuple
 
 from repro.core.matcher import TemplateMatcher
-from repro.core.spec import CuboidSpec, PatternTemplate
+from repro.core.spec import PatternTemplate
 from repro.errors import EngineError
 from repro.events.database import EventDatabase
 from repro.events.sequence import build_sequence_groups

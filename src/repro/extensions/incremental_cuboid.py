@@ -18,7 +18,7 @@ which is exactly what its tests assert.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Tuple
 
 from repro.core.counter_based import counter_based_cuboid
 from repro.core.cuboid import SCuboid

@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.matcher import TemplateMatcher
-from repro.core.spec import PatternKind, PatternSymbol, PatternTemplate
+from repro.core.spec import PatternSymbol, PatternTemplate
 from repro.core.stats import QueryStats
 from repro.errors import IndexError_
 from repro.events.schema import Schema

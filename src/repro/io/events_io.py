@@ -16,7 +16,7 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Union
+from typing import Dict, Mapping, Optional, Union
 
 from repro.errors import SchemaError
 from repro.events.database import EventDatabase

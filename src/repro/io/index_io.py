@@ -20,7 +20,6 @@ from typing import Dict, List, Tuple, Union
 
 from repro.core.cuboid import SCuboid
 from repro.core.spec import (
-    CuboidSpec,
     PatternKind,
     PatternSymbol,
     PatternTemplate,

@@ -1,0 +1,51 @@
+"""Observability: hierarchical tracing spans and EXPLAIN ANALYZE.
+
+The package has two layers:
+
+* :mod:`repro.obs.spans` — context-var based tracing.  Instrumented code
+  calls :func:`span` at stage boundaries; when no :class:`Tracer` is
+  active the call returns a shared no-op and costs one context-var read.
+  Activating a tracer (``with Tracer("query") as t: ...``) collects a
+  tree of timed :class:`Span` records, exportable as JSON.
+* :mod:`repro.obs.analyze` — turns a finished trace plus the query's
+  :class:`~repro.core.stats.QueryStats` into an annotated
+  :class:`~repro.core.explain.QueryPlan` (per-stage wall time, rows and
+  sequences in/out, cache hits, strategy chosen vs cost-model
+  prediction): the EXPLAIN ANALYZE output of
+  ``engine.execute(spec, analyze=True)`` and ``solap query --analyze``.
+"""
+
+from repro.obs.spans import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    current_span,
+    span,
+    trace_to_dict,
+    trace_to_json,
+    tracing_active,
+)
+
+
+def __getattr__(name: str):
+    # ``analyze`` depends on repro.core, which itself imports the span
+    # primitives above — importing it lazily keeps the package free of
+    # circular imports while ``repro.obs.explain_analyze`` still works.
+    if name in ("explain_analyze", "stage_timings"):
+        from repro.obs import analyze
+
+        return getattr(analyze, name)
+    raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
+
+__all__ = [
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "current_span",
+    "explain_analyze",
+    "span",
+    "stage_timings",
+    "trace_to_dict",
+    "trace_to_json",
+    "tracing_active",
+]

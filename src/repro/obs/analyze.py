@@ -1,0 +1,199 @@
+"""EXPLAIN ANALYZE: annotate an executed query's plan with measured cost.
+
+Where :func:`repro.core.explain.explain` predicts what the engine *would*
+do, :func:`explain_analyze` reports what it *did*: per-stage wall time
+for the five S-cuboid construction stages (selection, clustering,
+sequence formation, grouping, aggregation), rows/sequences flowing
+between them, cache outcomes, the II build/join/verify chain, and the
+strategy actually chosen next to the cost model's prediction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.explain import QueryPlan
+from repro.core.spec import CuboidSpec
+from repro.core.stats import QueryStats
+from repro.obs.spans import Span
+
+#: canonical display order of the construction stages (paper Section 3.2
+#: steps 1-4 plus the strategy's aggregation pass)
+STAGE_NAMES: Tuple[str, ...] = (
+    "selection",
+    "clustering",
+    "sequence_formation",
+    "grouping",
+    "aggregation",
+)
+
+
+def stage_timings(root: Span) -> List[Tuple[str, float, float]]:
+    """Per-stage ``(name, start_offset_seconds, duration_seconds)`` records.
+
+    Stages are returned in execution order (by start time).  A cached
+    sequence pipeline contributes no selection/clustering/... stages —
+    only the stages that actually ran appear.
+    """
+    found: List[Tuple[str, float, float]] = []
+    for node in root.walk():
+        if node.name in STAGE_NAMES:
+            found.append(
+                (node.name, node.start - root.start, node.duration_seconds)
+            )
+    found.sort(key=lambda item: item[1])
+    return found
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1000.0:.3f} ms"
+
+
+def _stage_detail(root: Span, name: str) -> str:
+    node = root.find(name)
+    if node is None:
+        return ""
+    parts = []
+    for key in (
+        "rows_in",
+        "rows_out",
+        "clusters_out",
+        "sequences_out",
+        "groups_out",
+        "sequences_scanned",
+        "cells_out",
+        "strategy",
+    ):
+        if key in node.attrs:
+            parts.append(f"{key.replace('_', ' ')}={node.attrs[key]}")
+    return ", ".join(parts)
+
+
+def _cost_prediction(engine, spec: CuboidSpec) -> Optional[Tuple[str, float, float]]:
+    """(predicted strategy, cb scan-eq, ii scan-eq), or None on any failure."""
+    try:
+        from repro.optimizer.cost_model import CostModel, profile_groups
+
+        groups = engine.sequence_groups(spec)
+        key = spec.pipeline_key()
+        profile = engine._profiles.get(key)
+        if profile is None:
+            domains = tuple(
+                (symbol.attribute, symbol.level)
+                for symbol in spec.template.symbols
+                if not symbol.wildcard
+            )
+            profile = profile_groups(engine.db, groups, domains)
+            engine._profiles[key] = profile
+        model = CostModel(profile)
+        group_key = next(iter(groups)).key if len(groups) else ()
+        choice, cb, ii = model.choose(
+            spec, engine.registry_for(spec), group_key, engine.db.schema
+        )
+        return choice, cb.scan_equivalents, ii.scan_equivalents
+    except Exception:  # noqa: BLE001 - analysis must never fail the query
+        return None
+
+
+def explain_analyze(
+    engine,
+    spec: CuboidSpec,
+    stats: QueryStats,
+    root: Span,
+) -> QueryPlan:
+    """Build the annotated (measured) plan for one executed query."""
+    plan = QueryPlan()
+    template = spec.template
+    total = root.duration_seconds or stats.runtime_seconds
+
+    plan.add("EXPLAIN ANALYZE — S-OLAP query")
+    plan.add(
+        f"template: {template.kind.value}({', '.join(template.positions)}) "
+        f"[m={template.length}, n={template.n_dims}]",
+        1,
+    )
+    plan.add(f"total: {_fmt_ms(total)}", 1)
+
+    if stats.cuboid_cache_hit:
+        plan.add("cuboid repository: HIT — returned without computation", 1)
+        return plan
+    plan.add("cuboid repository: miss", 1)
+
+    # -- strategy: chosen vs cost-model prediction -----------------------
+    chosen = (stats.strategy or "?").upper()
+    prediction = _cost_prediction(engine, spec)
+    if prediction is not None:
+        predicted, cb_cost, ii_cost = prediction
+        verdict = "agrees" if predicted.upper() == chosen else "disagrees"
+        plan.add(
+            f"strategy: {chosen} (cost model predicts {predicted.upper()} "
+            f"[CB {cb_cost:.0f} vs II {ii_cost:.0f} scan-eq] — {verdict})",
+            1,
+        )
+    else:
+        plan.add(f"strategy: {chosen}", 1)
+
+    # -- the five stages, measured ---------------------------------------
+    stages = stage_timings(root)
+    plan.add("stages:", 1)
+    if stats.sequence_cache_hit:
+        plan.add(
+            "selection/clustering/sequence formation/grouping: "
+            "SKIPPED (sequence-cache hit)",
+            2,
+        )
+    for name, __, duration in stages:
+        detail = _stage_detail(root, name)
+        label = name.replace("_", " ")
+        plan.add(
+            f"{label}: {_fmt_ms(duration)}" + (f" — {detail}" if detail else ""),
+            2,
+        )
+    if stages:
+        accounted = sum(duration for __, __unused, duration in stages)
+        plan.add(
+            f"accounted: {_fmt_ms(accounted)} of {_fmt_ms(total)} "
+            f"({100.0 * accounted / total if total else 0.0:.1f}%)",
+            2,
+        )
+
+    # -- II chain ---------------------------------------------------------
+    builds = root.find_all("ii.build_index")
+    joins = root.find_all("ii.join")
+    verifies = root.find_all("ii.verify")
+    transforms = root.find_all("ii.rollup_merge") + root.find_all("ii.refine")
+    if builds or joins or verifies or transforms:
+        plan.add("inverted-index chain:", 1)
+        for label, nodes in (
+            ("BuildIndex", builds),
+            ("join", joins),
+            ("verify", verifies),
+            ("merge/refine", transforms),
+        ):
+            if nodes:
+                spent = sum(node.duration_seconds for node in nodes)
+                plan.add(f"{label}: {len(nodes)} step(s), {_fmt_ms(spent)}", 2)
+
+    # -- caches and counters ----------------------------------------------
+    plan.add(
+        "caches: "
+        f"sequence-cache hit={stats.sequence_cache_hit}, "
+        f"index reused={stats.index_reused}",
+        1,
+    )
+    plan.add(
+        "counters: "
+        f"{stats.sequences_scanned} sequences scanned, "
+        f"{stats.indices_built} indices built "
+        f"({stats.index_bytes_built / 1e6:.3f} MB), "
+        f"{stats.index_joins} joins",
+        1,
+    )
+
+    # -- service-side waits (present when traced through the service) -----
+    admission = root.find("service.admission")
+    if admission is not None:
+        plan.add(
+            f"service admission wait: {_fmt_ms(admission.duration_seconds)}", 1
+        )
+    return plan

@@ -1,0 +1,232 @@
+"""Hierarchical tracing spans with near-zero disabled overhead.
+
+Instrumentation sites (the five pipeline stages, the CB scan loop, the II
+build/join/verify chain, service admission) call::
+
+    with span("pipeline.selection") as sp:
+        rows = ...
+        sp.set("rows_out", len(rows))
+
+When no tracer is active in the current context the call returns a shared
+:data:`NULL_SPAN` whose methods are all no-ops, so the cost is one
+``ContextVar.get`` plus an identity check — cheap enough to leave in hot
+*stage* boundaries permanently (per-sequence work is deliberately not
+instrumented; spans sit at stage/group/join-step granularity).
+
+Tracers are held in a :class:`contextvars.ContextVar`, so traces nest and
+never leak across threads: worker threads of the parallel CB scanner do
+not inherit the tracer and their shard work is accounted to the enclosing
+``aggregation`` span of the coordinating thread.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import time
+from typing import Dict, Iterator, List, Optional
+
+_TRACER: contextvars.ContextVar[Optional["Tracer"]] = contextvars.ContextVar(
+    "solap_tracer", default=None
+)
+
+
+class Span:
+    """One timed, attributed node of a trace tree."""
+
+    __slots__ = ("name", "start", "end", "attrs", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.start: float = 0.0
+        self.end: float = 0.0
+        self.attrs: Dict[str, object] = {}
+        self.children: List["Span"] = []
+
+    @property
+    def duration_seconds(self) -> float:
+        return max(self.end - self.start, 0.0)
+
+    def set(self, key: str, value: object) -> None:
+        """Attach one attribute (counters, labels) to the span."""
+        self.attrs[key] = value
+
+    def update(self, **attrs: object) -> None:
+        self.attrs.update(attrs)
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first, in start order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First descendant (or self) with *name*, depth-first."""
+        for node in self.walk():
+            if node.name == name:
+                return node
+        return None
+
+    def find_all(self, name: str) -> List["Span"]:
+        return [node for node in self.walk() if node.name == name]
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (durations in milliseconds)."""
+        out: dict = {
+            "name": self.name,
+            "duration_ms": round(self.duration_seconds * 1000.0, 6),
+        }
+        if self.attrs:
+            out["attrs"] = {key: _jsonable(val) for key, val in self.attrs.items()}
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    # -- context-manager protocol (used via Tracer.start) ---------------
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        tracer = _TRACER.get()
+        if tracer is not None:
+            tracer.finish(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, {self.duration_seconds * 1000:.3f} ms, "
+            f"{len(self.children)} children)"
+        )
+
+
+class _NullSpan:
+    """The shared disabled span: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value: object) -> None:
+        pass
+
+    def update(self, **attrs: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NullSpan()"
+
+
+#: the singleton returned by :func:`span` while tracing is disabled
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects one trace tree for the current execution context.
+
+    Used as a context manager::
+
+        with Tracer("query") as tracer:
+            engine.execute(spec)
+        print(json.dumps(trace_to_dict(tracer.root), indent=2))
+
+    Entering activates the tracer in the current context (nesting is
+    allowed — the innermost tracer wins); exiting restores the previous
+    one and closes the root span.
+    """
+
+    def __init__(self, name: str = "trace"):
+        self.root = Span(name)
+        self._stack: List[Span] = [self.root]
+        self._token: Optional[contextvars.Token] = None
+
+    def start(self, name: str, attrs: Optional[Dict[str, object]] = None) -> Span:
+        child = Span(name)
+        child.start = time.perf_counter()
+        if attrs:
+            child.attrs.update(attrs)
+        self._stack[-1].children.append(child)
+        self._stack.append(child)
+        return child
+
+    def finish(self, node: Span) -> None:
+        node.end = time.perf_counter()
+        # Tolerate out-of-order exits (an exception unwinding several
+        # spans finishes them innermost-first, which pops cleanly; a
+        # finish for a node no longer on the stack is ignored).
+        if any(entry is node for entry in self._stack):
+            while len(self._stack) > 1:
+                top = self._stack.pop()
+                if top is node:
+                    break
+
+    def __enter__(self) -> "Tracer":
+        self.root.start = time.perf_counter()
+        self._token = _TRACER.set(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.root.end = time.perf_counter()
+        if self._token is not None:
+            _TRACER.reset(self._token)
+            self._token = None
+
+    def __repr__(self) -> str:
+        return f"Tracer(root={self.root!r})"
+
+
+def span(name: str, **attrs: object):
+    """Open a child span of the active trace (or a no-op when disabled)."""
+    tracer = _TRACER.get()
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.start(name, attrs or None)
+
+
+def tracing_active() -> bool:
+    """True when a tracer is active in the current context."""
+    return _TRACER.get() is not None
+
+
+def current_span(name: str, default: object = NULL_SPAN):
+    """The innermost open span (rarely needed; spans are usually local)."""
+    tracer = _TRACER.get()
+    if tracer is None or len(tracer._stack) <= 1:
+        return default
+    return tracer._stack[-1]
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(item) for item in value]
+    return repr(value)
+
+
+def trace_to_dict(root: Span, stats: Optional[object] = None) -> dict:
+    """One JSON-serialisable trace document (schema under ``trace_schema``).
+
+    *stats* (a :class:`~repro.core.stats.QueryStats`) adds the query's
+    counter totals next to the span tree.
+    """
+    doc: dict = {"trace_schema": 1, "root": root.to_dict()}
+    if stats is not None:
+        doc["stats"] = {
+            "strategy": getattr(stats, "strategy", ""),
+            "runtime_ms": getattr(stats, "runtime_seconds", 0.0) * 1000.0,
+            "sequences_scanned": getattr(stats, "sequences_scanned", 0),
+            "indices_built": getattr(stats, "indices_built", 0),
+            "index_bytes_built": getattr(stats, "index_bytes_built", 0),
+            "index_joins": getattr(stats, "index_joins", 0),
+            "cuboid_cache_hit": getattr(stats, "cuboid_cache_hit", False),
+            "sequence_cache_hit": getattr(stats, "sequence_cache_hit", False),
+            "index_reused": getattr(stats, "index_reused", False),
+        }
+    return doc
+
+
+def trace_to_json(root: Span, stats: Optional[object] = None, indent: int = 2) -> str:
+    return json.dumps(trace_to_dict(root, stats), indent=indent, sort_keys=False)

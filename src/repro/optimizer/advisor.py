@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.engine import SOLAPEngine
 from repro.core.spec import CuboidSpec, PatternTemplate
 from repro.core.stats import QueryStats
-from repro.index.inverted import pair_template, prefix_template
+from repro.index.inverted import pair_template
 from repro.index.registry import IndexRegistry, base_template
 from repro.optimizer.cost_model import CostModel, DataProfile, profile_groups
 

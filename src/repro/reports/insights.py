@@ -18,7 +18,7 @@ the analyst stays in charge.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 from repro.core.cuboid import SCuboid
 from repro.events.schema import Schema

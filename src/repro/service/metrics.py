@@ -102,6 +102,9 @@ class ServiceMetrics:
         self._counters: Dict[str, int] = {name: 0 for name in COUNTER_NAMES}
         self.latency = LatencyHistogram()
         self.queue_wait = LatencyHistogram()
+        #: span-derived per-stage wall time (stage name -> (count, seconds)),
+        #: fed by the service from traced (analyze=True) executions
+        self._stages: Dict[str, Tuple[int, float]] = {}
 
     def inc(self, name: str, amount: int = 1) -> None:
         with self._lock:
@@ -114,6 +117,12 @@ class ServiceMetrics:
     def observe_queue_wait(self, seconds: float) -> None:
         with self._lock:
             self.queue_wait.observe(seconds)
+
+    def observe_stage(self, name: str, seconds: float) -> None:
+        """Accumulate one pipeline-stage duration (from a tracing span)."""
+        with self._lock:
+            count, total = self._stages.get(name, (0, 0.0))
+            self._stages[name] = (count + 1, total + seconds)
 
     def count_strategy(self, strategy: str) -> None:
         """Bump the per-strategy counter from a QueryStats.strategy label."""
@@ -132,6 +141,14 @@ class ServiceMetrics:
                 "counters": dict(self._counters),
                 "latency": self.latency.snapshot(),
                 "queue_wait": self.queue_wait.snapshot(),
+                "stages": {
+                    name: {
+                        "count": count,
+                        "total_seconds": total,
+                        "mean_seconds": total / count if count else 0.0,
+                    }
+                    for name, (count, total) in sorted(self._stages.items())
+                },
             }
         if engine_stats is not None:
             out["engine"] = engine_stats
@@ -153,6 +170,15 @@ class ServiceMetrics:
             f"p99={lat['p99_seconds'] * 1000:.2f}ms, "
             f"max={lat['max_seconds'] * 1000:.2f}ms"
         )
+        stages = snap.get("stages") or {}
+        if stages:
+            lines.append("  stage timings (traced queries):")
+            for name, entry in stages.items():
+                lines.append(
+                    f"    {name}: n={entry['count']}, "
+                    f"mean={entry['mean_seconds'] * 1000:.2f}ms, "
+                    f"total={entry['total_seconds'] * 1000:.2f}ms"
+                )
         engine = snap.get("engine")
         if engine:
             seq = engine["sequence_cache"]

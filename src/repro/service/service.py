@@ -49,6 +49,7 @@ from repro.errors import (
     SOLAPError,
 )
 from repro.events.database import EventDatabase
+from repro.obs.spans import span
 from repro.service.config import ServiceConfig
 from repro.service.deadline import Deadline
 from repro.service.metrics import ServiceMetrics
@@ -125,11 +126,14 @@ class QueryService:
         spec: CuboidSpec,
         strategy: str = "auto",
         timeout: object = _UNSET,
+        analyze: bool = False,
     ) -> Tuple[SCuboid, QueryStats]:
         """Answer one query under admission control and a deadline.
 
         *timeout* is a budget in seconds; omit it to use the config
-        default, pass None for unbounded.
+        default, pass None for unbounded.  *analyze* runs the query
+        under EXPLAIN ANALYZE tracing (``stats.plan`` / ``stats.trace``)
+        and folds the measured stage timings into the service metrics.
         """
         if self._closed:
             raise ServiceError("service is shut down")
@@ -150,10 +154,15 @@ class QueryService:
         try:
             deadline = Deadline.after(budget)  # type: ignore[arg-type]
             queued_at = time.monotonic()
-            acquired = self._slots.acquire(
-                timeout=deadline.remaining() if deadline is not None else None
-            )
-            self.metrics.observe_queue_wait(time.monotonic() - queued_at)
+            with span("service.admission") as admission_span:
+                acquired = self._slots.acquire(
+                    timeout=(
+                        deadline.remaining() if deadline is not None else None
+                    )
+                )
+                waited = time.monotonic() - queued_at
+                admission_span.set("wait_seconds", round(waited, 6))
+            self.metrics.observe_queue_wait(waited)
             if not acquired:
                 # The whole budget went to waiting in the admission queue.
                 self.metrics.inc("deadline_exceeded_total")
@@ -163,7 +172,7 @@ class QueryService:
                     elapsed_seconds=deadline.elapsed(),  # type: ignore[union-attr]
                 )
             try:
-                return self._run(spec, strategy, deadline)
+                return self._run(spec, strategy, deadline, analyze)
             finally:
                 self._slots.release()
         finally:
@@ -171,13 +180,17 @@ class QueryService:
                 self._inflight -= 1
 
     def _run(
-        self, spec: CuboidSpec, strategy: str, deadline: Optional[Deadline]
+        self,
+        spec: CuboidSpec,
+        strategy: str,
+        deadline: Optional[Deadline],
+        analyze: bool = False,
     ) -> Tuple[SCuboid, QueryStats]:
         start = time.perf_counter()
         try:
             with self._engine_lock:
                 cuboid, stats = self.engine.execute(
-                    spec, strategy, deadline=deadline
+                    spec, strategy, deadline=deadline, analyze=analyze
                 )
                 self._enforce_index_budget()
         except QueryTimeoutError:
@@ -191,7 +204,16 @@ class QueryService:
         self.metrics.count_strategy(stats.strategy)
         if "parallel_shards" in stats.extra:
             self.metrics.inc("parallel_scans_total")
+        if stats.trace is not None:
+            self._observe_stages(stats.trace)
         return cuboid, stats
+
+    def _observe_stages(self, root) -> None:
+        """Fold a trace's per-stage wall times into the service metrics."""
+        from repro.obs.analyze import stage_timings
+
+        for name, __, duration in stage_timings(root):
+            self.metrics.observe_stage(name, duration)
 
     def _enforce_index_budget(self) -> None:
         budget = self.config.index_byte_budget

@@ -4,7 +4,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import TemplateMatcher, build_sequence_groups
-from repro.core.spec import PatternKind, PatternSymbol
+from repro.core.spec import PatternKind
 from repro.index.bitmap import BitmapIndex, bitmap_join
 from repro.index.inverted import (
     build_index,

@@ -1,6 +1,5 @@
 """Unit tests for the counter-based strategy on hand-verified cases."""
 
-import pytest
 
 from repro import (
     AggregateScope,

@@ -1,12 +1,10 @@
 """Edge cases: empty databases, degenerate sequences, exotic spec shapes."""
 
-import pytest
 
 from repro import (
     EventDatabase,
     SOLAPEngine,
-    build_sequence_groups,
-)
+    )
 from repro.core import operations as ops
 from repro.extensions import iceberg_inverted_index, online_cuboid
 from tests.conftest import figure8_spec, make_transit_schema, make_figure8_db

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import EngineError, SOLAPEngine, SpecError
+from repro import EngineError, SOLAPEngine
 from repro.index.registry import base_template
 from tests.conftest import figure8_spec, make_figure8_db
 

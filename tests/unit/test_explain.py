@@ -1,10 +1,11 @@
-"""Unit tests for the EXPLAIN facility."""
+"""Unit tests for the EXPLAIN facility and the QueryPlan container."""
 
 import pytest
 
 from repro import SOLAPEngine
 from repro.core import explain
 from repro.core import operations as ops
+from repro.core.explain import QueryPlan
 from repro.index.registry import base_template
 from tests.conftest import figure8_spec, make_figure8_db
 
@@ -12,6 +13,44 @@ from tests.conftest import figure8_spec, make_figure8_db
 @pytest.fixture
 def engine():
     return SOLAPEngine(make_figure8_db())
+
+
+class TestQueryPlan:
+    def test_render_indents_by_depth(self):
+        plan = QueryPlan()
+        plan.add("root")
+        plan.add("child", 1)
+        plan.add("grandchild", 2)
+        assert plan.render() == "root\n  child\n    grandchild"
+
+    def test_contains_matches_substrings_at_any_depth(self):
+        plan = QueryPlan()
+        plan.add("header")
+        plan.add("strategy: CB (cost model predicts II)", 1)
+        assert "strategy: CB" in plan
+        assert "cost model predicts" in plan
+        assert "strategy: II (" not in plan
+        assert "missing" not in plan
+
+    def test_empty_plan(self):
+        plan = QueryPlan()
+        assert plan.render() == ""
+        assert "anything" not in plan
+
+    def test_str_is_render(self):
+        plan = QueryPlan()
+        plan.add("a")
+        plan.add("b", 3)
+        assert str(plan) == plan.render()
+        assert plan.render().splitlines()[1] == "      b"
+
+    def test_deep_nesting_preserved(self):
+        plan = QueryPlan()
+        for depth in range(6):
+            plan.add(f"level{depth}", depth)
+        lines = plan.render().splitlines()
+        for depth, line in enumerate(lines):
+            assert line == "  " * depth + f"level{depth}"
 
 
 class TestExplain:

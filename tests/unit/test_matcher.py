@@ -1,6 +1,5 @@
 """Unit tests for the pattern matcher (occurrences, restrictions, predicates)."""
 
-import pytest
 
 from repro import (
     CellRestriction,
@@ -13,7 +12,6 @@ from repro import (
     build_sequence_groups,
 )
 from tests.conftest import (
-    figure8_spec,
     location_template,
     make_figure8_db,
 )

@@ -1,0 +1,217 @@
+"""Unit tests for the observability layer (repro.obs)."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro import SOLAPEngine
+from repro.obs import (
+    NULL_SPAN,
+    Tracer,
+    span,
+    stage_timings,
+    trace_to_dict,
+    trace_to_json,
+    tracing_active,
+)
+from repro.obs.analyze import STAGE_NAMES
+from tests.conftest import figure8_spec, make_figure8_db
+
+
+class TestSpanPrimitives:
+    def test_disabled_span_is_the_shared_null_singleton(self):
+        assert not tracing_active()
+        sp = span("anything", rows=3)
+        assert sp is NULL_SPAN
+        # every operation is a silent no-op
+        sp.set("key", 1)
+        sp.update(other=2)
+        with sp as inner:
+            assert inner is NULL_SPAN
+
+    def test_tracer_builds_a_tree(self):
+        with Tracer("root") as tracer:
+            assert tracing_active()
+            with span("outer", label="a"):
+                with span("inner"):
+                    pass
+            with span("sibling"):
+                pass
+        assert not tracing_active()
+        root = tracer.root
+        assert [child.name for child in root.children] == ["outer", "sibling"]
+        assert root.children[0].children[0].name == "inner"
+        assert root.children[0].attrs == {"label": "a"}
+
+    def test_span_durations_are_monotone(self):
+        with Tracer() as tracer:
+            with span("work"):
+                time.sleep(0.002)
+        work = tracer.root.find("work")
+        assert work is not None
+        assert work.duration_seconds >= 0.002
+        assert tracer.root.duration_seconds >= work.duration_seconds
+
+    def test_walk_find_find_all(self):
+        with Tracer() as tracer:
+            with span("a"):
+                with span("b"):
+                    pass
+            with span("b"):
+                pass
+        root = tracer.root
+        assert [node.name for node in root.walk()] == ["trace", "a", "b", "b"]
+        assert root.find("b") is root.children[0].children[0]
+        assert len(root.find_all("b")) == 2
+        assert root.find("missing") is None
+
+    def test_exception_unwinds_spans_cleanly(self):
+        with Tracer() as tracer:
+            with pytest.raises(RuntimeError):
+                with span("outer"):
+                    with span("inner"):
+                        raise RuntimeError("boom")
+            # the stack recovered: new spans attach at the root again
+            with span("after"):
+                pass
+        names = [child.name for child in tracer.root.children]
+        assert names == ["outer", "after"]
+        inner = tracer.root.find("inner")
+        assert inner.end >= inner.start
+
+    def test_nested_tracers_innermost_wins(self):
+        with Tracer("outer") as outer:
+            with Tracer("inner") as inner:
+                with span("work"):
+                    pass
+            with span("outer_work"):
+                pass
+        assert inner.root.find("work") is not None
+        assert outer.root.find("work") is None
+        assert outer.root.find("outer_work") is not None
+
+    def test_worker_threads_do_not_inherit_tracer(self):
+        seen = {}
+
+        def worker():
+            seen["active"] = tracing_active()
+            seen["span"] = span("thread_work")
+
+        with Tracer():
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["active"] is False
+        assert seen["span"] is NULL_SPAN
+
+    def test_trace_to_json_round_trips(self):
+        with Tracer("query") as tracer:
+            with span("stage", rows_out=7):
+                pass
+        doc = json.loads(trace_to_json(tracer.root))
+        assert doc["trace_schema"] == 1
+        assert doc["root"]["name"] == "query"
+        child = doc["root"]["children"][0]
+        assert child["name"] == "stage"
+        assert child["attrs"]["rows_out"] == 7
+        assert child["duration_ms"] >= 0
+
+    def test_trace_to_dict_includes_stats(self):
+        engine = SOLAPEngine(make_figure8_db())
+        with Tracer("query") as tracer:
+            pass
+        __, stats = engine.execute(figure8_spec(("X", "Y")), "cb")
+        doc = trace_to_dict(tracer.root, stats)
+        assert doc["stats"]["strategy"] == stats.strategy
+        assert doc["stats"]["sequences_scanned"] == stats.sequences_scanned
+
+    def test_non_jsonable_attrs_fall_back_to_repr(self):
+        with Tracer() as tracer:
+            with span("s") as sp:
+                sp.set("obj", object())
+                sp.set("tup", (1, "two"))
+        node = tracer.root.find("s").to_dict()
+        assert isinstance(node["attrs"]["obj"], str)
+        assert node["attrs"]["tup"] == [1, "two"]
+
+
+class TestAnalyzePath:
+    @pytest.fixture
+    def engine(self):
+        return SOLAPEngine(make_figure8_db())
+
+    def test_analyze_attaches_trace_and_plan(self, engine):
+        spec = figure8_spec(("X", "Y"))
+        cuboid, stats = engine.execute(spec, "cb", analyze=True)
+        assert stats.trace is not None
+        assert stats.plan is not None
+        assert len(cuboid) > 0
+        # a plain run attaches neither
+        __, plain = engine.execute(figure8_spec(("X", "Y", "Z")), "cb")
+        assert plain.trace is None and plain.plan is None
+
+    def test_all_five_stages_appear_in_order(self, engine):
+        __, stats = engine.execute(figure8_spec(("X", "Y")), "cb", analyze=True)
+        timings = stage_timings(stats.trace)
+        assert [name for name, __s, __d in timings] == list(STAGE_NAMES)
+        starts = [start for __n, start, __d in timings]
+        assert starts == sorted(starts)
+        assert all(duration >= 0 for __n, __s, duration in timings)
+
+    def test_stage_sum_approximates_total(self, engine):
+        __, stats = engine.execute(figure8_spec(("X", "Y")), "cb", analyze=True)
+        total = stats.trace.duration_seconds
+        accounted = sum(d for __n, __s, d in stage_timings(stats.trace))
+        assert accounted <= total * 1.01
+        assert accounted >= total * 0.5
+
+    def test_analyze_result_matches_plain_result(self, engine):
+        spec = figure8_spec(("X", "Y"))
+        traced, __ = engine.execute(spec, "ii", analyze=True)
+        plain, __ = SOLAPEngine(make_figure8_db()).execute(spec, "ii")
+        assert traced.cells == plain.cells
+
+    def test_ii_chain_spans_recorded(self, engine):
+        spec = figure8_spec(("X", "Y", "Y", "X"))
+        __, stats = engine.execute(spec, "ii", analyze=True)
+        assert stats.trace.find("ii.build_index") is not None
+        assert stats.trace.find("ii.join") is not None
+        assert "inverted-index chain:" in stats.plan
+        assert "BuildIndex" in stats.plan
+
+    def test_cb_scan_span_counts_sequences(self, engine):
+        __, stats = engine.execute(figure8_spec(("X", "Y")), "cb", analyze=True)
+        scan = stats.trace.find("cb.scan")
+        assert scan is not None
+        assert scan.attrs["sequences_scanned"] == stats.sequences_scanned
+
+    def test_repository_hit_plan_short_circuits(self, engine):
+        spec = figure8_spec(("X", "Y"))
+        engine.execute(spec, "cb")
+        __, stats = engine.execute(spec, "cb", analyze=True)
+        assert "cuboid repository: HIT" in stats.plan
+        assert "stages:" not in stats.plan
+
+    def test_plan_reports_strategy_vs_prediction(self, engine):
+        __, stats = engine.execute(figure8_spec(("X", "Y")), "cb", analyze=True)
+        assert "strategy: CB" in stats.plan
+        assert "cost model predicts" in stats.plan
+
+    def test_analyze_joins_an_outer_tracer(self, engine):
+        with Tracer("request") as tracer:
+            __, stats = engine.execute(
+                figure8_spec(("X", "Y")), "cb", analyze=True
+            )
+        query = tracer.root.find("query")
+        assert query is not None
+        assert query is stats.trace
+        assert query.find("selection") is not None
+
+    def test_tracing_disabled_after_analyze(self, engine):
+        engine.execute(figure8_spec(("X", "Y")), "cb", analyze=True)
+        assert not tracing_active()
+        assert span("later") is NULL_SPAN

@@ -1,6 +1,5 @@
 """Unit tests for the query-language formatter (round-trips)."""
 
-import pytest
 
 from repro import (
     AggregateScope,

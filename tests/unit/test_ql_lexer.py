@@ -3,7 +3,7 @@
 import pytest
 
 from repro import QueryLanguageError
-from repro.ql import Token, TokenType, tokenize
+from repro.ql import TokenType, tokenize
 
 
 def types(text):

@@ -7,7 +7,6 @@ from repro.core import operations as ops
 from repro.datagen.rfid import (
     PATHS,
     RFIDConfig,
-    build_schema,
     generate_database,
     path_spec,
     shrinkage_spec,

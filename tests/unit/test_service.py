@@ -210,7 +210,7 @@ class TestSessions:
             # A session over a *different* pipeline (different cluster-by)
             # evicts the first and orphans its pipeline state.
             spec_b = figure8_spec(("X", "Y"), group_by=(("card", "card"),))
-            sid_b = svc.open_session(spec_b, "cb")
+            svc.open_session(spec_b, "cb")
             assert sid_a not in svc.sessions
             assert svc.metrics["sessions_evicted"] == 1
             assert svc.metrics["session_pipelines_dropped"] == 1

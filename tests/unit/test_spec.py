@@ -7,7 +7,6 @@ from repro import (
     AggregateSpec,
     CellRestriction,
     Comparison,
-    CuboidSpec,
     Literal,
     MatchingPredicate,
     PatternKind,
