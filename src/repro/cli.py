@@ -13,13 +13,18 @@ Subcommands:
   for a workload of query files;
 * ``service-stats`` — run a workload through the concurrent query
   service and print its metrics report (latency histogram, cache hit
-  ratios, session/eviction counters).
+  ratios, session/eviction counters) as text, JSON, or Prometheus text
+  format (``--format prom``);
+* ``serve-metrics`` — run a workload through the service while serving
+  ``/metrics`` (Prometheus), ``/healthz`` and ``/varz`` over HTTP, with
+  optional structured JSON query logging and slow-query capture.
 
 Example::
 
     solap generate transit --out data/transit --cards 300 --days 5
     solap query data/transit examples/q1.solap --strategy ii --limit 10
     solap service-stats data/transit examples/q1.solap --repeat 3
+    solap serve-metrics data/transit examples/q1.solap --port 9464
 """
 
 from __future__ import annotations
@@ -161,6 +166,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument(
         "--workers", type=int, default=4, help="scan worker threads"
+    )
+    stats.add_argument(
+        "--format",
+        choices=("text", "json", "prom"),
+        default="text",
+        help="report format: human text, JSON snapshot, or Prometheus "
+        "text exposition (scrapeable without the HTTP endpoint)",
+    )
+
+    serve = sub.add_parser(
+        "serve-metrics",
+        help="serve /metrics, /healthz and /varz while running a workload",
+    )
+    serve.add_argument("dataset", help="dataset directory")
+    serve.add_argument(
+        "queryfiles",
+        nargs="*",
+        help="workload query files run through the service (optional)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=9464,
+        help="exporter port (0 binds an ephemeral port)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--strategy", choices=("auto", "cb", "ii", "cost"), default="auto"
+    )
+    serve.add_argument(
+        "--repeat", type=int, default=1,
+        help="passes over the workload before settling into serving",
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="keep serving this long after the workload, then exit "
+        "(default: serve until interrupted)",
+    )
+    serve.add_argument(
+        "--slow-query",
+        type=_positive_seconds,
+        default=None,
+        metavar="SECONDS",
+        help="emit a slow_query log record (with the EXPLAIN ANALYZE "
+        "plan) for queries slower than this",
+    )
+    serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON query-lifecycle logs on stderr",
     )
 
     trace = sub.add_parser(
@@ -324,7 +380,58 @@ def _cmd_service_stats(args: argparse.Namespace) -> int:
         for __ in range(max(args.repeat, 1)):
             for session_id in sessions:
                 service.session_run(session_id)
-        print(service.render_report())
+        if args.format == "json":
+            import json
+
+            print(json.dumps(service.snapshot(), indent=2, default=repr))
+        elif args.format == "prom":
+            print(service.registry.render_prometheus(), end="")
+        else:
+            print(service.render_report())
+    return 0
+
+
+def _cmd_serve_metrics(args: argparse.Namespace) -> int:
+    import time
+
+    db = load_dataset(args.dataset)
+    specs = [
+        parse_query(Path(path).read_text(), db.schema)
+        for path in args.queryfiles
+    ]
+    if args.log_json:
+        from repro.obs.logging import configure_logging
+
+        configure_logging(stream=sys.stderr)
+    config = ServiceConfig(
+        expose_metrics_port=args.port,
+        metrics_host=args.host,
+        slow_query_seconds=args.slow_query,
+    )
+    with QueryService(db, config) as service:
+        server = service.metrics_server
+        assert server is not None  # expose_metrics_port was set above
+        print(
+            f"serving telemetry on {server.url} "
+            "(/metrics /healthz /varz)"
+        )
+        for __ in range(max(args.repeat, 1)):
+            for spec in specs:
+                service.execute(spec, args.strategy)
+        if specs:
+            print(
+                f"workload done: {service.metrics['queries_ok']} ok, "
+                f"{service.metrics['queries_failed']} failed"
+            )
+        try:
+            if args.duration is not None:
+                time.sleep(args.duration)
+            else:
+                print("serving until interrupted (Ctrl-C to exit)")
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
     return 0
 
 
@@ -358,6 +465,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "advise": _cmd_advise,
     "service-stats": _cmd_service_stats,
+    "serve-metrics": _cmd_serve_metrics,
     "trace": _cmd_trace,
 }
 

@@ -84,6 +84,7 @@ class RegistryView:
             if over <= 0:
                 break
             if registry.drop(group_key, signature):
+                registry.evictions += 1
                 dropped += 1
                 freed += size
                 over -= size
@@ -144,6 +145,13 @@ class SOLAPEngine:
         self._registries: dict = {}
         self.use_repository = use_repository
         self.queries_executed = 0
+        #: cumulative query telemetry (one cheap add per query, never
+        #: per-row) — exported by obs.metrics.register_engine_metrics
+        self.strategy_counts: dict = {}
+        self.sequences_scanned_total = 0
+        self.rows_aggregated_total = 0
+        #: index evictions carried over from dropped pipeline registries
+        self._index_evictions_carried = 0
         self._profiles: dict = {}
         #: optional sharded-scan hook installed by the service layer: a
         #: callable ``(db, groups, spec, stats) -> Optional[SCuboid]`` that
@@ -250,6 +258,7 @@ class SOLAPEngine:
                 stats.strategy = "cache"
                 stats.cuboid_cache_hit = True
                 stats.runtime_seconds = time.perf_counter() - start
+                self._count_query(stats, cached)
                 return cached, stats
 
         groups = self.sequence_groups(spec, stats)
@@ -298,7 +307,16 @@ class SOLAPEngine:
         if self.use_repository:
             self.repository.put(cache_key, cuboid)
         stats.runtime_seconds = time.perf_counter() - start
+        self._count_query(stats, cuboid)
         return cuboid, stats
+
+    def _count_query(self, stats: QueryStats, cuboid: SCuboid) -> None:
+        """Fold one finished query into the engine's cumulative telemetry."""
+        label = (stats.strategy or "?").lower()
+        self.strategy_counts[label] = self.strategy_counts.get(label, 0) + 1
+        self.sequences_scanned_total += stats.sequences_scanned
+        if not stats.cuboid_cache_hit:
+            self.rows_aggregated_total += len(cuboid)
 
     def _choose_strategy(self, spec: CuboidSpec, groups: SequenceGroupSet) -> str:
         """First-cut optimiser: II when prior index work can be reused."""
@@ -379,7 +397,17 @@ class SOLAPEngine:
         self.sequence_cache.invalidate(pipeline_key)
         self._profiles.pop(pipeline_key, None)
         registry = self._registries.pop(pipeline_key, None)
-        return len(registry) if registry is not None else 0
+        if registry is None:
+            return 0
+        self._index_evictions_carried += registry.evictions
+        return len(registry)
+
+    @property
+    def index_evictions_total(self) -> int:
+        """Budget evictions across live and already-dropped registries."""
+        return self._index_evictions_carried + sum(
+            registry.evictions for registry in self._registries.values()
+        )
 
     def cache_stats(self) -> dict:
         """One snapshot of every cache/registry counter the engine keeps."""
@@ -391,13 +419,18 @@ class SOLAPEngine:
                 "bytes": self.repository.bytes_used,
                 "hits": self.repository.hits,
                 "misses": self.repository.misses,
+                "evictions": self.repository.evictions,
             },
             "index_registry": {
                 "indices": len(self.registry),
                 "pipelines": len(self._registries),
                 "bytes": self.registry.total_bytes(),
+                "evictions": self.index_evictions_total,
             },
             "queries_executed": self.queries_executed,
+            "queries_by_strategy": dict(self.strategy_counts),
+            "sequences_scanned_total": self.sequences_scanned_total,
+            "rows_aggregated_total": self.rows_aggregated_total,
         }
 
     def __repr__(self) -> str:

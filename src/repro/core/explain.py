@@ -35,6 +35,15 @@ class QueryPlan:
     def render(self) -> str:
         return "\n".join("  " * depth + text for depth, text in self.lines)
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (embedded in slow-query log entries)."""
+        return {
+            "plan_schema": 1,
+            "lines": [
+                {"depth": depth, "text": text} for depth, text in self.lines
+            ],
+        }
+
     def __str__(self) -> str:
         return self.render()
 

@@ -34,6 +34,7 @@ class CuboidRepository:
         self._bytes = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, key: Hashable) -> Optional[SCuboid]:
         cuboid = self._entries.get(key)
@@ -58,6 +59,7 @@ class CuboidRepository:
         ):
             __, evicted = self._entries.popitem(last=False)
             self._bytes -= estimate_cuboid_bytes(evicted)
+            self.evictions += 1
 
     def invalidate(self, key: Hashable) -> bool:
         cuboid = self._entries.pop(key, None)
@@ -83,5 +85,6 @@ class CuboidRepository:
     def __repr__(self) -> str:
         return (
             f"CuboidRepository({len(self._entries)}/{self.capacity} cuboids, "
-            f"{self._bytes / 1e6:.3f} MB, hits={self.hits}, misses={self.misses})"
+            f"{self._bytes / 1e6:.3f} MB, hits={self.hits}, "
+            f"misses={self.misses}, evictions={self.evictions})"
         )

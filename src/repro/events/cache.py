@@ -25,6 +25,7 @@ class SequenceCache:
         self._entries: "OrderedDict[Hashable, SequenceGroupSet]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, key: Hashable) -> Optional[SequenceGroupSet]:
         """Look up *key*, refreshing its LRU position on a hit."""
@@ -42,6 +43,7 @@ class SequenceCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+            self.evictions += 1
 
     def invalidate(self, key: Hashable) -> bool:
         """Drop one entry; returns True if it was present."""
@@ -62,6 +64,7 @@ class SequenceCache:
             "capacity": self.capacity,
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
             "hit_ratio": self.hit_ratio(),
         }
 
@@ -78,5 +81,6 @@ class SequenceCache:
     def __repr__(self) -> str:
         return (
             f"SequenceCache({len(self._entries)}/{self.capacity} entries, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions})"
         )

@@ -70,6 +70,8 @@ class IndexRegistry:
     def __init__(self) -> None:
         self._by_group: Dict[GroupKey, Dict[Signature, InvertedIndex]] = {}
         self._ticks: Dict[Tuple[GroupKey, Signature], int] = {}
+        #: indices dropped by budget eviction (not explicit invalidation)
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     def put(self, index: InvertedIndex) -> None:
@@ -170,6 +172,7 @@ class IndexRegistry:
                 dropped += 1
                 freed += size
                 over -= size
+        self.evictions += dropped
         return dropped, freed
 
     # ------------------------------------------------------------------

@@ -1,6 +1,6 @@
-"""Observability: hierarchical tracing spans and EXPLAIN ANALYZE.
+"""Observability: tracing, EXPLAIN ANALYZE, metrics, logs, and /metrics.
 
-The package has two layers:
+The package has two per-query layers and three fleet-level ones:
 
 * :mod:`repro.obs.spans` — context-var based tracing.  Instrumented code
   calls :func:`span` at stage boundaries; when no :class:`Tracer` is
@@ -13,8 +13,26 @@ The package has two layers:
   sequences in/out, cache hits, strategy chosen vs cost-model
   prediction): the EXPLAIN ANALYZE output of
   ``engine.execute(spec, analyze=True)`` and ``solap query --analyze``.
+* :mod:`repro.obs.metrics` — a thread-safe :class:`MetricsRegistry` of
+  labelled counters, gauges and fixed-bucket histograms with Prometheus
+  text exposition; :func:`register_engine_metrics` exposes an engine's
+  caches through pull-based callback instruments.
+* :mod:`repro.obs.logging` — structured JSON logging of query-lifecycle
+  events (stdlib :mod:`logging` underneath) with slow-query capture that
+  embeds the EXPLAIN ANALYZE plan.
+* :mod:`repro.obs.httpd` — a stdlib HTTP exporter serving ``/metrics``
+  (Prometheus text), ``/healthz`` and ``/varz`` (JSON snapshot).
 """
 
+from repro.obs.httpd import MetricsServer
+from repro.obs.logging import JsonLineFormatter, QueryLogger, configure_logging
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    GLOBAL_REGISTRY,
+    BucketHistogram,
+    MetricsRegistry,
+    register_engine_metrics,
+)
 from repro.obs.spans import (
     NULL_SPAN,
     Span,
@@ -38,11 +56,20 @@ def __getattr__(name: str):
     raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
 
 __all__ = [
+    "BucketHistogram",
+    "DEFAULT_LATENCY_BUCKETS",
+    "GLOBAL_REGISTRY",
+    "JsonLineFormatter",
+    "MetricsRegistry",
+    "MetricsServer",
     "NULL_SPAN",
+    "QueryLogger",
     "Span",
     "Tracer",
+    "configure_logging",
     "current_span",
     "explain_analyze",
+    "register_engine_metrics",
     "span",
     "stage_timings",
     "trace_to_dict",

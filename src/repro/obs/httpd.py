@@ -1,0 +1,162 @@
+"""Telemetry HTTP endpoint: ``/metrics``, ``/healthz`` and ``/varz``.
+
+A tiny stdlib :mod:`http.server` exporter so any scraper (Prometheus,
+curl, a load balancer's health check) can observe a running process with
+zero third-party dependencies:
+
+* ``GET /metrics`` — the registry in Prometheus text exposition format;
+* ``GET /healthz`` — ``200 {"status": "ok"}`` while the health callback
+  reports healthy, ``503`` otherwise (liveness/readiness probes);
+* ``GET /varz``    — a JSON snapshot of every metric series (plus
+  whatever richer document the owner's callback provides).
+
+The server runs on a daemon thread (`ThreadingHTTPServer`, one handler
+thread per request) and binds to loopback by default.  Port 0 binds an
+ephemeral port — ``server.port`` reports the real one, which is how
+tests avoid collisions.
+
+Usage::
+
+    server = MetricsServer(registry, port=9464).start()
+    ...
+    server.stop()
+
+or let the service own it::
+
+    service = QueryService(db, ServiceConfig(expose_metrics_port=9464))
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+#: content type of the Prometheus text exposition format
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsServer:
+    """Serves one registry (and optional health/varz callbacks) over HTTP."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        health_callback: Optional[Callable[[], bool]] = None,
+        varz_callback: Optional[Callable[[], dict]] = None,
+    ):
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self.health_callback = health_callback
+        self.varz_callback = varz_callback
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "MetricsServer":
+        """Bind and serve on a daemon thread; returns self (idempotent)."""
+        if self._httpd is not None:
+            return self
+        owner = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+                owner._handle(self)
+
+            def log_message(self, *args) -> None:
+                pass  # scrapes every few seconds would spam stderr
+
+        self._httpd = ThreadingHTTPServer((self.host, self.port), Handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="solap-metrics-httpd",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and release the port (idempotent)."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def running(self) -> bool:
+        return self._httpd is not None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _handle(self, request: BaseHTTPRequestHandler) -> None:
+        path = request.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                body = self.registry.render_prometheus().encode("utf-8")
+                self._respond(request, 200, PROMETHEUS_CONTENT_TYPE, body)
+            elif path == "/healthz":
+                healthy = (
+                    self.health_callback() if self.health_callback else True
+                )
+                status = 200 if healthy else 503
+                body = json.dumps(
+                    {"status": "ok" if healthy else "unhealthy"}
+                ).encode("utf-8")
+                self._respond(request, status, "application/json", body)
+            elif path == "/varz":
+                doc = (
+                    self.varz_callback()
+                    if self.varz_callback
+                    else self.registry.snapshot()
+                )
+                body = json.dumps(doc, default=repr).encode("utf-8")
+                self._respond(request, 200, "application/json", body)
+            else:
+                body = json.dumps(
+                    {"error": f"unknown path {path!r}",
+                     "paths": ["/metrics", "/healthz", "/varz"]}
+                ).encode("utf-8")
+                self._respond(request, 404, "application/json", body)
+        except Exception as error:  # noqa: BLE001 - keep the server alive
+            body = json.dumps(
+                {"error": f"{type(error).__name__}: {error}"}
+            ).encode("utf-8")
+            self._respond(request, 500, "application/json", body)
+
+    @staticmethod
+    def _respond(
+        request: BaseHTTPRequestHandler,
+        status: int,
+        content_type: str,
+        body: bytes,
+    ) -> None:
+        request.send_response(status)
+        request.send_header("Content-Type", content_type)
+        request.send_header("Content-Length", str(len(body)))
+        request.end_headers()
+        request.wfile.write(body)
+
+    def __repr__(self) -> str:
+        state = "serving" if self.running else "stopped"
+        return f"MetricsServer({self.url}, {state})"

@@ -1,0 +1,258 @@
+"""Structured JSON logging for query-lifecycle events.
+
+Built on stdlib :mod:`logging`: the service emits one record per
+lifecycle event (admitted, started, finished, timed out, rejected, cache
+hit, index built, session evicted) through a :class:`QueryLogger`, and
+:class:`JsonLineFormatter` renders each record as a single JSON line —
+machine-parseable, greppable, and shippable to any log pipeline.
+
+The emission path is cheap when nobody is listening: every event goes
+through ``Logger.isEnabledFor`` first, so with logging unconfigured (the
+default — the ``solap`` logger has no handlers and the root level is
+WARNING) an event costs one level check and returns.
+
+Slow-query capture: :class:`QueryLogger` takes a threshold in seconds;
+any query whose wall time crosses it additionally emits a ``slow_query``
+record at WARNING with the query's EXPLAIN ANALYZE plan embedded as JSON
+(when the query ran under tracing — the service turns tracing on
+automatically whenever a slow-query threshold is configured).
+
+Usage::
+
+    from repro.obs.logging import configure_logging
+
+    configure_logging()                      # JSON lines on stderr
+    service = QueryService(db, ServiceConfig(slow_query_seconds=0.5))
+
+Every line round-trips through ``json.loads``::
+
+    {"ts": "2026-08-06T12:00:00.123+00:00", "level": "INFO",
+     "logger": "solap.query", "event": "query_finished",
+     "log_schema": 1, "query_id": "q000001", "strategy": "CB",
+     "wall_ms": 12.3, ...}
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from datetime import datetime, timezone
+from typing import IO, Optional
+
+#: bump when the shape of emitted documents changes incompatibly
+LOG_SCHEMA = 1
+
+#: parent logger every repro component logs under
+ROOT_LOGGER_NAME = "solap"
+
+#: the query-lifecycle event stream
+QUERY_LOGGER_NAME = "solap.query"
+
+# Library logging convention: a NullHandler on the package root stops
+# logging.lastResort from dumping bare event names to stderr when the
+# application never configured logging, while leaving propagation to
+# application handlers intact.
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+class JsonLineFormatter(logging.Formatter):
+    """Render each record as one JSON object per line.
+
+    Structured fields travel on the record as the ``solap`` attribute (a
+    dict passed via ``extra={"solap": {...}}``); the event name is the
+    log message itself.  Non-serialisable values fall back to ``repr``.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc = {
+            "ts": datetime.fromtimestamp(
+                record.created, tz=timezone.utc
+            ).isoformat(timespec="milliseconds"),
+            "level": record.levelname,
+            "logger": record.name,
+            "event": record.getMessage(),
+            "log_schema": LOG_SCHEMA,
+        }
+        fields = getattr(record, "solap", None)
+        if isinstance(fields, dict):
+            doc.update(fields)
+        if record.exc_info:
+            doc["exception"] = self.formatException(record.exc_info)
+        return json.dumps(doc, default=repr)
+
+
+def configure_logging(
+    stream: Optional[IO[str]] = None,
+    level: int = logging.INFO,
+    logger_name: str = ROOT_LOGGER_NAME,
+) -> logging.Logger:
+    """Attach a JSON-lines handler to the ``solap`` logger tree.
+
+    Idempotent per stream: calling twice with the same stream does not
+    duplicate handlers.  Returns the configured logger.  *stream*
+    defaults to stderr (the stdlib StreamHandler default).
+    """
+    logger = logging.getLogger(logger_name)
+    for handler in logger.handlers:
+        if (
+            isinstance(handler, logging.StreamHandler)
+            and isinstance(handler.formatter, JsonLineFormatter)
+            and (stream is None or handler.stream is stream)
+        ):
+            break
+    else:
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(JsonLineFormatter())
+        logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger
+
+
+class QueryLogger:
+    """Emits query-lifecycle events as structured records.
+
+    All emission methods are no-ops (one ``isEnabledFor`` check) when the
+    target logger's effective level filters the event out, so the logger
+    can stay permanently wired into the service.
+    """
+
+    def __init__(
+        self,
+        logger: Optional[logging.Logger] = None,
+        slow_query_seconds: Optional[float] = None,
+    ):
+        self.logger = logger or logging.getLogger(QUERY_LOGGER_NAME)
+        self.slow_query_seconds = slow_query_seconds
+
+    def event(self, name: str, level: int = logging.INFO, **fields) -> None:
+        """Emit one structured event (fields become top-level JSON keys)."""
+        if not self.logger.isEnabledFor(level):
+            return
+        payload = {
+            key: value for key, value in fields.items() if value is not None
+        }
+        self.logger.log(level, name, extra={"solap": payload})
+
+    # -- lifecycle events ----------------------------------------------
+    def query_admitted(
+        self,
+        query_id: str,
+        wait_seconds: float,
+        session_id: Optional[str] = None,
+    ) -> None:
+        self.event(
+            "query_admitted",
+            query_id=query_id,
+            wait_ms=round(wait_seconds * 1000.0, 3),
+            session_id=session_id,
+        )
+
+    def query_started(
+        self,
+        query_id: str,
+        strategy: str,
+        session_id: Optional[str] = None,
+    ) -> None:
+        self.event(
+            "query_started",
+            query_id=query_id,
+            strategy=strategy,
+            session_id=session_id,
+        )
+
+    def query_finished(
+        self,
+        query_id: str,
+        stats,
+        wall_seconds: float,
+        session_id: Optional[str] = None,
+    ) -> None:
+        """One record per answered query; a second one when it was slow."""
+        fields = {
+            "query_id": query_id,
+            "session_id": session_id,
+            "strategy": getattr(stats, "strategy", ""),
+            "wall_ms": round(wall_seconds * 1000.0, 3),
+            "engine_ms": round(
+                getattr(stats, "runtime_seconds", 0.0) * 1000.0, 3
+            ),
+            "sequences_scanned": getattr(stats, "sequences_scanned", 0),
+            "indices_built": getattr(stats, "indices_built", 0),
+            "index_bytes_built": getattr(stats, "index_bytes_built", 0),
+            "cuboid_cache_hit": getattr(stats, "cuboid_cache_hit", False),
+            "sequence_cache_hit": getattr(stats, "sequence_cache_hit", False),
+        }
+        self.event("query_finished", **fields)
+        if getattr(stats, "cuboid_cache_hit", False):
+            self.event(
+                "cuboid_cache_hit", query_id=query_id, session_id=session_id
+            )
+        if getattr(stats, "indices_built", 0):
+            self.event(
+                "index_built",
+                query_id=query_id,
+                indices_built=stats.indices_built,
+                index_bytes_built=stats.index_bytes_built,
+            )
+        threshold = self.slow_query_seconds
+        if threshold is not None and wall_seconds >= threshold:
+            slow_fields = dict(fields)
+            slow_fields["threshold_ms"] = round(threshold * 1000.0, 3)
+            plan = getattr(stats, "plan", None)
+            if plan is not None:
+                slow_fields["plan"] = plan.to_dict()
+            self.event("slow_query", logging.WARNING, **slow_fields)
+
+    def query_timed_out(
+        self,
+        query_id: str,
+        budget_seconds: Optional[float],
+        elapsed_seconds: float,
+        session_id: Optional[str] = None,
+    ) -> None:
+        self.event(
+            "query_timed_out",
+            logging.WARNING,
+            query_id=query_id,
+            session_id=session_id,
+            budget_ms=(
+                round(budget_seconds * 1000.0, 3)
+                if budget_seconds is not None
+                else None
+            ),
+            elapsed_ms=round(elapsed_seconds * 1000.0, 3),
+        )
+
+    def query_rejected(
+        self, query_id: str, inflight: int, limit: int
+    ) -> None:
+        self.event(
+            "query_rejected",
+            logging.WARNING,
+            query_id=query_id,
+            inflight=inflight,
+            limit=limit,
+        )
+
+    def query_failed(
+        self,
+        query_id: str,
+        error: BaseException,
+        session_id: Optional[str] = None,
+    ) -> None:
+        self.event(
+            "query_failed",
+            logging.ERROR,
+            query_id=query_id,
+            session_id=session_id,
+            error_type=type(error).__name__,
+            error=str(error),
+        )
+
+    def session_evicted(self, session_id: str, steps_executed: int) -> None:
+        self.event(
+            "session_evicted",
+            session_id=session_id,
+            steps_executed=steps_executed,
+        )

@@ -1,76 +1,30 @@
-"""Lightweight service observability: counters and latency histograms.
+"""Service observability, backed by the shared metrics registry.
 
-No third-party client, no exporters — just thread-safe counters, a
-fixed-bucket latency histogram with quantile estimation, and a text
-renderer for ``solap service-stats``.  The service also folds the engine's
-cache counters (sequence cache, cuboid repository, index registries) into
-every snapshot so one call answers "where is the time going and what is
-the memory buying".
+Historically this module kept private counter dicts and histograms; it is
+now a thin façade over :class:`repro.obs.metrics.MetricsRegistry`, so the
+same state that feeds ``solap service-stats`` is scrapeable from
+``/metrics`` in Prometheus text format (see :mod:`repro.obs.httpd`) with
+no double bookkeeping.  The histogram implementation lives in
+:mod:`repro.obs.metrics` as :class:`~repro.obs.metrics.BucketHistogram`;
+``LatencyHistogram`` remains this module's public name for it.
 """
 
 from __future__ import annotations
 
 import threading
-from bisect import bisect_left
 from typing import Dict, List, Optional, Tuple
 
-#: histogram bucket upper bounds in seconds (log-ish spacing, +inf last)
-LATENCY_BUCKETS: Tuple[float, ...] = (
-    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
-    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, float("inf"),
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    BucketHistogram,
+    MetricsRegistry,
 )
 
+#: histogram bucket upper bounds in seconds (log-ish spacing, +inf last)
+LATENCY_BUCKETS: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
 
-class LatencyHistogram:
-    """Fixed-bucket histogram of durations in seconds."""
-
-    def __init__(self, buckets: Tuple[float, ...] = LATENCY_BUCKETS):
-        if not buckets or buckets[-1] != float("inf"):
-            raise ValueError("last histogram bucket must be +inf")
-        self.buckets = buckets
-        self.counts = [0] * len(buckets)
-        self.total = 0.0
-        self.count = 0
-        self.max_observed = 0.0
-
-    def observe(self, seconds: float) -> None:
-        index = bisect_left(self.buckets, seconds)
-        self.counts[min(index, len(self.buckets) - 1)] += 1
-        self.total += seconds
-        self.count += 1
-        if seconds > self.max_observed:
-            self.max_observed = seconds
-
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def quantile(self, q: float) -> float:
-        """Approximate q-quantile: the upper bound of the bucket holding it.
-
-        The +inf bucket reports the maximum ever observed instead, so p99
-        stays finite and meaningful.
-        """
-        if not 0.0 <= q <= 1.0:
-            raise ValueError("quantile must be in [0, 1]")
-        if self.count == 0:
-            return 0.0
-        target = q * self.count
-        cumulative = 0
-        for bound, count in zip(self.buckets, self.counts):
-            cumulative += count
-            if cumulative >= target:
-                return self.max_observed if bound == float("inf") else bound
-        return self.max_observed
-
-    def snapshot(self) -> Dict[str, float]:
-        return {
-            "count": self.count,
-            "mean_seconds": self.mean(),
-            "p50_seconds": self.quantile(0.50),
-            "p95_seconds": self.quantile(0.95),
-            "p99_seconds": self.quantile(0.99),
-            "max_seconds": self.max_observed,
-        }
+#: the canonical fixed-bucket histogram (kept under its historical name)
+LatencyHistogram = BucketHistogram
 
 
 #: the counters every service exports (created eagerly so snapshots are
@@ -93,36 +47,98 @@ COUNTER_NAMES: Tuple[str, ...] = (
     "strategy_cache",
 )
 
+_STRATEGY_PREFIX = "strategy_"
+
+
+def _prometheus_name(counter_name: str) -> str:
+    """Map a short service counter name onto a Prometheus metric name."""
+    base = counter_name
+    if not base.endswith("_total"):
+        base += "_total"
+    return f"solap_service_{base}"
+
 
 class ServiceMetrics:
-    """Thread-safe counter/histogram registry for one service instance."""
+    """Thread-safe counter/histogram façade for one service instance.
 
-    def __init__(self) -> None:
+    All state lives in instruments registered on ``self.registry`` (a
+    private :class:`MetricsRegistry` unless one is passed in), so the
+    service, the ``/metrics`` endpoint and ``solap service-stats`` all
+    read the same numbers.  The short counter names of
+    :data:`COUNTER_NAMES` remain the lookup API (``metrics["queries_ok"]``);
+    ``strategy_*`` counters become one labelled family
+    (``solap_service_queries_by_strategy_total{strategy="cb"}``).
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._lock = threading.Lock()
-        self._counters: Dict[str, int] = {name: 0 for name in COUNTER_NAMES}
-        self.latency = LatencyHistogram()
-        self.queue_wait = LatencyHistogram()
-        #: span-derived per-stage wall time (stage name -> (count, seconds)),
-        #: fed by the service from traced (analyze=True) executions
-        self._stages: Dict[str, Tuple[int, float]] = {}
+        self._counters: Dict[str, object] = {}
+        self._strategy_family = self.registry.counter(
+            "solap_service_queries_by_strategy_total",
+            "Queries answered through the service, by construction strategy",
+            labels=("strategy",),
+        )
+        for name in COUNTER_NAMES:
+            self._counter_child(name)
+        self._latency = self.registry.histogram(
+            "solap_service_query_latency_seconds",
+            "End-to-end query wall time inside the service",
+        ).labels()
+        self._queue_wait = self.registry.histogram(
+            "solap_service_admission_wait_seconds",
+            "Time requests spent waiting for an execution slot",
+        ).labels()
+        self._stage_runs = self.registry.counter(
+            "solap_service_stage_runs_total",
+            "Traced pipeline-stage executions",
+            labels=("stage",),
+        )
+        self._stage_seconds = self.registry.counter(
+            "solap_service_stage_seconds_total",
+            "Traced pipeline-stage wall time in seconds",
+            labels=("stage",),
+        )
+
+    # ------------------------------------------------------------------
+    def _counter_child(self, name: str):
+        """The instrument behind one short counter name (created lazily)."""
+        with self._lock:
+            child = self._counters.get(name)
+            if child is None:
+                if name.startswith(_STRATEGY_PREFIX):
+                    child = self._strategy_family.labels(
+                        name[len(_STRATEGY_PREFIX):]
+                    )
+                else:
+                    child = self.registry.counter(
+                        _prometheus_name(name),
+                        f"Service counter {name}",
+                    ).labels()
+                self._counters[name] = child
+            return child
+
+    @property
+    def latency(self) -> BucketHistogram:
+        return self._latency.hist
+
+    @property
+    def queue_wait(self) -> BucketHistogram:
+        return self._queue_wait.hist
 
     def inc(self, name: str, amount: int = 1) -> None:
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + amount
+        self._counter_child(name).inc(amount)
 
     def observe_latency(self, seconds: float) -> None:
-        with self._lock:
-            self.latency.observe(seconds)
+        self._latency.observe(seconds)
 
     def observe_queue_wait(self, seconds: float) -> None:
-        with self._lock:
-            self.queue_wait.observe(seconds)
+        self._queue_wait.observe(seconds)
 
     def observe_stage(self, name: str, seconds: float) -> None:
         """Accumulate one pipeline-stage duration (from a tracing span)."""
-        with self._lock:
-            count, total = self._stages.get(name, (0, 0.0))
-            self._stages[name] = (count + 1, total + seconds)
+        self._stage_runs.labels(name).inc()
+        self._stage_seconds.labels(name).inc(seconds)
 
     def count_strategy(self, strategy: str) -> None:
         """Bump the per-strategy counter from a QueryStats.strategy label."""
@@ -132,24 +148,36 @@ class ServiceMetrics:
 
     def __getitem__(self, name: str) -> int:
         with self._lock:
-            return self._counters.get(name, 0)
+            child = self._counters.get(name)
+        return int(child.value) if child is not None else 0
+
+    def _stage_snapshot(self) -> Dict[str, dict]:
+        seconds_by_stage = {
+            labels[0]: child.value
+            for labels, child in self._stage_seconds.children()
+        }
+        out: Dict[str, dict] = {}
+        for labels, child in self._stage_runs.children():
+            stage = labels[0]
+            count = int(child.value)
+            total = seconds_by_stage.get(stage, 0.0)
+            out[stage] = {
+                "count": count,
+                "total_seconds": total,
+                "mean_seconds": total / count if count else 0.0,
+            }
+        return out
 
     def snapshot(self, engine_stats: Optional[dict] = None) -> dict:
         """All counters plus latency summaries (and engine cache state)."""
         with self._lock:
-            out: dict = {
-                "counters": dict(self._counters),
-                "latency": self.latency.snapshot(),
-                "queue_wait": self.queue_wait.snapshot(),
-                "stages": {
-                    name: {
-                        "count": count,
-                        "total_seconds": total,
-                        "mean_seconds": total / count if count else 0.0,
-                    }
-                    for name, (count, total) in sorted(self._stages.items())
-                },
-            }
+            names = list(self._counters)
+        out: dict = {
+            "counters": {name: self[name] for name in sorted(names)},
+            "latency": self.latency.snapshot(),
+            "queue_wait": self.queue_wait.snapshot(),
+            "stages": self._stage_snapshot(),
+        }
         if engine_stats is not None:
             out["engine"] = engine_stats
         return out
@@ -188,6 +216,7 @@ class ServiceMetrics:
                 "  sequence cache: "
                 f"{seq['entries']}/{seq['capacity']} entries, "
                 f"hits={seq['hits']}, misses={seq['misses']}, "
+                f"evictions={seq.get('evictions', 0)}, "
                 f"hit-ratio={seq['hit_ratio']:.2f}"
             )
             repo_total = repo["hits"] + repo["misses"]
@@ -197,11 +226,13 @@ class ServiceMetrics:
                 f"{repo['entries']}/{repo['capacity']} cuboids, "
                 f"{repo['bytes'] / 1e6:.3f} MB, "
                 f"hits={repo['hits']}, misses={repo['misses']}, "
+                f"evictions={repo.get('evictions', 0)}, "
                 f"hit-ratio={repo_ratio:.2f}"
             )
             lines.append(
                 "  index registries: "
                 f"{reg['indices']} indices over {reg['pipelines']} "
-                f"pipeline(s), {reg['bytes'] / 1e6:.3f} MB"
+                f"pipeline(s), {reg['bytes'] / 1e6:.3f} MB, "
+                f"evictions={reg.get('evictions', 0)}"
             )
         return "\n".join(lines)

@@ -32,6 +32,7 @@ query where it can.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -49,6 +50,9 @@ from repro.errors import (
     SOLAPError,
 )
 from repro.events.database import EventDatabase
+from repro.obs.httpd import MetricsServer
+from repro.obs.logging import QueryLogger
+from repro.obs.metrics import MetricsRegistry, register_engine_metrics
 from repro.obs.spans import span
 from repro.service.config import ServiceConfig
 from repro.service.deadline import Deadline
@@ -84,6 +88,10 @@ class QueryService:
         self,
         db_or_engine,
         config: Optional[ServiceConfig] = None,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        expose_metrics_port: Optional[int] = None,
+        query_logger: Optional[QueryLogger] = None,
     ):
         self.config = config or ServiceConfig()
         if isinstance(db_or_engine, SOLAPEngine):
@@ -95,7 +103,15 @@ class QueryService:
                 "QueryService needs an EventDatabase or an SOLAPEngine, "
                 f"got {type(db_or_engine).__name__}"
             )
-        self.metrics = ServiceMetrics()
+        #: the shared metrics registry behind service counters, engine
+        #: cache gauges, /metrics and ``service-stats --format prom``
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.metrics = ServiceMetrics(self.registry)
+        register_engine_metrics(self.registry, self.engine)
+        self.log = query_logger or QueryLogger(
+            slow_query_seconds=self.config.slow_query_seconds
+        )
+        self._query_ids = itertools.count(1)
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.max_workers,
             thread_name_prefix="solap-scan",
@@ -117,6 +133,32 @@ class QueryService:
             on_pipeline_orphaned=self._pipeline_orphaned,
         )
         self._closed = False
+        self.registry.gauge(
+            "solap_service_sessions_active", "Live sessions"
+        ).set_function(lambda: len(self.sessions))
+        self.registry.gauge(
+            "solap_service_sessions_bytes",
+            "Estimated bytes of session-cached cuboids",
+        ).set_function(lambda: self.sessions.bytes_used)
+        self.registry.gauge(
+            "solap_service_inflight_requests",
+            "Requests currently running or queued for admission",
+        ).set_function(lambda: self._inflight)
+        #: /metrics exporter, when configured (constructor kwarg wins)
+        self.metrics_server: Optional[MetricsServer] = None
+        port = (
+            expose_metrics_port
+            if expose_metrics_port is not None
+            else self.config.expose_metrics_port
+        )
+        if port is not None:
+            self.metrics_server = MetricsServer(
+                self.registry,
+                host=self.config.metrics_host,
+                port=port,
+                health_callback=lambda: not self._closed,
+                varz_callback=self.snapshot,
+            ).start()
 
     # ------------------------------------------------------------------
     # One-shot queries
@@ -127,6 +169,7 @@ class QueryService:
         strategy: str = "auto",
         timeout: object = _UNSET,
         analyze: bool = False,
+        session_id: Optional[str] = None,
     ) -> Tuple[SCuboid, QueryStats]:
         """Answer one query under admission control and a deadline.
 
@@ -134,10 +177,14 @@ class QueryService:
         default, pass None for unbounded.  *analyze* runs the query
         under EXPLAIN ANALYZE tracing (``stats.plan`` / ``stats.trace``)
         and folds the measured stage timings into the service metrics.
+        Queries are also analyzed when a slow-query threshold is
+        configured, so slow-query log records carry a measured plan.
+        *session_id* only labels this query's log records.
         """
         if self._closed:
             raise ServiceError("service is shut down")
         self.metrics.inc("requests_total")
+        query_id = f"q{next(self._query_ids):06d}"
         budget = (
             self.config.default_timeout_seconds
             if timeout is _UNSET
@@ -146,6 +193,9 @@ class QueryService:
         with self._admission_lock:
             if self._inflight >= self.config.admission_limit:
                 self.metrics.inc("overload_rejected_total")
+                self.log.query_rejected(
+                    query_id, self._inflight, self.config.admission_limit
+                )
                 raise ServiceOverloadedError(
                     inflight=self._inflight,
                     limit=self.config.admission_limit,
@@ -166,13 +216,22 @@ class QueryService:
             if not acquired:
                 # The whole budget went to waiting in the admission queue.
                 self.metrics.inc("deadline_exceeded_total")
+                self.log.query_timed_out(
+                    query_id,
+                    deadline.budget_seconds,  # type: ignore[union-attr]
+                    deadline.elapsed(),  # type: ignore[union-attr]
+                    session_id,
+                )
                 raise QueryTimeoutError(
                     "query deadline exceeded while queued",
                     budget_seconds=deadline.budget_seconds,  # type: ignore[union-attr]
                     elapsed_seconds=deadline.elapsed(),  # type: ignore[union-attr]
                 )
+            self.log.query_admitted(query_id, waited, session_id)
             try:
-                return self._run(spec, strategy, deadline, analyze)
+                return self._run(
+                    spec, strategy, deadline, analyze, query_id, session_id
+                )
             finally:
                 self._slots.release()
         finally:
@@ -185,27 +244,42 @@ class QueryService:
         strategy: str,
         deadline: Optional[Deadline],
         analyze: bool = False,
+        query_id: str = "",
+        session_id: Optional[str] = None,
     ) -> Tuple[SCuboid, QueryStats]:
         start = time.perf_counter()
+        self.log.query_started(query_id, strategy, session_id)
+        # A configured slow-query threshold forces tracing so the slow
+        # entry can embed the measured EXPLAIN ANALYZE plan.
+        analyze = analyze or self.config.slow_query_seconds is not None
         try:
             with self._engine_lock:
                 cuboid, stats = self.engine.execute(
                     spec, strategy, deadline=deadline, analyze=analyze
                 )
                 self._enforce_index_budget()
-        except QueryTimeoutError:
+        except QueryTimeoutError as error:
             self.metrics.inc("deadline_exceeded_total")
+            self.log.query_timed_out(
+                query_id,
+                getattr(error, "budget_seconds", None),
+                time.perf_counter() - start,
+                session_id,
+            )
             raise
-        except SOLAPError:
+        except SOLAPError as error:
             self.metrics.inc("queries_failed")
+            self.log.query_failed(query_id, error, session_id)
             raise
-        self.metrics.observe_latency(time.perf_counter() - start)
+        wall = time.perf_counter() - start
+        self.metrics.observe_latency(wall)
         self.metrics.inc("queries_ok")
         self.metrics.count_strategy(stats.strategy)
         if "parallel_shards" in stats.extra:
             self.metrics.inc("parallel_scans_total")
         if stats.trace is not None:
             self._observe_stages(stats.trace)
+        self.log.query_finished(query_id, stats, wall, session_id)
         return cuboid, stats
 
     def _observe_stages(self, root) -> None:
@@ -240,7 +314,9 @@ class QueryService:
         """Execute the session's current spec and cache the result."""
         entry = self.sessions.get(session_id)
         spec, strategy = entry.spec, entry.strategy
-        cuboid, stats = self.execute(spec, strategy, timeout)
+        cuboid, stats = self.execute(
+            spec, strategy, timeout, session_id=session_id
+        )
         self.sessions.record(session_id, spec, cuboid, stats)
         return cuboid, stats
 
@@ -271,7 +347,9 @@ class QueryService:
             )
         else:
             new_spec = transform(entry.spec, *args, **kwargs)
-        cuboid, stats = self.execute(new_spec, entry.strategy, timeout)
+        cuboid, stats = self.execute(
+            new_spec, entry.strategy, timeout, session_id=session_id
+        )
         self.sessions.record(session_id, new_spec, cuboid, stats)
         return cuboid, stats
 
@@ -287,6 +365,7 @@ class QueryService:
 
     def _session_evicted(self, entry: SessionEntry) -> None:
         self.metrics.inc("sessions_evicted")
+        self.log.session_evicted(entry.session_id, entry.steps_executed)
 
     def _pipeline_orphaned(self, pipeline_key: object) -> None:
         """No live session references this pipeline: release its state."""
@@ -326,6 +405,8 @@ class QueryService:
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting work and release the worker pool (idempotent)."""
         self._closed = True
+        if self.metrics_server is not None:
+            self.metrics_server.stop()
         self.engine.cb_scanner = None
         self._pool.shutdown(wait=wait)
 

@@ -108,6 +108,25 @@ class TestSequenceCacheOrdering:
     def test_hit_ratio_with_no_traffic(self):
         assert SequenceCache(2).hit_ratio() == 0.0
 
+    def test_evictions_counted(self):
+        cache = SequenceCache(2)
+        cache.put("a", 1)  # type: ignore[arg-type]
+        cache.put("b", 2)  # type: ignore[arg-type]
+        assert cache.evictions == 0
+        cache.put("c", 3)  # type: ignore[arg-type]
+        cache.put("d", 4)  # type: ignore[arg-type]
+        assert cache.evictions == 2
+        assert cache.stats()["evictions"] == 2
+        assert "evictions=2" in repr(cache)
+
+    def test_invalidate_and_clear_are_not_evictions(self):
+        cache = SequenceCache(2)
+        cache.put("a", 1)  # type: ignore[arg-type]
+        cache.invalidate("a")
+        cache.put("b", 2)  # type: ignore[arg-type]
+        cache.clear()
+        assert cache.evictions == 0
+
 
 class TestCuboidRepository:
     def test_put_get_hit_stats(self):
@@ -166,3 +185,25 @@ class TestCuboidRepository:
         assert estimate_cuboid_bytes(make_cuboid(10)) > estimate_cuboid_bytes(
             make_cuboid(1)
         )
+
+    def test_evictions_counted(self):
+        repo = CuboidRepository(capacity=2)
+        repo.put("a", make_cuboid())
+        repo.put("b", make_cuboid())
+        assert repo.evictions == 0
+        repo.put("c", make_cuboid())
+        assert repo.evictions == 1
+        assert "evictions=1" in repr(repo)
+
+    def test_byte_budget_evictions_counted(self):
+        small = estimate_cuboid_bytes(make_cuboid(1))
+        repo = CuboidRepository(capacity=100, byte_budget=int(small * 2.5))
+        for key in ("a", "b", "c", "d"):
+            repo.put(key, make_cuboid(1))
+        assert repo.evictions == 2
+
+    def test_invalidate_is_not_an_eviction(self):
+        repo = CuboidRepository()
+        repo.put("a", make_cuboid())
+        repo.invalidate("a")
+        assert repo.evictions == 0

@@ -139,3 +139,73 @@ class TestAdvise:
         )
         assert code == 0
         assert "no indices" in capsys.readouterr().out
+
+
+class TestServiceStats:
+    def test_text_report(self, dataset, queryfile, capsys):
+        code = main(
+            ["service-stats", str(dataset), str(queryfile), "--repeat", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "requests_total: 2" in out
+
+    def test_json_format(self, dataset, queryfile, capsys):
+        import json
+
+        code = main(
+            ["service-stats", str(dataset), str(queryfile),
+             "--repeat", "1", "--format", "json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["counters"]["queries_ok"] == 1
+        assert "latency" in doc and "engine" in doc
+
+    def test_prom_format(self, dataset, queryfile, capsys):
+        code = main(
+            ["service-stats", str(dataset), str(queryfile),
+             "--repeat", "1", "--format", "prom"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE solap_service_requests_total counter" in out
+        assert "solap_service_requests_total 1" in out
+        assert 'solap_service_query_latency_seconds_bucket{le="+Inf"} 1' in out
+
+
+class TestServeMetrics:
+    def test_serves_workload_then_exits(self, dataset, queryfile, capsys):
+        import json
+        import re
+        import threading
+        import urllib.request
+
+        # scrape the exporter mid-run: the --duration window keeps the
+        # server alive after the workload finishes
+        results = {}
+
+        def run():
+            results["code"] = main(
+                ["serve-metrics", str(dataset), str(queryfile),
+                 "--port", "0", "--repeat", "2", "--duration", "5"]
+            )
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        url = None
+        for __ in range(100):
+            out = capsys.readouterr().out
+            match = re.search(r"http://127\.0\.0\.1:\d+", out)
+            if match:
+                url = match.group(0)
+                break
+            thread.join(timeout=0.05)
+        assert url is not None, "serve-metrics never printed its URL"
+        with urllib.request.urlopen(url + "/healthz", timeout=5) as response:
+            assert json.loads(response.read()) == {"status": "ok"}
+        with urllib.request.urlopen(url + "/metrics", timeout=5) as response:
+            body = response.read().decode()
+        assert "solap_service_requests_total" in body
+        thread.join(timeout=30)
+        assert results["code"] == 0

@@ -1,0 +1,149 @@
+"""Unit tests for the HTTP telemetry exporter (repro.obs.httpd)."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import QueryService, ServiceConfig
+from repro.obs.httpd import PROMETHEUS_CONTENT_TYPE, MetricsServer
+from repro.obs.metrics import MetricsRegistry
+from tests.conftest import figure8_spec, make_figure8_db
+
+
+def fetch(url: str):
+    """(status, content_type, body_text) — 4xx/5xx do not raise."""
+    try:
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return (
+                response.status,
+                response.headers.get("Content-Type"),
+                response.read().decode("utf-8"),
+            )
+    except urllib.error.HTTPError as error:
+        return error.code, error.headers.get("Content-Type"), (
+            error.read().decode("utf-8")
+        )
+
+
+@pytest.fixture
+def server():
+    registry = MetricsRegistry()
+    registry.counter("demo_total", "A demo counter").inc(5)
+    registry.histogram(
+        "demo_seconds", "A demo histogram", buckets=(0.1, float("inf"))
+    ).observe(0.05)
+    with MetricsServer(registry, port=0) as srv:
+        yield srv
+
+
+def parse_prometheus(text: str):
+    """{metric name: {label part: value}} plus the set of TYPE lines."""
+    samples, types = {}, {}
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            __, __, name, kind = line.split(" ")
+            types[name] = kind
+        elif line and not line.startswith("#"):
+            key, value = line.rsplit(" ", 1)
+            samples[key] = float(value.replace("+Inf", "inf"))
+    return samples, types
+
+
+class TestMetricsServer:
+    def test_port_zero_binds_ephemeral(self, server):
+        assert server.port != 0
+        assert server.running
+        assert server.url == f"http://127.0.0.1:{server.port}"
+
+    def test_metrics_parses_as_prometheus_text(self, server):
+        status, ctype, body = fetch(server.url + "/metrics")
+        assert status == 200
+        assert ctype == PROMETHEUS_CONTENT_TYPE
+        samples, types = parse_prometheus(body)
+        assert types["demo_total"] == "counter"
+        assert types["demo_seconds"] == "histogram"
+        assert samples["demo_total"] == 5
+        # histogram triple: cumulative buckets, sum, count
+        assert samples['demo_seconds_bucket{le="0.1"}'] == 1
+        assert samples['demo_seconds_bucket{le="+Inf"}'] == 1
+        assert samples["demo_seconds_sum"] == pytest.approx(0.05)
+        assert samples["demo_seconds_count"] == 1
+
+    def test_healthz_ok(self, server):
+        status, ctype, body = fetch(server.url + "/healthz")
+        assert status == 200
+        assert ctype == "application/json"
+        assert json.loads(body) == {"status": "ok"}
+
+    def test_healthz_unhealthy_is_503(self):
+        registry = MetricsRegistry()
+        with MetricsServer(
+            registry, port=0, health_callback=lambda: False
+        ) as srv:
+            status, __, body = fetch(srv.url + "/healthz")
+        assert status == 503
+        assert json.loads(body) == {"status": "unhealthy"}
+
+    def test_varz_returns_registry_snapshot(self, server):
+        status, ctype, body = fetch(server.url + "/varz")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["demo_total"]["series"][""] == 5.0
+
+    def test_unknown_path_404(self, server):
+        status, __, body = fetch(server.url + "/nope")
+        assert status == 404
+        assert "/metrics" in json.loads(body)["paths"]
+
+    def test_stop_is_idempotent(self):
+        server = MetricsServer(MetricsRegistry(), port=0).start()
+        assert server.start() is server  # idempotent
+        server.stop()
+        assert not server.running
+        server.stop()
+
+
+class TestServiceExporter:
+    def test_service_serves_metrics_while_querying(self):
+        config = ServiceConfig(expose_metrics_port=0)
+        with QueryService(make_figure8_db(), config) as service:
+            assert service.metrics_server is not None
+            assert service.metrics_server.running
+            url = service.metrics_server.url
+            service.execute(figure8_spec(("X", "Y")), "cb")
+            service.execute(figure8_spec(("X", "Y")), "cb")
+
+            status, __, body = fetch(url + "/metrics")
+            assert status == 200
+            samples, types = parse_prometheus(body)
+            assert types["solap_engine_queries_total"] == "counter"
+            assert samples['solap_engine_queries_total{strategy="cb"}'] == 1
+            assert (
+                samples['solap_engine_queries_total{strategy="cache"}'] == 1
+            )
+            assert samples["solap_service_requests_total"] == 2
+            assert samples["solap_service_query_latency_seconds_count"] == 2
+
+            status, __, body = fetch(url + "/healthz")
+            assert status == 200
+
+            status, __, body = fetch(url + "/varz")
+            snapshot = json.loads(body)
+            assert snapshot["counters"]["queries_ok"] == 2
+
+        # shutdown stops the exporter
+        assert not service.metrics_server.running
+
+    def test_kwarg_overrides_config(self):
+        with QueryService(
+            make_figure8_db(), expose_metrics_port=0
+        ) as service:
+            assert service.metrics_server is not None
+            status, __, __body = fetch(
+                service.metrics_server.url + "/healthz"
+            )
+            assert status == 200

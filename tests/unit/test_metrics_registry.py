@@ -1,0 +1,262 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import SOLAPEngine
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    BucketHistogram,
+    MetricsRegistry,
+    register_engine_metrics,
+)
+from tests.conftest import figure8_spec, make_figure8_db
+
+
+class TestBucketHistogram:
+    def test_observe_and_quantiles(self):
+        hist = BucketHistogram(buckets=(0.01, 0.1, 1.0, float("inf")))
+        for value in (0.005, 0.005, 0.05, 0.5):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.total == pytest.approx(0.56)
+        assert hist.quantile(0.5) == 0.01
+        assert hist.quantile(1.0) == 1.0
+        assert hist.max_observed == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BucketHistogram(buckets=(1.0, 2.0))  # no +inf
+        with pytest.raises(ValueError):
+            BucketHistogram(buckets=(2.0, 1.0, float("inf")))  # unsorted
+
+    def test_merge_bucket_wise(self):
+        a = BucketHistogram(buckets=(0.01, 0.1, float("inf")))
+        b = BucketHistogram(buckets=(0.01, 0.1, float("inf")))
+        a.observe(0.005)
+        b.observe(0.05)
+        b.observe(5.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.counts == [1, 1, 1]
+        assert a.total == pytest.approx(5.055)
+        assert a.max_observed == 5.0
+        # b is untouched
+        assert b.count == 2
+
+    def test_merge_rejects_mismatched_buckets(self):
+        a = BucketHistogram(buckets=(0.01, float("inf")))
+        b = BucketHistogram(buckets=(0.02, float("inf")))
+        with pytest.raises(ValueError, match="different buckets"):
+            a.merge(b)
+
+    def test_merge_empty_is_identity(self):
+        a = BucketHistogram()
+        a.observe(0.2)
+        before = (list(a.counts), a.total, a.count, a.max_observed)
+        a.merge(BucketHistogram())
+        assert (list(a.counts), a.total, a.count, a.max_observed) == before
+
+
+class TestInstruments:
+    def test_counter_inc_and_value(self):
+        registry = MetricsRegistry()
+        family = registry.counter("t_total", "help")
+        family.inc()
+        family.inc(2.5)
+        assert family.value == pytest.approx(3.5)
+
+    def test_counter_rejects_negative(self):
+        family = MetricsRegistry().counter("t_total")
+        with pytest.raises(ValueError):
+            family.inc(-1)
+
+    def test_callback_counter_pulls_at_read_time(self):
+        registry = MetricsRegistry()
+        state = {"n": 0}
+        family = registry.counter("pulled_total")
+        child = family.attach_callback(lambda: state["n"])
+        state["n"] = 7
+        assert child.value == 7
+        with pytest.raises(ValueError):
+            child.inc()  # callback-backed counters are read-only
+
+    def test_gauge_set_inc_dec_and_function(self):
+        family = MetricsRegistry().gauge("g")
+        family.set(10)
+        child = family.labels()
+        child.inc(5)
+        child.dec(3)
+        assert family.value == 12
+        child.set_function(lambda: 99)
+        assert family.value == 99
+        child.set(1)  # explicit set overrides the callback
+        assert family.value == 1
+
+    def test_labelled_family_children_on_demand(self):
+        family = MetricsRegistry().counter(
+            "by_kind_total", labels=("kind",)
+        )
+        family.labels("a").inc()
+        family.labels("a").inc()
+        family.labels(kind="b").inc()
+        assert family.labels("a").value == 2
+        assert family.labels("b").value == 1
+        children = family.children()
+        assert [values for values, __ in children] == [("a",), ("b",)]
+
+    def test_label_arity_and_name_validation(self):
+        registry = MetricsRegistry()
+        family = registry.counter("v_total", labels=("kind",))
+        with pytest.raises(ValueError):
+            family.labels()  # missing the label value
+        with pytest.raises(ValueError):
+            family.labels("a", "b")
+        with pytest.raises(ValueError):
+            family.labels(wrong="a")
+        with pytest.raises(ValueError):
+            registry.counter("bad name")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", labels=("0bad",))
+
+    def test_histogram_child_observes(self):
+        family = MetricsRegistry().histogram(
+            "lat_seconds", buckets=(0.1, float("inf"))
+        )
+        family.observe(0.05)
+        family.observe(0.5)
+        snap = family.labels().snapshot()
+        assert snap["count"] == 2
+        assert snap["max_seconds"] == 0.5
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", "help", labels=("k",))
+        b = registry.counter("x_total", "other help", labels=("k",))
+        assert a is b
+        assert len(registry) == 1
+
+    def test_mismatched_reregistration_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("x_total", labels=("k",))
+
+    def test_contains_unregister_clear(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        assert "x_total" in registry
+        assert registry.unregister("x_total")
+        assert not registry.unregister("x_total")
+        registry.gauge("g")
+        registry.clear()
+        assert len(registry) == 0
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc()
+        registry.histogram("h_seconds").observe(0.1)
+        registry.counter("by_total", labels=("k",)).labels("v").inc()
+        doc = registry.snapshot()
+        assert doc["c_total"] == {"type": "counter", "series": {"": 1.0}}
+        assert doc["h_seconds"]["series"][""]["count"] == 1
+        assert doc["by_total"]["series"]["k=v"] == 1.0
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        family = MetricsRegistry().counter("c_total")
+
+        def hammer():
+            for __ in range(1000):
+                family.inc()
+
+        threads = [threading.Thread(target=hammer) for __ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert family.value == 4000
+
+
+class TestPrometheusRender:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("app_queries_total", "Queries served").inc(3)
+        registry.gauge("app_sessions", "Live sessions").set(2)
+        text = registry.render_prometheus()
+        assert "# HELP app_queries_total Queries served\n" in text
+        assert "# TYPE app_queries_total counter\n" in text
+        assert "\napp_queries_total 3\n" in text
+        assert "# TYPE app_sessions gauge\n" in text
+        assert "\napp_sessions 2\n" in text
+        assert text.endswith("\n")
+
+    def test_labelled_samples_sorted_and_escaped(self):
+        registry = MetricsRegistry()
+        family = registry.counter("by_total", labels=("k",))
+        family.labels("b").inc()
+        family.labels("a").inc(2)
+        family.labels('we"ird\n').inc()
+        text = registry.render_prometheus()
+        a = text.index('by_total{k="a"} 2')
+        b = text.index('by_total{k="b"} 1')
+        assert a < b
+        assert 'by_total{k="we\\"ird\\n"} 1' in text
+
+    def test_histogram_triple_with_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        family = registry.histogram(
+            "lat_seconds", "latency", buckets=(0.1, 1.0, float("inf"))
+        )
+        family.observe(0.05)
+        family.observe(0.5)
+        family.observe(5.0)
+        text = registry.render_prometheus()
+        assert "# TYPE lat_seconds histogram\n" in text
+        assert 'lat_seconds_bucket{le="0.1"} 1\n' in text
+        assert 'lat_seconds_bucket{le="1"} 2\n' in text  # cumulative
+        assert 'lat_seconds_bucket{le="+Inf"} 3\n' in text
+        assert "lat_seconds_sum 5.55" in text
+        assert "lat_seconds_count 3\n" in text
+
+    def test_default_buckets_end_in_inf(self):
+        assert DEFAULT_LATENCY_BUCKETS[-1] == float("inf")
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+
+class TestEngineMetrics:
+    def test_engine_families_track_query_work(self):
+        engine = SOLAPEngine(make_figure8_db())
+        registry = MetricsRegistry()
+        register_engine_metrics(registry, engine)
+        queries = registry.counter(
+            "solap_engine_queries_total", labels=("strategy",)
+        )
+        assert queries.labels("cb").value == 0
+
+        spec = figure8_spec(("X", "Y"))
+        engine.execute(spec, "cb")
+        assert queries.labels("cb").value == 1
+        engine.execute(spec, "cb")  # cuboid-repository hit
+        assert queries.labels("cache").value == 1
+
+        text = registry.render_prometheus()
+        assert 'solap_engine_queries_total{strategy="cb"} 1' in text
+        assert "solap_engine_sequences_scanned_total" in text
+        assert "solap_cuboid_repository_lookups_total" in text
+        assert 'solap_cuboid_repository_lookups_total{outcome="hit"} 1' in text
+
+    def test_registration_is_pull_based(self):
+        engine = SOLAPEngine(make_figure8_db())
+        registry = MetricsRegistry()
+        register_engine_metrics(registry, engine)
+        entries = registry.gauge("solap_sequence_cache_entries")
+        before = entries.value
+        engine.execute(figure8_spec(("X", "Y")), "cb")
+        assert entries.value == before + 1  # read at scrape time

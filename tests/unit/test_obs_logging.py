@@ -1,0 +1,167 @@
+"""Unit tests for structured query logging (repro.obs.logging)."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro import QueryService, ServiceConfig
+from repro.obs.logging import (
+    LOG_SCHEMA,
+    JsonLineFormatter,
+    QueryLogger,
+    configure_logging,
+)
+from tests.conftest import figure8_spec, make_figure8_db
+
+
+@pytest.fixture
+def capture():
+    """A dedicated logger writing JSON lines into a StringIO."""
+    stream = io.StringIO()
+    logger = logging.getLogger("solap-test-capture")
+    logger.handlers.clear()
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonLineFormatter())
+    logger.addHandler(handler)
+    logger.setLevel(logging.INFO)
+    logger.propagate = False
+    yield logger, stream
+    logger.handlers.clear()
+
+
+def lines(stream: io.StringIO) -> list:
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestJsonLineFormatter:
+    def test_round_trip_with_structured_fields(self, capture):
+        logger, stream = capture
+        logger.info("my_event", extra={"solap": {"query_id": "q1", "n": 3}})
+        (doc,) = lines(stream)
+        assert doc["event"] == "my_event"
+        assert doc["level"] == "INFO"
+        assert doc["log_schema"] == LOG_SCHEMA
+        assert doc["query_id"] == "q1"
+        assert doc["n"] == 3
+        assert doc["ts"].endswith("+00:00")
+
+    def test_non_serialisable_values_fall_back_to_repr(self, capture):
+        logger, stream = capture
+        logger.info("ev", extra={"solap": {"obj": object()}})
+        (doc,) = lines(stream)
+        assert doc["obj"].startswith("<object object")
+
+    def test_exception_is_attached(self, capture):
+        logger, stream = capture
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            logger.exception("failed")
+        (doc,) = lines(stream)
+        assert doc["level"] == "ERROR"
+        assert "RuntimeError: boom" in doc["exception"]
+
+
+class TestConfigureLogging:
+    def test_idempotent_per_stream(self):
+        stream = io.StringIO()
+        name = "solap-test-configure"
+        logger = configure_logging(stream=stream, logger_name=name)
+        again = configure_logging(stream=stream, logger_name=name)
+        assert logger is again
+        assert len(logger.handlers) == 1
+        assert not logger.propagate
+        logger.handlers.clear()
+
+
+class TestQueryLogger:
+    def test_events_drop_none_fields(self, capture):
+        logger, stream = capture
+        qlog = QueryLogger(logger=logger)
+        qlog.query_started("q1", "auto", session_id=None)
+        (doc,) = lines(stream)
+        assert doc["event"] == "query_started"
+        assert "session_id" not in doc
+
+    def test_disabled_level_emits_nothing(self, capture):
+        logger, stream = capture
+        logger.setLevel(logging.ERROR)
+        QueryLogger(logger=logger).query_admitted("q1", 0.001)
+        assert stream.getvalue() == ""
+
+    def test_rejection_and_timeout_are_warnings(self, capture):
+        logger, stream = capture
+        qlog = QueryLogger(logger=logger)
+        qlog.query_rejected("q1", inflight=20, limit=20)
+        qlog.query_timed_out("q2", budget_seconds=0.5, elapsed_seconds=0.7)
+        docs = lines(stream)
+        assert [d["event"] for d in docs] == [
+            "query_rejected", "query_timed_out",
+        ]
+        assert all(d["level"] == "WARNING" for d in docs)
+        assert docs[1]["budget_ms"] == 500.0
+
+
+class TestServiceLifecycleLogging:
+    def run_service(self, stream, slow_query_seconds=None, repeat=1):
+        logger = logging.getLogger("solap-test-service")
+        logger.handlers.clear()
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(JsonLineFormatter())
+        logger.addHandler(handler)
+        logger.setLevel(logging.INFO)
+        logger.propagate = False
+        qlog = QueryLogger(
+            logger=logger, slow_query_seconds=slow_query_seconds
+        )
+        config = ServiceConfig(slow_query_seconds=slow_query_seconds)
+        with QueryService(
+            make_figure8_db(), config, query_logger=qlog
+        ) as service:
+            for __ in range(repeat):
+                service.execute(figure8_spec(("X", "Y")), "cb")
+        logger.handlers.clear()
+
+    def test_lifecycle_event_order(self):
+        stream = io.StringIO()
+        self.run_service(stream)
+        events = [d["event"] for d in lines(stream)]
+        assert events == ["query_admitted", "query_started", "query_finished"]
+
+    def test_finished_record_fields(self):
+        stream = io.StringIO()
+        self.run_service(stream)
+        finished = [
+            d for d in lines(stream) if d["event"] == "query_finished"
+        ]
+        (doc,) = finished
+        assert doc["query_id"] == "q000001"
+        assert doc["strategy"] == "CB"
+        assert doc["wall_ms"] >= 0
+        assert doc["sequences_scanned"] > 0
+
+    def test_repeat_hits_cuboid_cache_event(self):
+        stream = io.StringIO()
+        self.run_service(stream, repeat=2)
+        events = [d["event"] for d in lines(stream)]
+        assert "cuboid_cache_hit" in events
+
+    def test_slow_query_round_trips_with_embedded_plan(self):
+        stream = io.StringIO()
+        # threshold 0 makes every query slow, and configuring it forces
+        # tracing on so the EXPLAIN ANALYZE plan is always available
+        self.run_service(stream, slow_query_seconds=0.0)
+        slow = [d for d in lines(stream) if d["event"] == "slow_query"]
+        (doc,) = slow
+        assert doc["level"] == "WARNING"
+        assert doc["threshold_ms"] == 0.0
+        plan = doc["plan"]
+        assert plan["plan_schema"] == 1
+        assert plan["lines"][0]["depth"] == 0
+        assert "EXPLAIN ANALYZE" in plan["lines"][0]["text"]
+        # the whole record survived one json.dumps/json.loads round trip
+        assert json.loads(json.dumps(doc)) == doc

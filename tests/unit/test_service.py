@@ -273,6 +273,27 @@ class TestMetrics:
         with pytest.raises(ValueError):
             LatencyHistogram().quantile(1.5)
 
+    def test_histogram_merge(self):
+        a = LatencyHistogram()
+        b = LatencyHistogram()
+        for __ in range(3):
+            a.observe(0.0009)
+        b.observe(0.0009)
+        b.observe(7.0)
+        a.merge(b)
+        assert a.count == 5
+        assert a.total == pytest.approx(4 * 0.0009 + 7.0)
+        assert a.max_observed == 7.0
+        assert a.quantile(0.5) == 0.001
+        # the source histogram is left untouched
+        assert b.count == 2
+
+    def test_histogram_merge_rejects_mismatched_buckets(self):
+        a = LatencyHistogram()
+        b = LatencyHistogram(buckets=(0.5, float("inf")))
+        with pytest.raises(ValueError, match="different buckets"):
+            a.merge(b)
+
     def test_metrics_render_includes_engine(self, service):
         service.execute(figure8_spec(("X", "Y")), "cb")
         report = service.render_report()
