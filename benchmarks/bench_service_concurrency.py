@@ -21,11 +21,24 @@ Shape claims:
 
 The module doubles as the CI smoke benchmark, so the dataset is small
 (D=800) and the chain short; scale ``SERVICE_BENCH_D`` up for real
-measurements.
+measurements.  The execution backend of the sharded CB scans is taken
+from ``SOLAP_SERVICE_BACKEND`` (serial / thread / process; default
+thread), which is how the CI matrix exercises both pool kinds.
+
+Run as a script for the backend comparison table::
+
+    PYTHONPATH=src python benchmarks/bench_service_concurrency.py \
+        --backend all --workers 4
+
+which times the same pinned-seed scan-bound workload under every backend
+and prints per-query times and speedups over serial.  Process-backend
+speedup needs real cores: on a single-CPU host the table still verifies
+bit-identical results, it just cannot show a win.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 
 import pytest
@@ -83,12 +96,14 @@ def run_bare(db, specs, n_sessions):
     return scanned
 
 
-def run_service(db, specs, n_sessions):
+def run_service(db, specs, n_sessions, backend=None):
     """N client threads against one shared QueryService."""
     config = ServiceConfig(
         max_workers=2,
         max_concurrent=min(n_sessions, 4),
         queue_depth=max(n_sessions, 16),
+        executor_backend=backend
+        or os.environ.get("SOLAP_SERVICE_BACKEND", "thread"),
     )
     service = QueryService(db, config)
 
@@ -151,8 +166,11 @@ def test_service_throughput_vs_bare(service_db, chain_specs, capsys):
     bare_scanned = run_bare(service_db, chain_specs, n_sessions)
     bare_seconds = time.perf_counter() - start
 
+    # The 2x bar measures shared caching, so pin the thread backend: on a
+    # single-CPU host the process pool's IPC overhead (not a caching
+    # property) would eat into the margin.
     start = time.perf_counter()
-    snapshot = run_service(service_db, chain_specs, n_sessions)
+    snapshot = run_service(service_db, chain_specs, n_sessions, backend="thread")
     service_seconds = time.perf_counter() - start
 
     bare_qps = n_queries / bare_seconds
@@ -175,3 +193,125 @@ def test_service_throughput_vs_bare(service_db, chain_specs, capsys):
         (n_sessions - 1) * len(chain_specs)
     )
     assert service_qps >= 2.0 * bare_qps
+
+
+def test_backends_agree(service_db, chain_specs):
+    """Thread and process scans return the serial engine's exact cells."""
+    spec = chain_specs[0]
+    expected, __ = SOLAPEngine(service_db, use_repository=False).execute(
+        spec, "cb"
+    )
+    for backend in ("thread", "process"):
+        config = ServiceConfig(
+            max_workers=2,
+            executor_backend=backend,
+            parallel_scan_threshold=64,
+        )
+        service = QueryService(
+            SOLAPEngine(service_db, use_repository=False), config
+        )
+        try:
+            cuboid, stats = service.execute(spec, "cb")
+        finally:
+            service.close()
+        assert cuboid.cells == expected.cells, backend
+        assert stats.extra.get("scan_backend") == backend
+
+
+# ---------------------------------------------------------------------------
+# Script mode: the backend comparison table
+# ---------------------------------------------------------------------------
+
+def _bench_one_backend(db, spec, backend, workers, repeat):
+    """Per-query seconds (and the result) for one backend configuration."""
+    import time
+
+    config = ServiceConfig(
+        max_workers=workers,
+        executor_backend=backend,
+        parallel_scan_threshold=64,
+    )
+    # use_repository=False keeps every repeat scan-bound (no cuboid cache)
+    service = QueryService(SOLAPEngine(db, use_repository=False), config)
+    try:
+        service.execute(spec, "cb")  # warm: sequence formation + pools
+        start = time.perf_counter()
+        for __ in range(repeat):
+            cuboid, stats = service.execute(spec, "cb")
+        elapsed = time.perf_counter() - start
+    finally:
+        service.close()
+    return elapsed / repeat, cuboid, stats
+
+
+def main(argv=None):
+    """Compare scan backends on a pinned-seed scan-bound workload."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="sharded CB scan backend comparison"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process", "all"),
+        default="all",
+        help="backend(s) to time (serial always runs as the baseline)",
+    )
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--sequences", type=int, default=SERVICE_BENCH_D,
+        help="synthetic dataset size D (pinned seed)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3, help="timed scans per backend"
+    )
+    args = parser.parse_args(argv)
+
+    db = generate_event_database(
+        SyntheticConfig(I=100, L=20, theta=0.9, D=args.sequences, seed=42)
+    )
+    spec = base_spec(("X", "Y"))
+    if args.backend == "all":
+        backends = ["serial", "thread", "process"]
+    elif args.backend == "serial":
+        backends = ["serial"]
+    else:
+        backends = ["serial", args.backend]
+
+    print(
+        f"backend comparison: D={args.sequences}, seed=42, "
+        f"workers={args.workers}, repeat={args.repeat}, "
+        f"cpus={os.cpu_count()}"
+    )
+    results = {}
+    baseline_cells = None
+    for backend in backends:
+        seconds, cuboid, stats = _bench_one_backend(
+            db, spec, backend, args.workers, args.repeat
+        )
+        results[backend] = seconds
+        if baseline_cells is None:
+            baseline_cells = cuboid.cells
+        elif cuboid.cells != baseline_cells:
+            print(f"FAIL: {backend} cells differ from serial")
+            return 1
+        label = stats.extra.get("scan_backend", "serial")
+        speedup = results["serial"] / seconds if seconds else float("inf")
+        print(
+            f"  {backend:8s} {seconds * 1e3:9.1f} ms/query  "
+            f"{speedup:5.2f}x vs serial  (scan={label}, "
+            f"shards={stats.extra.get('parallel_shards', 1)})"
+        )
+    print("all backends returned bit-identical cells")
+    if os.cpu_count() == 1 and "process" in results:
+        print(
+            "note: single-CPU host — process-backend speedup needs "
+            "multiple cores"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

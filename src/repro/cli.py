@@ -135,7 +135,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="scan worker threads (>1 enables sharded CB scans)",
+        help="scan workers (>1 enables sharded CB scans)",
+    )
+    query.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process"),
+        default="thread",
+        help="execution backend for sharded CB scans: threads share the "
+        "GIL (fairness only), processes give true multi-core matching",
     )
 
     advise = sub.add_parser(
@@ -165,7 +172,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-query deadline for every workload query",
     )
     stats.add_argument(
-        "--workers", type=int, default=4, help="scan worker threads"
+        "--workers", type=int, default=4, help="scan workers"
+    )
+    stats.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process"),
+        default="thread",
+        help="execution backend for sharded CB scans",
     )
     stats.add_argument(
         "--format",
@@ -319,6 +332,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         ServiceConfig(
             max_workers=max(args.workers, 1),
             default_timeout_seconds=args.timeout,
+            executor_backend=args.backend,
         ),
     ) as service:
         cuboid, stats = service.execute(
@@ -374,6 +388,7 @@ def _cmd_service_stats(args: argparse.Namespace) -> int:
     config = ServiceConfig(
         max_workers=max(args.workers, 1),
         default_timeout_seconds=args.timeout,
+        executor_backend=args.backend,
     )
     with QueryService(db, config) as service:
         sessions = [service.open_session(spec, args.strategy) for spec in specs]

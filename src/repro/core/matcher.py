@@ -51,6 +51,16 @@ def set_default_occurrence_limit(limit: Optional[int]) -> Optional[int]:
     return previous
 
 
+def get_default_occurrence_limit() -> Optional[int]:
+    """The process-wide per-sequence occurrence cap (None = unlimited).
+
+    Scan coordinators read this to replicate the cap on worker processes,
+    which do not share this module's global (spawn starts fresh
+    interpreters; fork freezes the value at pool-creation time).
+    """
+    return _default_occurrence_limit
+
+
 class occurrence_limit:
     """Context manager scoping the default occurrence cap.
 

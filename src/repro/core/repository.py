@@ -9,6 +9,7 @@ query) return instantly — Section 4.2.2's ``Qc`` example.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Hashable, Optional
 
@@ -23,13 +24,20 @@ def estimate_cuboid_bytes(cuboid: SCuboid) -> int:
 
 
 class CuboidRepository:
-    """Bounded LRU store of S-cuboids keyed by spec cache keys."""
+    """Bounded LRU store of S-cuboids keyed by spec cache keys.
+
+    Thread-safe: service sessions share one repository, so the LRU
+    order, the byte accounting and the hit/miss/eviction counters are
+    guarded by a single non-reentrant lock (``_evict`` is only ever
+    called with the lock already held).
+    """
 
     def __init__(self, capacity: int = 64, byte_budget: int = 256 * 1024 * 1024):
         if capacity < 1:
             raise ValueError("repository capacity must be >= 1")
         self.capacity = capacity
         self.byte_budget = byte_budget
+        self._lock = threading.Lock()
         self._entries: "OrderedDict[Hashable, SCuboid]" = OrderedDict()
         self._bytes = 0
         self.hits = 0
@@ -37,23 +45,26 @@ class CuboidRepository:
         self.evictions = 0
 
     def get(self, key: Hashable) -> Optional[SCuboid]:
-        cuboid = self._entries.get(key)
-        if cuboid is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return cuboid
+        with self._lock:
+            cuboid = self._entries.get(key)
+            if cuboid is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return cuboid
 
     def put(self, key: Hashable, cuboid: SCuboid) -> None:
-        if key in self._entries:
-            self._bytes -= estimate_cuboid_bytes(self._entries[key])
-        self._entries[key] = cuboid
-        self._entries.move_to_end(key)
-        self._bytes += estimate_cuboid_bytes(cuboid)
-        self._evict()
+        with self._lock:
+            if key in self._entries:
+                self._bytes -= estimate_cuboid_bytes(self._entries[key])
+            self._entries[key] = cuboid
+            self._entries.move_to_end(key)
+            self._bytes += estimate_cuboid_bytes(cuboid)
+            self._evict()
 
     def _evict(self) -> None:
+        # caller must hold self._lock
         while self._entries and (
             len(self._entries) > self.capacity or self._bytes > self.byte_budget
         ):
@@ -62,15 +73,17 @@ class CuboidRepository:
             self.evictions += 1
 
     def invalidate(self, key: Hashable) -> bool:
-        cuboid = self._entries.pop(key, None)
-        if cuboid is None:
-            return False
-        self._bytes -= estimate_cuboid_bytes(cuboid)
-        return True
+        with self._lock:
+            cuboid = self._entries.pop(key, None)
+            if cuboid is None:
+                return False
+            self._bytes -= estimate_cuboid_bytes(cuboid)
+            return True
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
 
     @property
     def bytes_used(self) -> int:

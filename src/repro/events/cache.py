@@ -9,6 +9,7 @@ this cache on exactly that prefix of the specification.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Hashable, Optional
 
@@ -16,12 +17,20 @@ from repro.events.sequence import SequenceGroupSet
 
 
 class SequenceCache:
-    """A bounded LRU cache from pipeline keys to :class:`SequenceGroupSet`."""
+    """A bounded LRU cache from pipeline keys to :class:`SequenceGroupSet`.
+
+    Thread-safe: concurrent sessions hit this cache from the service
+    layer, and the hit/miss/eviction counters must stay exact (they feed
+    the metrics endpoint and the cache hammer test asserts
+    ``hits + misses == lookups``), so one short-lived lock guards both
+    the LRU order and the counters.
+    """
 
     def __init__(self, capacity: int = 16):
         if capacity < 1:
             raise ValueError("sequence cache capacity must be >= 1")
         self.capacity = capacity
+        self._lock = threading.Lock()
         self._entries: "OrderedDict[Hashable, SequenceGroupSet]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -29,48 +38,60 @@ class SequenceCache:
 
     def get(self, key: Hashable) -> Optional[SequenceGroupSet]:
         """Look up *key*, refreshing its LRU position on a hit."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: Hashable, groups: SequenceGroupSet) -> None:
         """Insert (or refresh) *key*, evicting the least recently used."""
-        self._entries[key] = groups
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[key] = groups
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def invalidate(self, key: Hashable) -> bool:
         """Drop one entry; returns True if it was present."""
-        return self._entries.pop(key, None) is not None
+        with self._lock:
+            return self._entries.pop(key, None) is not None
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def hit_ratio(self) -> float:
         """Fraction of lookups served from the cache (0.0 when unused)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            hits, misses = self.hits, self.misses
+        total = hits + misses
+        return hits / total if total else 0.0
 
     def stats(self) -> dict:
         """Counters for observability surfaces (CLI, service metrics)."""
+        with self._lock:
+            entries = len(self._entries)
+            hits, misses = self.hits, self.misses
+            evictions = self.evictions
+        total = hits + misses
         return {
-            "entries": len(self._entries),
+            "entries": entries,
             "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_ratio": self.hit_ratio(),
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+            "hit_ratio": hits / total if total else 0.0,
         }
 
     def keys(self):
         """Cached pipeline keys, least recently used first."""
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -37,6 +37,12 @@ class ComputedMapping:
     def __call__(self, value: object) -> object:
         return self.fn(value)
 
+    def __reduce__(self):
+        # Pickle by registry name so spawned scan workers (which re-import
+        # the defining module) resolve the same function instead of trying
+        # to pickle an arbitrary callable such as a lambda.
+        return (resolve_computed_mapping, (self.name,))
+
     def __repr__(self) -> str:
         return f"ComputedMapping({self.name!r})"
 

@@ -6,22 +6,36 @@ counter-based scans, server-side sessions with LRU memory management, and
 lightweight metrics.  See ``docs/service.md``.
 """
 
-from repro.service.config import ServiceConfig
+from repro.service.config import EXECUTOR_BACKENDS, ServiceConfig
 from repro.service.deadline import Deadline
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
-from repro.service.parallel import ParallelCBScanner, split_chunks
+from repro.service.parallel import (
+    ExecutorBackend,
+    ParallelCBScanner,
+    ProcessExecutorBackend,
+    SerialExecutorBackend,
+    ThreadExecutorBackend,
+    create_backend,
+    split_chunks,
+)
 from repro.service.service import SESSION_OPERATIONS, QueryService
 from repro.service.sessions import SessionEntry, SessionManager
 
 __all__ = [
     "Deadline",
+    "EXECUTOR_BACKENDS",
+    "ExecutorBackend",
     "LatencyHistogram",
     "ParallelCBScanner",
+    "ProcessExecutorBackend",
     "QueryService",
     "SESSION_OPERATIONS",
+    "SerialExecutorBackend",
     "ServiceConfig",
     "ServiceMetrics",
     "SessionEntry",
     "SessionManager",
+    "ThreadExecutorBackend",
+    "create_backend",
     "split_chunks",
 ]

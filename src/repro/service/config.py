@@ -10,15 +10,32 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+#: the execution backends a sharded CB scan can run on (see
+#: :mod:`repro.service.parallel`): ``serial`` disables sharding entirely,
+#: ``thread`` shards onto a thread pool (cheap handoff, but the
+#: pure-Python matching loop stays GIL-serialised), ``process`` shards
+#: onto a process pool (true multi-core; the event database is shipped
+#: once per worker).
+EXECUTOR_BACKENDS = ("serial", "thread", "process")
+
+#: multiprocessing start methods accepted for the process backend
+PROCESS_START_METHODS = (None, "fork", "spawn", "forkserver")
+
 
 @dataclass(frozen=True)
 class ServiceConfig:
     """Configuration for a :class:`~repro.service.service.QueryService`."""
 
-    #: worker threads of the shared scan pool (parallel CB shards run here)
+    #: workers of the shared scan pool (parallel CB shards run here)
     max_workers: int = 4
     #: shards per parallel CB scan; 0 means "use max_workers"
     scan_shards: int = 0
+    #: execution backend for sharded CB scans: one of
+    #: :data:`EXECUTOR_BACKENDS` (``serial`` | ``thread`` | ``process``)
+    executor_backend: str = "thread"
+    #: multiprocessing start method for the process backend (None = the
+    #: platform default: fork on Linux, spawn on macOS/Windows)
+    process_start_method: Optional[str] = None
     #: minimum sequences in a pipeline before a scan is sharded at all —
     #: below this, thread handoff costs more than it saves
     parallel_scan_threshold: int = 512
@@ -55,6 +72,16 @@ class ServiceConfig:
             raise ValueError("max_workers must be >= 1")
         if self.scan_shards < 0:
             raise ValueError("scan_shards must be >= 0")
+        if self.executor_backend not in EXECUTOR_BACKENDS:
+            raise ValueError(
+                f"executor_backend must be one of {EXECUTOR_BACKENDS}, "
+                f"got {self.executor_backend!r}"
+            )
+        if self.process_start_method not in PROCESS_START_METHODS:
+            raise ValueError(
+                f"process_start_method must be one of "
+                f"{PROCESS_START_METHODS}, got {self.process_start_method!r}"
+            )
         if self.max_concurrent < 1:
             raise ValueError("max_concurrent must be >= 1")
         if self.queue_depth < 0:

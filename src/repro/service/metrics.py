@@ -89,6 +89,12 @@ class ServiceMetrics:
             "solap_service_admission_wait_seconds",
             "Time requests spent waiting for an execution slot",
         ).labels()
+        self._scan_backends = self.registry.counter(
+            "solap_service_scans_by_backend_total",
+            "Counter-based scans answered through the service, by "
+            "execution backend (serial covers declined/unsharded scans)",
+            labels=("backend",),
+        )
         self._stage_runs = self.registry.counter(
             "solap_service_stage_runs_total",
             "Traced pipeline-stage executions",
@@ -140,6 +146,17 @@ class ServiceMetrics:
         self._stage_runs.labels(name).inc()
         self._stage_seconds.labels(name).inc(seconds)
 
+    def count_scan_backend(self, backend: str) -> None:
+        """Bump the per-backend scan counter for one CB-answered query."""
+        self._scan_backends.labels(backend or "serial").inc()
+
+    def scan_backend_counts(self) -> Dict[str, int]:
+        """Scans by execution backend (empty until the first CB query)."""
+        return {
+            labels[0]: int(child.value)
+            for labels, child in self._scan_backends.children()
+        }
+
     def count_strategy(self, strategy: str) -> None:
         """Bump the per-strategy counter from a QueryStats.strategy label."""
         label = (strategy or "").lower()
@@ -177,6 +194,7 @@ class ServiceMetrics:
             "latency": self.latency.snapshot(),
             "queue_wait": self.queue_wait.snapshot(),
             "stages": self._stage_snapshot(),
+            "scan_backends": self.scan_backend_counts(),
         }
         if engine_stats is not None:
             out["engine"] = engine_stats
@@ -198,6 +216,12 @@ class ServiceMetrics:
             f"p99={lat['p99_seconds'] * 1000:.2f}ms, "
             f"max={lat['max_seconds'] * 1000:.2f}ms"
         )
+        backends = snap.get("scan_backends") or {}
+        if backends:
+            mix = ", ".join(
+                f"{name}={count}" for name, count in sorted(backends.items())
+            )
+            lines.append(f"  scans by backend: {mix}")
         stages = snap.get("stages") or {}
         if stages:
             lines.append("  stage timings (traced queries):")

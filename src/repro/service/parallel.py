@@ -1,10 +1,10 @@
-"""Sharded counter-based scans for the query service.
+"""Sharded counter-based scans and their execution backends.
 
 The CB strategy is embarrassingly parallel in its expensive half: pattern
 matching (``TemplateMatcher.assignments``) is a pure function of one
 sequence.  The scanner shards the engine's canonical scan order
 (:func:`repro.core.counter_based.selected_sequences`) into contiguous
-chunks, matches each chunk on the service's worker pool, and folds the
+chunks, matches each chunk on an :class:`ExecutorBackend`, and folds the
 per-sequence assignments into the accumulator table **serially, in the
 canonical order**.
 
@@ -15,13 +15,38 @@ serial path — including float SUM/AVG, where addition order matters.  A
 merge of per-shard partial sums could differ in the last ulp; replaying
 the fold cannot.
 
-The scanner declines (returns None) on small inputs, where thread handoff
-costs more than it saves; the engine then falls through to the serial scan.
+Three backends implement the shard execution (selected by
+``ServiceConfig.executor_backend``):
+
+* ``serial`` — chunks matched inline on the calling thread (baseline and
+  debugging aid; the service installs no scanner at all for it);
+* ``thread`` — chunks matched on a ``ThreadPoolExecutor``.  Handoff is
+  cheap and shards share the query's :class:`Deadline` object directly,
+  but the pure-Python matching loop stays GIL-serialised, so threads buy
+  fairness, not CPU speedup;
+* ``process`` — chunks matched on a ``ProcessPoolExecutor``.  The
+  :class:`EventDatabase` is shipped **once per worker** through the pool
+  initializer (a no-op copy under ``fork``, one pickle per worker under
+  ``spawn``); each task then carries only the picklable spec and a shard
+  of sequence ids, and deadline budgets travel as plain floats because
+  worker processes cannot share the coordinator's Deadline.
+
+The scanner declines (returns None) on empty or small inputs, where
+handoff costs more than it saves; the engine then falls through to the
+serial scan.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import Executor
+import time
+from concurrent.futures import (
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence as Seq, Tuple
 
 from repro.core.counter_based import (
@@ -31,22 +56,53 @@ from repro.core.counter_based import (
     selected_sequences,
 )
 from repro.core.cuboid import SCuboid
-from repro.core.matcher import TemplateMatcher
+from repro.core.matcher import TemplateMatcher, get_default_occurrence_limit
 from repro.core.spec import CuboidSpec
 from repro.core.stats import QueryStats
+from repro.errors import QueryTimeoutError, ServiceError
 from repro.events.database import EventDatabase
-from repro.events.sequence import Sequence, SequenceGroup, SequenceGroupSet
+from repro.events.sequence import (
+    Sequence,
+    SequenceGroup,
+    SequenceGroupSet,
+    build_sequence_groups,
+)
+from repro.obs.spans import span
+from repro.service.config import EXECUTOR_BACKENDS, ServiceConfig
+
+__all__ = [
+    "EXECUTOR_BACKENDS",
+    "ExecutorBackend",
+    "ParallelCBScanner",
+    "ProcessExecutorBackend",
+    "SerialExecutorBackend",
+    "ThreadExecutorBackend",
+    "create_backend",
+    "split_chunks",
+]
 
 #: how many sequences a worker matches between deadline checks
 _WORKER_CHECK_EVERY = 64
 
+#: one shard of scan work: (group, sequence) pairs in canonical order
+Chunk = Seq[Tuple[SequenceGroup, Sequence]]
+
+#: per-sequence matcher output: cell key -> assigned contents
+Assignments = Dict[Tuple[object, ...], List[Tuple[int, ...]]]
+
 
 def split_chunks(items: List, n_chunks: int) -> List[List]:
-    """Split *items* into at most *n_chunks* contiguous, near-equal chunks."""
+    """Split *items* into at most *n_chunks* contiguous, near-equal chunks.
+
+    An empty input yields **no** chunks (not one empty chunk): scheduling
+    a worker task for an empty shard is pure overhead.
+    """
     if n_chunks < 1:
         raise ValueError("n_chunks must be >= 1")
     n = len(items)
-    n_chunks = min(n_chunks, n) or 1
+    if n == 0:
+        return []
+    n_chunks = min(n_chunks, n)
     size, remainder = divmod(n, n_chunks)
     chunks: List[List] = []
     start = 0
@@ -55,6 +111,298 @@ def split_chunks(items: List, n_chunks: int) -> List[List]:
         chunks.append(items[start:end])
         start = end
     return chunks
+
+
+def _match_chunk(
+    matcher: TemplateMatcher, chunk: Chunk, deadline
+) -> List[Assignments]:
+    """Match every sequence of one chunk, checking the deadline as we go."""
+    out: List[Assignments] = []
+    for position, (__, sequence) in enumerate(chunk):
+        if deadline is not None and position % _WORKER_CHECK_EVERY == 0:
+            deadline.check()
+        out.append(matcher.assignments(sequence))
+    return out
+
+
+def _collect_or_cancel(futures: List[Future]) -> List:
+    """Results of *futures* in submission order, cancelling on first failure.
+
+    Without this, one shard raising (e.g. :class:`QueryTimeoutError`)
+    would leave its sibling futures running and holding executor slots
+    while the error propagates.  On failure every outstanding future is
+    cancelled (pending ones never run) and the already-running ones are
+    drained before the error is re-raised, so the pool is quiescent by
+    the time the caller sees the exception.
+    """
+    results = []
+    try:
+        for future in futures:
+            results.append(future.result())
+    except BaseException:
+        for future in futures:
+            future.cancel()
+        wait(futures)
+        raise
+    return results
+
+
+class ExecutorBackend:
+    """One way of executing the shards of a parallel CB scan.
+
+    Concrete backends say how chunks of (group, sequence) work are
+    matched — inline, on threads, or on worker processes — and own
+    whatever pool that requires.  The scanner folds their per-sequence
+    assignment lists serially, so every backend is bit-identical to the
+    serial scan by construction.
+    """
+
+    #: label used on metrics, trace spans and ``stats.extra``
+    name: str = "?"
+    #: worker parallelism available to one scan
+    workers: int = 1
+
+    def run_shards(
+        self,
+        db: EventDatabase,
+        spec: CuboidSpec,
+        chunks: List[Chunk],
+        deadline,
+    ) -> List[List[Assignments]]:
+        """Per-chunk assignment lists, in chunk (canonical) order."""
+        raise NotImplementedError
+
+    def warm_up(self) -> None:
+        """Pay worker start-up cost now instead of inside the first query."""
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Release pool resources (idempotent)."""
+
+
+class SerialExecutorBackend(ExecutorBackend):
+    """Match every chunk inline on the calling thread (no parallelism)."""
+
+    name = "serial"
+
+    def run_shards(self, db, spec, chunks, deadline):
+        matcher = TemplateMatcher(
+            spec.template, db.schema, spec.restriction, spec.predicate
+        )
+        return [_match_chunk(matcher, chunk, deadline) for chunk in chunks]
+
+
+class ThreadExecutorBackend(ExecutorBackend):
+    """Match chunks on a thread pool.
+
+    Shards share the coordinator's matcher and Deadline objects directly
+    (threads share memory), so handoff is one closure per chunk.  The
+    pure-Python matching loop holds the GIL, so this backend buys
+    deadline fairness and overlap with any C-level work, not CPU scaling
+    — use the process backend for that.
+    """
+
+    name = "thread"
+
+    def __init__(
+        self, max_workers: int, executor: Optional[Executor] = None
+    ):
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.workers = max_workers
+        self._owns_pool = executor is None
+        self.executor = executor or ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="solap-scan"
+        )
+
+    def run_shards(self, db, spec, chunks, deadline):
+        matcher = TemplateMatcher(
+            spec.template, db.schema, spec.restriction, spec.predicate
+        )
+        futures = [
+            self.executor.submit(_match_chunk, matcher, chunk, deadline)
+            for chunk in chunks
+        ]
+        return _collect_or_cancel(futures)
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._owns_pool:
+            self.executor.shutdown(wait=wait)
+
+
+# ---------------------------------------------------------------------------
+# Process backend: worker-side state and entry points
+# ---------------------------------------------------------------------------
+
+#: the EventDatabase this worker process serves (set by the initializer)
+_worker_db: Optional[EventDatabase] = None
+#: per-pipeline sid -> Sequence tables, rebuilt deterministically
+_worker_sequences: Dict[Tuple, Dict[int, Sequence]] = {}
+#: pipelines memoised per worker before the table is reset
+_WORKER_PIPELINE_MEMO_MAX = 8
+
+
+def _process_worker_init(db: EventDatabase) -> None:
+    """Pool initializer: receive the database once per worker process.
+
+    Under the ``fork`` start method the database arrives by address-space
+    copy (no pickling); under ``spawn``/``forkserver`` it is pickled once
+    per worker — never once per task.
+    """
+    global _worker_db
+    _worker_db = db
+    _worker_sequences.clear()
+
+
+def _worker_ping(token: int) -> int:
+    """No-op task used by warm-up to force worker start-up."""
+    return token
+
+
+def _worker_sequences_for(spec: CuboidSpec) -> Dict[int, Sequence]:
+    """This worker's sid -> Sequence table for *spec*'s pipeline.
+
+    Sequence formation assigns sids densely in deterministic (sorted
+    cluster key) order, so rebuilding the pipeline here yields exactly
+    the coordinator's sid assignment — that is what lets tasks ship
+    sequence *ids* instead of sequences.
+    """
+    key = spec.pipeline_key()
+    table = _worker_sequences.get(key)
+    if table is None:
+        groups = build_sequence_groups(
+            _worker_db, spec.where, spec.cluster_by,
+            spec.sequence_by, spec.group_by,
+        )
+        table = {seq.sid: seq for seq in groups.all_sequences()}
+        if len(_worker_sequences) >= _WORKER_PIPELINE_MEMO_MAX:
+            _worker_sequences.clear()
+        _worker_sequences[key] = table
+    return table
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """The picklable payload of one process-backend shard."""
+
+    spec: CuboidSpec
+    sids: Tuple[int, ...]
+    #: seconds of deadline budget left at submission (None = unbounded);
+    #: a plain float because Deadline objects cannot cross processes
+    budget_seconds: Optional[float]
+    #: the coordinator's effective occurrence cap (process-global state
+    #: does not propagate to spawn-started workers)
+    occurrence_cap: Optional[int]
+
+
+def _process_scan_shard(task: _ShardTask) -> List[Assignments]:
+    """Worker entry point: match one shard of sequence ids."""
+    db = _worker_db
+    if db is None:
+        raise ServiceError("scan worker used before initialization")
+    started = time.monotonic()
+    expires = (
+        started + task.budget_seconds
+        if task.budget_seconds is not None
+        else None
+    )
+    sequences = _worker_sequences_for(task.spec)
+    matcher = TemplateMatcher(
+        task.spec.template,
+        db.schema,
+        task.spec.restriction,
+        task.spec.predicate,
+        occurrence_cap=task.occurrence_cap,
+    )
+    out: List[Assignments] = []
+    for position, sid in enumerate(task.sids):
+        if (
+            expires is not None
+            and position % _WORKER_CHECK_EVERY == 0
+            and time.monotonic() >= expires
+        ):
+            raise QueryTimeoutError(
+                "query deadline exceeded in scan worker",
+                budget_seconds=task.budget_seconds,
+                elapsed_seconds=time.monotonic() - started,
+            )
+        out.append(matcher.assignments(sequences[sid]))
+    return out
+
+
+class ProcessExecutorBackend(ExecutorBackend):
+    """Match chunks on a process pool (true multi-core scans).
+
+    The backend is bound to one :class:`EventDatabase` at construction:
+    the pool initializer delivers it to every worker exactly once.
+    Tasks then carry only the spec and a shard of sequence ids, and each
+    worker rebuilds the (deterministic) sid -> Sequence table per
+    pipeline, memoised across tasks.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        db: EventDatabase,
+        max_workers: int,
+        start_method: Optional[str] = None,
+    ):
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        import multiprocessing
+
+        self.workers = max_workers
+        self.db = db
+        self.start_method = start_method
+        self.executor = ProcessPoolExecutor(
+            max_workers=max_workers,
+            mp_context=multiprocessing.get_context(start_method),
+            initializer=_process_worker_init,
+            initargs=(db,),
+        )
+
+    def warm_up(self) -> None:
+        # One ping per worker forces every process to start (and, under
+        # spawn, to unpickle the database) before the first real scan.
+        list(self.executor.map(_worker_ping, range(self.workers)))
+
+    def run_shards(self, db, spec, chunks, deadline):
+        if db is not self.db:
+            raise ServiceError(
+                "process backend is bound to a different EventDatabase; "
+                "construct one backend per database"
+            )
+        budget = deadline.remaining() if deadline is not None else None
+        cap = get_default_occurrence_limit()
+        futures = [
+            self.executor.submit(
+                _process_scan_shard,
+                _ShardTask(
+                    spec,
+                    tuple(sequence.sid for __, sequence in chunk),
+                    budget,
+                    cap,
+                ),
+            )
+            for chunk in chunks
+        ]
+        return _collect_or_cancel(futures)
+
+    def shutdown(self, wait: bool = True) -> None:
+        self.executor.shutdown(wait=wait)
+
+
+def create_backend(
+    config: ServiceConfig, db: EventDatabase
+) -> Optional[ExecutorBackend]:
+    """The scan backend *config* asks for (None = keep scans serial)."""
+    if config.executor_backend == "thread":
+        return ThreadExecutorBackend(config.max_workers)
+    if config.executor_backend == "process":
+        return ProcessExecutorBackend(
+            db, config.max_workers, start_method=config.process_start_method
+        )
+    return None
 
 
 class ParallelCBScanner:
@@ -67,13 +415,16 @@ class ParallelCBScanner:
 
     def __init__(
         self,
-        executor: Executor,
+        backend,
         shards: int,
         threshold: int = 512,
     ):
         if shards < 1:
             raise ValueError("shards must be >= 1")
-        self.executor = executor
+        if isinstance(backend, Executor):
+            # Compatibility: a bare (thread) executor still works.
+            backend = ThreadExecutorBackend(shards, executor=backend)
+        self.backend: ExecutorBackend = backend
         self.shards = shards
         self.threshold = threshold
         self.scans_run = 0
@@ -89,38 +440,42 @@ class ParallelCBScanner:
         work: List[Tuple[SequenceGroup, Sequence]] = list(
             selected_sequences(groups, slices)
         )
+        if not work:
+            # Empty selection: decline; the serial path returns the
+            # empty cuboid without scheduling any worker tasks.
+            return None
         if self.shards < 2 or len(work) < max(self.threshold, 2):
             return None
 
         stats.strategy = stats.strategy or "CB"
-        matcher = TemplateMatcher(
-            spec.template, db.schema, spec.restriction, spec.predicate
-        )
         deadline = stats.deadline
-
-        def scan_chunk(
-            chunk: Seq[Tuple[SequenceGroup, Sequence]]
-        ) -> List[Dict]:
-            out = []
-            for position, (__, sequence) in enumerate(chunk):
-                if deadline is not None and position % _WORKER_CHECK_EVERY == 0:
-                    deadline.check()  # type: ignore[attr-defined]
-                out.append(matcher.assignments(sequence))
-            return out
-
         chunks = split_chunks(work, self.shards)
-        cells: CellTable = {}
-        # executor.map yields chunk results in submission order, so the
-        # fold below replays the canonical serial scan order exactly.
-        for chunk, assignments_list in zip(
-            chunks, self.executor.map(scan_chunk, chunks)
-        ):
-            for (group, sequence), assignments in zip(chunk, assignments_list):
-                stats.add_scan()
-                if assignments:
-                    fold_assignments(db, spec, cells, group, sequence, assignments)
+        with span(
+            "cb.parallel_scan",
+            backend=self.backend.name,
+            shards=len(chunks),
+            workers=self.backend.workers,
+        ) as scan_span:
+            cells: CellTable = {}
+            # run_shards returns chunk results in submission order, so
+            # the fold below replays the canonical serial scan order.
+            for chunk, assignments_list in zip(
+                chunks, self.backend.run_shards(db, spec, chunks, deadline)
+            ):
+                for (group, sequence), assignments in zip(
+                    chunk, assignments_list
+                ):
+                    stats.add_scan()
+                    if assignments:
+                        fold_assignments(
+                            db, spec, cells, group, sequence, assignments
+                        )
+            scan_span.set("sequences_scanned", len(work))
+            scan_span.set("cells_out", len(cells))
 
         self.scans_run += 1
         stats.extra["parallel_shards"] = len(chunks)
+        stats.extra["scan_backend"] = self.backend.name
+        stats.extra["scan_workers"] = self.backend.workers
         stats.checkpoint()
         return finalize_cells(spec, cells)

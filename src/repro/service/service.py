@@ -35,7 +35,6 @@ from __future__ import annotations
 import itertools
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Tuple
 
 from repro.core import operations as ops
@@ -57,7 +56,7 @@ from repro.obs.spans import span
 from repro.service.config import ServiceConfig
 from repro.service.deadline import Deadline
 from repro.service.metrics import ServiceMetrics
-from repro.service.parallel import ParallelCBScanner
+from repro.service.parallel import ParallelCBScanner, create_backend
 from repro.service.sessions import SessionEntry, SessionManager
 
 #: sentinel distinguishing "no timeout argument" from "explicitly None"
@@ -112,14 +111,18 @@ class QueryService:
             slow_query_seconds=self.config.slow_query_seconds
         )
         self._query_ids = itertools.count(1)
-        self._pool = ThreadPoolExecutor(
-            max_workers=self.config.max_workers,
-            thread_name_prefix="solap-scan",
-        )
+        #: the scan execution backend (None when scans stay serial:
+        #: backend "serial", or fewer than two shards configured)
         shards = self.config.effective_scan_shards
-        if shards > 1:
+        self.backend = (
+            create_backend(self.config, self.engine.db) if shards > 1 else None
+        )
+        if self.backend is not None:
+            # Pay worker start-up (process fork/spawn) now, not inside
+            # the first admitted query's deadline.
+            self.backend.warm_up()
             self.engine.cb_scanner = ParallelCBScanner(
-                self._pool, shards, self.config.parallel_scan_threshold
+                self.backend, shards, self.config.parallel_scan_threshold
             )
         self._engine_lock = threading.RLock()
         self._admission_lock = threading.Lock()
@@ -277,6 +280,12 @@ class QueryService:
         self.metrics.count_strategy(stats.strategy)
         if "parallel_shards" in stats.extra:
             self.metrics.inc("parallel_scans_total")
+        if stats.strategy == "CB":
+            # Label which execution backend answered the scan ("serial"
+            # covers declined/below-threshold scans and the serial config).
+            self.metrics.count_scan_backend(
+                stats.extra.get("scan_backend", "serial")
+            )
         if stats.trace is not None:
             self._observe_stages(stats.trace)
         self.log.query_finished(query_id, stats, wall, session_id)
@@ -403,12 +412,17 @@ class QueryService:
         )
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting work and release the worker pool (idempotent)."""
+        """Stop accepting work and release the scan backend (idempotent)."""
         self._closed = True
         if self.metrics_server is not None:
             self.metrics_server.stop()
         self.engine.cb_scanner = None
-        self._pool.shutdown(wait=wait)
+        if self.backend is not None:
+            self.backend.shutdown(wait=wait)
+
+    def close(self) -> None:
+        """Alias for :meth:`shutdown` (graceful, waits for workers)."""
+        self.shutdown()
 
     def __enter__(self) -> "QueryService":
         return self
@@ -417,7 +431,8 @@ class QueryService:
         self.shutdown()
 
     def __repr__(self) -> str:
+        backend = self.backend.name if self.backend is not None else "serial"
         return (
             f"QueryService({self.engine!r}, {len(self.sessions)} sessions, "
-            f"workers={self.config.max_workers})"
+            f"workers={self.config.max_workers}, backend={backend})"
         )

@@ -1,0 +1,130 @@
+"""Property: every execution backend yields bit-identical S-cuboids.
+
+The serial, thread and process backends must agree with the plain serial
+CB scan *exactly* — including float SUM/AVG cells, where addition order
+matters — because the scanner folds per-sequence assignments in canonical
+order no matter where the matching ran (see ``repro.service.parallel``).
+
+The data is clickstream-flavoured: a fixed, seeded mini-Gazelle session
+set (raw-page → page-category hierarchy) re-recorded with an irregular
+float ``dwell`` measure so that any change in float addition order is
+observable.  The database is fixed (only templates, levels, shard counts
+and aggregates vary per example) so one process pool, bound to that
+database, can serve every example.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AggregateSpec,
+    CuboidSpec,
+    Dimension,
+    EventDatabase,
+    Measure,
+    PatternTemplate,
+    Schema,
+    build_sequence_groups,
+)
+from repro.core.counter_based import counter_based_cuboid
+from repro.core.spec import AggregateScope, PatternKind
+from repro.core.stats import QueryStats
+from repro.datagen.clickstream import ClickstreamConfig, generate_database
+from repro.service.parallel import (
+    ParallelCBScanner,
+    ProcessExecutorBackend,
+    SerialExecutorBackend,
+    ThreadExecutorBackend,
+)
+from tests.property.conftest import SYMBOL_NAMES, shape_strategy
+
+
+def _make_db() -> EventDatabase:
+    """A small fixed clickstream with a float dwell-time measure."""
+    source = generate_database(
+        ClickstreamConfig(n_sessions=60, seed=7, crawler_fraction=0.0)
+    )
+    page_hierarchy = source.schema.dimension("page").hierarchy
+    schema = Schema(
+        dimensions=[
+            Dimension("session-id"),
+            Dimension("request-time"),
+            Dimension("page", page_hierarchy),
+        ],
+        measures=[Measure("dwell")],
+    )
+    db = EventDatabase(schema)
+    for index, event in enumerate(source):
+        # Irregular magnitudes make float addition order observable.
+        db.append(
+            {
+                "session-id": event["session-id"],
+                "request-time": event["request-time"],
+                "page": event["page"],
+                "dwell": (index % 17 + 1) * 0.37 + index * 0.0010000001,
+            }
+        )
+    return db
+
+
+_DB = _make_db()
+
+FLOAT_AGGREGATES = (
+    AggregateSpec("COUNT"),
+    AggregateSpec("SUM", "dwell", AggregateScope.MATCHED),
+    AggregateSpec("AVG", "dwell", AggregateScope.SEQUENCE),
+)
+
+
+def _spec(shape, kind, level, with_floats) -> CuboidSpec:
+    positions = tuple(SYMBOL_NAMES[i] for i in shape)
+    bindings = {
+        SYMBOL_NAMES[i]: ("page", level) for i in sorted(set(shape))
+    }
+    return CuboidSpec(
+        template=PatternTemplate.build(kind, positions, bindings),
+        cluster_by=(("session-id", "session-id"),),
+        sequence_by=(("request-time", True),),
+        aggregates=FLOAT_AGGREGATES if with_floats else (AggregateSpec("COUNT"),),
+    )
+
+
+@pytest.fixture(scope="module")
+def backends():
+    backs = [
+        SerialExecutorBackend(),
+        ThreadExecutorBackend(3),
+        ProcessExecutorBackend(_DB, 2),
+    ]
+    backs[-1].warm_up()
+    yield backs
+    for back in backs:
+        back.shutdown()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    shape=shape_strategy,
+    kind=st.sampled_from([PatternKind.SUBSTRING, PatternKind.SUBSEQUENCE]),
+    level=st.sampled_from(["raw-page", "page-category"]),
+    shards=st.integers(min_value=2, max_value=5),
+    with_floats=st.booleans(),
+)
+def test_backends_bit_identical(backends, shape, kind, level, shards, with_floats):
+    spec = _spec(shape, kind, level, with_floats)
+    groups = build_sequence_groups(
+        _DB, spec.where, spec.cluster_by, spec.sequence_by, spec.group_by
+    )
+    serial = counter_based_cuboid(_DB, groups, spec, QueryStats())
+    for backend in backends:
+        scanner = ParallelCBScanner(backend, shards=shards, threshold=0)
+        stats = QueryStats()
+        cuboid = scanner(_DB, groups, spec, stats)
+        assert cuboid is not None
+        # dict equality on cells is bit-identity for the float aggregates
+        assert cuboid.cells == serial.cells, backend.name
+        assert stats.extra["scan_backend"] == backend.name
+        assert stats.extra["parallel_shards"] >= 1

@@ -1,0 +1,122 @@
+"""Hammer tests: cache counters stay exact under thread contention.
+
+``SequenceCache`` and ``CuboidRepository`` are shared by every session of
+a :class:`QueryService`, so their hit/miss/eviction counters are bumped
+from many threads at once.  Unsynchronised ``+=`` on instance attributes
+loses increments under contention (read-modify-write races); these tests
+drive both caches from a pool of threads and assert the exact accounting
+invariants the lock is supposed to protect.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.cuboid import SCuboid
+from repro.core.repository import CuboidRepository, estimate_cuboid_bytes
+from repro.events.cache import SequenceCache
+from tests.conftest import figure8_spec
+
+THREADS = 8
+OPS_PER_THREAD = 400
+
+
+def _run_threads(target):
+    threads = [
+        threading.Thread(target=target, args=(tid,)) for tid in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+def test_sequence_cache_counters_exact_under_contention():
+    cache = SequenceCache(capacity=4)
+    barrier = threading.Barrier(THREADS)
+
+    def worker(tid):
+        barrier.wait()
+        for i in range(OPS_PER_THREAD):
+            key = ("pipeline", (tid + i) % 16)
+            if cache.get(key) is None:
+                cache.put(key, object())
+
+    _run_threads(worker)
+
+    stats = cache.stats()
+    # every get() was exactly one hit or one miss; a lost increment
+    # breaks this equality
+    assert stats["hits"] + stats["misses"] == THREADS * OPS_PER_THREAD
+    assert stats["entries"] <= cache.capacity
+    assert stats["evictions"] >= 0
+    assert 0.0 <= stats["hit_ratio"] <= 1.0
+
+
+def test_sequence_cache_counters_monotonic_while_hammered():
+    cache = SequenceCache(capacity=2)
+    stop = threading.Event()
+    samples = []
+
+    def sampler():
+        while not stop.is_set():
+            samples.append((cache.hits, cache.misses, cache.evictions))
+
+    def worker(tid):
+        for i in range(OPS_PER_THREAD):
+            key = (tid + i) % 8
+            if cache.get(key) is None:
+                cache.put(key, object())
+
+    watcher = threading.Thread(target=sampler)
+    watcher.start()
+    _run_threads(worker)
+    stop.set()
+    watcher.join()
+
+    for name, series in zip(
+        ("hits", "misses", "evictions"), zip(*samples)
+    ):
+        assert all(
+            later >= earlier for earlier, later in zip(series, series[1:])
+        ), f"{name} went backwards"
+
+
+def test_cuboid_repository_counters_and_bytes_exact_under_contention():
+    repo = CuboidRepository(capacity=4, byte_budget=1 << 30)
+    spec = figure8_spec(("X", "Y"))
+    cuboid = SCuboid(spec, {})
+    barrier = threading.Barrier(THREADS)
+
+    def worker(tid):
+        barrier.wait()
+        for i in range(OPS_PER_THREAD):
+            key = ("cuboid", (tid + i) % 12)
+            if repo.get(key) is None:
+                repo.put(key, cuboid)
+
+    _run_threads(worker)
+
+    assert repo.hits + repo.misses == THREADS * OPS_PER_THREAD
+    assert len(repo) <= repo.capacity
+    # byte accounting must agree with the entries actually retained
+    assert repo.bytes_used == len(repo) * estimate_cuboid_bytes(cuboid)
+
+
+def test_cuboid_repository_eviction_accounting_under_contention():
+    spec = figure8_spec(("X", "Y"))
+    cuboid = SCuboid(spec, {})
+    repo = CuboidRepository(capacity=2, byte_budget=1 << 30)
+
+    def worker(tid):
+        for i in range(OPS_PER_THREAD):
+            repo.put((tid, i % 6), cuboid)
+
+    _run_threads(worker)
+
+    # inserts either displaced an existing key or evicted the LRU entry;
+    # whatever happened, the retained set must respect the bounds and the
+    # byte ledger must balance
+    assert len(repo) <= repo.capacity
+    assert repo.bytes_used == len(repo) * estimate_cuboid_bytes(cuboid)
+    assert repo.evictions >= 0

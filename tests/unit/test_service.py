@@ -2,11 +2,23 @@
 
 from __future__ import annotations
 
+import operator
 import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
 
 import pytest
 
-from repro import QueryService, ServiceConfig, SOLAPEngine
+from repro import (
+    Comparison,
+    EventField,
+    Literal,
+    QueryService,
+    ServiceConfig,
+    SOLAPEngine,
+    build_sequence_groups,
+)
+from repro.core.stats import QueryStats
 from repro.errors import (
     QueryTimeoutError,
     ServiceError,
@@ -15,7 +27,14 @@ from repro.errors import (
 )
 from repro.service.deadline import Deadline
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
-from repro.service.parallel import split_chunks
+from repro.service.parallel import (
+    ParallelCBScanner,
+    ProcessExecutorBackend,
+    SerialExecutorBackend,
+    ThreadExecutorBackend,
+    _collect_or_cancel,
+    split_chunks,
+)
 from tests.conftest import figure8_spec, make_figure8_db
 
 
@@ -327,7 +346,9 @@ class TestSplitChunks:
         assert chunks == [[1], [2]]
 
     def test_empty(self):
-        assert split_chunks([], 4) == [[]]
+        # An empty selection must schedule zero shard tasks, not one
+        # useless empty-shard task.
+        assert split_chunks([], 4) == []
 
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -346,6 +367,8 @@ class TestConfig:
             {"index_byte_budget": -1},
             {"scan_shards": -1},
             {"session_byte_budget": -1},
+            {"executor_backend": "bogus"},
+            {"process_start_method": "bogus"},
         ],
     )
     def test_validation(self, kwargs):
@@ -359,3 +382,128 @@ class TestConfig:
     def test_service_rejects_bad_target(self):
         with pytest.raises(ServiceError):
             QueryService("not a db")
+
+
+class TestExecutorBackends:
+    def _serial_cells(self, db, spec):
+        cuboid, __ = SOLAPEngine(db).execute(spec, "cb")
+        return cuboid.cells
+
+    def _scan(self, backend, db, spec):
+        groups = build_sequence_groups(
+            db, spec.where, spec.cluster_by, spec.sequence_by, spec.group_by
+        )
+        scanner = ParallelCBScanner(backend, shards=2, threshold=0)
+        stats = QueryStats()
+        cuboid = scanner(db, groups, spec, stats)
+        return cuboid, stats
+
+    def test_collect_or_cancel_cancels_pending_siblings(self):
+        gate = threading.Event()
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            pool.submit(gate.wait, 10)  # hold the only worker slot
+            failed = Future()
+            failed.set_exception(ValueError("shard failed"))
+            pending = [pool.submit(time.sleep, 0) for __ in range(3)]
+            # release the worker shortly after collection blocks in wait()
+            threading.Timer(0.2, gate.set).start()
+            with pytest.raises(ValueError):
+                _collect_or_cancel([failed] + pending)
+            gate.set()
+            # the fix: siblings must not keep running/holding slots after
+            # one shard fails — every queued future was cancelled
+            assert all(f.cancelled() for f in pending)
+
+    def test_collect_or_cancel_drains_real_pool(self):
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            futures = [pool.submit(operator.truediv, 1, 0)]
+            futures += [pool.submit(time.sleep, 0.01) for __ in range(3)]
+            with pytest.raises(ZeroDivisionError):
+                _collect_or_cancel(futures)
+            assert all(f.done() for f in futures)
+
+    def test_scanner_declines_empty_selection(self):
+        db = make_figure8_db()
+        spec = figure8_spec(
+            ("X", "Y"),
+            where=Comparison(EventField("card"), "=", Literal(-1)),
+        )
+        groups = build_sequence_groups(
+            db, spec.where, spec.cluster_by, spec.sequence_by, spec.group_by
+        )
+        backend = SerialExecutorBackend()
+        scanner = ParallelCBScanner(backend, shards=4, threshold=0)
+        assert scanner(db, groups, spec, QueryStats()) is None
+
+    def test_thread_and_process_backends_match_serial(self):
+        db = make_figure8_db()
+        spec = figure8_spec(("X", "Y"))
+        expected = self._serial_cells(db, spec)
+        backends = [
+            SerialExecutorBackend(),
+            ThreadExecutorBackend(2),
+            ProcessExecutorBackend(db, 2),
+        ]
+        try:
+            for backend in backends:
+                cuboid, stats = self._scan(backend, db, spec)
+                assert cuboid.cells == expected, backend.name
+                assert stats.extra["scan_backend"] == backend.name
+        finally:
+            for backend in backends:
+                backend.shutdown()
+
+    def test_process_backend_spawn_context(self):
+        db = make_figure8_db()
+        spec = figure8_spec(("X", "Y"))
+        backend = ProcessExecutorBackend(db, 2, start_method="spawn")
+        try:
+            backend.warm_up()
+            cuboid, __ = self._scan(backend, db, spec)
+            assert cuboid.cells == self._serial_cells(db, spec)
+        finally:
+            backend.shutdown()
+
+    def test_process_backend_rejects_foreign_db(self):
+        db = make_figure8_db()
+        backend = ProcessExecutorBackend(db, 1)
+        try:
+            with pytest.raises(ServiceError):
+                backend.run_shards(
+                    make_figure8_db(), figure8_spec(("X", "Y")), [], None
+                )
+        finally:
+            backend.shutdown()
+
+    def test_service_wires_process_backend(self):
+        config = ServiceConfig(
+            max_workers=2,
+            executor_backend="process",
+            parallel_scan_threshold=1,
+        )
+        svc = QueryService(make_figure8_db(), config)
+        try:
+            spec = figure8_spec(("X", "Y"))
+            cuboid, stats = svc.execute(spec, "cb")
+            bare, __ = SOLAPEngine(make_figure8_db()).execute(spec, "cb")
+            assert cuboid.cells == bare.cells
+            assert stats.extra["scan_backend"] == "process"
+            assert svc.metrics.scan_backend_counts() == {"process": 1}
+            assert "backend=process" in repr(svc)
+        finally:
+            svc.close()
+
+    def test_serial_backend_config_installs_no_scanner(self):
+        svc = QueryService(
+            make_figure8_db(),
+            ServiceConfig(max_workers=2, executor_backend="serial"),
+        )
+        try:
+            assert svc.backend is None
+            assert svc.engine.cb_scanner is None
+            spec = figure8_spec(("X", "Y"))
+            __, stats = svc.execute(spec, "cb")
+            assert "scan_backend" not in stats.extra
+            assert svc.metrics.scan_backend_counts() == {"serial": 1}
+        finally:
+            svc.close()
