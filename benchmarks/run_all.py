@@ -38,12 +38,14 @@ if not any(
 ):  # pragma: no cover - convenience for bare invocations
     sys.path.insert(0, str(_REPO_ROOT / "src"))
 
+from repro import build_sequence_groups  # noqa: E402
 from repro.bench.workloads import (  # noqa: E402
     run_clickstream_exploration,
     run_queryset_a,
     run_queryset_b,
     run_queryset_c,
 )
+from repro.core.matcher import kernel_mode, make_matcher  # noqa: E402
 from repro.datagen import (  # noqa: E402
     ClickstreamConfig,
     SyntheticConfig,
@@ -51,9 +53,17 @@ from repro.datagen import (  # noqa: E402
     generate_event_database,
     remove_crawler_sessions,
 )
+from repro.datagen.synthetic import base_spec  # noqa: E402
+from repro.index.inverted import (  # noqa: E402
+    build_index,
+    join_indices,
+    pair_template,
+    prefix_template,
+)
 
 #: bump when the emitted document's shape changes incompatibly
-BENCH_SCHEMA = 1
+#: (2: added matcher_kernel_* / join_intersect_* micro-bench sections)
+BENCH_SCHEMA = 2
 
 
 class BenchCase:
@@ -191,6 +201,85 @@ def run_case(case: BenchCase, db, repeats: int) -> dict:
     }
 
 
+def build_micro_benches(datasets: Dict[str, object]) -> Dict[str, tuple]:
+    """Kernel micro-benchmarks isolating the matcher and join inner loops.
+
+    ``matcher_kernel_*`` times one full scan of the synthetic sequences
+    through the compiled (dictionary-encoded) vs legacy (value-space)
+    matcher; ``join_intersect_*`` times one L2 ⋈ L2 join with the
+    intersection kernel pinned to sorted galloping vs bitmap AND.  The
+    sequence pipeline and index builds happen outside the timed region so
+    the sections measure exactly the kernels.
+
+    Returns ``name -> (dataset, fn)`` where ``fn()`` performs one timed
+    run and returns its deterministic counters.
+    """
+    synthetic = datasets["synthetic"]
+    spec = base_spec(("X", "Y", "Z"))
+    groups = build_sequence_groups(
+        synthetic, None, list(spec.cluster_by), list(spec.sequence_by)
+    )
+    sequences = list(groups.all_sequences())
+
+    def matcher_scan(mode: str):
+        def run() -> dict:
+            with kernel_mode(mode):
+                matcher = make_matcher(
+                    spec.template, synthetic.schema, db=synthetic
+                )
+                cells = 0
+                for sequence in sequences:
+                    cells += len(matcher.assignments(sequence))
+            return {"sequences_scanned": len(sequences), "cells": cells}
+
+        return run
+
+    group = groups.single_group()
+    left = build_index(group, prefix_template(spec.template, 2), synthetic.schema)
+    pair = build_index(group, pair_template(spec.template, 1), synthetic.schema)
+    target = prefix_template(spec.template, 3)
+
+    def join_run(kernel: str):
+        def run() -> dict:
+            joined = join_indices(
+                left, pair, target, synthetic.schema, kernel=kernel
+            )
+            return {
+                "cells": len(joined),
+                "index_bytes_built": joined.size_bytes(),
+            }
+
+        return run
+
+    return {
+        "matcher_kernel_compiled": ("synthetic", matcher_scan("auto")),
+        "matcher_kernel_legacy": ("synthetic", matcher_scan("legacy")),
+        "join_intersect_sorted": ("synthetic", join_run("sorted")),
+        "join_intersect_bitmap": ("synthetic", join_run("bitmap")),
+    }
+
+
+def run_micro(fn, dataset: str, repeats: int) -> dict:
+    """Time one micro-bench *repeats* times (same shape as ``run_case``)."""
+    runs_ms: List[float] = []
+    counters: Optional[dict] = None
+    for __ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        runs_ms.append((time.perf_counter() - start) * 1000.0)
+        if counters is None:
+            counters = result
+    return {
+        "module": "benchmarks/run_all.py",
+        "dataset": dataset,
+        "runs_ms": [round(ms, 3) for ms in runs_ms],
+        "p50_ms": round(percentile(runs_ms, 0.50), 3),
+        "p95_ms": round(percentile(runs_ms, 0.95), 3),
+        "mean_ms": round(statistics.fmean(runs_ms), 3),
+        "counters": counters,
+    }
+
+
 def crossover_summary(db, n_queries: int) -> dict:
     """Cumulative CB-vs-II runtimes along QuerySet A and the crossover step.
 
@@ -253,6 +342,9 @@ def run_all(quick: bool, repeats: int, crossover_queries: int) -> dict:
         document["benchmarks"][case.name] = run_case(
             case, datasets[case.dataset], repeats
         )
+    for name, (dataset, fn) in build_micro_benches(datasets).items():
+        print(f"  running {name} ...", flush=True)
+        document["benchmarks"][name] = run_micro(fn, dataset, repeats)
     print("  running crossover summary ...", flush=True)
     document["crossover"] = {
         "queryset_a": crossover_summary(

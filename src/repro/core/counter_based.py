@@ -14,7 +14,7 @@ from typing import Dict, Iterator, Optional, Tuple
 
 from repro.core.aggregates import CellAccumulator
 from repro.core.cuboid import SCuboid
-from repro.core.matcher import TemplateMatcher
+from repro.core.matcher import make_matcher
 from repro.core.spec import CuboidSpec
 from repro.core.stats import QueryStats
 from repro.events.database import EventDatabase
@@ -99,19 +99,27 @@ def counter_based_cuboid(
     """
     stats = stats if stats is not None else QueryStats()
     stats.strategy = stats.strategy or "CB"
-    matcher = TemplateMatcher(
-        spec.template, db.schema, spec.restriction, spec.predicate
+    matcher = make_matcher(
+        spec.template, db.schema, spec.restriction, spec.predicate,
+        db=db, stats=stats,
     )
     slices = spec.sliced_groups()
     cells: CellTable = {}
 
+    kernel = stats.extra.get("matcher", "legacy")
+    match_span = "match.encoded" if kernel == "compiled" else "match.legacy"
     with span("cb.scan") as scan_span:
+        scan_span.set("kernel", kernel)
         scanned_before = stats.sequences_scanned
-        for group, sequence in selected_sequences(groups, slices):
-            stats.add_scan()
-            assignments = matcher.assignments(sequence)
-            if assignments:
-                fold_assignments(db, spec, cells, group, sequence, assignments)
+        with span(match_span) as m_span:
+            for group, sequence in selected_sequences(groups, slices):
+                stats.add_scan()
+                assignments = matcher.assignments(sequence)
+                if assignments:
+                    fold_assignments(db, spec, cells, group, sequence, assignments)
+            m_span.set(
+                "sequences_scanned", stats.sequences_scanned - scanned_before
+            )
         scan_span.set(
             "sequences_scanned", stats.sequences_scanned - scanned_before
         )

@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.aggregates import CellAccumulator, needs_contents
 from repro.core.counter_based import group_is_selected
 from repro.core.cuboid import SCuboid
-from repro.core.matcher import TemplateMatcher
+from repro.core.matcher import make_matcher
 from repro.core.spec import (
     CellRestriction,
     CuboidSpec,
@@ -355,8 +355,9 @@ def count_index(
     stats: QueryStats,
 ) -> Dict[Tuple[object, ...], Dict[str, object]]:
     """Aggregate each index list into cuboid cell values for one group."""
-    matcher = TemplateMatcher(
-        spec.template, db.schema, spec.restriction, spec.predicate
+    matcher = make_matcher(
+        spec.template, db.schema, spec.restriction, spec.predicate,
+        db=db, stats=stats,
     )
     fast_count = (
         not needs_contents(spec.aggregates)

@@ -23,6 +23,7 @@ but template lengths in practice are small (≤ 6).
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.spec import (
@@ -32,10 +33,11 @@ from repro.core.spec import (
     PatternSymbol,
     PatternTemplate,
 )
-from repro.errors import MatchLimitExceeded
+from repro.errors import MatchLimitExceeded, SchemaError
 from repro.events.expression import BindingContext
 from repro.events.schema import Schema
 from repro.events.sequence import Sequence
+from repro.obs.spans import span
 
 #: process-wide default cap on occurrences enumerated per sequence
 #: (None = unlimited).  Subsequence enumeration is combinatorial; set a
@@ -153,6 +155,22 @@ class TemplateMatcher:
             for dim, symbol in enumerate(template.symbols)
             if not symbol.wildcard
         ]
+        #: interned key tuples: equal cell / positions keys produced across
+        #: sequences share one tuple object, cutting aggregation-dict
+        #: hashing (hash cached per object) and key memory.  ``setdefault``
+        #: is atomic under the GIL, so the shared-matcher thread backend is
+        #: safe.
+        self._interned_keys: Dict[Tuple[object, ...], Tuple[object, ...]] = {}
+        #: per symbol dimension: the cell-key slot its value comes from, or
+        #: None for wildcards (which reconstruct as None)
+        dim_to_cell: Dict[int, int] = {}
+        for dim, symbol in enumerate(template.symbols):
+            if not symbol.wildcard:
+                dim_to_cell[dim] = len(dim_to_cell)
+        self._positions_plan: Tuple[Optional[int], ...] = tuple(
+            None if template.symbols[dim].wildcard else dim_to_cell[dim]
+            for dim in self._symbol_ids
+        )
 
     # ------------------------------------------------------------------
     # Symbol extraction
@@ -297,7 +315,8 @@ class TemplateMatcher:
 
         Wildcard positions carry no dimension and are dropped.
         """
-        return tuple(values[position] for position in self._cell_first_positions)
+        key = tuple(values[position] for position in self._cell_first_positions)
+        return self._interned_keys.setdefault(key, key)
 
     def positions_key(self, cell_key: Tuple[object, ...]) -> Tuple[object, ...]:
         """Per-position values (m) from a pattern-dimension key (n).
@@ -305,16 +324,11 @@ class TemplateMatcher:
         Wildcard positions reconstruct as ``None`` — exactly the value the
         matcher records for them, so keys round-trip.
         """
-        dim_to_cell: Dict[int, int] = {}
-        for dim, symbol in enumerate(self.template.symbols):
-            if not symbol.wildcard:
-                dim_to_cell[dim] = len(dim_to_cell)
-        return tuple(
-            None
-            if self.template.symbols[dim].wildcard
-            else cell_key[dim_to_cell[dim]]
-            for dim in self._symbol_ids
+        key = tuple(
+            None if slot is None else cell_key[slot]
+            for slot in self._positions_plan
         )
+        return self._interned_keys.setdefault(key, key)
 
     # ------------------------------------------------------------------
     # Cell assignment under a restriction
@@ -433,3 +447,545 @@ class TemplateMatcher:
         for values, __ in self.iter_occurrences(sequence):
             seen.setdefault(values, None)
         return list(seen)
+
+
+class CompiledMatcher(TemplateMatcher):
+    """A :class:`TemplateMatcher` running over dictionary-encoded code rows.
+
+    Built by :meth:`compile` from a template plus a database: every symbol
+    restriction (fixed / within) is translated once into an *accept-set* of
+    integer codes, placeholder equality becomes an int compare, and the
+    substring / subsequence automaton runs over flat ``array('I')`` rows
+    from the database's :class:`~repro.events.encoding.EncodedSequenceStore`.
+    Cell keys are aggregated in code space and decoded (then interned) once
+    per distinct cell, so results — cells, contents, enumeration order, and
+    the occurrence-cap behaviour — are bit-identical to the object matcher.
+
+    Only the hot entry points (:meth:`assignments`,
+    :meth:`unique_instantiations`) are overridden; the per-cell methods used
+    by index counting inherit the object implementations.  The matcher holds
+    no per-sequence scratch state, so one instance may be shared across the
+    thread backend's pool.
+    """
+
+    def __init__(
+        self,
+        template: PatternTemplate,
+        schema: Schema,
+        restriction: CellRestriction,
+        predicate: Optional[MatchingPredicate],
+        occurrence_cap: Optional[int],
+        *,
+        store,
+        row_domains: Tuple[Optional[Tuple[str, str]], ...],
+        accepts: Tuple[Optional[frozenset], ...],
+    ):
+        super().__init__(template, schema, restriction, predicate, occurrence_cap)
+        self._store = store
+        #: per template position: the (attribute, level) domain of its code
+        #: row, or None for wildcard positions (which match any event)
+        self._row_domains = row_domains
+        #: per template position: frozenset of accepted codes for restricted
+        #: symbols, or None when every code is acceptable
+        self._accepts = accepts
+        #: live code → value decode list per cell-key component
+        self._cell_decoders = [
+            store.dictionary.decoder(row_domains[position])
+            for position in self._cell_first_positions
+        ]
+        #: code cell key → interned decoded key, shared across sequences so
+        #: recurring patterns decode exactly once per query
+        self._decoded_codes: Dict[Tuple[int, ...], Tuple[object, ...]] = {}
+        #: code cell key → interned positions key (decode + wildcard
+        #: expansion fused), for the instantiation-listing path
+        self._positions_by_code: Dict[Tuple[int, ...], Tuple[object, ...]] = {}
+        #: the dominant template shape — substring, all symbols distinct,
+        #: no wildcards, no predicate — admits a windowed ``zip``
+        #: enumeration with no per-position Python loop; when accept-sets
+        #: are present the windows are filtered by per-position membership
+        simple_shape = (
+            template.kind is PatternKind.SUBSTRING
+            and predicate is None
+            and all(domain is not None for domain in row_domains)
+            and list(self._cell_first_positions) == list(range(self._m))
+            and len(self._symbol_ids) == len(set(self._symbol_ids))
+        )
+        self._accept_checks = [
+            (offset, accept)
+            for offset, accept in enumerate(accepts)
+            if accept is not None
+        ]
+        self._simple_substring = simple_shape and not self._accept_checks
+        self._filtered_substring = simple_shape and bool(self._accept_checks)
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    @classmethod
+    def compile(
+        cls,
+        template: PatternTemplate,
+        db,
+        restriction: CellRestriction = CellRestriction.LEFT_MAXIMALITY,
+        predicate: Optional[MatchingPredicate] = None,
+        occurrence_cap: Optional[int] = None,
+    ) -> "CompiledMatcher":
+        """Translate *template* into code space against *db*'s dictionary.
+
+        Raises (typically :class:`~repro.errors.SchemaError` for unmappable
+        values or callable-mapping ``within`` checks, ``TypeError`` for
+        unhashable dimension values) when the template cannot be compiled;
+        callers fall back to the object matcher.
+        """
+        schema = db.schema
+        store = db.encoding_store()
+        row_domains: List[Optional[Tuple[str, str]]] = []
+        accepts: List[Optional[frozenset]] = []
+        for symbol in template.position_symbols():
+            if symbol.wildcard:
+                row_domains.append(None)
+                accepts.append(None)
+                continue
+            schema.check_level(symbol.attribute, symbol.level)
+            domain = (symbol.attribute, symbol.level)
+            # Interning the full base-data domain up front makes the
+            # accept-sets sound (no value can appear later and bypass them)
+            # and surfaces any encoding problem at compile time.
+            store.ensure_domain_complete(db, symbol.attribute, symbol.level)
+            row_domains.append(domain)
+            if symbol.fixed is None and symbol.within is None:
+                accepts.append(None)
+            else:
+                accepts.append(store.accept_codes(db, symbol))
+        return cls(
+            template,
+            schema,
+            restriction,
+            predicate,
+            occurrence_cap,
+            store=store,
+            row_domains=tuple(row_domains),
+            accepts=tuple(accepts),
+        )
+
+    # ------------------------------------------------------------------
+    # Code-space enumeration
+    # ------------------------------------------------------------------
+    def _code_rows(self, sequence: Sequence) -> List[Optional[object]]:
+        store = self._store
+        return [
+            None if domain is None else store.row(sequence, domain[0], domain[1])
+            for domain in self._row_domains
+        ]
+
+    def _iter_code_occurrences(
+        self, sequence: Sequence
+    ) -> Iterator[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+        """(code cell key, event indices) per occurrence, left-to-right.
+
+        Enumeration order, the set of occurrences and the occurrence-cap
+        accounting are exactly those of :meth:`iter_occurrences`; only the
+        value representation differs (codes instead of objects).
+        """
+        if len(sequence) < self._m:
+            return
+        if self.template.kind is PatternKind.SUBSTRING:
+            source = self._iter_code_substring(sequence)
+        else:
+            source = self._iter_code_subsequence(sequence)
+        cap = (
+            self.occurrence_cap
+            if self.occurrence_cap is not None
+            else _default_occurrence_limit
+        )
+        if cap is None:
+            yield from source
+            return
+        count = 0
+        for occurrence in source:
+            count += 1
+            if count > cap:
+                raise MatchLimitExceeded(
+                    f"sequence sid={sequence.sid} exceeded the occurrence cap "
+                    f"of {cap} for template {self.template.positions} "
+                    f"({self.template.kind.value}); raise the cap or use a "
+                    "more selective template"
+                )
+            yield occurrence
+
+    def _iter_code_substring(self, sequence: Sequence):
+        rows = self._code_rows(sequence)
+        m = self._m
+        n = self._n
+        n_events = len(sequence)
+        symbol_ids = self._symbol_ids
+        accepts = self._accepts
+        cell_positions = self._cell_first_positions
+        for start in range(n_events - m + 1):
+            bound = [-1] * n
+            ok = True
+            codes_at = [0] * m
+            for offset in range(m):
+                row = rows[offset]
+                if row is None:
+                    continue
+                code = row[start + offset]
+                dim = symbol_ids[offset]
+                prev = bound[dim]
+                if prev >= 0:
+                    if prev != code:
+                        ok = False
+                        break
+                else:
+                    accept = accepts[offset]
+                    if accept is not None and code not in accept:
+                        ok = False
+                        break
+                    bound[dim] = code
+                codes_at[offset] = code
+            if ok:
+                yield (
+                    tuple(codes_at[position] for position in cell_positions),
+                    tuple(range(start, start + m)),
+                )
+
+    def _iter_code_subsequence(self, sequence: Sequence):
+        rows = self._code_rows(sequence)
+        m = self._m
+        n_events = len(sequence)
+        symbol_ids = self._symbol_ids
+        first_position = self._first_position
+        accepts = self._accepts
+        cell_positions = self._cell_first_positions
+        # Per-call scratch keeps the shared-matcher thread backend safe.
+        indices: List[int] = [0] * m
+        codes_at: List[int] = [0] * m
+
+        def extend(offset: int, start: int):
+            if offset == m:
+                yield (
+                    tuple(codes_at[position] for position in cell_positions),
+                    tuple(indices),
+                )
+                return
+            row = rows[offset]
+            dim = symbol_ids[offset]
+            first = first_position[dim]
+            earlier = first if first < offset else -1
+            accept = accepts[offset]
+            for index in range(start, n_events - (m - offset - 1)):
+                if row is None:
+                    code = 0
+                else:
+                    code = row[index]
+                    if earlier >= 0:
+                        if codes_at[earlier] != code:
+                            continue
+                    elif accept is not None and code not in accept:
+                        continue
+                indices[offset] = index
+                codes_at[offset] = code
+                yield from extend(offset + 1, index + 1)
+
+        yield from extend(0, 0)
+
+    def _decode_cell_key(self, key: Tuple[int, ...]) -> Tuple[object, ...]:
+        found = self._decoded_codes.get(key)
+        if found is not None:
+            return found
+        decoded = tuple(
+            decoder[code] for decoder, code in zip(self._cell_decoders, key)
+        )
+        decoded = self._interned_keys.setdefault(decoded, decoded)
+        self._decoded_codes[key] = decoded
+        return decoded
+
+    # ------------------------------------------------------------------
+    # Simple-substring fast path: windowed zip over the code rows
+    # ------------------------------------------------------------------
+    def _window_keys(self, sequence: Sequence):
+        """Code cell keys of every window, as a C-speed ``zip`` iterator.
+
+        Valid only for ``_simple_substring`` templates: the cell key of the
+        window at *start* is exactly ``(row_0[start], row_1[start+1], ...)``
+        and every window matches, so zipping the position rows at their
+        offsets enumerates all occurrences in legacy order with no
+        per-position Python loop.
+        """
+        store = self._store
+        rows = [
+            store.row(sequence, attribute, level)
+            for attribute, level in self._row_domains
+        ]
+        return zip(*(row[offset:] if offset else row for offset, row in enumerate(rows)))
+
+    def _effective_cap(self) -> Optional[int]:
+        return (
+            self.occurrence_cap
+            if self.occurrence_cap is not None
+            else _default_occurrence_limit
+        )
+
+    def _raise_cap(self, sequence: Sequence, cap: int) -> None:
+        raise MatchLimitExceeded(
+            f"sequence sid={sequence.sid} exceeded the occurrence cap "
+            f"of {cap} for template {self.template.positions} "
+            f"({self.template.kind.value}); raise the cap or use a "
+            "more selective template"
+        )
+
+    def _check_window_cap(self, sequence: Sequence, n_windows: int) -> None:
+        """The occurrence cap, applied to the (pre-known) window count.
+
+        On the simple-substring path every window is an occurrence, so the
+        cap can be tested before enumeration; the error is the one the
+        generic path raises at the (cap+1)-th occurrence.
+        """
+        cap = self._effective_cap()
+        if cap is not None and n_windows > cap:
+            self._raise_cap(sequence, cap)
+
+    # ------------------------------------------------------------------
+    # Hot entry points, re-run over codes
+    # ------------------------------------------------------------------
+    def assignments(self, sequence: Sequence) -> Dict[Tuple[object, ...], List[Content]]:
+        all_matched = self.restriction is CellRestriction.ALL_MATCHED
+        data_go = self.restriction is CellRestriction.LEFT_MAXIMALITY_DATA
+        predicate = self.predicate
+        rows = sequence.rows
+        by_code: Dict[Tuple[int, ...], List[Content]] = {}
+        if self._simple_substring:
+            m = self._m
+            n_windows = len(sequence) - m + 1
+            if n_windows <= 0:
+                return {}
+            self._check_window_cap(sequence, n_windows)
+            if all_matched:
+                for start, key in enumerate(self._window_keys(sequence)):
+                    bucket = by_code.get(key)
+                    if bucket is None:
+                        bucket = by_code[key] = []
+                    bucket.append(rows[start : start + m])
+            elif data_go:
+                for key in self._window_keys(sequence):
+                    if key not in by_code:
+                        by_code[key] = [rows]
+            else:
+                for start, key in enumerate(self._window_keys(sequence)):
+                    if key not in by_code:
+                        by_code[key] = [rows[start : start + m]]
+            decode = self._decode_cell_key
+            return {decode(key): contents for key, contents in by_code.items()}
+        if self._filtered_substring:
+            m = self._m
+            if len(sequence) < m:
+                return {}
+            cap = self._effective_cap()
+            count = 0
+            checks = self._accept_checks
+            for start, key in enumerate(self._window_keys(sequence)):
+                matched = True
+                for offset, accept in checks:
+                    if key[offset] not in accept:
+                        matched = False
+                        break
+                if not matched:
+                    continue
+                count += 1
+                if cap is not None and count > cap:
+                    self._raise_cap(sequence, cap)
+                if all_matched:
+                    bucket = by_code.get(key)
+                    if bucket is None:
+                        bucket = by_code[key] = []
+                    bucket.append(rows[start : start + m])
+                elif key not in by_code:
+                    by_code[key] = [rows] if data_go else [rows[start : start + m]]
+            decode = self._decode_cell_key
+            return {decode(key): contents for key, contents in by_code.items()}
+        for key, indices in self._iter_code_occurrences(sequence):
+            if not all_matched and key in by_code:
+                continue
+            if predicate is not None and not self.occurrence_qualifies(
+                sequence, ((), indices)
+            ):
+                continue
+            if data_go:
+                content: Content = rows
+            else:
+                content = tuple(rows[index] for index in indices)
+            by_code.setdefault(key, []).append(content)
+        if not by_code:
+            return {}
+        decode = self._decode_cell_key
+        return {decode(key): contents for key, contents in by_code.items()}
+
+    def _positions_for_code(self, key: Tuple[int, ...]) -> Tuple[object, ...]:
+        """Interned positions key for a code cell key (decode fused in)."""
+        found = self._positions_by_code.get(key)
+        if found is None:
+            found = self._positions_by_code[key] = self.positions_key(
+                self._decode_cell_key(key)
+            )
+        return found
+
+    def unique_instantiations(self, sequence: Sequence) -> List[Tuple[object, ...]]:
+        if self._simple_substring:
+            n_windows = len(sequence) - self._m + 1
+            if n_windows <= 0:
+                return []
+            self._check_window_cap(sequence, n_windows)
+            positions = self._positions_for_code
+            return [
+                positions(key)
+                for key in dict.fromkeys(self._window_keys(sequence))
+            ]
+        if self._filtered_substring:
+            if len(sequence) < self._m:
+                return []
+            cap = self._effective_cap()
+            count = 0
+            checks = self._accept_checks
+            seen_keys: Dict[Tuple[int, ...], None] = {}
+            for key in self._window_keys(sequence):
+                matched = True
+                for offset, accept in checks:
+                    if key[offset] not in accept:
+                        matched = False
+                        break
+                if not matched:
+                    continue
+                count += 1
+                if cap is not None and count > cap:
+                    self._raise_cap(sequence, cap)
+                if key not in seen_keys:
+                    seen_keys[key] = None
+            positions = self._positions_for_code
+            return [positions(key) for key in seen_keys]
+        seen: Dict[Tuple[int, ...], None] = {}
+        for key, __ in self._iter_code_occurrences(sequence):
+            if key not in seen:
+                seen[key] = None
+        # The full per-position tuple is a function of the cell key (repeated
+        # symbols share one binding; wildcards are always None), so deduping
+        # on cell keys preserves both the set and the first-seen order.
+        positions = self._positions_for_code
+        return [positions(key) for key in seen]
+
+
+# --------------------------------------------------------------------------
+# Kernel dispatch: compiled when possible, object matcher otherwise
+# --------------------------------------------------------------------------
+
+#: which matcher kernel make_matcher selects: "auto" compiles when it can,
+#: "legacy" forces the object matcher (used by A/B tests and benchmarks)
+_kernel_mode = "auto"
+
+_dispatch_lock = threading.Lock()
+#: process-local counts of make_matcher outcomes, exported as the
+#: ``solap_matcher_dispatch_total{kind}`` metric family
+_dispatch_counts: Dict[str, int] = {"compiled": 0, "legacy": 0, "fallback": 0}
+
+#: exceptions that mean "this template cannot be compiled", not "bug":
+#: unmappable values / callable-mapping children (SchemaError), unhashable
+#: dimension values (TypeError), malformed codes (ValueError, OverflowError)
+_COMPILE_ERRORS = (SchemaError, TypeError, ValueError, OverflowError)
+
+
+def set_kernel_mode(mode: str) -> str:
+    """Set the matcher kernel mode ("auto" / "legacy"); returns the old one."""
+    global _kernel_mode
+    if mode not in ("auto", "legacy"):
+        raise ValueError(f"unknown kernel mode {mode!r}; use 'auto' or 'legacy'")
+    previous = _kernel_mode
+    _kernel_mode = mode
+    return previous
+
+
+def get_kernel_mode() -> str:
+    return _kernel_mode
+
+
+class kernel_mode:
+    """Context manager scoping the matcher kernel mode.
+
+    >>> with kernel_mode("legacy"):
+    ...     engine.execute(spec)   # forces the object matcher
+    """
+
+    def __init__(self, mode: str):
+        self.mode = mode
+        self._previous: Optional[str] = None
+
+    def __enter__(self) -> "kernel_mode":
+        self._previous = set_kernel_mode(self.mode)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        set_kernel_mode(self._previous)
+
+
+def matcher_dispatch_counts() -> Dict[str, int]:
+    """Snapshot of make_matcher outcome counts (process-local, monotonic)."""
+    with _dispatch_lock:
+        return dict(_dispatch_counts)
+
+
+def _record_dispatch(kind: str, stats=None) -> None:
+    with _dispatch_lock:
+        _dispatch_counts[kind] = _dispatch_counts.get(kind, 0) + 1
+    if stats is not None:
+        stats.extra["matcher"] = kind
+
+
+def make_matcher(
+    template: PatternTemplate,
+    schema: Schema,
+    restriction: CellRestriction = CellRestriction.LEFT_MAXIMALITY,
+    predicate: Optional[MatchingPredicate] = None,
+    occurrence_cap: Optional[int] = None,
+    *,
+    db=None,
+    stats=None,
+) -> TemplateMatcher:
+    """The matcher for a template: compiled when possible, legacy otherwise.
+
+    Passing the event database enables compilation (the dictionary lives on
+    it); without a database — or under ``kernel_mode("legacy")`` — the
+    object matcher is returned.  A failed compile falls back transparently;
+    the chosen kind is recorded in the dispatch counters and, when *stats*
+    is given, in ``QueryStats.extra["matcher"]``.
+    """
+    if db is not None and _kernel_mode == "auto":
+        with span("match.compile") as sp:
+            try:
+                matcher = CompiledMatcher.compile(
+                    template, db, restriction, predicate, occurrence_cap
+                )
+            except _COMPILE_ERRORS as exc:
+                sp.set("kind", "fallback")
+                sp.set("reason", type(exc).__name__)
+                _record_dispatch("fallback", stats)
+            else:
+                sp.set("kind", "compiled")
+                _record_dispatch("compiled", stats)
+                return matcher
+    else:
+        _record_dispatch("legacy", stats)
+    return TemplateMatcher(template, schema, restriction, predicate, occurrence_cap)
+
+
+def can_compile(template: PatternTemplate, db) -> bool:
+    """Whether make_matcher would return a compiled matcher for *template*.
+
+    Used by scan coordinators to report the kernel that worker processes
+    (whose dispatch counters are invisible here) will run.  Compilation
+    work is memoized on the database's encoding store, so probing is cheap.
+    """
+    if db is None or _kernel_mode != "auto":
+        return False
+    try:
+        CompiledMatcher.compile(template, db)
+    except _COMPILE_ERRORS:
+        return False
+    return True

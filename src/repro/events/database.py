@@ -167,6 +167,23 @@ class EventDatabase:
         n_cells = self._length * len(self.schema.attributes)
         return 56 * len(self.schema.attributes) + 8 * n_cells
 
+    def encoding_store(self):
+        """The lazily-created dictionary-encoding store for this database.
+
+        One store per database keeps codes consistent across every pipeline
+        and matcher built over it.  Created on first use so databases that
+        never touch the encoded path pay nothing; stored as a plain
+        attribute so it pickles with the database to process-backend
+        workers (its locks are dropped and rebuilt on load).
+        """
+        store = getattr(self, "_encoding", None)
+        if store is None:
+            from repro.events.encoding import EncodedSequenceStore
+
+            store = EncodedSequenceStore()
+            self._encoding = store
+        return store
+
     def __repr__(self) -> str:
         return (
             f"EventDatabase({self._length} events, "

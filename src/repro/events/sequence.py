@@ -40,7 +40,7 @@ class Sequence:
     hierarchy level — because pattern matching reads those tuples many times.
     """
 
-    __slots__ = ("sid", "db", "rows", "cluster_key", "_symbol_cache")
+    __slots__ = ("sid", "db", "rows", "cluster_key", "_symbol_cache", "_code_cache")
 
     def __init__(
         self,
@@ -54,6 +54,9 @@ class Sequence:
         self.rows = rows
         self.cluster_key = cluster_key
         self._symbol_cache: Dict[AttrLevel, Tuple[object, ...]] = {}
+        # Dictionary-encoded symbol rows, filled on demand by the
+        # EncodedSequenceStore of self.db (see repro.events.encoding).
+        self._code_cache: Dict[AttrLevel, object] = {}
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -188,6 +191,17 @@ def cluster_events(
         raise SpecError("CLUSTER BY requires at least one attribute")
     mapped_columns = [db.mapped_column(attr, level) for attr, level in cluster_by]
     clusters: Dict[Tuple[object, ...], List[int]] = {}
+    if len(mapped_columns) == 1:
+        # Dominant case (one CLUSTER BY attribute): index the column
+        # directly instead of building each key through a generator.
+        column = mapped_columns[0]
+        for row in rows:
+            key = (column[row],)
+            bucket = clusters.get(key)
+            if bucket is None:
+                bucket = clusters[key] = []
+            bucket.append(row)
+        return clusters
     for row in rows:
         key = tuple(column[row] for column in mapped_columns)
         clusters.setdefault(key, []).append(row)
@@ -210,8 +224,14 @@ def form_sequences(
         raise SpecError("SEQUENCE BY requires at least one ordering attribute")
     order_columns = [(db.column(attr), ascending) for attr, ascending in sequence_by]
 
-    def order_key(row: int) -> Tuple[object, ...]:
-        return tuple(column[row] for column, __ in order_columns)
+    if len(order_columns) == 1:
+        # One ascending key orders identically by the raw value and by the
+        # 1-tuple, so skip the per-row tuple construction.
+        order_key = order_columns[0][0].__getitem__
+    else:
+
+        def order_key(row: int) -> Tuple[object, ...]:
+            return tuple(column[row] for column, __ in order_columns)
 
     descending = [not ascending for __, ascending in order_columns]
     sequences: List[Sequence] = []

@@ -33,7 +33,7 @@ from __future__ import annotations
 import hashlib
 from typing import Dict, FrozenSet, List, Tuple
 
-from repro.core.matcher import TemplateMatcher
+from repro.core.matcher import make_matcher
 from repro.core.spec import PatternTemplate
 from repro.errors import EngineError
 from repro.events.database import EventDatabase
@@ -84,7 +84,7 @@ class VendorSite:
         groups = build_sequence_groups(
             self._db, None, self._cluster_by, self._sequence_by
         )
-        matcher = TemplateMatcher(template, self._db.schema)
+        matcher = make_matcher(template, self._db.schema, db=self._db)
         lists: Dict[PatternValues, set] = {}
         for sequence in groups.all_sequences():
             key_value = sequence.event(0)[self._join_key]

@@ -26,7 +26,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.core.aggregates import CellAccumulator
 from repro.core.counter_based import group_is_selected
 from repro.core.cuboid import SCuboid
-from repro.core.matcher import TemplateMatcher
+from repro.core.matcher import make_matcher
 from repro.core.spec import CuboidSpec
 from repro.core.stats import QueryStats
 from repro.events.database import EventDatabase
@@ -85,8 +85,9 @@ def online_cuboid(
         raise ValueError("chunk_size must be >= 1")
     stats = stats if stats is not None else QueryStats()
     stats.strategy = "online"
-    matcher = TemplateMatcher(
-        spec.template, db.schema, spec.restriction, spec.predicate
+    matcher = make_matcher(
+        spec.template, db.schema, spec.restriction, spec.predicate,
+        db=db, stats=stats,
     )
     slices = spec.sliced_groups()
     work: List[Tuple[Tuple[object, ...], Sequence]] = []

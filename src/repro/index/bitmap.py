@@ -38,14 +38,18 @@ def sids_to_bitmap(sids: Iterable[int], sid_base: int) -> int:
 
 
 def bitmap_to_sids(bitmap: int, sid_base: int) -> FrozenSet[int]:
-    """Unpack an integer bitmap back into a sid set."""
-    sids = set()
-    offset = 0
+    """Unpack an integer bitmap back into a sid set.
+
+    Iterates set bits via ``bitmap & -bitmap`` (lowest set bit) and
+    ``bit_length``, so the cost is O(set bits) big-int operations instead
+    of one shift per *position* — a sparse bitmap with a few high bits no
+    longer pays for every zero below them.
+    """
+    sids = []
     while bitmap:
-        if bitmap & 1:
-            sids.add(sid_base + offset)
-        bitmap >>= 1
-        offset += 1
+        low = bitmap & -bitmap
+        sids.append(sid_base + low.bit_length() - 1)
+        bitmap ^= low
     return frozenset(sids)
 
 
@@ -114,8 +118,8 @@ class BitmapIndex:
     def size_bytes(self) -> int:
         """Estimated footprint: one bit per position up to the highest sid.
 
-        For dense sid universes this is far below the 8-bytes-per-entry
-        list encoding — the storage saving the paper anticipates.
+        For dense sid universes this is far below the 4-bytes-per-entry
+        posting-list encoding — the storage saving the paper anticipates.
         """
         per_list_overhead = 48 + 8 * self.m
         return sum(
@@ -156,7 +160,7 @@ def bitmap_join(
     for values, bitmap in left.lists.items():
         for second, right_bitmap in by_first.get(values[-1], ()):
             candidate = values + (second,)
-            if not checker(candidate):
+            if checker is not None and not checker(candidate):
                 continue
             intersection = bitmap & right_bitmap
             if intersection:

@@ -22,9 +22,11 @@ eliminates ``s1`` from ``l12`` in Figure 13.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from array import array
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.core.matcher import TemplateMatcher
+from repro.core.matcher import make_matcher
 from repro.core.spec import PatternSymbol, PatternTemplate
 from repro.core.stats import QueryStats
 from repro.errors import IndexError_
@@ -32,6 +34,66 @@ from repro.events.schema import Schema
 from repro.events.sequence import SequenceGroup
 
 PatternValues = Tuple[object, ...]
+
+#: A posting list: strictly ascending sids in a flat uint32 array.  Compact
+#: (4 bytes/entry, no per-element objects) and intersectable by galloping.
+PostingList = array
+
+
+def posting_list(sids: Iterable[int]) -> PostingList:
+    """A canonical (sorted, duplicate-free) posting list from any iterable."""
+    if isinstance(sids, array) and sids.typecode == "I":
+        return sids
+    return array("I", sorted(set(sids)))
+
+
+def intersect_postings(a: PostingList, b: PostingList) -> PostingList:
+    """Galloping (exponential-probe) intersection of two posting lists.
+
+    Walks the smaller list and locates each element in the larger one by
+    doubling probes from the last match position followed by a bounded
+    binary search — O(|small| · log(gap)) instead of O(|small| + |large|),
+    which is what makes skewed joins (one hot list against many short
+    ones) cheap.
+    """
+    if len(a) > len(b):
+        a, b = b, a
+    out = array("I")
+    if not a or not b or a[-1] < b[0] or b[-1] < a[0]:
+        return out
+    append = out.append
+    nb = len(b)
+    pos = 0
+    for x in a:
+        step = 1
+        while pos + step < nb and b[pos + step] < x:
+            step <<= 1
+        pos = bisect_left(b, x, pos + (step >> 1), min(pos + step + 1, nb))
+        if pos < nb and b[pos] == x:
+            append(x)
+            pos += 1
+        elif pos >= nb:
+            break
+    return out
+
+
+def _pack_bitmap(sids: PostingList) -> int:
+    """Posting list → big-int bitmap (bit i = sid i)."""
+    bits = 0
+    for sid in sids:
+        bits |= 1 << sid
+    return bits
+
+
+def _unpack_bitmap(bits: int) -> PostingList:
+    """Big-int bitmap → posting list (set-bit iteration yields ascending sids)."""
+    out = array("I")
+    append = out.append
+    while bits:
+        low = bits & -bits
+        append(low.bit_length() - 1)
+        bits ^= low
+    return out
 
 
 def prefix_template(template: PatternTemplate, length: int) -> PatternTemplate:
@@ -90,18 +152,25 @@ class InvertedIndex:
     and restrictions included); ``verified`` is False for join candidates
     whose lists may contain sequences that do not actually contain the
     concatenated pattern.
+
+    Lists are stored as sorted ``array('I')`` posting lists; the constructor
+    canonicalises any other iterable (sets, frozensets, lists — as produced
+    by :mod:`repro.io` loads and older callers), so every index in the
+    process shares one representation.
     """
 
     def __init__(
         self,
         template: PatternTemplate,
         group_key: Tuple[object, ...],
-        lists: Dict[PatternValues, FrozenSet[int]],
+        lists: Dict[PatternValues, Iterable[int]],
         verified: bool = True,
     ):
         self.template = template
         self.group_key = group_key
-        self.lists = lists
+        self.lists: Dict[PatternValues, PostingList] = {
+            values: posting_list(sids) for values, sids in lists.items()
+        }
         self.verified = verified
 
     # ------------------------------------------------------------------
@@ -116,9 +185,10 @@ class InvertedIndex:
     def __contains__(self, values: PatternValues) -> bool:
         return values in self.lists
 
-    def get(self, values: PatternValues) -> FrozenSet[int]:
-        """The sid list for one pattern (empty when absent)."""
-        return self.lists.get(values, frozenset())
+    def get(self, values: PatternValues) -> PostingList:
+        """The sid posting list for one pattern (empty when absent)."""
+        found = self.lists.get(values)
+        return found if found is not None else array("I")
 
     def num_entries(self) -> int:
         """Total sid entries across all lists."""
@@ -132,15 +202,16 @@ class InvertedIndex:
         return out
 
     def size_bytes(self) -> int:
-        """Estimated footprint: 8 bytes/sid entry + per-list key overhead.
+        """Estimated footprint: 4 bytes/sid entry + per-list key overhead.
 
         A deliberate, stable estimate (not ``sys.getsizeof`` recursion) so
         benchmark output is machine-independent, mirroring the paper's MB
-        figures in Table 1.
+        figures in Table 1.  Entries cost 4 bytes since the posting lists
+        are ``array('I')`` (was 8 with the earlier frozenset lists).
         """
         per_list_overhead = 48 + 8 * self.m
         return sum(
-            per_list_overhead + 8 * len(sids) for sids in self.lists.values()
+            per_list_overhead + 4 * len(sids) for sids in self.lists.values()
         )
 
     def signature(self) -> Tuple:
@@ -164,9 +235,14 @@ class InvertedIndex:
             if (mine.attribute, mine.level) != (theirs.attribute, theirs.level):
                 raise IndexError_("position domain mismatch in filter_for")
         matcher = _key_checker(template, schema)
-        kept = {
-            values: sids for values, sids in self.lists.items() if matcher(values)
-        }
+        if matcher is None:
+            kept: Dict[PatternValues, Iterable[int]] = dict(self.lists)
+        else:
+            kept = {
+                values: sids
+                for values, sids in self.lists.items()
+                if matcher(values)
+            }
         return InvertedIndex(template, self.group_key, kept, verified=self.verified)
 
     def rollup(
@@ -208,7 +284,7 @@ class InvertedIndex:
         return InvertedIndex(
             coarse_template,
             self.group_key,
-            {k: frozenset(v) for k, v in merged.items()},
+            merged,
             verified=self.verified,
         )
 
@@ -221,22 +297,44 @@ class InvertedIndex:
 
 
 def _key_checker(template: PatternTemplate, schema: Schema):
-    """A fast predicate testing whether a value tuple instantiates *template*."""
+    """A fast predicate testing whether a value tuple instantiates *template*.
+
+    Returns ``None`` when the template has no repeated and no restricted
+    symbols — every tuple passes, so callers can skip the check entirely.
+    Restriction outcomes are memoised per (position, value): index keys
+    repeat values heavily, so each distinct value pays the
+    :func:`~repro.core.matcher._symbol_value_ok` cost once.
+    """
     from repro.core.matcher import _symbol_value_ok
 
     symbol_ids = template.symbol_ids()
     position_symbols = template.position_symbols()
     first_position: Dict[int, int] = {}
+    equalities: List[Tuple[int, int]] = []
+    restricted: List[Tuple[int, object, Dict[object, bool]]] = []
     for position, dim in enumerate(symbol_ids):
-        first_position.setdefault(dim, position)
+        first = first_position.setdefault(dim, position)
+        if position != first:
+            equalities.append((position, first))
+            continue
+        symbol = position_symbols[position]
+        if not symbol.wildcard and (
+            symbol.fixed is not None or symbol.within is not None
+        ):
+            restricted.append((position, symbol, {}))
+    if not equalities and not restricted:
+        return None
 
     def check(values: PatternValues) -> bool:
-        for position, dim in enumerate(symbol_ids):
-            first = first_position[dim]
-            if position != first:
-                if values[position] != values[first]:
-                    return False
-            elif not _symbol_value_ok(position_symbols[position], values[position], schema):
+        for position, first in equalities:
+            if values[position] != values[first]:
+                return False
+        for position, symbol, cache in restricted:
+            value = values[position]
+            ok = cache.get(value)
+            if ok is None:
+                ok = cache[value] = _symbol_value_ok(symbol, value, schema)
+            if not ok:
                 return False
         return True
 
@@ -262,24 +360,27 @@ def build_index(
     is given, only those sequences are scanned; this implements the
     domain-restricted on-demand builds that make iterative II queries cheap.
     """
-    matcher = TemplateMatcher(template, schema)
-    lists: Dict[PatternValues, Set[int]] = {}
+    db = group.sequences[0].db if group.sequences else None
+    matcher = make_matcher(template, schema, db=db)
+    lists: Dict[PatternValues, PostingList] = {}
     if restrict_sids is None:
         sequences = list(group)
     else:
         wanted = set(restrict_sids)
         sequences = [group.by_sid(sid) for sid in sorted(wanted)]
+    # Sequences are visited in ascending sid order (group order is
+    # formation order; the restricted path sorts), so appending builds
+    # each posting list already sorted — no per-list sort pass needed.
     for sequence in sequences:
         if stats is not None:
             stats.add_scan()
+        sid = sequence.sid
         for values in matcher.unique_instantiations(sequence):
-            lists.setdefault(values, set()).add(sequence.sid)
-    index = InvertedIndex(
-        template,
-        group.key,
-        {values: frozenset(sids) for values, sids in lists.items()},
-        verified=True,
-    )
+            found = lists.get(values)
+            if found is None:
+                found = lists[values] = array("I")
+            found.append(sid)
+    index = InvertedIndex(template, group.key, lists, verified=True)
     if stats is not None:
         stats.indices_built += 1
         stats.index_bytes_built += index.size_bytes()
@@ -291,12 +392,31 @@ def build_index(
 # --------------------------------------------------------------------------
 
 
+def _auto_join_kernel(left: InvertedIndex, right: InvertedIndex) -> str:
+    """Pick the intersection kernel from the operands' list densities."""
+    from repro.optimizer.cost_model import choose_join_kernel
+
+    n_lists = len(left.lists) + len(right.lists)
+    total = left.num_entries() + right.num_entries()
+    if not n_lists or not total:
+        return "sorted"
+    span = 0
+    for sids in left.lists.values():
+        if sids and sids[-1] >= span:
+            span = sids[-1] + 1
+    for sids in right.lists.values():
+        if sids and sids[-1] >= span:
+            span = sids[-1] + 1
+    return choose_join_kernel(total / n_lists, span)
+
+
 def join_indices(
     left: InvertedIndex,
     right: InvertedIndex,
     target_prefix: PatternTemplate,
     schema: Schema,
     stats: Optional[QueryStats] = None,
+    kernel: Optional[str] = None,
 ) -> InvertedIndex:
     """``L_{i+1} = L_i ⋈ L_2``: extend left keys by right keys' second value.
 
@@ -304,6 +424,12 @@ def join_indices(
     first; candidate keys must additionally instantiate *target_prefix*
     (the first i+1 positions of the query template), which enforces
     repeated-symbol equalities like the trailing X of (X, Y, Y, X).
+
+    Per-list intersections run on one of two kernels, chosen by the cost
+    model (:func:`repro.optimizer.cost_model.choose_join_kernel`) unless
+    *kernel* pins one: ``"sorted"`` galloping intersection of the posting
+    lists, or ``"bitmap"`` packing lists into big-int bitmaps and using a
+    single ``&`` per pair — cheaper when lists are dense in the sid span.
 
     The result is **unverified**: list intersection over-approximates
     containment of the concatenated pattern (a sequence may contain
@@ -317,21 +443,43 @@ def join_indices(
             f"target prefix has length {target_prefix.length}, "
             f"expected {left.m + 1}"
         )
-    by_first: Dict[object, List[Tuple[object, FrozenSet[int]]]] = {}
-    for (first, second), sids in right.lists.items():
-        by_first.setdefault(first, []).append((second, sids))
+    if kernel is None:
+        kernel = _auto_join_kernel(left, right)
     checker = _key_checker(target_prefix, schema)
-    joined: Dict[PatternValues, FrozenSet[int]] = {}
-    for values, sids in left.lists.items():
-        for second, right_sids in by_first.get(values[-1], ()):
-            candidate = values + (second,)
-            if not checker(candidate):
+    joined: Dict[PatternValues, PostingList] = {}
+    if kernel == "bitmap":
+        by_first_bits: Dict[object, List[Tuple[object, int]]] = {}
+        for (first, second), sids in right.lists.items():
+            by_first_bits.setdefault(first, []).append(
+                (second, _pack_bitmap(sids))
+            )
+        for values, sids in left.lists.items():
+            entries = by_first_bits.get(values[-1])
+            if not entries:
                 continue
-            intersection = sids & right_sids
-            if intersection:
-                joined[candidate] = intersection
+            left_bits = _pack_bitmap(sids)
+            for second, right_bits in entries:
+                candidate = values + (second,)
+                if checker is not None and not checker(candidate):
+                    continue
+                intersection = left_bits & right_bits
+                if intersection:
+                    joined[candidate] = _unpack_bitmap(intersection)
+    else:
+        by_first: Dict[object, List[Tuple[object, PostingList]]] = {}
+        for (first, second), sids in right.lists.items():
+            by_first.setdefault(first, []).append((second, sids))
+        for values, sids in left.lists.items():
+            for second, right_sids in by_first.get(values[-1], ()):
+                candidate = values + (second,)
+                if checker is not None and not checker(candidate):
+                    continue
+                intersection = intersect_postings(sids, right_sids)
+                if intersection:
+                    joined[candidate] = intersection
     if stats is not None:
         stats.index_joins += 1
+        stats.extra["join_kernel"] = kernel
     return InvertedIndex(target_prefix, left.group_key, joined, verified=False)
 
 
@@ -349,14 +497,17 @@ def verify_index(
     """
     if index.verified:
         return index
-    matcher = TemplateMatcher(index.template, schema)
+    db = group.sequences[0].db if group.sequences else None
+    matcher = make_matcher(index.template, schema, db=db)
     # Group the membership tests by sid so each sequence is scanned once.
     by_sid: Dict[int, List[PatternValues]] = {}
     for values, sids in index.lists.items():
         for sid in sids:
             by_sid.setdefault(sid, []).append(values)
-    surviving: Dict[PatternValues, Set[int]] = {}
-    for sid, patterns in by_sid.items():
+    # Ascending sid order keeps the surviving posting lists append-sorted.
+    surviving: Dict[PatternValues, PostingList] = {}
+    for sid in sorted(by_sid):
+        patterns = by_sid[sid]
         sequence = group.by_sid(sid)
         if stats is not None:
             stats.add_scan()
@@ -365,12 +516,12 @@ def verify_index(
         }
         for values in patterns:
             if values in contained:
-                surviving.setdefault(values, set()).add(sid)
+                found = surviving.get(values)
+                if found is None:
+                    found = surviving[values] = array("I")
+                found.append(sid)
     verified = InvertedIndex(
-        index.template,
-        index.group_key,
-        {values: frozenset(sids) for values, sids in surviving.items()},
-        verified=True,
+        index.template, index.group_key, surviving, verified=True
     )
     if stats is not None:
         stats.indices_built += 1
@@ -424,9 +575,4 @@ def union_indices(
         group_key = index.group_key
         for values, sids in index.lists.items():
             merged.setdefault(values, set()).update(sids)
-    return InvertedIndex(
-        template,
-        group_key,
-        {values: frozenset(sids) for values, sids in merged.items()},
-        verified=verified,
-    )
+    return InvertedIndex(template, group_key, merged, verified=verified)

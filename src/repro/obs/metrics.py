@@ -530,6 +530,19 @@ def register_engine_metrics(registry: MetricsRegistry, engine) -> None:
         "solap_engine_sequences_scanned_total",
         "Total sequence accesses across all queries",
     ).attach_callback(lambda: engine.sequences_scanned_total)
+
+    from repro.core.matcher import matcher_dispatch_counts
+
+    dispatch = registry.counter(
+        "solap_matcher_dispatch_total",
+        "Matchers constructed, by kernel outcome (compiled / legacy / "
+        "fallback); process-local — worker processes keep their own counts",
+        labels=("kind",),
+    )
+    for kind in ("compiled", "legacy", "fallback"):
+        dispatch.attach_callback(
+            lambda k=kind: matcher_dispatch_counts().get(k, 0), kind
+        )
     registry.counter(
         "solap_engine_rows_aggregated_total",
         "Total result cells aggregated across all queries",

@@ -35,6 +35,28 @@ from repro.index.registry import IndexRegistry
 
 AttrLevel = Tuple[str, str]
 
+#: density (entries per sid of span) above which bitmap intersection beats
+#: galloping over sorted posting lists: packing costs one big-int OR per
+#: entry but intersection is then one machine-word AND per 64 sids of span,
+#: so bitmaps win once lists cover more than ~1/64 of the span.
+BITMAP_DENSITY_CUTOFF = 1.0 / 64.0
+
+
+def choose_join_kernel(avg_list_len: float, sid_span: int) -> str:
+    """Pick the per-join intersection kernel from list densities.
+
+    A pure-numbers rule (no index access) used by
+    :func:`repro.index.inverted.join_indices`: ``"bitmap"`` when the average
+    posting list is dense within the sid span — each 64-sid word of a
+    bitmap then carries enough set bits to beat per-element galloping — and
+    ``"sorted"`` galloping intersection otherwise.
+    """
+    if sid_span <= 0 or avg_list_len <= 0:
+        return "sorted"
+    if avg_list_len / sid_span >= BITMAP_DENSITY_CUTOFF:
+        return "bitmap"
+    return "sorted"
+
 
 @dataclass
 class DataProfile:

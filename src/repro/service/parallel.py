@@ -56,7 +56,12 @@ from repro.core.counter_based import (
     selected_sequences,
 )
 from repro.core.cuboid import SCuboid
-from repro.core.matcher import TemplateMatcher, get_default_occurrence_limit
+from repro.core.matcher import (
+    TemplateMatcher,
+    can_compile,
+    get_default_occurrence_limit,
+    make_matcher,
+)
 from repro.core.spec import CuboidSpec
 from repro.core.stats import QueryStats
 from repro.errors import QueryTimeoutError, ServiceError
@@ -185,8 +190,8 @@ class SerialExecutorBackend(ExecutorBackend):
     name = "serial"
 
     def run_shards(self, db, spec, chunks, deadline):
-        matcher = TemplateMatcher(
-            spec.template, db.schema, spec.restriction, spec.predicate
+        matcher = make_matcher(
+            spec.template, db.schema, spec.restriction, spec.predicate, db=db
         )
         return [_match_chunk(matcher, chunk, deadline) for chunk in chunks]
 
@@ -215,8 +220,11 @@ class ThreadExecutorBackend(ExecutorBackend):
         )
 
     def run_shards(self, db, spec, chunks, deadline):
-        matcher = TemplateMatcher(
-            spec.template, db.schema, spec.restriction, spec.predicate
+        # A CompiledMatcher is safe to share across pool threads: it keeps
+        # no per-sequence scratch state, and dictionary interning under its
+        # lock (plus the GIL) keeps code assignment race-free.
+        matcher = make_matcher(
+            spec.template, db.schema, spec.restriction, spec.predicate, db=db
         )
         futures = [
             self.executor.submit(_match_chunk, matcher, chunk, deadline)
@@ -306,12 +314,13 @@ def _process_scan_shard(task: _ShardTask) -> List[Assignments]:
         else None
     )
     sequences = _worker_sequences_for(task.spec)
-    matcher = TemplateMatcher(
+    matcher = make_matcher(
         task.spec.template,
         db.schema,
         task.spec.restriction,
         task.spec.predicate,
         occurrence_cap=task.occurrence_cap,
+        db=db,
     )
     out: List[Assignments] = []
     for position, sid in enumerate(task.sids):
@@ -477,5 +486,11 @@ class ParallelCBScanner:
         stats.extra["parallel_shards"] = len(chunks)
         stats.extra["scan_backend"] = self.backend.name
         stats.extra["scan_workers"] = self.backend.workers
+        # Record the kernel the shards ran.  Worker processes build their
+        # matchers in their own interpreters, so probe compilability here
+        # rather than reading their (invisible) dispatch counters.
+        stats.extra["matcher"] = (
+            "compiled" if can_compile(spec.template, db) else "legacy"
+        )
         stats.checkpoint()
         return finalize_cells(spec, cells)

@@ -80,7 +80,7 @@ def test_join_candidates_superset_of_truth(sequences, shape):
         )
         # do NOT verify: candidates only ever over-approximate
     for values, sids in truth.lists.items():
-        assert sids <= current.get(values)
+        assert set(sids) <= set(current.get(values))
 
 
 @settings(max_examples=80, deadline=None)

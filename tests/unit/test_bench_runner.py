@@ -133,8 +133,13 @@ class TestLoad:
         )
         doc = load(baseline)
         assert doc["quick"] is True
-        assert len(doc["benchmarks"]) == 8
-        for record in doc["benchmarks"].values():
+        # 8 workload sections + the schema-2 micro-bench sections
+        # (matcher_kernel_* and join_intersect_*)
+        assert len(doc["benchmarks"]) == 12
+        for name, record in doc["benchmarks"].items():
             assert record["p50_ms"] >= 0
-            assert record["counters"]["sequences_scanned"] >= 0
+            if name.startswith("join_intersect_"):
+                assert record["counters"]["cells"] >= 0
+            else:
+                assert record["counters"]["sequences_scanned"] >= 0
         assert "queryset_a" in doc["crossover"]

@@ -32,6 +32,21 @@ class TestEncoding:
         with pytest.raises(IndexError_):
             sids_to_bitmap([1], 5)
 
+    def test_sparse_high_bits(self):
+        """A 100k-bit bitmap with a handful of set bits decodes in O(set
+        bits): only the listed sids come back, in spite of the ~100k zero
+        positions below the highest one."""
+        sids = frozenset({0, 1, 63, 64, 99_999})
+        bitmap = sids_to_bitmap(sids, 0)
+        assert bitmap.bit_length() == 100_000
+        assert bitmap_to_sids(bitmap, 0) == sids
+        # and with a non-zero base
+        shifted = {sid + 7 for sid in sids}
+        assert bitmap_to_sids(sids_to_bitmap(shifted, 7), 7) == frozenset(shifted)
+
+    def test_empty_bitmap(self):
+        assert bitmap_to_sids(0, 5) == frozenset()
+
     def test_index_roundtrip(self, setup):
         __, __group, base = setup
         bitmap = BitmapIndex.from_inverted(base)
