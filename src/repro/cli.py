@@ -17,12 +17,21 @@ Subcommands:
   format (``--format prom``);
 * ``serve-metrics`` — run a workload through the service while serving
   ``/metrics`` (Prometheus), ``/healthz`` and ``/varz`` over HTTP, with
-  optional structured JSON query logging and slow-query capture.
+  optional structured JSON query logging and slow-query capture;
+* ``segment`` — manage mmap-attachable columnar segment stores
+  (``write`` a dataset into segments, ``info`` a store, ``verify``
+  checksums and structure).
+
+Every command that takes a dataset accepts either a ``schema.json`` +
+``events.jsonl`` directory or a segment-store directory (detected by its
+``MANIFEST.json``); segment stores attach zero-copy via ``mmap``.
 
 Example::
 
     solap generate transit --out data/transit --cards 300 --days 5
     solap query data/transit examples/q1.solap --strategy ii --limit 10
+    solap segment write data/transit data/transit-seg
+    solap query data/transit-seg examples/q1.solap --backend process --workers 4
     solap service-stats data/transit examples/q1.solap --repeat 3
     solap serve-metrics data/transit examples/q1.solap --port 9464
 """
@@ -44,11 +53,12 @@ from repro.datagen import (
     generate_transit,
     remove_crawler_sessions,
 )
-from repro.errors import SOLAPError
+from repro.errors import SOLAPError, StorageError
 from repro.io import load_dataset, save_cuboid, save_dataset
 from repro.optimizer import advise_for_workload
 from repro.ql import parse_query
 from repro.service import QueryService, ServiceConfig
+from repro.storage import StorageManager, attach_store, is_segment_store
 
 
 def _positive_seconds(text: str) -> float:
@@ -56,6 +66,17 @@ def _positive_seconds(text: str) -> float:
     if value <= 0:
         raise argparse.ArgumentTypeError("timeout must be > 0 seconds")
     return value
+
+
+def _load_db(path: str):
+    """A dataset directory *or* a segment store, by sniffing the manifest.
+
+    Segment stores attach by ``mmap`` (lazy, zero-copy); plain dataset
+    directories load eagerly via :func:`load_dataset`.
+    """
+    if is_segment_store(path):
+        return attach_store(path)
+    return load_dataset(path)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -232,6 +253,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit structured JSON query-lifecycle logs on stderr",
     )
 
+    segment = sub.add_parser(
+        "segment",
+        help="manage mmap-attachable columnar segment stores",
+    )
+    seg_sub = segment.add_subparsers(dest="segment_command", required=True)
+    seg_write = seg_sub.add_parser(
+        "write", help="write a dataset into a new segment store"
+    )
+    seg_write.add_argument("dataset", help="source dataset directory")
+    seg_write.add_argument("out", help="segment-store directory to create")
+    seg_write.add_argument(
+        "--cluster-by",
+        action="append",
+        default=[],
+        metavar="ATTR[:LEVEL]",
+        help="freeze the sequence pipeline into the store: CLUSTER BY "
+        "attribute (repeatable; LEVEL defaults to the base level)",
+    )
+    seg_write.add_argument(
+        "--sequence-by",
+        action="append",
+        default=[],
+        metavar="ATTR[:asc|desc]",
+        help="SEQUENCE BY ordering key for the frozen pipeline "
+        "(repeatable; default ascending)",
+    )
+    seg_write.add_argument(
+        "--group-by",
+        action="append",
+        default=[],
+        metavar="ATTR[:LEVEL]",
+        help="SEQUENCE GROUP BY attribute for the frozen pipeline "
+        "(repeatable)",
+    )
+    seg_info = seg_sub.add_parser(
+        "info", help="summarise a segment store (segments, bytes, layout)"
+    )
+    seg_info.add_argument("store", help="segment-store directory")
+    seg_verify = seg_sub.add_parser(
+        "verify",
+        help="full integrity check: checksums, dictionaries, layout",
+    )
+    seg_verify.add_argument(
+        "store", help="segment-store directory or a single .seg file"
+    )
+
     trace = sub.add_parser(
         "trace",
         help="run a query under tracing and export the span tree as JSON",
@@ -300,7 +367,7 @@ def _print_cache_stats(engine: SOLAPEngine) -> None:
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
-    db = load_dataset(args.dataset)
+    db = _load_db(args.dataset)
     print(f"dataset: {args.dataset}")
     print(f"events:  {len(db)}")
     print("dimensions:")
@@ -318,7 +385,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    db = load_dataset(args.dataset)
+    db = _load_db(args.dataset)
     text = Path(args.queryfile).read_text()
     spec = parse_query(text, db.schema)
     engine = SOLAPEngine(db)
@@ -361,7 +428,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_advise(args: argparse.Namespace) -> int:
-    db = load_dataset(args.dataset)
+    db = _load_db(args.dataset)
     workload = [
         parse_query(Path(path).read_text(), db.schema)
         for path in args.queryfiles
@@ -380,7 +447,7 @@ def _cmd_advise(args: argparse.Namespace) -> int:
 
 
 def _cmd_service_stats(args: argparse.Namespace) -> int:
-    db = load_dataset(args.dataset)
+    db = _load_db(args.dataset)
     specs = [
         parse_query(Path(path).read_text(), db.schema)
         for path in args.queryfiles
@@ -409,7 +476,7 @@ def _cmd_service_stats(args: argparse.Namespace) -> int:
 def _cmd_serve_metrics(args: argparse.Namespace) -> int:
     import time
 
-    db = load_dataset(args.dataset)
+    db = _load_db(args.dataset)
     specs = [
         parse_query(Path(path).read_text(), db.schema)
         for path in args.queryfiles
@@ -450,12 +517,104 @@ def _cmd_serve_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_attr_level(text: str, schema) -> tuple:
+    """``attr`` or ``attr:level`` → an (attribute, level) pair."""
+    attr, sep, level = text.partition(":")
+    if not sep:
+        level = schema.hierarchy(attr).base_level
+    return (attr, level)
+
+
+def _parse_order_key(text: str) -> tuple:
+    """``attr``, ``attr:asc`` or ``attr:desc`` → an (attribute, asc) pair."""
+    attr, sep, direction = text.partition(":")
+    if not sep or direction == "asc":
+        return (attr, True)
+    if direction == "desc":
+        return (attr, False)
+    raise StorageError(
+        f"bad --sequence-by {text!r}: direction must be 'asc' or 'desc'"
+    )
+
+
+def _cmd_segment(args: argparse.Namespace) -> int:
+    if args.segment_command == "write":
+        db = _load_db(args.dataset)
+        if bool(args.cluster_by) != bool(args.sequence_by):
+            raise StorageError(
+                "--cluster-by and --sequence-by must be given together "
+                "(both define the frozen pipeline layout)"
+            )
+        cluster_by = tuple(
+            _parse_attr_level(text, db.schema) for text in args.cluster_by
+        )
+        sequence_by = tuple(_parse_order_key(text) for text in args.sequence_by)
+        group_by = tuple(
+            _parse_attr_level(text, db.schema) for text in args.group_by
+        )
+        manager = StorageManager.write(
+            db, args.out,
+            cluster_by=cluster_by,
+            sequence_by=sequence_by,
+            group_by=group_by,
+        )
+        layout = " + pipeline layout" if cluster_by else ""
+        print(
+            f"wrote {manager.n_events} events into "
+            f"{manager.segments_open} segment(s) at {args.out}{layout}"
+        )
+        return 0
+    if args.segment_command == "info":
+        manager = StorageManager.open(args.store)
+        from repro.storage import FORMAT_VERSION
+
+        print(f"segment store: {args.store}")
+        print(f"format version: {FORMAT_VERSION}")
+        print(
+            f"events: {manager.n_events} across "
+            f"{manager.segments_open} segment(s), "
+            f"{manager.bytes_mapped} bytes mapped"
+        )
+        for name, reader in zip(manager.segment_names, manager._segments):
+            layout = reader.layout()
+            extra = (
+                f", layout: {layout.n_sequences} sequences"
+                if layout is not None
+                else ""
+            )
+            print(
+                f"  {name}: {reader.n_events} events, "
+                f"{reader.bytes_mapped} bytes, "
+                f"{len(reader.sections)} sections{extra}"
+            )
+        print("dictionaries:")
+        for attr in manager.schema.dimensions:
+            print(f"  {attr}: {len(manager.dictionary_values(attr))} values")
+        return 0
+    # verify: a store directory, or one bare segment file
+    target = Path(args.store)
+    if target.is_file():
+        from repro.storage import SegmentReader
+
+        with SegmentReader(target) as reader:
+            reader.verify()
+        print(f"segment ok: {target} ({reader.n_events} events)")
+        return 0
+    manager = StorageManager.open(target)
+    manager.verify()
+    print(
+        f"store ok: {manager.n_events} events, "
+        f"{manager.segments_open} segment(s), checksums verified"
+    )
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     import json
 
     from repro.obs.spans import Tracer, trace_to_dict
 
-    db = load_dataset(args.dataset)
+    db = _load_db(args.dataset)
     spec = parse_query(Path(args.queryfile).read_text(), db.schema)
     stats = None
     with QueryService(db) as service:
@@ -481,6 +640,7 @@ _COMMANDS = {
     "advise": _cmd_advise,
     "service-stats": _cmd_service_stats,
     "serve-metrics": _cmd_serve_metrics,
+    "segment": _cmd_segment,
     "trace": _cmd_trace,
 }
 

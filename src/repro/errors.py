@@ -77,6 +77,16 @@ class EngineError(SOLAPError):
     """
 
 
+class StorageError(SOLAPError):
+    """A segment store operation failed or a segment file is invalid.
+
+    Raised for bad magic/version fields, checksum mismatches, truncated
+    files, malformed section directories, and writes against read-only
+    segment-backed databases.  Attach-time validation is O(1) (magic and
+    length checks only); ``verify()`` performs the full CRC pass.
+    """
+
+
 class ServiceError(SOLAPError):
     """Base class for failures of the concurrent query service layer."""
 

@@ -85,6 +85,23 @@ class DimensionDictionary:
                 codes[value] = code
             return code
 
+    def seed(self, domain: Domain, values: List[object]) -> None:
+        """Adopt an existing code → value table for *domain*.
+
+        The segment store persists its dictionary tables on disk; on
+        attach they become the starting state of the process-local
+        dictionary so stored code columns decode without re-interning.
+        Only valid before the domain has interned anything — seeded
+        tables must own the low codes.
+        """
+        with self._lock:
+            if self._values.get(domain):
+                raise ValueError(f"domain {domain!r} already holds codes")
+            self._values[domain] = list(values)
+            self._codes[domain] = {
+                value: code for code, value in enumerate(values)
+            }
+
     def encode_row(self, domain: Domain, values) -> CodeRow:
         """Codes for a run of values of one domain, interning new ones."""
         codes = self._domain_codes(domain)

@@ -293,7 +293,24 @@ def build_sequence_groups(
     Each step runs under a tracing span (see :mod:`repro.obs.spans`) so
     EXPLAIN ANALYZE can attribute wall time and row flow per stage; the
     spans are no-ops unless a tracer is active.
+
+    Segment-backed databases may carry a *stored layout* — the frozen
+    result of this very pipeline (see ``repro.storage``).  When the
+    stored spec matches the requested one, the groups are rebuilt from
+    the per-sequence offset arrays and steps 1-4 are skipped entirely;
+    any mismatch (including a WHERE predicate) falls through to the live
+    pipeline.
     """
+    stored = getattr(db, "stored_groups", None)
+    if stored is not None:
+        with span("stored_layout") as sp:
+            groups = stored(where, cluster_by, sequence_by, group_by)
+            sp.set("hit", 1 if groups is not None else 0)
+            if groups is not None:
+                sp.set("sequences_out", groups.total_sequences())
+                sp.set("groups_out", len(groups))
+        if groups is not None:
+            return groups
     with span("selection") as sp:
         rows = select_events(db, where)
         sp.set("rows_in", len(db))

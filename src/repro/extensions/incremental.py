@@ -20,6 +20,12 @@ whose clustering key contains a partition attribute (e.g. ``time AT day``):
 The correctness precondition is that sequences never span partitions,
 which holds whenever the partition attribute/level appears in CLUSTER BY —
 the paper's per-day clustering.
+
+When constructed with ``storage=`` (a
+:class:`repro.storage.StorageManager`), every ingested batch is also
+mirrored into the append-only segment store as one new segment, so the
+on-disk store stays in lockstep with the in-memory database and process
+workers can re-attach it by path after each day's load.
 """
 
 from __future__ import annotations
@@ -46,12 +52,14 @@ class PartitionedIndexMaintainer:
         cluster_by: Tuple[Tuple[str, str], ...],
         sequence_by: Tuple[Tuple[str, bool], ...],
         partition_of: Callable[[Mapping[str, object]], PartitionKey],
+        storage: Optional[object] = None,
     ):
         self.db = db
         self.template = template
         self.cluster_by = cluster_by
         self.sequence_by = sequence_by
         self.partition_of = partition_of
+        self.storage = storage
         self._partition_rows: Dict[PartitionKey, List[int]] = {}
         self._partition_indices: Dict[PartitionKey, InvertedIndex] = {}
         self._union_cache: Dict[Tuple[PartitionKey, ...], InvertedIndex] = {}
@@ -63,14 +71,18 @@ class PartitionedIndexMaintainer:
         """Append new events and (re)index only the touched partitions.
 
         Returns the partition keys whose indices were rebuilt.  Caches
-        (union indices) covering those partitions are invalidated.
+        (union indices) covering those partitions are invalidated.  With
+        ``storage=`` set, the batch also lands as one appended segment.
         """
+        batch = list(events)
         touched: Dict[PartitionKey, None] = {}
-        for event in events:
+        for event in batch:
             row = self.db.append(event)
             key = self.partition_of(event)
             self._partition_rows.setdefault(key, []).append(row)
             touched[key] = None
+        if self.storage is not None and batch:
+            self.storage.append_events(batch)
         for key in touched:
             self._reindex_partition(key)
         self._invalidate_unions(touched)

@@ -89,6 +89,12 @@ class ServiceMetrics:
             "solap_service_admission_wait_seconds",
             "Time requests spent waiting for an execution slot",
         ).labels()
+        self._worker_init = self.registry.histogram(
+            "solap_service_worker_init_seconds",
+            "Per-worker readiness time of the scan backend's warm-up "
+            "(for spawn workers this includes the database ship cost: "
+            "whole-DB pickle, or O(1) mmap attach for segment stores)",
+        ).labels()
         self._scan_backends = self.registry.counter(
             "solap_service_scans_by_backend_total",
             "Counter-based scans answered through the service, by "
@@ -132,6 +138,10 @@ class ServiceMetrics:
     def queue_wait(self) -> BucketHistogram:
         return self._queue_wait.hist
 
+    @property
+    def worker_init(self) -> BucketHistogram:
+        return self._worker_init.hist
+
     def inc(self, name: str, amount: int = 1) -> None:
         self._counter_child(name).inc(amount)
 
@@ -140,6 +150,10 @@ class ServiceMetrics:
 
     def observe_queue_wait(self, seconds: float) -> None:
         self._queue_wait.observe(seconds)
+
+    def observe_worker_init(self, seconds: float) -> None:
+        """Record one worker's warm-up readiness time."""
+        self._worker_init.observe(seconds)
 
     def observe_stage(self, name: str, seconds: float) -> None:
         """Accumulate one pipeline-stage duration (from a tracing span)."""
@@ -193,6 +207,7 @@ class ServiceMetrics:
             "counters": {name: self[name] for name in sorted(names)},
             "latency": self.latency.snapshot(),
             "queue_wait": self.queue_wait.snapshot(),
+            "worker_init": self.worker_init.snapshot(),
             "stages": self._stage_snapshot(),
             "scan_backends": self.scan_backend_counts(),
         }
@@ -216,6 +231,13 @@ class ServiceMetrics:
             f"p99={lat['p99_seconds'] * 1000:.2f}ms, "
             f"max={lat['max_seconds'] * 1000:.2f}ms"
         )
+        init = snap.get("worker_init") or {}
+        if init.get("count"):
+            lines.append(
+                "  worker init: "
+                f"n={init['count']}, mean={init['mean_seconds'] * 1000:.2f}ms, "
+                f"max={init['max_seconds'] * 1000:.2f}ms"
+            )
         backends = snap.get("scan_backends") or {}
         if backends:
             mix = ", ".join(

@@ -44,6 +44,7 @@ from concurrent.futures import (
     Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
+    as_completed,
     wait,
 )
 from dataclasses import dataclass
@@ -177,11 +178,32 @@ class ExecutorBackend:
         """Per-chunk assignment lists, in chunk (canonical) order."""
         raise NotImplementedError
 
-    def warm_up(self) -> None:
-        """Pay worker start-up cost now instead of inside the first query."""
+    def warm_up(self) -> List[float]:
+        """Pay worker start-up cost now instead of inside the first query.
+
+        Returns the seconds-until-ready of each worker (ascending: the
+        k-th entry is when the k-th worker finished its warm-up ping).
+        For the process backend under ``spawn`` this is where the
+        database ships — pickled per worker, or mmap-attached by path
+        for segment-backed databases — so the durations separate attach
+        cost from scan cost.  The service records them in the
+        ``solap_service_worker_init_seconds`` histogram.
+        """
+        return []
 
     def shutdown(self, wait: bool = True) -> None:
         """Release pool resources (idempotent)."""
+
+
+def _timed_warm_up(executor: Executor, workers: int) -> List[float]:
+    """Submit one ping per worker; return each completion's elapsed time."""
+    start = time.monotonic()
+    futures = [executor.submit(_worker_ping, index) for index in range(workers)]
+    durations: List[float] = []
+    for future in as_completed(futures):
+        future.result()
+        durations.append(time.monotonic() - start)
+    return durations
 
 
 class SerialExecutorBackend(ExecutorBackend):
@@ -231,6 +253,9 @@ class ThreadExecutorBackend(ExecutorBackend):
             for chunk in chunks
         ]
         return _collect_or_cancel(futures)
+
+    def warm_up(self) -> List[float]:
+        return _timed_warm_up(self.executor, self.workers)
 
     def shutdown(self, wait: bool = True) -> None:
         if self._owns_pool:
@@ -370,10 +395,11 @@ class ProcessExecutorBackend(ExecutorBackend):
             initargs=(db,),
         )
 
-    def warm_up(self) -> None:
+    def warm_up(self) -> List[float]:
         # One ping per worker forces every process to start (and, under
-        # spawn, to unpickle the database) before the first real scan.
-        list(self.executor.map(_worker_ping, range(self.workers)))
+        # spawn, to unpickle — or mmap-attach — the database) before the
+        # first real scan; the timed completions expose that cost.
+        return _timed_warm_up(self.executor, self.workers)
 
     def run_shards(self, db, spec, chunks, deadline):
         if db is not self.db:

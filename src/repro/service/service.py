@@ -119,11 +119,20 @@ class QueryService:
         )
         if self.backend is not None:
             # Pay worker start-up (process fork/spawn) now, not inside
-            # the first admitted query's deadline.
-            self.backend.warm_up()
+            # the first admitted query's deadline; record each worker's
+            # readiness time so attach cost is separable from scan cost.
+            for seconds in self.backend.warm_up():
+                self.metrics.observe_worker_init(seconds)
             self.engine.cb_scanner = ParallelCBScanner(
                 self.backend, shards, self.config.parallel_scan_threshold
             )
+        storage = getattr(self.engine.db, "storage", None)
+        if storage is not None:
+            # Segment-backed database: expose its attach/mapping telemetry
+            # alongside the service metrics.
+            from repro.storage import register_storage_metrics
+
+            register_storage_metrics(self.registry, storage)
         self._engine_lock = threading.RLock()
         self._admission_lock = threading.Lock()
         self._inflight = 0

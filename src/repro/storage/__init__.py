@@ -1,0 +1,44 @@
+"""On-disk, append-only, mmap-attachable columnar segment store.
+
+The storage subsystem persists the dictionary-encoded columnar form of
+an :class:`~repro.events.database.EventDatabase` as immutable *segment*
+files (see :mod:`repro.storage.format` for the byte layout) and exposes
+them back to the engine as a read-only, lazily-decoding database that
+every matcher, kernel and executor backend consumes unchanged.  The
+headline win is process-pool attachment by *path*: workers ``mmap`` the
+shared pages in O(1) instead of unpickling the whole event database.
+"""
+
+from repro.storage.format import FORMAT_VERSION, FOOTER_MAGIC, MAGIC
+from repro.storage.manager import (
+    MANIFEST_NAME,
+    SegmentBackedDatabase,
+    SegmentEncodedStore,
+    StorageManager,
+    attach_store,
+    build_layout,
+    is_segment_store,
+    register_storage_metrics,
+)
+from repro.storage.segment import (
+    SegmentLayout,
+    SegmentReader,
+    SegmentWriter,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "FOOTER_MAGIC",
+    "MAGIC",
+    "MANIFEST_NAME",
+    "SegmentBackedDatabase",
+    "SegmentEncodedStore",
+    "SegmentLayout",
+    "SegmentReader",
+    "SegmentWriter",
+    "StorageManager",
+    "attach_store",
+    "build_layout",
+    "is_segment_store",
+    "register_storage_metrics",
+]

@@ -1,0 +1,260 @@
+"""The on-disk segment format: header, footer, checksums, uint32 codecs.
+
+A *segment* is one immutable file holding the dictionary-encoded columnar
+representation of a run of events.  The layout is designed so a reader can
+attach in O(1) — validate two fixed-size records and ``mmap`` the rest —
+while a full integrity check (``solap segment verify``) remains possible
+without any side metadata:
+
+::
+
+    offset 0                                                end of file
+    | header (40 B) | section 0 | section 1 | ... | directory | footer (24 B) |
+
+* **Header** (40 bytes, little-endian): magic ``SOLAPSG1``, format
+  version, flags, event count, and the offset/length of the directory.
+* **Sections** are raw byte runs: ``u32`` sections are contiguous
+  little-endian uint32 arrays (code columns, offset arrays) readable
+  zero-copy through a ``memoryview`` cast; ``json`` sections hold the
+  schema, the dictionary tables and other variable-shape metadata.
+* **Directory** is a JSON table of contents naming each section with its
+  kind, byte offset, byte length and logical element count.
+* **Footer** (24 bytes): magic ``SOLAPEND``, the CRC-32 of every byte
+  before the footer, and the total file length.  The length check makes
+  truncation detectable in O(1); the CRC makes corruption detectable in
+  one pass.
+
+Endianness is explicit: all integers — header fields and ``u32`` section
+payloads — are stored **little-endian**, independent of the writing
+host.  On the (rare) big-endian host the reader byteswaps ``u32``
+sections into a process-local ``array('I')`` at attach time instead of
+reading the mapped pages in place; little-endian hosts, i.e. everything
+we run on in practice, stay zero-copy.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import sys
+import zlib
+from array import array
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import StorageError
+
+#: first 8 bytes of every segment file (the trailing 1 is the format era)
+MAGIC = b"SOLAPSG1"
+#: first 8 bytes of the footer record
+FOOTER_MAGIC = b"SOLAPEND"
+#: current format version; readers reject versions they do not know
+FORMAT_VERSION = 1
+
+#: header record: magic, version u32, flags u32, n_events u64,
+#: directory offset u64, directory length u64 — all little-endian
+_HEADER_STRUCT = struct.Struct("<8sIIQQQ")
+HEADER_SIZE = _HEADER_STRUCT.size  # 40
+
+#: footer record: magic, payload crc32 u32, reserved u32, file length u64
+_FOOTER_STRUCT = struct.Struct("<8sIIQ")
+FOOTER_SIZE = _FOOTER_STRUCT.size  # 24
+
+#: section kinds understood by this format version
+SECTION_KINDS = ("json", "u32")
+
+#: native typecode guaranteed to be 4 bytes on CPython's supported platforms
+U32_TYPECODE = "I"
+if array(U32_TYPECODE).itemsize != 4:  # pragma: no cover - exotic platform
+    raise ImportError("array('I') is not 4 bytes on this platform")
+
+#: whether mapped u32 payloads can be read in place (no byteswap copy)
+HOST_IS_LITTLE_ENDIAN = sys.byteorder == "little"
+
+
+@dataclass(frozen=True)
+class SectionEntry:
+    """One directory row: where a named byte run lives inside the file."""
+
+    name: str
+    kind: str
+    offset: int
+    length: int
+    #: logical element count: uint32 entries for ``u32``, always the
+    #: decoded object count the writer declared for ``json``
+    count: int
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "offset": self.offset,
+            "length": self.length,
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SectionEntry":
+        try:
+            entry = cls(
+                name=str(data["name"]),
+                kind=str(data["kind"]),
+                offset=int(data["offset"]),
+                length=int(data["length"]),
+                count=int(data["count"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StorageError(f"malformed directory entry: {data!r}") from exc
+        if entry.kind not in SECTION_KINDS:
+            raise StorageError(
+                f"section {entry.name!r} has unknown kind {entry.kind!r}"
+            )
+        return entry
+
+
+@dataclass(frozen=True)
+class Header:
+    """The decoded fixed-size header of one segment file."""
+
+    version: int
+    flags: int
+    n_events: int
+    directory_offset: int
+    directory_length: int
+
+
+def pack_header(
+    n_events: int,
+    directory_offset: int,
+    directory_length: int,
+    flags: int = 0,
+    version: int = FORMAT_VERSION,
+) -> bytes:
+    return _HEADER_STRUCT.pack(
+        MAGIC, version, flags, n_events, directory_offset, directory_length
+    )
+
+
+def unpack_header(raw: bytes) -> Header:
+    """Decode and validate a header record (magic + known version)."""
+    if len(raw) < HEADER_SIZE:
+        raise StorageError(
+            f"segment too short for a header ({len(raw)} bytes, "
+            f"need {HEADER_SIZE})"
+        )
+    magic, version, flags, n_events, dir_offset, dir_length = (
+        _HEADER_STRUCT.unpack_from(raw)
+    )
+    if magic != MAGIC:
+        raise StorageError(
+            f"not a segment file: bad magic {magic!r} (expected {MAGIC!r})"
+        )
+    if version != FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported segment format version {version} "
+            f"(this reader understands version {FORMAT_VERSION})"
+        )
+    return Header(version, flags, n_events, dir_offset, dir_length)
+
+
+def pack_footer(payload_crc32: int, file_length: int) -> bytes:
+    return _FOOTER_STRUCT.pack(FOOTER_MAGIC, payload_crc32 & 0xFFFFFFFF, 0, file_length)
+
+
+def unpack_footer(raw: bytes) -> Tuple[int, int]:
+    """Decode a footer record; returns (payload crc32, declared file length)."""
+    if len(raw) != FOOTER_SIZE:
+        raise StorageError(
+            f"segment footer is {len(raw)} bytes, expected {FOOTER_SIZE}"
+        )
+    magic, crc, _reserved, file_length = _FOOTER_STRUCT.unpack(raw)
+    if magic != FOOTER_MAGIC:
+        raise StorageError(
+            f"segment footer missing or overwritten: bad magic {magic!r} "
+            f"(expected {FOOTER_MAGIC!r}) — file truncated?"
+        )
+    return crc, file_length
+
+
+def payload_crc32(data: bytes) -> int:
+    """CRC-32 of everything before the footer (what the footer asserts)."""
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+# --------------------------------------------------------------------------
+# uint32 payload codecs
+# --------------------------------------------------------------------------
+
+
+def encode_u32(values: Iterable[int]) -> bytes:
+    """Little-endian uint32 bytes for *values*, on any host.
+
+    The on-disk layout is explicitly little-endian (not "whatever
+    ``array('I')`` happens to be"), so big-endian writers byteswap before
+    serialising.
+    """
+    arr = values if isinstance(values, array) else array(U32_TYPECODE, values)
+    if arr.typecode != U32_TYPECODE:
+        arr = array(U32_TYPECODE, arr)
+    if not HOST_IS_LITTLE_ENDIAN:  # pragma: no cover - big-endian host
+        arr = array(U32_TYPECODE, arr)
+        arr.byteswap()
+    return arr.tobytes()
+
+
+def decode_u32(buffer, little_endian_host: Optional[bool] = None):
+    """An indexable uint32 view of a little-endian on-disk byte run.
+
+    On little-endian hosts this is a **zero-copy** ``memoryview`` cast of
+    *buffer* (which may be a slice of an ``mmap``); the file's pages back
+    the returned object directly.  On big-endian hosts the bytes are
+    copied into an ``array('I')`` and byteswapped — correctness over
+    zero-copy, exactly once per attach.
+
+    *little_endian_host* is injectable so the byteswap branch is testable
+    on little-endian machines.
+    """
+    if little_endian_host is None:
+        little_endian_host = HOST_IS_LITTLE_ENDIAN
+    view = memoryview(buffer)
+    if len(view) % 4:
+        raise StorageError(
+            f"u32 section length {len(view)} is not a multiple of 4"
+        )
+    if little_endian_host:
+        return view.cast(U32_TYPECODE)
+    arr = array(U32_TYPECODE, view.tobytes())  # pragma: no cover - big-endian
+    arr.byteswap()  # pragma: no cover - big-endian
+    return arr  # pragma: no cover - big-endian
+
+
+def encode_json(payload: object) -> bytes:
+    """Canonical JSON bytes for a metadata section."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+
+
+def decode_json(buffer) -> object:
+    try:
+        return json.loads(bytes(buffer).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StorageError(f"corrupt JSON section: {exc}") from exc
+
+
+def encode_directory(entries: Sequence[SectionEntry]) -> bytes:
+    return encode_json({"sections": [entry.to_json() for entry in entries]})
+
+
+def decode_directory(buffer) -> Dict[str, SectionEntry]:
+    data = decode_json(buffer)
+    if not isinstance(data, dict) or "sections" not in data:
+        raise StorageError("segment directory is not a section table")
+    entries: Dict[str, SectionEntry] = {}
+    rows: List[dict] = data["sections"]
+    for row in rows:
+        entry = SectionEntry.from_json(row)
+        if entry.name in entries:
+            raise StorageError(f"duplicate section {entry.name!r} in directory")
+        entries[entry.name] = entry
+    return entries

@@ -1,0 +1,521 @@
+"""Segment files: immutable columnar runs of dictionary-encoded events.
+
+A segment holds one contiguous run of events as uint32 code columns plus
+the dictionary tables that decode them, in the byte layout defined by
+:mod:`repro.storage.format`.  Segments are **append-only at the store
+level**: a file, once written, is never modified — new data becomes a new
+segment, and compaction rewrites the set (see
+:class:`repro.storage.manager.StorageManager`).
+
+Dictionaries are *cumulative*: an appended segment's dictionary tables
+are seeded with every value of the preceding segments, so a code means
+the same value in every segment of a store and the newest segment's
+tables decode the whole store.  :meth:`SegmentReader.verify` checks this
+prefix property from the manager side.
+
+Values must be JSON-representable (the same constraint as dataset
+directories on disk): strings, numbers, booleans, null.
+"""
+
+from __future__ import annotations
+
+import mmap
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import StorageError
+from repro.io.events_io import schema_from_dict, schema_to_dict
+from repro.storage import format as fmt
+
+#: section-name prefixes of per-attribute payloads
+DICT_PREFIX = "dict:"
+CODES_PREFIX = "codes:"
+MEASURE_PREFIX = "measure:"
+#: optional stored pipeline layout (per-sequence offset arrays)
+LAYOUT_META = "layout:meta"
+LAYOUT_ROWS = "layout:rows"
+LAYOUT_OFFSETS = "layout:offsets"
+
+SEGMENT_SUFFIX = ".seg"
+
+
+class SegmentLayout:
+    """A stored sequence-formation result: per-sequence offset arrays.
+
+    ``rows`` is the flattened row ids of every sequence in sid order and
+    ``offsets[i]:offsets[i+1]`` brackets sequence *i*'s slice of it — the
+    classic offsets+values columnar encoding of a ragged array.  ``meta``
+    records the pipeline spec the layout was built under (cluster_by,
+    sequence_by, group_by) plus each sequence's cluster key and group
+    key, so a reader can skip selection/clustering/sorting entirely when
+    a query's spec matches.
+    """
+
+    __slots__ = ("meta", "rows", "offsets")
+
+    def __init__(self, meta: dict, rows, offsets):
+        self.meta = meta
+        self.rows = rows
+        self.offsets = offsets
+
+    @property
+    def n_sequences(self) -> int:
+        return len(self.offsets) - 1 if len(self.offsets) else 0
+
+    def sequence_rows(self, index: int):
+        return self.rows[self.offsets[index] : self.offsets[index + 1]]
+
+
+class SegmentWriter:
+    """Accumulates events column-wise and serialises one segment file.
+
+    Seed *dictionaries* (attribute → value list) with the cumulative
+    tables of earlier segments when appending, so codes stay consistent
+    across the whole store.
+    """
+
+    def __init__(
+        self,
+        schema,
+        dictionaries: Optional[Mapping[str, Sequence[object]]] = None,
+    ):
+        self.schema = schema
+        self._dims: Tuple[str, ...] = tuple(schema.dimensions)
+        self._measures: Tuple[str, ...] = tuple(schema.measures)
+        #: per dimension: value → code and code → value (append-only)
+        self._codes: Dict[str, Dict[object, int]] = {}
+        self._values: Dict[str, List[object]] = {}
+        for attr in self._dims:
+            seed = list((dictionaries or {}).get(attr, ()))
+            self._values[attr] = seed
+            try:
+                self._codes[attr] = {value: code for code, value in enumerate(seed)}
+            except TypeError as exc:
+                raise StorageError(
+                    f"dictionary for {attr!r} holds unhashable values"
+                ) from exc
+        #: per dimension: the uint32 code column being accumulated
+        self._columns: Dict[str, List[int]] = {attr: [] for attr in self._dims}
+        self._measure_columns: Dict[str, List[object]] = {
+            attr: [] for attr in self._measures
+        }
+        self._n_events = 0
+
+    # ------------------------------------------------------------------
+    def add_event(self, event: Mapping[str, object]) -> int:
+        """Append one event; returns its row index within this segment."""
+        for attr in self._dims:
+            if attr not in event:
+                raise StorageError(
+                    f"event missing dimension {attr!r}: {event!r}"
+                )
+        for attr in self._dims:
+            value = event[attr]
+            codes = self._codes[attr]
+            try:
+                code = codes.get(value)
+            except TypeError as exc:
+                raise StorageError(
+                    f"dimension {attr!r} value {value!r} is unhashable"
+                ) from exc
+            if code is None:
+                values = self._values[attr]
+                code = len(values)
+                values.append(value)
+                codes[value] = code
+            self._columns[attr].append(code)
+        for attr in self._measures:
+            self._measure_columns[attr].append(event.get(attr))
+        self._n_events += 1
+        return self._n_events - 1
+
+    def add_events(self, events: Iterable[Mapping[str, object]]) -> int:
+        """Append many events; returns the number added."""
+        count = 0
+        for event in events:
+            self.add_event(event)
+            count += 1
+        return count
+
+    def add_database(self, db) -> int:
+        """Append every event of an :class:`EventDatabase`, in row order.
+
+        Row order is preserved exactly — it is the tiebreaker of sequence
+        sorting, so permuting it would change query results.  Encoding
+        runs column-wise (one tight loop per dimension), not row-wise.
+        """
+        n = len(db)
+        for attr in self._dims:
+            codes = self._codes[attr]
+            values = self._values[attr]
+            out = self._columns[attr]
+            get = codes.get
+            append = out.append
+            try:
+                for value in db.column(attr):
+                    code = get(value)
+                    if code is None:
+                        code = len(values)
+                        values.append(value)
+                        codes[value] = code
+                    append(code)
+            except TypeError as exc:
+                raise StorageError(
+                    f"dimension {attr!r} holds unhashable values"
+                ) from exc
+        for attr in self._measures:
+            self._measure_columns[attr].extend(db.column(attr))
+        self._n_events += n
+        return n
+
+    @property
+    def n_events(self) -> int:
+        return self._n_events
+
+    def dictionaries(self) -> Dict[str, List[object]]:
+        """The cumulative value tables (seed for the next segment)."""
+        return {attr: list(values) for attr, values in self._values.items()}
+
+    # ------------------------------------------------------------------
+    def write(self, path, layout: Optional[SegmentLayout] = None) -> Path:
+        """Serialise the accumulated events to *path* and return it.
+
+        The file is assembled in memory (header, sections, directory,
+        CRC footer) and written with a single ``write`` call; segments
+        are immutable afterwards.
+        """
+        path = Path(path)
+        sections: List[Tuple[str, str, bytes, int]] = []
+
+        def add(name: str, kind: str, payload: bytes, count: int) -> None:
+            sections.append((name, kind, payload, count))
+
+        try:
+            add("schema", "json", fmt.encode_json(schema_to_dict(self.schema)), 1)
+            for attr in self._dims:
+                values = self._values[attr]
+                add(
+                    DICT_PREFIX + attr,
+                    "json",
+                    fmt.encode_json(values),
+                    len(values),
+                )
+                column = self._columns[attr]
+                add(
+                    CODES_PREFIX + attr,
+                    "u32",
+                    fmt.encode_u32(column),
+                    len(column),
+                )
+            for attr in self._measures:
+                column = self._measure_columns[attr]
+                add(
+                    MEASURE_PREFIX + attr,
+                    "json",
+                    fmt.encode_json(column),
+                    len(column),
+                )
+            if layout is not None:
+                add(LAYOUT_META, "json", fmt.encode_json(layout.meta), 1)
+                add(
+                    LAYOUT_ROWS,
+                    "u32",
+                    fmt.encode_u32(layout.rows),
+                    len(layout.rows),
+                )
+                add(
+                    LAYOUT_OFFSETS,
+                    "u32",
+                    fmt.encode_u32(layout.offsets),
+                    len(layout.offsets),
+                )
+        except TypeError as exc:
+            raise StorageError(
+                f"segment payload is not JSON-representable: {exc}"
+            ) from exc
+
+        offset = fmt.HEADER_SIZE
+        entries: List[fmt.SectionEntry] = []
+        for name, kind, payload, count in sections:
+            entries.append(
+                fmt.SectionEntry(name, kind, offset, len(payload), count)
+            )
+            offset += len(payload)
+        directory = fmt.encode_directory(entries)
+        header = fmt.pack_header(self._n_events, offset, len(directory))
+        payload = b"".join(
+            [header] + [blob for __, __, blob, __ in sections] + [directory]
+        )
+        footer = fmt.pack_footer(
+            fmt.payload_crc32(payload), len(payload) + fmt.FOOTER_SIZE
+        )
+        path.write_bytes(payload + footer)
+        return path
+
+
+class SegmentReader:
+    """One mmap-attached segment file.
+
+    Attach cost is O(1): the constructor validates the header and footer
+    magics and the declared file length, maps the file read-only, and
+    decodes the (small) section directory.  Code columns come back as
+    zero-copy ``memoryview`` casts over the mapped pages (on
+    little-endian hosts); nothing else is materialised until asked for.
+    Full integrity checking — the CRC pass and structural invariants —
+    lives in :meth:`verify`, priced for `solap segment verify`, not for
+    every attach.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        try:
+            self._file = open(self.path, "rb")
+        except OSError as exc:
+            raise StorageError(f"cannot open segment {self.path}: {exc}") from exc
+        try:
+            self._mmap = mmap.mmap(self._file.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError) as exc:
+            self._file.close()
+            raise StorageError(
+                f"cannot map segment {self.path}: {exc}"
+            ) from exc
+        self._view = memoryview(self._mmap)
+        self._closed = False
+        self._schema = None
+        self._json_cache: Dict[str, object] = {}
+        self._u32_cache: Dict[str, object] = {}
+        try:
+            self.header = fmt.unpack_header(self._view[: fmt.HEADER_SIZE])
+            size = len(self._view)
+            if size < fmt.HEADER_SIZE + fmt.FOOTER_SIZE:
+                raise StorageError(
+                    f"segment {self.path} is {size} bytes — truncated"
+                )
+            self.crc32, declared = fmt.unpack_footer(
+                bytes(self._view[size - fmt.FOOTER_SIZE :])
+            )
+            if declared != size:
+                raise StorageError(
+                    f"segment {self.path} length mismatch: footer declares "
+                    f"{declared} bytes, file has {size} — truncated or "
+                    "partially written"
+                )
+            dir_end = self.header.directory_offset + self.header.directory_length
+            if dir_end > size - fmt.FOOTER_SIZE:
+                raise StorageError(
+                    f"segment {self.path} directory extends past the footer"
+                )
+            self.sections = fmt.decode_directory(
+                self._view[self.header.directory_offset : dir_end]
+            )
+            for entry in self.sections.values():
+                if entry.offset + entry.length > size - fmt.FOOTER_SIZE:
+                    raise StorageError(
+                        f"segment {self.path} section {entry.name!r} extends "
+                        "past the directory"
+                    )
+        except Exception:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    @property
+    def n_events(self) -> int:
+        return self.header.n_events
+
+    @property
+    def bytes_mapped(self) -> int:
+        return 0 if self._closed else len(self._mmap)
+
+    def _entry(self, name: str) -> fmt.SectionEntry:
+        try:
+            return self.sections[name]
+        except KeyError:
+            raise StorageError(
+                f"segment {self.path} has no section {name!r}"
+            ) from None
+
+    def _section_view(self, entry: fmt.SectionEntry):
+        return self._view[entry.offset : entry.offset + entry.length]
+
+    def json_section(self, name: str):
+        cached = self._json_cache.get(name)
+        if cached is None and name not in self._json_cache:
+            cached = fmt.decode_json(self._section_view(self._entry(name)))
+            self._json_cache[name] = cached
+        return cached
+
+    def u32_section(self, name: str):
+        """The uint32 payload of a section — zero-copy where the host allows."""
+        cached = self._u32_cache.get(name)
+        if cached is None:
+            entry = self._entry(name)
+            if entry.kind != "u32":
+                raise StorageError(
+                    f"section {name!r} is {entry.kind!r}, not u32"
+                )
+            cached = fmt.decode_u32(self._section_view(entry))
+            if len(cached) != entry.count:
+                raise StorageError(
+                    f"section {name!r} holds {len(cached)} uint32 values, "
+                    f"directory declares {entry.count}"
+                )
+            self._u32_cache[name] = cached
+        return cached
+
+    # -- typed accessors -------------------------------------------------
+    @property
+    def schema(self):
+        if self._schema is None:
+            data = self.json_section("schema")
+            try:
+                self._schema = schema_from_dict(data)
+            except (KeyError, TypeError) as exc:
+                raise StorageError(
+                    f"segment {self.path} schema section is malformed: {exc}"
+                ) from exc
+        return self._schema
+
+    def dimensions(self) -> List[str]:
+        return [
+            name[len(DICT_PREFIX) :]
+            for name in self.sections
+            if name.startswith(DICT_PREFIX)
+        ]
+
+    def measures(self) -> List[str]:
+        return [
+            name[len(MEASURE_PREFIX) :]
+            for name in self.sections
+            if name.startswith(MEASURE_PREFIX)
+        ]
+
+    def dictionary(self, attribute: str) -> List[object]:
+        values = self.json_section(DICT_PREFIX + attribute)
+        if not isinstance(values, list):
+            raise StorageError(
+                f"dictionary section for {attribute!r} is not a value list"
+            )
+        return values
+
+    def codes(self, attribute: str):
+        return self.u32_section(CODES_PREFIX + attribute)
+
+    def measure_column(self, attribute: str) -> List[object]:
+        values = self.json_section(MEASURE_PREFIX + attribute)
+        if not isinstance(values, list):
+            raise StorageError(
+                f"measure section for {attribute!r} is not a value list"
+            )
+        return values
+
+    def layout(self) -> Optional[SegmentLayout]:
+        if LAYOUT_META not in self.sections:
+            return None
+        return SegmentLayout(
+            self.json_section(LAYOUT_META),
+            self.u32_section(LAYOUT_ROWS),
+            self.u32_section(LAYOUT_OFFSETS),
+        )
+
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        """Full integrity check: CRC pass plus structural invariants.
+
+        Raises :class:`~repro.errors.StorageError` naming the first
+        violation found.  This is the expensive one-pass-over-the-file
+        check backing ``solap segment verify``; attach never runs it.
+        """
+        size = len(self._view)
+        actual = fmt.payload_crc32(bytes(self._view[: size - fmt.FOOTER_SIZE]))
+        if actual != self.crc32:
+            raise StorageError(
+                f"segment {self.path} checksum mismatch: footer says "
+                f"{self.crc32:#010x}, payload hashes to {actual:#010x} — "
+                "file corrupted"
+            )
+        schema = self.schema
+        dims = set(self.dimensions())
+        if dims != set(schema.dimensions):
+            raise StorageError(
+                f"segment {self.path} stores dimensions {sorted(dims)} but "
+                f"its schema declares {sorted(schema.dimensions)}"
+            )
+        for attr in sorted(dims):
+            values = self.dictionary(attr)
+            column = self.codes(attr)
+            if len(column) != self.n_events:
+                raise StorageError(
+                    f"segment {self.path} column {attr!r} has "
+                    f"{len(column)} codes for {self.n_events} events"
+                )
+            limit = len(values)
+            for code in column:
+                if code >= limit:
+                    raise StorageError(
+                        f"segment {self.path} column {attr!r} holds code "
+                        f"{code} outside its dictionary (size {limit})"
+                    )
+        for attr in self.measures():
+            column = self.measure_column(attr)
+            if len(column) != self.n_events:
+                raise StorageError(
+                    f"segment {self.path} measure {attr!r} has "
+                    f"{len(column)} values for {self.n_events} events"
+                )
+        layout = self.layout()
+        if layout is not None:
+            offsets = layout.offsets
+            if not len(offsets) or offsets[0] != 0:
+                raise StorageError(
+                    f"segment {self.path} layout offsets must start at 0"
+                )
+            previous = 0
+            for value in offsets:
+                if value < previous:
+                    raise StorageError(
+                        f"segment {self.path} layout offsets are not "
+                        "monotonically non-decreasing"
+                    )
+                previous = value
+            if previous != len(layout.rows):
+                raise StorageError(
+                    f"segment {self.path} layout offsets end at {previous}, "
+                    f"rows section holds {len(layout.rows)}"
+                )
+            for row in layout.rows:
+                if row >= self.n_events:
+                    raise StorageError(
+                        f"segment {self.path} layout references row {row} "
+                        f"of {self.n_events} events"
+                    )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        # Explicitly release every exported memoryview cast before the mmap
+        # can be unmapped.  Dropping our cache references is not enough:
+        # callers (StorageManager column caches, stored layouts) hold the
+        # same view objects, and mmap.close() raises BufferError while any
+        # export is alive.  release() severs those exports in place — stale
+        # holders then get a clean ValueError instead of a dangling map.
+        for cached in self._u32_cache.values():
+            if isinstance(cached, memoryview):
+                cached.release()
+        self._u32_cache = {}
+        self._view.release()
+        self._mmap.close()
+        self._file.close()
+
+    def __enter__(self) -> "SegmentReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentReader({self.path.name}, {self.n_events} events, "
+            f"{len(self.sections)} sections)"
+        )

@@ -134,12 +134,17 @@ class TestLoad:
         doc = load(baseline)
         assert doc["quick"] is True
         # 8 workload sections + the schema-2 micro-bench sections
-        # (matcher_kernel_* and join_intersect_*)
-        assert len(doc["benchmarks"]) == 12
+        # (matcher_kernel_* and join_intersect_*) + the schema-3
+        # segment-store sections (storage_attach_* / storage_scan_*)
+        assert len(doc["benchmarks"]) == 16
         for name, record in doc["benchmarks"].items():
             assert record["p50_ms"] >= 0
-            if name.startswith("join_intersect_"):
-                assert record["counters"]["cells"] >= 0
-            else:
-                assert record["counters"]["sequences_scanned"] >= 0
+            if name.startswith(("join_intersect_", "storage_attach_")):
+                continue
+            assert record["counters"]["sequences_scanned"] >= 0
+        # zero work-counter drift between the two representations
+        assert (
+            doc["benchmarks"]["storage_scan_segment"]["counters"]
+            == doc["benchmarks"]["storage_scan_memory"]["counters"]
+        )
         assert "queryset_a" in doc["crossover"]
