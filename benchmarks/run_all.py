@@ -67,8 +67,9 @@ from repro.storage import StorageManager  # noqa: E402
 
 #: bump when the emitted document's shape changes incompatibly
 #: (2: added matcher_kernel_* / join_intersect_* micro-bench sections;
-#:  3: added storage_attach_* segment-store sections)
-BENCH_SCHEMA = 3
+#:  3: added storage_attach_* segment-store sections;
+#:  4: added shards_scatter_gather_n* sections)
+BENCH_SCHEMA = 4
 
 
 class BenchCase:
@@ -348,6 +349,44 @@ def build_storage_benches(quick: bool, root: Path) -> Dict[str, tuple]:
     }
 
 
+def build_shard_benches(datasets: Dict[str, object]) -> Dict[str, tuple]:
+    """Scatter-gather benchmarks at fan-outs 1/2/4/8 (inline execution).
+
+    Each section runs the same CB query through a
+    :class:`~repro.shard.ScatterGatherCoordinator` with N logical shards
+    on the serial (inline) backend, so the wall times isolate the
+    plan/scatter/merge overhead from pool parallelism and the
+    deterministic counters prove zero work drift: every fan-out scans
+    exactly the sequences the single-shard scan does and produces the
+    same cell count.  ``benchmarks/bench_shards.py`` is the companion
+    that measures actual multi-core speedup on the process backend.
+    """
+    from repro.shard import ScatterGatherCoordinator
+
+    synthetic = datasets["synthetic"]
+    spec = base_spec(("X", "Y"))
+
+    def sharded_scan(shards: int):
+        def run() -> dict:
+            engine = SOLAPEngine(synthetic, use_repository=False)
+            engine.scatter_gather = ScatterGatherCoordinator(
+                shards, min_sequences=1
+            )
+            cuboid, stats = engine.execute(spec, "cb")
+            return {
+                "sequences_scanned": stats.sequences_scanned,
+                "cells": len(cuboid),
+                "fanout": stats.extra.get("shard_fanout", 0),
+            }
+
+        return run
+
+    return {
+        f"shards_scatter_gather_n{n}": ("synthetic", sharded_scan(n))
+        for n in (1, 2, 4, 8)
+    }
+
+
 def crossover_summary(db, n_queries: int) -> dict:
     """Cumulative CB-vs-II runtimes along QuerySet A and the crossover step.
 
@@ -411,6 +450,9 @@ def run_all(quick: bool, repeats: int, crossover_queries: int) -> dict:
             case, datasets[case.dataset], repeats
         )
     for name, (dataset, fn) in build_micro_benches(datasets).items():
+        print(f"  running {name} ...", flush=True)
+        document["benchmarks"][name] = run_micro(fn, dataset, repeats)
+    for name, (dataset, fn) in build_shard_benches(datasets).items():
         print(f"  running {name} ...", flush=True)
         document["benchmarks"][name] = run_micro(fn, dataset, repeats)
     with tempfile.TemporaryDirectory(prefix="solap-bench-store-") as tmp:

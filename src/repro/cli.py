@@ -165,6 +165,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend for sharded CB scans: threads share the "
         "GIL (fairness only), processes give true multi-core matching",
     )
+    query.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="logical shards for scatter-gather execution (partial "
+        "S-cuboids merged under the aggregate algebra; 0 disables)",
+    )
 
     advise = sub.add_parser(
         "advise", help="recommend indices to materialise for a workload"
@@ -200,6 +207,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("serial", "thread", "process"),
         default="thread",
         help="execution backend for sharded CB scans",
+    )
+    stats.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="logical shards for scatter-gather execution (0 disables)",
     )
     stats.add_argument(
         "--format",
@@ -400,6 +413,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             max_workers=max(args.workers, 1),
             default_timeout_seconds=args.timeout,
             executor_backend=args.backend,
+            shards=max(args.shards, 0),
         ),
     ) as service:
         cuboid, stats = service.execute(
@@ -456,6 +470,7 @@ def _cmd_service_stats(args: argparse.Namespace) -> int:
         max_workers=max(args.workers, 1),
         default_timeout_seconds=args.timeout,
         executor_backend=args.backend,
+        shards=max(args.shards, 0),
     )
     with QueryService(db, config) as service:
         sessions = [service.open_session(spec, args.strategy) for spec in specs]

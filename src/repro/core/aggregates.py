@@ -90,6 +90,9 @@ class CellAccumulator:
                 out[spec.name] = state.total
             elif spec.func == "AVG":
                 out[spec.name] = state.total / state.count if state.count else None
+            elif spec.func == "AVGPAIR":
+                # Mergeable transport form of AVG: the (sum, count) pair.
+                out[spec.name] = (state.total, state.count)
             elif spec.func == "MIN":
                 out[spec.name] = state.minimum
             elif spec.func == "MAX":

@@ -160,6 +160,17 @@ class SOLAPEngine:
             Callable[[EventDatabase, SequenceGroupSet, CuboidSpec, QueryStats],
                      Optional[SCuboid]]
         ] = None
+        #: optional scatter-gather hook (``repro.shard``) installed by the
+        #: service layer: ``(db, groups, spec, stats, strategy) ->
+        #: Optional[SCuboid]``.  Consulted before the single-shard CB/II
+        #: paths (never for iceberg/min_support queries); a None return
+        #: means "declined — run single-shard".
+        self.scatter_gather: Optional[
+            Callable[
+                [EventDatabase, SequenceGroupSet, CuboidSpec, QueryStats, str],
+                Optional[SCuboid],
+            ]
+        ] = None
 
     @property
     def registry(self) -> RegistryView:
@@ -293,14 +304,24 @@ class SOLAPEngine:
                     )
             elif strategy == "cb":
                 cuboid = None
-                if self.cb_scanner is not None:
+                if self.scatter_gather is not None:
+                    cuboid = self.scatter_gather(
+                        self.db, groups, spec, stats, "cb"
+                    )
+                if cuboid is None and self.cb_scanner is not None:
                     cuboid = self.cb_scanner(self.db, groups, spec, stats)
                 if cuboid is None:
                     cuboid = counter_based_cuboid(self.db, groups, spec, stats)
             else:
-                cuboid = inverted_index_cuboid(
-                    self.db, groups, spec, self.registry_for(spec), stats
-                )
+                cuboid = None
+                if self.scatter_gather is not None:
+                    cuboid = self.scatter_gather(
+                        self.db, groups, spec, stats, "ii"
+                    )
+                if cuboid is None:
+                    cuboid = inverted_index_cuboid(
+                        self.db, groups, spec, self.registry_for(spec), stats
+                    )
             agg_span.set("sequences_scanned", stats.sequences_scanned)
             agg_span.set("cells_out", len(cuboid))
 

@@ -345,7 +345,12 @@ class AggregateSpec:
     argument: Optional[str] = None
     scope: AggregateScope = AggregateScope.MATCHED
 
-    _KNOWN = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+    #: ``AVGPAIR`` is internal transport for sharded scatter-gather
+    #: execution: it accumulates exactly like AVG but finalises to the
+    #: ``(sum, count)`` pair, which — unlike a finalised average — merges
+    #: across data shards.  Queries should request AVG; the coordinator
+    #: rewrites it (see :mod:`repro.shard.merge`).
+    _KNOWN = ("COUNT", "SUM", "AVG", "MIN", "MAX", "AVGPAIR")
 
     def __post_init__(self) -> None:
         if self.func not in self._KNOWN:

@@ -77,6 +77,25 @@ class EngineError(SOLAPError):
     """
 
 
+class NotMergeableError(EngineError):
+    """An aggregate's partial results cannot be merged across data shards.
+
+    SUM/COUNT/MIN/MAX fold directly across data partitions and AVG ships
+    (sum, count) pairs, but holistic aggregates (MEDIAN, percentiles,
+    DISTINCT counts) have no bounded-size partial state (Gray et al.'s
+    Data Cube classification).  The scatter-gather coordinator raises this
+    from its mergeability check and falls back to single-shard execution.
+    """
+
+    def __init__(self, aggregate: str, message: "str | None" = None):
+        self.aggregate = aggregate
+        super().__init__(
+            message
+            or f"aggregate {aggregate} is holistic: partial results "
+            "cannot be merged across shards"
+        )
+
+
 class StorageError(SOLAPError):
     """A segment store operation failed or a segment file is invalid.
 

@@ -35,7 +35,7 @@ from typing import Dict, FrozenSet, List, Tuple
 
 from repro.core.matcher import make_matcher
 from repro.core.spec import PatternTemplate
-from repro.errors import EngineError
+from repro.errors import EngineError, SchemaError
 from repro.events.database import EventDatabase
 from repro.events.sequence import build_sequence_groups
 
@@ -87,11 +87,40 @@ class VendorSite:
         matcher = make_matcher(template, self._db.schema, db=self._db)
         lists: Dict[PatternValues, set] = {}
         for sequence in groups.all_sequences():
-            key_value = sequence.event(0)[self._join_key]
-            pseudonym = pseudonymize(key_value, self._salt)
+            pseudonym = pseudonymize(
+                self._sequence_join_value(sequence), self._salt
+            )
             for values in matcher.unique_instantiations(sequence):
                 lists.setdefault(values, set()).add(pseudonym)
         return {values: frozenset(ids) for values, ids in lists.items()}
+
+    def _sequence_join_value(self, sequence) -> object:
+        """The sequence's single join-key value, validated.
+
+        The federation protocol assumes every event of a co-analysable
+        unit carries the same join-key value (the clustering should imply
+        it).  A missing attribute or a value that varies within one
+        sequence would silently corrupt the pseudonym lists, so both are
+        typed errors naming the site and the key.
+        """
+        values = set()
+        for position in range(len(sequence)):
+            try:
+                values.add(sequence.event(position)[self._join_key])
+            except (KeyError, SchemaError):
+                raise EngineError(
+                    f"vendor site {self.name!r}: join key "
+                    f"{self._join_key!r} is missing from event {position} "
+                    f"of sequence {sequence.cluster_key!r}"
+                ) from None
+        if len(values) != 1:
+            raise EngineError(
+                f"vendor site {self.name!r}: join key {self._join_key!r} "
+                f"varies within sequence {sequence.cluster_key!r} "
+                f"({sorted(map(repr, values))}); cluster on the join key "
+                f"so each sequence has one owner"
+            )
+        return next(iter(values))
 
     def population(self) -> FrozenSet[Pseudonym]:
         """Pseudonyms of every join-key value present at this vendor."""

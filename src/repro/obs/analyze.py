@@ -146,6 +146,18 @@ def explain_analyze(
     if join_kernel is not None:
         plan.add(f"join intersection kernel: {join_kernel}", 1)
 
+    # -- scatter-gather shard fan-out -------------------------------------
+    fanout = stats.extra.get("shard_fanout")
+    if fanout is not None:
+        backend = stats.extra.get("scan_backend", "serial")
+        skew = stats.extra.get("shard_skew")
+        skew_text = f", skew {skew:.2f}" if skew is not None else ""
+        plan.add(
+            f"shard fan-out: {fanout} shard(s) on {backend} backend"
+            f"{skew_text} — partial S-cuboids merged",
+            1,
+        )
+
     # -- the five stages, measured ---------------------------------------
     stages = stage_timings(root)
     plan.add("stages:", 1)

@@ -30,6 +30,12 @@ class ServiceConfig:
     max_workers: int = 4
     #: shards per parallel CB scan; 0 means "use max_workers"
     scan_shards: int = 0
+    #: logical shards for scatter-gather execution (:mod:`repro.shard`):
+    #: sequences are consistent-hashed onto this many shards and partial
+    #: S-cuboids are merged under the aggregate algebra.  0 disables the
+    #: scatter-gather path entirely (the default); 1 is valid and exercises
+    #: the full plan/scatter/merge machinery over a single shard.
+    shards: int = 0
     #: execution backend for sharded CB scans: one of
     #: :data:`EXECUTOR_BACKENDS` (``serial`` | ``thread`` | ``process``)
     executor_backend: str = "thread"
@@ -72,6 +78,8 @@ class ServiceConfig:
             raise ValueError("max_workers must be >= 1")
         if self.scan_shards < 0:
             raise ValueError("scan_shards must be >= 0")
+        if self.shards < 0:
+            raise ValueError("shards must be >= 0")
         if self.executor_backend not in EXECUTOR_BACKENDS:
             raise ValueError(
                 f"executor_backend must be one of {EXECUTOR_BACKENDS}, "

@@ -62,6 +62,7 @@ from repro.core.matcher import (
     can_compile,
     get_default_occurrence_limit,
     make_matcher,
+    occurrence_limit,
 )
 from repro.core.spec import CuboidSpec
 from repro.core.stats import QueryStats
@@ -75,6 +76,12 @@ from repro.events.sequence import (
 )
 from repro.obs.spans import span
 from repro.service.config import EXECUTOR_BACKENDS, ServiceConfig
+from repro.service.deadline import Deadline
+from repro.shard.executor import (
+    ShardPartial,
+    filter_groups,
+    scan_shard_partial,
+)
 
 __all__ = [
     "EXECUTOR_BACKENDS",
@@ -178,6 +185,33 @@ class ExecutorBackend:
         """Per-chunk assignment lists, in chunk (canonical) order."""
         raise NotImplementedError
 
+    def run_partial_shards(
+        self,
+        db: EventDatabase,
+        groups: SequenceGroupSet,
+        transport: CuboidSpec,
+        tasks: List[Tuple[int, Tuple[int, ...]]],
+        strategy: str,
+        deadline,
+    ) -> List[ShardPartial]:
+        """Scatter-gather shard tasks: per-shard *partial cuboids*.
+
+        Unlike :meth:`run_shards` (which ships raw per-sequence
+        assignments back for a serial fold), each task here runs a full
+        CB or II kernel over its shard's slice of the pipeline and
+        returns transport-form cells for the coordinator to merge
+        (:mod:`repro.shard`).  The base implementation executes every
+        shard inline on the calling thread — the ``serial`` backend's
+        behaviour.
+        """
+        partials: List[ShardPartial] = []
+        for shard, sids in tasks:
+            local = filter_groups(groups, frozenset(sids))
+            partials.append(
+                scan_shard_partial(db, local, transport, strategy, shard, deadline)
+            )
+        return partials
+
     def warm_up(self) -> List[float]:
         """Pay worker start-up cost now instead of inside the first query.
 
@@ -254,6 +288,25 @@ class ThreadExecutorBackend(ExecutorBackend):
         ]
         return _collect_or_cancel(futures)
 
+    def run_partial_shards(
+        self, db, groups, transport, tasks, strategy, deadline
+    ) -> List[ShardPartial]:
+        # Pool threads share the coordinator's groups and Deadline
+        # directly; each task slices the pipeline and runs a full kernel.
+        futures = [
+            self.executor.submit(
+                scan_shard_partial,
+                db,
+                filter_groups(groups, frozenset(sids)),
+                transport,
+                strategy,
+                shard,
+                deadline,
+            )
+            for shard, sids in tasks
+        ]
+        return _collect_or_cancel(futures)
+
     def warm_up(self) -> List[float]:
         return _timed_warm_up(self.executor, self.workers)
 
@@ -268,9 +321,11 @@ class ThreadExecutorBackend(ExecutorBackend):
 
 #: the EventDatabase this worker process serves (set by the initializer)
 _worker_db: Optional[EventDatabase] = None
-#: per-pipeline sid -> Sequence tables, rebuilt deterministically
+#: per-pipeline rebuilt SequenceGroupSets (drive both task kinds)
+_worker_groups: Dict[Tuple, SequenceGroupSet] = {}
+#: per-pipeline sid -> Sequence tables, derived from the group memo
 _worker_sequences: Dict[Tuple, Dict[int, Sequence]] = {}
-#: pipelines memoised per worker before the table is reset
+#: pipelines memoised per worker before the tables are reset
 _WORKER_PIPELINE_MEMO_MAX = 8
 
 
@@ -283,6 +338,7 @@ def _process_worker_init(db: EventDatabase) -> None:
     """
     global _worker_db
     _worker_db = db
+    _worker_groups.clear()
     _worker_sequences.clear()
 
 
@@ -291,24 +347,35 @@ def _worker_ping(token: int) -> int:
     return token
 
 
-def _worker_sequences_for(spec: CuboidSpec) -> Dict[int, Sequence]:
-    """This worker's sid -> Sequence table for *spec*'s pipeline.
+def _worker_groups_for(spec: CuboidSpec) -> SequenceGroupSet:
+    """This worker's rebuilt SequenceGroupSet for *spec*'s pipeline.
 
-    Sequence formation assigns sids densely in deterministic (sorted
-    cluster key) order, so rebuilding the pipeline here yields exactly
-    the coordinator's sid assignment — that is what lets tasks ship
-    sequence *ids* instead of sequences.
+    Sequence formation is deterministic (sorted cluster-key order, dense
+    sid assignment), so rebuilding here reproduces exactly the
+    coordinator's groups and sid numbering — that is what lets tasks
+    ship sequence *ids* instead of sequences.
     """
     key = spec.pipeline_key()
-    table = _worker_sequences.get(key)
-    if table is None:
+    groups = _worker_groups.get(key)
+    if groups is None:
         groups = build_sequence_groups(
             _worker_db, spec.where, spec.cluster_by,
             spec.sequence_by, spec.group_by,
         )
-        table = {seq.sid: seq for seq in groups.all_sequences()}
-        if len(_worker_sequences) >= _WORKER_PIPELINE_MEMO_MAX:
+        if len(_worker_groups) >= _WORKER_PIPELINE_MEMO_MAX:
+            _worker_groups.clear()
             _worker_sequences.clear()
+        _worker_groups[key] = groups
+    return groups
+
+
+def _worker_sequences_for(spec: CuboidSpec) -> Dict[int, Sequence]:
+    """This worker's sid -> Sequence table for *spec*'s pipeline."""
+    key = spec.pipeline_key()
+    table = _worker_sequences.get(key)
+    if table is None:
+        groups = _worker_groups_for(spec)
+        table = {seq.sid: seq for seq in groups.all_sequences()}
         _worker_sequences[key] = table
     return table
 
@@ -361,6 +428,31 @@ def _process_scan_shard(task: _ShardTask) -> List[Assignments]:
             )
         out.append(matcher.assignments(sequences[sid]))
     return out
+
+
+@dataclass(frozen=True)
+class _PartialShardTask:
+    """The picklable payload of one scatter-gather shard (full kernel)."""
+
+    spec: CuboidSpec
+    sids: Tuple[int, ...]
+    strategy: str
+    shard: int
+    budget_seconds: Optional[float]
+    occurrence_cap: Optional[int]
+
+
+def _process_partial_shard(task: _PartialShardTask) -> ShardPartial:
+    """Worker entry point: run one shard's CB/II kernel over its slice."""
+    db = _worker_db
+    if db is None:
+        raise ServiceError("scan worker used before initialization")
+    deadline = Deadline.after(task.budget_seconds)
+    local = filter_groups(_worker_groups_for(task.spec), frozenset(task.sids))
+    with occurrence_limit(task.occurrence_cap):
+        return scan_shard_partial(
+            db, local, task.spec, task.strategy, task.shard, deadline
+        )
 
 
 class ProcessExecutorBackend(ExecutorBackend):
@@ -420,6 +512,29 @@ class ProcessExecutorBackend(ExecutorBackend):
                 ),
             )
             for chunk in chunks
+        ]
+        return _collect_or_cancel(futures)
+
+    def run_partial_shards(
+        self, db, groups, transport, tasks, strategy, deadline
+    ) -> List[ShardPartial]:
+        if db is not self.db:
+            raise ServiceError(
+                "process backend is bound to a different EventDatabase; "
+                "construct one backend per database"
+            )
+        # Workers rebuild the (deterministic) pipeline themselves, so each
+        # task ships only sequence ids; deadline budgets travel as floats
+        # and the occurrence cap rides along because process-global state
+        # does not propagate to spawn-started workers.
+        budget = deadline.remaining() if deadline is not None else None
+        cap = get_default_occurrence_limit()
+        futures = [
+            self.executor.submit(
+                _process_partial_shard,
+                _PartialShardTask(transport, sids, strategy, shard, budget, cap),
+            )
+            for shard, sids in tasks
         ]
         return _collect_or_cancel(futures)
 

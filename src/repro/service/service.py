@@ -126,6 +126,18 @@ class QueryService:
             self.engine.cb_scanner = ParallelCBScanner(
                 self.backend, shards, self.config.parallel_scan_threshold
             )
+        if self.config.shards > 0:
+            # Scatter-gather execution: consistent-hash the pipeline onto
+            # N logical shards and merge partial S-cuboids (repro.shard).
+            # Shares the scan backend's pool when one exists; runs shard
+            # tasks inline otherwise.
+            from repro.shard import ScatterGatherCoordinator
+
+            self.engine.scatter_gather = ScatterGatherCoordinator(
+                self.config.shards,
+                backend=self.backend,
+                registry=self.registry,
+            )
         storage = getattr(self.engine.db, "storage", None)
         if storage is not None:
             # Segment-backed database: expose its attach/mapping telemetry
@@ -426,6 +438,7 @@ class QueryService:
         if self.metrics_server is not None:
             self.metrics_server.stop()
         self.engine.cb_scanner = None
+        self.engine.scatter_gather = None
         if self.backend is not None:
             self.backend.shutdown(wait=wait)
 

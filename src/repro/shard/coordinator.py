@@ -1,0 +1,245 @@
+"""Scatter-gather execution of one query across N logical shards.
+
+The :class:`ScatterGatherCoordinator` is installed on the engine as
+``engine.scatter_gather`` (mirroring the ``cb_scanner`` hook) and called
+with the already-formed sequence pipeline and the already-resolved
+strategy.  It:
+
+1. rewrites the spec into transport form (AVG -> AVGPAIR pairs) — a
+   holistic aggregate raises :class:`~repro.errors.NotMergeableError`
+   here and the coordinator *declines*, so the engine falls back to
+   single-shard execution;
+2. consistent-hashes every selected sequence's cluster key onto the
+   shards (:class:`~repro.shard.planner.ShardPlanner`), preserving the
+   canonical scan order within each shard;
+3. scatters shard tasks onto the execution backend (thread or process
+   pool — or runs them inline for the serial backend), each shard
+   running the unchanged CB/II kernels over its slice
+   (:func:`~repro.shard.executor.scan_shard_partial`);
+4. gathers the partial cell tables and merges them with the per-aggregate
+   merge algebra (:mod:`repro.shard.merge`), finalising AVGPAIR pairs
+   back into AVG quotients.
+
+COUNT/MIN/MAX merges are exact; SUM and the AVG numerator re-associate
+float additions across shards, so they are exact for integer-valued
+measures and equal up to float associativity otherwise.
+
+Observability: ``shard.scan`` / ``shard.merge`` spans, ``solap_shard_*``
+metrics (per-shard sequences/rows/cells, skew gauge, merge-time
+histogram, fallback counter) and ``stats.extra`` keys surfaced by
+EXPLAIN ANALYZE (``shard_fanout``, ``shard_skew``, ``scan_backend``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.counter_based import selected_sequences
+from repro.core.cuboid import SCuboid
+from repro.core.matcher import can_compile
+from repro.core.spec import CuboidSpec
+from repro.core.stats import QueryStats
+from repro.errors import NotMergeableError
+from repro.events.database import EventDatabase
+from repro.events.sequence import SequenceGroupSet
+from repro.obs.spans import span
+from repro.shard.executor import ShardPartial, filter_groups, scan_shard_partial
+from repro.shard.merge import (
+    finalize_transport,
+    merge_partial_cells,
+    transport_spec,
+)
+from repro.shard.planner import ShardPlanner
+
+
+class ShardMetrics:
+    """The ``solap_shard_*`` family bundle (no-op without a registry)."""
+
+    def __init__(self, registry=None):
+        self.registry = registry
+        if registry is None:
+            return
+        self.scans = registry.counter(
+            "solap_shard_scans_total",
+            "Queries answered by scatter-gather shard execution",
+        )
+        self.fallbacks = registry.counter(
+            "solap_shard_fallback_total",
+            "Scatter-gather declines by reason (engine fell back to "
+            "single-shard execution)",
+            labels=("reason",),
+        )
+        self.sequences = registry.counter(
+            "solap_shard_sequences_total",
+            "Sequences scanned per logical shard",
+            labels=("shard",),
+        )
+        self.rows = registry.counter(
+            "solap_shard_rows_total",
+            "Event rows covered by each logical shard's sequences",
+            labels=("shard",),
+        )
+        self.cells = registry.counter(
+            "solap_shard_cells_total",
+            "Partial cuboid cells produced per logical shard",
+            labels=("shard",),
+        )
+        self.skew = registry.gauge(
+            "solap_shard_skew",
+            "Max/mean shard population ratio of the last scatter (1.0 = even)",
+        )
+        self.merge_seconds = registry.histogram(
+            "solap_shard_merge_seconds",
+            "Wall time of the partial-cuboid merge phase",
+        )
+
+    def observe_fallback(self, reason: str) -> None:
+        if self.registry is not None:
+            self.fallbacks.labels(reason).inc()
+
+    def observe_scan(self, partials: List[ShardPartial], skew: float) -> None:
+        if self.registry is None:
+            return
+        self.scans.inc()
+        self.skew.set(skew)
+        for partial in partials:
+            shard = str(partial.shard)
+            self.sequences.labels(shard).inc(partial.sequences_scanned)
+            self.rows.labels(shard).inc(partial.rows_matched)
+            self.cells.labels(shard).inc(partial.cells_out)
+
+    def observe_merge(self, seconds: float) -> None:
+        if self.registry is not None:
+            self.merge_seconds.observe(seconds)
+
+
+class ScatterGatherCoordinator:
+    """Engine hook (``engine.scatter_gather``) for sharded execution.
+
+    *backend* is an :class:`~repro.service.parallel.ExecutorBackend` (or
+    anything with its ``run_partial_shards`` method); None or the serial
+    backend runs shard tasks inline on the calling thread — same merge
+    path, no pool.  The coordinator may decline (return None) on empty
+    selections, sub-``min_sequences`` inputs and non-mergeable
+    aggregates; the engine then falls through to single-shard execution.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        backend=None,
+        min_sequences: int = 2,
+        registry=None,
+        planner: Optional[ShardPlanner] = None,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.shards = shards
+        self.backend = backend
+        self.min_sequences = max(min_sequences, 1)
+        self.planner = planner or ShardPlanner(shards)
+        self.metrics = ShardMetrics(registry)
+        self.scans_run = 0
+
+    @property
+    def backend_name(self) -> str:
+        return getattr(self.backend, "name", None) or "serial"
+
+    def __call__(
+        self,
+        db: EventDatabase,
+        groups: SequenceGroupSet,
+        spec: CuboidSpec,
+        stats: QueryStats,
+        strategy: str,
+    ) -> Optional[SCuboid]:
+        try:
+            transport, restore = transport_spec(spec)
+        except NotMergeableError:
+            self.metrics.observe_fallback("not_mergeable")
+            return None
+        slices = spec.sliced_groups()
+        work = [
+            sequence for __, sequence in selected_sequences(groups, slices)
+        ]
+        if len(work) < self.min_sequences:
+            self.metrics.observe_fallback("below_threshold")
+            return None
+
+        assignment = self.planner.assign(
+            (sequence.cluster_key, sequence.sid) for sequence in work
+        )
+        skew = self.planner.skew(assignment)
+        tasks: List[Tuple[int, Tuple[int, ...]]] = [
+            (shard, tuple(sids)) for shard, sids in sorted(assignment.items())
+        ]
+        deadline = stats.deadline
+        with span(
+            "shard.scan",
+            backend=self.backend_name,
+            shards=len(tasks),
+            ring_shards=self.shards,
+        ) as scan_span:
+            partials = self._scatter(db, groups, transport, tasks, strategy, deadline)
+            scan_span.set("sequences_scanned", len(work))
+            scan_span.set("skew", round(skew, 3))
+
+        merge_started = time.perf_counter()
+        with span("shard.merge", shards=len(partials)) as merge_span:
+            merged = merge_partial_cells(
+                transport, [partial.cells for partial in partials]
+            )
+            cells = finalize_transport(merged, restore)
+            merge_span.set("cells_out", len(cells))
+        merge_seconds = time.perf_counter() - merge_started
+
+        for partial in partials:
+            stats.add_scan(partial.sequences_scanned)
+            stats.index_bytes_built += partial.index_bytes_built
+        stats.checkpoint()
+        self.scans_run += 1
+        self.metrics.observe_scan(partials, skew)
+        self.metrics.observe_merge(merge_seconds)
+        stats.extra["shard_fanout"] = len(tasks)
+        stats.extra["shard_skew"] = round(skew, 3)
+        stats.extra["scan_backend"] = self.backend_name
+        if strategy == "cb":
+            stats.extra["matcher"] = (
+                "compiled" if can_compile(spec.template, db) else "legacy"
+            )
+        return SCuboid(spec, cells)
+
+    def _scatter(
+        self,
+        db: EventDatabase,
+        groups: SequenceGroupSet,
+        transport: CuboidSpec,
+        tasks: List[Tuple[int, Tuple[int, ...]]],
+        strategy: str,
+        deadline,
+    ) -> List[ShardPartial]:
+        backend = self.backend
+        if backend is not None and hasattr(backend, "run_partial_shards"):
+            return backend.run_partial_shards(
+                db, groups, transport, tasks, strategy, deadline
+            )
+        return run_partials_inline(db, groups, transport, tasks, strategy, deadline)
+
+
+def run_partials_inline(
+    db: EventDatabase,
+    groups: SequenceGroupSet,
+    transport: CuboidSpec,
+    tasks: List[Tuple[int, Tuple[int, ...]]],
+    strategy: str,
+    deadline,
+) -> List[ShardPartial]:
+    """Serial scatter: run every shard task on the calling thread."""
+    partials: List[ShardPartial] = []
+    for shard, sids in tasks:
+        local = filter_groups(groups, frozenset(sids))
+        partials.append(
+            scan_shard_partial(db, local, transport, strategy, shard, deadline)
+        )
+    return partials

@@ -1,0 +1,88 @@
+"""Shard-local execution: run the CB/II kernels over a sequence subset.
+
+A shard executes the *transport* spec (AVG already rewritten to AVGPAIR)
+over the slice of the sequence pipeline that the planner assigned to it,
+with the unchanged kernels — :func:`counter_based_cuboid` or
+:func:`inverted_index_cuboid` over a shard-private throwaway index
+registry — and ships back plain cell dictionaries plus its work counters.
+Everything here is importable from worker processes: no service-layer
+dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import AbstractSet, Dict, Optional, Tuple
+
+from repro.core.counter_based import counter_based_cuboid
+from repro.core.inverted_index import inverted_index_cuboid
+from repro.core.spec import CuboidSpec
+from repro.core.stats import QueryStats
+from repro.events.database import EventDatabase
+from repro.events.sequence import SequenceGroup, SequenceGroupSet
+from repro.shard.merge import Cells
+
+
+@dataclass(frozen=True)
+class ShardPartial:
+    """One shard's contribution: transport cells plus work accounting."""
+
+    shard: int
+    cells: Cells
+    sequences_scanned: int = 0
+    index_bytes_built: int = 0
+    rows_matched: int = 0
+    #: cells the shard produced before merging (skew/telemetry only)
+    cells_out: int = field(default=0)
+
+
+def filter_groups(
+    groups: SequenceGroupSet, sids: AbstractSet[int]
+) -> SequenceGroupSet:
+    """The shard-local slice of a pipeline: only sequences in *sids*.
+
+    Group keys (and their canonical iteration order) are preserved;
+    groups left with no member sequence are dropped entirely, so empty
+    shards cost nothing downstream.
+    """
+    picked: Dict[Tuple[object, ...], SequenceGroup] = {}
+    for group in groups:
+        members = [sequence for sequence in group if sequence.sid in sids]
+        if members:
+            picked[group.key] = SequenceGroup(group.key, members)
+    return SequenceGroupSet(global_dims=groups.global_dims, groups=picked)
+
+
+def scan_shard_partial(
+    db: EventDatabase,
+    local_groups: SequenceGroupSet,
+    transport: CuboidSpec,
+    strategy: str,
+    shard: int,
+    deadline: Optional[object] = None,
+) -> ShardPartial:
+    """Execute one shard's slice with the requested kernel strategy.
+
+    ``strategy`` is the engine's already-resolved choice ("cb" or "ii");
+    II shards build their indices into a private registry that dies with
+    the call — partial cuboids are merged, indices are not.
+    """
+    stats = QueryStats(deadline=deadline)
+    if strategy == "ii":
+        from repro.index.registry import IndexRegistry
+
+        cuboid = inverted_index_cuboid(
+            db, local_groups, transport, IndexRegistry(), stats
+        )
+    else:
+        cuboid = counter_based_cuboid(db, local_groups, transport, stats)
+    return ShardPartial(
+        shard=shard,
+        cells=cuboid.cells,
+        sequences_scanned=stats.sequences_scanned,
+        index_bytes_built=stats.index_bytes_built,
+        rows_matched=sum(
+            len(sequence.rows) for sequence in local_groups.all_sequences()
+        ),
+        cells_out=len(cuboid.cells),
+    )

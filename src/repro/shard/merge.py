@@ -1,0 +1,144 @@
+"""The partial S-cuboid merge algebra (Gray et al.'s classification).
+
+S-cuboids are non-summarizable across *pattern* dimensions, but across
+*data* partitions the paper's five aggregate functions are algebraic or
+distributive: a cell's value over the whole dataset is a fold of the same
+cell's values over disjoint sequence subsets.
+
+================  =========================  ==========================
+aggregate         partial state shipped      merge
+================  =========================  ==========================
+COUNT(*)          count                      sum
+SUM(m)            sum                        sum
+MIN(m)            min (None when no value)   min ignoring None
+MAX(m)            max (None when no value)   max ignoring None
+AVG(m)            (sum, count) pair          pairwise sum, then divide
+holistic          —                          :class:`NotMergeableError`
+================  =========================  ==========================
+
+AVG is the algebraic case: a finalised average cannot be merged, so the
+coordinator rewrites ``AVG(m)`` to the internal ``AVGPAIR(m)`` transport
+aggregate before scattering (shards then finalise to the pair) and
+restores the quotient — and the ``AVG(m)`` result name — after gathering.
+Any aggregate outside the table raises the typed
+:class:`~repro.errors.NotMergeableError`, which callers treat as "fall
+back to single-shard execution".
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Tuple
+
+from repro.core.spec import AggregateSpec, CuboidSpec
+from repro.errors import NotMergeableError
+
+#: cells dict of a (partial or final) S-cuboid: (group_key, cell_key) ->
+#: {aggregate name: value}
+Cells = Dict[Tuple[Tuple[object, ...], Tuple[object, ...]], Dict[str, object]]
+
+#: aggregate functions whose partials merge across data shards
+MERGEABLE_FUNCS = ("COUNT", "SUM", "AVG", "MIN", "MAX", "AVGPAIR")
+
+
+def check_mergeable(spec: CuboidSpec) -> None:
+    """Raise :class:`NotMergeableError` on the first holistic aggregate."""
+    for aggregate in spec.aggregates:
+        if aggregate.func not in MERGEABLE_FUNCS:
+            raise NotMergeableError(aggregate.name)
+
+
+def transport_spec(spec: CuboidSpec) -> Tuple[CuboidSpec, Dict[str, str]]:
+    """The spec shards actually execute, plus the AVG name restoration map.
+
+    ``AVG(m)`` aggregates become ``AVGPAIR(m)`` (same measure, same
+    scope) so shard partials carry the mergeable (sum, count) pair;
+    everything else passes through unchanged.  Returns ``(transport,
+    {transport name: original name})`` where the map has one entry per
+    rewritten AVG.  Raises :class:`NotMergeableError` for holistic
+    aggregates — callers fall back to single-shard execution.
+    """
+    check_mergeable(spec)
+    rewritten = []
+    restore: Dict[str, str] = {}
+    changed = False
+    for aggregate in spec.aggregates:
+        if aggregate.func == "AVG":
+            pair = AggregateSpec(
+                "AVGPAIR", aggregate.argument, scope=aggregate.scope
+            )
+            rewritten.append(pair)
+            restore[pair.name] = aggregate.name
+            changed = True
+        else:
+            rewritten.append(aggregate)
+    if not changed:
+        return spec, {}
+    return replace(spec, aggregates=tuple(rewritten)), restore
+
+
+def _merge_value(func: str, current: object, incoming: object) -> object:
+    if incoming is None:
+        return current
+    if current is None:
+        return incoming
+    if func in ("COUNT", "SUM"):
+        return current + incoming  # type: ignore[operator]
+    if func == "MIN":
+        return current if current <= incoming else incoming  # type: ignore[operator]
+    if func == "MAX":
+        return current if current >= incoming else incoming  # type: ignore[operator]
+    if func == "AVGPAIR":
+        return (
+            current[0] + incoming[0],  # type: ignore[index]
+            current[1] + incoming[1],  # type: ignore[index]
+        )
+    raise NotMergeableError(func)
+
+
+def merge_partial_cells(
+    transport: CuboidSpec, partials: List[Cells]
+) -> Cells:
+    """Fold per-shard partial cell tables into one (still-transport) table.
+
+    Cells present in several partials merge per aggregate; cells seen by
+    one shard only pass through.  Values stay in transport form —
+    ``AVGPAIR`` pairs are not divided here — so the merge is associative
+    and could itself run in a tree.
+    """
+    merged: Cells = {}
+    funcs = [(aggregate.name, aggregate.func) for aggregate in transport.aggregates]
+    for partial in partials:
+        for cell_key, values in partial.items():
+            current = merged.get(cell_key)
+            if current is None:
+                merged[cell_key] = dict(values)
+                continue
+            for name, func in funcs:
+                current[name] = _merge_value(
+                    func, current.get(name), values.get(name)
+                )
+    return merged
+
+
+def finalize_transport(merged: Cells, restore: Dict[str, str]) -> Cells:
+    """Turn merged transport cells into the user-visible result cells.
+
+    Each ``AVGPAIR(m)`` entry becomes ``AVG(m) = sum / count`` (None when
+    no value contributed, matching the serial accumulator).  With an
+    empty *restore* map the cells pass through untouched.
+    """
+    if not restore:
+        return merged
+    out: Cells = {}
+    for cell_key, values in merged.items():
+        finished: Dict[str, object] = {}
+        for name, value in values.items():
+            original = restore.get(name)
+            if original is None:
+                finished[name] = value
+            else:
+                total, count = value  # type: ignore[misc]
+                finished[original] = total / count if count else None
+        out[cell_key] = finished
+    return out

@@ -1,0 +1,95 @@
+"""Consistent-hash placement of sequences onto logical shards.
+
+The planner maps a sequence's stable identity (its cluster key) onto one
+of N logical shards through a consistent-hash ring with virtual nodes.
+Two properties matter for scale-out:
+
+* **determinism across processes** — ring points and key positions come
+  from :func:`hashlib.blake2b` digests, never from Python's per-process
+  randomised ``hash()``, so every coordinator, worker and future node
+  agrees on the placement of every key without coordination;
+* **stability under resharding** — growing the ring from N to N+1 shards
+  moves only the keys whose ring arc the new shard's virtual nodes
+  capture (≈ 1/(N+1) of all keys), and every moved key moves *to* the
+  new shard.  A modulo placement would reshuffle almost everything.
+
+Virtual nodes (``replicas`` points per shard) smooth the arc lengths so
+shard populations stay balanced even at small N.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Tuple
+
+#: ring points per shard; 64 keeps the max/mean population skew within a
+#: few percent at the shard counts we run (1-16) while the ring stays
+#: tiny (N*64 sorted ints)
+DEFAULT_REPLICAS = 64
+
+
+def stable_hash(key: object) -> int:
+    """A 64-bit position for *key*, identical in every process.
+
+    Keys are hashed through their ``repr`` — cluster keys are tuples of
+    primitives with stable reprs — via blake2b, so the placement never
+    depends on ``PYTHONHASHSEED``.
+    """
+    digest = hashlib.blake2b(repr(key).encode("utf-8"), digest_size=8)
+    return int.from_bytes(digest.digest(), "big")
+
+
+class ShardPlanner:
+    """Assigns sequence identities to one of *shards* logical shards."""
+
+    def __init__(self, shards: int, replicas: int = DEFAULT_REPLICAS):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.shards = shards
+        self.replicas = replicas
+        ring: List[Tuple[int, int]] = []
+        for shard in range(shards):
+            for replica in range(replicas):
+                point = stable_hash(f"shard-{shard}:vnode-{replica}")
+                ring.append((point, shard))
+        ring.sort()
+        self._points = [point for point, __ in ring]
+        self._owners = [shard for __, shard in ring]
+
+    def shard_of(self, key: object) -> int:
+        """The shard owning *key*: the first ring point at or after it."""
+        position = stable_hash(key)
+        index = bisect_right(self._points, position) % len(self._points)
+        return self._owners[index]
+
+    def assign(self, keyed_items: Iterable[Tuple[object, object]]) -> Dict[int, List[object]]:
+        """Partition ``(key, item)`` pairs into ``{shard: [items...]}``.
+
+        Input order is preserved within each shard (the coordinator feeds
+        the canonical scan order, so shard-local scans replay it).  Empty
+        shards are simply absent — no task is ever scheduled for them,
+        mirroring :func:`repro.service.parallel.split_chunks`.
+        """
+        assignment: Dict[int, List[object]] = {}
+        for key, item in keyed_items:
+            assignment.setdefault(self.shard_of(key), []).append(item)
+        return assignment
+
+    def skew(self, assignment: Dict[int, List[object]]) -> float:
+        """Max/mean population ratio of a non-empty assignment (1.0 = even).
+
+        Means are taken over the configured shard count, not just the
+        occupied shards, so a pathological all-on-one-shard placement at
+        N=4 reports 4.0 rather than 1.0.
+        """
+        if not assignment:
+            return 1.0
+        sizes = [len(items) for items in assignment.values()]
+        mean = sum(sizes) / float(self.shards)
+        return max(sizes) / mean if mean else 1.0
+
+    def __repr__(self) -> str:
+        return f"ShardPlanner({self.shards} shards, {self.replicas} vnodes each)"

@@ -1,0 +1,243 @@
+"""Property: scatter-gather shard execution is invisible.
+
+An S-cuboid merged from N per-shard partials must be bit-identical to the
+single-shard serial build — for every template, both kernel strategies,
+all three cell restrictions, shard counts 1/2/4, and every execution
+backend.  AVG rides along as a (sum, count) pair, so the datasets here
+use integer measures, where the merge's float re-association is exact.
+
+The backend matrix honours ``SOLAP_SHARDS`` and
+``SOLAP_SHARD_START_METHOD`` so CI can sweep fan-outs and both process
+start paths.
+"""
+
+import os
+import random
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CellRestriction,
+    CuboidSpec,
+    Dimension,
+    EventDatabase,
+    Schema,
+    SOLAPEngine,
+)
+from repro.core.spec import AggregateSpec, PatternKind
+from repro.events.schema import Measure
+from repro.service import QueryService, ServiceConfig
+from repro.shard import ScatterGatherCoordinator
+from tests.property.conftest import (
+    ALPHABET,
+    GROUP_OF,
+    make_db,
+    sequences_strategy,
+    spec_for,
+    template_from,
+    template_strategy,
+)
+
+RESTRICTIONS = st.sampled_from(
+    [
+        CellRestriction.LEFT_MAXIMALITY,
+        CellRestriction.LEFT_MAXIMALITY_DATA,
+        CellRestriction.ALL_MATCHED,
+    ]
+)
+
+SHARD_COUNTS = st.sampled_from([1, 2, 4])
+
+
+def _serial(db, spec, strategy):
+    cuboid, stats = SOLAPEngine(db, use_repository=False).execute(spec, strategy)
+    return cuboid, stats
+
+
+def _sharded(db, spec, strategy, shards):
+    engine = SOLAPEngine(db, use_repository=False)
+    engine.scatter_gather = ScatterGatherCoordinator(shards, min_sequences=1)
+    cuboid, stats = engine.execute(spec, strategy)
+    assert stats.extra.get("shard_fanout") is not None, (
+        "scatter-gather declined; the property was not exercised"
+    )
+    return cuboid, stats
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sequences=sequences_strategy,
+    template=template_strategy,
+    restriction=RESTRICTIONS,
+    shards=SHARD_COUNTS,
+)
+def test_sharded_cb_equals_serial_cb(sequences, template, restriction, shards):
+    db = make_db(sequences)
+    spec = replace(spec_for(template), restriction=restriction)
+    serial, serial_stats = _serial(db, spec, "cb")
+    merged, merged_stats = _sharded(db, spec, "cb", shards)
+    assert merged.to_dict() == serial.to_dict()
+    # zero work-counter drift: every selected sequence scanned exactly once
+    assert merged_stats.sequences_scanned == serial_stats.sequences_scanned
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sequences=sequences_strategy,
+    template=template_strategy,
+    restriction=RESTRICTIONS,
+    shards=SHARD_COUNTS,
+)
+def test_sharded_ii_equals_serial_ii(sequences, template, restriction, shards):
+    db = make_db(sequences)
+    spec = replace(spec_for(template), restriction=restriction)
+    serial, __ = _serial(db, spec, "ii")
+    merged, __ = _sharded(db, spec, "ii", shards)
+    assert merged.to_dict() == serial.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# Aggregates over a measure (the conftest schema has none)
+# ---------------------------------------------------------------------------
+
+def _measure_schema() -> Schema:
+    return Schema(
+        [Dimension("seq"), Dimension("ts"), Dimension("symbol")],
+        [Measure("amount")],
+    )
+
+
+def _measure_db(sequences) -> EventDatabase:
+    db = EventDatabase(_measure_schema())
+    for seq_id, symbols in enumerate(sequences):
+        for position, (symbol, amount) in enumerate(symbols):
+            db.append(
+                {"seq": seq_id, "ts": position, "symbol": symbol, "amount": amount}
+            )
+    return db
+
+
+measured_sequences_strategy = st.lists(
+    st.lists(
+        st.tuples(st.sampled_from(ALPHABET), st.integers(0, 100)),
+        min_size=1,
+        max_size=8,
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+ALL_AGGREGATES = (
+    AggregateSpec("COUNT", None),
+    AggregateSpec("SUM", "amount"),
+    AggregateSpec("AVG", "amount"),
+    AggregateSpec("MIN", "amount"),
+    AggregateSpec("MAX", "amount"),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sequences=measured_sequences_strategy,
+    restriction=RESTRICTIONS,
+    shards=SHARD_COUNTS,
+    strategy=st.sampled_from(["cb", "ii"]),
+)
+def test_sharded_aggregates_equal_serial(sequences, restriction, shards, strategy):
+    """All five aggregate functions survive the merge — AVG through its
+    (sum, count) transport pair — over integer measures, where the
+    partial-sum re-association is exact."""
+    db = _measure_db(sequences)
+    template = template_from((0, 1), PatternKind.SUBSEQUENCE, "symbol")
+    spec = replace(
+        spec_for(template), restriction=restriction, aggregates=ALL_AGGREGATES
+    )
+    serial, __ = _serial(db, spec, strategy)
+    merged, __ = _sharded(db, spec, strategy, shards)
+    assert merged.to_dict() == serial.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# Backend matrix (deterministic dataset; env-swept by the shard-smoke job)
+# ---------------------------------------------------------------------------
+
+def _backend_dataset():
+    rng = random.Random(13)
+    return [
+        [rng.choice(ALPHABET) for __ in range(rng.randint(3, 10))]
+        for __ in range(40)
+    ]
+
+
+@pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+@pytest.mark.parametrize("strategy", ["cb", "ii"])
+def test_shard_backends_equal_serial(backend, strategy):
+    """Full service wiring: ``ServiceConfig(shards=N)`` on every executor
+    backend produces the serial result, scans each sequence exactly once,
+    and surfaces its fan-out in ``stats.extra``."""
+    shards = int(os.environ.get("SOLAP_SHARDS", "2"))
+    sequences = _backend_dataset()
+    template = template_from((0, 1), PatternKind.SUBSTRING, "symbol")
+    spec = spec_for(template)
+    db = make_db(sequences)
+    serial, serial_stats = _serial(db, spec, strategy)
+    config = ServiceConfig(
+        max_workers=2,
+        executor_backend=backend,
+        shards=shards,
+        parallel_scan_threshold=1,
+    )
+    if backend == "process":
+        method = os.environ.get("SOLAP_SHARD_START_METHOD")
+        if method:
+            config = replace(config, process_start_method=method)
+    svc = QueryService(SOLAPEngine(db, use_repository=False), config)
+    try:
+        cuboid, stats = svc.execute(spec, strategy)
+    finally:
+        svc.close()
+    assert cuboid.to_dict() == serial.to_dict()
+    assert stats.extra.get("shard_fanout") == min(shards, len(sequences))
+    assert stats.extra.get("scan_backend") == backend
+    assert stats.sequences_scanned == serial_stats.sequences_scanned
+
+
+def test_group_level_template_survives_sharding():
+    """Hierarchy-level matching (symbols rolled up to groups) is a
+    per-sequence concern and must not change under partitioning."""
+    sequences = _backend_dataset()
+    db = make_db(sequences)
+    template = template_from((0, 0, 1), PatternKind.SUBSEQUENCE, "group")
+    spec = spec_for(template)
+    serial, __ = _serial(db, spec, "cb")
+    merged, __ = _sharded(db, spec, "cb", 4)
+    assert merged.to_dict() == serial.to_dict()
+    assert set(GROUP_OF.values()) >= {
+        value for key in merged.cells for value in key[1]
+    }
+
+
+def test_holistic_aggregate_falls_back_to_single_shard(monkeypatch):
+    """A NotMergeableError from the transport rewrite must make the
+    coordinator decline, not fail the query."""
+    from repro.errors import NotMergeableError
+    from repro.shard import coordinator as coordinator_module
+
+    def raising_transport_spec(spec):
+        raise NotMergeableError("MEDIAN(m)")
+
+    monkeypatch.setattr(
+        coordinator_module, "transport_spec", raising_transport_spec
+    )
+    db = make_db(_backend_dataset())
+    template = template_from((0, 1), PatternKind.SUBSTRING, "symbol")
+    spec = spec_for(template)
+    serial, __ = _serial(db, spec, "cb")
+    engine = SOLAPEngine(db, use_repository=False)
+    engine.scatter_gather = ScatterGatherCoordinator(4, min_sequences=1)
+    cuboid, stats = engine.execute(spec, "cb")
+    assert cuboid.to_dict() == serial.to_dict()
+    assert "shard_fanout" not in stats.extra  # single-shard path answered

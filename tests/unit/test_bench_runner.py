@@ -136,7 +136,8 @@ class TestLoad:
         # 8 workload sections + the schema-2 micro-bench sections
         # (matcher_kernel_* and join_intersect_*) + the schema-3
         # segment-store sections (storage_attach_* / storage_scan_*)
-        assert len(doc["benchmarks"]) == 16
+        # + the schema-4 scatter-gather sections (shards_scatter_gather_n*)
+        assert len(doc["benchmarks"]) == 20
         for name, record in doc["benchmarks"].items():
             assert record["p50_ms"] >= 0
             if name.startswith(("join_intersect_", "storage_attach_")):

@@ -90,6 +90,47 @@ class TestVendorSite:
         assert len(bus.population()) == 5
 
 
+class TestJoinKeyValidation:
+    def test_missing_join_key_raises_typed_error(self):
+        # The site was configured with a join key its schema doesn't
+        # carry; the raw KeyError this used to raise identified neither
+        # the site nor the attribute.
+        site = VendorSite(
+            "subway",
+            make_subway_db(range(4)),
+            join_key="loyalty_id",
+            cluster_by=(("card", "card"),),
+            sequence_by=(("time", True),),
+            salt="s",
+        )
+        with pytest.raises(EngineError) as excinfo:
+            site.pattern_lists(subway_template())
+        assert "subway" in str(excinfo.value)
+        assert "loyalty_id" in str(excinfo.value)
+
+    def test_varying_join_key_within_sequence_raises(self):
+        # Clustering by station mixes several cards into one sequence, so
+        # no single pseudonym owns it: attributing the whole sequence to
+        # event(0)'s card (the old behaviour) silently corrupted lists.
+        db = make_subway_db(range(4))
+        site = VendorSite(
+            "subway",
+            db,
+            join_key="card",
+            cluster_by=(("station", "station"),),
+            sequence_by=(("time", True),),
+            salt="s",
+        )
+        with pytest.raises(EngineError) as excinfo:
+            site.pattern_lists(subway_template())
+        assert "varies" in str(excinfo.value)
+        assert "card" in str(excinfo.value)
+
+    def test_valid_configuration_still_works(self):
+        subway, __ = make_sites(range(6), range(6))
+        assert subway.pattern_lists(subway_template())
+
+
 class TestCoordinator:
     def test_needs_two_sites(self):
         subway, __ = make_sites(range(4), range(4))

@@ -1,0 +1,147 @@
+"""Partial S-cuboid merge algebra: transport rewrite, folds, fallback."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.spec import AggregateSpec, CuboidSpec, PatternKind, PatternTemplate
+from repro.errors import EngineError, NotMergeableError
+from repro.shard.merge import (
+    check_mergeable,
+    finalize_transport,
+    merge_partial_cells,
+    transport_spec,
+)
+
+
+def _spec(*aggregates):
+    template = PatternTemplate.build(
+        PatternKind.SUBSEQUENCE,
+        ("X", "Y"),
+        {"X": ("symbol", "symbol"), "Y": ("symbol", "symbol")},
+    )
+    return CuboidSpec(
+        template=template,
+        cluster_by=(("seq", "seq"),),
+        sequence_by=(("ts", True),),
+        aggregates=aggregates or (AggregateSpec("COUNT", None),),
+    )
+
+
+CELL = (("g",), ("a", "b"))
+OTHER = (("g",), ("a", "c"))
+
+
+class TestTransportSpec:
+    def test_no_avg_passes_through_unchanged(self):
+        spec = _spec(AggregateSpec("COUNT", None), AggregateSpec("SUM", "m"))
+        transport, restore = transport_spec(spec)
+        assert transport is spec
+        assert restore == {}
+
+    def test_avg_becomes_avgpair(self):
+        spec = _spec(AggregateSpec("AVG", "m"), AggregateSpec("MAX", "m"))
+        transport, restore = transport_spec(spec)
+        funcs = [aggregate.func for aggregate in transport.aggregates]
+        assert funcs == ["AVGPAIR", "MAX"]
+        assert restore == {"AVGPAIR(m)": "AVG(m)"}
+        # the original spec is untouched
+        assert [a.func for a in spec.aggregates] == ["AVG", "MAX"]
+
+    def test_holistic_aggregate_raises_typed_error(self):
+        fake = SimpleNamespace(func="MEDIAN", name="MEDIAN(m)")
+        spec = _spec()
+        broken = SimpleNamespace(aggregates=(fake,))
+        with pytest.raises(NotMergeableError) as excinfo:
+            check_mergeable(broken)
+        assert excinfo.value.aggregate == "MEDIAN(m)"
+        assert isinstance(excinfo.value, EngineError)
+        assert "MEDIAN(m)" in str(excinfo.value)
+        del spec
+
+
+class TestMergePartialCells:
+    def test_disjoint_cells_pass_through(self):
+        spec = _spec(AggregateSpec("COUNT", None))
+        merged = merge_partial_cells(
+            spec,
+            [{CELL: {"COUNT(*)": 2}}, {OTHER: {"COUNT(*)": 5}}],
+        )
+        assert merged == {CELL: {"COUNT(*)": 2}, OTHER: {"COUNT(*)": 5}}
+
+    def test_overlapping_cells_fold_per_aggregate(self):
+        spec = _spec(
+            AggregateSpec("COUNT", None),
+            AggregateSpec("SUM", "m"),
+            AggregateSpec("MIN", "m"),
+            AggregateSpec("MAX", "m"),
+        )
+        merged = merge_partial_cells(
+            spec,
+            [
+                {CELL: {"COUNT(*)": 2, "SUM(m)": 10, "MIN(m)": 3, "MAX(m)": 7}},
+                {CELL: {"COUNT(*)": 1, "SUM(m)": 4, "MIN(m)": 1, "MAX(m)": 5}},
+            ],
+        )
+        assert merged[CELL] == {
+            "COUNT(*)": 3,
+            "SUM(m)": 14,
+            "MIN(m)": 1,
+            "MAX(m)": 7,
+        }
+
+    def test_none_values_are_identity(self):
+        # MIN/MAX over a shard with no measure values yields None; merging
+        # must treat it as "no contribution", matching the serial scan.
+        spec = _spec(AggregateSpec("MIN", "m"), AggregateSpec("MAX", "m"))
+        merged = merge_partial_cells(
+            spec,
+            [
+                {CELL: {"MIN(m)": None, "MAX(m)": None}},
+                {CELL: {"MIN(m)": 4, "MAX(m)": 9}},
+                {CELL: {"MIN(m)": None, "MAX(m)": None}},
+            ],
+        )
+        assert merged[CELL] == {"MIN(m)": 4, "MAX(m)": 9}
+
+    def test_merge_does_not_mutate_partials(self):
+        spec = _spec(AggregateSpec("COUNT", None))
+        first = {CELL: {"COUNT(*)": 2}}
+        second = {CELL: {"COUNT(*)": 3}}
+        merge_partial_cells(spec, [first, second])
+        assert first == {CELL: {"COUNT(*)": 2}}
+        assert second == {CELL: {"COUNT(*)": 3}}
+
+    def test_avgpair_sums_pairwise(self):
+        spec = _spec(AggregateSpec("AVG", "m"))
+        transport, restore = transport_spec(spec)
+        merged = merge_partial_cells(
+            transport,
+            [
+                {CELL: {"AVGPAIR(m)": (10, 2)}},
+                {CELL: {"AVGPAIR(m)": (5, 3)}},
+            ],
+        )
+        assert merged[CELL] == {"AVGPAIR(m)": (15, 5)}
+        assert finalize_transport(merged, restore) == {CELL: {"AVG(m)": 3.0}}
+
+    def test_empty_partials(self):
+        spec = _spec()
+        assert merge_partial_cells(spec, []) == {}
+        assert merge_partial_cells(spec, [{}, {}]) == {}
+
+
+class TestFinalizeTransport:
+    def test_passthrough_without_restore_map(self):
+        cells = {CELL: {"COUNT(*)": 7}}
+        assert finalize_transport(cells, {}) is cells
+
+    def test_zero_count_pair_finalizes_to_none(self):
+        merged = {CELL: {"AVGPAIR(m)": (0, 0)}}
+        out = finalize_transport(merged, {"AVGPAIR(m)": "AVG(m)"})
+        assert out == {CELL: {"AVG(m)": None}}
+
+    def test_non_avg_aggregates_survive_alongside(self):
+        merged = {CELL: {"AVGPAIR(m)": (9, 3), "COUNT(*)": 3}}
+        out = finalize_transport(merged, {"AVGPAIR(m)": "AVG(m)"})
+        assert out == {CELL: {"AVG(m)": 3.0, "COUNT(*)": 3}}

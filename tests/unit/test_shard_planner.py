@@ -1,0 +1,124 @@
+"""Consistent-hash shard planner: stability, determinism, edge cases."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.shard.planner import DEFAULT_REPLICAS, ShardPlanner, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic_within_process(self):
+        assert stable_hash("card-17") == stable_hash("card-17")
+        assert stable_hash(("a", 3)) == stable_hash(("a", 3))
+
+    def test_distinct_keys_differ(self):
+        values = {stable_hash(f"key-{i}") for i in range(1000)}
+        assert len(values) == 1000
+
+    def test_cross_process_determinism(self):
+        # hash() randomizes per process under PYTHONHASHSEED; stable_hash
+        # must not, or workers would disagree with the coordinator about
+        # shard ownership.
+        expected = [stable_hash(f"card-{i}") for i in range(8)]
+        script = (
+            "from repro.shard.planner import stable_hash;"
+            "print([stable_hash(f'card-{i}') for i in range(8)])"
+        )
+        for seed in ("0", "12345"):
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={"PYTHONPATH": "src", "PYTHONHASHSEED": seed},
+            )
+            assert eval(out.stdout) == expected
+
+
+class TestShardPlanner:
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardPlanner(0)
+        with pytest.raises(ValueError):
+            ShardPlanner(2, replicas=0)
+
+    def test_every_key_lands_in_range(self):
+        planner = ShardPlanner(4)
+        for i in range(500):
+            assert 0 <= planner.shard_of(f"key-{i}") < 4
+
+    def test_single_shard_owns_everything(self):
+        planner = ShardPlanner(1)
+        assert {planner.shard_of(i) for i in range(100)} == {0}
+
+    def test_assignment_is_stable(self):
+        planner = ShardPlanner(3)
+        first = [planner.shard_of(f"key-{i}") for i in range(200)]
+        second = [planner.shard_of(f"key-{i}") for i in range(200)]
+        assert first == second
+
+    def test_all_shards_populated_at_scale(self):
+        planner = ShardPlanner(8)
+        owners = {planner.shard_of(f"key-{i}") for i in range(2000)}
+        assert owners == set(range(8))
+
+    def test_growth_moves_bounded_fraction_to_new_shard_only(self):
+        # The consistent-hashing contract: going N -> N+1 shards reassigns
+        # only the keys the new shard captures; nothing moves between
+        # pre-existing shards.
+        keys = [f"card-{i}" for i in range(3000)]
+        for n in (2, 4, 8):
+            before = ShardPlanner(n)
+            after = ShardPlanner(n + 1)
+            moved = 0
+            for key in keys:
+                old, new = before.shard_of(key), after.shard_of(key)
+                if old != new:
+                    moved += 1
+                    assert new == n, (
+                        f"key moved between pre-existing shards: {old}->{new}"
+                    )
+            # Expect ~1/(n+1); allow generous slack for hash variance.
+            assert moved / len(keys) < 2.5 / (n + 1)
+            assert moved > 0
+
+    def test_assign_partitions_and_preserves_order(self):
+        planner = ShardPlanner(4)
+        items = [(f"key-{i}", i) for i in range(100)]
+        assignment = planner.assign(items)
+        recovered = sorted(x for xs in assignment.values() for x in xs)
+        assert recovered == list(range(100))
+        for shard, members in assignment.items():
+            assert members == sorted(members)  # input order kept per shard
+            assert 0 <= shard < 4
+
+    def test_assign_empty_input(self):
+        planner = ShardPlanner(4)
+        assert planner.assign([]) == {}
+        assert planner.skew({}) == 1.0
+
+    def test_empty_shards_absent_from_assignment(self):
+        # One key cannot populate 8 shards; absent shards must not appear
+        # as empty lists (the coordinator would schedule dead tasks).
+        planner = ShardPlanner(8)
+        assignment = planner.assign([("only-key", "payload")])
+        assert len(assignment) == 1
+        ((shard, members),) = assignment.items()
+        assert members == ["payload"]
+        assert shard == planner.shard_of("only-key")
+
+    def test_skew_of_even_and_uneven_assignments(self):
+        planner = ShardPlanner(2)
+        assert planner.skew({0: [1, 2], 1: [3, 4]}) == 1.0
+        assert planner.skew({0: [1, 2, 3, 4]}) == 2.0
+
+    def test_same_keys_same_shards_across_instances(self):
+        a = ShardPlanner(5)
+        b = ShardPlanner(5)
+        for i in range(300):
+            assert a.shard_of(i) == b.shard_of(i)
+
+    def test_replicas_default(self):
+        assert ShardPlanner(2).replicas == DEFAULT_REPLICAS
