@@ -23,7 +23,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-BENCH_SCHEMA = 4
+BENCH_SCHEMA = 5
 
 #: benchmarks faster than this in the baseline are skipped for the wall
 #: time gate — at sub-millisecond scale the signal is scheduler noise

@@ -68,8 +68,9 @@ from repro.storage import StorageManager  # noqa: E402
 #: bump when the emitted document's shape changes incompatibly
 #: (2: added matcher_kernel_* / join_intersect_* micro-bench sections;
 #:  3: added storage_attach_* segment-store sections;
-#:  4: added shards_scatter_gather_n* sections)
-BENCH_SCHEMA = 4
+#:  4: added shards_scatter_gather_n* sections;
+#:  5: added tracing_overhead_* sections)
+BENCH_SCHEMA = 5
 
 
 class BenchCase:
@@ -387,6 +388,54 @@ def build_shard_benches(datasets: Dict[str, object]) -> Dict[str, tuple]:
     }
 
 
+def build_tracing_benches(datasets: Dict[str, object]) -> Dict[str, tuple]:
+    """Tracing overhead on the hot query path, at three levels.
+
+    ``tracing_overhead_disabled`` runs a CB query with no tracer active —
+    each instrumented site costs one context-var read plus an identity
+    check; ``tracing_overhead_spans`` runs the same query under
+    ``analyze=True`` so every stage span is recorded;
+    ``tracing_overhead_recorder`` additionally records the finished
+    trace (trace JSON + resource profile + plan) into a
+    :class:`~repro.obs.recorder.FlightRecorder` ring, the full
+    always-on flight-recorder cost.  Comparing the three p50s bounds
+    what permanent instrumentation costs a query; the deterministic
+    counters pin that tracing never changes the work done.
+    """
+    from repro.obs.recorder import FlightRecorder
+
+    synthetic = datasets["synthetic"]
+    spec = base_spec(("X", "Y"))
+
+    def traced_query(analyze: bool, record: bool):
+        def run() -> dict:
+            engine = SOLAPEngine(synthetic, use_repository=False)
+            cuboid, stats = engine.execute(spec, "cb", analyze=analyze)
+            counters = {
+                "sequences_scanned": stats.sequences_scanned,
+                "cells": len(cuboid),
+                "spans": (
+                    sum(1 for __ in stats.trace.walk()) if stats.trace else 0
+                ),
+            }
+            if record:
+                recorder = FlightRecorder(capacity=4)
+                counters["recorded"] = int(
+                    recorder.record(stats=stats, query_id="bench") is not None
+                )
+            return counters
+
+        return run
+
+    return {
+        "tracing_overhead_disabled": (
+            "synthetic", traced_query(False, False),
+        ),
+        "tracing_overhead_spans": ("synthetic", traced_query(True, False)),
+        "tracing_overhead_recorder": ("synthetic", traced_query(True, True)),
+    }
+
+
 def crossover_summary(db, n_queries: int) -> dict:
     """Cumulative CB-vs-II runtimes along QuerySet A and the crossover step.
 
@@ -453,6 +502,9 @@ def run_all(quick: bool, repeats: int, crossover_queries: int) -> dict:
         print(f"  running {name} ...", flush=True)
         document["benchmarks"][name] = run_micro(fn, dataset, repeats)
     for name, (dataset, fn) in build_shard_benches(datasets).items():
+        print(f"  running {name} ...", flush=True)
+        document["benchmarks"][name] = run_micro(fn, dataset, repeats)
+    for name, (dataset, fn) in build_tracing_benches(datasets).items():
         print(f"  running {name} ...", flush=True)
         document["benchmarks"][name] = run_micro(fn, dataset, repeats)
     with tempfile.TemporaryDirectory(prefix="solap-bench-store-") as tmp:

@@ -53,7 +53,7 @@ from repro.datagen import (
     generate_transit,
     remove_crawler_sessions,
 )
-from repro.errors import SOLAPError, StorageError
+from repro.errors import ServiceError, SOLAPError, StorageError
 from repro.io import load_dataset, save_cuboid, save_dataset
 from repro.optimizer import advise_for_workload
 from repro.ql import parse_query
@@ -314,10 +314,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace = sub.add_parser(
         "trace",
-        help="run a query under tracing and export the span tree as JSON",
+        help="run a query under tracing and export the span tree as JSON, "
+        "or browse a running service's flight recorder",
     )
-    trace.add_argument("dataset", help="dataset directory")
-    trace.add_argument("queryfile", help="file containing one S-OLAP query")
+    trace.add_argument("dataset", nargs="?", help="dataset directory")
+    trace.add_argument(
+        "queryfile", nargs="?", help="file containing one S-OLAP query"
+    )
     trace.add_argument(
         "--strategy", choices=("auto", "cb", "ii", "cost"), default="auto"
     )
@@ -331,6 +334,50 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="run the query N times (>1 exercises the warm/cached paths); "
         "every run is a child of the exported trace",
+    )
+    trace.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="scan workers (>1 enables sharded CB scans)",
+    )
+    trace.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process"),
+        default="thread",
+        help="execution backend for sharded scans; worker-side spans are "
+        "grafted into the exported trace",
+    )
+    trace.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="logical shards for scatter-gather execution (0 disables)",
+    )
+    trace.add_argument(
+        "--recent",
+        action="store_true",
+        help="list recent traces from a running service's flight "
+        "recorder instead of executing a query",
+    )
+    trace.add_argument(
+        "--id",
+        dest="trace_id",
+        default=None,
+        metavar="TRACE_ID",
+        help="fetch one recorded trace by id from a running service",
+    )
+    trace.add_argument(
+        "--server",
+        default="http://127.0.0.1:9464",
+        help="base URL of the service's metrics exporter "
+        "(for --recent / --id)",
+    )
+    trace.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        help="entries to list with --recent",
     )
     return parser
 
@@ -624,15 +671,79 @@ def _cmd_segment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fetch_json(url: str):
+    """GET *url* and parse the JSON body (also on HTTP error responses)."""
+    import json
+    from urllib.error import HTTPError, URLError
+    from urllib.request import urlopen
+
+    try:
+        with urlopen(url, timeout=10.0) as response:
+            return json.loads(response.read().decode("utf-8")), 200
+    except HTTPError as error:
+        try:
+            return json.loads(error.read().decode("utf-8")), error.code
+        except ValueError:
+            return {"error": str(error)}, error.code
+    except (URLError, OSError) as error:
+        raise ServiceError(
+            f"cannot reach the service at {url}: {error}"
+        ) from error
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     import json
 
     from repro.obs.spans import Tracer, trace_to_dict
 
+    if args.recent or args.trace_id:
+        base = args.server.rstrip("/")
+        if args.trace_id:
+            doc, status = _fetch_json(f"{base}/debug/traces/{args.trace_id}")
+            if status != 200:
+                print(f"error: {doc.get('error', status)}", file=sys.stderr)
+                return 2
+            print(json.dumps(doc, indent=2))
+            return 0
+        doc, status = _fetch_json(
+            f"{base}/debug/traces?limit={max(args.limit, 1)}"
+        )
+        if status != 200:
+            print(f"error: {doc.get('error', status)}", file=sys.stderr)
+            return 2
+        traces = doc.get("traces", [])
+        if not traces:
+            print("no recorded traces")
+            return 0
+        for entry in traces:
+            sampled = " (sampled)" if entry.get("sampled") else ""
+            print(
+                f"{entry.get('id', '?')}  {entry.get('trace_id', '?'):>12}  "
+                f"{entry.get('template', '?'):<24} "
+                f"{entry.get('strategy', '?'):<4} "
+                f"{entry.get('wall_ms', 0.0):>9.3f} ms  "
+                f"{entry.get('backend', 'serial')}"
+                f"/{entry.get('shard_fanout', 0)} shard(s){sampled}"
+            )
+        return 0
+
+    if not args.dataset or not args.queryfile:
+        print(
+            "error: dataset and queryfile are required unless "
+            "--recent or --id is given",
+            file=sys.stderr,
+        )
+        return 2
     db = _load_db(args.dataset)
     spec = parse_query(Path(args.queryfile).read_text(), db.schema)
     stats = None
-    with QueryService(db) as service:
+    config = ServiceConfig(
+        max_workers=max(args.workers, 1),
+        executor_backend=args.backend,
+        shards=max(args.shards, 0),
+        parallel_scan_threshold=2,
+    )
+    with QueryService(db, config) as service:
         with Tracer("request") as tracer:
             for __ in range(max(args.repeat, 1)):
                 __cuboid, stats = service.execute(

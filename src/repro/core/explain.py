@@ -29,6 +29,9 @@ class QueryPlan:
 
     def __init__(self) -> None:
         self.lines: List[Tuple[int, str]] = []
+        #: structured side-channel (e.g. the query's resource profile);
+        #: everything here must already be JSON-serialisable
+        self.extra: dict = {}
 
     def add(self, text: str, depth: int = 0) -> None:
         self.lines.append((depth, text))
@@ -38,12 +41,15 @@ class QueryPlan:
 
     def to_dict(self) -> dict:
         """JSON-serialisable form (embedded in slow-query log entries)."""
-        return {
+        doc = {
             "plan_schema": 1,
             "lines": [
                 {"depth": depth, "text": text} for depth, text in self.lines
             ],
         }
+        if self.extra:
+            doc["extra"] = dict(self.extra)
+        return doc
 
     def __str__(self) -> str:
         return self.render()

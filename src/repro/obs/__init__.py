@@ -21,7 +21,11 @@ The package has two per-query layers and three fleet-level ones:
   events (stdlib :mod:`logging` underneath) with slow-query capture that
   embeds the EXPLAIN ANALYZE plan.
 * :mod:`repro.obs.httpd` — a stdlib HTTP exporter serving ``/metrics``
-  (Prometheus text), ``/healthz`` and ``/varz`` (JSON snapshot).
+  (Prometheus text), ``/healthz``, ``/varz`` (JSON snapshot) and the
+  flight recorder's ``/debug/traces`` routes.
+* :mod:`repro.obs.profile` / :mod:`repro.obs.recorder` — per-query
+  resource profiles aggregated from worker span trees, and the bounded
+  ring buffer of recent completed query traces behind ``solap trace``.
 """
 
 from repro.obs.httpd import MetricsServer
@@ -33,12 +37,20 @@ from repro.obs.metrics import (
     MetricsRegistry,
     register_engine_metrics,
 )
+from repro.obs.profile import ResourceProfile, WorkerProfile
+from repro.obs.recorder import FlightRecorder
 from repro.obs.spans import (
     NULL_SPAN,
+    TRACE_SCHEMA_VERSION,
+    RemoteSpanCollector,
     Span,
+    SpanContext,
     Tracer,
+    current_context,
     current_span,
+    graft_payload,
     span,
+    trace_from_dict,
     trace_to_dict,
     trace_to_json,
     tracing_active,
@@ -58,20 +70,29 @@ def __getattr__(name: str):
 __all__ = [
     "BucketHistogram",
     "DEFAULT_LATENCY_BUCKETS",
+    "FlightRecorder",
     "GLOBAL_REGISTRY",
     "JsonLineFormatter",
     "MetricsRegistry",
     "MetricsServer",
     "NULL_SPAN",
     "QueryLogger",
+    "RemoteSpanCollector",
+    "ResourceProfile",
     "Span",
+    "SpanContext",
+    "TRACE_SCHEMA_VERSION",
     "Tracer",
+    "WorkerProfile",
     "configure_logging",
+    "current_context",
     "current_span",
     "explain_analyze",
+    "graft_payload",
     "register_engine_metrics",
     "span",
     "stage_timings",
+    "trace_from_dict",
     "trace_to_dict",
     "trace_to_json",
     "tracing_active",

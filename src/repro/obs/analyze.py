@@ -28,19 +28,31 @@ STAGE_NAMES: Tuple[str, ...] = (
 )
 
 
-def stage_timings(root: Span) -> List[Tuple[str, float, float]]:
+def stage_timings(
+    root: Span, include_remote: bool = False
+) -> List[Tuple[str, float, float]]:
     """Per-stage ``(name, start_offset_seconds, duration_seconds)`` records.
 
     Stages are returned in execution order (by start time).  A cached
     sequence pipeline contributes no selection/clustering/... stages —
-    only the stages that actually ran appear.
+    only the stages that actually ran appear.  Grafted worker subtrees
+    (nodes carrying an ``origin``) are skipped unless *include_remote*:
+    their wall time already lives inside the coordinator-side stage that
+    scattered them, so counting both would double-book ``accounted``.
     """
     found: List[Tuple[str, float, float]] = []
-    for node in root.walk():
+
+    def visit(node: Span) -> None:
+        if not include_remote and node.origin is not None:
+            return
         if node.name in STAGE_NAMES:
             found.append(
                 (node.name, node.start - root.start, node.duration_seconds)
             )
+        for child in node.children:
+            visit(child)
+
+    visit(root)
     found.sort(key=lambda item: item[1])
     return found
 
@@ -155,6 +167,45 @@ def explain_analyze(
         plan.add(
             f"shard fan-out: {fanout} shard(s) on {backend} backend"
             f"{skew_text} — partial S-cuboids merged",
+            1,
+        )
+
+    # -- distributed execution: per-worker stage breakdown -----------------
+    profile = stats.extra.get("resource_profile")
+    if profile:
+        plan.extra["resource_profile"] = profile
+        plan.add("distributed execution:", 1)
+        plan.add(
+            f"backend {profile.get('backend', '?')}, "
+            f"fanout {profile.get('fanout', 0)}, "
+            f"skew {profile.get('skew', 1.0):.2f}, "
+            f"{profile.get('sequences_scanned', 0)} sequences / "
+            f"{profile.get('rows_scanned', 0)} rows scanned "
+            f"(~{profile.get('bytes_scanned', 0) / 1e6:.2f} MB encoded)",
+            2,
+        )
+        plan.add(
+            f"merge: {profile.get('cells_merged', 0)} partial cells in "
+            f"{_fmt_ms(profile.get('merge_seconds', 0.0))}",
+            2,
+        )
+        for worker in profile.get("workers", ()):
+            plan.add(
+                f"shard {worker.get('shard', '?')} "
+                f"(pid {worker.get('pid', 0)}): "
+                f"attach {_fmt_ms(worker.get('attach_s', 0.0))}, "
+                f"rebuild {_fmt_ms(worker.get('rebuild_s', 0.0))}, "
+                f"match {_fmt_ms(worker.get('match_s', 0.0))}, "
+                f"fold {_fmt_ms(worker.get('fold_s', 0.0))} — "
+                f"{worker.get('sequences_scanned', 0)} seq, "
+                f"{worker.get('cells_out', 0)} cells",
+                2,
+            )
+    remote_roots = [node for node in root.walk() if node.origin is not None]
+    if remote_roots and not profile:
+        plan.add(
+            f"distributed execution: {len(remote_roots)} worker span "
+            "subtree(s) grafted (see trace export for stage detail)",
             1,
         )
 

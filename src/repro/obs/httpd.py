@@ -8,7 +8,10 @@ zero third-party dependencies:
 * ``GET /healthz`` — ``200 {"status": "ok"}`` while the health callback
   reports healthy, ``503`` otherwise (liveness/readiness probes);
 * ``GET /varz``    — a JSON snapshot of every metric series (plus
-  whatever richer document the owner's callback provides).
+  whatever richer document the owner's callback provides);
+* ``GET /debug/traces`` — newest-first summaries from the service's
+  flight recorder (``?limit=N``), and ``GET /debug/traces/<id>`` for one
+  full recorded trace — 404 when no recorder is attached.
 
 The server runs on a daemon thread (`ThreadingHTTPServer`, one handler
 thread per request) and binds to loopback by default.  Port 0 binds an
@@ -49,12 +52,15 @@ class MetricsServer:
         port: int = 0,
         health_callback: Optional[Callable[[], bool]] = None,
         varz_callback: Optional[Callable[[], dict]] = None,
+        recorder=None,
     ):
         self.registry = registry
         self.host = host
         self.port = port
         self.health_callback = health_callback
         self.varz_callback = varz_callback
+        #: the owning service's FlightRecorder (None = /debug/traces 404s)
+        self.recorder = recorder
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -132,10 +138,13 @@ class MetricsServer:
                 )
                 body = json.dumps(doc, default=repr).encode("utf-8")
                 self._respond(request, 200, "application/json", body)
+            elif path == "/debug/traces" or path.startswith("/debug/traces/"):
+                self._handle_traces(request, path)
             else:
                 body = json.dumps(
                     {"error": f"unknown path {path!r}",
-                     "paths": ["/metrics", "/healthz", "/varz"]}
+                     "paths": ["/metrics", "/healthz", "/varz",
+                               "/debug/traces", "/debug/traces/<id>"]}
                 ).encode("utf-8")
                 self._respond(request, 404, "application/json", body)
         except Exception as error:  # noqa: BLE001 - keep the server alive
@@ -143,6 +152,48 @@ class MetricsServer:
                 {"error": f"{type(error).__name__}: {error}"}
             ).encode("utf-8")
             self._respond(request, 500, "application/json", body)
+
+    def _handle_traces(
+        self, request: BaseHTTPRequestHandler, path: str
+    ) -> None:
+        """Serve the flight-recorder routes (summaries or one entry)."""
+        if self.recorder is None:
+            body = json.dumps(
+                {"error": "flight recorder not enabled"}
+            ).encode("utf-8")
+            self._respond(request, 404, "application/json", body)
+            return
+        if path == "/debug/traces":
+            query = request.path.split("?", 1)
+            limit = 20
+            if len(query) == 2:
+                for pair in query[1].split("&"):
+                    key, __, value = pair.partition("=")
+                    if key == "limit":
+                        try:
+                            limit = int(value)
+                        except ValueError:
+                            body = json.dumps(
+                                {"error": f"bad limit {value!r}"}
+                            ).encode("utf-8")
+                            self._respond(
+                                request, 400, "application/json", body
+                            )
+                            return
+            doc = {"traces": self.recorder.recent(limit=max(limit, 1))}
+            body = json.dumps(doc, default=repr).encode("utf-8")
+            self._respond(request, 200, "application/json", body)
+            return
+        entry_id = path[len("/debug/traces/"):]
+        entry = self.recorder.get(entry_id) if entry_id else None
+        if entry is None:
+            body = json.dumps(
+                {"error": f"no recorded trace {entry_id!r}"}
+            ).encode("utf-8")
+            self._respond(request, 404, "application/json", body)
+            return
+        body = json.dumps(entry, default=repr).encode("utf-8")
+        self._respond(request, 200, "application/json", body)
 
     @staticmethod
     def _respond(

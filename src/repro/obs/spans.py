@@ -14,27 +14,67 @@ When no tracer is active in the current context the call returns a shared
 instrumented; spans sit at stage/group/join-step granularity).
 
 Tracers are held in a :class:`contextvars.ContextVar`, so traces nest and
-never leak across threads: worker threads of the parallel CB scanner do
-not inherit the tracer and their shard work is accounted to the enclosing
-``aggregation`` span of the coordinating thread.
+never leak across threads.  Worker threads and processes do **not**
+inherit the coordinator's tracer; they participate in a query-wide trace
+through explicit *trace-context propagation* instead:
+
+* :func:`current_context` captures a picklable :class:`SpanContext`
+  (``trace_id`` + parent ``span_id``) on the coordinator;
+* the context rides inside each task payload to the worker, where a
+  :class:`RemoteSpanCollector` activates a worker-local tracer (so the
+  existing ``span(...)`` instrumentation in the kernels records
+  automatically) and serialises the finished subtree with *relative*
+  offsets — worker and coordinator ``perf_counter`` clocks never mix;
+* the coordinator grafts the returned payload under its own scan span
+  with :func:`graft_payload`, marking the grafted root with its
+  ``origin`` (worker pid, shard, backend) so EXPLAIN ANALYZE can render
+  per-worker breakdowns without double-counting remote stage time.
+
+Exported trace documents carry ``trace_schema`` 2 (span ids plus remote
+``origin`` provenance); :func:`trace_from_dict` still parses version-1
+documents produced by earlier releases.
 """
 
 from __future__ import annotations
 
 import contextvars
+import itertools
 import json
+import os
+import threading
 import time
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
 _TRACER: contextvars.ContextVar[Optional["Tracer"]] = contextvars.ContextVar(
     "solap_tracer", default=None
 )
 
+#: schema version of exported trace documents (2 added ``trace_id``,
+#: per-span ``span_id`` and remote ``origin`` provenance for grafted
+#: worker subtrees; 1 had only name/duration/attrs/children)
+TRACE_SCHEMA_VERSION = 2
+
+_id_lock = threading.Lock()
+_id_counter = itertools.count(1)
+
+
+def _new_trace_id() -> str:
+    """A process-unique trace id, stable for the trace's lifetime.
+
+    ``pid`` + a monotone counter keeps ids unique across the coordinator
+    and its pool workers without any shared state or randomness.
+    """
+    with _id_lock:
+        serial = next(_id_counter)
+    return f"{os.getpid():x}-{serial:x}"
+
 
 class Span:
     """One timed, attributed node of a trace tree."""
 
-    __slots__ = ("name", "start", "end", "attrs", "children")
+    __slots__ = ("name", "start", "end", "attrs", "children", "span_id",
+                 "origin", "_tracer")
 
     def __init__(self, name: str):
         self.name = name
@@ -42,6 +82,15 @@ class Span:
         self.end: float = 0.0
         self.attrs: Dict[str, object] = {}
         self.children: List["Span"] = []
+        #: stable id within the owning trace ("" until a tracer assigns one)
+        self.span_id: str = ""
+        #: provenance of a grafted remote subtree's root (worker pid,
+        #: shard, backend); None for locally recorded spans
+        self.origin: Optional[Dict[str, object]] = None
+        #: the tracer that started this span — finishing must go to the
+        #: owner even if a different (nested) tracer is active by the
+        #: time the span body unwinds
+        self._tracer: Optional["Tracer"] = None
 
     @property
     def duration_seconds(self) -> float:
@@ -76,6 +125,12 @@ class Span:
             "name": self.name,
             "duration_ms": round(self.duration_seconds * 1000.0, 6),
         }
+        if self.span_id:
+            out["span_id"] = self.span_id
+        if self.origin is not None:
+            out["origin"] = {
+                key: _jsonable(val) for key, val in self.origin.items()
+            }
         if self.attrs:
             out["attrs"] = {key: _jsonable(val) for key, val in self.attrs.items()}
         if self.children:
@@ -87,7 +142,11 @@ class Span:
         return self
 
     def __exit__(self, *exc_info) -> None:
-        tracer = _TRACER.get()
+        # Finish against the tracer that *started* this span.  Resolving
+        # the ContextVar here instead would misroute the finish whenever
+        # a nested tracer is active while an outer span's body unwinds
+        # (the span would silently never close).
+        tracer = self._tracer if self._tracer is not None else _TRACER.get()
         if tracer is not None:
             tracer.finish(self)
 
@@ -134,17 +193,28 @@ class Tracer:
 
     Entering activates the tracer in the current context (nesting is
     allowed — the innermost tracer wins); exiting restores the previous
-    one and closes the root span.
+    one and closes the root span.  Every entry pushes its own restore
+    token, so re-entrant use and exception unwinding always put the
+    ContextVar back exactly where it was.
     """
 
-    def __init__(self, name: str = "trace"):
+    def __init__(self, name: str = "trace", trace_id: Optional[str] = None):
+        self.trace_id = trace_id or _new_trace_id()
+        self._span_ids = itertools.count(1)
         self.root = Span(name)
+        self.root.span_id = self._next_span_id()
+        self.root._tracer = self
         self._stack: List[Span] = [self.root]
-        self._token: Optional[contextvars.Token] = None
+        self._tokens: List[contextvars.Token] = []
+
+    def _next_span_id(self) -> str:
+        return f"s{next(self._span_ids):03d}"
 
     def start(self, name: str, attrs: Optional[Dict[str, object]] = None) -> Span:
         child = Span(name)
         child.start = time.perf_counter()
+        child.span_id = self._next_span_id()
+        child._tracer = self
         if attrs:
             child.attrs.update(attrs)
         self._stack[-1].children.append(child)
@@ -163,15 +233,15 @@ class Tracer:
                     break
 
     def __enter__(self) -> "Tracer":
-        self.root.start = time.perf_counter()
-        self._token = _TRACER.set(self)
+        if not self._tokens:
+            self.root.start = time.perf_counter()
+        self._tokens.append(_TRACER.set(self))
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.root.end = time.perf_counter()
-        if self._token is not None:
-            _TRACER.reset(self._token)
-            self._token = None
+        if self._tokens:
+            _TRACER.reset(self._tokens.pop())
 
     def __repr__(self) -> str:
         return f"Tracer(root={self.root!r})"
@@ -198,11 +268,146 @@ def current_span(name: str, default: object = NULL_SPAN):
     return tracer._stack[-1]
 
 
+# ---------------------------------------------------------------------------
+# Trace-context propagation across workers
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The picklable identity of one open span: rides in task payloads.
+
+    A worker receiving a SpanContext records its own spans under a
+    :class:`RemoteSpanCollector` and ships them back; the coordinator
+    grafts the subtree under the span identified here.
+    """
+
+    trace_id: str
+    span_id: str
+
+
+def current_context() -> Optional[SpanContext]:
+    """The SpanContext of the innermost open span (None when untraced)."""
+    tracer = _TRACER.get()
+    if tracer is None:
+        return None
+    return SpanContext(tracer.trace_id, tracer._stack[-1].span_id)
+
+
+def _span_to_payload(node: Span, base: float) -> dict:
+    """Serialise one span subtree with offsets relative to *base*.
+
+    Relative offsets are the whole trick: worker and coordinator
+    ``perf_counter`` clocks share no epoch, so absolute times would be
+    meaningless after the payload crosses the process boundary.
+    """
+    out: dict = {
+        "name": node.name,
+        "span_id": node.span_id,
+        "offset_s": round(node.start - base, 9),
+        "duration_s": round(node.duration_seconds, 9),
+    }
+    if node.attrs:
+        out["attrs"] = {key: _jsonable(val) for key, val in node.attrs.items()}
+    if node.children:
+        out["children"] = [
+            _span_to_payload(child, base) for child in node.children
+        ]
+    return out
+
+
+def _payload_to_span(data: dict, anchor: float) -> Span:
+    node = Span(str(data.get("name", "remote")))
+    node.span_id = str(data.get("span_id", ""))
+    node.start = anchor + float(data.get("offset_s", 0.0))
+    node.end = node.start + float(data.get("duration_s", 0.0))
+    node.attrs.update(data.get("attrs") or {})
+    for child in data.get("children", ()):
+        node.children.append(_payload_to_span(child, anchor))
+    return node
+
+
+class RemoteSpanCollector:
+    """Records spans worker-side and serialises them for the trip home.
+
+    Constructed with the task's :class:`SpanContext` (or None, in which
+    case the collector is a complete no-op and worker instrumentation
+    stays on the :data:`NULL_SPAN` fast path).  Used as a context
+    manager around the task body; :meth:`payload` afterwards returns the
+    picklable span payload (or None) to attach to the task result::
+
+        collector = RemoteSpanCollector(task.trace_ctx, shard=3)
+        with collector:
+            ... run the kernel; span(...) records into the collector ...
+        return result, collector.payload()
+    """
+
+    def __init__(
+        self,
+        context: Optional[SpanContext],
+        name: str = "worker",
+        **origin: object,
+    ):
+        self.context = context
+        self.origin: Dict[str, object] = {"pid": os.getpid()}
+        self.origin.update(origin)
+        self.tracer: Optional[Tracer] = (
+            Tracer(name, trace_id=context.trace_id)
+            if context is not None
+            else None
+        )
+
+    @property
+    def root(self) -> Optional[Span]:
+        return self.tracer.root if self.tracer is not None else None
+
+    def __enter__(self) -> "RemoteSpanCollector":
+        if self.tracer is not None:
+            self.tracer.__enter__()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self.tracer is not None:
+            self.tracer.__exit__(*exc_info)
+
+    def payload(self) -> Optional[dict]:
+        """The picklable span payload (None when collection is disabled)."""
+        if self.tracer is None or self.context is None:
+            return None
+        root = self.tracer.root
+        if root.end < root.start:  # still open: snapshot defensively
+            root.end = time.perf_counter()
+        return {
+            "ctx": [self.context.trace_id, self.context.span_id],
+            "origin": dict(self.origin),
+            "spans": _span_to_payload(root, root.start),
+        }
+
+
+def graft_payload(parent: Span, payload: Optional[dict]) -> Optional[Span]:
+    """Attach a worker's serialised span subtree under *parent*.
+
+    The grafted root keeps the worker's relative timing (anchored at the
+    parent span's start — queueing delay between submit and worker start
+    is not observable across clocks) and carries ``origin`` provenance so
+    consumers can tell remote stage time from the coordinator's own.
+    Returns the grafted root span, or None for an empty payload.
+    """
+    if not payload:
+        return None
+    node = _payload_to_span(payload.get("spans") or {}, parent.start)
+    node.origin = dict(payload.get("origin") or {}) or {"remote": True}
+    parent.children.append(node)
+    return node
+
+
 def _jsonable(value: object) -> object:
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     if isinstance(value, (tuple, list)):
         return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(val) for key, val in value.items()}
     return repr(value)
 
 
@@ -212,7 +417,10 @@ def trace_to_dict(root: Span, stats: Optional[object] = None) -> dict:
     *stats* (a :class:`~repro.core.stats.QueryStats`) adds the query's
     counter totals next to the span tree.
     """
-    doc: dict = {"trace_schema": 1, "root": root.to_dict()}
+    doc: dict = {"trace_schema": TRACE_SCHEMA_VERSION, "root": root.to_dict()}
+    tracer = root._tracer
+    if tracer is not None:
+        doc["trace_id"] = tracer.trace_id
     if stats is not None:
         doc["stats"] = {
             "strategy": getattr(stats, "strategy", ""),
@@ -226,6 +434,40 @@ def trace_to_dict(root: Span, stats: Optional[object] = None) -> dict:
             "index_reused": getattr(stats, "index_reused", False),
         }
     return doc
+
+
+def _span_from_dict(data: dict) -> Span:
+    node = Span(str(data.get("name", "?")))
+    node.start = 0.0
+    node.end = float(data.get("duration_ms", 0.0)) / 1000.0
+    node.span_id = str(data.get("span_id", ""))
+    origin = data.get("origin")
+    if origin is not None:
+        node.origin = dict(origin)
+    node.attrs.update(data.get("attrs") or {})
+    for child in data.get("children", ()):
+        node.children.append(_span_from_dict(child))
+    return node
+
+
+def trace_from_dict(doc: dict) -> Span:
+    """Rebuild the span tree of an exported trace document.
+
+    Accepts both ``trace_schema`` 1 (name/duration/attrs/children only)
+    and 2 (adds span ids and remote ``origin`` provenance).  Absolute
+    start times are not exported, so rebuilt spans sit at offset 0 with
+    their recorded durations — structure, names, attributes and
+    provenance round-trip; the timeline does not.
+    """
+    schema = doc.get("trace_schema")
+    if schema not in (1, 2):
+        raise ValueError(
+            f"unsupported trace_schema {schema!r}; this reader handles 1 and 2"
+        )
+    root_doc = doc.get("root")
+    if not isinstance(root_doc, dict):
+        raise ValueError("trace document has no 'root' span")
+    return _span_from_dict(root_doc)
 
 
 def trace_to_json(root: Span, stats: Optional[object] = None, indent: int = 2) -> str:

@@ -72,6 +72,13 @@ class ServiceConfig:
     #: Setting this also runs every query under tracing so the plan is
     #: available when the threshold trips.
     slow_query_seconds: Optional[float] = None
+    #: traces the flight recorder keeps in its ring buffer (0 disables
+    #: the recorder — and with it /debug/traces and trace sampling)
+    flight_recorder_capacity: int = 64
+    #: rate at which untraced queries are promoted to tracing so the
+    #: recorder stays populated under load (token bucket; 0 = only
+    #: record queries the caller explicitly analyzed)
+    flight_recorder_sample_per_second: float = 2.0
 
     def __post_init__(self) -> None:
         if self.max_workers < 1:
@@ -111,6 +118,12 @@ class ServiceConfig:
             raise ValueError("expose_metrics_port must be in [0, 65535] or None")
         if self.slow_query_seconds is not None and self.slow_query_seconds < 0:
             raise ValueError("slow_query_seconds must be >= 0 or None")
+        if self.flight_recorder_capacity < 0:
+            raise ValueError("flight_recorder_capacity must be >= 0")
+        if self.flight_recorder_sample_per_second < 0:
+            raise ValueError(
+                "flight_recorder_sample_per_second must be >= 0"
+            )
 
     @property
     def effective_scan_shards(self) -> int:

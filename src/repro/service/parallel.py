@@ -74,13 +74,20 @@ from repro.events.sequence import (
     SequenceGroupSet,
     build_sequence_groups,
 )
-from repro.obs.spans import span
+from repro.obs.spans import (
+    RemoteSpanCollector,
+    SpanContext,
+    current_context,
+    graft_payload,
+    span,
+)
 from repro.service.config import EXECUTOR_BACKENDS, ServiceConfig
 from repro.service.deadline import Deadline
 from repro.shard.executor import (
     ShardPartial,
     filter_groups,
-    scan_shard_partial,
+    report_attach_span,
+    run_traced_shard_partial,
 )
 
 __all__ = [
@@ -138,6 +145,31 @@ def _match_chunk(
     return out
 
 
+def _traced_match_chunk(
+    matcher: TemplateMatcher,
+    chunk: Chunk,
+    deadline,
+    trace_ctx: Optional["SpanContext"],
+    backend: str,
+    index: int,
+    db: EventDatabase,
+) -> Tuple[List[Assignments], Optional[dict]]:
+    """Worker-thread entry: match one chunk, collecting spans when traced.
+
+    With ``trace_ctx=None`` the collector never activates a tracer and
+    the only extra work over :func:`_match_chunk` is one tuple — pool
+    threads do not inherit the coordinator's ContextVar, so the explicit
+    context is the only way their spans join the query trace.
+    """
+    collector = RemoteSpanCollector(trace_ctx, shard=index, backend=backend)
+    with collector:
+        report_attach_span(db)
+        with span("worker.match", shard=index) as sp:
+            out = _match_chunk(matcher, chunk, deadline)
+            sp.set("sequences_scanned", len(chunk))
+    return out, collector.payload()
+
+
 def _collect_or_cancel(futures: List[Future]) -> List:
     """Results of *futures* in submission order, cancelling on first failure.
 
@@ -181,8 +213,14 @@ class ExecutorBackend:
         spec: CuboidSpec,
         chunks: List[Chunk],
         deadline,
-    ) -> List[List[Assignments]]:
-        """Per-chunk assignment lists, in chunk (canonical) order."""
+        trace_ctx: Optional[SpanContext] = None,
+    ) -> Tuple[List[List[Assignments]], List[Optional[dict]]]:
+        """Per-chunk assignment lists, in chunk (canonical) order.
+
+        Returns ``(assignment_lists, span_payloads)``; the payload list
+        is parallel to the chunks and all-None when *trace_ctx* is None
+        (the untraced fast path).
+        """
         raise NotImplementedError
 
     def run_partial_shards(
@@ -193,6 +231,7 @@ class ExecutorBackend:
         tasks: List[Tuple[int, Tuple[int, ...]]],
         strategy: str,
         deadline,
+        trace_ctx: Optional[SpanContext] = None,
     ) -> List[ShardPartial]:
         """Scatter-gather shard tasks: per-shard *partial cuboids*.
 
@@ -202,13 +241,17 @@ class ExecutorBackend:
         returns transport-form cells for the coordinator to merge
         (:mod:`repro.shard`).  The base implementation executes every
         shard inline on the calling thread — the ``serial`` backend's
-        behaviour.
+        behaviour.  A non-None *trace_ctx* makes each shard record its
+        stage spans and resource profile onto the returned partials.
         """
         partials: List[ShardPartial] = []
         for shard, sids in tasks:
-            local = filter_groups(groups, frozenset(sids))
             partials.append(
-                scan_shard_partial(db, local, transport, strategy, shard, deadline)
+                run_traced_shard_partial(
+                    db, transport, strategy, shard, deadline, trace_ctx,
+                    self.name,
+                    lambda sids=sids: filter_groups(groups, frozenset(sids)),
+                )
             )
         return partials
 
@@ -245,11 +288,19 @@ class SerialExecutorBackend(ExecutorBackend):
 
     name = "serial"
 
-    def run_shards(self, db, spec, chunks, deadline):
+    def run_shards(self, db, spec, chunks, deadline, trace_ctx=None):
         matcher = make_matcher(
             spec.template, db.schema, spec.restriction, spec.predicate, db=db
         )
-        return [_match_chunk(matcher, chunk, deadline) for chunk in chunks]
+        # Inline execution runs in the coordinator's own context: a
+        # worker.match span per chunk records straight into the active
+        # trace (no collector round-trip needed), so payloads stay None.
+        results: List[List[Assignments]] = []
+        for index, chunk in enumerate(chunks):
+            with span("worker.match", shard=index, backend=self.name) as sp:
+                results.append(_match_chunk(matcher, chunk, deadline))
+                sp.set("sequences_scanned", len(chunk))
+        return results, [None] * len(chunks)
 
 
 class ThreadExecutorBackend(ExecutorBackend):
@@ -275,7 +326,7 @@ class ThreadExecutorBackend(ExecutorBackend):
             max_workers=max_workers, thread_name_prefix="solap-scan"
         )
 
-    def run_shards(self, db, spec, chunks, deadline):
+    def run_shards(self, db, spec, chunks, deadline, trace_ctx=None):
         # A CompiledMatcher is safe to share across pool threads: it keeps
         # no per-sequence scratch state, and dictionary interning under its
         # lock (plus the GIL) keeps code assignment race-free.
@@ -283,25 +334,30 @@ class ThreadExecutorBackend(ExecutorBackend):
             spec.template, db.schema, spec.restriction, spec.predicate, db=db
         )
         futures = [
-            self.executor.submit(_match_chunk, matcher, chunk, deadline)
-            for chunk in chunks
+            self.executor.submit(
+                _traced_match_chunk,
+                matcher, chunk, deadline, trace_ctx, self.name, index, db,
+            )
+            for index, chunk in enumerate(chunks)
         ]
-        return _collect_or_cancel(futures)
+        collected = _collect_or_cancel(futures)
+        return (
+            [assignments for assignments, __ in collected],
+            [payload for __, payload in collected],
+        )
 
     def run_partial_shards(
-        self, db, groups, transport, tasks, strategy, deadline
+        self, db, groups, transport, tasks, strategy, deadline, trace_ctx=None
     ) -> List[ShardPartial]:
         # Pool threads share the coordinator's groups and Deadline
-        # directly; each task slices the pipeline and runs a full kernel.
+        # directly; each task slices the pipeline (inside the worker, so
+        # worker.rebuild measures it) and runs a full kernel.
         futures = [
             self.executor.submit(
-                scan_shard_partial,
-                db,
-                filter_groups(groups, frozenset(sids)),
-                transport,
-                strategy,
-                shard,
-                deadline,
+                run_traced_shard_partial,
+                db, transport, strategy, shard, deadline, trace_ctx,
+                self.name,
+                lambda sids=sids: filter_groups(groups, frozenset(sids)),
             )
             for shard, sids in tasks
         ]
@@ -392,9 +448,16 @@ class _ShardTask:
     #: the coordinator's effective occurrence cap (process-global state
     #: does not propagate to spawn-started workers)
     occurrence_cap: Optional[int]
+    #: the coordinator's open-span identity; None means "untraced" and
+    #: keeps the worker on the NULL_SPAN fast path
+    trace_ctx: Optional[SpanContext] = None
+    #: chunk index, used only to label the worker's span origin
+    chunk: int = 0
 
 
-def _process_scan_shard(task: _ShardTask) -> List[Assignments]:
+def _process_scan_shard(
+    task: _ShardTask,
+) -> Tuple[List[Assignments], Optional[dict]]:
     """Worker entry point: match one shard of sequence ids."""
     db = _worker_db
     if db is None:
@@ -405,29 +468,38 @@ def _process_scan_shard(task: _ShardTask) -> List[Assignments]:
         if task.budget_seconds is not None
         else None
     )
-    sequences = _worker_sequences_for(task.spec)
-    matcher = make_matcher(
-        task.spec.template,
-        db.schema,
-        task.spec.restriction,
-        task.spec.predicate,
-        occurrence_cap=task.occurrence_cap,
-        db=db,
+    collector = RemoteSpanCollector(
+        task.trace_ctx, shard=task.chunk, backend="process"
     )
-    out: List[Assignments] = []
-    for position, sid in enumerate(task.sids):
-        if (
-            expires is not None
-            and position % _WORKER_CHECK_EVERY == 0
-            and time.monotonic() >= expires
-        ):
-            raise QueryTimeoutError(
-                "query deadline exceeded in scan worker",
-                budget_seconds=task.budget_seconds,
-                elapsed_seconds=time.monotonic() - started,
-            )
-        out.append(matcher.assignments(sequences[sid]))
-    return out
+    with collector:
+        report_attach_span(db)
+        with span("worker.rebuild") as rebuild_span:
+            sequences = _worker_sequences_for(task.spec)
+            rebuild_span.set("sequences_out", len(sequences))
+        matcher = make_matcher(
+            task.spec.template,
+            db.schema,
+            task.spec.restriction,
+            task.spec.predicate,
+            occurrence_cap=task.occurrence_cap,
+            db=db,
+        )
+        out: List[Assignments] = []
+        with span("worker.match", shard=task.chunk) as match_span:
+            for position, sid in enumerate(task.sids):
+                if (
+                    expires is not None
+                    and position % _WORKER_CHECK_EVERY == 0
+                    and time.monotonic() >= expires
+                ):
+                    raise QueryTimeoutError(
+                        "query deadline exceeded in scan worker",
+                        budget_seconds=task.budget_seconds,
+                        elapsed_seconds=time.monotonic() - started,
+                    )
+                out.append(matcher.assignments(sequences[sid]))
+            match_span.set("sequences_scanned", len(task.sids))
+    return out, collector.payload()
 
 
 @dataclass(frozen=True)
@@ -440,6 +512,7 @@ class _PartialShardTask:
     shard: int
     budget_seconds: Optional[float]
     occurrence_cap: Optional[int]
+    trace_ctx: Optional[SpanContext] = None
 
 
 def _process_partial_shard(task: _PartialShardTask) -> ShardPartial:
@@ -448,10 +521,13 @@ def _process_partial_shard(task: _PartialShardTask) -> ShardPartial:
     if db is None:
         raise ServiceError("scan worker used before initialization")
     deadline = Deadline.after(task.budget_seconds)
-    local = filter_groups(_worker_groups_for(task.spec), frozenset(task.sids))
     with occurrence_limit(task.occurrence_cap):
-        return scan_shard_partial(
-            db, local, task.spec, task.strategy, task.shard, deadline
+        return run_traced_shard_partial(
+            db, task.spec, task.strategy, task.shard, deadline,
+            task.trace_ctx, "process",
+            lambda: filter_groups(
+                _worker_groups_for(task.spec), frozenset(task.sids)
+            ),
         )
 
 
@@ -493,7 +569,7 @@ class ProcessExecutorBackend(ExecutorBackend):
         # first real scan; the timed completions expose that cost.
         return _timed_warm_up(self.executor, self.workers)
 
-    def run_shards(self, db, spec, chunks, deadline):
+    def run_shards(self, db, spec, chunks, deadline, trace_ctx=None):
         if db is not self.db:
             raise ServiceError(
                 "process backend is bound to a different EventDatabase; "
@@ -509,14 +585,20 @@ class ProcessExecutorBackend(ExecutorBackend):
                     tuple(sequence.sid for __, sequence in chunk),
                     budget,
                     cap,
+                    trace_ctx,
+                    index,
                 ),
             )
-            for chunk in chunks
+            for index, chunk in enumerate(chunks)
         ]
-        return _collect_or_cancel(futures)
+        collected = _collect_or_cancel(futures)
+        return (
+            [assignments for assignments, __ in collected],
+            [payload for __, payload in collected],
+        )
 
     def run_partial_shards(
-        self, db, groups, transport, tasks, strategy, deadline
+        self, db, groups, transport, tasks, strategy, deadline, trace_ctx=None
     ) -> List[ShardPartial]:
         if db is not self.db:
             raise ServiceError(
@@ -532,7 +614,9 @@ class ProcessExecutorBackend(ExecutorBackend):
         futures = [
             self.executor.submit(
                 _process_partial_shard,
-                _PartialShardTask(transport, sids, strategy, shard, budget, cap),
+                _PartialShardTask(
+                    transport, sids, strategy, shard, budget, cap, trace_ctx
+                ),
             )
             for shard, sids in tasks
         ]
@@ -606,20 +690,27 @@ class ParallelCBScanner:
             shards=len(chunks),
             workers=self.backend.workers,
         ) as scan_span:
+            ctx = current_context()
+            results, payloads = self.backend.run_shards(
+                db, spec, chunks, deadline, trace_ctx=ctx
+            )
+            for payload in payloads:
+                if payload is not None:
+                    graft_payload(scan_span, payload)
             cells: CellTable = {}
             # run_shards returns chunk results in submission order, so
             # the fold below replays the canonical serial scan order.
-            for chunk, assignments_list in zip(
-                chunks, self.backend.run_shards(db, spec, chunks, deadline)
-            ):
-                for (group, sequence), assignments in zip(
-                    chunk, assignments_list
-                ):
-                    stats.add_scan()
-                    if assignments:
-                        fold_assignments(
-                            db, spec, cells, group, sequence, assignments
-                        )
+            with span("cb.fold") as fold_span:
+                for chunk, assignments_list in zip(chunks, results):
+                    for (group, sequence), assignments in zip(
+                        chunk, assignments_list
+                    ):
+                        stats.add_scan()
+                        if assignments:
+                            fold_assignments(
+                                db, spec, cells, group, sequence, assignments
+                            )
+                fold_span.set("cells_out", len(cells))
             scan_span.set("sequences_scanned", len(work))
             scan_span.set("cells_out", len(cells))
 

@@ -52,6 +52,7 @@ from repro.events.database import EventDatabase
 from repro.obs.httpd import MetricsServer
 from repro.obs.logging import QueryLogger
 from repro.obs.metrics import MetricsRegistry, register_engine_metrics
+from repro.obs.recorder import FlightRecorder
 from repro.obs.spans import span
 from repro.service.config import ServiceConfig
 from repro.service.deadline import Deadline
@@ -157,6 +158,15 @@ class QueryService:
             on_pipeline_orphaned=self._pipeline_orphaned,
         )
         self._closed = False
+        #: flight recorder — ring of recent completed query traces,
+        #: served over /debug/traces and `solap trace` (None = disabled)
+        self.recorder: Optional[FlightRecorder] = None
+        if self.config.flight_recorder_capacity > 0:
+            self.recorder = FlightRecorder(
+                capacity=self.config.flight_recorder_capacity,
+                sample_per_second=self.config.flight_recorder_sample_per_second,
+                registry=self.registry,
+            )
         self.registry.gauge(
             "solap_service_sessions_active", "Live sessions"
         ).set_function(lambda: len(self.sessions))
@@ -182,6 +192,7 @@ class QueryService:
                 port=port,
                 health_callback=lambda: not self._closed,
                 varz_callback=self.snapshot,
+                recorder=self.recorder,
             ).start()
 
     # ------------------------------------------------------------------
@@ -276,6 +287,16 @@ class QueryService:
         # A configured slow-query threshold forces tracing so the slow
         # entry can embed the measured EXPLAIN ANALYZE plan.
         analyze = analyze or self.config.slow_query_seconds is not None
+        # The flight recorder promotes a sampling-capped trickle of
+        # untraced queries to tracing so /debug/traces stays populated.
+        sampled = False
+        if (
+            not analyze
+            and self.recorder is not None
+            and self.recorder.should_sample()
+        ):
+            analyze = True
+            sampled = True
         try:
             with self._engine_lock:
                 cuboid, stats = self.engine.execute(
@@ -309,6 +330,14 @@ class QueryService:
             )
         if stats.trace is not None:
             self._observe_stages(stats.trace)
+            if self.recorder is not None:
+                self.recorder.record(
+                    stats=stats,
+                    query_id=query_id,
+                    spec=spec,
+                    wall_seconds=wall,
+                    sampled=sampled,
+                )
         self.log.query_finished(query_id, stats, wall, session_id)
         return cuboid, stats
 
@@ -417,6 +446,8 @@ class QueryService:
             "bytes": self.sessions.bytes_used,
             "byte_budget": self.sessions.byte_budget,
         }
+        if self.recorder is not None:
+            snap["flight_recorder"] = self.recorder.snapshot()
         return snap
 
     def render_report(self) -> str:

@@ -43,8 +43,13 @@ from repro.core.stats import QueryStats
 from repro.errors import NotMergeableError
 from repro.events.database import EventDatabase
 from repro.events.sequence import SequenceGroupSet
-from repro.obs.spans import span
-from repro.shard.executor import ShardPartial, filter_groups, scan_shard_partial
+from repro.obs.profile import ResourceProfile, WorkerProfile
+from repro.obs.spans import SpanContext, current_context, graft_payload, span
+from repro.shard.executor import (
+    ShardPartial,
+    filter_groups,
+    run_traced_shard_partial,
+)
 from repro.shard.merge import (
     finalize_transport,
     merge_partial_cells,
@@ -181,7 +186,13 @@ class ScatterGatherCoordinator:
             shards=len(tasks),
             ring_shards=self.shards,
         ) as scan_span:
-            partials = self._scatter(db, groups, transport, tasks, strategy, deadline)
+            trace_ctx = current_context()
+            partials = self._scatter(
+                db, groups, transport, tasks, strategy, deadline, trace_ctx
+            )
+            for partial in partials:
+                if partial.spans is not None:
+                    graft_payload(scan_span, partial.spans)
             scan_span.set("sequences_scanned", len(work))
             scan_span.set("skew", round(skew, 3))
 
@@ -204,6 +215,11 @@ class ScatterGatherCoordinator:
         stats.extra["shard_fanout"] = len(tasks)
         stats.extra["shard_skew"] = round(skew, 3)
         stats.extra["scan_backend"] = self.backend_name
+        if any(partial.profile is not None for partial in partials):
+            profile = build_resource_profile(
+                db, partials, self.backend_name, skew, merge_seconds
+            )
+            stats.extra["resource_profile"] = profile.to_dict()
         if strategy == "cb":
             stats.extra["matcher"] = (
                 "compiled" if can_compile(spec.template, db) else "legacy"
@@ -218,13 +234,49 @@ class ScatterGatherCoordinator:
         tasks: List[Tuple[int, Tuple[int, ...]]],
         strategy: str,
         deadline,
+        trace_ctx: Optional[SpanContext] = None,
     ) -> List[ShardPartial]:
         backend = self.backend
         if backend is not None and hasattr(backend, "run_partial_shards"):
             return backend.run_partial_shards(
-                db, groups, transport, tasks, strategy, deadline
+                db, groups, transport, tasks, strategy, deadline,
+                trace_ctx=trace_ctx,
             )
-        return run_partials_inline(db, groups, transport, tasks, strategy, deadline)
+        return run_partials_inline(
+            db, groups, transport, tasks, strategy, deadline, trace_ctx
+        )
+
+
+def build_resource_profile(
+    db: EventDatabase,
+    partials: List[ShardPartial],
+    backend: str,
+    skew: float,
+    merge_seconds: float,
+) -> ResourceProfile:
+    """Fold the shards' worker profiles into one query-wide profile.
+
+    ``bytes_scanned`` approximates encoded reads as rows x dims x 4
+    (uint32 codes) — a capacity-planning estimate, not a measured count.
+    """
+    workers = [
+        WorkerProfile(**partial.profile)
+        for partial in partials
+        if partial.profile is not None
+    ]
+    rows_scanned = sum(partial.rows_matched for partial in partials)
+    n_dims = len(getattr(db.schema, "dimensions", ()) or ())
+    return ResourceProfile(
+        backend=backend,
+        fanout=len(partials),
+        skew=skew,
+        sequences_scanned=sum(p.sequences_scanned for p in partials),
+        rows_scanned=rows_scanned,
+        bytes_scanned=rows_scanned * max(n_dims, 1) * 4,
+        cells_merged=sum(partial.cells_out for partial in partials),
+        merge_seconds=merge_seconds,
+        workers=workers,
+    )
 
 
 def run_partials_inline(
@@ -234,12 +286,20 @@ def run_partials_inline(
     tasks: List[Tuple[int, Tuple[int, ...]]],
     strategy: str,
     deadline,
+    trace_ctx: Optional[SpanContext] = None,
 ) -> List[ShardPartial]:
-    """Serial scatter: run every shard task on the calling thread."""
+    """Serial scatter: run every shard task on the calling thread.
+
+    Inline shards still run under a :class:`RemoteSpanCollector` when
+    traced, so every backend produces the same origin-marked worker
+    subtrees — one rendering path downstream.
+    """
     partials: List[ShardPartial] = []
     for shard, sids in tasks:
-        local = filter_groups(groups, frozenset(sids))
         partials.append(
-            scan_shard_partial(db, local, transport, strategy, shard, deadline)
+            run_traced_shard_partial(
+                db, transport, strategy, shard, deadline, trace_ctx, "serial",
+                lambda sids=sids: filter_groups(groups, frozenset(sids)),
+            )
         )
     return partials

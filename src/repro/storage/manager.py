@@ -393,6 +393,9 @@ class StorageManager:
         self._codes_cache: Dict[str, object] = {}
         #: attach telemetry, exposed via register_storage_metrics
         self.attach_count = 0
+        #: latency of this manager's last attach(), read by traced workers
+        #: to report attach cost that predates their task tracer
+        self.last_attach_seconds = 0.0
         self.attach_hist = BucketHistogram()
         self._extra_hists: List[object] = []
         start = time.monotonic()
@@ -529,6 +532,7 @@ class StorageManager:
                 elapsed = self._open_seconds + (time.monotonic() - start)
                 self._open_seconds = 0.0
                 self.attach_count += 1
+                self.last_attach_seconds = elapsed
                 self._observe_attach(elapsed)
             return self._db
 

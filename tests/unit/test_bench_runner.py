@@ -137,7 +137,8 @@ class TestLoad:
         # (matcher_kernel_* and join_intersect_*) + the schema-3
         # segment-store sections (storage_attach_* / storage_scan_*)
         # + the schema-4 scatter-gather sections (shards_scatter_gather_n*)
-        assert len(doc["benchmarks"]) == 20
+        # + the schema-5 tracing sections (tracing_overhead_*)
+        assert len(doc["benchmarks"]) == 23
         for name, record in doc["benchmarks"].items():
             assert record["p50_ms"] >= 0
             if name.startswith(("join_intersect_", "storage_attach_")):

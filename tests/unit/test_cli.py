@@ -209,3 +209,84 @@ class TestServeMetrics:
         assert "solap_service_requests_total" in body
         thread.join(timeout=30)
         assert results["code"] == 0
+
+
+class TestTrace:
+    def test_trace_exports_worker_spans(self, dataset, queryfile, tmp_path):
+        import json
+
+        out = tmp_path / "trace.json"
+        code = main(
+            ["trace", str(dataset), str(queryfile),
+             "--backend", "thread", "--shards", "2", "--workers", "2",
+             "--out", str(out)]
+        )
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["trace_schema"] == 2
+        assert doc["trace_id"]
+
+        def walk(node):
+            yield node
+            for child in node.get("children", ()):
+                yield from walk(child)
+
+        nodes = list(walk(doc["root"]))
+        origins = [n["origin"] for n in nodes if "origin" in n]
+        assert sorted(o["shard"] for o in origins) == [0, 1]
+        names = {n["name"] for n in nodes}
+        for stage in ("worker.rebuild", "worker.match", "worker.fold"):
+            assert stage in names
+
+    def test_trace_requires_dataset_without_recent(self, capsys):
+        assert main(["trace"]) == 2
+        assert "dataset and queryfile" in capsys.readouterr().err
+
+    def test_trace_recent_and_id_over_http(self, capsys):
+        from repro.obs.httpd import MetricsServer
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.recorder import FlightRecorder
+        from repro.obs.spans import Tracer, span
+
+        recorder = FlightRecorder(capacity=4)
+        with Tracer("query") as tracer:
+            with span("aggregation"):
+                pass
+
+        class Stats:
+            trace = tracer.root
+            strategy = "CB"
+            sequences_scanned = 3
+            extra = {"shard_fanout": 2, "scan_backend": "thread"}
+            plan = None
+
+        entry_id = recorder.record(
+            stats=Stats(), query_id="q7", wall_seconds=0.002
+        )
+        with MetricsServer(
+            MetricsRegistry(), port=0, recorder=recorder
+        ) as srv:
+            assert main(["trace", "--recent", "--server", srv.url]) == 0
+            out = capsys.readouterr().out
+            assert entry_id in out
+            assert "CB" in out
+
+            assert main(
+                ["trace", "--id", entry_id, "--server", srv.url]
+            ) == 0
+            import json
+
+            doc = json.loads(capsys.readouterr().out)
+            assert doc["summary"]["query_id"] == "q7"
+
+            assert main(
+                ["trace", "--id", "t999999", "--server", srv.url]
+            ) == 2
+            assert "t999999" in capsys.readouterr().err
+
+    def test_trace_recent_unreachable_server(self, capsys):
+        code = main(
+            ["trace", "--recent", "--server", "http://127.0.0.1:1"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err

@@ -147,3 +147,109 @@ class TestServiceExporter:
                 service.metrics_server.url + "/healthz"
             )
             assert status == 200
+
+
+class TestDebugTraces:
+    def make_recorder_with_traces(self, n=3):
+        from repro.obs.recorder import FlightRecorder
+        from repro.obs.spans import Tracer, span
+
+        recorder = FlightRecorder(capacity=8)
+        for index in range(n):
+            with Tracer("query") as tracer:
+                with span("aggregation"):
+                    pass
+
+            class Stats:
+                trace = tracer.root
+                strategy = "CB"
+                sequences_scanned = index
+                extra = {"shard_fanout": 2, "scan_backend": "thread"}
+                plan = None
+
+            recorder.record(
+                stats=Stats(), query_id=f"q{index}", wall_seconds=0.001
+            )
+        return recorder
+
+    def test_traces_404_without_recorder(self, server):
+        status, __, body = fetch(server.url + "/debug/traces")
+        assert status == 404
+        assert "not enabled" in json.loads(body)["error"]
+
+    def test_traces_listing_and_entry(self):
+        recorder = self.make_recorder_with_traces(3)
+        with MetricsServer(
+            MetricsRegistry(), port=0, recorder=recorder
+        ) as srv:
+            status, ctype, body = fetch(srv.url + "/debug/traces")
+            assert status == 200 and ctype == "application/json"
+            traces = json.loads(body)["traces"]
+            assert len(traces) == 3
+            # newest first
+            assert traces[0]["query_id"] == "q2"
+            entry_id = traces[0]["id"]
+
+            status, __, body = fetch(srv.url + f"/debug/traces/{entry_id}")
+            assert status == 200
+            entry = json.loads(body)
+            assert entry["summary"]["id"] == entry_id
+            assert entry["trace"]["trace_schema"] == 2
+            assert entry["trace"]["root"]["name"] == "query"
+
+    def test_traces_limit_and_bad_limit(self):
+        recorder = self.make_recorder_with_traces(3)
+        with MetricsServer(
+            MetricsRegistry(), port=0, recorder=recorder
+        ) as srv:
+            status, __, body = fetch(srv.url + "/debug/traces?limit=1")
+            assert status == 200
+            assert len(json.loads(body)["traces"]) == 1
+
+            status, __, body = fetch(srv.url + "/debug/traces?limit=nope")
+            assert status == 400
+            assert "bad limit" in json.loads(body)["error"]
+
+    def test_unknown_trace_id_404(self):
+        recorder = self.make_recorder_with_traces(1)
+        with MetricsServer(
+            MetricsRegistry(), port=0, recorder=recorder
+        ) as srv:
+            status, __, body = fetch(srv.url + "/debug/traces/t999999")
+            assert status == 404
+            assert "t999999" in json.loads(body)["error"]
+
+    def test_lookup_by_trace_id_falls_back(self):
+        recorder = self.make_recorder_with_traces(1)
+        trace_id = recorder.recent()[0]["trace_id"]
+        with MetricsServer(
+            MetricsRegistry(), port=0, recorder=recorder
+        ) as srv:
+            status, __, body = fetch(srv.url + f"/debug/traces/{trace_id}")
+            assert status == 200
+            assert json.loads(body)["summary"]["trace_id"] == trace_id
+
+    def test_service_wires_recorder_into_exporter(self):
+        config = ServiceConfig(expose_metrics_port=0)
+        with QueryService(make_figure8_db(), config) as service:
+            url = service.metrics_server.url
+            service.execute(figure8_spec(("X", "Y")), "cb", analyze=True)
+            status, __, body = fetch(url + "/debug/traces")
+            assert status == 200
+            traces = json.loads(body)["traces"]
+            assert len(traces) >= 1
+            assert traces[0]["trace_id"]
+
+            status, __, body = fetch(url + "/varz")
+            assert json.loads(body)["flight_recorder"]["recorded"] >= 1
+
+    def test_recorder_disabled_by_config(self):
+        config = ServiceConfig(
+            expose_metrics_port=0, flight_recorder_capacity=0
+        )
+        with QueryService(make_figure8_db(), config) as service:
+            assert service.recorder is None
+            status, __, __body = fetch(
+                service.metrics_server.url + "/debug/traces"
+            )
+            assert status == 404

@@ -11,9 +11,14 @@ import pytest
 from repro import SOLAPEngine
 from repro.obs import (
     NULL_SPAN,
+    RemoteSpanCollector,
+    SpanContext,
     Tracer,
+    current_context,
+    graft_payload,
     span,
     stage_timings,
+    trace_from_dict,
     trace_to_dict,
     trace_to_json,
     tracing_active,
@@ -113,7 +118,7 @@ class TestSpanPrimitives:
             with span("stage", rows_out=7):
                 pass
         doc = json.loads(trace_to_json(tracer.root))
-        assert doc["trace_schema"] == 1
+        assert doc["trace_schema"] == 2
         assert doc["root"]["name"] == "query"
         child = doc["root"]["children"][0]
         assert child["name"] == "stage"
@@ -215,3 +220,181 @@ class TestAnalyzePath:
         engine.execute(figure8_spec(("X", "Y")), "cb", analyze=True)
         assert not tracing_active()
         assert span("later") is NULL_SPAN
+
+
+class TestOwnerTracerExit:
+    def test_span_finishes_against_owner_when_nested_tracer_active(self):
+        # A span started under the outer tracer must close against the
+        # outer tracer even if an inner tracer is active at exit time.
+        with Tracer("outer") as outer:
+            sp = span("outer_stage")
+            with Tracer("inner"):
+                sp.__exit__(None, None, None)
+        stage = outer.root.find("outer_stage")
+        assert stage is not None
+        assert stage.end >= stage.start
+        # the outer tracer's stack recovered to the root
+        assert len(outer._stack) == 1
+
+    def test_nested_tracer_reset_when_span_body_raises(self):
+        with Tracer("outer"):
+            with pytest.raises(RuntimeError):
+                with Tracer("inner"):
+                    raise RuntimeError("boom")
+            # the outer tracer is active again after the inner unwound
+            assert tracing_active()
+            with span("after_inner") as sp:
+                assert sp is not NULL_SPAN
+        assert not tracing_active()
+
+    def test_reentrant_tracer_restores_contextvar_each_level(self):
+        tracer = Tracer("re")
+        with tracer:
+            with tracer:
+                assert tracing_active()
+            assert tracing_active()
+        assert not tracing_active()
+
+
+class TestTraceSchemaCompat:
+    def test_v2_documents_carry_trace_and_span_ids(self):
+        with Tracer("query") as tracer:
+            with span("stage"):
+                pass
+        doc = trace_to_dict(tracer.root)
+        assert doc["trace_schema"] == 2
+        assert doc["trace_id"] == tracer.trace_id
+        assert doc["root"]["span_id"] == "s001"
+        assert doc["root"]["children"][0]["span_id"]
+
+    def test_v1_documents_still_parse(self):
+        v1 = {
+            "trace_schema": 1,
+            "root": {
+                "name": "query",
+                "duration_ms": 5.0,
+                "attrs": {"rows": 3},
+                "children": [{"name": "stage", "duration_ms": 2.5}],
+            },
+        }
+        root = trace_from_dict(v1)
+        assert root.name == "query"
+        assert root.duration_seconds == pytest.approx(0.005)
+        assert root.attrs == {"rows": 3}
+        assert root.children[0].name == "stage"
+        assert root.span_id == "" and root.origin is None
+
+    def test_v2_round_trips_origin_and_span_ids(self):
+        with Tracer("query") as tracer:
+            with span("shard.scan") as scan:
+                payload = {
+                    "ctx": [tracer.trace_id, "s002"],
+                    "origin": {"pid": 42, "shard": 1, "backend": "thread"},
+                    "spans": {
+                        "name": "worker",
+                        "span_id": "s001",
+                        "offset_s": 0.0,
+                        "duration_s": 0.001,
+                        "children": [
+                            {
+                                "name": "worker.match",
+                                "span_id": "s002",
+                                "offset_s": 0.0,
+                                "duration_s": 0.001,
+                            }
+                        ],
+                    },
+                }
+                graft_payload(scan, payload)
+        rebuilt = trace_from_dict(json.loads(trace_to_json(tracer.root)))
+        worker = rebuilt.find("worker")
+        assert worker is not None
+        assert worker.origin == {"pid": 42, "shard": 1, "backend": "thread"}
+        assert worker.find("worker.match") is not None
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError, match="unsupported trace_schema"):
+            trace_from_dict({"trace_schema": 99, "root": {"name": "x"}})
+        with pytest.raises(ValueError, match="no 'root'"):
+            trace_from_dict({"trace_schema": 2})
+
+
+class TestSpanContextPropagation:
+    def test_current_context_none_when_untraced(self):
+        assert current_context() is None
+
+    def test_current_context_names_innermost_span(self):
+        with Tracer("query") as tracer:
+            with span("shard.scan"):
+                ctx = current_context()
+        assert ctx.trace_id == tracer.trace_id
+        assert ctx.span_id == tracer.root.children[0].span_id
+
+    def test_span_context_pickles(self):
+        import pickle
+
+        ctx = SpanContext("abc-1", "s002")
+        assert pickle.loads(pickle.dumps(ctx)) == ctx
+
+    def test_collector_without_context_is_noop(self):
+        collector = RemoteSpanCollector(None, shard=0)
+        with collector:
+            assert span("worker.match") is NULL_SPAN
+        assert collector.payload() is None
+        assert collector.root is None
+
+    def test_collector_records_and_serialises(self):
+        ctx = SpanContext("trace-x", "s003")
+        collector = RemoteSpanCollector(ctx, shard=2, backend="thread")
+        with collector:
+            with span("worker.match") as sp:
+                sp.set("sequences_scanned", 7)
+        payload = collector.payload()
+        assert payload["ctx"] == ["trace-x", "s003"]
+        assert payload["origin"]["shard"] == 2
+        assert payload["origin"]["backend"] == "thread"
+        assert payload["origin"]["pid"]
+        assert payload["spans"]["name"] == "worker"
+        child = payload["spans"]["children"][0]
+        assert child["name"] == "worker.match"
+        assert child["attrs"]["sequences_scanned"] == 7
+        # the payload is picklable and JSON-serialisable as-is
+        json.dumps(payload)
+
+    def test_graft_anchors_at_parent_start_and_marks_origin(self):
+        ctx = SpanContext("trace-y", "s002")
+        collector = RemoteSpanCollector(ctx, shard=1)
+        with collector:
+            with span("worker.match"):
+                time.sleep(0.001)
+        with Tracer("query") as tracer:
+            with span("shard.scan") as scan:
+                node = graft_payload(scan, collector.payload())
+        assert node.origin["shard"] == 1
+        assert node in tracer.root.children[0].children
+        # relative timing preserved, anchored at the parent's start
+        assert node.start == pytest.approx(tracer.root.children[0].start)
+        match = node.find("worker.match")
+        assert match.duration_seconds >= 0.001
+
+    def test_graft_of_none_payload_is_noop(self):
+        with Tracer() as tracer:
+            with span("shard.scan") as scan:
+                assert graft_payload(scan, None) is None
+        assert tracer.root.children[0].children == []
+
+    def test_stage_timings_exclude_grafted_subtrees(self):
+        ctx = SpanContext("trace-z", "s002")
+        collector = RemoteSpanCollector(ctx, shard=0)
+        with collector:
+            with span("aggregation"):  # a stage name, recorded remotely
+                time.sleep(0.001)
+        with Tracer("query") as tracer:
+            with span("aggregation"):
+                pass
+            with span("shard.scan") as scan:
+                graft_payload(scan, collector.payload())
+        local = stage_timings(tracer.root)
+        assert len([n for n, __s, __d in local if n == "aggregation"]) == 1
+        both = stage_timings(tracer.root, include_remote=True)
+        assert len([n for n, __s, __d in both if n == "aggregation"]) == 2

@@ -1,0 +1,235 @@
+"""Unit tests for the flight recorder and per-query resource profiles."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import (
+    ResourceProfile,
+    WorkerProfile,
+    stage_seconds_from_root,
+    worker_profile_from_spans,
+)
+from repro.obs.recorder import FlightRecorder
+from repro.obs.spans import RemoteSpanCollector, SpanContext, Tracer, span
+
+
+def make_stats(root, **extra):
+    class Stats:
+        trace = root
+        strategy = "CB"
+        sequences_scanned = 4
+        plan = None
+
+    stats = Stats()
+    stats.extra = dict(extra)
+    return stats
+
+
+def traced_root(with_worker=False):
+    with Tracer("query") as tracer:
+        with span("aggregation"):
+            if with_worker:
+                collector = RemoteSpanCollector(
+                    SpanContext(tracer.trace_id, "s002"), shard=0
+                )
+                with collector:
+                    with span("worker.match"):
+                        pass
+                    with span("worker.fold"):
+                        pass
+                from repro.obs.spans import graft_payload
+
+                graft_payload(tracer.root.children[0], collector.payload())
+    return tracer.root
+
+
+class TestFlightRecorderRing:
+    def test_record_returns_id_and_get_round_trips(self):
+        recorder = FlightRecorder(capacity=4)
+        root = traced_root()
+        entry_id = recorder.record(
+            stats=make_stats(root), query_id="q1", wall_seconds=0.01
+        )
+        assert entry_id == "t000001"
+        entry = recorder.get(entry_id)
+        assert entry["summary"]["query_id"] == "q1"
+        assert entry["summary"]["wall_ms"] == pytest.approx(10.0)
+        assert entry["trace"]["trace_schema"] == 2
+        json.dumps(entry)  # fully serialisable
+
+    def test_untraced_stats_not_recorded(self):
+        recorder = FlightRecorder(capacity=4)
+        assert recorder.record(stats=make_stats(None)) is None
+        assert len(recorder) == 0
+
+    def test_ring_evicts_oldest(self):
+        recorder = FlightRecorder(capacity=2)
+        ids = [
+            recorder.record(stats=make_stats(traced_root()), query_id=f"q{i}")
+            for i in range(4)
+        ]
+        assert len(recorder) == 2
+        assert recorder.get(ids[0]) is None
+        assert recorder.get(ids[1]) is None
+        assert recorder.get(ids[3])["summary"]["query_id"] == "q3"
+
+    def test_recent_is_newest_first_and_limited(self):
+        recorder = FlightRecorder(capacity=8)
+        for index in range(5):
+            recorder.record(stats=make_stats(traced_root()), query_id=f"q{index}")
+        recent = recorder.recent(limit=3)
+        assert [entry["query_id"] for entry in recent] == ["q4", "q3", "q2"]
+
+    def test_summary_carries_backend_and_fanout(self):
+        recorder = FlightRecorder(capacity=4)
+        root = traced_root()
+        recorder.record(
+            stats=make_stats(root, shard_fanout=3, scan_backend="process")
+        )
+        summary = recorder.recent()[0]
+        assert summary["shard_fanout"] == 3
+        assert summary["backend"] == "process"
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(sample_per_second=-1.0)
+
+    def test_thread_safe_concurrent_records(self):
+        recorder = FlightRecorder(capacity=16)
+        errors = []
+
+        def work():
+            try:
+                for __ in range(20):
+                    recorder.record(stats=make_stats(traced_root()))
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=work) for __ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(recorder) == 16
+
+
+class TestSampler:
+    def test_token_bucket_with_injected_clock(self):
+        now = [0.0]
+        recorder = FlightRecorder(
+            capacity=4,
+            sample_per_second=1.0,
+            sample_burst=2,
+            clock=lambda: now[0],
+        )
+        # starts full at burst: two immediate samples, then dry
+        assert recorder.should_sample() is True
+        assert recorder.should_sample() is True
+        assert recorder.should_sample() is False
+        # half a second refills half a token — still dry
+        now[0] = 0.5
+        assert recorder.should_sample() is False
+        # a full second in total refills one token
+        now[0] = 1.0
+        assert recorder.should_sample() is True
+        assert recorder.should_sample() is False
+        # tokens cap at burst, not at elapsed x rate
+        now[0] = 100.0
+        assert recorder.should_sample() is True
+        assert recorder.should_sample() is True
+        assert recorder.should_sample() is False
+
+    def test_zero_rate_only_burst(self):
+        now = [0.0]
+        recorder = FlightRecorder(
+            capacity=4,
+            sample_per_second=0.0,
+            sample_burst=1,
+            clock=lambda: now[0],
+        )
+        assert recorder.should_sample() is True
+        now[0] = 1e6
+        assert recorder.should_sample() is False
+
+    def test_sampler_metrics(self):
+        registry = MetricsRegistry()
+        now = [0.0]
+        recorder = FlightRecorder(
+            capacity=4,
+            sample_per_second=0.0,
+            sample_burst=1,
+            registry=registry,
+            clock=lambda: now[0],
+        )
+        recorder.should_sample()
+        recorder.should_sample()
+        recorder.record(stats=make_stats(traced_root()))
+        snapshot = registry.snapshot()
+        assert snapshot["solap_trace_sampled_total"]["series"][""] == 1.0
+        assert snapshot["solap_trace_dropped_total"]["series"][""] == 1.0
+        assert snapshot["solap_trace_recorded_total"]["series"][""] == 1.0
+
+    def test_worker_stage_metrics_from_grafted_spans(self):
+        registry = MetricsRegistry()
+        recorder = FlightRecorder(capacity=4, registry=registry)
+        recorder.record(stats=make_stats(traced_root(with_worker=True)))
+        snapshot = registry.snapshot()
+        spans_series = snapshot["solap_trace_worker_spans_total"]["series"]
+        assert spans_series["stage=match"] == 1.0
+        assert spans_series["stage=fold"] == 1.0
+        assert "solap_trace_worker_stage_seconds_total" in snapshot
+
+
+class TestProfiles:
+    def test_worker_profile_round_trips_via_dict(self):
+        profile = WorkerProfile(
+            shard=2, pid=99, backend="process", match_s=0.5,
+            sequences_scanned=10, cells_out=3,
+        )
+        assert WorkerProfile(**profile.to_dict()) == profile
+
+    def test_resource_profile_to_dict(self):
+        profile = ResourceProfile(
+            backend="thread", fanout=2, skew=1.5,
+            workers=[WorkerProfile(shard=0), WorkerProfile(shard=1)],
+        )
+        doc = profile.to_dict()
+        assert doc["fanout"] == 2
+        assert [w["shard"] for w in doc["workers"]] == [0, 1]
+        json.dumps(doc)
+
+    def test_stage_seconds_prefers_attach_attribute(self):
+        collector = RemoteSpanCollector(SpanContext("t", "s001"))
+        with collector:
+            with span("worker.attach", seconds=1.25, reported=True):
+                pass
+            with span("worker.rebuild"):
+                pass
+        stages = stage_seconds_from_root(collector.root)
+        assert stages["attach"] == 1.25
+        assert stages["rebuild"] >= 0.0
+        assert "match" not in stages
+
+    def test_worker_profile_from_spans(self):
+        collector = RemoteSpanCollector(SpanContext("t", "s001"))
+        with collector:
+            with span("worker.match"):
+                pass
+        profile = worker_profile_from_spans(
+            collector.root, shard=3, backend="thread", pid=7,
+            sequences_scanned=12,
+        )
+        assert profile.shard == 3
+        assert profile.backend == "thread"
+        assert profile.pid == 7
+        assert profile.sequences_scanned == 12
+        assert profile.match_s >= 0.0
+        assert profile.attach_s == 0.0
