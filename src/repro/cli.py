@@ -266,6 +266,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit structured JSON query-lifecycle logs on stderr",
     )
 
+    serve_api = sub.add_parser(
+        "serve",
+        help="serve S-OLAP queries over HTTP+JSON (sessions, async "
+        "submit/poll/cancel, streamed progressive results)",
+    )
+    serve_api.add_argument("dataset", help="dataset directory")
+    serve_api.add_argument(
+        "--port", type=int, default=8080,
+        help="listen port (0 binds an ephemeral port, printed at start)",
+    )
+    serve_api.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_api.add_argument(
+        "--timeout", type=_positive_seconds, default=None, metavar="SECONDS",
+        help="default per-query deadline (requests may override)",
+    )
+    serve_api.add_argument(
+        "--max-concurrent", type=int, default=4,
+        help="execution slots; the admission queue sheds beyond "
+        "max-concurrent + queue-depth with HTTP 429",
+    )
+    serve_api.add_argument(
+        "--job-history", type=int, default=256,
+        help="finished async jobs kept pollable before pruning",
+    )
+    serve_api.add_argument(
+        "--slow-query",
+        type=_positive_seconds,
+        default=None,
+        metavar="SECONDS",
+        help="emit a slow_query log record (with the EXPLAIN ANALYZE "
+        "plan) for queries slower than this",
+    )
+    serve_api.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON request/query-lifecycle logs on stderr",
+    )
+    serve_api.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="serve this long, then exit (default: until interrupted)",
+    )
+
     segment = sub.add_parser(
         "segment",
         help="manage mmap-attachable columnar segment stores",
@@ -579,6 +624,49 @@ def _cmd_serve_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    db = _load_db(args.dataset)
+    if args.log_json:
+        from repro.obs.logging import configure_logging
+
+        configure_logging(stream=sys.stderr)
+    config = ServiceConfig(
+        default_timeout_seconds=args.timeout,
+        slow_query_seconds=args.slow_query,
+        max_concurrent=max(args.max_concurrent, 1),
+    )
+    with QueryService(db, config) as service:
+        from repro.serve import SolapServer
+
+        server = SolapServer(
+            service,
+            host=args.host,
+            port=args.port,
+            job_history_limit=max(args.job_history, 1),
+        ).start()
+        # The URL line is machine-readable on purpose: with --port 0 it
+        # is how scripts (and the CI smoke job) discover the real port.
+        print(
+            f"serving S-OLAP queries on {server.url} "
+            "(/v1/sessions /v1/queries /v1/stream /metrics)",
+            flush=True,
+        )
+        try:
+            if args.duration is not None:
+                time.sleep(args.duration)
+            else:
+                print("serving until interrupted (Ctrl-C to exit)", flush=True)
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.stop()
+    return 0
+
+
 def _parse_attr_level(text: str, schema) -> tuple:
     """``attr`` or ``attr:level`` → an (attribute, level) pair."""
     attr, sep, level = text.partition(":")
@@ -765,6 +853,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "advise": _cmd_advise,
     "service-stats": _cmd_service_stats,
+    "serve": _cmd_serve,
     "serve-metrics": _cmd_serve_metrics,
     "segment": _cmd_segment,
     "trace": _cmd_trace,

@@ -134,6 +134,19 @@ class QueryTimeoutError(ServiceError):
         super().__init__(message)
 
 
+class QueryCancelledError(ServiceError):
+    """A query was cancelled by its client and cooperatively stopped.
+
+    Raised from the same hot-loop checkpoints that enforce deadlines (see
+    :class:`repro.service.deadline.CancelToken`): nothing is interrupted
+    pre-emptively, the running strategy observes the token at its next
+    cancellation point and unwinds.
+    """
+
+    def __init__(self, message: str = "query cancelled by client"):
+        super().__init__(message)
+
+
 class ServiceOverloadedError(ServiceError):
     """The service's bounded admission queue is full; the request was
     rejected immediately instead of piling up behind the executor."""
@@ -153,3 +166,11 @@ class ServiceOverloadedError(ServiceError):
 
 class SessionNotFoundError(ServiceError):
     """The referenced service session does not exist (or was evicted)."""
+
+
+class QueryNotFoundError(ServiceError):
+    """The referenced asynchronous query job does not exist.
+
+    Raised by the HTTP serving layer's job registry for unknown query ids
+    and for jobs already pruned from the bounded finished-job history.
+    """

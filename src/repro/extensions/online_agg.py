@@ -76,14 +76,31 @@ def online_cuboid(
     chunk_size: int = 256,
     seed: int = 0,
     stats: Optional[QueryStats] = None,
+    cancel: Optional[object] = None,
 ) -> Iterator[OnlineEstimate]:
     """Progressively compute an S-cuboid, yielding after every chunk.
 
     The final yielded estimate (``is_final``) equals the CB result exactly.
+    An empty selection (``total == 0``) yields exactly one estimate, which
+    is final.
+
+    *cancel* is a cooperative cancellation guard (anything with a
+    ``check()`` that raises, e.g. a
+    :class:`~repro.service.deadline.Deadline`,
+    :class:`~repro.service.deadline.CancelToken` or a fused
+    :class:`~repro.service.deadline.CancelScope`): it is checked at every
+    chunk boundary, so a cancelled or expired progressive query stops
+    within one chunk of work.  The streaming HTTP endpoint leans on this
+    seam to abandon server-side work when a client cancels or disconnects
+    mid-stream.
     """
     if chunk_size < 1:
         raise ValueError("chunk_size must be >= 1")
     stats = stats if stats is not None else QueryStats()
+    if cancel is not None and stats.deadline is None:
+        # Thread the guard through the per-sequence scan checkpoints too,
+        # so huge chunks still cancel promptly.
+        stats.deadline = cancel
     stats.strategy = "online"
     matcher = make_matcher(
         spec.template, db.schema, spec.restriction, spec.predicate,
@@ -105,6 +122,8 @@ def online_cuboid(
     total = len(work)
     processed = 0
     while processed < total or total == 0:
+        if cancel is not None:
+            cancel.check()  # type: ignore[attr-defined]
         chunk = work[processed : processed + chunk_size]
         for group_key, sequence in chunk:
             stats.add_scan()

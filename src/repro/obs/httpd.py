@@ -10,8 +10,9 @@ zero third-party dependencies:
 * ``GET /varz``    — a JSON snapshot of every metric series (plus
   whatever richer document the owner's callback provides);
 * ``GET /debug/traces`` — newest-first summaries from the service's
-  flight recorder (``?limit=N``), and ``GET /debug/traces/<id>`` for one
-  full recorded trace — 404 when no recorder is attached.
+  flight recorder (``?limit=N`` with ``N >= 1``; a non-numeric, zero or
+  negative limit is a 400), and ``GET /debug/traces/<id>`` for one full
+  recorded trace — 404 when no recorder is attached.
 
 The server runs on a daemon thread (`ThreadingHTTPServer`, one handler
 thread per request) and binds to loopback by default.  Port 0 binds an
@@ -40,6 +41,11 @@ from repro.obs.metrics import MetricsRegistry
 
 #: content type of the Prometheus text exposition format
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: errors meaning "the client hung up mid-response": nothing can be sent
+#: back on that socket, so handlers drop the response instead of crashing
+#: the handler thread (and never try to write a 500 to the dead socket)
+CLIENT_DISCONNECT_ERRORS = (BrokenPipeError, ConnectionResetError)
 
 
 class MetricsServer:
@@ -147,6 +153,10 @@ class MetricsServer:
                                "/debug/traces", "/debug/traces/<id>"]}
                 ).encode("utf-8")
                 self._respond(request, 404, "application/json", body)
+        except CLIENT_DISCONNECT_ERRORS:
+            # The client went away mid-write; there is no socket left to
+            # answer on, so drop the response silently.
+            return
         except Exception as error:  # noqa: BLE001 - keep the server alive
             body = json.dumps(
                 {"error": f"{type(error).__name__}: {error}"}
@@ -180,7 +190,16 @@ class MetricsServer:
                                 request, 400, "application/json", body
                             )
                             return
-            doc = {"traces": self.recorder.recent(limit=max(limit, 1))}
+            if limit < 1:
+                # limit=0 / negative limits used to be silently clamped to
+                # 1; they are requests the caller never meant, so reject
+                # them like any other malformed limit.
+                body = json.dumps(
+                    {"error": f"bad limit {limit!r}: must be >= 1"}
+                ).encode("utf-8")
+                self._respond(request, 400, "application/json", body)
+                return
+            doc = {"traces": self.recorder.recent(limit=limit)}
             body = json.dumps(doc, default=repr).encode("utf-8")
             self._respond(request, 200, "application/json", body)
             return
@@ -202,11 +221,17 @@ class MetricsServer:
         content_type: str,
         body: bytes,
     ) -> None:
-        request.send_response(status)
-        request.send_header("Content-Type", content_type)
-        request.send_header("Content-Length", str(len(body)))
-        request.end_headers()
-        request.wfile.write(body)
+        try:
+            request.send_response(status)
+            request.send_header("Content-Type", content_type)
+            request.send_header("Content-Length", str(len(body)))
+            request.end_headers()
+            request.wfile.write(body)
+        except CLIENT_DISCONNECT_ERRORS:
+            # The client closed the connection before (or while) the
+            # response was written; drop it — retrying on the dead socket
+            # would only re-raise and kill the handler thread.
+            pass
 
     def __repr__(self) -> str:
         state = "serving" if self.running else "stopped"

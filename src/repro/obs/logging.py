@@ -224,6 +224,46 @@ class QueryLogger:
             elapsed_ms=round(elapsed_seconds * 1000.0, 3),
         )
 
+    def query_cancelled(
+        self, query_id: str, session_id: Optional[str] = None
+    ) -> None:
+        """The client cancelled (or disconnected from) a running query."""
+        self.event(
+            "query_cancelled",
+            query_id=query_id,
+            session_id=session_id,
+        )
+
+    def stream_started(
+        self,
+        query_id: str,
+        chunk_size: int,
+        session_id: Optional[str] = None,
+    ) -> None:
+        self.event(
+            "stream_started",
+            query_id=query_id,
+            chunk_size=chunk_size,
+            session_id=session_id,
+        )
+
+    def stream_finished(
+        self,
+        query_id: str,
+        estimates: int,
+        sequences: int,
+        wall_seconds: float,
+        session_id: Optional[str] = None,
+    ) -> None:
+        self.event(
+            "stream_finished",
+            query_id=query_id,
+            estimates=estimates,
+            sequences=sequences,
+            wall_ms=round(wall_seconds * 1000.0, 3),
+            session_id=session_id,
+        )
+
     def query_rejected(
         self, query_id: str, inflight: int, limit: int
     ) -> None:

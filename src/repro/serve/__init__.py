@@ -1,0 +1,16 @@
+"""HTTP+JSON query serving layer (``solap serve``).
+
+Public surface:
+
+* :class:`~repro.serve.app.SolapServer` — the stdlib HTTP front-end
+  over one :class:`~repro.service.service.QueryService`;
+* :class:`~repro.serve.jobs.JobRegistry` /
+  :class:`~repro.serve.jobs.QueryJob` — asynchronous submit/poll/cancel
+  bookkeeping;
+* :mod:`~repro.serve.codecs` — the JSON wire document shapes.
+"""
+
+from repro.serve.app import SolapServer
+from repro.serve.jobs import JobRegistry, QueryJob
+
+__all__ = ["SolapServer", "JobRegistry", "QueryJob"]

@@ -1,0 +1,253 @@
+"""Asynchronous query jobs for the HTTP serving layer.
+
+HTTP is request/response; S-OLAP queries can run for seconds.  The
+:class:`JobRegistry` bridges the two: ``POST /v1/queries`` submits a job
+and returns immediately with a job id, the client polls
+``GET /v1/queries/<id>`` until it flips to a terminal state, and
+``POST /v1/queries/<id>/cancel`` trips the job's
+:class:`~repro.service.deadline.CancelToken` — the running query unwinds
+cooperatively at its next checkpoint, exactly like a deadline.
+
+One daemon thread per job is deliberate: the service's own admission
+control (``max_concurrent`` slots + bounded queue + immediate overload
+rejection) is the concurrency limiter, so the registry never builds a
+second queueing layer that could disagree with it.  An overloaded
+service rejects the job synchronously at submit time (HTTP 429), before
+a thread is ever spawned.
+
+Finished jobs are kept in a bounded FIFO history so clients can fetch
+results after completion; once pruned, polls raise
+:class:`~repro.errors.QueryNotFoundError` (HTTP 404).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.core.cuboid import SCuboid
+from repro.core.spec import CuboidSpec
+from repro.core.stats import QueryStats
+from repro.errors import (
+    QueryCancelledError,
+    QueryNotFoundError,
+    QueryTimeoutError,
+    ServiceOverloadedError,
+    SOLAPError,
+)
+from repro.service.deadline import CancelToken
+
+#: job states; ``done``/``error``/``cancelled``/``timeout`` are terminal
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+ERROR = "error"
+CANCELLED = "cancelled"
+TIMEOUT = "timeout"
+
+TERMINAL_STATES = frozenset({DONE, ERROR, CANCELLED, TIMEOUT})
+
+#: sentinel mirroring the service's "no timeout argument given"
+_UNSET = object()
+
+
+class QueryJob:
+    """One asynchronous query: spec, cancel token, state, result."""
+
+    __slots__ = (
+        "job_id",
+        "spec",
+        "strategy",
+        "session_id",
+        "token",
+        "status",
+        "error",
+        "error_type",
+        "result",
+        "stats",
+        "submitted_at",
+        "wall_seconds",
+        "_done",
+    )
+
+    def __init__(
+        self,
+        job_id: str,
+        spec: CuboidSpec,
+        strategy: str,
+        session_id: Optional[str],
+    ):
+        self.job_id = job_id
+        self.spec = spec
+        self.strategy = strategy
+        self.session_id = session_id
+        self.token = CancelToken()
+        self.status = QUEUED
+        self.error: Optional[str] = None
+        self.error_type: Optional[str] = None
+        self.result: Optional[SCuboid] = None
+        self.stats: Optional[QueryStats] = None
+        self.submitted_at = time.monotonic()
+        self.wall_seconds: Optional[float] = None
+        self._done = threading.Event()
+
+    @property
+    def finished(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state (test helper)."""
+        return self._done.wait(timeout)
+
+    def describe(self) -> dict:
+        """The poll document (result cells are paginated separately)."""
+        doc = {
+            "query_id": self.job_id,
+            "status": self.status,
+            "session_id": self.session_id,
+            "strategy": self.strategy,
+            "cancelled": self.token.cancelled,
+        }
+        if self.wall_seconds is not None:
+            doc["wall_ms"] = round(self.wall_seconds * 1000.0, 3)
+        if self.error is not None:
+            doc["error"] = self.error
+            doc["error_type"] = self.error_type
+        if self.result is not None:
+            doc["cell_count"] = len(self.result)
+        return doc
+
+
+class JobRegistry:
+    """Submit/poll/cancel bookkeeping over one :class:`QueryService`."""
+
+    def __init__(self, service, history_limit: int = 256):
+        if history_limit < 1:
+            raise ValueError("history_limit must be >= 1")
+        self.service = service
+        self.history_limit = history_limit
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, QueryJob] = {}
+        self._finished_order: list = []
+        self._ids = itertools.count(1)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: CuboidSpec,
+        strategy: str = "auto",
+        timeout: object = _UNSET,
+        session_id: Optional[str] = None,
+    ) -> QueryJob:
+        """Register a job and start its worker thread.
+
+        Overload sheds at the door: when the service's admission window
+        is already full this raises
+        :class:`~repro.errors.ServiceOverloadedError` synchronously (the
+        app maps it to HTTP 429) instead of parking a job that the
+        service would reject anyway.  The check is best-effort — a race
+        that slips past it is still caught by the service inside the
+        worker and recorded as the job's error.  Submit never blocks on
+        an execution slot.
+        """
+        if self.service.inflight >= self.service.config.admission_limit:
+            raise ServiceOverloadedError(
+                inflight=self.service.inflight,
+                limit=self.service.config.admission_limit,
+            )
+        with self._lock:
+            # "job" prefix keeps HTTP job ids distinct from the service's
+            # internal per-request "q..." ids in shared log streams.
+            job_id = f"job{next(self._ids):06d}"
+            job = QueryJob(job_id, spec, strategy, session_id)
+            self._jobs[job_id] = job
+        thread = threading.Thread(
+            target=self._run,
+            args=(job, timeout),
+            name=f"solap-job-{job_id}",
+            daemon=True,
+        )
+        thread.start()
+        return job
+
+    def _run(self, job: QueryJob, timeout: object) -> None:
+        started = time.monotonic()
+        job.status = RUNNING
+        try:
+            kwargs = {} if timeout is _UNSET else {"timeout": timeout}
+            cuboid, stats = self.service.execute(
+                job.spec,
+                job.strategy,
+                session_id=job.session_id,
+                cancel=job.token,
+                **kwargs,
+            )
+            if job.session_id is not None:
+                # Mirror session_run: later session operations continue
+                # from this result.
+                self.service.sessions.record(
+                    job.session_id, job.spec, cuboid, stats
+                )
+            job.result = cuboid
+            job.stats = stats
+            job.status = DONE
+        except QueryCancelledError as error:
+            job.status = CANCELLED
+            job.error = str(error)
+            job.error_type = type(error).__name__
+        except QueryTimeoutError as error:
+            job.status = TIMEOUT
+            job.error = str(error)
+            job.error_type = type(error).__name__
+        except SOLAPError as error:
+            job.status = ERROR
+            job.error = str(error)
+            job.error_type = type(error).__name__
+        except Exception as error:  # noqa: BLE001 - job threads must not die
+            job.status = ERROR
+            job.error = f"{type(error).__name__}: {error}"
+            job.error_type = type(error).__name__
+        finally:
+            job.wall_seconds = time.monotonic() - started
+            self._finish(job)
+            job._done.set()
+
+    def _finish(self, job: QueryJob) -> None:
+        """Record completion and prune history beyond the limit."""
+        with self._lock:
+            self._finished_order.append(job.job_id)
+            while len(self._finished_order) > self.history_limit:
+                stale = self._finished_order.pop(0)
+                self._jobs.pop(stale, None)
+
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> QueryJob:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise QueryNotFoundError(
+                f"no query {job_id!r} (unknown id, or pruned from the "
+                f"finished-job history of {self.history_limit})"
+            )
+        return job
+
+    def result(self, job_id: str) -> Tuple[SCuboid, QueryStats]:
+        """The finished job's cuboid and stats (raises if not done)."""
+        job = self.get(job_id)
+        if job.status != DONE or job.result is None:
+            raise QueryNotFoundError(
+                f"query {job_id!r} has no result (status {job.status!r})"
+            )
+        return job.result, job.stats
+
+    def cancel(self, job_id: str) -> QueryJob:
+        """Trip the job's cancel token (idempotent); returns the job."""
+        job = self.get(job_id)
+        job.token.cancel()
+        return job

@@ -15,10 +15,11 @@ service catches the typed error, bumps its metrics and releases the slot.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Optional
 
-from repro.errors import QueryTimeoutError
+from repro.errors import QueryCancelledError, QueryTimeoutError
 
 
 class Deadline:
@@ -63,3 +64,93 @@ class Deadline:
             f"Deadline({self.budget_seconds:.3f}s budget, "
             f"{self.remaining():.3f}s remaining)"
         )
+
+
+class CancelToken:
+    """Client-driven cooperative cancellation for one query.
+
+    The serving layer hands one token per asynchronous query to both the
+    executing request (via :class:`CancelScope`) and the cancel endpoint.
+    ``cancel()`` is thread-safe and idempotent; the running query observes
+    it at its next cancellation point — the same ``check()`` call sites
+    that enforce deadlines — and unwinds with
+    :class:`~repro.errors.QueryCancelledError`.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        """Request cancellation (idempotent, callable from any thread)."""
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def check(self) -> None:
+        """Raise :class:`QueryCancelledError` once cancellation was requested."""
+        if self._event.is_set():
+            raise QueryCancelledError()
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "live"
+        return f"CancelToken({state})"
+
+
+class CancelScope:
+    """A deadline and a cancel token fused into one cooperative guard.
+
+    Duck-type compatible with :class:`Deadline` everywhere the service and
+    the strategies' hot loops look (``check``/``remaining``/``elapsed``/
+    ``budget_seconds``), so existing cancellation points pick up client
+    cancellation for free.  The token is checked first: an explicit cancel
+    beats a deadline that expired in the same interval.
+    """
+
+    __slots__ = ("deadline", "token")
+
+    def __init__(
+        self, deadline: Optional[Deadline], token: CancelToken
+    ) -> None:
+        self.deadline = deadline
+        self.token = token
+
+    @classmethod
+    def wrap(
+        cls,
+        deadline: Optional[Deadline],
+        token: Optional[CancelToken],
+    ) -> "Optional[Deadline | CancelScope]":
+        """Fuse *deadline* and *token*; plain deadline when no token."""
+        if token is None:
+            return deadline
+        return cls(deadline, token)
+
+    @property
+    def budget_seconds(self) -> Optional[float]:
+        return (
+            self.deadline.budget_seconds if self.deadline is not None else None
+        )
+
+    def elapsed(self) -> float:
+        return self.deadline.elapsed() if self.deadline is not None else 0.0
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left on the deadline (None when unbounded)."""
+        return (
+            self.deadline.remaining() if self.deadline is not None else None
+        )
+
+    def expired(self) -> bool:
+        return self.deadline.expired() if self.deadline is not None else False
+
+    def check(self) -> None:
+        self.token.check()
+        if self.deadline is not None:
+            self.deadline.check()
+
+    def __repr__(self) -> str:
+        return f"CancelScope({self.deadline!r}, {self.token!r})"

@@ -35,6 +35,9 @@ COUNTER_NAMES: Tuple[str, ...] = (
     "queries_failed",
     "deadline_exceeded_total",
     "overload_rejected_total",
+    "cancelled_total",
+    "streams_total",
+    "stream_chunks_total",
     "parallel_scans_total",
     "sessions_opened",
     "sessions_closed",

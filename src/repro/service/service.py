@@ -35,7 +35,7 @@ from __future__ import annotations
 import itertools
 import threading
 import time
-from typing import Optional, Tuple
+from typing import Iterator, Optional, Tuple
 
 from repro.core import operations as ops
 from repro.core.cuboid import SCuboid
@@ -43,19 +43,21 @@ from repro.core.engine import SOLAPEngine
 from repro.core.spec import CuboidSpec
 from repro.core.stats import QueryStats
 from repro.errors import (
+    QueryCancelledError,
     QueryTimeoutError,
     ServiceError,
     ServiceOverloadedError,
     SOLAPError,
 )
 from repro.events.database import EventDatabase
+from repro.extensions.online_agg import OnlineEstimate, online_cuboid
 from repro.obs.httpd import MetricsServer
 from repro.obs.logging import QueryLogger
 from repro.obs.metrics import MetricsRegistry, register_engine_metrics
 from repro.obs.recorder import FlightRecorder
 from repro.obs.spans import span
 from repro.service.config import ServiceConfig
-from repro.service.deadline import Deadline
+from repro.service.deadline import CancelScope, CancelToken, Deadline
 from repro.service.metrics import ServiceMetrics
 from repro.service.parallel import ParallelCBScanner, create_backend
 from repro.service.sessions import SessionEntry, SessionManager
@@ -195,6 +197,12 @@ class QueryService:
                 recorder=self.recorder,
             ).start()
 
+    @property
+    def inflight(self) -> int:
+        """Requests currently running or queued for admission."""
+        with self._admission_lock:
+            return self._inflight
+
     # ------------------------------------------------------------------
     # One-shot queries
     # ------------------------------------------------------------------
@@ -205,6 +213,7 @@ class QueryService:
         timeout: object = _UNSET,
         analyze: bool = False,
         session_id: Optional[str] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> Tuple[SCuboid, QueryStats]:
         """Answer one query under admission control and a deadline.
 
@@ -214,7 +223,11 @@ class QueryService:
         and folds the measured stage timings into the service metrics.
         Queries are also analyzed when a slow-query threshold is
         configured, so slow-query log records carry a measured plan.
-        *session_id* only labels this query's log records.
+        *session_id* only labels this query's log records.  *cancel* is
+        an optional :class:`~repro.service.deadline.CancelToken`; once
+        cancelled, the query unwinds with
+        :class:`~repro.errors.QueryCancelledError` at its next
+        cooperative checkpoint (the same sites that enforce deadlines).
         """
         if self._closed:
             raise ServiceError("service is shut down")
@@ -263,9 +276,10 @@ class QueryService:
                     elapsed_seconds=deadline.elapsed(),  # type: ignore[union-attr]
                 )
             self.log.query_admitted(query_id, waited, session_id)
+            guard = CancelScope.wrap(deadline, cancel)
             try:
                 return self._run(
-                    spec, strategy, deadline, analyze, query_id, session_id
+                    spec, strategy, guard, analyze, query_id, session_id
                 )
             finally:
                 self._slots.release()
@@ -277,7 +291,7 @@ class QueryService:
         self,
         spec: CuboidSpec,
         strategy: str,
-        deadline: Optional[Deadline],
+        deadline: "Optional[Deadline | CancelScope]",
         analyze: bool = False,
         query_id: str = "",
         session_id: Optional[str] = None,
@@ -299,10 +313,20 @@ class QueryService:
             sampled = True
         try:
             with self._engine_lock:
+                # Observe a cancel (or an already-spent deadline) from
+                # the time spent queued for the engine lock *before*
+                # doing any work: the engine's cuboid-repository fast
+                # path returns without reaching a cooperative checkpoint.
+                if deadline is not None:
+                    deadline.check()
                 cuboid, stats = self.engine.execute(
                     spec, strategy, deadline=deadline, analyze=analyze
                 )
                 self._enforce_index_budget()
+        except QueryCancelledError:
+            self.metrics.inc("cancelled_total")
+            self.log.query_cancelled(query_id, session_id)
+            raise
         except QueryTimeoutError as error:
             self.metrics.inc("deadline_exceeded_total")
             self.log.query_timed_out(
@@ -356,6 +380,188 @@ class QueryService:
         if dropped:
             self.metrics.inc("indices_evicted", dropped)
             self.metrics.inc("index_bytes_evicted", freed)
+
+    # ------------------------------------------------------------------
+    # Progressive (streamed) queries
+    # ------------------------------------------------------------------
+    def stream_query(
+        self,
+        spec: CuboidSpec,
+        chunk_size: int = 256,
+        seed: int = 0,
+        timeout: object = _UNSET,
+        cancel: Optional[CancelToken] = None,
+        session_id: Optional[str] = None,
+    ) -> Iterator[OnlineEstimate]:
+        """Progressively answer one query, yielding an
+        :class:`~repro.extensions.online_agg.OnlineEstimate` per chunk.
+
+        Runs under the same admission control and deadline regime as
+        :meth:`execute`; the final estimate (``is_final``) is the exact
+        cuboid, bit-identical to the CB result.  The whole stream holds
+        one execution slot; closing the generator early (e.g. the HTTP
+        client disconnected) releases it and is accounted as a cancel.
+        Streamed results bypass the cuboid repository: partial cuboids
+        are never cached.
+        """
+        if self._closed:
+            raise ServiceError("service is shut down")
+        self.metrics.inc("requests_total")
+        self.metrics.inc("streams_total")
+        query_id = f"q{next(self._query_ids):06d}"
+        budget = (
+            self.config.default_timeout_seconds
+            if timeout is _UNSET
+            else timeout
+        )
+        with self._admission_lock:
+            if self._inflight >= self.config.admission_limit:
+                self.metrics.inc("overload_rejected_total")
+                self.log.query_rejected(
+                    query_id, self._inflight, self.config.admission_limit
+                )
+                raise ServiceOverloadedError(
+                    inflight=self._inflight,
+                    limit=self.config.admission_limit,
+                )
+            self._inflight += 1
+        try:
+            deadline = Deadline.after(budget)  # type: ignore[arg-type]
+            queued_at = time.monotonic()
+            acquired = self._slots.acquire(
+                timeout=(
+                    deadline.remaining() if deadline is not None else None
+                )
+            )
+            waited = time.monotonic() - queued_at
+            self.metrics.observe_queue_wait(waited)
+            if not acquired:
+                self.metrics.inc("deadline_exceeded_total")
+                self.log.query_timed_out(
+                    query_id,
+                    deadline.budget_seconds,  # type: ignore[union-attr]
+                    deadline.elapsed(),  # type: ignore[union-attr]
+                    session_id,
+                )
+                raise QueryTimeoutError(
+                    "query deadline exceeded while queued",
+                    budget_seconds=deadline.budget_seconds,  # type: ignore[union-attr]
+                    elapsed_seconds=deadline.elapsed(),  # type: ignore[union-attr]
+                )
+            self.log.query_admitted(query_id, waited, session_id)
+            guard = CancelScope.wrap(deadline, cancel)
+            try:
+                yield from self._stream(
+                    spec, chunk_size, seed, guard, query_id, session_id
+                )
+            finally:
+                self._slots.release()
+        finally:
+            with self._admission_lock:
+                self._inflight -= 1
+
+    def _stream(
+        self,
+        spec: CuboidSpec,
+        chunk_size: int,
+        seed: int,
+        guard: "Optional[Deadline | CancelScope]",
+        query_id: str,
+        session_id: Optional[str],
+    ) -> Iterator[OnlineEstimate]:
+        start = time.perf_counter()
+        self.log.stream_started(query_id, chunk_size, session_id)
+        stats = QueryStats(deadline=guard)
+        estimates = 0
+        last: Optional[OnlineEstimate] = None
+        try:
+            spec.validate(self.engine.db.schema)
+            # Group construction reuses the engine's sequence cache, so
+            # it runs under the engine lock like every cache-touching
+            # path; the chunked scan itself owns only its execution slot.
+            with self._engine_lock:
+                if guard is not None:
+                    guard.check()
+                groups = self.engine.sequence_groups(spec, stats)
+            for estimate in online_cuboid(
+                self.engine.db,
+                groups,
+                spec,
+                chunk_size=chunk_size,
+                seed=seed,
+                stats=stats,
+                cancel=guard,
+            ):
+                estimates += 1
+                last = estimate
+                self.metrics.inc("stream_chunks_total")
+                yield estimate
+        except GeneratorExit:
+            # The consumer abandoned the stream (client disconnect):
+            # account it as a cancel and let the generator unwind.
+            self.metrics.inc("cancelled_total")
+            self.log.query_cancelled(query_id, session_id)
+            raise
+        except QueryCancelledError:
+            self.metrics.inc("cancelled_total")
+            self.log.query_cancelled(query_id, session_id)
+            raise
+        except QueryTimeoutError as error:
+            self.metrics.inc("deadline_exceeded_total")
+            self.log.query_timed_out(
+                query_id,
+                getattr(error, "budget_seconds", None),
+                time.perf_counter() - start,
+                session_id,
+            )
+            raise
+        except SOLAPError as error:
+            self.metrics.inc("queries_failed")
+            self.log.query_failed(query_id, error, session_id)
+            raise
+        wall = time.perf_counter() - start
+        self.metrics.observe_latency(wall)
+        self.metrics.inc("queries_ok")
+        self.log.stream_finished(
+            query_id,
+            estimates,
+            last.processed if last is not None else 0,
+            wall,
+            session_id,
+        )
+
+    def session_stream(
+        self,
+        session_id: str,
+        chunk_size: int = 256,
+        seed: int = 0,
+        timeout: object = _UNSET,
+        cancel: Optional[CancelToken] = None,
+    ) -> Iterator[OnlineEstimate]:
+        """Stream the session's current spec; cache the final cuboid.
+
+        The exact final cuboid is recorded into the session exactly as a
+        blocking :meth:`session_run` would, so later session operations
+        (APPEND, P-ROLL-UP, ...) continue from the streamed result.
+        """
+        entry = self.sessions.get(session_id)
+        spec = entry.spec
+        final: Optional[OnlineEstimate] = None
+        for estimate in self.stream_query(
+            spec,
+            chunk_size=chunk_size,
+            seed=seed,
+            timeout=timeout,
+            cancel=cancel,
+            session_id=session_id,
+        ):
+            yield estimate
+            final = estimate
+        if final is not None and final.is_final:
+            stats = QueryStats()
+            stats.strategy = "online"
+            stats.sequences_scanned = final.processed
+            self.sessions.record(session_id, spec, final.partial, stats)
 
     # ------------------------------------------------------------------
     # Sessions

@@ -177,7 +177,13 @@ class SessionManager:
     # ------------------------------------------------------------------
     @property
     def bytes_used(self) -> int:
-        return sum(entry.bytes_estimate for entry in self._entries.values())
+        # Iterating the entry map while another thread opens/closes a
+        # session would raise "dict mutated during iteration" (and the
+        # lock is an RLock, so calls from _evict_over_budget re-enter).
+        with self._lock:
+            return sum(
+                entry.bytes_estimate for entry in self._entries.values()
+            )
 
     def pipelines(self) -> Tuple[object, ...]:
         """Pipeline keys referenced by at least one live session."""
@@ -185,10 +191,12 @@ class SessionManager:
             return tuple(self._pipeline_refs)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, session_id: str) -> bool:
-        return session_id in self._entries
+        with self._lock:
+            return session_id in self._entries
 
     def __repr__(self) -> str:
         return (

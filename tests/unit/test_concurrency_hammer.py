@@ -14,7 +14,9 @@ import threading
 
 from repro.core.cuboid import SCuboid
 from repro.core.repository import CuboidRepository, estimate_cuboid_bytes
+from repro.core.stats import QueryStats
 from repro.events.cache import SequenceCache
+from repro.service.sessions import SessionManager
 from tests.conftest import figure8_spec
 
 THREADS = 8
@@ -101,6 +103,64 @@ def test_cuboid_repository_counters_and_bytes_exact_under_contention():
     assert len(repo) <= repo.capacity
     # byte accounting must agree with the entries actually retained
     assert repo.bytes_used == len(repo) * estimate_cuboid_bytes(cuboid)
+
+
+def test_session_manager_reads_safe_under_open_close_contention():
+    """Regression: ``__len__``/``__contains__``/``bytes_used`` raced
+    concurrent ``open``/``close``/eviction because they read ``_entries``
+    without the lock — ``bytes_used`` iterates the entry map, so a
+    concurrent open/close raised "dictionary changed size during
+    iteration" and readers could observe torn state."""
+    manager = SessionManager(capacity=4096, byte_budget=1 << 30)
+    spec = figure8_spec(("X", "Y"))
+    cuboid = SCuboid(spec, {})
+    stop = threading.Event()
+    barrier = threading.Barrier(THREADS)
+    errors = []
+
+    def mutator(tid):
+        barrier.wait()
+        try:
+            for i in range(OPS_PER_THREAD):
+                session_id = manager.open(spec)
+                manager.record(session_id, spec, cuboid, QueryStats())
+                if i % 2:
+                    manager.close(session_id)
+        except Exception as error:  # noqa: BLE001 - reported below
+            errors.append(error)
+
+    def reader(tid):
+        barrier.wait()
+        probes = 0
+        try:
+            while not stop.is_set() or probes == 0:
+                probes += 1
+                assert manager.bytes_used >= 0
+                assert len(manager) >= 0
+                assert ("nope-%d" % tid) not in manager
+        except Exception as error:  # noqa: BLE001 - reported below
+            errors.append(error)
+
+    mutators = [
+        threading.Thread(target=mutator, args=(tid,))
+        for tid in range(THREADS // 2)
+    ]
+    readers = [
+        threading.Thread(target=reader, args=(tid,))
+        for tid in range(THREADS // 2)
+    ]
+    for thread in mutators + readers:
+        thread.start()
+    for thread in mutators:
+        thread.join()
+    stop.set()
+    for thread in readers:
+        thread.join()
+
+    assert not errors, errors
+    # the ledger is consistent once quiescent: live entries only
+    assert len(manager) <= manager.capacity
+    assert manager.bytes_used >= 0
 
 
 def test_cuboid_repository_eviction_accounting_under_contention():

@@ -12,6 +12,7 @@ from repro.datagen.transit import build_schema as transit_schema
 from repro.datagen.transit import generate_database as generate_transit
 from repro.errors import EngineError
 from repro.events.database import EventDatabase
+from repro.events.sequence import SequenceGroupSet
 from repro.extensions import (
     PartitionedIndexMaintainer,
     iceberg_counter_based,
@@ -122,6 +123,58 @@ class TestOnlineAggregation:
         a = list(online_cuboid(db, groups, spec, chunk_size=60, seed=1))
         b = list(online_cuboid(db, groups, spec, chunk_size=60, seed=2))
         assert a[-1].partial.to_dict() == b[-1].partial.to_dict()
+
+    def test_empty_selection_yields_one_final_estimate(self, synthetic):
+        db, groups, spec = synthetic
+        empty = SequenceGroupSet(groups.global_dims, {})
+        estimates = list(online_cuboid(db, empty, spec, chunk_size=10))
+        assert len(estimates) == 1
+        only = estimates[0]
+        assert only.is_final
+        assert only.total == 0
+        assert only.processed == 0
+        assert only.fraction == 1.0
+        assert len(only.partial) == 0
+        # Scale-up on an empty selection must not divide by zero.
+        assert only.estimated_count(("anything",)) == 0.0
+
+    def test_chunk_larger_than_workload_is_single_final_chunk(
+        self, synthetic
+    ):
+        db, groups, spec = synthetic
+        total = groups.total_sequences()
+        estimates = list(
+            online_cuboid(db, groups, spec, chunk_size=total + 1000)
+        )
+        assert len(estimates) == 1
+        assert estimates[0].is_final
+        assert estimates[0].processed == total == estimates[0].total
+        exact, __ = SOLAPEngine(db).execute(spec, "cb")
+        assert estimates[0].partial.to_dict() == exact.to_dict()
+
+    def test_same_seed_is_deterministic_across_runs(self, synthetic):
+        db, groups, spec = synthetic
+        a = list(online_cuboid(db, groups, spec, chunk_size=35, seed=7))
+        b = list(online_cuboid(db, groups, spec, chunk_size=35, seed=7))
+        assert len(a) == len(b)
+        for left, right in zip(a, b):
+            # Identical shuffle order means every intermediate estimate
+            # (not just the final one) is reproduced exactly.
+            assert left.processed == right.processed
+            assert left.partial.to_dict() == right.partial.to_dict()
+
+    def test_cancel_guard_checked_at_chunk_boundaries(self, synthetic):
+        from repro.errors import QueryCancelledError
+        from repro.service.deadline import CancelToken
+
+        db, groups, spec = synthetic
+        token = CancelToken()
+        stream = online_cuboid(db, groups, spec, chunk_size=30, cancel=token)
+        first = next(stream)
+        assert not first.is_final
+        token.cancel()
+        with pytest.raises(QueryCancelledError):
+            next(stream)
 
 
 class TestIncremental:

@@ -107,6 +107,103 @@ class TestMetricsServer:
         server.stop()
 
 
+class FakeWfile:
+    """A response stream whose peer has hung up: every write raises."""
+
+    def __init__(self, error=BrokenPipeError):
+        self.error = error
+        self.writes = 0
+
+    def write(self, data):
+        self.writes += 1
+        raise self.error("client went away")
+
+    def flush(self):
+        pass
+
+
+class FakeDisconnectedRequest:
+    """Stub request whose socket dies once the body write starts.
+
+    ``send_response``/``send_header``/``end_headers`` buffer like the real
+    handler; the body write (``wfile.write``) raises, like a client that
+    closed early.  After the first failure, even header writes fail —
+    exactly the behaviour of a real dead socket, which is what made the
+    old blanket-``except``-then-500 path re-raise.
+    """
+
+    def __init__(self, path="/metrics"):
+        self.path = path
+        self.wfile = FakeWfile()
+        self.statuses = []
+
+    def send_response(self, status):
+        if self.wfile.writes:
+            raise BrokenPipeError("client went away")
+        self.statuses.append(status)
+
+    def send_header(self, *args):
+        if self.wfile.writes:
+            raise BrokenPipeError("client went away")
+
+    def end_headers(self):
+        pass
+
+
+class TestClientDisconnects:
+    """Regression: a client hanging up mid-write must not crash handlers.
+
+    Pre-fix, ``wfile.write`` raised ``BrokenPipeError``, the blanket
+    ``except`` in ``_handle`` tried to write a 500 to the same dead
+    socket, and the second raise escaped — killing the handler thread
+    with a traceback on stderr.
+    """
+
+    def test_handle_swallows_broken_pipe(self):
+        registry = MetricsRegistry()
+        registry.counter("demo_total", "demo").inc()
+        server = MetricsServer(registry)
+        request = FakeDisconnectedRequest("/metrics")
+        server._handle(request)  # must not raise
+        # the handler tried exactly one response (200), never a 500 retry
+        assert request.statuses == [200]
+
+    def test_handle_swallows_connection_reset(self):
+        server = MetricsServer(MetricsRegistry())
+        request = FakeDisconnectedRequest("/healthz")
+        request.wfile = FakeWfile(ConnectionResetError)
+        server._handle(request)  # must not raise
+        assert request.statuses == [200]
+
+    def test_respond_swallows_disconnect_during_headers(self):
+        request = FakeDisconnectedRequest("/metrics")
+        request.send_response = FakeWfile(ConnectionResetError).write
+        MetricsServer._respond(
+            request, 200, "application/json", b"{}"
+        )  # must not raise
+
+    def test_server_survives_early_socket_close(self, server):
+        # A real socket that sends the request then resets immediately;
+        # the server must stay healthy for the next client either way.
+        import socket
+        import struct
+
+        for __ in range(3):
+            sock = socket.create_connection(
+                ("127.0.0.1", server.port), timeout=5
+            )
+            sock.setsockopt(
+                socket.SOL_SOCKET,
+                socket.SO_LINGER,
+                struct.pack("ii", 1, 0),  # RST on close
+            )
+            sock.sendall(b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+            sock.close()
+        status, __, body = fetch(server.url + "/metrics")
+        assert status == 200
+        assert "demo_total" in body
+
+
 class TestServiceExporter:
     def test_service_serves_metrics_while_querying(self):
         config = ServiceConfig(expose_metrics_port=0)
@@ -209,6 +306,20 @@ class TestDebugTraces:
             status, __, body = fetch(srv.url + "/debug/traces?limit=nope")
             assert status == 400
             assert "bad limit" in json.loads(body)["error"]
+
+    def test_traces_zero_and_negative_limits_are_400(self):
+        # limit<1 used to be silently clamped to 1; it must be rejected
+        # like any other malformed limit, never reinterpreted.
+        recorder = self.make_recorder_with_traces(3)
+        with MetricsServer(
+            MetricsRegistry(), port=0, recorder=recorder
+        ) as srv:
+            for bad in ("0", "-3"):
+                status, __, body = fetch(
+                    srv.url + f"/debug/traces?limit={bad}"
+                )
+                assert status == 400, bad
+                assert "must be >= 1" in json.loads(body)["error"]
 
     def test_unknown_trace_id_404(self):
         recorder = self.make_recorder_with_traces(1)
