@@ -1,0 +1,134 @@
+"""Semantic-cache replay — iterative exploration, semantic vs plain LRU.
+
+Replays the pinned-seed exploration session from
+:mod:`repro.bench.cache_replay` (12 queries: 2 cold views, 3 revisits,
+7 steps reachable from earlier answers via P-ROLL-UP / global roll-up /
+slice / dice) against two fresh engines:
+
+* **lru** — exact-cache-key repository only (the pre-semantic-cache
+  behaviour): every non-verbatim step recomputes from scratch.
+* **semantic** — the :class:`~repro.optimizer.semantic_cache.DerivationPlanner`
+  consulted on exact-key misses, benefit-weighted eviction.
+
+Shape claims (the ISSUE acceptance bar):
+
+* the semantic replay answers strictly more queries from cache
+  (hit-rate win) and has a lower per-query p50;
+* every derived answer is bit-identical to a cold, repository-free
+  recomputation of the same spec;
+* exact and derived answers report zero work-counter drift (no sequence
+  scans, no index builds).
+
+Run as a script for the comparison table, or with ``--check`` as the CI
+gate (exits non-zero on any bit-identity or drift violation)::
+
+    PYTHONPATH=src python benchmarks/bench_cache_replay.py --check
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.cache_replay import (
+    build_replay_db,
+    run_replay,
+    verify_bit_identity,
+)
+
+BENCH_D = 120  # sequences; small — this bench isolates cache behaviour
+
+
+@pytest.fixture(scope="module")
+def replay_db():
+    return build_replay_db(BENCH_D)
+
+
+def test_semantic_beats_lru_hit_rate(replay_db):
+    lru = run_replay(replay_db, semantic=False)
+    semantic = run_replay(replay_db, semantic=True)
+    assert semantic["hit_rate"] > lru["hit_rate"]
+    assert semantic["derived_hits"] >= 5
+    assert semantic["misses"] < lru["misses"]
+
+
+def test_semantic_answers_bit_identical(replay_db):
+    report = run_replay(replay_db, semantic=True)
+    assert verify_bit_identity(replay_db, report) == []
+
+
+def test_zero_work_counter_drift(replay_db):
+    for semantic in (False, True):
+        report = run_replay(replay_db, semantic=semantic)
+        assert report["work_drift"] == 0
+
+
+def test_semantic_scans_less(replay_db):
+    lru = run_replay(replay_db, semantic=False)
+    semantic = run_replay(replay_db, semantic=True)
+    assert semantic["sequences_scanned"] < lru["sequences_scanned"]
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sequences", type=int, default=BENCH_D, help="dataset size (D)"
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3, help="replay repetitions per mode"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="CI gate: exit non-zero unless every derived answer is "
+        "bit-identical to cold recomputation with zero counter drift "
+        "and the semantic replay beats plain LRU",
+    )
+    args = parser.parse_args(argv)
+
+    db = build_replay_db(args.sequences)
+    reports = {}
+    for mode, semantic in (("lru", False), ("semantic", True)):
+        runs = [run_replay(db, semantic) for __ in range(max(1, args.repeat))]
+        best = min(runs, key=lambda r: r["total_ms"])
+        reports[mode] = best
+        print(
+            f"{mode:9s} hit-rate={best['hit_rate']:.2f} "
+            f"(exact={best['exact_hits']}, derived={best['derived_hits']}, "
+            f"miss={best['misses']})  p50={best['p50_ms']:.2f}ms  "
+            f"total={best['total_ms']:.1f}ms  "
+            f"scans={best['sequences_scanned']}  drift={best['work_drift']}"
+        )
+    semantic = reports["semantic"]
+    print("\nsemantic replay steps:")
+    for step in semantic["steps"]:
+        print(
+            f"  {step['label']:22s} {step['answer']:30s} "
+            f"{step['wall_ms']:7.2f}ms scans={step['sequences_scanned']}"
+        )
+
+    mismatches = verify_bit_identity(db, semantic)
+    print(
+        f"\nbit-identity vs cold recomputation: "
+        f"{'OK' if not mismatches else 'FAILED ' + repr(mismatches)}"
+    )
+    if not args.check:
+        return 0
+    failures = []
+    if mismatches:
+        failures.append(f"derived answers differ from cold: {mismatches}")
+    for mode, report in reports.items():
+        if report["work_drift"]:
+            failures.append(f"{mode}: {report['work_drift']} hits reported scan work")
+    if semantic["hit_rate"] <= reports["lru"]["hit_rate"]:
+        failures.append("semantic hit-rate does not beat plain LRU")
+    if semantic["p50_ms"] >= reports["lru"]["p50_ms"]:
+        failures.append("semantic p50 does not beat plain LRU")
+    for failure in failures:
+        print(f"GATE FAILURE: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,7 +23,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-BENCH_SCHEMA = 5
+BENCH_SCHEMA = 6
 
 #: benchmarks faster than this in the baseline are skipped for the wall
 #: time gate — at sub-millisecond scale the signal is scheduler noise
@@ -94,7 +94,14 @@ def compare(
 
         base_counters = base.get("counters") or {}
         cand_counters = cand.get("counters") or {}
-        for counter in ("sequences_scanned", "index_bytes_built", "cells"):
+        for counter in (
+            "sequences_scanned",
+            "index_bytes_built",
+            "cells",
+            "exact_hits",
+            "derived_hits",
+            "work_drift",
+        ):
             if counter in base_counters and counter in cand_counters:
                 if base_counters[counter] != cand_counters[counter]:
                     drifts.append(name)

@@ -69,8 +69,9 @@ from repro.storage import StorageManager  # noqa: E402
 #: (2: added matcher_kernel_* / join_intersect_* micro-bench sections;
 #:  3: added storage_attach_* segment-store sections;
 #:  4: added shards_scatter_gather_n* sections;
-#:  5: added tracing_overhead_* sections)
-BENCH_SCHEMA = 5
+#:  5: added tracing_overhead_* sections;
+#:  6: added cache_replay_{lru,semantic} sections)
+BENCH_SCHEMA = 6
 
 
 class BenchCase:
@@ -436,6 +437,32 @@ def build_tracing_benches(datasets: Dict[str, object]) -> Dict[str, tuple]:
     }
 
 
+def build_cache_replay_benches() -> Dict[str, tuple]:
+    """Iterative-exploration replay: semantic cuboid cache vs plain LRU.
+
+    Replays the pinned-seed session from
+    :mod:`repro.bench.cache_replay` on a fresh engine per run, once with
+    the exact-key LRU repository only and once with the semantic cache
+    (derivations from cached cuboids) enabled.  The deterministic
+    counters pin the hit mix (``exact_hits`` / ``derived_hits``) and the
+    total scan work; ``work_drift`` must stay 0 — cache answers never
+    touch base data.  The wall-time comparison between the two sections
+    is the hit-rate/p50 story; the hard bit-identity gate lives in
+    ``benchmarks/bench_cache_replay.py --check``.
+    """
+    from repro.bench.cache_replay import build_replay_db, replay_counters
+
+    replay_db = build_replay_db(120)
+    return {
+        "cache_replay_lru": (
+            "cache_replay", lambda: replay_counters(replay_db, semantic=False),
+        ),
+        "cache_replay_semantic": (
+            "cache_replay", lambda: replay_counters(replay_db, semantic=True),
+        ),
+    }
+
+
 def crossover_summary(db, n_queries: int) -> dict:
     """Cumulative CB-vs-II runtimes along QuerySet A and the crossover step.
 
@@ -505,6 +532,9 @@ def run_all(quick: bool, repeats: int, crossover_queries: int) -> dict:
         print(f"  running {name} ...", flush=True)
         document["benchmarks"][name] = run_micro(fn, dataset, repeats)
     for name, (dataset, fn) in build_tracing_benches(datasets).items():
+        print(f"  running {name} ...", flush=True)
+        document["benchmarks"][name] = run_micro(fn, dataset, repeats)
+    for name, (dataset, fn) in build_cache_replay_benches().items():
         print(f"  running {name} ...", flush=True)
         document["benchmarks"][name] = run_micro(fn, dataset, repeats)
     with tempfile.TemporaryDirectory(prefix="solap-bench-store-") as tmp:

@@ -1,0 +1,163 @@
+"""Iterative-exploration replay: semantic cuboid cache vs plain-LRU.
+
+The paper's headline workload is iterative: a user issues a query, then
+navigates via P-ROLL-UP / global roll-ups / slices / APPEND / DE-TAIL,
+revisiting earlier views along the way.  This driver replays one such
+pinned-seed session twice — once against a plain exact-key LRU
+repository and once with the semantic cache enabled — and reports hit
+rate, per-query latency and total scan work for each.
+
+Every query in the session is a *pure function of the dataset seed*
+(slice values come from the first event, not from timing or randomness),
+so the replay is deterministic and its counters are drift-gateable in
+CI.  ``verify_bit_identity`` recomputes every answer on a cold,
+repository-free engine and compares cells exactly — the acceptance bar
+for any semantic derivation.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import replace
+from typing import Dict, List, Tuple
+
+from repro.core import operations as ops
+from repro.core.engine import SOLAPEngine
+from repro.core.spec import CellRestriction, CuboidSpec
+from repro.datagen.synthetic import (
+    SyntheticConfig,
+    base_spec,
+    generate_event_database,
+)
+from repro.events.database import EventDatabase
+
+#: pinned generator seed — the whole session derives from it
+REPLAY_SEED = 42
+
+
+def build_replay_db(n_sequences: int = 300) -> EventDatabase:
+    config = SyntheticConfig(I=100, L=20, theta=0.9, D=n_sequences, seed=REPLAY_SEED)
+    return generate_event_database(config)
+
+
+def build_replay_session(db: EventDatabase) -> List[Tuple[str, CuboidSpec]]:
+    """The exploration session: 12 queries, deterministic given the db.
+
+    Mix: 2 cold misses (the base view and an APPEND extension), 3 exact
+    repeats (revisits), and 7 steps that are semantically derivable from
+    earlier answers (pattern/global roll-ups, slices, a dice).
+    """
+    schema = db.schema
+    hierarchy = schema.hierarchy("symbol")
+    symbols = db.column("symbol")
+    first_symbol = symbols[0]
+    first_group = hierarchy.map_value(first_symbol, "group")
+    second_group = hierarchy.map_value(symbols[1], "group")
+
+    base = replace(
+        base_spec(("X", "Y")),
+        group_by=(("symbol", "group"),),
+        restriction=CellRestriction.ALL_MATCHED,
+    )
+    rolled_x = ops.p_roll_up(base, "X", schema)
+    rolled_xy = ops.p_roll_up(rolled_x, "Y", schema)
+    global_up = ops.roll_up_global(base, "symbol", schema)
+    sliced = ops.slice_global(base, "symbol", first_group)
+    extended = ops.append(base, "Z", "symbol", "symbol")
+    sliced_rolled = ops.p_roll_up(sliced, "X", schema)
+    diced = ops.dice_global(base, "symbol", (first_group, second_group))
+    pattern_sliced = ops.slice_pattern(base, "X", first_symbol)
+
+    return [
+        ("base L2 view", base),  # cold
+        ("P-ROLL-UP X", rolled_x),  # derivable
+        ("P-ROLL-UP X,Y", rolled_xy),  # derivable (from the previous step)
+        ("revisit base", base),  # exact repeat
+        ("ROLL-UP group dim", global_up),  # derivable
+        ("SLICE group dim", sliced),  # derivable
+        ("APPEND Z", extended),  # cold — never derivable
+        ("DE-TAIL back", ops.de_tail(extended)),  # == base: exact repeat
+        ("SLICE + P-ROLL-UP X", sliced_rolled),  # derivable (2 hops from base)
+        ("revisit P-ROLL-UP X", rolled_x),  # exact repeat
+        ("DICE group dim", diced),  # derivable
+        ("pattern SLICE X", pattern_sliced),  # derivable
+    ]
+
+
+def run_replay(db: EventDatabase, semantic: bool) -> Dict:
+    """Run the session once on a fresh engine; returns the step log + summary."""
+    engine = SOLAPEngine(
+        db,
+        semantic_cache=semantic,
+        repository_policy="benefit" if semantic else "lru",
+    )
+    steps: List[Dict] = []
+    for label, spec in build_replay_session(db):
+        t0 = time.perf_counter()
+        cuboid, stats = engine.execute(spec)
+        wall_ms = (time.perf_counter() - t0) * 1000.0
+        answer = stats.extra.get("cache_answer", "miss")
+        steps.append(
+            {
+                "label": label,
+                "spec": spec,
+                "cuboid": cuboid,
+                "answer": answer,
+                "strategy": stats.strategy,
+                "wall_ms": wall_ms,
+                "sequences_scanned": stats.sequences_scanned,
+                "index_bytes_built": stats.index_bytes_built,
+                "cells": len(cuboid),
+            }
+        )
+    kinds = [step["answer"].split(":", 1)[0] for step in steps]
+    hits = sum(1 for kind in kinds if kind in ("exact", "derived"))
+    # Work-counter drift: exact/derived answers must report zero scan and
+    # zero index-build work — they never touch base data.
+    drift = sum(
+        1
+        for step, kind in zip(steps, kinds)
+        if kind in ("exact", "derived")
+        and (step["sequences_scanned"] or step["index_bytes_built"])
+    )
+    return {
+        "mode": "semantic" if semantic else "lru",
+        "steps": steps,
+        "queries": len(steps),
+        "exact_hits": sum(1 for kind in kinds if kind == "exact"),
+        "derived_hits": sum(1 for kind in kinds if kind == "derived"),
+        "misses": sum(1 for kind in kinds if kind == "miss"),
+        "hit_rate": hits / len(steps),
+        "p50_ms": statistics.median(step["wall_ms"] for step in steps),
+        "total_ms": sum(step["wall_ms"] for step in steps),
+        "sequences_scanned": sum(step["sequences_scanned"] for step in steps),
+        "cells": sum(step["cells"] for step in steps),
+        "work_drift": drift,
+        "semantic_hits": dict(engine.semantic_hits),
+        "semantic_rejects": dict(engine.semantic_rejects),
+    }
+
+
+def verify_bit_identity(db: EventDatabase, report: Dict) -> List[str]:
+    """Recompute every answered step cold; return labels that mismatch."""
+    mismatches = []
+    for step in report["steps"]:
+        cold_engine = SOLAPEngine(db, use_repository=False)
+        cold, __ = cold_engine.execute(step["spec"])
+        if cold.to_dict() != step["cuboid"].to_dict():
+            mismatches.append(step["label"])
+    return mismatches
+
+
+def replay_counters(db: EventDatabase, semantic: bool) -> Dict[str, int]:
+    """Drift-gateable integer counters for the bench harness."""
+    report = run_replay(db, semantic)
+    return {
+        "queries": report["queries"],
+        "exact_hits": report["exact_hits"],
+        "derived_hits": report["derived_hits"],
+        "sequences_scanned": report["sequences_scanned"],
+        "cells": report["cells"],
+        "work_drift": report["work_drift"],
+    }

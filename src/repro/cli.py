@@ -174,12 +174,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     advise = sub.add_parser(
-        "advise", help="recommend indices to materialise for a workload"
+        "advise",
+        help="recommend indices and cuboid materializations for a workload",
     )
     advise.add_argument("dataset", help="dataset directory")
-    advise.add_argument("queryfiles", nargs="+", help="workload query files")
+    advise.add_argument("queryfiles", nargs="*", help="workload query files")
     advise.add_argument(
         "--budget-mb", type=float, default=64.0, help="index byte budget"
+    )
+    advise.add_argument(
+        "--log",
+        default=None,
+        metavar="FILE",
+        help="mine a JSON-lines query log (obs.logging stream) into "
+        "per-spec stats and advise cuboid materializations by "
+        "benefit-per-byte under the budget",
     )
 
     stats = sub.add_parser(
@@ -457,6 +466,8 @@ def _print_cache_stats(engine: SOLAPEngine) -> None:
     """The engine's cache counters (shared by ``info`` and ``query``)."""
     stats = engine.cache_stats()
     seq = stats["sequence_cache"]
+    repo = stats["repository"]
+    sem = stats["semantic_cache"]
     registry = stats["index_registry"]
     print("caches:")
     print(
@@ -464,6 +475,21 @@ def _print_cache_stats(engine: SOLAPEngine) -> None:
         f"hits={seq['hits']}, misses={seq['misses']}, "
         f"hit-ratio={seq['hit_ratio']:.2f}"
     )
+    print(
+        f"  cuboid repository: {repo['entries']}/{repo['capacity']} cuboids, "
+        f"{repo['bytes'] / 1e6:.3f} MB, hits={repo['hits']}, "
+        f"misses={repo['misses']}, policy={repo['policy']}"
+    )
+    if sem["enabled"]:
+        derived = ", ".join(
+            f"{op}={n}" for op, n in sorted(sem["derivations"].items())
+        )
+        print(
+            f"  semantic cache: hits={sem['hits_total']}, "
+            f"derivations={sem['derivations_total']}"
+            + (f" ({derived})" if derived else "")
+            + f", rejects={sem['rejects_total']}"
+        )
     print(
         f"  index registries: {registry['indices']} indices over "
         f"{registry['pipelines']} pipeline(s), "
@@ -535,13 +561,42 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 def _cmd_advise(args: argparse.Namespace) -> int:
     db = _load_db(args.dataset)
+    budget = int(args.budget_mb * 1024 * 1024)
+    if not args.queryfiles and not args.log:
+        print("advise: provide workload query files and/or --log FILE")
+        return 2
     workload = [
         parse_query(Path(path).read_text(), db.schema)
         for path in args.queryfiles
     ]
+    if args.log:
+        from repro.optimizer.advisor import advise_cuboid_materializations
+        from repro.optimizer.workload import mine_workload, replay_specs
+
+        mined = mine_workload(args.log)
+        print(
+            f"query log: {mined.queries} queries over "
+            f"{len(mined.by_spec)} distinct spec(s) "
+            f"({mined.skipped_events} non-query events, "
+            f"{mined.skipped_lines} unparseable lines skipped)"
+        )
+        cuboid_recs = advise_cuboid_materializations(
+            mined, byte_budget=budget, schema=db.schema
+        )
+        if cuboid_recs:
+            print(f"{len(cuboid_recs)} advised cuboid materialization(s):")
+            for rec in cuboid_recs:
+                print(f"  {rec}")
+        else:
+            print("no cuboid materializations advised within the budget")
+        # Replayable specs join the index workload below so the index
+        # advisor sees logged traffic too.
+        workload.extend(spec for __, spec in replay_specs(args.log, db.schema))
+    if not workload:
+        return 0
     engine = SOLAPEngine(db)
     recommendations = advise_for_workload(
-        engine, workload, byte_budget=int(args.budget_mb * 1024 * 1024)
+        engine, workload, byte_budget=budget
     )
     if not recommendations:
         print("no indices recommended within the budget")

@@ -135,10 +135,21 @@ class SOLAPEngine:
         sequence_cache_size: int = 16,
         repository_size: int = 64,
         use_repository: bool = True,
+        repository_policy: str = "benefit",
+        semantic_cache: bool = True,
     ):
         self.db = db
         self.sequence_cache = SequenceCache(sequence_cache_size)
-        self.repository = CuboidRepository(repository_size)
+        self.repository = CuboidRepository(repository_size, policy=repository_policy)
+        #: consult the semantic cache (derive answers from cached cuboids)
+        #: on exact-key misses; requires use_repository
+        self.semantic_cache = semantic_cache
+        #: per-op semantic-cache telemetry, exported as the
+        #: solap_cuboid_semantic_{hits,derivations,rejects}_total families
+        self.semantic_hits: dict = {}
+        self.semantic_derivations: dict = {}
+        self.semantic_rejects: dict = {}
+        self._planner = None
         #: one IndexRegistry per pipeline key — indices built over one
         #: sequence formation must never serve another (different WHERE /
         #: CLUSTER BY produce different sequences under the same group key)
@@ -268,9 +279,16 @@ class SOLAPEngine:
             if cached is not None:
                 stats.strategy = "cache"
                 stats.cuboid_cache_hit = True
+                stats.extra["cache_answer"] = "exact"
                 stats.runtime_seconds = time.perf_counter() - start
                 self._count_query(stats, cached)
                 return cached, stats
+            derived = self._try_derive(spec, cache_key, stats)
+            if derived is not None:
+                stats.runtime_seconds = time.perf_counter() - start
+                self._count_query(stats, derived)
+                return derived, stats
+        stats.extra["cache_answer"] = "miss"
 
         groups = self.sequence_groups(spec, stats)
         stats.checkpoint()  # sequence formation can itself be slow
@@ -326,17 +344,81 @@ class SOLAPEngine:
             agg_span.set("cells_out", len(cuboid))
 
         if self.use_repository:
-            self.repository.put(cache_key, cuboid)
+            self.repository.put(
+                cache_key, cuboid, cost_seconds=time.perf_counter() - start
+            )
         stats.runtime_seconds = time.perf_counter() - start
         self._count_query(stats, cuboid)
         return cuboid, stats
+
+    # ------------------------------------------------------------------
+    # Semantic cache (derive from cached cuboids on exact-key miss)
+    # ------------------------------------------------------------------
+    def _derivation_planner(self):
+        if self._planner is None:
+            from repro.optimizer.semantic_cache import DerivationPlanner
+
+            self._planner = DerivationPlanner(self.db.schema)
+        return self._planner
+
+    def _try_derive(
+        self, spec: CuboidSpec, cache_key, stats: QueryStats
+    ) -> Optional[SCuboid]:
+        """Answer *spec* by transforming a cached cuboid, if soundly possible.
+
+        On success the derived cuboid is stored back under the query's own
+        cache key (a later verbatim repeat is then an exact hit) and the
+        query is accounted under the ``derived`` strategy with zero scan /
+        aggregation work — derivation only touches cached cells.
+        """
+        if not self.semantic_cache or not len(self.repository):
+            return None
+        with span("cuboid.derive") as derive_span:
+            result = self._derivation_planner().plan(spec, self.repository)
+            for op, n in result.rejects.items():
+                self.semantic_rejects[op] = self.semantic_rejects.get(op, 0) + n
+            plan = result.plan
+            if plan is None:
+                derive_span.set("outcome", "miss")
+                return None
+            source = self.repository.get(plan.source_key)
+            if source is None:  # pragma: no cover — concurrent eviction race
+                derive_span.set("outcome", "miss")
+                return None
+            try:
+                from repro.optimizer.semantic_cache import execute_chain
+
+                derived = execute_chain(source, plan.chain, spec, self.db.schema)
+            except Exception:
+                self.semantic_rejects["error"] = (
+                    self.semantic_rejects.get("error", 0) + 1
+                )
+                derive_span.set("outcome", "error")
+                return None
+            chain_ops = [step.op for step in plan.chain]
+            for op in dict.fromkeys(chain_ops):
+                self.semantic_hits[op] = self.semantic_hits.get(op, 0) + 1
+            for op in chain_ops:
+                self.semantic_derivations[op] = (
+                    self.semantic_derivations.get(op, 0) + 1
+                )
+            stats.strategy = "derived"
+            stats.extra["cache_answer"] = "derived:" + plan.op_chain
+            stats.extra["derivation_chain"] = plan.describe()
+            derive_span.set("outcome", "derived")
+            derive_span.set("chain", plan.op_chain)
+            derive_span.set("cells_out", len(derived))
+            self.repository.put(
+                cache_key, derived, cost_seconds=plan.derive_cost_seconds
+            )
+            return derived
 
     def _count_query(self, stats: QueryStats, cuboid: SCuboid) -> None:
         """Fold one finished query into the engine's cumulative telemetry."""
         label = (stats.strategy or "?").lower()
         self.strategy_counts[label] = self.strategy_counts.get(label, 0) + 1
         self.sequences_scanned_total += stats.sequences_scanned
-        if not stats.cuboid_cache_hit:
+        if not stats.cuboid_cache_hit and label != "derived":
             self.rows_aggregated_total += len(cuboid)
 
     def _choose_strategy(self, spec: CuboidSpec, groups: SequenceGroupSet) -> str:
@@ -441,6 +523,16 @@ class SOLAPEngine:
                 "hits": self.repository.hits,
                 "misses": self.repository.misses,
                 "evictions": self.repository.evictions,
+                "policy": self.repository.policy,
+            },
+            "semantic_cache": {
+                "enabled": self.semantic_cache and self.use_repository,
+                "hits": dict(self.semantic_hits),
+                "derivations": dict(self.semantic_derivations),
+                "rejects": dict(self.semantic_rejects),
+                "hits_total": sum(self.semantic_hits.values()),
+                "derivations_total": sum(self.semantic_derivations.values()),
+                "rejects_total": sum(self.semantic_rejects.values()),
             },
             "index_registry": {
                 "indices": len(self.registry),

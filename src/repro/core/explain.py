@@ -88,6 +88,17 @@ def explain(engine: SOLAPEngine, spec: CuboidSpec) -> QueryPlan:
         plan.add("cuboid repository: HIT — returned without computation", 1)
         return plan
     plan.add("cuboid repository: miss", 1)
+    if engine.use_repository and getattr(engine, "semantic_cache", False):
+        try:
+            result = engine._derivation_planner().plan(spec, engine.repository)
+        except Exception:  # pragma: no cover — explain must never fail a query
+            result = None
+        if result is not None and result.plan is not None:
+            plan.add(
+                "semantically derivable from cached cuboid via "
+                + " → ".join(result.plan.describe()),
+                2,
+            )
 
     # -- pipeline ----------------------------------------------------------
     cached = spec.pipeline_key() in engine.sequence_cache

@@ -1,44 +1,104 @@
-"""Cuboid repository (Figure 6): an LRU cache of computed S-cuboids.
+"""Cuboid repository (Figure 6): a bounded store of computed S-cuboids.
 
 The paper notes that with limited storage the repository "could be
 implemented as a cache with an appropriate replacement policy such as LRU";
 this is that implementation, with both an entry-count bound and an
 approximate byte budget.  A hit lets DE-TAIL / DE-HEAD (and any repeated
 query) return instantly — Section 4.2.2's ``Qc`` example.
+
+Two replacement policies are available:
+
+* ``"lru"`` — classic least-recently-used (the paper's suggestion).
+* ``"benefit"`` — benefit-weighted: the victim is the entry with the
+  lowest ``cost_seconds * (1 + hits) / bytes``, i.e. the cuboid that is
+  cheapest to recompute per byte it occupies, given how often it has
+  actually been reused.  Ties fall back to LRU order.
+
+Entries remember the byte estimate taken at insert time, so accounting
+stays exact even if a cached cuboid's cell dict is later mutated in
+place (the old estimate, not a re-estimate of the mutated object, is
+subtracted on overwrite and eviction).
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Hashable, Optional
+from typing import Hashable, List, Optional, Tuple
 
 from repro.core.cuboid import SCuboid
 
 
+def _value_bytes(value: object) -> int:
+    """Approximate payload bytes for one stored aggregate value.
+
+    Derived cuboids can carry structured payloads — notably AVGPAIR's
+    ``(sum, count)`` transport tuples — which the old flat per-aggregate
+    constant undercounted.
+    """
+    if isinstance(value, tuple):
+        return 56 + 16 * len(value)
+    if isinstance(value, str):
+        return 49 + len(value)
+    return 28
+
+
 def estimate_cuboid_bytes(cuboid: SCuboid) -> int:
-    """Rough footprint: key cells + one aggregate dict per non-empty cell."""
+    """Rough footprint: key cells plus the actual cell payloads."""
     dims = len(cuboid.spec.group_by) + cuboid.spec.template.n_dims
-    per_cell = 96 + 8 * dims + 48 * len(cuboid.spec.aggregates)
-    return per_cell * len(cuboid)
+    per_cell_base = 96 + 8 * dims
+    total = 0
+    for values in cuboid.cells.values():
+        total += per_cell_base
+        for value in values.values():
+            total += 48 + _value_bytes(value)
+    return total
+
+
+def estimate_cells_bytes(n_dims: int, n_aggregates: int, n_cells: int) -> int:
+    """Footprint estimate from counts alone (for log-mined workloads)."""
+    per_cell = 96 + 8 * n_dims + n_aggregates * (48 + 28)
+    return per_cell * n_cells
+
+
+class _Entry:
+    """Repository slot: the cuboid plus its replacement-policy metadata."""
+
+    __slots__ = ("cuboid", "bytes", "cost_seconds", "hits")
+
+    def __init__(self, cuboid: SCuboid, nbytes: int, cost_seconds: float):
+        self.cuboid = cuboid
+        self.bytes = nbytes
+        self.cost_seconds = cost_seconds
+        self.hits = 0
 
 
 class CuboidRepository:
-    """Bounded LRU store of S-cuboids keyed by spec cache keys.
+    """Bounded store of S-cuboids keyed by spec cache keys.
 
-    Thread-safe: service sessions share one repository, so the LRU
+    Thread-safe: service sessions share one repository, so the recency
     order, the byte accounting and the hit/miss/eviction counters are
     guarded by a single non-reentrant lock (``_evict`` is only ever
     called with the lock already held).
     """
 
-    def __init__(self, capacity: int = 64, byte_budget: int = 256 * 1024 * 1024):
+    POLICIES = ("lru", "benefit")
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        byte_budget: int = 256 * 1024 * 1024,
+        policy: str = "lru",
+    ):
         if capacity < 1:
             raise ValueError("repository capacity must be >= 1")
+        if policy not in self.POLICIES:
+            raise ValueError(f"unknown repository policy {policy!r}; use one of {self.POLICIES}")
         self.capacity = capacity
         self.byte_budget = byte_budget
+        self.policy = policy
         self._lock = threading.Lock()
-        self._entries: "OrderedDict[Hashable, SCuboid]" = OrderedDict()
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
         self._bytes = 0
         self.hits = 0
         self.misses = 0
@@ -46,21 +106,26 @@ class CuboidRepository:
 
     def get(self, key: Hashable) -> Optional[SCuboid]:
         with self._lock:
-            cuboid = self._entries.get(key)
-            if cuboid is None:
+            entry = self._entries.get(key)
+            if entry is None:
                 self.misses += 1
                 return None
             self._entries.move_to_end(key)
+            entry.hits += 1
             self.hits += 1
-            return cuboid
+            return entry.cuboid
 
-    def put(self, key: Hashable, cuboid: SCuboid) -> None:
+    def put(self, key: Hashable, cuboid: SCuboid, cost_seconds: float = 0.0) -> None:
+        nbytes = estimate_cuboid_bytes(cuboid)
         with self._lock:
-            if key in self._entries:
-                self._bytes -= estimate_cuboid_bytes(self._entries[key])
-            self._entries[key] = cuboid
-            self._entries.move_to_end(key)
-            self._bytes += estimate_cuboid_bytes(cuboid)
+            old = self._entries.pop(key, None)
+            if old is not None:
+                # Subtract the estimate recorded at insert time, NOT a fresh
+                # estimate of the (possibly mutated) old object — re-estimating
+                # here is how overwrites used to corrupt the byte ledger.
+                self._bytes -= old.bytes
+            self._entries[key] = _Entry(cuboid, nbytes, cost_seconds)
+            self._bytes += nbytes
             self._evict()
 
     def _evict(self) -> None:
@@ -68,16 +133,52 @@ class CuboidRepository:
         while self._entries and (
             len(self._entries) > self.capacity or self._bytes > self.byte_budget
         ):
-            __, evicted = self._entries.popitem(last=False)
-            self._bytes -= estimate_cuboid_bytes(evicted)
+            victim = self._pick_victim()
+            entry = self._entries.pop(victim)
+            self._bytes -= entry.bytes
             self.evictions += 1
+
+    def _pick_victim(self) -> Hashable:
+        # caller must hold self._lock; self._entries is non-empty
+        if self.policy == "lru":
+            return next(iter(self._entries))
+        # Benefit-weighted: evict the entry whose retained recompute cost
+        # per byte is smallest.  Strict ``<`` keeps ties in LRU order
+        # (OrderedDict iterates coldest-first).
+        best_key = None
+        best_score = None
+        for key, entry in self._entries.items():
+            score = (entry.cost_seconds * (1.0 + entry.hits)) / max(1, entry.bytes)
+            if best_score is None or score < best_score:
+                best_key = key
+                best_score = score
+        return best_key
+
+    def items(self) -> List[Tuple[Hashable, SCuboid, float]]:
+        """Snapshot of ``(key, cuboid, cost_seconds)`` without touching recency.
+
+        Used by the semantic-cache planner to scan derivation candidates.
+        """
+        with self._lock:
+            return [(k, e.cuboid, e.cost_seconds) for k, e in self._entries.items()]
+
+    def entry_stats(self, key: Hashable) -> Optional[dict]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            return {
+                "bytes": entry.bytes,
+                "cost_seconds": entry.cost_seconds,
+                "hits": entry.hits,
+            }
 
     def invalidate(self, key: Hashable) -> bool:
         with self._lock:
-            cuboid = self._entries.pop(key, None)
-            if cuboid is None:
+            entry = self._entries.pop(key, None)
+            if entry is None:
                 return False
-            self._bytes -= estimate_cuboid_bytes(cuboid)
+            self._bytes -= entry.bytes
             return True
 
     def clear(self) -> None:
@@ -98,6 +199,6 @@ class CuboidRepository:
     def __repr__(self) -> str:
         return (
             f"CuboidRepository({len(self._entries)}/{self.capacity} cuboids, "
-            f"{self._bytes / 1e6:.3f} MB, hits={self.hits}, "
+            f"{self._bytes / 1e6:.3f} MB, policy={self.policy}, hits={self.hits}, "
             f"misses={self.misses}, evictions={self.evictions})"
         )

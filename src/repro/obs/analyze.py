@@ -129,6 +129,16 @@ def explain_analyze(
     if stats.cuboid_cache_hit:
         plan.add("cuboid repository: HIT — returned without computation", 1)
         return plan
+    cache_answer = stats.extra.get("cache_answer", "")
+    if isinstance(cache_answer, str) and cache_answer.startswith("derived:"):
+        plan.add(
+            "cuboid repository: semantic HIT — derived via "
+            f"{cache_answer[len('derived:'):]} (no scan, no aggregation)",
+            1,
+        )
+        for step in stats.extra.get("derivation_chain", ()):
+            plan.add(f"derive: {step}", 2)
+        return plan
     plan.add("cuboid repository: miss", 1)
 
     # -- strategy: chosen vs cost-model prediction -----------------------

@@ -28,19 +28,29 @@ Every line round-trips through ``json.loads``::
 
     {"ts": "2026-08-06T12:00:00.123+00:00", "level": "INFO",
      "logger": "solap.query", "event": "query_finished",
-     "log_schema": 1, "query_id": "q000001", "strategy": "CB",
+     "log_schema": 2, "query_id": "q000001", "strategy": "CB",
      "wall_ms": 12.3, ...}
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import logging
 from datetime import datetime, timezone
 from typing import IO, Optional
 
+
+def spec_digest(spec) -> str:
+    """Stable short digest of a spec's cache key, for log correlation.
+
+    ``query_ql`` text is lossy (global slices are emitted as comments), so
+    the digest is the canonical join key for workload mining.
+    """
+    return hashlib.sha1(repr(spec.cache_key()).encode("utf-8")).hexdigest()[:12]
+
 #: bump when the shape of emitted documents changes incompatibly
-LOG_SCHEMA = 1
+LOG_SCHEMA = 2  # 2: query identity fields (query_ql, spec_digest, cache_answer, cells)
 
 #: parent logger every repro component logs under
 ROOT_LOGGER_NAME = "solap"
@@ -167,8 +177,17 @@ class QueryLogger:
         stats,
         wall_seconds: float,
         session_id: Optional[str] = None,
+        spec=None,
+        cells: Optional[int] = None,
     ) -> None:
-        """One record per answered query; a second one when it was slow."""
+        """One record per answered query; a second one when it was slow.
+
+        When *spec* is given the record carries the query's identity
+        (``query_ql`` text and a stable ``spec_digest``) plus the result
+        size, which is what the workload miner
+        (:mod:`repro.optimizer.workload`) keys its frequency/latency
+        statistics on.
+        """
         fields = {
             "query_id": query_id,
             "session_id": session_id,
@@ -182,7 +201,17 @@ class QueryLogger:
             "index_bytes_built": getattr(stats, "index_bytes_built", 0),
             "cuboid_cache_hit": getattr(stats, "cuboid_cache_hit", False),
             "sequence_cache_hit": getattr(stats, "sequence_cache_hit", False),
+            "cache_answer": getattr(stats, "extra", {}).get("cache_answer"),
+            "cells": cells,
         }
+        if spec is not None and self.logger.isEnabledFor(logging.INFO):
+            fields["spec_digest"] = spec_digest(spec)
+            try:
+                from repro.ql.formatter import format_spec
+
+                fields["query_ql"] = format_spec(spec)
+            except Exception:  # pragma: no cover — formatting must not kill logging
+                fields["query_ql"] = None
         self.event("query_finished", **fields)
         if getattr(stats, "cuboid_cache_hit", False):
             self.event(

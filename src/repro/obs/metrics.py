@@ -522,7 +522,7 @@ def register_engine_metrics(registry: MetricsRegistry, engine) -> None:
         "Queries answered by the engine, by construction strategy",
         labels=("strategy",),
     )
-    for strategy in ("cb", "ii", "cache"):
+    for strategy in ("cb", "ii", "cache", "derived"):
         queries.attach_callback(
             lambda s=strategy: engine.strategy_counts.get(s, 0), strategy
         )
@@ -530,6 +530,37 @@ def register_engine_metrics(registry: MetricsRegistry, engine) -> None:
         "solap_engine_sequences_scanned_total",
         "Total sequence accesses across all queries",
     ).attach_callback(lambda: engine.sequences_scanned_total)
+
+    from repro.optimizer.semantic_cache import REJECT_LABELS, SEMANTIC_OPS
+
+    semantic_hits = registry.counter(
+        "solap_cuboid_semantic_hits_total",
+        "Queries answered by deriving from a cached cuboid, by ops in the "
+        "derivation chain",
+        labels=("op",),
+    )
+    semantic_derivations = registry.counter(
+        "solap_cuboid_semantic_derivations_total",
+        "Derivation steps executed on cached cells, by op",
+        labels=("op",),
+    )
+    for op in SEMANTIC_OPS:
+        semantic_hits.attach_callback(
+            lambda o=op: engine.semantic_hits.get(o, 0), op
+        )
+        semantic_derivations.attach_callback(
+            lambda o=op: engine.semantic_derivations.get(o, 0), op
+        )
+    semantic_rejects = registry.counter(
+        "solap_cuboid_semantic_rejects_total",
+        "Cached cuboids found unusable for an incoming query, by the op "
+        "(or gate) separating them",
+        labels=("op",),
+    )
+    for op in REJECT_LABELS:
+        semantic_rejects.attach_callback(
+            lambda o=op: engine.semantic_rejects.get(o, 0), op
+        )
 
     from repro.core.matcher import matcher_dispatch_counts
 

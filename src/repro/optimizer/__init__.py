@@ -1,8 +1,10 @@
-"""Query optimisation: CB-vs-II cost model and offline index advisor."""
+"""Query optimisation: CB-vs-II cost model, index advisor, semantic cache."""
 
 from repro.optimizer.advisor import (
+    CuboidRecommendation,
     IndexAdvisor,
     Recommendation,
+    advise_cuboid_materializations,
     advise_for_workload,
 )
 from repro.optimizer.cost_model import (
@@ -11,13 +13,31 @@ from repro.optimizer.cost_model import (
     DataProfile,
     profile_groups,
 )
+from repro.optimizer.semantic_cache import (
+    DerivationPlan,
+    DerivationPlanner,
+    DerivationStep,
+    execute_chain,
+    usability,
+)
+from repro.optimizer.workload import Workload, mine_workload, replay_specs
 
 __all__ = [
     "CostEstimate",
     "CostModel",
+    "CuboidRecommendation",
     "DataProfile",
+    "DerivationPlan",
+    "DerivationPlanner",
+    "DerivationStep",
     "IndexAdvisor",
     "Recommendation",
+    "Workload",
+    "advise_cuboid_materializations",
     "advise_for_workload",
+    "execute_chain",
+    "mine_workload",
     "profile_groups",
+    "replay_specs",
+    "usability",
 ]

@@ -198,3 +198,91 @@ def advise_for_workload(
     profile = profile_groups(engine.db, groups, tuple(domains))
     advisor = IndexAdvisor(profile)
     return advisor.recommend(workload, engine.db.schema, byte_budget)
+
+
+# --------------------------------------------------------------------------
+# Cuboid materialization advice from a mined workload
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class CuboidRecommendation:
+    """One advised cuboid materialization scored from the query log.
+
+    ``benefit`` is the recompute time (seconds) the materialization would
+    have saved over the mined window: mean cold latency × the number of
+    times the spec was answered cold.
+    """
+
+    digest: str
+    ql: Optional[str]
+    frequency: int
+    cold_answers: int
+    mean_cold_ms: float
+    estimated_bytes: int
+    benefit_seconds: float
+
+    @property
+    def benefit_per_byte(self) -> float:
+        return self.benefit_seconds / max(1, self.estimated_bytes)
+
+    def __repr__(self) -> str:
+        label = self.ql.splitlines()[0][:48] if self.ql else self.digest
+        return (
+            f"CuboidRecommendation({label!r}, n={self.frequency}, "
+            f"saves~{self.benefit_seconds * 1000:.1f} ms, "
+            f"~{self.estimated_bytes / 1e3:.1f} KB)"
+        )
+
+
+def advise_cuboid_materializations(
+    workload,
+    byte_budget: int = 64 * 1024 * 1024,
+    schema=None,
+) -> List[CuboidRecommendation]:
+    """Greedy benefit-per-byte cuboid selection from a mined workload.
+
+    *workload* is a :class:`repro.optimizer.workload.Workload`.  Footprints
+    come from the logged cell counts via
+    :func:`repro.core.repository.estimate_cells_bytes` (dimensionality
+    from the parsed QL when it round-trips, else a 2-dim default).  Specs
+    that never missed the cache have zero benefit and are not advised.
+    """
+    from repro.core.repository import estimate_cells_bytes
+    from repro.ql.parser import parse_query
+
+    candidates: List[CuboidRecommendation] = []
+    for stats in workload.by_spec.values():
+        cold = len(stats.cold_wall_ms)
+        if cold == 0:
+            continue
+        n_dims, n_aggs = 2, 1
+        if stats.ql:
+            try:
+                spec = parse_query(stats.ql, schema)
+                n_dims = spec.n_dims
+                n_aggs = len(spec.aggregates)
+            except Exception:
+                pass
+        estimated_bytes = estimate_cells_bytes(n_dims, n_aggs, max(1, stats.max_cells))
+        benefit_seconds = (stats.mean_cold_wall_ms / 1000.0) * cold
+        candidates.append(
+            CuboidRecommendation(
+                digest=stats.digest,
+                ql=stats.ql,
+                frequency=stats.count,
+                cold_answers=cold,
+                mean_cold_ms=stats.mean_cold_wall_ms,
+                estimated_bytes=estimated_bytes,
+                benefit_seconds=benefit_seconds,
+            )
+        )
+    candidates.sort(key=lambda c: (-c.benefit_per_byte, -c.benefit_seconds, c.digest))
+    chosen: List[CuboidRecommendation] = []
+    remaining = byte_budget
+    for candidate in candidates:
+        if candidate.estimated_bytes > remaining:
+            continue
+        chosen.append(candidate)
+        remaining -= candidate.estimated_bytes
+    return chosen

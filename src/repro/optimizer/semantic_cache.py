@@ -1,0 +1,546 @@
+"""Semantic cuboid cache: answer a query by *deriving* from cached cuboids.
+
+The repository is an exact-``cache_key`` store, so before this module any
+spec that was not a verbatim repeat recomputed from scratch — even when a
+cached cuboid semantically contains the answer (Vassiliadis's usability
+test).  The :class:`DerivationPlanner` searches the repository for cuboids
+from which the incoming query is reachable via the *forward images* of the
+S-OLAP operations in :mod:`repro.core.operations`, bounded at
+``max_depth`` hops, and an executor then transforms the cached cells.
+
+Soundness rules (each verified in ``tests/unit/test_semantic_cache.py``
+against cold recomputation, cell-for-cell):
+
+* ``slice_global`` / ``dice_global`` — pure cell selection on a group-key
+  component.  Group keys are a per-sequence-group property independent of
+  pattern matching, so selection is sound for every restriction mode and
+  every aggregate.
+* ``roll_up_global`` — coarsens the grouping partition; matching inside
+  each group is unchanged, so colliding cells merge with Gray et al.'s
+  algebra (:data:`repro.shard.merge.MERGEABLE_FUNCS`).  Finalized ``AVG``
+  cannot merge — only ``AVGPAIR`` transports soundly.  The rolled
+  dimension must not be globally sliced in the source (a sliced source
+  holds only one fine child of the coarse group).
+* ``p_roll_up`` — sound when the rolled symbol occurs at exactly **one**
+  template position, is unrestricted in the source, and the source is
+  ``ALL_MATCHED``: then every qualifying occurrence is counted at both
+  levels and cells merge under level translation.  Left-maximality modes
+  keep one occurrence *per cell key*, so two fine cells folding into the
+  same coarse cell can each carry an occurrence the coarse computation
+  would dedup — merging over-counts.  Repeated symbols impose
+  level-dependent equality constraints and are likewise rejected.
+* ``slice_pattern`` — cell selection on a pattern-key component; sound
+  only under ``ALL_MATCHED`` (left-maximality modes *select* occurrences,
+  so filtering cached cells diverges from recomputation), and only from
+  an unrestricted source symbol.
+* APPEND / PREPEND / DE-TAIL / DE-HEAD / any drill-down — never
+  cell-derivable; the planner classifies these as rejects so the
+  ``solap_cuboid_semantic_rejects_total{op}`` metric shows *why* the
+  cache could not help.
+
+Iceberg queries (``min_support``) are never derived: support pruning does
+not commute with merging.  Every chain is verified by applying the actual
+forward operations to the cached spec and requiring ``cache_key``
+equality with the query — the executor only ever runs a verified chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.core import operations as ops
+from repro.core.cuboid import SCuboid
+from repro.core.spec import CellRestriction, CuboidSpec
+from repro.events.schema import Schema, SchemaError
+from repro.shard.merge import _merge_value
+
+# Ops the planner can execute on cached cells.
+SEMANTIC_OPS = (
+    "p_roll_up",
+    "roll_up_global",
+    "slice_global",
+    "dice_global",
+    "slice_pattern",
+)
+
+# Reject labels: derivable ops that failed a soundness/cost gate, plus the
+# navigation ops that are inherently non-derivable, plus catch-alls.
+REJECT_LABELS = SEMANTIC_OPS + (
+    "append",
+    "prepend",
+    "de_tail",
+    "de_head",
+    "p_drill_down",
+    "drill_down_global",
+    "unslice_pattern",
+    "unslice_global",
+    "incompatible",
+    "cost",
+    "error",
+)
+
+# Funcs that re-aggregate soundly when derived cells collide (Gray et al.).
+_MERGE_SAFE_FUNCS = frozenset({"COUNT", "SUM", "MIN", "MAX", "AVGPAIR"})
+
+# Ops that merge cells (as opposed to selecting a subset).
+_MERGE_OPS = frozenset({"p_roll_up", "roll_up_global"})
+
+# Cost model: seconds per source cell per derivation step (dict-transform
+# work), and the floor assumed for any cold recomputation (at minimum a
+# sequence scan).  Both deliberately coarse — the decision only has to be
+# right at order-of-magnitude scale.
+PER_CELL_STEP_SECONDS = 5e-6
+MIN_RECOMPUTE_SECONDS = 2e-3
+
+
+@dataclass(frozen=True)
+class DerivationStep:
+    """One verified forward op taking the chain closer to the query spec."""
+
+    op: str
+    argument: str  # symbol name (pattern ops) or attribute name (global ops)
+    value: object = None  # slice value / dice value tuple, when applicable
+
+    def describe(self) -> str:
+        if self.value is None:
+            return f"{self.op}({self.argument})"
+        return f"{self.op}({self.argument}={self.value!r})"
+
+
+@dataclass
+class DerivationPlan:
+    """A verified route from one cached cuboid to the query spec."""
+
+    source_key: Hashable
+    source_spec: CuboidSpec
+    source_cells: int
+    source_cost_seconds: float
+    chain: Tuple[DerivationStep, ...]
+
+    @property
+    def derive_cost_seconds(self) -> float:
+        return self.source_cells * PER_CELL_STEP_SECONDS * max(1, len(self.chain))
+
+    @property
+    def op_chain(self) -> str:
+        return "+".join(step.op for step in self.chain)
+
+    def describe(self) -> List[str]:
+        return [step.describe() for step in self.chain]
+
+
+@dataclass
+class PlanResult:
+    plan: Optional[DerivationPlan]
+    rejects: Dict[str, int]
+
+
+def _reject(rejects: Dict[str, int], label: str) -> None:
+    if label not in REJECT_LABELS:
+        label = "incompatible"
+    rejects[label] = rejects.get(label, 0) + 1
+
+
+def _apply_op(spec: CuboidSpec, step: DerivationStep, schema: Schema) -> CuboidSpec:
+    if step.op == "p_roll_up":
+        return ops.p_roll_up(spec, step.argument, schema)
+    if step.op == "roll_up_global":
+        return ops.roll_up_global(spec, step.argument, schema)
+    if step.op == "slice_global":
+        return ops.slice_global(spec, step.argument, step.value)
+    if step.op == "dice_global":
+        return ops.dice_global(spec, step.argument, step.value)
+    if step.op == "slice_pattern":
+        return ops.slice_pattern(spec, step.argument, step.value)
+    raise ops.OperationError(f"not a derivable op: {step.op!r}")
+
+
+def _merge_safe(spec: CuboidSpec) -> bool:
+    return all(agg.func in _MERGE_SAFE_FUNCS for agg in spec.aggregates)
+
+
+def _classify_gap(cached: CuboidSpec, query: CuboidSpec) -> str:
+    """Name the (non-derivable) op separating *cached* from *query*.
+
+    Only used for reject metrics — precision matters less than giving the
+    operator a useful breakdown of why the cache could not answer.
+    """
+    cpos = cached.template.positions
+    qpos = query.template.positions
+    if cpos != qpos:
+        if len(qpos) > len(cpos):
+            if qpos[: len(cpos)] == cpos:
+                return "append"
+            if qpos[-len(cpos):] == cpos:
+                return "prepend"
+        elif len(qpos) < len(cpos):
+            if cpos[: len(qpos)] == qpos:
+                return "de_tail"
+            if cpos[-len(qpos):] == qpos:
+                return "de_head"
+        return "incompatible"
+    csyms = {s.name: s for s in cached.template.symbols}
+    for qsym in query.template.symbols:
+        csym = csyms.get(qsym.name)
+        if csym is None or csym.attribute != qsym.attribute:
+            return "incompatible"
+        if csym.level != qsym.level:
+            return "p_roll_up" if csym.level != qsym.level else "incompatible"
+    for qsym in query.template.symbols:
+        csym = csyms[qsym.name]
+        if csym.fixed is not None and qsym.fixed is None:
+            return "unslice_pattern"
+    if len(cached.group_by) == len(query.group_by):
+        for (ca, cl), (qa, ql) in zip(cached.group_by, query.group_by):
+            if ca == qa and cl != ql:
+                return "roll_up_global"
+    cslices = dict(cached.global_slice)
+    qslices = dict(query.global_slice)
+    for idx in cslices:
+        if idx not in qslices:
+            return "unslice_global"
+    return "incompatible"
+
+
+def _classify_level_gap(cached: CuboidSpec, query: CuboidSpec, schema: Schema) -> Optional[str]:
+    """Detect drill-downs (query finer than cache) for reject labelling."""
+    csyms = {s.name: s for s in cached.template.symbols}
+    for qsym in query.template.symbols:
+        csym = csyms.get(qsym.name)
+        if csym is None or csym.wildcard or qsym.wildcard:
+            continue
+        if csym.level != qsym.level:
+            try:
+                hierarchy = schema.hierarchy(qsym.attribute)
+                if hierarchy.is_coarser(csym.level, qsym.level):
+                    return "p_drill_down"
+            except SchemaError:
+                return "incompatible"
+    if len(cached.group_by) == len(query.group_by):
+        for (ca, cl), (qa, ql) in zip(cached.group_by, query.group_by):
+            if ca != qa or cl == ql:
+                continue
+            try:
+                hierarchy = schema.hierarchy(ca)
+                if hierarchy.is_coarser(cl, ql):
+                    return "drill_down_global"
+            except SchemaError:
+                return "incompatible"
+    return None
+
+
+def _candidate_steps(
+    current: CuboidSpec, query: CuboidSpec, schema: Schema
+) -> Optional[List[DerivationStep]]:
+    """Propose forward steps that move *current* toward *query*.
+
+    Returns ``None`` when the gap is provably unbridgeable by derivable
+    ops (dead branch); an empty list means "no further moves".
+    """
+    steps: List[DerivationStep] = []
+
+    # Pattern symbols: roll coarser and/or slice.
+    csyms = {s.name: s for s in current.template.symbols}
+    for qsym in query.template.symbols:
+        csym = csyms.get(qsym.name)
+        if csym is None or csym.wildcard != qsym.wildcard or csym.attribute != qsym.attribute:
+            return None
+        if qsym.wildcard:
+            continue
+        if csym.level != qsym.level:
+            try:
+                hierarchy = schema.hierarchy(csym.attribute)
+            except SchemaError:
+                return None
+            if not hierarchy.is_coarser(qsym.level, csym.level):
+                return None  # query is finer — drill-down, not derivable
+            # Soundness: only unique, unrestricted symbols roll up, and
+            # only under ALL_MATCHED — left-maximality dedups occurrences
+            # *per cell key*, so two fine cells folding into one coarse
+            # cell can both carry an occurrence the coarse computation
+            # would keep only once.
+            if current.template.positions.count(qsym.name) != 1 or csym.is_restricted:
+                return None
+            if current.restriction is not CellRestriction.ALL_MATCHED:
+                return None
+            steps.append(DerivationStep("p_roll_up", qsym.name))
+        elif csym.fixed != qsym.fixed or csym.within != qsym.within:
+            if csym.is_restricted or qsym.fixed is None or qsym.within is not None:
+                return None
+            # Selection semantics only survive under ALL_MATCHED.
+            if current.restriction is not CellRestriction.ALL_MATCHED:
+                return None
+            steps.append(DerivationStep("slice_pattern", qsym.name, qsym.fixed))
+
+    # Global dimensions: roll coarser.
+    if len(current.group_by) != len(query.group_by):
+        return None
+    cslices = dict(current.global_slice)
+    for idx, ((cattr, clvl), (qattr, qlvl)) in enumerate(
+        zip(current.group_by, query.group_by)
+    ):
+        if cattr != qattr:
+            return None
+        if clvl != qlvl:
+            try:
+                hierarchy = schema.hierarchy(cattr)
+            except SchemaError:
+                return None
+            if not hierarchy.is_coarser(qlvl, clvl):
+                return None
+            if idx in cslices:
+                return None  # sliced source holds one fine child only
+            steps.append(DerivationStep("roll_up_global", cattr))
+
+    # Global slices: every cached slice must survive into the query
+    # (possibly after a roll-up translates it); missing query slices are
+    # added by selection.
+    qslices = dict(query.global_slice)
+    for idx in cslices:
+        if idx not in qslices:
+            return None  # would need unslice — not derivable
+    for idx, value in qslices.items():
+        if idx in cslices:
+            continue
+        cattr, clvl = current.group_by[idx]
+        qlvl = query.group_by[idx][1]
+        if clvl != qlvl:
+            continue  # roll up this dim first; slice on a later hop
+        if isinstance(value, tuple):
+            steps.append(DerivationStep("dice_global", cattr, value))
+        else:
+            steps.append(DerivationStep("slice_global", cattr, value))
+
+    return steps
+
+
+def find_chain(
+    cached: CuboidSpec,
+    query: CuboidSpec,
+    schema: Schema,
+    max_depth: int = 2,
+) -> Optional[Tuple[DerivationStep, ...]]:
+    """BFS over verified forward ops from *cached* to *query*, ≤ *max_depth* hops.
+
+    Every explored edge applies the real operation from
+    :mod:`repro.core.operations`; the goal test is ``cache_key`` equality,
+    so any returned chain is verified end-to-end by construction.
+    """
+    target = query.cache_key()
+    if cached.cache_key() == target:
+        return ()
+    frontier: List[Tuple[CuboidSpec, Tuple[DerivationStep, ...]]] = [(cached, ())]
+    for _ in range(max_depth):
+        next_frontier: List[Tuple[CuboidSpec, Tuple[DerivationStep, ...]]] = []
+        for spec, chain in frontier:
+            candidates = _candidate_steps(spec, query, schema)
+            if not candidates:
+                continue
+            for step in candidates:
+                if step.op in _MERGE_OPS and not _merge_safe(spec):
+                    continue
+                try:
+                    nxt = _apply_op(spec, step, schema)
+                except ops.OperationError:
+                    continue
+                new_chain = chain + (step,)
+                if nxt.cache_key() == target:
+                    return new_chain
+                next_frontier.append((nxt, new_chain))
+        frontier = next_frontier
+    return None
+
+
+def usability(
+    cached: CuboidSpec,
+    query: CuboidSpec,
+    schema: Schema,
+    max_depth: int = 2,
+) -> Optional[Tuple[DerivationStep, ...]]:
+    """Vassiliadis-style usability test: can *cached* answer *query*?
+
+    Returns the verified derivation chain (empty tuple for an exact
+    match), or ``None`` when the cached cuboid is unusable.
+    """
+    # Hard gates: everything outside the derivable axes must be identical.
+    if cached.pipeline_key()[:3] != query.pipeline_key()[:3]:
+        return None  # where / cluster_by / sequence_by
+    if cached.restriction != query.restriction:
+        return None
+    if cached.predicate != query.predicate:
+        return None
+    if cached.aggregates != query.aggregates:
+        return None
+    if cached.template.kind != query.template.kind:
+        return None
+    if cached.min_support is not None or query.min_support is not None:
+        return None  # iceberg pruning does not commute with derivation
+    if cached.template.positions != query.template.positions:
+        return None
+    return find_chain(cached, query, schema, max_depth=max_depth)
+
+
+# --------------------------------------------------------------------------
+# Chain execution on cells
+# --------------------------------------------------------------------------
+
+
+def _global_hierarchy(spec: CuboidSpec, index: int, schema: Schema):
+    attr, level = spec.group_by[index]
+    return schema.hierarchy(attr), level
+
+
+def _merge_cells(
+    spec: CuboidSpec,
+    cells: Dict,
+    rekey,
+) -> Dict:
+    """Re-key cells deterministically, merging collisions with the Gray algebra."""
+    merged: Dict = {}
+    for key, values in sorted(cells.items(), key=lambda kv: repr(kv[0])):
+        new_key = rekey(key)
+        slot = merged.get(new_key)
+        if slot is None:
+            merged[new_key] = dict(values)
+            continue
+        for agg in spec.aggregates:
+            slot[agg.name] = _merge_value(agg.func, slot.get(agg.name), values.get(agg.name))
+    return merged
+
+
+def _apply_step_cells(
+    spec_before: CuboidSpec,
+    step: DerivationStep,
+    cells: Dict,
+    schema: Schema,
+) -> Dict:
+    if step.op == "slice_global":
+        idx = ops._global_index(spec_before, step.argument)
+        return {
+            key: dict(values)
+            for key, values in cells.items()
+            if key[0][idx] == step.value
+        }
+    if step.op == "dice_global":
+        idx = ops._global_index(spec_before, step.argument)
+        allowed = set(step.value)
+        return {
+            key: dict(values)
+            for key, values in cells.items()
+            if key[0][idx] in allowed
+        }
+    if step.op == "slice_pattern":
+        names = [s.name for s in spec_before.template.cell_symbols]
+        dim = names.index(step.argument)
+        return {
+            key: dict(values)
+            for key, values in cells.items()
+            if key[1][dim] == step.value
+        }
+    if step.op == "roll_up_global":
+        idx = ops._global_index(spec_before, step.argument)
+        hierarchy, fine = _global_hierarchy(spec_before, idx, schema)
+        coarse = hierarchy.coarser_level(fine)
+
+        def rekey(key):
+            group, pattern = key
+            coarse_value = hierarchy.translate(group[idx], fine, coarse)
+            return (group[:idx] + (coarse_value,) + group[idx + 1:], pattern)
+
+        return _merge_cells(spec_before, cells, rekey)
+    if step.op == "p_roll_up":
+        symbol = spec_before.template.symbol(step.argument)
+        names = [s.name for s in spec_before.template.cell_symbols]
+        dim = names.index(step.argument)
+        hierarchy = schema.hierarchy(symbol.attribute)
+        coarse = hierarchy.coarser_level(symbol.level)
+        fine = symbol.level
+
+        def rekey(key):
+            group, pattern = key
+            coarse_value = hierarchy.translate(pattern[dim], fine, coarse)
+            return (group, pattern[:dim] + (coarse_value,) + pattern[dim + 1:])
+
+        return _merge_cells(spec_before, cells, rekey)
+    raise ops.OperationError(f"not a derivable op: {step.op!r}")
+
+
+def execute_chain(
+    source: SCuboid,
+    chain: Tuple[DerivationStep, ...],
+    query_spec: CuboidSpec,
+    schema: Schema,
+) -> SCuboid:
+    """Transform *source*'s cells along a verified *chain*.
+
+    The final spec is re-verified against *query_spec* — a mismatch means
+    the chain was not produced by :func:`usability` and is a bug.
+    """
+    spec = source.spec
+    cells = source.cells
+    for step in chain:
+        cells = _apply_step_cells(spec, step, cells, schema)
+        spec = _apply_op(spec, step, schema)
+    if spec.cache_key() != query_spec.cache_key():
+        raise ops.OperationError(
+            "derivation chain does not reach the query spec; refusing to answer"
+        )
+    return SCuboid(spec=query_spec, cells=cells)
+
+
+# --------------------------------------------------------------------------
+# Planner
+# --------------------------------------------------------------------------
+
+
+class DerivationPlanner:
+    """Scan the repository for cuboids that can derive an incoming query.
+
+    ``plan`` returns the cheapest verified :class:`DerivationPlan` (or
+    ``None``), plus a per-op reject tally for observability.  The cost
+    model compares the derivation's cell-transform work against the
+    source's recorded cold-compute cost (floored at
+    :data:`MIN_RECOMPUTE_SECONDS` because *any* recomputation at least
+    scans the event table).
+    """
+
+    def __init__(self, schema: Schema, max_depth: int = 2):
+        self.schema = schema
+        self.max_depth = max_depth
+
+    def plan(self, query_spec: CuboidSpec, repository) -> PlanResult:
+        rejects: Dict[str, int] = {}
+        best: Optional[DerivationPlan] = None
+        for key, cuboid, cost_seconds in repository.items():
+            cached_spec = cuboid.spec
+            chain = usability(cached_spec, query_spec, self.schema, self.max_depth)
+            if chain is None:
+                label = _classify_level_gap(cached_spec, query_spec, self.schema)
+                if label is None:
+                    label = _classify_gap(cached_spec, query_spec)
+                _reject(rejects, label)
+                continue
+            if not chain:
+                continue  # exact hit — the repository already handled it
+            candidate = DerivationPlan(
+                source_key=key,
+                source_spec=cached_spec,
+                source_cells=len(cuboid),
+                source_cost_seconds=cost_seconds,
+                chain=chain,
+            )
+            recompute = max(candidate.source_cost_seconds, MIN_RECOMPUTE_SECONDS)
+            if candidate.derive_cost_seconds > recompute:
+                _reject(rejects, "cost")
+                continue
+            if (
+                best is None
+                or candidate.derive_cost_seconds < best.derive_cost_seconds
+                or (
+                    candidate.derive_cost_seconds == best.derive_cost_seconds
+                    and len(candidate.chain) < len(best.chain)
+                )
+            ):
+                best = candidate
+        return PlanResult(plan=best, rejects=rejects)

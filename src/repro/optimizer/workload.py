@@ -1,0 +1,164 @@
+"""Workload mining: turn the structured query log into per-spec statistics.
+
+The service emits one ``query_finished`` JSON line per answered query
+(:mod:`repro.obs.logging`, log schema ≥ 2 carries ``spec_digest`` /
+``query_ql`` / ``cells``).  This module folds that stream into per-spec
+frequency and latency statistics that the materialization advisor
+(:func:`repro.optimizer.advisor.advise_cuboid_materializations`) scores
+by benefit-per-byte.
+
+The loader is deliberately tolerant: real logs interleave the query
+stream with other lifecycle events (``session_evicted``,
+``index_built``, ``slow_query``, …), blank lines and non-JSON noise.
+Everything that is not a well-formed ``query_finished`` record is
+counted and skipped, never raised.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+Source = Union[str, Iterable]  # path, text block, or iterable of lines/dicts
+
+
+@dataclass
+class SpecStats:
+    """Frequency/latency profile of one distinct spec in the workload."""
+
+    digest: str
+    ql: Optional[str] = None
+    count: int = 0
+    total_wall_ms: float = 0.0
+    total_engine_ms: float = 0.0
+    max_cells: int = 0
+    strategies: Dict[str, int] = field(default_factory=dict)
+    cache_answers: Dict[str, int] = field(default_factory=dict)
+    #: wall ms spent on *cold* answers (not exact/derived cache hits) —
+    #: the recompute cost a materialization would save
+    cold_wall_ms: List[float] = field(default_factory=list)
+
+    @property
+    def mean_wall_ms(self) -> float:
+        return self.total_wall_ms / self.count if self.count else 0.0
+
+    @property
+    def mean_cold_wall_ms(self) -> float:
+        if not self.cold_wall_ms:
+            return self.mean_wall_ms
+        return sum(self.cold_wall_ms) / len(self.cold_wall_ms)
+
+
+@dataclass
+class Workload:
+    """Aggregated view of a query log."""
+
+    by_spec: Dict[str, SpecStats] = field(default_factory=dict)
+    queries: int = 0
+    skipped_events: int = 0
+    skipped_lines: int = 0
+
+    def top(self, n: int = 10) -> List[SpecStats]:
+        return sorted(
+            self.by_spec.values(),
+            key=lambda s: (s.total_wall_ms, s.count),
+            reverse=True,
+        )[:n]
+
+
+def iter_events(source: Source) -> Iterator[Tuple[Optional[dict], bool]]:
+    """Yield ``(event_dict, ok)`` per input line; ``(None, False)`` for noise.
+
+    *source* may be a file path, a newline-separated text block, or any
+    iterable of JSON-line strings / already-parsed dicts.
+    """
+    if isinstance(source, str):
+        if "\n" not in source and not source.lstrip().startswith("{"):
+            with open(source, "r", encoding="utf-8") as fh:
+                yield from iter_events(list(fh))
+            return
+        source = source.splitlines()
+    for line in source:
+        if isinstance(line, dict):
+            yield line, True
+            continue
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except (ValueError, TypeError):
+            yield None, False
+            continue
+        if isinstance(doc, dict):
+            yield doc, True
+        else:
+            yield None, False
+
+
+def mine_workload(source: Source) -> Workload:
+    """Fold a query log into per-spec statistics.
+
+    Only ``query_finished`` events that carry a spec identity
+    (``spec_digest``, log schema ≥ 2) contribute; interleaved lifecycle
+    events are tolerated and tallied in ``skipped_events``.
+    """
+    workload = Workload()
+    for doc, ok in iter_events(source):
+        if not ok:
+            workload.skipped_lines += 1
+            continue
+        if doc.get("event") != "query_finished":
+            workload.skipped_events += 1
+            continue
+        digest = doc.get("spec_digest")
+        if not digest:
+            workload.skipped_events += 1
+            continue
+        stats = workload.by_spec.get(digest)
+        if stats is None:
+            stats = workload.by_spec[digest] = SpecStats(digest=digest)
+        workload.queries += 1
+        stats.count += 1
+        stats.total_wall_ms += float(doc.get("wall_ms") or 0.0)
+        stats.total_engine_ms += float(doc.get("engine_ms") or 0.0)
+        stats.max_cells = max(stats.max_cells, int(doc.get("cells") or 0))
+        if doc.get("query_ql") and not stats.ql:
+            stats.ql = doc["query_ql"]
+        strategy = (doc.get("strategy") or "").lower() or "unknown"
+        stats.strategies[strategy] = stats.strategies.get(strategy, 0) + 1
+        answer = doc.get("cache_answer") or "miss"
+        answer_kind = answer.split(":", 1)[0]
+        stats.cache_answers[answer_kind] = stats.cache_answers.get(answer_kind, 0) + 1
+        if answer_kind == "miss":
+            stats.cold_wall_ms.append(float(doc.get("wall_ms") or 0.0))
+    return workload
+
+
+def replay_specs(source: Source, schema=None) -> List[Tuple[str, object]]:
+    """Parse each logged query back into a :class:`CuboidSpec` where possible.
+
+    Returns ``(digest, spec)`` pairs in first-seen order, skipping records
+    whose QL text does not round-trip (global slices are logged as
+    comments, so those specs replay without the slice — the digest keeps
+    them distinguishable).  Tolerates interleaved non-query events.
+    """
+    from repro.ql.parser import parse_query
+
+    seen = set()
+    out: List[Tuple[str, object]] = []
+    for doc, ok in iter_events(source):
+        if not ok or doc.get("event") != "query_finished":
+            continue
+        digest = doc.get("spec_digest")
+        ql = doc.get("query_ql")
+        if not digest or not ql or digest in seen:
+            continue
+        seen.add(digest)
+        try:
+            spec = parse_query(ql, schema)
+        except Exception:
+            continue
+        out.append((digest, spec))
+    return out

@@ -48,6 +48,7 @@ COUNTER_NAMES: Tuple[str, ...] = (
     "strategy_cb",
     "strategy_ii",
     "strategy_cache",
+    "strategy_derived",
 )
 
 _STRATEGY_PREFIX = "strategy_"
@@ -177,7 +178,7 @@ class ServiceMetrics:
     def count_strategy(self, strategy: str) -> None:
         """Bump the per-strategy counter from a QueryStats.strategy label."""
         label = (strategy or "").lower()
-        if label in ("cb", "ii", "cache"):
+        if label in ("cb", "ii", "cache", "derived"):
             self.inc(f"strategy_{label}")
 
     def __getitem__(self, name: str) -> int:
@@ -278,6 +279,14 @@ class ServiceMetrics:
                 f"evictions={repo.get('evictions', 0)}, "
                 f"hit-ratio={repo_ratio:.2f}"
             )
+            sem = engine.get("semantic_cache")
+            if sem:
+                lines.append(
+                    "  semantic cache: "
+                    f"hits={sem.get('hits_total', 0)}, "
+                    f"derivations={sem.get('derivations_total', 0)}, "
+                    f"rejects={sem.get('rejects_total', 0)}"
+                )
             lines.append(
                 "  index registries: "
                 f"{reg['indices']} indices over {reg['pipelines']} "

@@ -362,7 +362,9 @@ class QueryService:
                     wall_seconds=wall,
                     sampled=sampled,
                 )
-        self.log.query_finished(query_id, stats, wall, session_id)
+        self.log.query_finished(
+            query_id, stats, wall, session_id, spec=spec, cells=len(cuboid)
+        )
         return cuboid, stats
 
     def _observe_stages(self, root) -> None:

@@ -1,0 +1,128 @@
+"""The S-OLAP navigation ops as inverse pairs, and derivation soundness.
+
+Complements :mod:`tests.property.test_prop_operations` (which covers
+APPEND/DE-TAIL, PREPEND/DE-HEAD, P-ROLL-UP/P-DRILL-DOWN and pattern
+slice/unslice) with the *global*-dimension pairs, and checks the
+semantic-cache invariant on random data: any answer the
+:class:`~repro.optimizer.semantic_cache.DerivationPlanner` derives from
+a cached cuboid is bit-identical to computing the query cold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import SOLAPEngine
+from repro.core import operations as ops
+from repro.core.spec import CellRestriction, PatternKind
+from tests.property.conftest import (
+    ALPHABET,
+    make_db,
+    make_schema,
+    sequences_strategy,
+    shape_strategy,
+    spec_for,
+    template_from,
+)
+
+
+def grouped_spec(shape, restriction=CellRestriction.LEFT_MAXIMALITY):
+    """A spec with a hierarchy-bearing global (group-by) dimension."""
+    return replace(
+        spec_for(template_from(shape, PatternKind.SUBSTRING)),
+        group_by=(("symbol", "symbol"),),
+        restriction=restriction,
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(shape=shape_strategy)
+def test_roll_up_global_then_drill_down_is_identity(shape):
+    spec = grouped_spec(shape)
+    schema = make_schema()
+    rolled = ops.roll_up_global(spec, "symbol", schema)
+    assert rolled.group_by == (("symbol", "group"),)
+    restored = ops.drill_down_global(rolled, "symbol", schema)
+    assert restored == spec
+    assert restored.cache_key() == spec.cache_key()
+
+
+@settings(max_examples=80, deadline=None)
+@given(shape=shape_strategy, value=st.sampled_from(ALPHABET))
+def test_slice_global_then_unslice_is_identity(shape, value):
+    spec = grouped_spec(shape)
+    sliced = ops.slice_global(spec, "symbol", value)
+    assert sliced.global_slice
+    assert ops.unslice_global(sliced, "symbol") == spec
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    shape=shape_strategy,
+    values=st.lists(st.sampled_from(ALPHABET), min_size=1, max_size=3, unique=True),
+)
+def test_dice_global_then_unslice_is_identity(shape, values):
+    spec = grouped_spec(shape)
+    diced = ops.dice_global(spec, "symbol", tuple(values))
+    assert ops.unslice_global(diced, "symbol") == spec
+
+
+@settings(max_examples=40, deadline=None)
+@given(sequences=sequences_strategy, shape=shape_strategy)
+def test_derived_global_roll_up_matches_cold(sequences, shape):
+    """roll_up_global is derivable under *any* restriction mode."""
+    db = make_db(sequences)
+    spec = grouped_spec(shape)  # LEFT_MAXIMALITY
+    target = ops.roll_up_global(spec, "symbol", db.schema)
+
+    warm_engine = SOLAPEngine(db)
+    warm_engine.execute(spec)
+    warm, stats = warm_engine.execute(target)
+    assert stats.extra["cache_answer"] == "derived:roll_up_global"
+
+    cold, __ = SOLAPEngine(db, use_repository=False).execute(target)
+    assert warm.to_dict() == cold.to_dict()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sequences=sequences_strategy,
+    shape=shape_strategy,
+    value=st.sampled_from(ALPHABET),
+)
+def test_derived_global_slice_matches_cold(sequences, shape, value):
+    db = make_db(sequences)
+    spec = grouped_spec(shape)
+    target = ops.slice_global(spec, "symbol", value)
+
+    warm_engine = SOLAPEngine(db)
+    warm_engine.execute(spec)
+    warm, stats = warm_engine.execute(target)
+    assert stats.extra["cache_answer"] == "derived:slice_global"
+
+    cold, __ = SOLAPEngine(db, use_repository=False).execute(target)
+    assert warm.to_dict() == cold.to_dict()
+
+
+@settings(max_examples=40, deadline=None)
+@given(sequences=sequences_strategy, shape=shape_strategy)
+def test_derived_pattern_roll_up_matches_cold(sequences, shape):
+    """P-ROLL-UP derivation (ALL_MATCHED, unique symbol) is bit-exact."""
+    spec = grouped_spec(shape, restriction=CellRestriction.ALL_MATCHED)
+    symbols = [s.name for s in spec.template.symbols]
+    unique = [s for s in symbols if spec.template.positions.count(s) == 1]
+    assume(unique)
+    db = make_db(sequences)
+    target = ops.p_roll_up(spec, unique[0], db.schema)
+
+    warm_engine = SOLAPEngine(db)
+    warm_engine.execute(spec)
+    warm, stats = warm_engine.execute(target)
+    assert stats.extra["cache_answer"] == "derived:p_roll_up"
+    assert stats.sequences_scanned == 0
+
+    cold, __ = SOLAPEngine(db, use_repository=False).execute(target)
+    assert warm.to_dict() == cold.to_dict()

@@ -138,7 +138,8 @@ class TestLoad:
         # segment-store sections (storage_attach_* / storage_scan_*)
         # + the schema-4 scatter-gather sections (shards_scatter_gather_n*)
         # + the schema-5 tracing sections (tracing_overhead_*)
-        assert len(doc["benchmarks"]) == 23
+        # + the schema-6 semantic-cache sections (cache_replay_*)
+        assert len(doc["benchmarks"]) == 25
         for name, record in doc["benchmarks"].items():
             assert record["p50_ms"] >= 0
             if name.startswith(("join_intersect_", "storage_attach_")):

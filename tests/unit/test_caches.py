@@ -207,3 +207,106 @@ class TestCuboidRepository:
         repo.put("a", make_cuboid())
         repo.invalidate("a")
         assert repo.evictions == 0
+
+
+class TestByteAccountingUnderMutation:
+    """put() overwrites must not corrupt the byte ledger (regression).
+
+    The old implementation re-estimated the *current* object on
+    overwrite; since cell dicts are mutable and shared, an in-place
+    mutation between two puts of the same cuboid made the subtraction
+    use the post-mutation estimate — leaving ``bytes_used`` stale
+    forever.  Entries now remember their insert-time estimate.
+    """
+
+    def test_overwrite_after_inplace_mutation_stays_exact(self):
+        repo = CuboidRepository(capacity=4)
+        cuboid = make_cuboid(2)
+        repo.put("k", cuboid)
+        # grow the cached object in place (e.g. a caller mutating cells)
+        for i in range(20):
+            cuboid.cells[((), (f"x{i}", f"y{i}"))] = {"COUNT(*)": i}
+        repo.put("k", cuboid)
+        assert repo.bytes_used == estimate_cuboid_bytes(cuboid)
+
+    def test_shrinking_mutation_never_goes_negative(self):
+        repo = CuboidRepository(capacity=4)
+        cuboid = make_cuboid(10)
+        repo.put("k", cuboid)
+        cuboid.cells.clear()
+        repo.put("k", cuboid)
+        assert repo.bytes_used == estimate_cuboid_bytes(cuboid)
+        assert repo.bytes_used >= 0
+
+    def test_eviction_uses_insert_time_estimate(self):
+        repo = CuboidRepository(capacity=1)
+        cuboid = make_cuboid(5)
+        repo.put("a", cuboid)
+        cuboid.cells.clear()  # mutate after insert
+        repo.put("b", make_cuboid(1))  # evicts "a"
+        assert repo.bytes_used == estimate_cuboid_bytes(make_cuboid(1))
+
+
+class TestPayloadAwareEstimate:
+    def test_tuple_payloads_cost_more_than_scalars(self):
+        spec = figure8_spec(("X", "Y"))
+        scalar = SCuboid(spec, {((), ("a", "b")): {"COUNT(*)": 3}})
+        paired = SCuboid(spec, {((), ("a", "b")): {"COUNT(*)": (3.0, 2)}})
+        assert estimate_cuboid_bytes(paired) > estimate_cuboid_bytes(scalar)
+
+    def test_estimate_tracks_actual_cell_contents(self):
+        spec = figure8_spec(("X", "Y"))
+        sparse = SCuboid(spec, {((), ("a", "b")): {}})
+        dense = SCuboid(
+            spec,
+            {((), ("a", "b")): {"COUNT(*)": 1, "SUM(amount)": 2.0}},
+        )
+        assert estimate_cuboid_bytes(dense) > estimate_cuboid_bytes(sparse)
+
+
+class TestBenefitWeightedEviction:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            CuboidRepository(policy="random")
+
+    def test_cheapest_to_recompute_is_evicted_first(self):
+        repo = CuboidRepository(capacity=2, policy="benefit")
+        repo.put("cheap", make_cuboid(2), cost_seconds=0.001)
+        repo.put("expensive", make_cuboid(2), cost_seconds=5.0)
+        repo.get("cheap")  # recency would keep "cheap" under LRU...
+        repo.put("new", make_cuboid(2), cost_seconds=0.5)
+        # ...but benefit-weighting evicts the cheap-to-recompute entry
+        assert "cheap" not in repo
+        assert "expensive" in repo and "new" in repo
+
+    def test_reuse_raises_retention_benefit(self):
+        repo = CuboidRepository(capacity=2, policy="benefit")
+        repo.put("a", make_cuboid(2), cost_seconds=1.0)
+        repo.put("b", make_cuboid(2), cost_seconds=1.0)
+        for __ in range(5):
+            repo.get("a")  # frequently reused
+        repo.put("c", make_cuboid(2), cost_seconds=1.0)
+        assert "a" in repo
+        assert "b" not in repo
+
+    def test_lru_remains_default(self):
+        repo = CuboidRepository(capacity=2)
+        assert repo.policy == "lru"
+        repo.put("a", make_cuboid(), cost_seconds=100.0)
+        repo.put("b", make_cuboid())
+        repo.put("c", make_cuboid())
+        assert "a" not in repo  # high cost is ignored under LRU
+
+    def test_entry_stats_and_items_snapshot(self):
+        repo = CuboidRepository(capacity=4)
+        cuboid = make_cuboid(3)
+        repo.put("k", cuboid, cost_seconds=0.25)
+        stats = repo.entry_stats("k")
+        assert stats["cost_seconds"] == 0.25
+        assert stats["bytes"] == estimate_cuboid_bytes(cuboid)
+        assert stats["hits"] == 0
+        repo.get("k")
+        assert repo.entry_stats("k")["hits"] == 1
+        items = repo.items()
+        assert items == [("k", cuboid, 0.25)]
+        assert repo.entry_stats("missing") is None

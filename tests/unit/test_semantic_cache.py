@@ -1,0 +1,318 @@
+"""Semantic cuboid cache: usability, derivation soundness, engine wiring.
+
+The non-negotiable invariant — every derived answer is bit-identical to
+a cold computation — is asserted cell-for-cell (``to_dict`` equality)
+against a repository-free engine for every derivable op and restriction
+mode it is claimed sound for.
+"""
+
+import pytest
+
+from repro.core import operations as ops
+from repro.core.engine import SOLAPEngine
+from repro.core.spec import AggregateSpec, CellRestriction
+from repro.obs.metrics import MetricsRegistry, register_engine_metrics
+from repro.optimizer.semantic_cache import (
+    DerivationPlanner,
+    find_chain,
+    usability,
+)
+from tests.conftest import figure8_spec, make_figure8_db
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_figure8_db()
+
+
+def cold(db, spec):
+    cuboid, __ = SOLAPEngine(db, use_repository=False).execute(spec)
+    return cuboid
+
+
+def base_spec_for(db, restriction=CellRestriction.ALL_MATCHED, **kwargs):
+    kwargs.setdefault("group_by", (("location", "station"),))
+    return figure8_spec(("X", "Y"), restriction=restriction, **kwargs)
+
+
+class TestUsability:
+    def test_exact_match_is_empty_chain(self, db):
+        spec = base_spec_for(db)
+        assert usability(spec, spec, db.schema) == ()
+
+    def test_p_roll_up_one_hop(self, db):
+        spec = base_spec_for(db)
+        chain = usability(spec, ops.p_roll_up(spec, "X", db.schema), db.schema)
+        assert [step.op for step in chain] == ["p_roll_up"]
+
+    def test_two_hops_found_three_rejected(self, db):
+        spec = base_spec_for(db)
+        two = ops.p_roll_up(ops.p_roll_up(spec, "X", db.schema), "Y", db.schema)
+        chain = usability(spec, two, db.schema)
+        assert [step.op for step in chain] == ["p_roll_up", "p_roll_up"]
+        three = ops.roll_up_global(two, "location", db.schema)
+        assert usability(spec, three, db.schema) is None  # depth bound
+        assert usability(spec, three, db.schema, max_depth=3) is not None
+
+    def test_drill_down_is_not_derivable(self, db):
+        spec = base_spec_for(db)
+        rolled = ops.p_roll_up(spec, "X", db.schema)
+        assert usability(rolled, spec, db.schema) is None
+
+    def test_append_and_de_tail_are_not_derivable(self, db):
+        spec = base_spec_for(db)
+        longer = ops.append(spec, "Z", "location", "station")
+        assert usability(spec, longer, db.schema) is None
+        assert usability(longer, spec, db.schema) is None
+
+    def test_repeated_symbol_blocks_p_roll_up(self, db):
+        spec = figure8_spec(
+            ("X", "Y", "X"),
+            restriction=CellRestriction.ALL_MATCHED,
+            group_by=(("location", "station"),),
+        )
+        rolled = ops.p_roll_up(spec, "X", db.schema)
+        assert usability(spec, rolled, db.schema) is None
+
+    def test_restricted_symbol_blocks_p_roll_up(self, db):
+        spec = base_spec_for(db)
+        sliced = ops.slice_pattern(spec, "X", "Pentagon")
+        target = ops.p_roll_up(sliced, "X", db.schema)
+        assert usability(sliced, target, db.schema) is None
+
+    def test_slice_pattern_requires_all_matched(self, db):
+        for restriction in (
+            CellRestriction.LEFT_MAXIMALITY,
+            CellRestriction.LEFT_MAXIMALITY_DATA,
+        ):
+            spec = base_spec_for(db, restriction=restriction)
+            sliced = ops.slice_pattern(spec, "X", "Pentagon")
+            assert usability(spec, sliced, db.schema) is None
+
+    def test_p_roll_up_requires_all_matched(self, db):
+        # Left-maximality dedups one occurrence per *cell key*; merging
+        # fine cells into a coarse cell would over-count.
+        for restriction in (
+            CellRestriction.LEFT_MAXIMALITY,
+            CellRestriction.LEFT_MAXIMALITY_DATA,
+        ):
+            spec = base_spec_for(db, restriction=restriction)
+            rolled = ops.p_roll_up(spec, "X", db.schema)
+            assert usability(spec, rolled, db.schema) is None
+
+    def test_global_selection_sound_under_any_restriction(self, db):
+        spec = base_spec_for(db, restriction=CellRestriction.LEFT_MAXIMALITY)
+        sliced = ops.slice_global(spec, "location", "Pentagon")
+        chain = usability(spec, sliced, db.schema)
+        assert [step.op for step in chain] == ["slice_global"]
+
+    def test_unslice_is_not_derivable(self, db):
+        spec = base_spec_for(db)
+        sliced = ops.slice_global(spec, "location", "Pentagon")
+        assert usability(sliced, spec, db.schema) is None
+
+    def test_avg_blocks_merging_but_not_selection(self, db):
+        spec = base_spec_for(db, aggregates=(AggregateSpec("AVG", "amount"),))
+        rolled = ops.roll_up_global(spec, "location", db.schema)
+        assert usability(spec, rolled, db.schema) is None
+        sliced = ops.slice_global(spec, "location", "Pentagon")
+        assert usability(spec, sliced, db.schema) is not None
+
+    def test_avgpair_transport_merges(self, db):
+        spec = base_spec_for(db, aggregates=(AggregateSpec("AVGPAIR", "amount"),))
+        rolled = ops.roll_up_global(spec, "location", db.schema)
+        chain = usability(spec, rolled, db.schema)
+        assert [step.op for step in chain] == ["roll_up_global"]
+
+    def test_min_support_never_derives(self, db):
+        spec = base_spec_for(db)
+        iceberg = base_spec_for(db, min_support=2)
+        assert usability(spec, ops.p_roll_up(iceberg, "X", db.schema), db.schema) is None
+        assert usability(iceberg, ops.p_roll_up(spec, "X", db.schema), db.schema) is None
+
+    def test_sliced_global_dim_blocks_roll_up(self, db):
+        spec = base_spec_for(db)
+        sliced = ops.slice_global(spec, "location", "Pentagon")
+        target = ops.roll_up_global(sliced, "location", db.schema)
+        assert usability(sliced, target, db.schema) is None
+
+    def test_chain_verified_by_forward_application(self, db):
+        spec = base_spec_for(db)
+        target = ops.slice_global(ops.roll_up_global(spec, "location", db.schema),
+                                  "location", "D10")
+        chain = find_chain(spec, target, db.schema)
+        verified = spec
+        for step in chain:
+            from repro.optimizer.semantic_cache import _apply_op
+
+            verified = _apply_op(verified, step, db.schema)
+        assert verified.cache_key() == target.cache_key()
+
+
+class TestDerivedBitIdentity:
+    """Engine-level: warm answers == cold answers, cell for cell."""
+
+    def navigations(self, db, spec):
+        """Derivable targets: global navigations are sound under every
+        restriction; pattern roll-ups only from an ALL_MATCHED source."""
+        targets = [
+            ops.roll_up_global(spec, "location", db.schema),
+            ops.slice_global(spec, "location", "Pentagon"),
+            ops.dice_global(spec, "location", ("Pentagon", "Clarendon")),
+            ops.slice_global(
+                ops.roll_up_global(spec, "location", db.schema), "location", "D10"
+            ),
+        ]
+        if spec.restriction is CellRestriction.ALL_MATCHED:
+            targets += [
+                ops.p_roll_up(spec, "X", db.schema),
+                ops.p_roll_up(
+                    ops.p_roll_up(spec, "X", db.schema), "Y", db.schema
+                ),
+            ]
+        return targets
+
+    @pytest.mark.parametrize(
+        "restriction",
+        [
+            CellRestriction.ALL_MATCHED,
+            CellRestriction.LEFT_MAXIMALITY,
+            CellRestriction.LEFT_MAXIMALITY_DATA,
+        ],
+    )
+    def test_derived_equals_cold(self, db, restriction):
+        spec = base_spec_for(db, restriction=restriction)
+        engine = SOLAPEngine(db)
+        engine.execute(spec)
+        for target in self.navigations(db, spec):
+            warm, stats = engine.execute(target)
+            assert stats.extra["cache_answer"].startswith("derived:"), target
+            assert stats.strategy == "derived"
+            assert stats.sequences_scanned == 0
+            assert warm.to_dict() == cold(db, target).to_dict()
+
+    def test_slice_pattern_derived_equals_cold(self, db):
+        spec = base_spec_for(db)  # ALL_MATCHED
+        engine = SOLAPEngine(db)
+        engine.execute(spec)
+        target = ops.slice_pattern(spec, "X", "Pentagon")
+        warm, stats = engine.execute(target)
+        assert stats.extra["cache_answer"] == "derived:slice_pattern"
+        assert warm.to_dict() == cold(db, target).to_dict()
+
+    def test_merge_aggregates_survive_roll_up(self, db):
+        spec = base_spec_for(
+            db,
+            aggregates=(
+                AggregateSpec("COUNT", None),
+                AggregateSpec("SUM", "amount"),
+                AggregateSpec("MIN", "amount"),
+                AggregateSpec("MAX", "amount"),
+            ),
+        )
+        engine = SOLAPEngine(db)
+        engine.execute(spec)
+        target = ops.roll_up_global(spec, "location", db.schema)
+        warm, stats = engine.execute(target)
+        assert stats.strategy == "derived"
+        assert warm.to_dict() == cold(db, target).to_dict()
+
+    def test_derived_answer_is_itself_cached(self, db):
+        spec = base_spec_for(db)
+        engine = SOLAPEngine(db)
+        engine.execute(spec)
+        target = ops.p_roll_up(spec, "X", db.schema)
+        __, first = engine.execute(target)
+        assert first.strategy == "derived"
+        __, second = engine.execute(target)
+        assert second.extra["cache_answer"] == "exact"
+        assert second.cuboid_cache_hit
+
+
+class TestEngineWiring:
+    def test_miss_exact_derived_accounting(self, db):
+        spec = base_spec_for(db)
+        engine = SOLAPEngine(db)
+        __, s1 = engine.execute(spec)
+        assert s1.extra["cache_answer"] == "miss"
+        rows_after_cold = engine.rows_aggregated_total
+        __, s2 = engine.execute(spec)
+        assert s2.extra["cache_answer"] == "exact"
+        __, s3 = engine.execute(ops.p_roll_up(spec, "X", db.schema))
+        assert s3.extra["cache_answer"] == "derived:p_roll_up"
+        # zero work-counter drift: neither hit kind aggregates rows
+        assert engine.rows_aggregated_total == rows_after_cold
+        assert engine.strategy_counts["derived"] == 1
+        assert engine.semantic_hits == {"p_roll_up": 1}
+        assert engine.semantic_derivations == {"p_roll_up": 1}
+
+    def test_rejects_classified_by_op(self, db):
+        spec = base_spec_for(db)
+        engine = SOLAPEngine(db)
+        engine.execute(spec)
+        engine.execute(ops.append(spec, "Z", "location", "station"))
+        assert engine.semantic_rejects.get("append", 0) >= 1
+
+    def test_semantic_cache_disabled(self, db):
+        spec = base_spec_for(db)
+        engine = SOLAPEngine(db, semantic_cache=False)
+        engine.execute(spec)
+        __, stats = engine.execute(ops.p_roll_up(spec, "X", db.schema))
+        assert stats.extra["cache_answer"] == "miss"
+        assert engine.semantic_hits == {}
+
+    def test_cache_stats_semantic_block(self, db):
+        spec = base_spec_for(db)
+        engine = SOLAPEngine(db)
+        engine.execute(spec)
+        engine.execute(ops.p_roll_up(spec, "X", db.schema))
+        block = engine.cache_stats()["semantic_cache"]
+        assert block["enabled"]
+        assert block["hits_total"] == 1
+        assert block["derivations_total"] == 1
+        assert engine.cache_stats()["repository"]["policy"] == "benefit"
+
+    def test_explain_analyze_prints_chain(self, db):
+        spec = base_spec_for(db)
+        engine = SOLAPEngine(db)
+        engine.execute(spec)
+        target = ops.slice_global(
+            ops.roll_up_global(spec, "location", db.schema), "location", "D10"
+        )
+        __, stats = engine.execute(target, analyze=True)
+        rendered = stats.plan.render()
+        assert "semantic HIT" in rendered
+        assert "roll_up_global" in rendered and "slice_global" in rendered
+
+    def test_static_explain_annotates_derivability(self, db):
+        from repro.core.explain import explain
+
+        spec = base_spec_for(db)
+        engine = SOLAPEngine(db)
+        engine.execute(spec)
+        plan = explain(engine, ops.p_roll_up(spec, "X", db.schema))
+        assert "semantically derivable" in plan.render()
+
+    def test_metric_families_exported(self, db):
+        spec = base_spec_for(db)
+        engine = SOLAPEngine(db)
+        registry = MetricsRegistry()
+        register_engine_metrics(registry, engine)
+        engine.execute(spec)
+        engine.execute(ops.p_roll_up(spec, "X", db.schema))
+        engine.execute(ops.append(spec, "Z", "location", "station"))
+        text = registry.render_prometheus()
+        assert (
+            'solap_cuboid_semantic_hits_total{op="p_roll_up"} 1' in text
+        )
+        assert (
+            'solap_cuboid_semantic_derivations_total{op="p_roll_up"} 1' in text
+        )
+        assert 'solap_cuboid_semantic_rejects_total{op="append"}' in text
+        assert 'solap_engine_queries_total{strategy="derived"} 1' in text
+
+    def test_planner_handles_empty_repository(self, db):
+        engine = SOLAPEngine(db)
+        planner = DerivationPlanner(db.schema)
+        result = planner.plan(base_spec_for(db), engine.repository)
+        assert result.plan is None and result.rejects == {}

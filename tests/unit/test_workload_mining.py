@@ -1,0 +1,252 @@
+"""Workload mining and the cuboid materialization advisor.
+
+Covers the query-log miner (:mod:`repro.optimizer.workload`) — including
+its tolerance of interleaved non-query lifecycle events and unparseable
+lines — the benefit-per-byte cuboid advisor, and the ``solap advise
+--log`` CLI path end to end.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro import QueryService, ServiceConfig
+from repro.cli import main
+from repro.obs.logging import QueryLogger, JsonLineFormatter
+from repro.optimizer.advisor import advise_cuboid_materializations
+from repro.optimizer.workload import (
+    Workload,
+    iter_events,
+    mine_workload,
+    replay_specs,
+)
+from tests.conftest import figure8_spec, make_figure8_db
+
+
+def query_line(digest, wall_ms, cache_answer="miss", ql=None, cells=10):
+    return json.dumps(
+        {
+            "event": "query_finished",
+            "spec_digest": digest,
+            "wall_ms": wall_ms,
+            "engine_ms": wall_ms * 0.9,
+            "strategy": "CB",
+            "cache_answer": cache_answer,
+            "query_ql": ql,
+            "cells": cells,
+        }
+    )
+
+
+class TestMinerTolerance:
+    """Satellite (f): the loader survives real, messy logs."""
+
+    def test_interleaved_lifecycle_events_are_skipped_not_fatal(self):
+        source = [
+            json.dumps({"event": "service_started", "workers": 4}),
+            query_line("aaa", 10.0),
+            json.dumps({"event": "session_evicted", "session_id": "s1"}),
+            json.dumps({"event": "index_built", "bytes": 1024}),
+            query_line("aaa", 1.0, cache_answer="exact"),
+            json.dumps({"event": "slow_query", "query_id": "q7"}),
+        ]
+        workload = mine_workload(source)
+        assert workload.queries == 2
+        assert workload.skipped_events == 4
+        assert workload.skipped_lines == 0
+        assert workload.by_spec["aaa"].count == 2
+
+    def test_blank_and_garbage_lines_are_counted_not_raised(self):
+        source = "\n".join(
+            [
+                "",
+                "not json at all {{{",
+                query_line("bbb", 5.0),
+                "   ",
+                json.dumps(["a", "bare", "list"]),
+                query_line("bbb", 5.0, cache_answer="derived:p_roll_up"),
+            ]
+        )
+        workload = mine_workload(source)
+        assert workload.queries == 2
+        assert workload.skipped_lines == 2  # garbage + non-dict JSON
+        assert workload.by_spec["bbb"].cache_answers == {
+            "miss": 1,
+            "derived": 1,
+        }
+
+    def test_query_finished_without_digest_is_skipped(self):
+        source = [json.dumps({"event": "query_finished", "wall_ms": 3.0})]
+        workload = mine_workload(source)
+        assert workload.queries == 0
+        assert workload.skipped_events == 1
+
+    def test_reads_from_a_file_path(self, tmp_path):
+        log = tmp_path / "queries.jsonl"
+        log.write_text(query_line("ccc", 7.5) + "\n\nnoise\n")
+        workload = mine_workload(str(log))
+        assert workload.queries == 1
+        assert workload.skipped_lines == 1
+
+    def test_iter_events_accepts_parsed_dicts(self):
+        docs = [{"event": "query_finished", "spec_digest": "d"}]
+        assert list(iter_events(docs)) == [(docs[0], True)]
+
+
+class TestSpecStats:
+    def test_cold_latency_excludes_cache_hits(self):
+        source = [
+            query_line("s1", 100.0, cache_answer="miss"),
+            query_line("s1", 0.5, cache_answer="exact"),
+            query_line("s1", 2.0, cache_answer="derived:slice_global"),
+            query_line("s1", 300.0, cache_answer="miss"),
+        ]
+        stats = mine_workload(source).by_spec["s1"]
+        assert stats.count == 4
+        assert stats.cold_wall_ms == [100.0, 300.0]
+        assert stats.mean_cold_wall_ms == pytest.approx(200.0)
+        assert stats.mean_wall_ms == pytest.approx(402.5 / 4)
+
+    def test_mean_cold_falls_back_to_overall_mean(self):
+        source = [query_line("s2", 4.0, cache_answer="exact")]
+        stats = mine_workload(source).by_spec["s2"]
+        assert stats.cold_wall_ms == []
+        assert stats.mean_cold_wall_ms == pytest.approx(4.0)
+
+    def test_top_orders_by_total_wall(self):
+        source = [
+            query_line("cheap", 1.0),
+            query_line("hot", 50.0),
+            query_line("hot", 50.0),
+        ]
+        workload = mine_workload(source)
+        assert [s.digest for s in workload.top(2)] == ["hot", "cheap"]
+
+
+class TestCuboidAdvisor:
+    def test_only_cold_specs_are_advised(self):
+        source = [
+            query_line("cold", 80.0, cache_answer="miss", cells=50),
+            query_line("warm", 80.0, cache_answer="exact", cells=50),
+        ]
+        recs = advise_cuboid_materializations(mine_workload(source))
+        assert [r.digest for r in recs] == ["cold"]
+        assert recs[0].cold_answers == 1
+        assert recs[0].benefit_seconds == pytest.approx(0.08)
+
+    def test_benefit_per_byte_ordering(self):
+        # "dense" saves the same time in far fewer cells -> advised first
+        source = [
+            query_line("sparse", 100.0, cells=100_000),
+            query_line("dense", 100.0, cells=10),
+        ]
+        recs = advise_cuboid_materializations(mine_workload(source))
+        assert [r.digest for r in recs] == ["dense", "sparse"]
+        assert recs[0].benefit_per_byte > recs[1].benefit_per_byte
+
+    def test_budget_excludes_oversized_cuboids(self):
+        source = [
+            query_line("huge", 100.0, cells=1_000_000),
+            query_line("tiny", 100.0, cells=10),
+        ]
+        recs = advise_cuboid_materializations(
+            mine_workload(source), byte_budget=64 * 1024
+        )
+        assert [r.digest for r in recs] == ["tiny"]
+
+    def test_empty_workload_advises_nothing(self):
+        assert advise_cuboid_materializations(Workload()) == []
+
+
+class TestServiceLogRoundTrip:
+    """The service's own query_finished records mine and replay cleanly."""
+
+    def run_service(self, stream, repeat=2):
+        logger = logging.getLogger("solap-test-workload-mining")
+        logger.handlers.clear()
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(JsonLineFormatter())
+        logger.addHandler(handler)
+        logger.setLevel(logging.INFO)
+        logger.propagate = False
+        db = make_figure8_db()
+        qlog = QueryLogger(logger=logger)
+        with QueryService(db, ServiceConfig(), query_logger=qlog) as service:
+            for __ in range(repeat):
+                service.execute(figure8_spec(("X", "Y")), "cb")
+        logger.handlers.clear()
+        return db
+
+    def test_mined_stats_match_served_traffic(self):
+        stream = io.StringIO()
+        self.run_service(stream, repeat=3)
+        workload = mine_workload(stream.getvalue())
+        assert workload.queries == 3
+        (stats,) = workload.by_spec.values()
+        assert stats.count == 3
+        assert stats.cache_answers.get("exact", 0) >= 1
+        assert len(stats.cold_wall_ms) == 1  # only the first was cold
+        assert stats.ql and "CUBOID BY" in stats.ql
+        # lifecycle events (admitted/started/cache-hit) interleave freely
+        assert workload.skipped_events > 0
+
+    def test_logged_ql_replays_to_the_same_digest(self):
+        stream = io.StringIO()
+        db = self.run_service(stream)
+        pairs = replay_specs(stream.getvalue(), db.schema)
+        assert len(pairs) == 1
+        digest, spec = pairs[0]
+        from repro.obs.logging import spec_digest
+
+        assert spec_digest(spec) == digest
+
+
+class TestAdviseCli:
+    @pytest.fixture
+    def dataset(self, tmp_path):
+        out = tmp_path / "transit"
+        code = main(
+            [
+                "generate", "transit", "--out", str(out),
+                "--cards", "20", "--days", "2", "--seed", "3",
+            ]
+        )
+        assert code == 0
+        return out
+
+    def test_advise_requires_some_workload(self, dataset, capsys):
+        assert main(["advise", str(dataset)]) == 2
+        assert "provide workload" in capsys.readouterr().out
+
+    def test_advise_from_log_file(self, dataset, tmp_path, capsys):
+        log = tmp_path / "queries.jsonl"
+        log.write_text(
+            "\n".join(
+                [
+                    json.dumps({"event": "session_evicted", "id": "s0"}),
+                    query_line("deadbeef0001", 40.0, cells=200),
+                    "garbage line",
+                    query_line("deadbeef0001", 0.2, cache_answer="exact"),
+                ]
+            )
+        )
+        assert main(["advise", str(dataset), "--log", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "query log: 2 queries over 1 distinct spec(s)" in out
+        assert "1 non-query events, 1 unparseable lines skipped" in out
+        assert "advised cuboid materialization" in out
+
+    def test_advise_log_zero_budget(self, dataset, tmp_path, capsys):
+        log = tmp_path / "queries.jsonl"
+        log.write_text(query_line("deadbeef0002", 40.0, cells=200))
+        assert main(
+            ["advise", str(dataset), "--log", str(log), "--budget-mb", "0"]
+        ) == 0
+        assert (
+            "no cuboid materializations advised within the budget"
+            in capsys.readouterr().out
+        )
